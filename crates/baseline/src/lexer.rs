@@ -1,0 +1,256 @@
+//! Hand-written SQL lexer for the monolithic baseline parser.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Token kinds of the baseline lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// A reserved word (text is uppercased).
+    Keyword,
+    /// A regular identifier.
+    Ident,
+    /// Numeric literal.
+    Number,
+    /// Character string literal (quotes included, as written).
+    String,
+    /// Operator or punctuation.
+    Punct,
+}
+
+/// One token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Kind.
+    pub kind: TokKind,
+    /// Normalized text: keywords uppercased, puncts as written.
+    pub text: String,
+    /// Byte offset of the token start.
+    pub at: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineLexError {
+    /// Byte offset.
+    pub at: usize,
+    /// Offending character.
+    pub found: char,
+}
+
+impl fmt::Display for BaselineLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline lexer: unexpected {:?} at byte {}", self.found, self.at)
+    }
+}
+
+impl std::error::Error for BaselineLexError {}
+
+/// Every reserved word of the full product-line grammar. An identifier that
+/// matches (case-insensitively) lexes as [`TokKind::Keyword`], mirroring the
+/// composed full parser's keyword set.
+pub fn keywords() -> &'static HashSet<&'static str> {
+    static KEYWORDS: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    KEYWORDS.get_or_init(|| {
+        [
+            "ABS", "ABSOLUTE", "ACTION", "ADD", "ALL", "ALTER", "ALWAYS", "AND", "ANY", "ARRAY", "AS",
+            "ASC", "ASENSITIVE", "AUTHORIZATION", "AVG", "BETWEEN", "BIGINT", "BINARY", "BLOB",
+            "BOOLEAN", "BOTH", "BY", "CASCADE", "CASE", "CAST", "CEIL", "CEILING", "CHAR",
+            "CHARACTER", "CHARACTER_LENGTH", "CHAR_LENGTH", "CHECK", "CLOB", "CLOSE", "COALESCE",
+            "COLUMN", "COMMIT", "COMMITTED", "CONSTRAINT", "COUNT", "CREATE", "CROSS", "CUBE",
+            "CURRENT", "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP", "CURSOR", "DATE",
+            "DAY", "DEC", "DECIMAL", "DECLARE", "DEFAULT", "DELETE", "DESC", "DISTINCT",
+            "DENSE_RANK", "DOMAIN", "DOUBLE", "DROP", "DURATION", "ELSE", "END", "EPOCH", "ESCAPE", "EXCEPT",
+            "EXISTS", "EXP", "EXTRACT", "FALSE", "FETCH", "FIRST", "FLOAT", "FLOOR", "FOLLOWING",
+            "FOR", "FOREIGN", "FROM", "FULL", "GENERATED", "GLOBAL", "GRANT", "GROUP", "GROUPING", "HAVING",
+            "HOLD", "HOUR", "IN", "INNER", "INSENSITIVE", "INSERT", "INT", "INTEGER",
+            "INTERSECT", "INTERVAL", "INTO", "IS", "ISOLATION", "JOIN", "KEY", "LAST",
+            "LEADING", "LN", "LEFT", "LEVEL", "LIFETIME", "LIKE", "LOCAL", "LOWER", "MATCHED", "MAX",
+            "MERGE", "MIN", "MINUTE", "MOD", "MONTH", "NATURAL", "NEXT", "NO", "NONE", "NOT",
+            "NULL", "NULLIF", "NULLS", "NUMERIC", "OF", "OFFSET", "ON", "ONLY", "OPEN",
+            "IDENTITY", "OPTION", "OR", "ORDER", "OUTER", "OVER", "OVERLAPS", "PARTITION", "PERIOD", "POSITION",
+            "POWER", "PRECEDING", "PRECISION", "PRIMARY", "PRIOR", "PRIVILEGES", "PUBLIC",
+            "RANGE", "RANK", "READ", "REAL", "RECURSIVE", "REFERENCES", "RELATIVE", "RELEASE",
+            "REPEATABLE", "RESTRICT", "REVOKE", "RIGHT", "ROLE", "ROLLBACK", "ROLLUP", "ROW",
+            "ROWS", "ROW_NUMBER", "SAMPLE", "SAVEPOINT", "SCHEMA", "SCROLL", "SECOND", "SELECT", "SENSITIVE",
+            "SERIALIZABLE", "SESSION", "SET", "SETS", "SMALLINT", "SOME", "SQRT", "START", "STDDEV_POP", "STDDEV_SAMP",
+            "SUBSTRING", "SUM", "TABLE", "TEMPORARY", "THEN", "TIME", "TIMESTAMP", "TO",
+            "TRAILING", "TRANSACTION", "TRIGGER", "TRIM", "TRUE", "UNBOUNDED", "UNCOMMITTED",
+            "UNION", "UNIQUE", "UNKNOWN", "UPDATE", "UPPER", "VAR_POP", "VAR_SAMP", "USAGE", "USING", "VALUES", "VARCHAR",
+            "VARYING", "VIEW", "WHEN", "WHERE", "WINDOW", "WITH", "WITHOUT", "WORK", "WRITE",
+            "YEAR", "ZONE",
+        ]
+        .into_iter()
+        .collect()
+    })
+}
+
+/// Scan the input.
+pub fn lex(input: &str) -> Result<Vec<Tok>, BaselineLexError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &input[start..i];
+            let upper = word.to_ascii_uppercase();
+            if keywords().contains(upper.as_str()) {
+                toks.push(Tok { kind: TokKind::Keyword, text: upper, at: start });
+            } else {
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: word.to_string(),
+                    at: start,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: input[start..i].to_string(),
+                at: start,
+            });
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(BaselineLexError { at: start, found: '\'' });
+                }
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::String,
+                text: input[start..i].to_string(),
+                at: start,
+            });
+            continue;
+        }
+        // multi-char operators first
+        for op in ["<>", "<=", ">=", "||"] {
+            if input[i..].starts_with(op) {
+                toks.push(Tok { kind: TokKind::Punct, text: op.to_string(), at: start });
+                i += 2;
+                break;
+            }
+        }
+        if i != start {
+            continue;
+        }
+        if "+-*/=<>(),.;[]".contains(c) {
+            toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), at: start });
+            i += 1;
+            continue;
+        }
+        return Err(BaselineLexError { at: start, found: c });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<String> {
+        lex(input).unwrap().into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn keywords_uppercase_identifiers_preserved() {
+        assert_eq!(texts("select Name from T"), ["SELECT", "Name", "FROM", "T"]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(texts("1 2.5 3e10 4.5E-2"), ["1", "2.5", "3e10", "4.5E-2"]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(texts("'a' 'it''s'"), ["'a'", "'it''s'"]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(texts("<=<>=||"), ["<=", "<>", "=", "||"]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            texts("a -- comment\nb /* block */ c"),
+            ["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        assert!(lex("a # b").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! The monolithic baseline SQL parser — the conventional, non-customizable
+//! comparator for the `sqlweave` product line.
+//!
+//! Everything is hand-written and fixed: one lexer with the full reserved
+//! word list ([`lexer`]) and one recursive-descent parser over the whole
+//! language ([`parser`]), producing the same
+//! [`sqlweave_sql_ast`] AST as the composed parsers' lowering.
+//! Benchmarks compare tailored composed parsers against this baseline
+//! (Experiment B2), and differential tests assert AST equality statement by
+//! statement.
+//!
+//! ```
+//! use sqlweave_baseline::parse_statement;
+//!
+//! let ast = parse_statement("SELECT a, b FROM t WHERE a = 1").unwrap();
+//! assert!(matches!(ast, sqlweave_sql_ast::Statement::Query(_)));
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_script, parse_statement, BaselineError};

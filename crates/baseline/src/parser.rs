@@ -1,0 +1,2052 @@
+//! The monolithic recursive-descent SQL parser.
+//!
+//! This is the *conventional* parser the paper's approach competes with:
+//! one fixed grammar, everything hard-coded, no customization. It produces
+//! the same [`sqlweave_sql_ast`] AST as the composed parsers' lowering, so
+//! differential tests can assert `baseline(stmt) == lower(composed(stmt))`.
+
+use crate::lexer::{lex, Tok, TokKind};
+use sqlweave_sql_ast::ast::*;
+use std::fmt;
+
+/// Parse error from the baseline parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// Byte offset (end of input if exhausted).
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, BaselineError> {
+    let toks = lex(input).map_err(|e| BaselineError { at: e.at, message: e.to_string() })?;
+    let mut p = P { toks, pos: 0 };
+    let mut out = vec![p.statement()?];
+    while p.eat_punct(";") {
+        if p.done() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    if !p.done() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(out)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(input: &str) -> Result<Statement, BaselineError> {
+    let stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.into_iter().next().unwrap()),
+        n => Err(BaselineError { at: 0, message: format!("expected 1 statement, found {n}") }),
+    }
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> BaselineError {
+        BaselineError {
+            at: self.toks.get(self.pos).map_or(usize::MAX, |t| t.at),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokKind::Keyword && t.text == kw)
+    }
+
+    fn is_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_at(n), Some(t) if t.kind == TokKind::Keyword && t.text == kw)
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokKind::Punct && t.text == p)
+    }
+
+    fn is_punct_at(&self, n: usize, p: &str) -> bool {
+        matches!(self.peek_at(n), Some(t) if t.kind == TokKind::Punct && t.text == p)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.is_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), BaselineError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), BaselineError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`")))
+        }
+    }
+
+    /// Eat any of the keywords, returning the one found.
+    fn eat_any_kw(&mut self, kws: &[&str]) -> Option<&'static str> {
+        for &kw in kws {
+            if self.is_kw(kw) {
+                self.pos += 1;
+                // SAFETY of lifetime: return from the static list
+                return KW_INTERN.iter().copied().find(|&k| k == kw);
+            }
+        }
+        None
+    }
+
+    fn ident(&mut self) -> Result<String, BaselineError> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let s = t.text.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn number(&mut self) -> Result<String, BaselineError> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::Number => {
+                let s = t.text.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected number")),
+        }
+    }
+
+    fn string_unquoted(&mut self) -> Result<String, BaselineError> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::String => {
+                let inner = t.text[1..t.text.len() - 1].replace("''", "'");
+                self.pos += 1;
+                Ok(inner)
+            }
+            _ => Err(self.err("expected string literal")),
+        }
+    }
+
+    fn qualified_name(&mut self) -> Result<QualifiedName, BaselineError> {
+        let mut out = vec![self.ident()?];
+        while self.is_punct(".") && matches!(self.peek_at(1), Some(t) if t.kind == TokKind::Ident)
+        {
+            self.pos += 1;
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, BaselineError> {
+        let mut out = vec![self.ident()?];
+        while self.eat_punct(",") {
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn statement(&mut self) -> Result<Statement, BaselineError> {
+        if self.is_kw("SELECT") || self.is_kw("WITH") || self.is_punct("(") {
+            return Ok(Statement::Query(self.query()?));
+        }
+        if self.is_kw("INSERT") {
+            return self.insert();
+        }
+        if self.is_kw("UPDATE") {
+            return self.update();
+        }
+        if self.is_kw("DELETE") {
+            return self.delete();
+        }
+        if self.is_kw("MERGE") {
+            return self.merge();
+        }
+        if self.is_kw("CREATE") {
+            return self.create();
+        }
+        if self.is_kw("ALTER") {
+            return self.alter_table();
+        }
+        if self.is_kw("DROP") {
+            return self.drop();
+        }
+        if self.is_kw("GRANT") {
+            return self.grant();
+        }
+        if self.is_kw("REVOKE") {
+            return self.revoke();
+        }
+        if self.is_kw("START")
+            || self.is_kw("COMMIT")
+            || self.is_kw("ROLLBACK")
+            || self.is_kw("SAVEPOINT")
+            || self.is_kw("RELEASE")
+        {
+            return self.transaction();
+        }
+        if self.is_kw("SET") {
+            return self.set_statement();
+        }
+        if self.is_kw("DECLARE")
+            || self.is_kw("OPEN")
+            || self.is_kw("CLOSE")
+            || self.is_kw("FETCH")
+        {
+            return self.cursor();
+        }
+        Err(self.err("expected a statement"))
+    }
+
+    // ------------------------------------------------------------ queries
+
+    fn query(&mut self) -> Result<Query, BaselineError> {
+        let (with, recursive) = if self.eat_kw("WITH") {
+            let recursive = self.eat_kw("RECURSIVE");
+            let mut ctes = vec![self.cte()?];
+            while self.eat_punct(",") {
+                ctes.push(self.cte()?);
+            }
+            (ctes, recursive)
+        } else {
+            (Vec::new(), false)
+        };
+        let mut body = self.query_term()?;
+        loop {
+            let op = if self.eat_kw("UNION") {
+                SetOp::Union
+            } else if self.eat_kw("EXCEPT") {
+                SetOp::Except
+            } else if self.eat_kw("INTERSECT") {
+                SetOp::Intersect
+            } else {
+                break;
+            };
+            let quantifier = if self.eat_kw("ALL") {
+                Some(SetQuantifier::All)
+            } else if self.eat_kw("DISTINCT") {
+                Some(SetQuantifier::Distinct)
+            } else {
+                None
+            };
+            let right = self.query_term()?;
+            body = QueryBody::SetOp {
+                left: Box::new(body),
+                op,
+                quantifier,
+                right: Box::new(right),
+            };
+        }
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let mut items = vec![self.sort_spec()?];
+            while self.eat_punct(",") {
+                items.push(self.sort_spec()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let offset = if self.eat_kw("OFFSET") {
+            let n = self.number()?;
+            let _ = self.eat_kw("ROW") || self.eat_kw("ROWS");
+            Some(n)
+        } else {
+            None
+        };
+        let fetch = if self.eat_kw("FETCH") {
+            let _ = self.eat_kw("FIRST") || self.eat_kw("NEXT");
+            let n = self.number()?;
+            let _ = self.eat_kw("ROW") || self.eat_kw("ROWS");
+            self.expect_kw("ONLY")?;
+            Some(n)
+        } else {
+            None
+        };
+        Ok(Query { with, recursive, body, order_by, offset, fetch })
+    }
+
+    fn cte(&mut self) -> Result<Cte, BaselineError> {
+        let name = self.ident()?;
+        let columns = if self.eat_punct("(") {
+            let cols = self.ident_list()?;
+            self.expect_punct(")")?;
+            cols
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("AS")?;
+        self.expect_punct("(")?;
+        let query = self.query()?;
+        self.expect_punct(")")?;
+        Ok(Cte { name, columns, query: Box::new(query) })
+    }
+
+    fn query_term(&mut self) -> Result<QueryBody, BaselineError> {
+        if self.eat_punct("(") {
+            let q = self.query()?;
+            self.expect_punct(")")?;
+            return Ok(QueryBody::Nested(Box::new(q)));
+        }
+        Ok(QueryBody::Select(Box::new(self.select()?)))
+    }
+
+    fn select(&mut self) -> Result<Select, BaselineError> {
+        self.expect_kw("SELECT")?;
+        let quantifier = if self.eat_kw("DISTINCT") {
+            Some(SetQuantifier::Distinct)
+        } else if self.eat_kw("ALL") {
+            Some(SetQuantifier::All)
+        } else {
+            None
+        };
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_reference()?];
+        while self.eat_punct(",") {
+            from.push(self.table_reference()?);
+        }
+        let selection = if self.eat_kw("WHERE") {
+            Some(self.search_condition()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let mut items = vec![self.grouping_element()?];
+            while self.eat_punct(",") {
+                items.push(self.grouping_element()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.search_condition()?)
+        } else {
+            None
+        };
+        let windows = if self.eat_kw("WINDOW") {
+            let mut items = vec![self.window_def()?];
+            while self.eat_punct(",") {
+                items.push(self.window_def()?);
+            }
+            items
+        } else {
+            Vec::new()
+        };
+        let mut sensor = SensorClauses::default();
+        if self.eat_kw("EPOCH") {
+            self.expect_kw("DURATION")?;
+            sensor.epoch_duration = Some(self.number()?);
+        }
+        if self.eat_kw("SAMPLE") {
+            self.expect_kw("PERIOD")?;
+            sensor.sample_period = Some(self.number()?);
+        }
+        if self.eat_kw("LIFETIME") {
+            sensor.lifetime = Some(self.number()?);
+        }
+        Ok(Select {
+            quantifier,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+            windows,
+            sensor,
+        })
+    }
+
+    fn projection(&mut self) -> Result<Vec<SelectItem>, BaselineError> {
+        if self.eat_punct("*") {
+            return Ok(vec![SelectItem::Star]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat_punct(",") {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, BaselineError> {
+        // Qualified star: IDENT (. IDENT)* . *
+        let save = self.pos;
+        if matches!(self.peek(), Some(t) if t.kind == TokKind::Ident) {
+            let mut chain = vec![self.ident()?];
+            loop {
+                if self.is_punct(".") && matches!(self.peek_at(1), Some(t) if t.kind == TokKind::Ident)
+                {
+                    self.pos += 1;
+                    chain.push(self.ident()?);
+                } else {
+                    break;
+                }
+            }
+            if self.is_punct(".") && self.is_punct_at(1, "*") {
+                self.pos += 2;
+                return Ok(SelectItem::QualifiedStar(chain));
+            }
+            self.pos = save;
+        }
+        let expr = self.value_expression()?;
+        // explicit AS or a bare trailing identifier both alias
+        let has_alias =
+            self.eat_kw("AS") || matches!(self.peek(), Some(t) if t.kind == TokKind::Ident);
+        let alias = if has_alias { Some(self.ident()?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_reference(&mut self) -> Result<TableRef, BaselineError> {
+        let mut table = self.table_primary()?;
+        loop {
+            let (kind, condition_allowed) = if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                (JoinKind::Cross, false)
+            } else if self.eat_kw("NATURAL") {
+                let _ = self.eat_any_kw(&["INNER", "LEFT", "RIGHT", "FULL"]);
+                let _ = self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                (JoinKind::Natural, false)
+            } else if self.is_kw("JOIN")
+                || self.is_kw("INNER")
+                || self.is_kw("LEFT")
+                || self.is_kw("RIGHT")
+                || self.is_kw("FULL")
+            {
+                let kind = if self.eat_kw("INNER") {
+                    JoinKind::Inner
+                } else if self.eat_kw("LEFT") {
+                    let _ = self.eat_kw("OUTER");
+                    JoinKind::Left
+                } else if self.eat_kw("RIGHT") {
+                    let _ = self.eat_kw("OUTER");
+                    JoinKind::Right
+                } else if self.eat_kw("FULL") {
+                    let _ = self.eat_kw("OUTER");
+                    JoinKind::Full
+                } else {
+                    JoinKind::Inner
+                };
+                self.expect_kw("JOIN")?;
+                (kind, true)
+            } else {
+                break;
+            };
+            let right = self.table_primary()?;
+            let condition = if condition_allowed {
+                if self.eat_kw("ON") {
+                    JoinCondition::On(self.search_condition()?)
+                } else if self.eat_kw("USING") {
+                    self.expect_punct("(")?;
+                    let cols = self.ident_list()?;
+                    self.expect_punct(")")?;
+                    JoinCondition::Using(cols)
+                } else {
+                    JoinCondition::None
+                }
+            } else {
+                JoinCondition::None
+            };
+            table = TableRef::Join {
+                left: Box::new(table),
+                kind,
+                right: Box::new(right),
+                condition,
+            };
+        }
+        Ok(table)
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef, BaselineError> {
+        if self.eat_punct("(") {
+            let q = self.query()?;
+            self.expect_punct(")")?;
+            let alias = Some(self.correlation_required()?);
+            return Ok(TableRef::Derived { query: Box::new(q), alias });
+        }
+        let name = self.qualified_name()?;
+        let has_alias =
+            self.eat_kw("AS") || matches!(self.peek(), Some(t) if t.kind == TokKind::Ident);
+        let alias = if has_alias { Some(self.ident()?) } else { None };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    fn correlation_required(&mut self) -> Result<String, BaselineError> {
+        let _ = self.eat_kw("AS");
+        self.ident()
+    }
+
+    fn grouping_element(&mut self) -> Result<GroupingElement, BaselineError> {
+        if self.eat_kw("ROLLUP") {
+            self.expect_punct("(")?;
+            let mut cols = vec![self.qualified_name()?];
+            while self.eat_punct(",") {
+                cols.push(self.qualified_name()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(GroupingElement::Rollup(cols));
+        }
+        if self.eat_kw("CUBE") {
+            self.expect_punct("(")?;
+            let mut cols = vec![self.qualified_name()?];
+            while self.eat_punct(",") {
+                cols.push(self.qualified_name()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(GroupingElement::Cube(cols));
+        }
+        if self.eat_kw("GROUPING") {
+            self.expect_kw("SETS")?;
+            self.expect_punct("(")?;
+            let mut elems = vec![self.grouping_element()?];
+            while self.eat_punct(",") {
+                elems.push(self.grouping_element()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(GroupingElement::GroupingSets(elems));
+        }
+        Ok(GroupingElement::Column(self.qualified_name()?))
+    }
+
+    fn sort_spec(&mut self) -> Result<SortSpec, BaselineError> {
+        let expr = self.value_expression()?;
+        let descending = if self.eat_kw("DESC") {
+            true
+        } else {
+            let _ = self.eat_kw("ASC");
+            false
+        };
+        let nulls_first = if self.eat_kw("NULLS") {
+            if self.eat_kw("FIRST") {
+                Some(true)
+            } else {
+                self.expect_kw("LAST")?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok(SortSpec { expr, descending, nulls_first })
+    }
+
+    fn window_def(&mut self) -> Result<WindowDef, BaselineError> {
+        let name = self.ident()?;
+        self.expect_kw("AS")?;
+        self.expect_punct("(")?;
+        let (partition_by, order_by, frame) = self.window_spec()?;
+        self.expect_punct(")")?;
+        Ok(WindowDef { name, partition_by, order_by, frame })
+    }
+
+    /// The inside of a window specification: `[PARTITION BY …] [ORDER BY …]
+    /// [frame]` (caller handles the surrounding parentheses).
+    #[allow(clippy::type_complexity)]
+    fn window_spec(
+        &mut self,
+    ) -> Result<(Vec<QualifiedName>, Vec<SortSpec>, Option<String>), BaselineError> {
+        let mut partition_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut frame = None;
+        if self.eat_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            partition_by.push(self.qualified_name()?);
+            while self.eat_punct(",") {
+                partition_by.push(self.qualified_name()?);
+            }
+        }
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.value_expression()?;
+                order_by.push(SortSpec { expr, descending: false, nulls_first: None });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        if self.is_kw("ROWS") || self.is_kw("RANGE") {
+            frame = Some(self.frame_clause()?);
+        }
+        Ok((partition_by, order_by, frame))
+    }
+
+    /// Frame clause, reconstructed as space-joined token text (matches the
+    /// lowering's `CstNode::text()` form).
+    fn frame_clause(&mut self) -> Result<String, BaselineError> {
+        let mut words: Vec<String> = Vec::new();
+        let unit = self
+            .eat_any_kw(&["ROWS", "RANGE"])
+            .ok_or_else(|| self.err("expected ROWS or RANGE"))?;
+        words.push(unit.to_string());
+        let bound = |p: &mut P, words: &mut Vec<String>| -> Result<(), BaselineError> {
+            if p.eat_kw("UNBOUNDED") {
+                words.push("UNBOUNDED".into());
+                let d = p
+                    .eat_any_kw(&["PRECEDING", "FOLLOWING"])
+                    .ok_or_else(|| p.err("expected PRECEDING/FOLLOWING"))?;
+                words.push(d.to_string());
+            } else if p.eat_kw("CURRENT") {
+                p.expect_kw("ROW")?;
+                words.push("CURRENT".into());
+                words.push("ROW".into());
+            } else {
+                words.push(p.number()?);
+                let d = p
+                    .eat_any_kw(&["PRECEDING", "FOLLOWING"])
+                    .ok_or_else(|| p.err("expected PRECEDING/FOLLOWING"))?;
+                words.push(d.to_string());
+            }
+            Ok(())
+        };
+        if self.eat_kw("BETWEEN") {
+            words.push("BETWEEN".into());
+            bound(self, &mut words)?;
+            self.expect_kw("AND")?;
+            words.push("AND".into());
+            bound(self, &mut words)?;
+        } else {
+            bound(self, &mut words)?;
+        }
+        Ok(words.join(" "))
+    }
+
+    // ------------------------------------------------------------ conditions
+
+    fn search_condition(&mut self) -> Result<Expr, BaselineError> {
+        let mut left = self.boolean_term()?;
+        while self.eat_kw("OR") {
+            let right = self.boolean_term()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn boolean_term(&mut self) -> Result<Expr, BaselineError> {
+        let mut left = self.boolean_factor()?;
+        while self.eat_kw("AND") {
+            let right = self.boolean_factor()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn boolean_factor(&mut self) -> Result<Expr, BaselineError> {
+        if self.eat_kw("NOT") {
+            let inner = self.predicate()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, BaselineError> {
+        // Mirror the composed engine's ordered attempts: standard predicate
+        // first (with backtracking), then parenthesized condition, EXISTS,
+        // and OVERLAPS.
+        let save = self.pos;
+        match self.standard_predicate() {
+            Ok(e) => return Ok(e),
+            Err(_) => self.pos = save,
+        }
+        if self.is_punct("(") {
+            self.pos += 1;
+            let inner = self.search_condition()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Nested(Box::new(inner)));
+        }
+        if self.eat_kw("EXISTS") {
+            self.expect_punct("(")?;
+            let q = self.query()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Exists(Box::new(q)));
+        }
+        // overlaps fallback
+        let left = self.value_expression()?;
+        self.expect_kw("OVERLAPS")?;
+        let right = self.value_expression()?;
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op: BinaryOp::Overlaps,
+            right: Box::new(right),
+        })
+    }
+
+    fn standard_predicate(&mut self) -> Result<Expr, BaselineError> {
+        let left = self.value_expression()?;
+        // comparison / quantified
+        if let Some(op) = self.comp_op() {
+            if let Some(q) = self.eat_any_kw(&["ALL", "ANY", "SOME"]) {
+                self.expect_punct("(")?;
+                let query = self.query()?;
+                self.expect_punct(")")?;
+                return Ok(Expr::Quantified {
+                    expr: Box::new(left),
+                    op,
+                    quantifier: q.to_string(),
+                    query: Box::new(query),
+                });
+            }
+            let right = self.value_expression()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let low = self.value_expression()?;
+            self.expect_kw("AND")?;
+            let high = self.value_expression()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_punct("(")?;
+            if self.is_kw("SELECT") || self.is_kw("WITH") {
+                let q = self.query()?;
+                self.expect_punct(")")?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    negated,
+                    query: Box::new(q),
+                });
+            }
+            let mut list = vec![self.value_expression()?];
+            while self.eat_punct(",") {
+                list.push(self.value_expression()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(Expr::InList { expr: Box::new(left), negated, list });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.value_expression()?;
+            let escape = if self.eat_kw("ESCAPE") {
+                Some(Box::new(self.value_expression()?))
+            } else {
+                None
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                negated,
+                pattern: Box::new(pattern),
+                escape,
+            });
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN/IN/LIKE after NOT"));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            if self.eat_kw("NULL") {
+                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            }
+            if let Some(value) = self.eat_any_kw(&["TRUE", "FALSE", "UNKNOWN"]) {
+                return Ok(Expr::IsTruthValue {
+                    expr: Box::new(left),
+                    negated,
+                    value: value.to_string(),
+                });
+            }
+            self.expect_kw("DISTINCT")?;
+            self.expect_kw("FROM")?;
+            let other = self.value_expression()?;
+            return Ok(Expr::IsDistinctFrom {
+                expr: Box::new(left),
+                negated,
+                other: Box::new(other),
+            });
+        }
+        Err(self.err("expected a predicate tail"))
+    }
+
+    fn comp_op(&mut self) -> Option<BinaryOp> {
+        let op = match self.peek() {
+            Some(t) if t.kind == TokKind::Punct => match t.text.as_str() {
+                "=" => BinaryOp::Eq,
+                "<>" => BinaryOp::Neq,
+                "<=" => BinaryOp::Le,
+                ">=" => BinaryOp::Ge,
+                "<" => BinaryOp::Lt,
+                ">" => BinaryOp::Gt,
+                _ => return None,
+            },
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    fn value_expression(&mut self) -> Result<Expr, BaselineError> {
+        let mut left = self.term()?;
+        loop {
+            let op = if self.is_punct("+") {
+                BinaryOp::Plus
+            } else if self.is_punct("-") {
+                BinaryOp::Minus
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let right = self.term()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<Expr, BaselineError> {
+        let mut left = self.factor()?;
+        loop {
+            let op = if self.is_punct("*") {
+                BinaryOp::Multiply
+            } else if self.is_punct("/") {
+                BinaryOp::Divide
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let right = self.factor()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, BaselineError> {
+        let sign = if self.eat_punct("-") {
+            Some(UnaryOp::Minus)
+        } else if self.eat_punct("+") {
+            Some(UnaryOp::Plus)
+        } else {
+            None
+        };
+        let mut expr = self.value_primary()?;
+        while self.eat_punct("||") {
+            let right = self.value_primary()?;
+            expr = Expr::Binary {
+                left: Box::new(expr),
+                op: BinaryOp::Concat,
+                right: Box::new(right),
+            };
+        }
+        Ok(match sign {
+            Some(op) => Expr::Unary { op, expr: Box::new(expr) },
+            None => expr,
+        })
+    }
+
+    fn value_primary(&mut self) -> Result<Expr, BaselineError> {
+        // literals
+        if let Some(t) = self.peek() {
+            match t.kind {
+                TokKind::Number => {
+                    let n = self.number()?;
+                    return Ok(Expr::Literal(Literal::Number(n)));
+                }
+                TokKind::String => {
+                    let s = self.string_unquoted()?;
+                    return Ok(Expr::Literal(Literal::String(s)));
+                }
+                TokKind::Ident => {
+                    return Ok(Expr::Column(self.qualified_name()?));
+                }
+                _ => {}
+            }
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(Expr::Literal(Literal::Boolean(true)));
+        }
+        if self.eat_kw("FALSE") {
+            return Ok(Expr::Literal(Literal::Boolean(false)));
+        }
+        if self.eat_kw("NULL") {
+            return Ok(Expr::Literal(Literal::Null));
+        }
+        if self.is_kw("DATE") && matches!(self.peek_at(1), Some(t) if t.kind == TokKind::String) {
+            self.pos += 1;
+            return Ok(Expr::Literal(Literal::Date(self.string_unquoted()?)));
+        }
+        if self.is_kw("TIME") && matches!(self.peek_at(1), Some(t) if t.kind == TokKind::String) {
+            self.pos += 1;
+            return Ok(Expr::Literal(Literal::Time(self.string_unquoted()?)));
+        }
+        if self.is_kw("TIMESTAMP")
+            && matches!(self.peek_at(1), Some(t) if t.kind == TokKind::String)
+        {
+            self.pos += 1;
+            return Ok(Expr::Literal(Literal::Timestamp(self.string_unquoted()?)));
+        }
+        if self.eat_kw("INTERVAL") {
+            let negative = if self.eat_punct("-") {
+                true
+            } else {
+                let _ = self.eat_punct("+");
+                false
+            };
+            let value = self.string_unquoted()?;
+            let qualifier = self.interval_qualifier()?;
+            return Ok(Expr::Literal(Literal::Interval { negative, value, qualifier }));
+        }
+        if self.is_punct("(") {
+            // scalar subquery vs parenthesized expression
+            if self.is_kw_at(1, "SELECT") || self.is_kw_at(1, "WITH") {
+                self.pos += 1;
+                let q = self.query()?;
+                self.expect_punct(")")?;
+                return Ok(Expr::Subquery(Box::new(q)));
+            }
+            self.pos += 1;
+            let inner = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Nested(Box::new(inner)));
+        }
+        if self.is_kw("CASE") {
+            return self.case();
+        }
+        if self.eat_kw("CAST") {
+            self.expect_punct("(")?;
+            let expr = self.value_expression()?;
+            self.expect_kw("AS")?;
+            let data_type = self.data_type()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Cast { expr: Box::new(expr), data_type });
+        }
+        if self.eat_kw("NULLIF") {
+            self.expect_punct("(")?;
+            let a = self.value_expression()?;
+            self.expect_punct(",")?;
+            let b = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Function {
+                name: "NULLIF".into(),
+                quantifier: None,
+                args: vec![a, b],
+            });
+        }
+        if self.eat_kw("COALESCE") {
+            self.expect_punct("(")?;
+            let mut args = vec![self.value_expression()?];
+            while self.eat_punct(",") {
+                args.push(self.value_expression()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(Expr::Function { name: "COALESCE".into(), quantifier: None, args });
+        }
+        if self.eat_kw("SUBSTRING") {
+            self.expect_punct("(")?;
+            let expr = self.value_expression()?;
+            self.expect_kw("FROM")?;
+            let from = self.value_expression()?;
+            let len = if self.eat_kw("FOR") {
+                Some(Box::new(self.value_expression()?))
+            } else {
+                None
+            };
+            self.expect_punct(")")?;
+            return Ok(Expr::Substring { expr: Box::new(expr), from: Box::new(from), len });
+        }
+        if self.eat_kw("TRIM") {
+            self.expect_punct("(")?;
+            let spec = self
+                .eat_any_kw(&["LEADING", "TRAILING", "BOTH"])
+                .map(str::to_string);
+            if spec.is_some() {
+                self.expect_kw("FROM")?;
+            }
+            let expr = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Trim { spec, expr: Box::new(expr) });
+        }
+        if self.eat_kw("POSITION") {
+            self.expect_punct("(")?;
+            let needle = self.value_expression()?;
+            self.expect_kw("IN")?;
+            let haystack = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Position {
+                needle: Box::new(needle),
+                haystack: Box::new(haystack),
+            });
+        }
+        if self.eat_kw("EXTRACT") {
+            self.expect_punct("(")?;
+            let field = self
+                .eat_any_kw(&["YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND"])
+                .ok_or_else(|| self.err("expected datetime field"))?
+                .to_string();
+            self.expect_kw("FROM")?;
+            let expr = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Extract { field, expr: Box::new(expr) });
+        }
+        if let Some(name) =
+            self.eat_any_kw(&["CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP"])
+        {
+            return Ok(Expr::Function {
+                name: name.to_string(),
+                quantifier: None,
+                args: Vec::new(),
+            });
+        }
+        // single-argument functions keyed by keyword
+        if let Some(name) = self.eat_any_kw(&[
+            "UPPER", "LOWER", "CHAR_LENGTH", "CHARACTER_LENGTH", "ABS", "FLOOR", "CEIL",
+            "CEILING", "SQRT", "LN", "EXP",
+        ]) {
+            self.expect_punct("(")?;
+            let arg = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Function {
+                name: name.to_string(),
+                quantifier: None,
+                args: vec![arg],
+            });
+        }
+        if let Some(name) = self.eat_any_kw(&["MOD", "POWER"]) {
+            self.expect_punct("(")?;
+            let a = self.value_expression()?;
+            self.expect_punct(",")?;
+            let b = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Function {
+                name: name.to_string(),
+                quantifier: None,
+                args: vec![a, b],
+            });
+        }
+        if self.eat_kw("COUNT") {
+            self.expect_punct("(")?;
+            if self.eat_punct("*") {
+                self.expect_punct(")")?;
+                return Ok(Expr::Function {
+                    name: "COUNT".into(),
+                    quantifier: None,
+                    args: vec![Expr::Wildcard],
+                });
+            }
+            let quantifier = self.agg_quantifier();
+            let arg = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Function { name: "COUNT".into(), quantifier, args: vec![arg] });
+        }
+        if let Some(name) = self.eat_any_kw(&[
+            "SUM", "AVG", "MIN", "MAX", "STDDEV_POP", "STDDEV_SAMP", "VAR_POP", "VAR_SAMP",
+        ]) {
+            self.expect_punct("(")?;
+            let quantifier = self.agg_quantifier();
+            let arg = self.value_expression()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Function {
+                name: name.to_string(),
+                quantifier,
+                args: vec![arg],
+            });
+        }
+        if let Some(name) = self.eat_any_kw(&["RANK", "DENSE_RANK", "ROW_NUMBER"]) {
+            self.expect_punct("(")?;
+            self.expect_punct(")")?;
+            self.expect_kw("OVER")?;
+            self.expect_punct("(")?;
+            let (partition_by, order_by, frame) = self.window_spec()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::WindowFunction {
+                name: name.to_string(),
+                partition_by,
+                order_by,
+                frame,
+            });
+        }
+        Err(self.err("expected a value expression"))
+    }
+
+    fn agg_quantifier(&mut self) -> Option<SetQuantifier> {
+        if self.eat_kw("DISTINCT") {
+            Some(SetQuantifier::Distinct)
+        } else if self.eat_kw("ALL") {
+            Some(SetQuantifier::All)
+        } else {
+            None
+        }
+    }
+
+    fn case(&mut self) -> Result<Expr, BaselineError> {
+        self.expect_kw("CASE")?;
+        let operand = if self.is_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.value_expression()?))
+        };
+        let mut when_then = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = if operand.is_some() {
+                self.value_expression()?
+            } else {
+                self.search_condition()?
+            };
+            self.expect_kw("THEN")?;
+            let then = self.value_expression()?;
+            when_then.push((cond, then));
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.value_expression()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, when_then, else_expr })
+    }
+
+    fn interval_qualifier(&mut self) -> Result<String, BaselineError> {
+        let first = self
+            .eat_any_kw(&["YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND"])
+            .ok_or_else(|| self.err("expected interval field"))?;
+        let mut out = first.to_string();
+        if self.eat_kw("TO") {
+            let second = self
+                .eat_any_kw(&["YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND"])
+                .ok_or_else(|| self.err("expected interval field"))?;
+            out.push_str(" TO ");
+            out.push_str(second);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------ types
+
+    fn data_type(&mut self) -> Result<DataType, BaselineError> {
+        let scalar = self.scalar_type()?;
+        if self.eat_kw("ARRAY") {
+            let bound = if self.eat_punct("[") {
+                let n = self.number()?;
+                self.expect_punct("]")?;
+                Some(n)
+            } else {
+                None
+            };
+            return Ok(DataType::Array { element: Box::new(scalar), bound });
+        }
+        Ok(scalar)
+    }
+
+    fn paren_len(&mut self) -> Result<Option<String>, BaselineError> {
+        if self.eat_punct("(") {
+            let n = self.number()?;
+            self.expect_punct(")")?;
+            Ok(Some(n))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<DataType, BaselineError> {
+        if self.eat_kw("CHARACTER") || self.eat_kw("CHAR") {
+            let varying = self.eat_kw("VARYING");
+            let length = self.paren_len()?;
+            return Ok(DataType::Character { varying, length });
+        }
+        if self.eat_kw("VARCHAR") {
+            return Ok(DataType::Varchar(self.paren_len()?));
+        }
+        if self.eat_kw("CLOB") {
+            return Ok(DataType::Clob);
+        }
+        if self.eat_kw("NUMERIC") || self.eat_kw("DECIMAL") || self.eat_kw("DEC") {
+            let mut precision = None;
+            let mut scale = None;
+            if self.eat_punct("(") {
+                precision = Some(self.number()?);
+                if self.eat_punct(",") {
+                    scale = Some(self.number()?);
+                }
+                self.expect_punct(")")?;
+            }
+            return Ok(DataType::Decimal { precision, scale });
+        }
+        if self.eat_kw("SMALLINT") {
+            return Ok(DataType::SmallInt);
+        }
+        if self.eat_kw("INTEGER") || self.eat_kw("INT") {
+            return Ok(DataType::Integer);
+        }
+        if self.eat_kw("BIGINT") {
+            return Ok(DataType::BigInt);
+        }
+        if self.eat_kw("FLOAT") {
+            return Ok(DataType::Float(self.paren_len()?));
+        }
+        if self.eat_kw("REAL") {
+            return Ok(DataType::Real);
+        }
+        if self.eat_kw("DOUBLE") {
+            self.expect_kw("PRECISION")?;
+            return Ok(DataType::Double);
+        }
+        if self.eat_kw("BOOLEAN") {
+            return Ok(DataType::Boolean);
+        }
+        if self.eat_kw("DATE") {
+            return Ok(DataType::Date);
+        }
+        if self.eat_kw("TIME") || self.is_kw("TIMESTAMP") {
+            let is_time = !self.eat_kw("TIMESTAMP");
+            let precision = self.paren_len()?;
+            let with_time_zone = if self.eat_kw("WITH") {
+                self.expect_kw("TIME")?;
+                self.expect_kw("ZONE")?;
+                Some(true)
+            } else if self.eat_kw("WITHOUT") {
+                self.expect_kw("TIME")?;
+                self.expect_kw("ZONE")?;
+                Some(false)
+            } else {
+                None
+            };
+            return Ok(if is_time {
+                DataType::Time { precision, with_time_zone }
+            } else {
+                DataType::Timestamp { precision, with_time_zone }
+            });
+        }
+        if self.eat_kw("INTERVAL") {
+            return Ok(DataType::Interval(self.interval_qualifier()?));
+        }
+        if self.eat_kw("BLOB") {
+            return Ok(DataType::Blob);
+        }
+        if self.eat_kw("BINARY") {
+            let varying = self.eat_kw("VARYING");
+            let length = self.paren_len()?;
+            return Ok(DataType::Binary { varying, length });
+        }
+        Err(self.err("expected a data type"))
+    }
+
+    // ------------------------------------------------------------ DML
+
+    fn insert(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.qualified_name()?;
+        let columns = if self.is_punct("(") {
+            self.pos += 1;
+            let cols = self.ident_list()?;
+            self.expect_punct(")")?;
+            cols
+        } else {
+            Vec::new()
+        };
+        let source = if self.is_kw("DEFAULT") && self.is_kw_at(1, "VALUES") {
+            self.pos += 2;
+            InsertSource::DefaultValues
+        } else if self.eat_kw("VALUES") {
+            let mut rows = vec![self.row_constructor()?];
+            while self.eat_punct(",") {
+                rows.push(self.row_constructor()?);
+            }
+            InsertSource::Values(rows)
+        } else {
+            InsertSource::Query(Box::new(self.query()?))
+        };
+        Ok(Statement::Insert(Insert { table, columns, source }))
+    }
+
+    fn row_constructor(&mut self) -> Result<Vec<Expr>, BaselineError> {
+        self.expect_punct("(")?;
+        let mut row = vec![self.insert_value()?];
+        while self.eat_punct(",") {
+            row.push(self.insert_value()?);
+        }
+        self.expect_punct(")")?;
+        Ok(row)
+    }
+
+    fn insert_value(&mut self) -> Result<Expr, BaselineError> {
+        if self.eat_kw("DEFAULT") {
+            Ok(Expr::Default)
+        } else {
+            self.value_expression()
+        }
+    }
+
+    fn assignments(&mut self) -> Result<Vec<(String, Expr)>, BaselineError> {
+        let mut out = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_punct("=")?;
+            let value = if self.eat_kw("DEFAULT") {
+                Expr::Default
+            } else {
+                self.value_expression()?
+            };
+            out.push((col, value));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn where_selection(&mut self) -> Result<Option<UpdateSelection>, BaselineError> {
+        if !self.eat_kw("WHERE") {
+            return Ok(None);
+        }
+        if self.eat_kw("CURRENT") {
+            self.expect_kw("OF")?;
+            return Ok(Some(UpdateSelection::CurrentOf(self.ident()?)));
+        }
+        Ok(Some(UpdateSelection::Searched(self.search_condition()?)))
+    }
+
+    fn update(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.qualified_name()?;
+        self.expect_kw("SET")?;
+        let assignments = self.assignments()?;
+        let selection = self.where_selection()?;
+        Ok(Statement::Update(Update { table, assignments, selection }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.qualified_name()?;
+        let selection = self.where_selection()?;
+        Ok(Statement::Delete(Delete { table, selection }))
+    }
+
+    fn merge(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("MERGE")?;
+        self.expect_kw("INTO")?;
+        let target = self.qualified_name()?;
+        self.expect_kw("USING")?;
+        let source = self.qualified_name()?;
+        self.expect_kw("ON")?;
+        let on = self.search_condition()?;
+        let mut when = Vec::new();
+        while self.eat_kw("WHEN") {
+            if self.eat_kw("MATCHED") {
+                self.expect_kw("THEN")?;
+                self.expect_kw("UPDATE")?;
+                self.expect_kw("SET")?;
+                when.push(MergeWhen::MatchedUpdate(self.assignments()?));
+            } else {
+                self.expect_kw("NOT")?;
+                self.expect_kw("MATCHED")?;
+                self.expect_kw("THEN")?;
+                self.expect_kw("INSERT")?;
+                let columns = if self.is_punct("(") {
+                    self.pos += 1;
+                    let cols = self.ident_list()?;
+                    self.expect_punct(")")?;
+                    cols
+                } else {
+                    Vec::new()
+                };
+                self.expect_kw("VALUES")?;
+                let values = self.row_constructor()?;
+                when.push(MergeWhen::NotMatchedInsert { columns, values });
+            }
+        }
+        Ok(Statement::Merge(Merge { target, source, on, when }))
+    }
+
+    // ------------------------------------------------------------ DDL
+
+    fn create(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("CREATE")?;
+        let temporary = if self.eat_kw("GLOBAL") {
+            self.expect_kw("TEMPORARY")?;
+            Some(TableScope::Global)
+        } else if self.eat_kw("LOCAL") {
+            self.expect_kw("TEMPORARY")?;
+            Some(TableScope::Local)
+        } else {
+            None
+        };
+        if self.eat_kw("TABLE") {
+            return self.create_table(temporary);
+        }
+        if temporary.is_some() {
+            return Err(self.err("expected TABLE after TEMPORARY"));
+        }
+        let recursive = self.eat_kw("RECURSIVE");
+        if self.eat_kw("VIEW") {
+            return self.create_view(recursive);
+        }
+        if recursive {
+            return Err(self.err("expected VIEW after RECURSIVE"));
+        }
+        if self.eat_kw("SCHEMA") {
+            let name = self.ident()?;
+            let authorization = if self.eat_kw("AUTHORIZATION") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::CreateSchema { name, authorization });
+        }
+        if self.eat_kw("DOMAIN") {
+            let name = self.ident()?;
+            let _ = self.eat_kw("AS");
+            let data_type = self.data_type()?;
+            let default = if self.eat_kw("DEFAULT") {
+                Some(self.literal()?)
+            } else {
+                None
+            };
+            let check = if self.eat_kw("CHECK") {
+                self.expect_punct("(")?;
+                let e = self.search_condition()?;
+                self.expect_punct(")")?;
+                Some(e)
+            } else {
+                None
+            };
+            return Ok(Statement::CreateDomain { name, data_type, default, check });
+        }
+        Err(self.err("expected TABLE/VIEW/SCHEMA/DOMAIN after CREATE"))
+    }
+
+    fn literal(&mut self) -> Result<Literal, BaselineError> {
+        if let Some(t) = self.peek() {
+            match t.kind {
+                TokKind::Number => return Ok(Literal::Number(self.number()?)),
+                TokKind::String => return Ok(Literal::String(self.string_unquoted()?)),
+                _ => {}
+            }
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(Literal::Boolean(true));
+        }
+        if self.eat_kw("FALSE") {
+            return Ok(Literal::Boolean(false));
+        }
+        if self.eat_kw("NULL") {
+            return Ok(Literal::Null);
+        }
+        if self.eat_kw("DATE") {
+            return Ok(Literal::Date(self.string_unquoted()?));
+        }
+        if self.eat_kw("TIME") {
+            return Ok(Literal::Time(self.string_unquoted()?));
+        }
+        if self.eat_kw("TIMESTAMP") {
+            return Ok(Literal::Timestamp(self.string_unquoted()?));
+        }
+        if self.eat_kw("INTERVAL") {
+            let negative = if self.eat_punct("-") {
+                true
+            } else {
+                let _ = self.eat_punct("+");
+                false
+            };
+            let value = self.string_unquoted()?;
+            let qualifier = self.interval_qualifier()?;
+            return Ok(Literal::Interval { negative, value, qualifier });
+        }
+        Err(self.err("expected a literal"))
+    }
+
+    fn create_table(&mut self, temporary: Option<TableScope>) -> Result<Statement, BaselineError> {
+        let name = self.qualified_name()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.is_kw("CONSTRAINT")
+                || self.is_kw("PRIMARY")
+                || self.is_kw("UNIQUE")
+                || self.is_kw("FOREIGN")
+                || self.is_kw("CHECK")
+            {
+                constraints.push(self.table_constraint()?);
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(Statement::CreateTable(CreateTable { name, temporary, columns, constraints }))
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef, BaselineError> {
+        let name = self.ident()?;
+        let data_type = self.data_type()?;
+        let default = if self.eat_kw("DEFAULT") {
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        let identity = if self.eat_kw("GENERATED") {
+            self.expect_kw("ALWAYS")?;
+            self.expect_kw("AS")?;
+            self.expect_kw("IDENTITY")?;
+            true
+        } else {
+            false
+        };
+        let mut constraints = Vec::new();
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                constraints.push(ColumnConstraint::NotNull);
+            } else if self.eat_kw("UNIQUE") {
+                constraints.push(ColumnConstraint::Unique);
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                constraints.push(ColumnConstraint::PrimaryKey);
+            } else if self.eat_kw("CHECK") {
+                self.expect_punct("(")?;
+                let e = self.search_condition()?;
+                self.expect_punct(")")?;
+                constraints.push(ColumnConstraint::Check(e));
+            } else if self.eat_kw("REFERENCES") {
+                let table = self.qualified_name()?;
+                let columns = if self.eat_punct("(") {
+                    let cols = self.ident_list()?;
+                    self.expect_punct(")")?;
+                    cols
+                } else {
+                    Vec::new()
+                };
+                constraints.push(ColumnConstraint::References { table, columns });
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDef { name, data_type, default, identity, constraints })
+    }
+
+    fn table_constraint(&mut self) -> Result<TableConstraint, BaselineError> {
+        let name = if self.eat_kw("CONSTRAINT") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let body = if self.eat_kw("PRIMARY") {
+            self.expect_kw("KEY")?;
+            self.expect_punct("(")?;
+            let cols = self.ident_list()?;
+            self.expect_punct(")")?;
+            TableConstraintBody::PrimaryKey(cols)
+        } else if self.eat_kw("UNIQUE") {
+            self.expect_punct("(")?;
+            let cols = self.ident_list()?;
+            self.expect_punct(")")?;
+            TableConstraintBody::Unique(cols)
+        } else if self.eat_kw("FOREIGN") {
+            self.expect_kw("KEY")?;
+            self.expect_punct("(")?;
+            let columns = self.ident_list()?;
+            self.expect_punct(")")?;
+            self.expect_kw("REFERENCES")?;
+            let table = self.qualified_name()?;
+            let ref_columns = if self.eat_punct("(") {
+                let cols = self.ident_list()?;
+                self.expect_punct(")")?;
+                cols
+            } else {
+                Vec::new()
+            };
+            let mut on_delete = None;
+            let mut on_update = None;
+            while self.eat_kw("ON") {
+                let is_delete = self.eat_kw("DELETE");
+                if !is_delete {
+                    self.expect_kw("UPDATE")?;
+                }
+                let action = self.referential_action()?;
+                if is_delete {
+                    on_delete = Some(action);
+                } else {
+                    on_update = Some(action);
+                }
+            }
+            TableConstraintBody::ForeignKey { columns, table, ref_columns, on_delete, on_update }
+        } else {
+            self.expect_kw("CHECK")?;
+            self.expect_punct("(")?;
+            let e = self.search_condition()?;
+            self.expect_punct(")")?;
+            TableConstraintBody::Check(e)
+        };
+        Ok(TableConstraint { name, body })
+    }
+
+    fn referential_action(&mut self) -> Result<String, BaselineError> {
+        if self.eat_kw("CASCADE") {
+            return Ok("CASCADE".into());
+        }
+        if self.eat_kw("RESTRICT") {
+            return Ok("RESTRICT".into());
+        }
+        if self.eat_kw("SET") {
+            if self.eat_kw("NULL") {
+                return Ok("SET NULL".into());
+            }
+            self.expect_kw("DEFAULT")?;
+            return Ok("SET DEFAULT".into());
+        }
+        self.expect_kw("NO")?;
+        self.expect_kw("ACTION")?;
+        Ok("NO ACTION".into())
+    }
+
+    fn create_view(&mut self, recursive: bool) -> Result<Statement, BaselineError> {
+        let name = self.qualified_name()?;
+        let columns = if self.eat_punct("(") {
+            let cols = self.ident_list()?;
+            self.expect_punct(")")?;
+            cols
+        } else {
+            Vec::new()
+        };
+        self.expect_kw("AS")?;
+        let query = self.query()?;
+        let with_check_option = if self.eat_kw("WITH") {
+            self.expect_kw("CHECK")?;
+            self.expect_kw("OPTION")?;
+            true
+        } else {
+            false
+        };
+        Ok(Statement::CreateView(CreateView {
+            name,
+            recursive,
+            columns,
+            query: Box::new(query),
+            with_check_option,
+        }))
+    }
+
+    fn alter_table(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("ALTER")?;
+        self.expect_kw("TABLE")?;
+        let name = self.qualified_name()?;
+        let action = if self.eat_kw("ADD") {
+            if self.is_kw("CONSTRAINT")
+                || self.is_kw("PRIMARY")
+                || self.is_kw("UNIQUE")
+                || self.is_kw("FOREIGN")
+                || self.is_kw("CHECK")
+            {
+                AlterAction::AddConstraint(self.table_constraint()?)
+            } else {
+                let _ = self.eat_kw("COLUMN");
+                AlterAction::AddColumn(self.column_def()?)
+            }
+        } else if self.eat_kw("DROP") {
+            if self.eat_kw("CONSTRAINT") {
+                let cname = self.ident()?;
+                AlterAction::DropConstraint { name: cname, behavior: self.drop_behavior() }
+            } else {
+                let _ = self.eat_kw("COLUMN");
+                let cname = self.ident()?;
+                AlterAction::DropColumn { name: cname, behavior: self.drop_behavior() }
+            }
+        } else {
+            self.expect_kw("ALTER")?;
+            let _ = self.eat_kw("COLUMN");
+            let cname = self.ident()?;
+            if self.eat_kw("SET") {
+                self.expect_kw("DEFAULT")?;
+                AlterAction::SetDefault { name: cname, default: self.literal()? }
+            } else {
+                self.expect_kw("DROP")?;
+                self.expect_kw("DEFAULT")?;
+                AlterAction::DropDefault { name: cname }
+            }
+        };
+        Ok(Statement::AlterTable { name, action })
+    }
+
+    fn drop_behavior(&mut self) -> Option<DropBehavior> {
+        if self.eat_kw("CASCADE") {
+            Some(DropBehavior::Cascade)
+        } else if self.eat_kw("RESTRICT") {
+            Some(DropBehavior::Restrict)
+        } else {
+            None
+        }
+    }
+
+    fn drop(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("DROP")?;
+        let kind = if self.eat_kw("TABLE") {
+            ObjectKind::Table
+        } else if self.eat_kw("VIEW") {
+            ObjectKind::View
+        } else if self.eat_kw("SCHEMA") {
+            ObjectKind::Schema
+        } else {
+            self.expect_kw("DOMAIN")?;
+            ObjectKind::Domain
+        };
+        let name = self.qualified_name()?;
+        Ok(Statement::Drop { kind, name, behavior: self.drop_behavior() })
+    }
+
+    // ------------------------------------------------------------ DCL / TCL
+
+    fn privileges(&mut self) -> Result<Privileges, BaselineError> {
+        if self.eat_kw("ALL") {
+            self.expect_kw("PRIVILEGES")?;
+            return Ok(Privileges::All);
+        }
+        let mut actions = Vec::new();
+        loop {
+            let a = self
+                .eat_any_kw(&[
+                    "SELECT", "INSERT", "UPDATE", "DELETE", "REFERENCES", "USAGE", "TRIGGER",
+                ])
+                .ok_or_else(|| self.err("expected a privilege"))?;
+            actions.push(a.to_string());
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Privileges::Actions(actions))
+    }
+
+    fn object_name(&mut self) -> Result<QualifiedName, BaselineError> {
+        let _ = self.eat_kw("TABLE");
+        self.qualified_name()
+    }
+
+    fn grantees(&mut self) -> Result<Vec<String>, BaselineError> {
+        let mut out = Vec::new();
+        loop {
+            if self.eat_kw("PUBLIC") {
+                out.push("PUBLIC".to_string());
+            } else {
+                out.push(self.ident()?);
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn grant(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("GRANT")?;
+        let privileges = self.privileges()?;
+        self.expect_kw("ON")?;
+        let object = self.object_name()?;
+        self.expect_kw("TO")?;
+        let grantees = self.grantees()?;
+        let grant_option = if self.eat_kw("WITH") {
+            self.expect_kw("GRANT")?;
+            self.expect_kw("OPTION")?;
+            true
+        } else {
+            false
+        };
+        Ok(Statement::Grant(Grant {
+            privileges,
+            object,
+            grantees,
+            grant_option,
+            behavior: None,
+        }))
+    }
+
+    fn revoke(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("REVOKE")?;
+        let grant_option = if self.eat_kw("GRANT") {
+            self.expect_kw("OPTION")?;
+            self.expect_kw("FOR")?;
+            true
+        } else {
+            false
+        };
+        let privileges = self.privileges()?;
+        self.expect_kw("ON")?;
+        let object = self.object_name()?;
+        self.expect_kw("FROM")?;
+        let grantees = self.grantees()?;
+        let behavior = self.drop_behavior();
+        Ok(Statement::Revoke(Grant {
+            privileges,
+            object,
+            grantees,
+            grant_option,
+            behavior,
+        }))
+    }
+
+    fn transaction_mode(&mut self) -> Result<String, BaselineError> {
+        if self.eat_kw("READ") {
+            if self.eat_kw("ONLY") {
+                return Ok("READ ONLY".into());
+            }
+            self.expect_kw("WRITE")?;
+            return Ok("READ WRITE".into());
+        }
+        self.expect_kw("ISOLATION")?;
+        self.expect_kw("LEVEL")?;
+        if self.eat_kw("READ") {
+            if self.eat_kw("UNCOMMITTED") {
+                return Ok("ISOLATION LEVEL READ UNCOMMITTED".into());
+            }
+            self.expect_kw("COMMITTED")?;
+            return Ok("ISOLATION LEVEL READ COMMITTED".into());
+        }
+        if self.eat_kw("REPEATABLE") {
+            self.expect_kw("READ")?;
+            return Ok("ISOLATION LEVEL REPEATABLE READ".into());
+        }
+        self.expect_kw("SERIALIZABLE")?;
+        Ok("ISOLATION LEVEL SERIALIZABLE".into())
+    }
+
+    fn transaction_modes(&mut self) -> Result<Vec<String>, BaselineError> {
+        let mut out = vec![self.transaction_mode()?];
+        while self.eat_punct(",") {
+            out.push(self.transaction_mode()?);
+        }
+        Ok(out)
+    }
+
+    fn transaction(&mut self) -> Result<Statement, BaselineError> {
+        if self.eat_kw("START") {
+            self.expect_kw("TRANSACTION")?;
+            let modes = if self.is_kw("READ") || self.is_kw("ISOLATION") {
+                self.transaction_modes()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Statement::Transaction(TransactionStatement::Start(modes)));
+        }
+        if self.eat_kw("COMMIT") {
+            let _ = self.eat_kw("WORK");
+            return Ok(Statement::Transaction(TransactionStatement::Commit));
+        }
+        if self.eat_kw("ROLLBACK") {
+            let _ = self.eat_kw("WORK");
+            if self.eat_kw("TO") {
+                let _ = self.eat_kw("SAVEPOINT");
+                let name = self.ident()?;
+                return Ok(Statement::Transaction(TransactionStatement::RollbackTo(name)));
+            }
+            return Ok(Statement::Transaction(TransactionStatement::Rollback));
+        }
+        if self.eat_kw("SAVEPOINT") {
+            let name = self.ident()?;
+            return Ok(Statement::Transaction(TransactionStatement::Savepoint(name)));
+        }
+        self.expect_kw("RELEASE")?;
+        self.expect_kw("SAVEPOINT")?;
+        let name = self.ident()?;
+        Ok(Statement::Transaction(TransactionStatement::Release(name)))
+    }
+
+    fn set_statement(&mut self) -> Result<Statement, BaselineError> {
+        self.expect_kw("SET")?;
+        if self.eat_kw("SCHEMA") {
+            let v = self.ident_or_string()?;
+            return Ok(Statement::Session(SessionStatement::SetSchema(v)));
+        }
+        if self.eat_kw("ROLE") {
+            let v = if self.eat_kw("NONE") {
+                "NONE".to_string()
+            } else {
+                self.ident_or_string()?
+            };
+            return Ok(Statement::Session(SessionStatement::SetRole(v)));
+        }
+        if self.eat_kw("SESSION") {
+            self.expect_kw("AUTHORIZATION")?;
+            let v = self.ident_or_string()?;
+            return Ok(Statement::Session(SessionStatement::SetSessionAuthorization(v)));
+        }
+        if self.eat_kw("TIME") {
+            self.expect_kw("ZONE")?;
+            let v = if self.eat_kw("LOCAL") {
+                "LOCAL".to_string()
+            } else {
+                format!("'{}'", self.string_unquoted()?.replace('\'', "''"))
+            };
+            return Ok(Statement::Session(SessionStatement::SetTimeZone(v)));
+        }
+        let local = self.eat_kw("LOCAL");
+        self.expect_kw("TRANSACTION")?;
+        let modes = self.transaction_modes()?;
+        Ok(Statement::Transaction(TransactionStatement::SetTransaction { local, modes }))
+    }
+
+    fn ident_or_string(&mut self) -> Result<String, BaselineError> {
+        match self.peek() {
+            Some(t) if t.kind == TokKind::String => {
+                let raw = t.text.clone();
+                self.pos += 1;
+                Ok(raw)
+            }
+            _ => self.ident(),
+        }
+    }
+
+    // ------------------------------------------------------------ cursors
+
+    fn cursor(&mut self) -> Result<Statement, BaselineError> {
+        if self.eat_kw("DECLARE") {
+            let name = self.ident()?;
+            let sensitivity = self
+                .eat_any_kw(&["SENSITIVE", "INSENSITIVE", "ASENSITIVE"])
+                .map(str::to_string);
+            let scroll = if self.eat_kw("NO") {
+                self.expect_kw("SCROLL")?;
+                Some(false)
+            } else if self.eat_kw("SCROLL") {
+                Some(true)
+            } else {
+                None
+            };
+            self.expect_kw("CURSOR")?;
+            let hold = if self.eat_kw("WITH") {
+                self.expect_kw("HOLD")?;
+                Some(true)
+            } else if self.eat_kw("WITHOUT") {
+                self.expect_kw("HOLD")?;
+                Some(false)
+            } else {
+                None
+            };
+            self.expect_kw("FOR")?;
+            let query = self.query()?;
+            return Ok(Statement::Cursor(CursorStatement::Declare {
+                name,
+                sensitivity,
+                scroll,
+                hold,
+                query: Box::new(query),
+            }));
+        }
+        if self.eat_kw("OPEN") {
+            return Ok(Statement::Cursor(CursorStatement::Open(self.ident()?)));
+        }
+        if self.eat_kw("CLOSE") {
+            return Ok(Statement::Cursor(CursorStatement::Close(self.ident()?)));
+        }
+        self.expect_kw("FETCH")?;
+        let orientation = if let Some(o) = self.eat_any_kw(&["NEXT", "PRIOR", "FIRST", "LAST"]) {
+            Some(o.to_string())
+        } else if let Some(o) = self.eat_any_kw(&["ABSOLUTE", "RELATIVE"]) {
+            Some(format!("{o} {}", self.number()?))
+        } else {
+            None
+        };
+        let _ = self.eat_kw("FROM");
+        let name = self.ident()?;
+        Ok(Statement::Cursor(CursorStatement::Fetch { orientation, name }))
+    }
+}
+
+/// Interned keyword strings returned by `eat_any_kw`.
+const KW_INTERN: &[&str] = &[
+    "RANK", "DENSE_RANK", "ROW_NUMBER", "TRUE", "FALSE", "UNKNOWN", "LN", "EXP",
+    "STDDEV_POP", "STDDEV_SAMP", "VAR_POP", "VAR_SAMP",
+    "ROWS", "RANGE", "PRECEDING", "FOLLOWING", "ALL", "ANY", "SOME", "LEADING", "TRAILING",
+    "BOTH", "YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND", "CURRENT_DATE", "CURRENT_TIME",
+    "CURRENT_TIMESTAMP", "UPPER", "LOWER", "CHAR_LENGTH", "CHARACTER_LENGTH", "ABS", "FLOOR",
+    "CEIL", "CEILING", "SQRT", "MOD", "POWER", "SUM", "AVG", "MIN", "MAX", "SELECT", "INSERT",
+    "UPDATE", "DELETE", "REFERENCES", "USAGE", "TRIGGER", "SENSITIVE", "INSENSITIVE",
+    "ASENSITIVE", "NEXT", "PRIOR", "FIRST", "LAST", "ABSOLUTE", "RELATIVE", "INNER", "LEFT",
+    "RIGHT", "FULL",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_statements() {
+        for sql in [
+            "SELECT a FROM t",
+            "SELECT DISTINCT a, b AS x FROM t, u WHERE a = b AND b > 2",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC",
+            "INSERT INTO t (a) VALUES (1), (2)",
+            "UPDATE t SET a = 1 WHERE b = 2",
+            "DELETE FROM t",
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(10) NOT NULL)",
+            "DROP VIEW v CASCADE",
+            "GRANT ALL PRIVILEGES ON t TO PUBLIC",
+            "START TRANSACTION READ ONLY",
+            "SET TIME ZONE LOCAL",
+            "DECLARE c SCROLL CURSOR FOR SELECT a FROM t",
+        ] {
+            parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT a FROM t trailing garbage ,").is_err());
+        assert!(parse_statement("FOO BAR").is_err());
+    }
+
+    #[test]
+    fn script_parses_multiple() {
+        let stmts = parse_script("SELECT a FROM t; COMMIT;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment B1 — composition and parser-construction cost as the number
+//! of selected features grows.
+//!
+//! The paper's pipeline is meant to run at configuration time ("when a
+//! user selects different features, the required parser is created by
+//! composing these features"); this bench shows the cost is interactive
+//! even for the full catalog: microseconds-to-milliseconds, growing
+//! roughly linearly in selected features.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlweave_dialects::Dialect;
+use sqlweave_sql_features::catalog;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_composition(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("B1_compose");
+    group.sample_size(20);
+    for d in Dialect::ALL {
+        let config = d.configuration();
+        let features = config.len();
+        group.bench_with_input(
+            BenchmarkId::new("compose", format!("{}_{}f", d.name(), features)),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let composed = cat.pipeline().compose(black_box(config)).unwrap();
+                    black_box(composed.grammar.productions().len())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B1_compose_and_build_parser");
+    group.sample_size(10);
+    for d in Dialect::ALL {
+        let config = d.configuration();
+        group.bench_with_input(
+            BenchmarkId::new("build", d.name()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let parser = cat
+                        .pipeline()
+                        .parser_for(black_box(config))
+                        .unwrap();
+                    black_box(parser.stats().productions)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // validation + completion alone (the interactive UI path)
+    let mut group = c.benchmark_group("B1_validate_and_complete");
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let config = d.configuration();
+        group.bench_with_input(
+            BenchmarkId::new("validate", d.name()),
+            &config,
+            |b, config| b.iter(|| cat.model().validate(black_box(config)).is_ok()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_composition
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment B6 — feature-model operation costs: validation, completion,
+//! composition-sequence derivation and configuration counting on the real
+//! SQL:2003 catalog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlweave_dialects::Dialect;
+use sqlweave_feature_model::count::try_count_configurations;
+use sqlweave_feature_model::Configuration;
+use sqlweave_sql_features::catalog;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_model_ops(c: &mut Criterion) {
+    let cat = catalog();
+    let model = cat.model();
+
+    let mut group = c.benchmark_group("B6_validate");
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let config = d.configuration();
+        group.bench_with_input(BenchmarkId::new("validate", d.name()), &config, |b, config| {
+            b.iter(|| black_box(model.validate(black_box(config)).is_ok()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B6_complete");
+    let seeds: [(&str, Vec<&str>); 3] = [
+        ("one_leaf", vec!["where"]),
+        ("query_core", vec!["query_statement", "select_sublist", "where", "group_by"]),
+        (
+            "broad",
+            vec![
+                "query_statement",
+                "select_sublist",
+                "joined_table",
+                "insert_statement",
+                "table_definition",
+                "grant_revoke",
+            ],
+        ),
+    ];
+    for (name, seed) in &seeds {
+        group.bench_with_input(BenchmarkId::new("complete", name), seed, |b, seed| {
+            b.iter(|| {
+                let partial = Configuration::of(seed.iter().copied());
+                black_box(model.complete(&partial).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B6_count_configurations");
+    for diagram in ["table_expression", "query_specification", "predicates", "data_type"] {
+        let sub = cat.diagram(diagram).unwrap();
+        group.bench_with_input(BenchmarkId::new("count", diagram), &sub, |b, sub| {
+            b.iter(|| black_box(try_count_configurations(black_box(sub), 20)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B6_diagram_extraction");
+    group.bench_function("extract_all_45", |b| {
+        b.iter(|| black_box(cat.diagrams().len()))
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_model_ops
+}
+criterion_main!(benches);

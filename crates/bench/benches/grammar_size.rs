@@ -1,0 +1,65 @@
+//! Experiment B3 — the static size table (printed once at bench start) and
+//! the cost of the grammar analyses (FIRST/FOLLOW/LL(1) table) that scale
+//! with grammar size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlweave_bench::{composed, parser};
+use sqlweave_dialects::Dialect;
+use sqlweave_grammar::analysis::analyze;
+use sqlweave_parser_rt::engine::EngineMode;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_size_table() {
+    println!(
+        "\nB3 static size table\n{:<10} {:>9} {:>12} {:>10} {:>11} {:>8} {:>11}",
+        "dialect", "features", "productions", "alts", "table cells", "tokens", "DFA states"
+    );
+    for d in Dialect::ALL {
+        let s = parser(d, EngineMode::Backtracking).stats();
+        println!(
+            "{:<10} {:>9} {:>12} {:>10} {:>11} {:>8} {:>11}",
+            d.name(),
+            d.configuration().len(),
+            s.productions,
+            s.alternatives,
+            s.table_cells,
+            s.token_rules,
+            s.dfa_states
+        );
+    }
+    println!();
+}
+
+fn bench_grammar_size(c: &mut Criterion) {
+    print_size_table();
+
+    let mut group = c.benchmark_group("B3_grammar_analysis");
+    group.sample_size(20);
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let grammar = &composed(d).grammar;
+        group.bench_with_input(BenchmarkId::new("analyze", d.name()), grammar, |b, g| {
+            b.iter(|| black_box(analyze(black_box(g)).unwrap().table_cells()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("B3_flatten");
+    for d in [Dialect::Pico, Dialect::Full] {
+        let grammar = &composed(d).grammar;
+        group.bench_with_input(BenchmarkId::new("flatten", d.name()), grammar, |b, g| {
+            b.iter(|| black_box(sqlweave_grammar::lower::flatten(black_box(g)).productions().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_grammar_size
+}
+criterion_main!(benches);

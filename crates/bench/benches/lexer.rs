@@ -1,0 +1,54 @@
+//! Experiment B5 — lexer-substrate ablation: the compiled minimized-DFA
+//! scanner vs the naive per-rule NFA scanner, plus scaling of scanner
+//! construction with token-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqlweave_bench::{composed, corpus};
+use sqlweave_dialects::Dialect;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lexer(c: &mut Criterion) {
+    // A realistic chunk of SQL text: the full corpus joined.
+    let text: String = corpus(Dialect::Full).join(" ;\n");
+
+    let mut group = c.benchmark_group("B5_scan_throughput");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let tokens = &composed(d).tokens;
+        let scanner = tokens.build().unwrap();
+        // Pico's scanner rejects full-SQL text (unknown characters are only
+        // `||` etc.) — scan the dialect's own corpus instead.
+        let own: String = corpus(d).join(" \n");
+        group.throughput(Throughput::Bytes(own.len() as u64));
+        group.bench_with_input(BenchmarkId::new("dfa", d.name()), &own, |b, own| {
+            b.iter(|| black_box(scanner.scan(black_box(own)).unwrap().len()))
+        });
+        let nfas = tokens.build_rule_nfas().unwrap();
+        group.bench_with_input(BenchmarkId::new("naive_nfa", d.name()), &own, |b, own| {
+            b.iter(|| black_box(scanner.scan_naive(black_box(own), &nfas).unwrap().len()))
+        });
+    }
+    group.finish();
+
+    // Scanner construction cost per dialect (token files -> minimized DFA).
+    let mut group = c.benchmark_group("B5_scanner_construction");
+    group.sample_size(20);
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let tokens = &composed(d).tokens;
+        group.bench_with_input(BenchmarkId::new("build", d.name()), tokens, |b, tokens| {
+            b.iter(|| black_box(tokens.build().unwrap().dfa_states()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_lexer
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment B2 — parse throughput across the dialect ladder, against the
+//! monolithic baseline.
+//!
+//! The headline shape the paper's motivation implies: a tailored parser is
+//! *at least* as fast as the full composed parser on the statements it
+//! supports (smaller FIRST sets, fewer alternatives to try, smaller DFA),
+//! and the hand-written baseline bounds what a conventional monolithic
+//! parser achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqlweave_baseline::parse_script;
+use sqlweave_bench::{corpus, generated, parser};
+use sqlweave_dialects::Dialect;
+use sqlweave_parser_rt::engine::EngineMode;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_throughput(c: &mut Criterion) {
+    // --- own-corpus throughput per dialect parser ---
+    let mut group = c.benchmark_group("B2_corpus_throughput");
+    for d in Dialect::ALL {
+        let stmts = corpus(d);
+        let bytes: usize = stmts.iter().map(|s| s.len()).sum();
+        let p = parser(d, EngineMode::Backtracking);
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::new("composed", d.name()), &stmts, |b, stmts| {
+            b.iter(|| {
+                for s in stmts {
+                    black_box(p.parse(black_box(s)).unwrap());
+                }
+            })
+        });
+        // the baseline parses every dialect's corpus (it is the full language)
+        group.bench_with_input(BenchmarkId::new("baseline", d.name()), &stmts, |b, stmts| {
+            b.iter(|| {
+                for s in stmts {
+                    black_box(parse_script(black_box(s)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // --- shared subset: who parses simple SELECTs fastest? ---
+    // The crossover claim: on pico statements, the pico parser beats the
+    // full composed parser (fewer alternatives/tokens), with the baseline
+    // as the conventional reference.
+    let mut group = c.benchmark_group("B2_shared_subset");
+    let stmts = corpus(Dialect::Pico);
+    let bytes: usize = stmts.iter().map(|s| s.len()).sum();
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let p = parser(d, EngineMode::Backtracking);
+        group.bench_with_input(
+            BenchmarkId::new("composed", d.name()),
+            &stmts,
+            |b, stmts| {
+                b.iter(|| {
+                    for s in stmts {
+                        black_box(p.parse(black_box(s)).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.bench_function("baseline/monolithic", |b| {
+        b.iter(|| {
+            for s in &stmts {
+                black_box(parse_script(black_box(s)).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    // --- generated stress workload ---
+    let mut group = c.benchmark_group("B2_generated_workload");
+    group.sample_size(20);
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let workload = generated(d, 0xbeef, 200, 9);
+        let bytes: usize = workload.iter().map(|s| s.len()).sum();
+        let p = parser(d, EngineMode::Backtracking);
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new("composed", d.name()),
+            &workload,
+            |b, workload| {
+                b.iter(|| {
+                    for s in workload {
+                        black_box(p.parse(black_box(s)).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_throughput
+}
+criterion_main!(benches);

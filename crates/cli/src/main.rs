@@ -1,0 +1,279 @@
+//! `sqlweave` — command-line interface to the SQL parser product line.
+//!
+//! This is the interactive tooling the paper leaves as future work ("we are
+//! creating an implementation model and a user interface presenting various
+//! SQL statements and their features"): list and render feature diagrams,
+//! compose dialects from feature selections, parse statements against a
+//! dialect, and emit generated parser source.
+//!
+//! ```text
+//! sqlweave features [DIAGRAM]          list diagrams / render one as ASCII
+//! sqlweave census                      per-diagram feature census
+//! sqlweave compose FEATURE...          compose features, print the grammar
+//! sqlweave parse --dialect NAME SQL    parse a statement (CST + AST)
+//! sqlweave check --dialect NAME SQL    accept/reject only (exit code)
+//! sqlweave format --dialect NAME SQL   reformat a script via the AST
+//! sqlweave generate FEATURE...         emit standalone Rust parser source
+//! sqlweave dialects                    list preset dialects with sizes
+//! ```
+
+use sqlweave_dialects::Dialect;
+use sqlweave_feature_model::analysis::census;
+use sqlweave_feature_model::render;
+use sqlweave_sql_features::{catalog, DIAGRAMS};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         sqlweave features [DIAGRAM]\n  \
+         sqlweave census\n  \
+         sqlweave dialects\n  \
+         sqlweave compose FEATURE...\n  \
+         sqlweave parse --dialect NAME 'SQL'\n  \
+         sqlweave check --dialect NAME 'SQL'\n  \
+         sqlweave format --dialect NAME 'SQL'\n  \
+         sqlweave generate FEATURE..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "features" => cmd_features(args.get(1).map(String::as_str)),
+        "census" => cmd_census(),
+        "dialects" => cmd_dialects(),
+        "compose" => cmd_compose(&args[1..]),
+        "parse" => cmd_parse(&args[1..], true),
+        "check" => cmd_parse(&args[1..], false),
+        "format" => cmd_format(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_features(diagram: Option<&str>) -> ExitCode {
+    let cat = catalog();
+    match diagram {
+        None => {
+            println!("{} feature diagrams:", DIAGRAMS.len());
+            for d in DIAGRAMS {
+                let model = cat.diagram(d).expect("diagram exists");
+                println!("  {:<28} {:>4} features", d, model.len());
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match cat.diagram(name) {
+            Some(model) => {
+                print!("{}", render::ascii(&model));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown diagram `{name}`; run `sqlweave features` for the list");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn cmd_census() -> ExitCode {
+    let cat = catalog();
+    let mut total = 0usize;
+    println!("{:<28} {:>8} {:>6} {:>11} {:>15}", "diagram", "features", "depth", "constraints", "configurations");
+    for model in cat.diagrams() {
+        let c = census(&model);
+        total += c.features;
+        println!(
+            "{:<28} {:>8} {:>6} {:>11} {:>15}",
+            c.diagram,
+            c.features,
+            c.depth,
+            c.constraints,
+            c.configurations
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "(huge)".into())
+        );
+    }
+    println!("TOTAL: {} diagrams, {total} features", DIAGRAMS.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_dialects() -> ExitCode {
+    println!(
+        "{:<10} {:>9} {:>12} {:>8} {:>11}",
+        "dialect", "features", "productions", "tokens", "DFA states"
+    );
+    for d in Dialect::ALL {
+        match d.parser() {
+            Ok(p) => {
+                let s = p.stats();
+                println!(
+                    "{:<10} {:>9} {:>12} {:>8} {:>11}",
+                    d.name(),
+                    d.configuration().len(),
+                    s.productions,
+                    s.token_rules,
+                    s.dfa_states
+                );
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", d.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compose(features: &[String]) -> ExitCode {
+    if features.is_empty() {
+        return usage();
+    }
+    let cat = catalog();
+    let config = match cat.complete(features.iter().cloned()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid selection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let composed = match cat.pipeline().compose(&config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("composition failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "-- {} features composed in sequence; {} productions, {} tokens",
+        composed.sequence.len(),
+        composed.grammar.productions().len(),
+        composed.tokens.len()
+    );
+    print!("{}", sqlweave_grammar::print::to_dsl(&composed.grammar));
+    ExitCode::SUCCESS
+}
+
+/// Resolve `--dialect NAME` plus the trailing SQL argument.
+fn dialect_and_sql(args: &[String]) -> Option<(Dialect, String)> {
+    let mut dialect = Dialect::Full;
+    let mut sql = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--dialect" {
+            let name = args.get(i + 1)?;
+            dialect = *Dialect::ALL.iter().find(|d| d.name() == *name)?;
+            i += 2;
+        } else {
+            sql = Some(args[i].clone());
+            i += 1;
+        }
+    }
+    Some((dialect, sql?))
+}
+
+fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
+    let Some((dialect, sql)) = dialect_and_sql(args) else {
+        return usage();
+    };
+    let parser = match dialect.parser() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parser.parse(&sql) {
+        Ok(cst) => {
+            if verbose {
+                println!("-- concrete syntax tree --");
+                print!("{}", cst.pretty());
+                match sqlweave_sql_ast::lower::lower_script(&cst) {
+                    Ok(stmts) => {
+                        println!("-- printed from the AST --");
+                        for s in &stmts {
+                            println!("{}", sqlweave_sql_ast::print::statement(s));
+                        }
+                    }
+                    Err(e) => eprintln!("(lowering failed: {e})"),
+                }
+            } else {
+                println!("accepted by `{}`", dialect.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rejected by `{}`: {e}", dialect.name());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The "SQL:2003 preprocessor" use of the product line: parse a script with
+/// a dialect and print it back normalized from the AST.
+fn cmd_format(args: &[String]) -> ExitCode {
+    let Some((dialect, sql)) = dialect_and_sql(args) else {
+        return usage();
+    };
+    let parser = match dialect.parser() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cst = match parser.parse(&sql) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rejected by `{}`: {e}", dialect.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    match sqlweave_sql_ast::lower::lower_script(&cst) {
+        Ok(stmts) => {
+            for s in &stmts {
+                println!("{};", sqlweave_sql_ast::print::statement(s));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lowering failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(features: &[String]) -> ExitCode {
+    if features.is_empty() {
+        return usage();
+    }
+    let cat = catalog();
+    let config = match cat.complete(features.iter().cloned()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid selection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let composed = match cat.pipeline().compose(&config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("composition failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sqlweave_parser_rt::codegen::generate(&composed.grammar, &composed.tokens) {
+        Ok(src) => {
+            print!("{src}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("codegen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

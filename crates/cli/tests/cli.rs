@@ -1,0 +1,127 @@
+//! End-to-end tests of the `sqlweave` CLI binary.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sqlweave"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let o = run(&[]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("usage"));
+}
+
+#[test]
+fn features_lists_diagrams() {
+    let o = run(&["features"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("query_specification"));
+    assert!(out.contains("table_expression"));
+    assert!(out.contains("45 feature diagrams"));
+}
+
+#[test]
+fn features_renders_figure2() {
+    let o = run(&["features", "table_expression"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("[m] From"), "{out}");
+    assert!(out.contains("[o] Where"), "{out}");
+    assert!(out.contains("having requires group_by"), "{out}");
+}
+
+#[test]
+fn features_unknown_diagram_fails() {
+    let o = run(&["features", "nonsense"]);
+    assert_eq!(o.status.code(), Some(1));
+}
+
+#[test]
+fn census_reports_totals() {
+    let o = run(&["census"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("45 diagrams"));
+}
+
+#[test]
+fn dialects_prints_size_table() {
+    let o = run(&["dialects"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for d in ["pico", "tiny", "scql", "core", "warehouse", "full"] {
+        assert!(out.contains(d), "{out}");
+    }
+}
+
+#[test]
+fn compose_prints_grammar() {
+    let o = run(&["compose", "query_statement", "select_sublist", "where"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("grammar sql_2003;"), "{out}");
+    assert!(out.contains("where_clause : WHERE search_condition"), "{out}");
+}
+
+#[test]
+fn compose_rejects_unknown_feature() {
+    let o = run(&["compose", "warp_drive"]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stderr(&o).contains("invalid selection"));
+}
+
+#[test]
+fn check_accepts_and_rejects() {
+    let ok = run(&["check", "--dialect", "tiny", "SELECT nodeid FROM sensors SAMPLE PERIOD 10"]);
+    assert!(ok.status.success(), "{}", stderr(&ok));
+
+    let bad = run(&["check", "--dialect", "tiny", "SELECT a AS b FROM t"]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(stderr(&bad).contains("rejected"));
+}
+
+#[test]
+fn parse_prints_cst_and_ast() {
+    let o = run(&["parse", "--dialect", "core", "SELECT a FROM t WHERE a = 1"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("concrete syntax tree"), "{out}");
+    assert!(out.contains("query_specification"), "{out}");
+    assert!(out.contains("SELECT a FROM t WHERE a = 1"), "{out}");
+}
+
+#[test]
+fn format_normalizes_scripts() {
+    let o = run(&[
+        "format",
+        "--dialect",
+        "core",
+        "select   A , b   from T where a=1 ; commit ;",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("SELECT A, b FROM T WHERE a = 1;"), "{out}");
+    assert!(out.contains("COMMIT;"), "{out}");
+}
+
+#[test]
+fn generate_emits_rust_source() {
+    let o = run(&["generate", "query_statement", "select_sublist"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("pub enum TokenKind"), "{out}");
+    assert!(out.contains("fn parse_sql_script"), "{out}");
+}

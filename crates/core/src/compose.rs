@@ -1,0 +1,290 @@
+//! Grammar-level composition over an ordered sequence of feature artifacts.
+
+use crate::error::ComposeError;
+use crate::registry::FeatureArtifact;
+use crate::rules::{compose_into, ComposeDecision};
+use crate::tokens::TokenComposer;
+use sqlweave_grammar::ir::{Grammar, Production};
+use sqlweave_lexgen::tokenset::TokenSet;
+use std::fmt;
+
+/// One composition step, for inspection and the Experiment T2 table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Feature whose sub-grammar contributed the alternative.
+    pub feature: String,
+    /// Production (nonterminal) affected.
+    pub production: String,
+    /// The alternative, rendered as DSL text.
+    pub alternative: String,
+    /// Which rule fired.
+    pub decision: ComposeDecision,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>2}] {:<24} {:<28} {}",
+            self.decision.tag(),
+            self.feature,
+            self.production,
+            self.alternative
+        )
+    }
+}
+
+/// Full record of a composition run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompositionTrace {
+    /// Steps in composition order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl CompositionTrace {
+    /// Count of steps where a given rule fired.
+    pub fn count(&self, decision_tag: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.decision.tag() == decision_tag)
+            .count()
+    }
+
+    /// Render as an aligned table (one line per step).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compose the grammars and token files of `artifacts`, in order, into one
+/// grammar named `name` whose start symbol is `start`.
+///
+/// Grammar rule composition follows R1–R3 per alternative (see
+/// [`crate::rules`]); token files are merged with provenance-aware conflict
+/// detection. The start symbol must be defined by some composed sub-grammar.
+pub fn compose_grammars(
+    name: &str,
+    start: &str,
+    artifacts: &[&FeatureArtifact],
+) -> Result<(Grammar, TokenSet, CompositionTrace), ComposeError> {
+    if artifacts.is_empty() {
+        return Err(ComposeError::EmptyComposition);
+    }
+    let mut grammar = Grammar::new(name, start);
+    let mut tokens = TokenComposer::new();
+    let mut trace = CompositionTrace::default();
+
+    for artifact in artifacts {
+        tokens.add(&artifact.feature, &artifact.tokens)?;
+        let Some(sub) = &artifact.grammar else { continue };
+        for prod in sub.productions() {
+            for alt in &prod.alternatives {
+                let rendered = alt.to_string();
+                let decision = match grammar.production_mut(&prod.name) {
+                    Some(existing) => compose_into(&mut existing.alternatives, alt.clone()),
+                    None => {
+                        grammar.add_production(Production {
+                            name: prod.name.clone(),
+                            alternatives: vec![alt.clone()],
+                        });
+                        ComposeDecision::Appended(0)
+                    }
+                };
+                trace.entries.push(TraceEntry {
+                    feature: artifact.feature.clone(),
+                    production: prod.name.clone(),
+                    alternative: rendered,
+                    decision,
+                });
+            }
+        }
+    }
+
+    if grammar.production(start).is_none() {
+        return Err(ComposeError::NoStartSymbol(start.to_string()));
+    }
+    Ok((grammar, tokens.finish(), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FeatureRegistry;
+
+    fn registry() -> FeatureRegistry {
+        let mut r = FeatureRegistry::new();
+        // The paper's worked example, Section 3.2: Query Specification with
+        // optional Set Quantifier and Table Expression with optional Where.
+        r.register(
+            "query_specification",
+            "grammar query_specification;
+             query_specification : SELECT select_list table_expression ;",
+            "tokens query_specification; SELECT = kw;",
+        )
+        .unwrap();
+        r.register(
+            "set_quantifier",
+            "grammar set_quantifier;
+             query_specification : SELECT set_quantifier? select_list table_expression ;
+             set_quantifier : DISTINCT | ALL ;",
+            "tokens set_quantifier; DISTINCT = kw; ALL = kw;",
+        )
+        .unwrap();
+        r.register(
+            "select_list",
+            "grammar select_list;
+             select_list : select_sublist ;
+             select_sublist : IDENT ;",
+            "tokens select_list; IDENT = /[a-z][a-z0-9_]*/; WS = skip /[ \\t\\r\\n]+/;",
+        )
+        .unwrap();
+        r.register(
+            "table_expression",
+            "grammar table_expression;
+             table_expression : from_clause ;
+             from_clause : FROM IDENT ;",
+            "tokens table_expression; FROM = kw;",
+        )
+        .unwrap();
+        r.register(
+            "where",
+            "grammar where;
+             table_expression : from_clause where_clause? ;
+             where_clause : WHERE IDENT EQ IDENT ;",
+            "tokens where; WHERE = kw; EQ = \"=\";",
+        )
+        .unwrap();
+        r
+    }
+
+    fn artifacts<'a>(r: &'a FeatureRegistry, names: &[&str]) -> Vec<&'a FeatureArtifact> {
+        names.iter().map(|n| r.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn paper_worked_example_composes() {
+        let r = registry();
+        let arts = artifacts(
+            &r,
+            &["query_specification", "select_list", "table_expression"],
+        );
+        let (g, t, _) = compose_grammars("dialect", "query_specification", &arts).unwrap();
+        // query_specification, select_list, select_sublist,
+        // table_expression, from_clause
+        assert_eq!(g.productions().len(), 5);
+        assert!(g.undefined_nonterminals().is_empty());
+        assert_eq!(t.len(), 4); // SELECT IDENT WS FROM
+    }
+
+    #[test]
+    fn optional_feature_replaces_base_production() {
+        let r = registry();
+        let arts = artifacts(
+            &r,
+            &[
+                "query_specification",
+                "set_quantifier",
+                "select_list",
+                "table_expression",
+                "where",
+            ],
+        );
+        let (g, _, trace) = compose_grammars("dialect", "query_specification", &arts).unwrap();
+        // query_specification has ONE alternative: the set_quantifier? form.
+        let qs = g.production("query_specification").unwrap();
+        assert_eq!(qs.alternatives.len(), 1);
+        assert!(qs.alternatives[0].to_string().contains("set_quantifier?"));
+        // table_expression likewise extended with where_clause?.
+        let te = g.production("table_expression").unwrap();
+        assert_eq!(te.alternatives.len(), 1);
+        assert!(te.alternatives[0].to_string().contains("where_clause?"));
+        // Trace saw two R4 optional merges (set_quantifier?, where_clause?).
+        assert_eq!(trace.count("R4"), 2, "\n{}", trace.table());
+    }
+
+    #[test]
+    fn composition_is_idempotent_per_feature() {
+        let r = registry();
+        let arts = artifacts(&r, &["query_specification", "query_specification"]);
+        let (g, _, trace) =
+            compose_grammars("dialect", "query_specification", &arts).unwrap();
+        assert_eq!(
+            g.production("query_specification").unwrap().alternatives.len(),
+            1
+        );
+        assert_eq!(trace.count("="), 1);
+    }
+
+    #[test]
+    fn missing_start_symbol_rejected() {
+        let r = registry();
+        let arts = artifacts(&r, &["select_list"]);
+        assert!(matches!(
+            compose_grammars("dialect", "query_specification", &arts),
+            Err(ComposeError::NoStartSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn empty_composition_rejected() {
+        assert!(matches!(
+            compose_grammars("dialect", "x", &[]),
+            Err(ComposeError::EmptyComposition)
+        ));
+    }
+
+    #[test]
+    fn marker_features_contribute_nothing() {
+        let mut r = registry();
+        r.register("marker", "", "").unwrap();
+        let arts = artifacts(&r, &["query_specification", "marker", "select_list", "table_expression"]);
+        let (g, _, trace) = compose_grammars("d", "query_specification", &arts).unwrap();
+        assert!(trace.entries.iter().all(|e| e.feature != "marker"));
+        assert_eq!(g.productions().len(), 5);
+    }
+
+    #[test]
+    fn token_conflict_across_features_reported() {
+        let mut r = FeatureRegistry::new();
+        r.register("a", "grammar a; x : IDENT ;", "tokens a; IDENT = /[a-z]+/;")
+            .unwrap();
+        r.register("b", "grammar b; y : IDENT ;", "tokens b; IDENT = /[A-Z]+/;")
+            .unwrap();
+        let arts = artifacts(&r, &["a", "b"]);
+        let err = compose_grammars("d", "x", &arts).unwrap_err();
+        assert!(matches!(err, ComposeError::TokenConflict { .. }));
+    }
+
+    #[test]
+    fn alternatives_append_for_or_features() {
+        // Two leaf features contribute different select_list shapes.
+        let mut r = FeatureRegistry::new();
+        r.register("sublist", "grammar s; select_list : IDENT ;", "").unwrap();
+        r.register("asterisk", "grammar a; select_list : STAR ;", "").unwrap();
+        let arts = artifacts(&r, &["sublist", "asterisk"]);
+        let (g, _, trace) = compose_grammars("d", "select_list", &arts).unwrap();
+        assert_eq!(g.production("select_list").unwrap().alternatives.len(), 2);
+        // both steps are appends: the first creates the production, the
+        // second goes through compose_into
+        assert_eq!(trace.count("R3"), 2);
+        assert_eq!(
+            trace.entries.last().unwrap().decision,
+            ComposeDecision::Appended(1)
+        );
+    }
+
+    #[test]
+    fn trace_table_renders() {
+        let r = registry();
+        let arts = artifacts(&r, &["query_specification", "set_quantifier"]);
+        let (_, _, trace) = compose_grammars("d", "query_specification", &arts).unwrap();
+        let table = trace.table();
+        assert!(table.contains("set_quantifier"), "{table}");
+        assert!(table.contains("R4"), "{table}");
+    }
+}

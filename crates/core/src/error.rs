@@ -1,0 +1,153 @@
+//! Error types for composition and the end-to-end pipeline.
+
+use sqlweave_feature_model::ValidationError;
+use sqlweave_grammar::dsl::DslError;
+use sqlweave_lexgen::tokenset::TokenSetError;
+use sqlweave_parser_rt::engine::BuildError;
+use std::fmt;
+
+/// Error during grammar/token composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Two features define the same token differently.
+    TokenConflict {
+        /// The conflicting token name.
+        token: String,
+        /// Feature that first defined it.
+        first_feature: String,
+        /// Feature whose definition clashed.
+        second_feature: String,
+        /// The underlying token-set error.
+        detail: String,
+    },
+    /// Start-symbol resolution failed: no composed feature defines it.
+    NoStartSymbol(String),
+    /// Nothing was composed (empty sequence).
+    EmptyComposition,
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::TokenConflict {
+                token,
+                first_feature,
+                second_feature,
+                detail,
+            } => write!(
+                f,
+                "token `{token}` defined incompatibly by features `{first_feature}` and `{second_feature}`: {detail}"
+            ),
+            ComposeError::NoStartSymbol(s) => {
+                write!(f, "no composed sub-grammar defines the start symbol `{s}`")
+            }
+            ComposeError::EmptyComposition => write!(f, "no features with grammars selected"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// Error registering a feature artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The grammar source failed to parse.
+    BadGrammar { feature: String, error: DslError },
+    /// The token-file source failed to parse.
+    BadTokens { feature: String, error: DslError },
+    /// The token set rejected a rule.
+    BadTokenRule { feature: String, error: TokenSetError },
+    /// An artifact with this feature name is already registered with
+    /// different content.
+    Duplicate(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::BadGrammar { feature, error } => {
+                write!(f, "feature `{feature}`: grammar error: {error}")
+            }
+            RegistryError::BadTokens { feature, error } => {
+                write!(f, "feature `{feature}`: token file error: {error}")
+            }
+            RegistryError::BadTokenRule { feature, error } => {
+                write!(f, "feature `{feature}`: token rule error: {error}")
+            }
+            RegistryError::Duplicate(feature) => {
+                write!(f, "feature `{feature}` registered twice with different artifacts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Error deriving a composition sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequenceError {
+    /// `after`/`requires` edges form a cycle among the listed features.
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::Cycle(names) => {
+                write!(f, "composition-order cycle among: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// End-to-end pipeline error.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The configuration is invalid for the feature model.
+    InvalidConfiguration(ValidationError),
+    /// Composition-order derivation failed.
+    Sequence(SequenceError),
+    /// Grammar/token composition failed.
+    Compose(ComposeError),
+    /// Parser construction failed (open grammar, left recursion, …).
+    Build(BuildError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidConfiguration(e) => write!(f, "{e}"),
+            PipelineError::Sequence(e) => write!(f, "{e}"),
+            PipelineError::Compose(e) => write!(f, "{e}"),
+            PipelineError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ValidationError> for PipelineError {
+    fn from(e: ValidationError) -> Self {
+        PipelineError::InvalidConfiguration(e)
+    }
+}
+
+impl From<SequenceError> for PipelineError {
+    fn from(e: SequenceError) -> Self {
+        PipelineError::Sequence(e)
+    }
+}
+
+impl From<ComposeError> for PipelineError {
+    fn from(e: ComposeError) -> Self {
+        PipelineError::Compose(e)
+    }
+}
+
+impl From<BuildError> for PipelineError {
+    fn from(e: BuildError) -> Self {
+        PipelineError::Build(e)
+    }
+}

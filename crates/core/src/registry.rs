@@ -1,0 +1,223 @@
+//! Binding features to their sub-grammars and token files.
+//!
+//! In the paper every feature obtained during decomposition carries an
+//! LL(k) sub-grammar and a token file, created from the SQL:2003 BNF. A
+//! [`FeatureRegistry`] holds those artifacts keyed by feature name; not
+//! every feature needs one (inner nodes of feature diagrams are often pure
+//! grouping markers whose children carry the grammar fragments).
+
+use crate::error::RegistryError;
+use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+use sqlweave_grammar::ir::Grammar;
+use sqlweave_lexgen::tokenset::TokenSet;
+use std::collections::HashMap;
+
+/// The grammar/token payload of one feature.
+#[derive(Debug, Clone)]
+pub struct FeatureArtifact {
+    /// Feature name (matches the feature-model name).
+    pub feature: String,
+    /// The sub-grammar, if the feature carries syntax.
+    pub grammar: Option<Grammar>,
+    /// The token file (may be empty).
+    pub tokens: TokenSet,
+    /// Features that must be composed *before* this one, beyond what the
+    /// model's structure implies (explicit composition-sequence edges).
+    pub after: Vec<String>,
+}
+
+impl PartialEq for FeatureArtifact {
+    fn eq(&self, other: &Self) -> bool {
+        self.feature == other.feature
+            && self.grammar == other.grammar
+            && self.tokens == other.tokens
+            && self.after == other.after
+    }
+}
+
+/// Feature → artifact map.
+#[derive(Debug, Default, Clone)]
+pub struct FeatureRegistry {
+    artifacts: HashMap<String, FeatureArtifact>,
+    /// Ordering edges added via [`FeatureRegistry::order_after`], kept
+    /// independently of artifact registration so edges may be declared
+    /// before (or without) the artifact.
+    order: HashMap<String, Vec<String>>,
+}
+
+impl FeatureRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        FeatureRegistry::default()
+    }
+
+    /// Register an artifact from DSL sources. `grammar_src` may be empty
+    /// for marker features; `tokens_src` may be empty for token-free ones.
+    pub fn register(
+        &mut self,
+        feature: &str,
+        grammar_src: &str,
+        tokens_src: &str,
+    ) -> Result<(), RegistryError> {
+        let grammar = if grammar_src.trim().is_empty() {
+            None
+        } else {
+            Some(
+                parse_grammar(grammar_src).map_err(|error| RegistryError::BadGrammar {
+                    feature: feature.to_string(),
+                    error,
+                })?,
+            )
+        };
+        let tokens = if tokens_src.trim().is_empty() {
+            TokenSet::new()
+        } else {
+            parse_tokens(tokens_src).map_err(|error| RegistryError::BadTokens {
+                feature: feature.to_string(),
+                error,
+            })?
+        };
+        self.register_artifact(FeatureArtifact {
+            feature: feature.to_string(),
+            grammar,
+            tokens,
+            after: Vec::new(),
+        })
+    }
+
+    /// Register a pre-built artifact.
+    pub fn register_artifact(&mut self, artifact: FeatureArtifact) -> Result<(), RegistryError> {
+        match self.artifacts.get(&artifact.feature) {
+            Some(existing) if *existing == artifact => Ok(()),
+            Some(_) => Err(RegistryError::Duplicate(artifact.feature.clone())),
+            None => {
+                self.artifacts.insert(artifact.feature.clone(), artifact);
+                Ok(())
+            }
+        }
+    }
+
+    /// Add an explicit composition-order edge: `feature` composes after
+    /// `before`. May be called before either feature is registered.
+    pub fn order_after(&mut self, feature: &str, before: &str) {
+        let entry = self.order.entry(feature.to_string()).or_default();
+        if !entry.iter().any(|b| b == before) {
+            entry.push(before.to_string());
+        }
+    }
+
+    /// All composition-order predecessors of `feature` (artifact `after`
+    /// edges plus edges declared with [`FeatureRegistry::order_after`]).
+    pub fn order_edges(&self, feature: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .artifacts
+            .get(feature)
+            .map(|a| a.after.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        if let Some(extra) = self.order.get(feature) {
+            for b in extra {
+                if !out.contains(&b.as_str()) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Look up a feature's artifact.
+    pub fn get(&self, feature: &str) -> Option<&FeatureArtifact> {
+        self.artifacts.get(feature)
+    }
+
+    /// Number of registered artifacts.
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    /// Iterate over artifacts (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &FeatureArtifact> {
+        self.artifacts.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_get() {
+        let mut r = FeatureRegistry::new();
+        r.register(
+            "where",
+            "grammar where; where_clause : WHERE search_condition ;",
+            "tokens where; WHERE = kw;",
+        )
+        .unwrap();
+        let a = r.get("where").unwrap();
+        assert!(a.grammar.is_some());
+        assert_eq!(a.tokens.len(), 1);
+    }
+
+    #[test]
+    fn marker_feature_without_grammar() {
+        let mut r = FeatureRegistry::new();
+        r.register("data_manipulation", "", "").unwrap();
+        let a = r.get("data_manipulation").unwrap();
+        assert!(a.grammar.is_none());
+        assert!(a.tokens.is_empty());
+    }
+
+    #[test]
+    fn bad_grammar_reported_with_feature() {
+        let mut r = FeatureRegistry::new();
+        let err = r.register("broken", "grammar g; a : ", "").unwrap_err();
+        assert!(err.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn duplicate_identical_is_idempotent() {
+        let mut r = FeatureRegistry::new();
+        let src = ("f", "grammar f; a : X ;", "tokens f; X = kw;");
+        r.register(src.0, src.1, src.2).unwrap();
+        r.register(src.0, src.1, src.2).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_conflicting_rejected() {
+        let mut r = FeatureRegistry::new();
+        r.register("f", "grammar f; a : X ;", "tokens f; X = kw;").unwrap();
+        let err = r
+            .register("f", "grammar f; a : Y ;", "tokens f; Y = kw;")
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Duplicate(_)));
+    }
+
+    #[test]
+    fn explicit_ordering_edges() {
+        let mut r = FeatureRegistry::new();
+        r.register("complex_list", "grammar c; a : b (COMMA b)* ;", "").unwrap();
+        r.order_after("complex_list", "sublist");
+        r.order_after("complex_list", "sublist"); // dedup
+        assert_eq!(r.order_edges("complex_list"), ["sublist"]);
+        // edges may also be declared before the artifact exists
+        r.order_after("late", "early");
+        assert_eq!(r.order_edges("late"), ["early"]);
+        // artifact `after` edges and declared edges combine without dupes
+        r.register_artifact(FeatureArtifact {
+            feature: "both".into(),
+            grammar: None,
+            tokens: Default::default(),
+            after: vec!["x".into()],
+        })
+        .unwrap();
+        r.order_after("both", "x");
+        r.order_after("both", "y");
+        assert_eq!(r.order_edges("both"), ["x", "y"]);
+    }
+}

@@ -1,0 +1,461 @@
+//! The paper's production-composition rules (Section 3.2).
+//!
+//! All rules operate on one production's alternative list; grammar-level
+//! composition ([`crate::compose`]) dispatches each incoming alternative
+//! here and records the decision taken.
+
+use sqlweave_grammar::ir::{Alternative, Term};
+
+/// What happened when one alternative was composed into a production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComposeDecision {
+    /// The incoming alternative was identical to an existing one (no-op;
+    /// composition is idempotent).
+    Identical,
+    /// R1: the incoming alternative contains an existing one; the existing
+    /// alternative was replaced. Payload: index of the replaced alternative.
+    Replaced(usize),
+    /// R2: the incoming alternative is contained in an existing one; the
+    /// existing alternative was retained. Payload: index of the retainer.
+    Retained(usize),
+    /// R3: no containment relation; the alternative was appended as a new
+    /// choice. Payload: its new index.
+    Appended(usize),
+    /// R4: the incoming alternative shares its non-optional backbone with an
+    /// existing one but contributes additional optional terms; the two were
+    /// merged into one alternative carrying the union of optionals (in
+    /// composition-sequence order, per the paper's ordering rule). Payload:
+    /// index of the merged alternative.
+    Merged(usize),
+}
+
+impl ComposeDecision {
+    /// Short rule tag for trace tables (`=`, `R1`, `R2`, `R3`, `R4`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ComposeDecision::Identical => "=",
+            ComposeDecision::Replaced(_) => "R1",
+            ComposeDecision::Retained(_) => "R2",
+            ComposeDecision::Appended(_) => "R3",
+            ComposeDecision::Merged(_) => "R4",
+        }
+    }
+}
+
+/// `true` if `haystack` *contains* `needle` in the paper's sense.
+///
+/// Two formalizations are combined, both implied by the paper's examples:
+///
+/// 1. **Prefix containment** — `needle` is a prefix of `haystack`: `BC`
+///    contains `B` (the paper's own R1 example). Infix/suffix containment
+///    is deliberately *not* used: it would make `DATE STRING` swallow a
+///    sibling `STRING` alternative, which extends a different construct.
+/// 2. **Optional-erasure containment** — `needle` is obtained from
+///    `haystack` by deleting only *skippable* terms (`x?` / `(x)*`), in any
+///    position: `SELECT set_quantifier? select_list` contains
+///    `SELECT select_list`, even though the optional sits mid-sequence.
+pub fn seq_contains(haystack: &[Term], needle: &[Term]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    haystack[..needle.len()] == *needle || subseq_modulo_optionals(haystack, needle)
+}
+
+/// A term the composed language can always skip.
+fn skippable(t: &Term) -> bool {
+    matches!(t, Term::Optional(_) | Term::Star(_))
+}
+
+/// Can `needle` be obtained from `haystack` by deleting skippable terms?
+fn subseq_modulo_optionals(haystack: &[Term], needle: &[Term]) -> bool {
+    match (haystack.first(), needle.first()) {
+        (_, None) => haystack.iter().all(skippable),
+        (None, Some(_)) => false,
+        (Some(h), Some(n)) => {
+            (h == n && subseq_modulo_optionals(&haystack[1..], &needle[1..]))
+                || (skippable(h) && subseq_modulo_optionals(&haystack[1..], needle))
+        }
+    }
+}
+
+/// The non-skippable terms of a sequence — its *backbone*.
+fn backbone(seq: &[Term]) -> Vec<&Term> {
+    seq.iter().filter(|t| !skippable(t)).collect()
+}
+
+/// Merge two alternatives that share a backbone: the result carries every
+/// backbone term once, and for each backbone gap, `a`'s optionals followed
+/// by `b`'s (deduplicated). Returns `None` when the backbones differ.
+///
+/// This implements the paper's R4: composing `A: B` with `A: B[C]` (either
+/// order) yields `A: B[C]`, and — crucially for independent optional
+/// features — `A: B[C]` with `A: B[D]` yields `A: B[C][D]`, with `[C]`
+/// before `[D]` because that was the composition order.
+pub fn merge_modulo_optionals(a: &[Term], b: &[Term]) -> Option<Vec<Term>> {
+    if backbone(a) != backbone(b) {
+        return None;
+    }
+    // Split each sequence into gap-segments around backbone terms.
+    fn gaps(seq: &[Term]) -> Vec<Vec<&Term>> {
+        let n_backbone = seq.iter().filter(|t| !skippable(t)).count();
+        let mut out: Vec<Vec<&Term>> = vec![Vec::new(); n_backbone + 1];
+        let mut gap = 0usize;
+        for t in seq {
+            if skippable(t) {
+                out[gap].push(t);
+            } else {
+                gap += 1;
+            }
+        }
+        out
+    }
+    let ga = gaps(a);
+    let gb = gaps(b);
+    let spine: Vec<&Term> = backbone(a);
+    let mut merged: Vec<Term> = Vec::with_capacity(a.len() + b.len());
+    for i in 0..=spine.len() {
+        // Multiset-max union per gap: keep all of `a`'s optionals in order,
+        // then add `b`'s only where `b` has *more* occurrences of a term
+        // than `a` does. A plain set-dedup would collapse `c? c?` into
+        // `c?`, silently shrinking the language (found by proptest).
+        for opt in &ga[i] {
+            merged.push((*opt).clone());
+        }
+        for (bi, opt) in gb[i].iter().enumerate() {
+            let needed = gb[i][..=bi].iter().filter(|t| t == &opt).count();
+            let have = ga[i].iter().filter(|t| t == &opt).count();
+            if needed > have {
+                merged.push((*opt).clone());
+            }
+        }
+        if i < spine.len() {
+            merged.push(spine[i].clone());
+        }
+    }
+    Some(merged)
+}
+
+/// Compose one incoming alternative into an alternative list, applying the
+/// first applicable rule (identity, R4 merge, R2 retain, R1 replace, R3
+/// append) against the first related existing alternative.
+///
+/// Labels: on R1/R4 the incoming label wins if present, otherwise the old
+/// label is kept (an extension refines the same semantic action).
+pub fn compose_into(existing: &mut Vec<Alternative>, incoming: Alternative) -> ComposeDecision {
+    // Identity (idempotence) first.
+    if let Some(i) = existing.iter().position(|a| a.seq == incoming.seq) {
+        if existing[i].label.is_none() {
+            existing[i].label = incoming.label;
+        }
+        return ComposeDecision::Identical;
+    }
+    // R4: same backbone — merge optional contributions.
+    if let Some((i, merged)) = existing
+        .iter()
+        .enumerate()
+        .find_map(|(i, a)| merge_modulo_optionals(&a.seq, &incoming.seq).map(|m| (i, m)))
+    {
+        if merged == existing[i].seq {
+            return ComposeDecision::Retained(i);
+        }
+        let label = incoming
+            .label
+            .clone()
+            .or_else(|| existing[i].label.clone());
+        existing[i] = Alternative { label, seq: merged };
+        return ComposeDecision::Merged(i);
+    }
+    // R2: some existing alternative already contains the incoming one.
+    if let Some(i) = existing
+        .iter()
+        .position(|a| seq_contains(&a.seq, &incoming.seq))
+    {
+        return ComposeDecision::Retained(i);
+    }
+    // R1: the incoming alternative contains an existing one — replace it.
+    if let Some(i) = existing
+        .iter()
+        .position(|a| seq_contains(&incoming.seq, &a.seq))
+    {
+        let label = incoming
+            .label
+            .clone()
+            .or_else(|| existing[i].label.clone());
+        existing[i] = Alternative { label, seq: incoming.seq };
+        return ComposeDecision::Replaced(i);
+    }
+    // R3: unrelated — append as a new choice.
+    existing.push(incoming);
+    ComposeDecision::Appended(existing.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::ir::Term;
+
+    fn alt(terms: Vec<Term>) -> Alternative {
+        Alternative::new(terms)
+    }
+
+    fn b() -> Term {
+        Term::nt("b")
+    }
+    fn c() -> Term {
+        Term::nt("c")
+    }
+    fn d() -> Term {
+        Term::nt("d")
+    }
+
+    // --- the paper's own examples ---
+
+    #[test]
+    fn r1_new_contains_old_replaces() {
+        // composing A: BC onto A: B  =>  A: BC
+        let mut alts = vec![alt(vec![b()])];
+        let d = compose_into(&mut alts, alt(vec![b(), c()]));
+        assert_eq!(d, ComposeDecision::Replaced(0));
+        assert_eq!(alts, vec![alt(vec![b(), c()])]);
+    }
+
+    #[test]
+    fn r2_new_contained_in_old_retains() {
+        // composing A: B onto A: BC  =>  A: BC
+        let mut alts = vec![alt(vec![b(), c()])];
+        let d = compose_into(&mut alts, alt(vec![b()]));
+        assert_eq!(d, ComposeDecision::Retained(0));
+        assert_eq!(alts, vec![alt(vec![b(), c()])]);
+    }
+
+    #[test]
+    fn r3_unrelated_appends_choice() {
+        // composing A: C onto A: B  =>  A: B | C
+        let mut alts = vec![alt(vec![b()])];
+        let d = compose_into(&mut alts, alt(vec![c()]));
+        assert_eq!(d, ComposeDecision::Appended(1));
+        assert_eq!(alts, vec![alt(vec![b()]), alt(vec![c()])]);
+    }
+
+    #[test]
+    fn r4_optional_extension_replaces_base() {
+        // composing A: B[C] onto A: B  =>  A: B[C]
+        let ext = alt(vec![b(), Term::Optional(vec![c()])]);
+        let mut alts = vec![alt(vec![b()])];
+        let d = compose_into(&mut alts, ext.clone());
+        assert_eq!(d, ComposeDecision::Merged(0));
+        assert_eq!(alts, vec![ext]);
+    }
+
+    #[test]
+    fn r4_reverse_order_retains_extension() {
+        // composing A: B onto A: B[C]  =>  A: B[C]  (order-insensitive
+        // strengthening of the paper's "in that order only")
+        let ext = alt(vec![b(), Term::Optional(vec![c()])]);
+        let mut alts = vec![ext.clone()];
+        let d = compose_into(&mut alts, alt(vec![b()]));
+        assert_eq!(d, ComposeDecision::Retained(0));
+        assert_eq!(alts, vec![ext]);
+    }
+
+    #[test]
+    fn r4_prefix_optional_extension() {
+        // A: B and A: [C]B
+        let ext = alt(vec![Term::Optional(vec![c()]), b()]);
+        let mut alts = vec![alt(vec![b()])];
+        assert_eq!(compose_into(&mut alts, ext.clone()), ComposeDecision::Merged(0));
+        assert_eq!(alts, vec![ext]);
+    }
+
+    #[test]
+    fn r5_sublist_then_complex_list() {
+        // A: B then A: B [, B…]  =>  the complex list
+        let list = alt(vec![b(), Term::Star(vec![Term::tok("COMMA"), b()])]);
+        let mut alts = vec![alt(vec![b()])];
+        assert_eq!(compose_into(&mut alts, list.clone()), ComposeDecision::Merged(0));
+        assert_eq!(alts, vec![list]);
+    }
+
+    #[test]
+    fn r5_reverse_order_also_converges() {
+        let list = alt(vec![b(), Term::Star(vec![Term::tok("COMMA"), b()])]);
+        let mut alts = vec![list.clone()];
+        assert_eq!(compose_into(&mut alts, alt(vec![b()])), ComposeDecision::Retained(0));
+        assert_eq!(alts, vec![list]);
+    }
+
+    // --- engine properties beyond the paper's examples ---
+
+    #[test]
+    fn idempotent() {
+        let mut alts = vec![alt(vec![b(), c()])];
+        assert_eq!(
+            compose_into(&mut alts, alt(vec![b(), c()])),
+            ComposeDecision::Identical
+        );
+        assert_eq!(alts.len(), 1);
+    }
+
+    #[test]
+    fn identical_composition_adopts_label() {
+        let mut alts = vec![alt(vec![b()])];
+        let labeled = Alternative::labeled("base", vec![b()]);
+        compose_into(&mut alts, labeled);
+        assert_eq!(alts[0].label.as_deref(), Some("base"));
+    }
+
+    #[test]
+    fn replacement_prefers_incoming_label() {
+        let mut alts = vec![Alternative::labeled("old", vec![b()])];
+        compose_into(&mut alts, Alternative::labeled("new", vec![b(), c()]));
+        assert_eq!(alts[0].label.as_deref(), Some("new"));
+        let mut alts = vec![Alternative::labeled("old", vec![b()])];
+        compose_into(&mut alts, alt(vec![b(), c()]));
+        assert_eq!(alts[0].label.as_deref(), Some("old"));
+    }
+
+    #[test]
+    fn containment_is_contiguous_not_scattered() {
+        // B D does NOT contain-subsume B C D in either direction, and the
+        // scattered subsequence [B, D] of [B, C, D] must not trigger R1/R2.
+        let mut alts = vec![alt(vec![b(), c(), d()])];
+        let decision = compose_into(&mut alts, alt(vec![b(), d()]));
+        assert_eq!(decision, ComposeDecision::Appended(1));
+        assert_eq!(alts.len(), 2);
+    }
+
+    #[test]
+    fn infix_containment_rejected() {
+        // A: C onto A: B C D — C occurs inside, but only *prefix*
+        // containment triggers R1/R2, so this is a distinct choice
+        // (otherwise `DATE STRING` would swallow a sibling `STRING`).
+        let mut alts = vec![alt(vec![b(), c(), d()])];
+        assert_eq!(compose_into(&mut alts, alt(vec![c()])), ComposeDecision::Appended(1));
+    }
+
+    #[test]
+    fn sibling_alternative_with_shared_suffix_not_swallowed() {
+        // literal : STRING  then  literal : DATE STRING — both survive.
+        let s = || Term::tok("STRING");
+        let date = || Term::tok("DATE");
+        let mut alts = vec![alt(vec![s()])];
+        assert_eq!(
+            compose_into(&mut alts, alt(vec![date(), s()])),
+            ComposeDecision::Appended(1)
+        );
+        assert_eq!(alts.len(), 2);
+        // and in the reverse arrival order as well
+        let mut alts = vec![alt(vec![date(), s()])];
+        assert_eq!(
+            compose_into(&mut alts, alt(vec![s()])),
+            ComposeDecision::Appended(1)
+        );
+        assert_eq!(alts.len(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_contained_everywhere() {
+        assert!(seq_contains(&[b()], &[]));
+        assert!(seq_contains(&[], &[]));
+        assert!(!seq_contains(&[], &[b()]));
+    }
+
+    #[test]
+    fn multiple_alternatives_first_match_wins() {
+        // existing: B | BC. incoming: BCD contains both; replaces the first
+        // related (B).
+        let mut alts = vec![alt(vec![b()]), alt(vec![b(), c()])];
+        let d = compose_into(&mut alts, alt(vec![b(), c(), d()]));
+        // R2 check runs first: is BCD contained in B? no. in BC? no.
+        // R1: BCD contains B (index 0) -> replace index 0.
+        assert_eq!(d, ComposeDecision::Replaced(0));
+        assert_eq!(alts[0].seq.len(), 3);
+        assert_eq!(alts[1].seq.len(), 2);
+    }
+
+    #[test]
+    fn r4_independent_optionals_merge() {
+        // where and group_by each extend table_expression independently:
+        // A: F[W] then A: F[G]  =>  A: F[W][G]
+        let f = || Term::nt("from_clause");
+        let w = || Term::Optional(vec![Term::nt("where_clause")]);
+        let g = || Term::Optional(vec![Term::nt("group_by_clause")]);
+        let mut alts = vec![alt(vec![f(), w()])];
+        let d = compose_into(&mut alts, alt(vec![f(), g()]));
+        assert_eq!(d, ComposeDecision::Merged(0));
+        assert_eq!(alts, vec![alt(vec![f(), w(), g()])]);
+        // third independent optional keeps accumulating
+        let h = || Term::Optional(vec![Term::nt("having_clause")]);
+        compose_into(&mut alts, alt(vec![f(), h()]));
+        assert_eq!(alts, vec![alt(vec![f(), w(), g(), h()])]);
+    }
+
+    #[test]
+    fn r4_merge_respects_backbone_gaps() {
+        // SELECT list  ∘  SELECT quant? list  =>  SELECT quant? list
+        let sel = || Term::tok("SELECT");
+        let list = || Term::nt("select_list");
+        let q = || Term::Optional(vec![Term::nt("set_quantifier")]);
+        let mut alts = vec![alt(vec![sel(), list()])];
+        let d = compose_into(&mut alts, alt(vec![sel(), q(), list()]));
+        assert_eq!(d, ComposeDecision::Merged(0));
+        assert_eq!(alts, vec![alt(vec![sel(), q(), list()])]);
+    }
+
+    #[test]
+    fn r4_merge_dedupes_shared_optionals() {
+        let f = || Term::nt("f");
+        let w = || Term::Optional(vec![Term::nt("w")]);
+        let g = || Term::Optional(vec![Term::nt("g")]);
+        let mut alts = vec![alt(vec![f(), w(), g()])];
+        // incoming repeats w? and adds nothing new
+        assert_eq!(
+            compose_into(&mut alts, alt(vec![f(), w()])),
+            ComposeDecision::Retained(0)
+        );
+        assert_eq!(alts.len(), 1);
+        assert_eq!(alts[0].seq.len(), 3);
+    }
+
+    #[test]
+    fn r4_different_backbones_do_not_merge() {
+        let mut alts = vec![alt(vec![b(), Term::Optional(vec![c()])])];
+        let d2 = compose_into(&mut alts, alt(vec![d(), Term::Optional(vec![c()])]));
+        assert_eq!(d2, ComposeDecision::Appended(1));
+    }
+
+    #[test]
+    fn composition_converges_regardless_of_arrival_order() {
+        // Three forms of the select list: B; B[AS]; B (COMMA B)*.
+        // Any arrival order must converge to a fixed set (possibly split
+        // across choices but stable under re-composition).
+        let forms = [
+            alt(vec![b()]),
+            alt(vec![b(), Term::Optional(vec![Term::tok("AS")])]),
+            alt(vec![b(), Term::Star(vec![Term::tok("COMMA"), b()])]),
+        ];
+        let orders = [
+            [0usize, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for order in orders {
+            let mut alts: Vec<Alternative> = Vec::new();
+            for &i in &order {
+                compose_into(&mut alts, forms[i].clone());
+            }
+            // Re-composing every form again must be a fixed point.
+            let snapshot = alts.clone();
+            for f in &forms {
+                compose_into(&mut alts, f.clone());
+            }
+            assert_eq!(alts, snapshot, "not a fixed point for order {order:?}");
+        }
+    }
+}

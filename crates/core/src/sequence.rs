@@ -1,0 +1,237 @@
+//! Deriving the composition sequence (the paper's R6).
+//!
+//! "A feature may require other features for correct composition. … We use
+//! the notion of composition sequence that indicates how various features
+//! are included or excluded."
+//!
+//! The sequence is the model's pre-order over selected features — parents
+//! (base syntax) before children (refinements) — refined by two kinds of
+//! explicit edges, each forcing *X before Y*:
+//!
+//! 1. `requires(Y, X)` constraints from the feature model, and
+//! 2. `after` edges on registry artifacts.
+//!
+//! The result is a stable topological order (ties broken by model
+//! pre-order); cycles are reported as errors.
+
+use crate::error::SequenceError;
+use crate::registry::FeatureRegistry;
+use sqlweave_feature_model::{Configuration, Constraint, FeatureModel};
+use std::collections::HashMap;
+
+/// Compute the composition sequence for the selected features.
+///
+/// Only features present in the model are sequenced (the configuration is
+/// assumed validated). Features without registry artifacts still appear in
+/// the sequence — they are markers and compose nothing.
+pub fn composition_sequence(
+    model: &FeatureModel,
+    config: &Configuration,
+    registry: &FeatureRegistry,
+) -> Result<Vec<String>, SequenceError> {
+    // Selected features in model pre-order (ids ascend in pre-order).
+    let selected: Vec<String> = model
+        .iter()
+        .filter(|(_, f)| config.contains(&f.name))
+        .map(|(_, f)| f.name.clone())
+        .collect();
+    let index: HashMap<&str, usize> = selected
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    // Edges: from -> to means "from composes before to".
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); selected.len()];
+    let add_edge = |before: &str, after: &str, preds: &mut Vec<Vec<usize>>| {
+        if let (Some(&b), Some(&a)) = (index.get(before), index.get(after)) {
+            if b != a && !preds[a].contains(&b) {
+                preds[a].push(b);
+            }
+        }
+    };
+    for c in model.constraints() {
+        if let Constraint::Requires(from, to) = c {
+            // the required feature composes first
+            add_edge(
+                &model.feature(*to).name,
+                &model.feature(*from).name,
+                &mut preds,
+            );
+        }
+    }
+    for name in &selected {
+        for before in registry.order_edges(name) {
+            add_edge(before, name, &mut preds);
+        }
+    }
+
+    // Kahn's algorithm with model pre-order tie-breaking (indices ascend in
+    // pre-order, so picking the smallest ready index is stable).
+    let n = selected.len();
+    let mut remaining_preds: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (node, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(node);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    while !ready.is_empty() {
+        ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest from the end
+        let node = ready.pop().unwrap();
+        order.push(node);
+        for &s in &succs[node] {
+            remaining_preds[s] -= 1;
+            if remaining_preds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck: Vec<String> = (0..n)
+            .filter(|&i| remaining_preds[i] > 0)
+            .map(|i| selected[i].clone())
+            .collect();
+        return Err(SequenceError::Cycle(stuck));
+    }
+    Ok(order.into_iter().map(|i| selected[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_feature_model::ModelBuilder;
+
+    fn model() -> FeatureModel {
+        let mut b = ModelBuilder::new("query_specification");
+        let root = b.root();
+        b.optional(root, "set_quantifier");
+        b.mandatory(root, "select_list");
+        let te = b.mandatory(root, "table_expression");
+        b.mandatory(te, "from");
+        b.optional(te, "where");
+        b.optional(te, "group_by");
+        b.optional(te, "having");
+        b.requires("having", "group_by");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preorder_without_edges() {
+        let m = model();
+        let c = Configuration::of([
+            "query_specification",
+            "select_list",
+            "table_expression",
+            "from",
+            "where",
+        ]);
+        let seq = composition_sequence(&m, &c, &FeatureRegistry::new()).unwrap();
+        assert_eq!(
+            seq,
+            ["query_specification", "select_list", "table_expression", "from", "where"]
+        );
+    }
+
+    #[test]
+    fn requires_forces_order() {
+        let m = model();
+        let c = Configuration::of([
+            "query_specification",
+            "select_list",
+            "table_expression",
+            "from",
+            "having",
+            "group_by",
+        ]);
+        let seq = composition_sequence(&m, &c, &FeatureRegistry::new()).unwrap();
+        let gb = seq.iter().position(|n| n == "group_by").unwrap();
+        let hv = seq.iter().position(|n| n == "having").unwrap();
+        assert!(gb < hv, "group_by must compose before having: {seq:?}");
+    }
+
+    #[test]
+    fn artifact_after_edges_force_order() {
+        let m = model();
+        let mut r = FeatureRegistry::new();
+        r.register("where", "grammar where; w : WHERE ;", "").unwrap();
+        // pretend `where` must compose after `select_list` AND after
+        // `table_expression` (it already does by pre-order; also force an
+        // inversion: select_list after where is a cycle-free reorder)
+        let mut r2 = FeatureRegistry::new();
+        r2.register("select_list", "grammar sl; sl : X ;", "").unwrap();
+        r2.order_after("select_list", "where");
+        let c = Configuration::of([
+            "query_specification",
+            "select_list",
+            "table_expression",
+            "from",
+            "where",
+        ]);
+        let seq = composition_sequence(&m, &c, &r2).unwrap();
+        let w = seq.iter().position(|n| n == "where").unwrap();
+        let sl = seq.iter().position(|n| n == "select_list").unwrap();
+        assert!(w < sl, "{seq:?}");
+        let _ = r;
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let m = model();
+        let mut r = FeatureRegistry::new();
+        r.register("where", "grammar w; w : X ;", "").unwrap();
+        r.register("group_by", "grammar g; g : Y ;", "").unwrap();
+        r.order_after("where", "group_by");
+        r.order_after("group_by", "where");
+        let c = Configuration::of([
+            "query_specification",
+            "select_list",
+            "table_expression",
+            "from",
+            "where",
+            "group_by",
+        ]);
+        let err = composition_sequence(&m, &c, &r).unwrap_err();
+        let SequenceError::Cycle(stuck) = err;
+        assert!(stuck.contains(&"where".to_string()));
+        assert!(stuck.contains(&"group_by".to_string()));
+    }
+
+    #[test]
+    fn unselected_requires_target_ignored() {
+        // `having` selected without `group_by` is invalid, but sequencing is
+        // constraint-agnostic: edges to unselected features are dropped.
+        let m = model();
+        let c = Configuration::of([
+            "query_specification",
+            "select_list",
+            "table_expression",
+            "from",
+            "having",
+        ]);
+        let seq = composition_sequence(&m, &c, &FeatureRegistry::new()).unwrap();
+        assert!(seq.contains(&"having".to_string()));
+    }
+
+    #[test]
+    fn stability_ties_break_by_preorder() {
+        let m = model();
+        let c = Configuration::of([
+            "query_specification",
+            "set_quantifier",
+            "select_list",
+            "table_expression",
+            "from",
+            "where",
+            "group_by",
+            "having",
+        ]);
+        let seq = composition_sequence(&m, &c, &FeatureRegistry::new()).unwrap();
+        // Everything except the having/group_by pair keeps pre-order.
+        assert_eq!(seq[0], "query_specification");
+        assert_eq!(seq[1], "set_quantifier");
+        assert_eq!(seq[2], "select_list");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests over the composition rule engine.
+
+use proptest::prelude::*;
+use sqlweave_core::rules::{compose_into, merge_modulo_optionals, seq_contains, ComposeDecision};
+use sqlweave_grammar::ir::{Alternative, Term};
+
+/// Random term sequences over a tiny vocabulary, with optionals/stars.
+fn arb_seq() -> impl Strategy<Value = Vec<Term>> {
+    let atom = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c"]).prop_map(Term::nt),
+        prop::sample::select(vec!["X", "Y"]).prop_map(Term::tok),
+    ];
+    let term = prop_oneof![
+        3 => atom.clone(),
+        1 => atom.clone().prop_map(|t| Term::Optional(vec![t])),
+        1 => atom.prop_map(|t| Term::Star(vec![t])),
+    ];
+    prop::collection::vec(term, 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Composing the same alternative twice *in a row* is a no-op — a
+    /// duplicated feature contributes nothing. (Re-composing after *other*
+    /// features landed in between may legitimately act differently: the
+    /// rules are state-dependent, which is the paper's own composition-
+    /// order sensitivity. Whole-dialect determinism is pinned separately by
+    /// the golden-grammar test and the fixed-point test over a repeated
+    /// composition *sequence*.)
+    #[test]
+    fn immediate_recomposition_is_a_noop(seqs in prop::collection::vec(arb_seq(), 1..5)) {
+        let mut alts: Vec<Alternative> = Vec::new();
+        for s in &seqs {
+            compose_into(&mut alts, Alternative::new(s.clone()));
+            let snapshot = alts.clone();
+            let d = compose_into(&mut alts, Alternative::new(s.clone()));
+            prop_assert!(
+                matches!(d, ComposeDecision::Identical | ComposeDecision::Retained(_)),
+                "immediate re-composition of {s:?} was {d:?}"
+            );
+            prop_assert_eq!(&alts, &snapshot);
+        }
+    }
+
+    /// The alternative list never grows beyond the number of inputs.
+    #[test]
+    fn compose_never_duplicates(seqs in prop::collection::vec(arb_seq(), 1..6)) {
+        let mut alts: Vec<Alternative> = Vec::new();
+        for s in &seqs {
+            compose_into(&mut alts, Alternative::new(s.clone()));
+        }
+        prop_assert!(alts.len() <= seqs.len());
+        // no two alternatives are identical
+        for (i, a) in alts.iter().enumerate() {
+            for b in &alts[i + 1..] {
+                prop_assert_ne!(&a.seq, &b.seq);
+            }
+        }
+    }
+
+    /// Containment is reflexive and antisymmetric-modulo-equality on the
+    /// sequences the engine actually compares.
+    #[test]
+    fn containment_is_reflexive(s in arb_seq()) {
+        prop_assert!(seq_contains(&s, &s));
+    }
+
+    /// Merging is commutative on the backbone (the optionals' order differs
+    /// by design, but backbone and *set* of optionals agree).
+    #[test]
+    fn merge_backbones_agree(a in arb_seq(), b in arb_seq()) {
+        let ab = merge_modulo_optionals(&a, &b);
+        let ba = merge_modulo_optionals(&b, &a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(ab), Some(ba)) = (ab, ba) {
+            let skippable = |t: &Term| matches!(t, Term::Optional(_) | Term::Star(_));
+            let backbone = |s: &[Term]| -> Vec<Term> {
+                s.iter().filter(|t| !skippable(t)).cloned().collect()
+            };
+            prop_assert_eq!(backbone(&ab), backbone(&ba));
+            let opts = |s: &[Term]| -> Vec<Term> {
+                let mut v: Vec<Term> =
+                    s.iter().filter(|t| skippable(t)).cloned().collect();
+                v.sort_by_key(|t| format!("{t}"));
+                v
+            };
+            prop_assert_eq!(opts(&ab), opts(&ba));
+        }
+    }
+
+    /// A merged alternative always contains the *existing* alternative `a`
+    /// in full (sequence containment: `a`'s items survive in order), and
+    /// every optional of `b` survives as a multiset. Full sequence
+    /// containment of `b` cannot hold in general — when both sides
+    /// contribute the same optionals in different orders, the merge keeps
+    /// `a`'s order, which is exactly the paper's composition-order
+    /// sensitivity.
+    #[test]
+    fn merge_preserves_existing_and_b_items(a in arb_seq(), b in arb_seq()) {
+        if let Some(m) = merge_modulo_optionals(&a, &b) {
+            prop_assert!(seq_contains(&m, &a), "merge {m:?} lost {a:?}");
+            // multiset inclusion of b's terms
+            for t in &b {
+                let in_b = b.iter().filter(|x| x == &t).count();
+                let in_m = m.iter().filter(|x| x == &t).count();
+                prop_assert!(
+                    in_m >= in_b,
+                    "merge {m:?} dropped occurrences of {t} from {b:?}"
+                );
+            }
+        }
+    }
+
+    /// When only one side contributes optionals in a gap, the merge
+    /// contains *both* inputs as sequences.
+    #[test]
+    fn merge_of_disjoint_optionals_preserves_both(base in arb_seq()) {
+        // a = base with an extra trailing optional X?, b = base with Y?
+        let mut a = base.clone();
+        a.push(Term::Optional(vec![Term::tok("X")]));
+        let mut b = base.clone();
+        b.push(Term::Optional(vec![Term::tok("Y")]));
+        if let Some(m) = merge_modulo_optionals(&a, &b) {
+            prop_assert!(seq_contains(&m, &a));
+            prop_assert!(seq_contains(&m, &b));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Whole-model analyses: void models, dead features, core features, and
+//! census statistics (used to regenerate the paper's "40 diagrams, >500
+//! features" claim).
+
+use crate::count::{count_configurations, try_count_configurations};
+use crate::model::{Constraint, FeatureId, FeatureModel, GroupKind, Optionality};
+
+/// Result of [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelAnalysis {
+    /// Exact number of valid configurations.
+    pub configurations: u128,
+    /// `true` if the model admits no valid configuration at all.
+    pub void: bool,
+    /// Features that appear in *no* valid configuration.
+    pub dead: Vec<FeatureId>,
+    /// Features that appear in *every* valid configuration.
+    pub core: Vec<FeatureId>,
+}
+
+/// Compute configuration count, voidness, dead features and core features.
+///
+/// Dead/core detection runs one forced count per feature; cost is
+/// `O(features · count)` which is fine for per-diagram SQL models.
+pub fn analyze(model: &FeatureModel) -> ModelAnalysis {
+    let total = count_configurations(model);
+    let mut dead = Vec::new();
+    let mut core = Vec::new();
+    for (id, _) in model.iter() {
+        let with = count_with_forced(model, id, true);
+        if with == 0 {
+            dead.push(id);
+        }
+        if with == total && total > 0 {
+            core.push(id);
+        }
+    }
+    ModelAnalysis {
+        configurations: total,
+        void: total == 0,
+        dead,
+        core,
+    }
+}
+
+/// Count configurations where `feature` is forced to `value`.
+///
+/// Implemented by adding a synthetic constraint split; reuses the counting
+/// DP via a temporary model clone with an extra `requires`-style forcing.
+pub fn count_with_forced(model: &FeatureModel, feature: FeatureId, value: bool) -> u128 {
+    // Cheap approach: count all configurations, and count those with the
+    // opposite forcing via the constraint-split machinery. We re-implement
+    // the split locally to avoid cloning the model.
+    let involved: Vec<FeatureId> = {
+        let mut s: Vec<FeatureId> = model
+            .constraints()
+            .iter()
+            .flat_map(|c| {
+                let (a, b) = c.endpoints();
+                [a, b]
+            })
+            .collect();
+        s.push(feature);
+        s.sort();
+        s.dedup();
+        s
+    };
+    let mut total = 0u128;
+    for mask in 0u64..(1u64 << involved.len()) {
+        let mut forced: Vec<Option<bool>> = vec![None; model.len()];
+        for (bit, &fid) in involved.iter().enumerate() {
+            forced[fid.index()] = Some(mask & (1 << bit) != 0);
+        }
+        if forced[feature.index()] != Some(value) {
+            continue;
+        }
+        let consistent = model.constraints().iter().all(|&c| match c {
+            Constraint::Requires(a, b) => {
+                !(forced[a.index()] == Some(true) && forced[b.index()] == Some(false))
+            }
+            Constraint::Excludes(a, b) => {
+                !(forced[a.index()] == Some(true) && forced[b.index()] == Some(true))
+            }
+        });
+        if !consistent {
+            continue;
+        }
+        total = total.saturating_add(crate::count::count_subtree_forced(model, &forced));
+    }
+    total
+}
+
+/// Per-diagram statistics for the census table (Experiment T1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Census {
+    /// Diagram (root concept) name.
+    pub diagram: String,
+    /// Total features including the root.
+    pub features: usize,
+    /// Count of mandatory solitary features.
+    pub mandatory: usize,
+    /// Count of optional solitary features.
+    pub optional: usize,
+    /// Count of grouped features.
+    pub grouped: usize,
+    /// Number of OR groups.
+    pub or_groups: usize,
+    /// Number of XOR (alternative) groups.
+    pub xor_groups: usize,
+    /// Number of cross-tree constraints.
+    pub constraints: usize,
+    /// Maximum tree depth.
+    pub depth: usize,
+    /// Number of valid configurations (`None` when the model's constraint
+    /// graph is too large for exact splitting).
+    pub configurations: Option<u128>,
+}
+
+/// Compute the census row for one diagram.
+pub fn census(model: &FeatureModel) -> Census {
+    let mut mandatory = 0;
+    let mut optional = 0;
+    let mut grouped = 0;
+    let mut depth = 0;
+    for (id, f) in model.iter() {
+        if f.is_grouped() {
+            grouped += 1;
+        } else if f.parent.is_some() {
+            match f.optionality {
+                Optionality::Mandatory => mandatory += 1,
+                Optionality::Optional => optional += 1,
+            }
+        }
+        depth = depth.max(model.depth(id));
+    }
+    let or_groups = model
+        .groups()
+        .iter()
+        .filter(|g| g.kind == GroupKind::Or)
+        .count();
+    let xor_groups = model
+        .groups()
+        .iter()
+        .filter(|g| g.kind == GroupKind::Xor)
+        .count();
+    Census {
+        diagram: model.name().to_string(),
+        features: model.len(),
+        mandatory,
+        optional,
+        grouped,
+        or_groups,
+        xor_groups,
+        constraints: model.constraints().len(),
+        depth,
+        configurations: try_count_configurations(model, 20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelBuilder;
+
+    #[test]
+    fn healthy_model_has_no_dead_features() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "m");
+        b.optional(r, "o");
+        b.xor(r, &["a", "b"]);
+        let m = b.build().unwrap();
+        let a = analyze(&m);
+        assert!(!a.void);
+        assert!(a.dead.is_empty());
+        // root and mandatory child are core
+        let core_names: Vec<_> = a.core.iter().map(|&f| m.feature(f).name.as_str()).collect();
+        assert!(core_names.contains(&"c"));
+        assert!(core_names.contains(&"m"));
+        assert!(!core_names.contains(&"o"));
+    }
+
+    #[test]
+    fn contradictory_constraints_make_dead_features() {
+        // a requires b, a excludes b => a is dead.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let analysis = analyze(&m);
+        assert!(!analysis.void); // configs without `a` still exist
+        let dead: Vec<_> = analysis
+            .dead
+            .iter()
+            .map(|&f| m.feature(f).name.as_str())
+            .collect();
+        assert_eq!(dead, ["a"]);
+    }
+
+    #[test]
+    fn void_model_detected() {
+        // mandatory child `a` excluded by mandatory child `b` => void.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "a");
+        b.mandatory(r, "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let analysis = analyze(&m);
+        assert!(analysis.void);
+        assert_eq!(analysis.configurations, 0);
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut b = ModelBuilder::new("query_specification");
+        let r = b.root();
+        let sq = b.optional(r, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let sl = b.mandatory(r, "select_list");
+        b.or(sl, &["select_sublist", "asterisk"]);
+        b.mandatory(r, "table_expression");
+        b.requires("distinct", "select_list");
+        let m = b.build().unwrap();
+        let c = census(&m);
+        assert_eq!(c.features, 8);
+        assert_eq!(c.mandatory, 2);
+        assert_eq!(c.optional, 1);
+        assert_eq!(c.grouped, 4);
+        assert_eq!(c.or_groups, 1);
+        assert_eq!(c.xor_groups, 1);
+        assert_eq!(c.constraints, 1);
+        assert_eq!(c.depth, 2);
+        assert!(c.configurations.unwrap() > 0);
+    }
+
+    #[test]
+    fn forced_count_partitions_total() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        let total = count_configurations(&m);
+        let a = m.id_of("a").unwrap();
+        assert_eq!(
+            count_with_forced(&m, a, true) + count_with_forced(&m, a, false),
+            total
+        );
+    }
+}

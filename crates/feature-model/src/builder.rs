@@ -1,0 +1,317 @@
+//! Fluent construction of feature diagrams.
+//!
+//! ```
+//! use sqlweave_feature_model::{ModelBuilder, GroupKind};
+//!
+//! // Figure 1 of the paper: the Query Specification feature diagram.
+//! let mut b = ModelBuilder::new("query_specification");
+//! let root = b.root();
+//! let sq = b.optional(root, "set_quantifier");
+//! b.xor(sq, &["all", "distinct"]);
+//! let sl = b.mandatory(root, "select_list");
+//! b.or(sl, &["select_sublist", "asterisk"]);
+//! b.mandatory(root, "table_expression");
+//! let model = b.build().unwrap();
+//! assert_eq!(model.len(), 8);
+//! ```
+
+use crate::error::ModelError;
+use crate::model::{
+    Cardinality, Constraint, Feature, FeatureId, FeatureModel, Group, GroupKind, Optionality,
+};
+use std::collections::HashMap;
+
+/// Pending cross-tree constraint, stored by name until `build()`.
+#[derive(Debug, Clone)]
+enum PendingConstraint {
+    Requires(String, String),
+    Excludes(String, String),
+}
+
+/// Builder for [`FeatureModel`].
+#[derive(Debug)]
+pub struct ModelBuilder {
+    features: Vec<Feature>,
+    groups: Vec<Group>,
+    pending: Vec<PendingConstraint>,
+    errors: Vec<ModelError>,
+}
+
+fn title_case(name: &str) -> String {
+    name.split('_')
+        .filter(|s| !s.is_empty())
+        .map(|word| {
+            let mut c = word.chars();
+            match c.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl ModelBuilder {
+    /// Start a diagram whose root concept is named `concept`.
+    pub fn new(concept: impl Into<String>) -> Self {
+        let name: String = concept.into();
+        let root = Feature {
+            title: title_case(&name),
+            name,
+            optionality: Optionality::Mandatory,
+            cardinality: None,
+            parent: None,
+            children: Vec::new(),
+            group: None,
+        };
+        ModelBuilder {
+            features: vec![root],
+            groups: Vec::new(),
+            pending: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Id of the root concept.
+    pub fn root(&self) -> FeatureId {
+        FeatureId::ROOT
+    }
+
+    fn add(&mut self, parent: FeatureId, name: &str, optionality: Optionality) -> FeatureId {
+        if parent.index() >= self.features.len() {
+            self.errors.push(ModelError::UnknownParent(parent.0));
+            return FeatureId::ROOT;
+        }
+        let id = FeatureId(self.features.len() as u32);
+        self.features.push(Feature {
+            name: name.to_string(),
+            title: title_case(name),
+            optionality,
+            cardinality: None,
+            parent: Some(parent),
+            children: Vec::new(),
+            group: None,
+        });
+        self.features[parent.index()].children.push(id);
+        id
+    }
+
+    /// Add a mandatory solitary child.
+    pub fn mandatory(&mut self, parent: FeatureId, name: &str) -> FeatureId {
+        self.add(parent, name, Optionality::Mandatory)
+    }
+
+    /// Add an optional solitary child.
+    pub fn optional(&mut self, parent: FeatureId, name: &str) -> FeatureId {
+        self.add(parent, name, Optionality::Optional)
+    }
+
+    /// Add a group of children under `parent` with explicit semantics.
+    /// Returns the member ids in declaration order.
+    pub fn group(&mut self, parent: FeatureId, kind: GroupKind, names: &[&str]) -> Vec<FeatureId> {
+        let gi = self.groups.len();
+        let members: Vec<FeatureId> = names
+            .iter()
+            .map(|n| {
+                let id = self.add(parent, n, Optionality::Optional);
+                self.features[id.index()].group = Some(gi);
+                id
+            })
+            .collect();
+        self.groups.push(Group { parent, kind, members: members.clone() });
+        if names.len() < 2 {
+            self.errors.push(ModelError::GroupTooSmall {
+                parent: self.features[parent.index()].name.clone(),
+                members: names.len(),
+            });
+        }
+        if let GroupKind::Card { min, max } = kind {
+            let bad = max.is_some_and(|m| min > m) || min as usize > names.len();
+            if bad {
+                self.errors.push(ModelError::BadGroupCardinality {
+                    parent: self.features[parent.index()].name.clone(),
+                    min,
+                    max,
+                    members: names.len(),
+                });
+            }
+        }
+        members
+    }
+
+    /// Add an alternative (exactly-one) group.
+    pub fn xor(&mut self, parent: FeatureId, names: &[&str]) -> Vec<FeatureId> {
+        self.group(parent, GroupKind::Xor, names)
+    }
+
+    /// Add an inclusive OR (at-least-one) group.
+    pub fn or(&mut self, parent: FeatureId, names: &[&str]) -> Vec<FeatureId> {
+        self.group(parent, GroupKind::Or, names)
+    }
+
+    /// Attach an instance-cardinality annotation (e.g. `[1..*]`) to a
+    /// feature, returning the same id for chaining.
+    pub fn with_cardinality(&mut self, id: FeatureId, card: Cardinality) -> FeatureId {
+        self.features[id.index()].cardinality = Some(card);
+        id
+    }
+
+    /// Override the display title of a feature.
+    pub fn with_title(&mut self, id: FeatureId, title: &str) -> FeatureId {
+        self.features[id.index()].title = title.to_string();
+        id
+    }
+
+    /// Record `from requires to` (by feature name; resolved at `build()`).
+    pub fn requires(&mut self, from: &str, to: &str) {
+        self.pending
+            .push(PendingConstraint::Requires(from.to_string(), to.to_string()));
+    }
+
+    /// Record `a excludes b` (by feature name; resolved at `build()`).
+    pub fn excludes(&mut self, a: &str, b: &str) {
+        self.pending
+            .push(PendingConstraint::Excludes(a.to_string(), b.to_string()));
+    }
+
+    /// Name of an already-added feature (for tests/tools).
+    pub fn name_of(&self, id: FeatureId) -> &str {
+        &self.features[id.index()].name
+    }
+
+    /// Id of an already-added feature, looked up by name.
+    ///
+    /// # Panics
+    /// Panics if no feature with that name has been added; intended for
+    /// model-construction code where the name is statically known.
+    pub fn by_name_id(&self, name: &str) -> FeatureId {
+        self.features
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FeatureId(i as u32))
+            .unwrap_or_else(|| panic!("feature `{name}` not yet added to builder"))
+    }
+
+    /// Finish the diagram, checking structural invariants.
+    pub fn build(mut self) -> Result<FeatureModel, ModelError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut by_name = HashMap::with_capacity(self.features.len());
+        for (i, feat) in self.features.iter().enumerate() {
+            if by_name.insert(feat.name.clone(), FeatureId(i as u32)).is_some() {
+                return Err(ModelError::DuplicateName(feat.name.clone()));
+            }
+        }
+        let mut constraints = Vec::with_capacity(self.pending.len());
+        for p in self.pending.drain(..) {
+            let (a, b, mk): (&str, &str, fn(FeatureId, FeatureId) -> Constraint) = match &p {
+                PendingConstraint::Requires(a, b) => (a, b, Constraint::Requires),
+                PendingConstraint::Excludes(a, b) => (a, b, Constraint::Excludes),
+            };
+            let ia = *by_name
+                .get(a)
+                .ok_or_else(|| ModelError::UnknownConstraintFeature(a.to_string()))?;
+            let ib = *by_name
+                .get(b)
+                .ok_or_else(|| ModelError::UnknownConstraintFeature(b.to_string()))?;
+            if ia == ib {
+                return Err(ModelError::SelfConstraint(a.to_string()));
+            }
+            constraints.push(mk(ia, ib));
+        }
+        Ok(FeatureModel {
+            features: self.features,
+            groups: self.groups,
+            constraints,
+            by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_casing() {
+        assert_eq!(title_case("set_quantifier"), "Set Quantifier");
+        assert_eq!(title_case("where"), "Where");
+        assert_eq!(title_case("group_by_clause"), "Group By Clause");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "x");
+        b.optional(r, "x");
+        assert!(matches!(b.build(), Err(ModelError::DuplicateName(n)) if n == "x"));
+    }
+
+    #[test]
+    fn group_needs_two_members() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.xor(r, &["only"]);
+        assert!(matches!(b.build(), Err(ModelError::GroupTooSmall { .. })));
+    }
+
+    #[test]
+    fn unsatisfiable_group_cardinality_rejected() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.group(r, GroupKind::Card { min: 3, max: Some(2) }, &["a", "b", "x"]);
+        assert!(matches!(b.build(), Err(ModelError::BadGroupCardinality { .. })));
+    }
+
+    #[test]
+    fn constraint_unknown_feature_rejected() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.requires("a", "ghost");
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::UnknownConstraintFeature(n)) if n == "ghost"
+        ));
+    }
+
+    #[test]
+    fn self_constraint_rejected() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.excludes("a", "a");
+        assert!(matches!(b.build(), Err(ModelError::SelfConstraint(_))));
+    }
+
+    #[test]
+    fn constraints_resolved_to_ids() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        b.excludes("a", "b"); // contradictory but structurally fine
+        let m = b.build().unwrap();
+        assert_eq!(m.constraints().len(), 2);
+    }
+
+    #[test]
+    fn children_recorded_in_declaration_order() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "first");
+        b.optional(r, "second");
+        b.or(r, &["third", "fourth"]);
+        let m = b.build().unwrap();
+        let names: Vec<_> = m
+            .root()
+            .children
+            .iter()
+            .map(|&c| m.feature(c).name.as_str())
+            .collect();
+        assert_eq!(names, ["first", "second", "third", "fourth"]);
+    }
+}

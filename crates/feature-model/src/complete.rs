@@ -1,0 +1,187 @@
+//! Auto-completion of partial selections.
+//!
+//! Given a partial feature selection, [`complete`] adds every feature that is
+//! *forced* by the selection: the root, ancestors of selected features,
+//! mandatory solitary children of selected features, `requires` targets, and
+//! sole members of XOR/OR groups when only one member exists to choose (never
+//! the case for well-formed groups, but single-choice situations arise when
+//! `excludes` constraints eliminate alternatives — handled conservatively by
+//! leaving genuine choices open).
+//!
+//! Completion is a fixpoint computation; it never *removes* features and
+//! never resolves genuine variability (an open XOR choice is reported by a
+//! subsequent [`crate::validate::validate`] call, which the caller is
+//! expected to run).
+
+use crate::config::Configuration;
+use crate::error::{ValidationError, Violation};
+use crate::model::{Constraint, FeatureModel, Optionality};
+
+/// Close `config` over all forced selections.
+///
+/// Returns the completed configuration. Fails only if the input names
+/// unknown features (completion over a hostile selection is meaningless);
+/// constraint conflicts (e.g. completion forcing both sides of an
+/// `excludes`) surface when the caller validates the result.
+pub fn complete(
+    model: &FeatureModel,
+    config: &Configuration,
+) -> Result<Configuration, ValidationError> {
+    let mut unknown_violations = Vec::new();
+    let mut unknown_messages = Vec::new();
+    let mut selected = vec![false; model.len()];
+    for name in config.iter() {
+        match model.id_of(name) {
+            Some(id) => selected[id.index()] = true,
+            None => {
+                unknown_violations.push(Violation::UnknownFeature(name.to_string()));
+                unknown_messages.push(format!(
+                    "cannot complete: `{name}` is not a feature of `{}`",
+                    model.name()
+                ));
+            }
+        }
+    }
+    if !unknown_violations.is_empty() {
+        return Err(ValidationError::new(unknown_violations, unknown_messages));
+    }
+
+    // Root is always part of any instance description.
+    selected[0] = true;
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (id, feat) in model.iter() {
+            if !selected[id.index()] {
+                continue;
+            }
+            // Ancestors of a selected feature.
+            if let Some(parent) = feat.parent {
+                if !selected[parent.index()] {
+                    selected[parent.index()] = true;
+                    changed = true;
+                }
+            }
+            // Mandatory solitary children of a selected feature.
+            for &child in &feat.children {
+                let c = model.feature(child);
+                if c.group.is_none()
+                    && c.optionality == Optionality::Mandatory
+                    && !selected[child.index()]
+                {
+                    selected[child.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        // Requires closure.
+        for &c in model.constraints() {
+            if let Constraint::Requires(a, b) = c {
+                if selected[a.index()] && !selected[b.index()] {
+                    selected[b.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    Ok(Configuration::of(
+        model
+            .iter()
+            .filter(|(id, _)| selected[id.index()])
+            .map(|(_, f)| f.name.clone()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, ModelBuilder};
+
+    fn model() -> FeatureModel {
+        let mut b = ModelBuilder::new("query_specification");
+        let root = b.root();
+        let sq = b.optional(root, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let sl = b.mandatory(root, "select_list");
+        b.mandatory(sl, "select_sublist");
+        let te = b.mandatory(root, "table_expression");
+        b.mandatory(te, "from");
+        b.optional(te, "where");
+        b.optional(te, "group_by");
+        b.optional(te, "having");
+        b.requires("having", "group_by");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_completes_to_mandatory_skeleton() {
+        let m = model();
+        let c = complete(&m, &Configuration::new()).unwrap();
+        assert_eq!(
+            c,
+            Configuration::of([
+                "query_specification",
+                "select_list",
+                "select_sublist",
+                "table_expression",
+                "from",
+            ])
+        );
+        assert!(m.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn selecting_leaf_pulls_in_ancestors() {
+        let m = model();
+        let c = complete(&m, &Configuration::of(["where"])).unwrap();
+        assert!(c.contains("table_expression"));
+        assert!(c.contains("query_specification"));
+        assert!(c.contains("where"));
+    }
+
+    #[test]
+    fn requires_closure_applied() {
+        let m = model();
+        let c = complete(&m, &Configuration::of(["having"])).unwrap();
+        assert!(c.contains("group_by"), "having requires group_by: {c}");
+        assert!(m.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn xor_choice_left_open() {
+        let m = model();
+        let c = complete(&m, &Configuration::of(["set_quantifier"])).unwrap();
+        // Completion must not pick between `all` and `distinct`...
+        assert!(!c.contains("all") && !c.contains("distinct"));
+        // ...so the completed config is invalid until the user decides.
+        assert!(m.validate(&c).is_err());
+        // Deciding makes it valid.
+        let decided = c.with("distinct");
+        assert!(m.validate(&decided).is_ok());
+    }
+
+    #[test]
+    fn completion_is_idempotent() {
+        let m = model();
+        let once = complete(&m, &Configuration::of(["having"])).unwrap();
+        let twice = complete(&m, &once).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn unknown_feature_rejected() {
+        let m = model();
+        let err = complete(&m, &Configuration::of(["limit"])).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::UnknownFeature(_))));
+    }
+
+    #[test]
+    fn completion_preserves_input() {
+        let m = model();
+        let input = Configuration::of(["where", "distinct"]);
+        let c = complete(&m, &input).unwrap();
+        assert!(input.is_subset_of(&c));
+    }
+}

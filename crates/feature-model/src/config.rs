@@ -1,0 +1,177 @@
+//! Configurations — the paper's *feature instance descriptions*.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of selected feature names.
+///
+/// Names (not ids) are used so configurations can be written down
+/// independently of any particular model instance, composed across diagrams,
+/// and serialized trivially. Resolution against a model happens during
+/// validation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Configuration {
+    selected: BTreeSet<String>,
+}
+
+impl Configuration {
+    /// The empty selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from any iterable of names.
+    pub fn of<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Configuration {
+            selected: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Select a feature (idempotent). Returns `self` for chaining.
+    pub fn select(&mut self, name: impl Into<String>) -> &mut Self {
+        self.selected.insert(name.into());
+        self
+    }
+
+    /// Deselect a feature (idempotent). Returns `self` for chaining.
+    pub fn deselect(&mut self, name: &str) -> &mut Self {
+        self.selected.remove(name);
+        self
+    }
+
+    /// Builder-style selection.
+    pub fn with(mut self, name: impl Into<String>) -> Self {
+        self.selected.insert(name.into());
+        self
+    }
+
+    /// Builder-style removal.
+    pub fn without(mut self, name: &str) -> Self {
+        self.selected.remove(name);
+        self
+    }
+
+    /// `true` if the named feature is selected.
+    pub fn contains(&self, name: &str) -> bool {
+        self.selected.contains(name)
+    }
+
+    /// Number of selected features.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// `true` if nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Iterate over selected names in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.selected.iter().map(String::as_str)
+    }
+
+    /// Union with another configuration (used when merging per-diagram
+    /// selections into a whole-dialect selection).
+    pub fn union(&self, other: &Configuration) -> Configuration {
+        Configuration {
+            selected: self.selected.union(&other.selected).cloned().collect(),
+        }
+    }
+
+    /// `true` if every selection in `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &Configuration) -> bool {
+        self.selected.is_subset(&other.selected)
+    }
+
+    /// Features present in `self` but not in `other`.
+    pub fn difference<'a>(&'a self, other: &Configuration) -> Vec<&'a str> {
+        self.selected
+            .iter()
+            .filter(|n| !other.selected.contains(*n))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, name) in self.selected.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for Configuration {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        Configuration::of(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Configuration {
+    type Item = &'a String;
+    type IntoIter = std::collections::btree_set::Iter<'a, String>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.selected.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_deselect_roundtrip() {
+        let mut c = Configuration::new();
+        c.select("a").select("b");
+        assert!(c.contains("a"));
+        c.deselect("a");
+        assert!(!c.contains("a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn of_dedupes() {
+        let c = Configuration::of(["x", "x", "y"]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = Configuration::of(["a", "b"]);
+        let b = Configuration::of(["b", "c"]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+    }
+
+    #[test]
+    fn difference_lists_missing() {
+        let a = Configuration::of(["a", "b", "c"]);
+        let b = Configuration::of(["b"]);
+        assert_eq!(a.difference(&b), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn display_sorted() {
+        let c = Configuration::of(["where", "from", "having"]);
+        assert_eq!(c.to_string(), "{from, having, where}");
+    }
+
+    #[test]
+    fn with_without_chain() {
+        let c = Configuration::new().with("a").with("b").without("a");
+        assert_eq!(c, Configuration::of(["b"]));
+    }
+}

@@ -1,0 +1,456 @@
+//! Exact counting and bounded enumeration of valid configurations.
+//!
+//! Counting uses a dynamic program over the feature tree. Groups are handled
+//! with a subset-size polynomial: each member `m` contributes a factor
+//! `(1 + count(m)·x)`; the group's contribution is the sum of coefficients of
+//! `x^k` for `k` within the group bounds. Cross-tree constraints are handled
+//! by *splitting*: the features mentioned in constraints are enumerated over
+//! all constraint-consistent true/false assignments, and the tree DP is run
+//! with those features forced. This is exact and fast as long as the number
+//! of constraint-involved features is modest (it is small in every SQL
+//! diagram of this product line; the implementation caps it at
+//! [`MAX_SPLIT_FEATURES`]).
+
+use crate::config::Configuration;
+use crate::model::{Constraint, FeatureId, FeatureModel};
+use crate::validate::validate;
+use std::collections::BTreeSet;
+
+/// Upper bound on distinct features referenced by constraints before
+/// [`count_configurations`] refuses to split (2^n assignments).
+pub const MAX_SPLIT_FEATURES: usize = 24;
+
+/// Tri-state forcing for the DP.
+type Forced = Vec<Option<bool>>;
+
+/// Number of valid subtree configurations of `f`, **given `f` is selected**,
+/// honoring `forced`.
+fn count_subtree(model: &FeatureModel, f: FeatureId, forced: &Forced) -> u128 {
+    if forced[f.index()] == Some(false) {
+        return 0;
+    }
+    let feat = model.feature(f);
+    let mut total: u128 = 1;
+
+    // Solitary children.
+    for &child in &feat.children {
+        let c = model.feature(child);
+        if c.group.is_some() {
+            continue;
+        }
+        let child_count = count_subtree(model, child, forced);
+        let factor = if c.optionality.is_mandatory() {
+            child_count
+        } else {
+            match forced[child.index()] {
+                Some(true) => child_count,
+                Some(false) => 1,
+                None => 1 + child_count,
+            }
+        };
+        total = total.saturating_mul(factor);
+        if total == 0 {
+            return 0;
+        }
+    }
+
+    // Groups owned by this feature.
+    for group in model.groups().iter().filter(|g| g.parent == f) {
+        // poly[k] = number of ways to select exactly k members (with their
+        // subtrees configured).
+        let mut poly: Vec<u128> = vec![1];
+        for &m in &group.members {
+            let m_count = count_subtree(model, m, forced);
+            let (can_skip, can_take) = match forced[m.index()] {
+                Some(true) => (false, true),
+                Some(false) => (true, false),
+                None => (true, true),
+            };
+            let mut next = vec![0u128; poly.len() + 1];
+            for (k, &ways) in poly.iter().enumerate() {
+                if can_skip {
+                    next[k] = next[k].saturating_add(ways);
+                }
+                if can_take {
+                    next[k + 1] = next[k + 1].saturating_add(ways.saturating_mul(m_count));
+                }
+            }
+            poly = next;
+        }
+        let (min, max) = group.kind.bounds(group.members.len());
+        let mut group_ways: u128 = 0;
+        for (k, &ways) in poly.iter().enumerate() {
+            if k as u32 >= min && k as u32 <= max {
+                group_ways = group_ways.saturating_add(ways);
+            }
+        }
+        total = total.saturating_mul(group_ways);
+        if total == 0 {
+            return 0;
+        }
+    }
+    total
+}
+
+/// Count configurations of the whole model under a forcing vector,
+/// ignoring cross-tree constraints (callers handle those by splitting).
+pub(crate) fn count_subtree_forced(model: &FeatureModel, forced: &Forced) -> u128 {
+    count_subtree(model, FeatureId::ROOT, forced)
+}
+
+/// `true` if the assignment over constraint features is internally
+/// consistent with every constraint whose endpoints are both assigned.
+fn assignment_consistent(model: &FeatureModel, forced: &Forced) -> bool {
+    model.constraints().iter().all(|&c| match c {
+        Constraint::Requires(a, b) => {
+            !(forced[a.index()] == Some(true) && forced[b.index()] == Some(false))
+        }
+        Constraint::Excludes(a, b) => {
+            !(forced[a.index()] == Some(true) && forced[b.index()] == Some(true))
+        }
+    })
+}
+
+/// Exact number of valid configurations of `model`.
+///
+/// Saturates at `u128::MAX` on (astronomically) large models. Panics if more
+/// than [`MAX_SPLIT_FEATURES`] distinct features appear in constraints; use
+/// [`try_count_configurations`] to handle that case gracefully.
+pub fn count_configurations(model: &FeatureModel) -> u128 {
+    try_count_configurations(model, MAX_SPLIT_FEATURES).unwrap_or_else(|| {
+        panic!(
+            "model `{}` has too many constraint-involved features; counting would need 2^n splits beyond the cap",
+            model.name()
+        )
+    })
+}
+
+/// Exact counting with an explicit split cap: returns `None` when more than
+/// `max_split` distinct features appear in constraints (2^n assignments
+/// would be required).
+pub fn try_count_configurations(model: &FeatureModel, max_split: usize) -> Option<u128> {
+    let involved: BTreeSet<FeatureId> = model
+        .constraints()
+        .iter()
+        .flat_map(|c| {
+            let (a, b) = c.endpoints();
+            [a, b]
+        })
+        .collect();
+    if involved.len() > max_split.min(MAX_SPLIT_FEATURES) {
+        return None;
+    }
+    let involved: Vec<FeatureId> = involved.into_iter().collect();
+
+    if involved.is_empty() {
+        let forced: Forced = vec![None; model.len()];
+        return Some(count_subtree(model, FeatureId::ROOT, &forced));
+    }
+
+    let mut total: u128 = 0;
+    for mask in 0u64..(1u64 << involved.len()) {
+        let mut forced: Forced = vec![None; model.len()];
+        for (bit, &fid) in involved.iter().enumerate() {
+            forced[fid.index()] = Some(mask & (1 << bit) != 0);
+        }
+        if !assignment_consistent(model, &forced) {
+            continue;
+        }
+        total = total.saturating_add(count_subtree(model, FeatureId::ROOT, &forced));
+    }
+    Some(total)
+}
+
+/// Enumerate valid configurations, stopping after `limit` results.
+///
+/// Works by expanding the tree's choice points (optional solitary features
+/// and group member subsets) recursively, then filtering by full validation
+/// (which applies cross-tree constraints). Exponential in model size;
+/// intended for tests and small diagrams.
+pub fn enumerate_configurations(model: &FeatureModel, limit: usize) -> Vec<Configuration> {
+    let mut out = Vec::new();
+    let mut selected = vec![false; model.len()];
+    selected[FeatureId::ROOT.index()] = true;
+    let mut completions: Vec<Vec<bool>> = Vec::new();
+    subtree_completions(model, FeatureId::ROOT, &mut selected, &mut completions);
+    for comp in completions {
+        if out.len() >= limit {
+            break;
+        }
+        let config = Configuration::of(
+            model
+                .iter()
+                .filter(|(id, _)| comp[id.index()])
+                .map(|(_, feat)| feat.name.clone()),
+        );
+        if validate(model, &config).is_ok() {
+            out.push(config);
+        }
+    }
+    out
+}
+
+/// Collect every tree-structurally-complete `selected` vector for the
+/// subtree of `f`, which must already be marked selected. Cross-tree
+/// constraints are *not* applied here; the caller filters.
+fn subtree_completions(
+    model: &FeatureModel,
+    f: FeatureId,
+    selected: &mut Vec<bool>,
+    out: &mut Vec<Vec<bool>>,
+) {
+    let feat = model.feature(f);
+    let solitary: Vec<FeatureId> = feat
+        .children
+        .iter()
+        .copied()
+        .filter(|&c| model.feature(c).group.is_none())
+        .collect();
+    let groups: Vec<usize> = model
+        .groups()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.parent == f)
+        .map(|(i, _)| i)
+        .collect();
+    expand_children(model, &solitary, &groups, 0, 0, selected, out);
+}
+
+/// Expand choice points of one feature: first solitary children (index
+/// `si`), then groups (index `gi`). When both are exhausted, the current
+/// `selected` is one completion.
+fn expand_children(
+    model: &FeatureModel,
+    solitary: &[FeatureId],
+    groups: &[usize],
+    si: usize,
+    gi: usize,
+    selected: &mut Vec<bool>,
+    out: &mut Vec<Vec<bool>>,
+) {
+    if si < solitary.len() {
+        let child = solitary[si];
+        let mandatory = model.feature(child).optionality.is_mandatory();
+        // Take the child: expand its own subtree, and for each completion,
+        // continue with remaining siblings.
+        with_child_taken(model, child, selected, &mut |model, selected| {
+            expand_children(model, solitary, groups, si + 1, gi, selected, out);
+        });
+        // Skip the child if optional.
+        if !mandatory {
+            expand_children(model, solitary, groups, si + 1, gi, selected, out);
+        }
+        return;
+    }
+    if gi < groups.len() {
+        let g = &model.groups()[groups[gi]];
+        let members = g.members.clone();
+        let (min, max) = g.kind.bounds(members.len());
+        for mask in 0u64..(1u64 << members.len()) {
+            let k = mask.count_ones();
+            if k < min || k > max {
+                continue;
+            }
+            take_masked_members(model, &members, mask, 0, selected, &mut |model, selected| {
+                expand_children(model, solitary, groups, si, gi + 1, selected, out);
+            });
+        }
+        return;
+    }
+    out.push(selected.clone());
+}
+
+/// Mark `child` selected, enumerate its subtree completions, invoke `k` for
+/// each, then restore `selected` (clearing the whole subtree).
+fn with_child_taken(
+    model: &FeatureModel,
+    child: FeatureId,
+    selected: &mut Vec<bool>,
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>),
+) {
+    selected[child.index()] = true;
+    let mut subs = Vec::new();
+    subtree_completions(model, child, selected, &mut subs);
+    for comp in subs {
+        let saved = std::mem::replace(selected, comp);
+        k(model, selected);
+        *selected = saved;
+    }
+    selected[child.index()] = false;
+    for d in model.descendants(child) {
+        selected[d.index()] = false;
+    }
+}
+
+/// Take exactly the members of `members` whose bit is set in `mask`
+/// (expanding each taken member's subtree), then invoke `k`.
+fn take_masked_members(
+    model: &FeatureModel,
+    members: &[FeatureId],
+    mask: u64,
+    i: usize,
+    selected: &mut Vec<bool>,
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>),
+) {
+    if i == members.len() {
+        k(model, selected);
+        return;
+    }
+    if mask & (1 << i) != 0 {
+        with_child_taken(model, members[i], selected, &mut |model, selected| {
+            take_masked_members(model, members, mask, i + 1, selected, k);
+        });
+    } else {
+        take_masked_members(model, members, mask, i + 1, selected, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelBuilder;
+
+    /// Figure 2: from mandatory; where/group_by/having/window optional,
+    /// having requires group_by.
+    fn table_expression() -> FeatureModel {
+        let mut b = ModelBuilder::new("table_expression");
+        let root = b.root();
+        b.mandatory(root, "from");
+        b.optional(root, "where");
+        b.optional(root, "group_by");
+        b.optional(root, "having");
+        b.optional(root, "window");
+        b.requires("having", "group_by");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn count_simple_optionals() {
+        // root + 3 optionals, no constraints: 2^3 = 8.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.optional(r, "x");
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 8);
+    }
+
+    #[test]
+    fn count_mandatory_is_neutral() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "m");
+        b.optional(r, "o");
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 2);
+    }
+
+    #[test]
+    fn count_xor_group() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.xor(r, &["a", "b", "x"]);
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 3);
+    }
+
+    #[test]
+    fn count_or_group() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.or(r, &["a", "b", "x"]);
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 7); // 2^3 - 1
+    }
+
+    #[test]
+    fn count_card_group() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.group(r, crate::GroupKind::Card { min: 2, max: Some(2) }, &["a", "b", "x"]);
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 3); // C(3,2)
+    }
+
+    #[test]
+    fn count_with_requires() {
+        // where: 2 choices; window: 2; (group_by, having): having requires
+        // group_by -> 3 combos (00, 10, 11). Total 2*2*3 = 12.
+        let m = table_expression();
+        assert_eq!(count_configurations(&m), 12);
+    }
+
+    #[test]
+    fn count_with_excludes() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 3); // {}, {a}, {b}
+    }
+
+    #[test]
+    fn count_nested_optional_subtree() {
+        // optional parent with an XOR group: 1 (absent) + 2 (present w/ choice).
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        let sq = b.optional(r, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 3);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let m = table_expression();
+        let configs = enumerate_configurations(&m, 1000);
+        assert_eq!(configs.len() as u128, count_configurations(&m));
+        // all distinct and valid
+        for c in &configs {
+            assert!(m.validate(c).is_ok(), "invalid enumerated config {c}");
+        }
+        let set: std::collections::BTreeSet<String> =
+            configs.iter().map(|c| c.to_string()).collect();
+        assert_eq!(set.len(), configs.len());
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let m = table_expression();
+        let configs = enumerate_configurations(&m, 5);
+        assert_eq!(configs.len(), 5);
+    }
+
+    #[test]
+    fn enumeration_with_nested_groups_matches_count() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        let sq = b.optional(r, "q");
+        b.xor(sq, &["all", "distinct"]);
+        let sl = b.mandatory(r, "sl");
+        b.or(sl, &["col", "star"]);
+        b.optional(r, "w");
+        let m = b.build().unwrap();
+        // q: 1+2=3; sl: 3 (or of 2); w: 2 => 18
+        assert_eq!(count_configurations(&m), 18);
+        assert_eq!(enumerate_configurations(&m, 10_000).len(), 18);
+    }
+
+    #[test]
+    fn deep_nesting_count() {
+        // chain of optional features 5 deep: each level present only if the
+        // previous is. counts: 1 + 1*(1 + (1 + (1 + (1 + 1)))) telescoping:
+        // f(leaf)=1; each optional wrap: 1+f. depth 5 -> 6.
+        let mut b = ModelBuilder::new("c");
+        let mut cur = b.root();
+        for i in 0..5 {
+            cur = b.optional(cur, &format!("lvl{i}"));
+        }
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), 6);
+        assert_eq!(enumerate_configurations(&m, 100).len(), 6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for model construction and configuration validation.
+
+use crate::model::FeatureId;
+use std::fmt;
+
+/// Error raised while building a [`crate::FeatureModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Two features share the same name.
+    DuplicateName(String),
+    /// A group was declared with fewer than two members.
+    GroupTooSmall { parent: String, members: usize },
+    /// A group cardinality is unsatisfiable (min > members, or min > max).
+    BadGroupCardinality { parent: String, min: u32, max: Option<u32>, members: usize },
+    /// A constraint endpoint references an unknown feature name.
+    UnknownConstraintFeature(String),
+    /// A constraint relates a feature to itself.
+    SelfConstraint(String),
+    /// A feature was attached to a parent id that does not exist.
+    UnknownParent(u32),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate feature name `{n}`"),
+            ModelError::GroupTooSmall { parent, members } => {
+                write!(f, "group under `{parent}` has {members} member(s); need at least 2")
+            }
+            ModelError::BadGroupCardinality { parent, min, max, members } => write!(
+                f,
+                "group under `{parent}` has unsatisfiable cardinality [{min}..{}] over {members} members",
+                max.map_or("*".to_string(), |m| m.to_string())
+            ),
+            ModelError::UnknownConstraintFeature(n) => {
+                write!(f, "constraint references unknown feature `{n}`")
+            }
+            ModelError::SelfConstraint(n) => {
+                write!(f, "constraint relates feature `{n}` to itself")
+            }
+            ModelError::UnknownParent(id) => write!(f, "unknown parent feature id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// One violated rule found while validating a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The configuration names a feature the model doesn't contain.
+    UnknownFeature(String),
+    /// The root concept is not selected.
+    RootNotSelected,
+    /// A selected feature's parent is not selected.
+    OrphanFeature { feature: FeatureId, parent: FeatureId },
+    /// A mandatory child of a selected parent is missing.
+    MandatoryMissing { feature: FeatureId, parent: FeatureId },
+    /// A group's selected-member count is outside its bounds.
+    GroupViolated {
+        parent: FeatureId,
+        selected: u32,
+        min: u32,
+        max: u32,
+    },
+    /// `a` is selected but its required feature `b` is not.
+    RequiresViolated { from: FeatureId, to: FeatureId },
+    /// Mutually exclusive features are both selected.
+    ExcludesViolated { a: FeatureId, b: FeatureId },
+}
+
+/// Validation failure: the full list of violations, never empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// All rule violations found (validation does not stop at the first).
+    pub violations: Vec<Violation>,
+    /// Human-readable rendering of each violation, aligned with
+    /// `violations`.
+    pub messages: Vec<String>,
+}
+
+impl ValidationError {
+    pub(crate) fn new(violations: Vec<Violation>, messages: Vec<String>) -> Self {
+        debug_assert_eq!(violations.len(), messages.len());
+        debug_assert!(!violations.is_empty());
+        ValidationError { violations, messages }
+    }
+
+    /// `true` if any violation is of the given shape.
+    pub fn has(&self, pred: impl Fn(&Violation) -> bool) -> bool {
+        self.violations.iter().any(pred)
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration ({} violation(s)):", self.violations.len())?;
+        for m in &self.messages {
+            write!(f, "\n  - {m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}

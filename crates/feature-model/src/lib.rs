@@ -1,0 +1,67 @@
+//! FODA-style feature modeling substrate for the `sqlweave` product line.
+//!
+//! This crate implements the feature-diagram formalism used by
+//! *"Generating Highly Customizable SQL Parsers"* (Sunkle et al., EDBT 2008
+//! SETMDM) to decompose SQL:2003: hierarchical feature trees with
+//! mandatory/optional features, OR and alternative (XOR) groups, feature
+//! cardinalities such as `[1..*]`, and cross-tree `requires`/`excludes`
+//! constraints.
+//!
+//! The central types are:
+//!
+//! * [`FeatureModel`] — an immutable, validated feature diagram.
+//! * [`ModelBuilder`] — ergonomic construction of feature diagrams.
+//! * [`Configuration`] — a *feature instance description* in the paper's
+//!   terminology: the set of features selected for one product.
+//! * [`validate::validate`] — checks a configuration against a model and
+//!   produces structured diagnostics.
+//! * [`complete::complete`] — closes a partial selection over mandatory
+//!   children, ancestors, and `requires` edges.
+//! * [`count::count_configurations`] — exact counting of valid
+//!   configurations (tree DP with constraint splitting).
+//! * [`render`] — ASCII and Graphviz DOT renderings of diagrams, used to
+//!   regenerate Figures 1 and 2 of the paper.
+//!
+//! # Example
+//!
+//! Build the paper's Figure 2 (*Table Expression*) and validate the
+//! worked-example instance `{table_expression, from}`:
+//!
+//! ```
+//! use sqlweave_feature_model::{ModelBuilder, Configuration};
+//!
+//! let mut b = ModelBuilder::new("table_expression");
+//! let root = b.root();
+//! let from = b.mandatory(root, "from");
+//! b.optional(root, "where");
+//! let group_by = b.optional(root, "group_by");
+//! let having = b.optional(root, "having");
+//! b.optional(root, "window");
+//! b.requires("having", "group_by");
+//! let model = b.build().unwrap();
+//!
+//! let config = Configuration::of(["table_expression", "from"]);
+//! assert!(model.validate(&config).is_ok());
+//!
+//! // HAVING without GROUP BY violates the cross-tree constraint.
+//! let bad = Configuration::of(["table_expression", "from", "having"]);
+//! assert!(model.validate(&bad).is_err());
+//! let _ = (from, group_by, having);
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod complete;
+pub mod config;
+pub mod count;
+pub mod error;
+pub mod model;
+pub mod render;
+pub mod validate;
+
+pub use builder::ModelBuilder;
+pub use config::Configuration;
+pub use error::{ModelError, ValidationError, Violation};
+pub use model::{
+    Cardinality, Constraint, Feature, FeatureId, FeatureModel, Group, GroupKind, Optionality,
+};

@@ -1,0 +1,511 @@
+//! Core feature-diagram data types.
+//!
+//! A [`FeatureModel`] is an immutable tree of [`Feature`]s. Child features of
+//! a parent are either *solitary* (individually mandatory or optional) or
+//! members of exactly one [`Group`] (OR, alternative/XOR, or an explicit
+//! `[m..n]` group cardinality). Cross-tree [`Constraint`]s (`requires`,
+//! `excludes`) restrict which selections are valid.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a feature inside its [`FeatureModel`].
+///
+/// Ids are dense (`0..model.len()`), with id `0` always the root concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureId(pub(crate) u32);
+
+impl FeatureId {
+    /// The root concept of every model.
+    pub const ROOT: FeatureId = FeatureId(0);
+
+    /// The dense index of this feature.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FeatureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether a solitary feature must be selected whenever its parent is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Optionality {
+    /// Selected in every configuration that selects the parent.
+    Mandatory,
+    /// May be freely included or omitted.
+    Optional,
+}
+
+impl Optionality {
+    /// `true` for [`Optionality::Mandatory`].
+    pub fn is_mandatory(self) -> bool {
+        matches!(self, Optionality::Mandatory)
+    }
+}
+
+/// Instance cardinality annotation on a feature, e.g. the paper's
+/// `Select Sublist [1..*]`.
+///
+/// Cardinality is *metadata* interpreted by the grammar layer (it selects a
+/// list-shaped sub-grammar); it does not change configuration semantics,
+/// which are per-feature boolean selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cardinality {
+    /// Minimum number of instances.
+    pub min: u32,
+    /// Maximum number of instances; `None` means unbounded (`*`).
+    pub max: Option<u32>,
+}
+
+impl Cardinality {
+    /// `[1..*]` — one or more instances.
+    pub const ONE_OR_MORE: Cardinality = Cardinality { min: 1, max: None };
+    /// `[0..*]` — any number of instances.
+    pub const ANY: Cardinality = Cardinality { min: 0, max: None };
+
+    /// Construct `[min..max]`.
+    pub fn new(min: u32, max: Option<u32>) -> Self {
+        Cardinality { min, max }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(max) => write!(f, "[{}..{}]", self.min, max),
+            None => write!(f, "[{}..*]", self.min),
+        }
+    }
+}
+
+/// How the grouped children of a feature constrain each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// At least one member must be selected (inclusive OR).
+    Or,
+    /// Exactly one member must be selected (alternative).
+    Xor,
+    /// Between `min` and `max` members must be selected.
+    Card {
+        /// Minimum number of selected members.
+        min: u32,
+        /// Maximum number of selected members; `None` = no upper bound.
+        max: Option<u32>,
+    },
+}
+
+impl GroupKind {
+    /// The `(min, max)` selection bounds implied by this kind, where the
+    /// effective max is capped by the member count at validation time.
+    pub fn bounds(self, members: usize) -> (u32, u32) {
+        let members = members as u32;
+        match self {
+            GroupKind::Or => (1, members),
+            GroupKind::Xor => (1, 1),
+            GroupKind::Card { min, max } => (min, max.unwrap_or(members).min(members)),
+        }
+    }
+}
+
+impl fmt::Display for GroupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKind::Or => write!(f, "or"),
+            GroupKind::Xor => write!(f, "xor"),
+            GroupKind::Card { min, max } => match max {
+                Some(max) => write!(f, "[{min}..{max}]"),
+                None => write!(f, "[{min}..*]"),
+            },
+        }
+    }
+}
+
+/// A group of sibling features under one parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// The parent feature owning this group.
+    pub parent: FeatureId,
+    /// Group semantics.
+    pub kind: GroupKind,
+    /// The grouped features, in declaration order.
+    pub members: Vec<FeatureId>,
+}
+
+/// A cross-tree constraint between two features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// Selecting the first feature forces selection of the second.
+    Requires(FeatureId, FeatureId),
+    /// The two features may never both be selected.
+    Excludes(FeatureId, FeatureId),
+}
+
+impl Constraint {
+    /// Both endpoints of the constraint.
+    pub fn endpoints(self) -> (FeatureId, FeatureId) {
+        match self {
+            Constraint::Requires(a, b) | Constraint::Excludes(a, b) => (a, b),
+        }
+    }
+}
+
+/// One node of a feature diagram.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// Unique machine name (snake_case slug), e.g. `set_quantifier`.
+    pub name: String,
+    /// Human-readable title, e.g. `Set Quantifier`. Defaults to a
+    /// title-cased form of `name`.
+    pub title: String,
+    /// Whether the feature is mandatory or optional relative to its parent.
+    /// Members of a group are stored as [`Optionality::Optional`]; the group
+    /// governs their selection.
+    pub optionality: Optionality,
+    /// Optional instance cardinality annotation (`[1..*]` etc.).
+    pub cardinality: Option<Cardinality>,
+    /// Parent feature, `None` only for the root concept.
+    pub parent: Option<FeatureId>,
+    /// Children in declaration order (both solitary and grouped).
+    pub children: Vec<FeatureId>,
+    /// Index into [`FeatureModel::groups`] if this feature is a group member.
+    pub group: Option<usize>,
+}
+
+impl Feature {
+    /// `true` if this feature belongs to an OR/XOR/cardinality group.
+    pub fn is_grouped(&self) -> bool {
+        self.group.is_some()
+    }
+}
+
+/// An immutable, structurally valid feature diagram.
+///
+/// Construct with [`crate::ModelBuilder`]. Invariants guaranteed after
+/// `build()`:
+///
+/// * ids are dense and `FeatureId::ROOT` is the concept node;
+/// * names are unique;
+/// * every group has ≥ 2 members, all sharing the group's parent;
+/// * constraints reference existing features and are not self-referential.
+#[derive(Debug, Clone)]
+pub struct FeatureModel {
+    pub(crate) features: Vec<Feature>,
+    pub(crate) groups: Vec<Group>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) by_name: HashMap<String, FeatureId>,
+}
+
+impl FeatureModel {
+    /// The root concept feature.
+    pub fn root(&self) -> &Feature {
+        &self.features[0]
+    }
+
+    /// Name of the root concept (also used as the diagram name).
+    pub fn name(&self) -> &str {
+        &self.features[0].name
+    }
+
+    /// Number of features, including the root concept.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the model contains only the root (degenerate but legal).
+    pub fn is_empty(&self) -> bool {
+        self.features.len() <= 1
+    }
+
+    /// Look up a feature by id.
+    pub fn feature(&self, id: FeatureId) -> &Feature {
+        &self.features[id.index()]
+    }
+
+    /// Look up a feature id by name.
+    pub fn id_of(&self, name: &str) -> Option<FeatureId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Look up a feature by name.
+    pub fn by_name(&self, name: &str) -> Option<&Feature> {
+        self.id_of(name).map(|id| self.feature(id))
+    }
+
+    /// Iterate over `(id, feature)` pairs in id order (which is also a
+    /// topological pre-order: parents precede children).
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &Feature)> {
+        self.features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FeatureId(i as u32), f))
+    }
+
+    /// All groups in the model.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// All cross-tree constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The group a feature belongs to, if any.
+    pub fn group_of(&self, id: FeatureId) -> Option<&Group> {
+        self.feature(id).group.map(|g| &self.groups[g])
+    }
+
+    /// Walk ancestors from `id` (exclusive) up to and including the root.
+    pub fn ancestors(&self, id: FeatureId) -> impl Iterator<Item = FeatureId> + '_ {
+        let mut cur = self.feature(id).parent;
+        std::iter::from_fn(move || {
+            let next = cur?;
+            cur = self.feature(next).parent;
+            Some(next)
+        })
+    }
+
+    /// All descendant ids of `id` (exclusive), in pre-order.
+    pub fn descendants(&self, id: FeatureId) -> Vec<FeatureId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<FeatureId> = self.feature(id).children.iter().rev().copied().collect();
+        while let Some(f) = stack.pop() {
+            out.push(f);
+            stack.extend(self.feature(f).children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Depth of a feature (root = 0).
+    pub fn depth(&self, id: FeatureId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Validate a configuration; convenience for [`crate::validate::validate`].
+    pub fn validate(
+        &self,
+        config: &crate::Configuration,
+    ) -> Result<(), crate::error::ValidationError> {
+        crate::validate::validate(self, config)
+    }
+
+    /// Auto-complete a partial selection; convenience for
+    /// [`crate::complete::complete`].
+    pub fn complete(
+        &self,
+        config: &crate::Configuration,
+    ) -> Result<crate::Configuration, crate::error::ValidationError> {
+        crate::complete::complete(self, config)
+    }
+
+    /// Exact number of valid configurations; convenience for
+    /// [`crate::count::count_configurations`].
+    pub fn count_configurations(&self) -> u128 {
+        crate::count::count_configurations(self)
+    }
+
+    /// Extract the subtree rooted at `root` as a standalone model.
+    ///
+    /// The subtree feature becomes the new concept; optionality, groups,
+    /// cardinalities and titles are preserved, and cross-tree constraints
+    /// are kept when both endpoints lie inside the subtree. This is how the
+    /// paper's individual feature diagrams (Figures 1, 2, …) are obtained
+    /// from the merged SQL:2003 model.
+    pub fn subtree(&self, root: FeatureId) -> FeatureModel {
+        let mut b = crate::ModelBuilder::new(self.feature(root).name.clone());
+        {
+            let title = self.feature(root).title.clone();
+            b.with_title(FeatureId::ROOT, &title);
+            if let Some(card) = self.feature(root).cardinality {
+                b.with_cardinality(FeatureId::ROOT, card);
+            }
+        }
+        // Map old ids to new ids, walking in pre-order so parents exist.
+        let mut map: HashMap<FeatureId, FeatureId> = HashMap::new();
+        map.insert(root, FeatureId::ROOT);
+        let members: Vec<FeatureId> = std::iter::once(root)
+            .chain(self.descendants(root))
+            .collect();
+        // Track which groups we've already re-created.
+        let mut group_done: Vec<bool> = vec![false; self.groups.len()];
+        for &old in &members[1..] {
+            if map.contains_key(&old) {
+                continue;
+            }
+            let feat = self.feature(old);
+            let new_parent = map[&feat.parent.expect("non-root descendant has parent")];
+            match feat.group {
+                Some(g) if !group_done[g] => {
+                    group_done[g] = true;
+                    let group = &self.groups[g];
+                    let names: Vec<&str> = group
+                        .members
+                        .iter()
+                        .map(|&m| self.feature(m).name.as_str())
+                        .collect();
+                    let ids = b.group(new_parent, group.kind, &names);
+                    for (&m, &nid) in group.members.iter().zip(ids.iter()) {
+                        map.insert(m, nid);
+                    }
+                }
+                Some(_) => unreachable!("group members map together"),
+                None => {
+                    let nid = match feat.optionality {
+                        Optionality::Mandatory => b.mandatory(new_parent, &feat.name),
+                        Optionality::Optional => b.optional(new_parent, &feat.name),
+                    };
+                    map.insert(old, nid);
+                }
+            }
+            let nid = map[&old];
+            b.with_title(nid, &feat.title);
+            if let Some(card) = feat.cardinality {
+                b.with_cardinality(nid, card);
+            }
+        }
+        let inside: std::collections::HashSet<FeatureId> = members.iter().copied().collect();
+        for c in &self.constraints {
+            let (a, bb) = c.endpoints();
+            if inside.contains(&a) && inside.contains(&bb) {
+                let an = self.feature(a).name.as_str();
+                let bn = self.feature(bb).name.as_str();
+                match c {
+                    Constraint::Requires(..) => b.requires(an, bn),
+                    Constraint::Excludes(..) => b.excludes(an, bn),
+                }
+            }
+        }
+        b.build().expect("subtree of a valid model is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelBuilder;
+
+    fn sample() -> FeatureModel {
+        // Figure 1 shape: query_specification with optional set_quantifier
+        // (xor: all | distinct) and mandatory select_list.
+        let mut b = ModelBuilder::new("query_specification");
+        let root = b.root();
+        let sq = b.optional(root, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let sl = b.mandatory(root, "select_list");
+        let ss = b.mandatory(sl, "select_sublist");
+        b.with_cardinality(ss, Cardinality::ONE_OR_MORE);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn root_is_id_zero() {
+        let m = sample();
+        assert_eq!(m.root().name, "query_specification");
+        assert_eq!(m.id_of("query_specification"), Some(FeatureId::ROOT));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = sample();
+        let sq = m.by_name("set_quantifier").unwrap();
+        assert_eq!(sq.optionality, Optionality::Optional);
+        assert!(m.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn xor_members_are_grouped() {
+        let m = sample();
+        let all = m.id_of("all").unwrap();
+        let g = m.group_of(all).unwrap();
+        assert_eq!(g.kind, GroupKind::Xor);
+        assert_eq!(g.members.len(), 2);
+        assert_eq!(g.parent, m.id_of("set_quantifier").unwrap());
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let m = sample();
+        let sub = m.id_of("select_sublist").unwrap();
+        let anc: Vec<_> = m.ancestors(sub).collect();
+        assert_eq!(anc.len(), 2);
+        assert_eq!(anc[1], FeatureId::ROOT);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let m = sample();
+        let d = m.descendants(FeatureId::ROOT);
+        assert_eq!(d.len(), m.len() - 1);
+        // set_quantifier subtree comes before select_list (declaration order)
+        let names: Vec<_> = d.iter().map(|&f| m.feature(f).name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["set_quantifier", "all", "distinct", "select_list", "select_sublist"]
+        );
+    }
+
+    #[test]
+    fn depth() {
+        let m = sample();
+        assert_eq!(m.depth(FeatureId::ROOT), 0);
+        assert_eq!(m.depth(m.id_of("all").unwrap()), 2);
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let mut b = ModelBuilder::new("sql_2003");
+        let root = b.root();
+        let qs = b.mandatory(root, "query_specification");
+        let sq = b.optional(qs, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let te = b.mandatory(qs, "table_expression");
+        b.mandatory(te, "from");
+        b.optional(te, "where");
+        let gbid = b.optional(te, "group_by");
+        b.optional(te, "having");
+        b.requires("having", "group_by");
+        b.optional(root, "insert_statement");
+        let _ = gbid;
+        let m = b.build().unwrap();
+
+        let sub = m.subtree(m.id_of("table_expression").unwrap());
+        assert_eq!(sub.name(), "table_expression");
+        assert_eq!(sub.len(), 5); // te, from, where, group_by, having
+        assert!(sub.by_name("insert_statement").is_none());
+        assert_eq!(sub.constraints().len(), 1); // having requires group_by
+        assert_eq!(
+            sub.by_name("from").unwrap().optionality,
+            Optionality::Mandatory
+        );
+
+        // groups survive extraction
+        let sub2 = m.subtree(m.id_of("set_quantifier").unwrap());
+        assert_eq!(sub2.groups().len(), 1);
+        assert_eq!(sub2.groups()[0].kind, GroupKind::Xor);
+        // constraint crossing the subtree boundary is dropped
+        let sub3 = m.subtree(m.id_of("query_specification").unwrap());
+        assert_eq!(sub3.constraints().len(), 1);
+        let sub4 = m.subtree(m.id_of("group_by").unwrap());
+        assert_eq!(sub4.constraints().len(), 0);
+        // counting works on extracted models
+        assert!(sub.count_configurations() > 0);
+    }
+
+    #[test]
+    fn cardinality_display() {
+        assert_eq!(Cardinality::ONE_OR_MORE.to_string(), "[1..*]");
+        assert_eq!(Cardinality::new(2, Some(5)).to_string(), "[2..5]");
+    }
+
+    #[test]
+    fn group_kind_bounds() {
+        assert_eq!(GroupKind::Or.bounds(3), (1, 3));
+        assert_eq!(GroupKind::Xor.bounds(3), (1, 1));
+        assert_eq!(GroupKind::Card { min: 0, max: Some(2) }.bounds(3), (0, 2));
+        assert_eq!(GroupKind::Card { min: 1, max: None }.bounds(4), (1, 4));
+    }
+}

@@ -1,0 +1,236 @@
+//! Rendering of feature diagrams as ASCII trees and Graphviz DOT.
+//!
+//! The ASCII form regenerates the paper's Figures 1 and 2 in textual form;
+//! the DOT form can be piped through `dot -Tpng` to obtain graphical
+//! diagrams in the conventional FODA notation (filled circles for mandatory,
+//! hollow for optional, arcs for groups — approximated with edge labels).
+
+use crate::model::{FeatureId, FeatureModel, GroupKind, Optionality};
+use std::fmt::Write as _;
+
+/// Render the diagram as an indented ASCII tree.
+///
+/// Notation: `[m]` mandatory, `[o]` optional, `<xor>`/`<or>` group headers,
+/// trailing `[1..*]` style instance cardinalities, and a footer listing
+/// cross-tree constraints.
+pub fn ascii(model: &FeatureModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (concept)", model.root().title);
+    render_children(model, FeatureId::ROOT, &mut out, String::new());
+    if !model.constraints().is_empty() {
+        let _ = writeln!(out, "constraints:");
+        for c in model.constraints() {
+            let (a, b) = c.endpoints();
+            let verb = match c {
+                crate::model::Constraint::Requires(..) => "requires",
+                crate::model::Constraint::Excludes(..) => "excludes",
+            };
+            let _ = writeln!(
+                out,
+                "  {} {} {}",
+                model.feature(a).name,
+                verb,
+                model.feature(b).name
+            );
+        }
+    }
+    out
+}
+
+/// One renderable row under a parent: either a solitary child or a group.
+enum Row {
+    Solitary(FeatureId),
+    Group(usize),
+}
+
+fn rows_of(model: &FeatureModel, parent: FeatureId) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut seen_groups = Vec::new();
+    for &child in &model.feature(parent).children {
+        match model.feature(child).group {
+            None => rows.push(Row::Solitary(child)),
+            Some(g) => {
+                if !seen_groups.contains(&g) {
+                    seen_groups.push(g);
+                    rows.push(Row::Group(g));
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn feature_label(model: &FeatureModel, id: FeatureId, mark: &str) -> String {
+    let f = model.feature(id);
+    let card = f
+        .cardinality
+        .map(|c| format!(" {c}"))
+        .unwrap_or_default();
+    format!("{mark} {}{card}", f.title)
+}
+
+fn render_children(model: &FeatureModel, parent: FeatureId, out: &mut String, prefix: String) {
+    let rows = rows_of(model, parent);
+    let n = rows.len();
+    for (i, row) in rows.iter().enumerate() {
+        let last = i + 1 == n;
+        let branch = if last { "`-- " } else { "|-- " };
+        let child_prefix = format!("{prefix}{}", if last { "    " } else { "|   " });
+        match row {
+            Row::Solitary(id) => {
+                let mark = match model.feature(*id).optionality {
+                    Optionality::Mandatory => "[m]",
+                    Optionality::Optional => "[o]",
+                };
+                let _ = writeln!(out, "{prefix}{branch}{}", feature_label(model, *id, mark));
+                render_children(model, *id, out, child_prefix);
+            }
+            Row::Group(g) => {
+                let group = &model.groups()[*g];
+                let _ = writeln!(out, "{prefix}{branch}<{}>", group.kind);
+                let members = &group.members;
+                for (j, &m) in members.iter().enumerate() {
+                    let mlast = j + 1 == members.len();
+                    let mbranch = if mlast { "`-- " } else { "|-- " };
+                    let _ = writeln!(
+                        out,
+                        "{child_prefix}{mbranch}{}",
+                        feature_label(model, m, "( )")
+                    );
+                    let mprefix =
+                        format!("{child_prefix}{}", if mlast { "    " } else { "|   " });
+                    render_children(model, m, out, mprefix);
+                }
+            }
+        }
+    }
+}
+
+/// Render the diagram as Graphviz DOT.
+pub fn dot(model: &FeatureModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", model.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for (id, f) in model.iter() {
+        let style = match (id == FeatureId::ROOT, f.optionality) {
+            (true, _) => "bold",
+            (_, Optionality::Mandatory) => "solid",
+            (_, Optionality::Optional) => "dashed",
+        };
+        let card = f
+            .cardinality
+            .map(|c| format!("\\n{c}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}{}\", style={}];",
+            id.index(),
+            f.title,
+            card,
+            style
+        );
+    }
+    for (id, f) in model.iter() {
+        if let Some(parent) = f.parent {
+            let label = match f.group.map(|g| model.groups()[g].kind) {
+                Some(GroupKind::Or) => " [label=\"or\", arrowhead=odot]",
+                Some(GroupKind::Xor) => " [label=\"xor\", arrowhead=odiamond]",
+                Some(GroupKind::Card { .. }) => " [label=\"card\"]",
+                None => match f.optionality {
+                    Optionality::Mandatory => " [arrowhead=dot]",
+                    Optionality::Optional => " [arrowhead=odot]",
+                },
+            };
+            let _ = writeln!(out, "  n{} -> n{}{};", parent.index(), id.index(), label);
+        }
+    }
+    for c in model.constraints() {
+        let (a, b) = c.endpoints();
+        let (style, label) = match c {
+            crate::model::Constraint::Requires(..) => ("dotted", "requires"),
+            crate::model::Constraint::Excludes(..) => ("dotted", "excludes"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [style={}, label=\"{}\", constraint=false];",
+            a.index(),
+            b.index(),
+            style,
+            label
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cardinality, ModelBuilder};
+
+    /// Figure 1 of the paper.
+    fn figure1() -> FeatureModel {
+        let mut b = ModelBuilder::new("query_specification");
+        let root = b.root();
+        let sq = b.optional(root, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let sl = b.mandatory(root, "select_list");
+        b.or(sl, &["select_sublist", "asterisk"]);
+        let ss = b.by_name_id("select_sublist");
+        b.with_cardinality(ss, Cardinality::ONE_OR_MORE);
+        let dc = b.optional(ss, "derived_column");
+        b.optional(dc, "as_clause");
+        b.mandatory(root, "table_expression");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ascii_contains_all_features() {
+        let m = figure1();
+        let a = ascii(&m);
+        for (_, f) in m.iter() {
+            assert!(
+                a.contains(f.title.as_str()),
+                "missing {} in:\n{a}",
+                f.title
+            );
+        }
+    }
+
+    #[test]
+    fn ascii_marks_optionality_and_groups() {
+        let m = figure1();
+        let a = ascii(&m);
+        assert!(a.contains("[o] Set Quantifier"));
+        assert!(a.contains("[m] Table Expression"));
+        assert!(a.contains("<xor>"));
+        assert!(a.contains("<or>"));
+        assert!(a.contains("[1..*]"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let m = figure1();
+        let d = dot(&m);
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        assert!(d.matches("->").count() >= m.len() - 1);
+        // every node declared
+        for (id, _) in m.iter() {
+            assert!(d.contains(&format!("n{} [label=", id.index())));
+        }
+    }
+
+    #[test]
+    fn constraints_rendered() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        assert!(ascii(&m).contains("a requires b"));
+        assert!(dot(&m).contains("label=\"requires\""));
+    }
+}

@@ -1,0 +1,299 @@
+//! Configuration validation against a feature model.
+//!
+//! Validation collects *all* violations rather than stopping at the first,
+//! so user interfaces (the paper's envisioned feature-selection UI) can show
+//! a complete report.
+
+use crate::config::Configuration;
+use crate::error::{ValidationError, Violation};
+use crate::model::{Constraint, FeatureId, FeatureModel, Optionality};
+
+/// Resolve a configuration to a dense selected-bit vector.
+///
+/// Unknown names are reported in `violations`.
+fn resolve(
+    model: &FeatureModel,
+    config: &Configuration,
+    violations: &mut Vec<Violation>,
+    messages: &mut Vec<String>,
+) -> Vec<bool> {
+    let mut selected = vec![false; model.len()];
+    for name in config.iter() {
+        match model.id_of(name) {
+            Some(id) => selected[id.index()] = true,
+            None => {
+                violations.push(Violation::UnknownFeature(name.to_string()));
+                messages.push(format!(
+                    "`{name}` is not a feature of diagram `{}`",
+                    model.name()
+                ));
+            }
+        }
+    }
+    selected
+}
+
+/// Validate `config` against `model`.
+///
+/// Rules checked (matching the paper's feature-diagram semantics):
+///
+/// 1. every selected name exists in the model;
+/// 2. the root concept is selected;
+/// 3. the parent of every selected feature is selected;
+/// 4. every *mandatory* solitary child of a selected parent is selected;
+/// 5. every group under a selected parent has a within-bounds number of
+///    selected members (OR ≥ 1, XOR = 1, `[m..n]` within bounds); groups
+///    under unselected parents must have no selected members (covered by
+///    rule 3);
+/// 6. all `requires` / `excludes` constraints hold over selected features.
+pub fn validate(model: &FeatureModel, config: &Configuration) -> Result<(), ValidationError> {
+    let mut violations = Vec::new();
+    let mut messages = Vec::new();
+    let selected = resolve(model, config, &mut violations, &mut messages);
+
+    let name = |id: FeatureId| model.feature(id).name.as_str();
+
+    // Rule 2: root selected.
+    if !selected[0] {
+        violations.push(Violation::RootNotSelected);
+        messages.push(format!("root concept `{}` must be selected", model.name()));
+    }
+
+    for (id, feat) in model.iter() {
+        let is_sel = selected[id.index()];
+        // Rule 3: parent selected.
+        if is_sel {
+            if let Some(parent) = feat.parent {
+                if !selected[parent.index()] {
+                    violations.push(Violation::OrphanFeature { feature: id, parent });
+                    messages.push(format!(
+                        "`{}` is selected but its parent `{}` is not",
+                        name(id),
+                        name(parent)
+                    ));
+                }
+            }
+        }
+        // Rule 4: mandatory children of selected parents.
+        if is_sel {
+            for &child in &feat.children {
+                let c = model.feature(child);
+                if c.group.is_none()
+                    && c.optionality == Optionality::Mandatory
+                    && !selected[child.index()]
+                {
+                    violations.push(Violation::MandatoryMissing { feature: child, parent: id });
+                    messages.push(format!(
+                        "mandatory feature `{}` of selected `{}` is missing",
+                        name(child),
+                        name(id)
+                    ));
+                }
+            }
+        }
+    }
+
+    // Rule 5: group cardinalities (only for selected parents).
+    for group in model.groups() {
+        if !selected[group.parent.index()] {
+            continue;
+        }
+        let count = group
+            .members
+            .iter()
+            .filter(|m| selected[m.index()])
+            .count() as u32;
+        let (min, max) = group.kind.bounds(group.members.len());
+        if count < min || count > max {
+            violations.push(Violation::GroupViolated {
+                parent: group.parent,
+                selected: count,
+                min,
+                max,
+            });
+            let members: Vec<&str> = group.members.iter().map(|&m| name(m)).collect();
+            messages.push(format!(
+                "{} group {{{}}} under `{}` needs {min}..{max} selections, found {count}",
+                group.kind,
+                members.join(", "),
+                name(group.parent)
+            ));
+        }
+    }
+
+    // Rule 6: cross-tree constraints.
+    for &c in model.constraints() {
+        match c {
+            Constraint::Requires(a, b) => {
+                if selected[a.index()] && !selected[b.index()] {
+                    violations.push(Violation::RequiresViolated { from: a, to: b });
+                    messages.push(format!("`{}` requires `{}`", name(a), name(b)));
+                }
+            }
+            Constraint::Excludes(a, b) => {
+                if selected[a.index()] && selected[b.index()] {
+                    violations.push(Violation::ExcludesViolated { a, b });
+                    messages.push(format!("`{}` excludes `{}`", name(a), name(b)));
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidationError::new(violations, messages))
+    }
+}
+
+/// Resolve a configuration to selected feature ids, ignoring unknown names.
+pub fn selected_ids(model: &FeatureModel, config: &Configuration) -> Vec<FeatureId> {
+    config.iter().filter_map(|n| model.id_of(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Configuration, ModelBuilder};
+
+    /// Figure 2 of the paper (Table Expression) plus the standard SQL
+    /// `having requires group_by` constraint.
+    fn table_expression() -> FeatureModel {
+        let mut b = ModelBuilder::new("table_expression");
+        let root = b.root();
+        b.mandatory(root, "from");
+        b.optional(root, "where");
+        b.optional(root, "group_by");
+        b.optional(root, "having");
+        b.optional(root, "window");
+        b.requires("having", "group_by");
+        b.build().unwrap()
+    }
+
+    fn quantifier() -> FeatureModel {
+        let mut b = ModelBuilder::new("set_quantifier");
+        let root = b.root();
+        b.xor(root, &["all", "distinct"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn minimal_instance_valid() {
+        let m = table_expression();
+        let c = Configuration::of(["table_expression", "from"]);
+        assert!(validate(&m, &c).is_ok());
+    }
+
+    #[test]
+    fn missing_root_flagged() {
+        let m = table_expression();
+        let c = Configuration::of(["from"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::RootNotSelected)));
+    }
+
+    #[test]
+    fn missing_mandatory_flagged() {
+        let m = table_expression();
+        let c = Configuration::of(["table_expression", "where"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::MandatoryMissing { .. })));
+    }
+
+    #[test]
+    fn orphan_flagged() {
+        let m = quantifier();
+        // `all` selected without its parent... parent IS root here; drop root.
+        let c = Configuration::of(["all"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::OrphanFeature { .. })));
+    }
+
+    #[test]
+    fn xor_exactly_one() {
+        let m = quantifier();
+        let both = Configuration::of(["set_quantifier", "all", "distinct"]);
+        let err = validate(&m, &both).unwrap_err();
+        assert!(err.has(
+            |v| matches!(v, Violation::GroupViolated { selected: 2, min: 1, max: 1, .. })
+        ));
+
+        let none = Configuration::of(["set_quantifier"]);
+        let err = validate(&m, &none).unwrap_err();
+        assert!(err.has(
+            |v| matches!(v, Violation::GroupViolated { selected: 0, .. })
+        ));
+
+        let one = Configuration::of(["set_quantifier", "distinct"]);
+        assert!(validate(&m, &one).is_ok());
+    }
+
+    #[test]
+    fn or_group_at_least_one() {
+        let mut b = ModelBuilder::new("select_list");
+        let root = b.root();
+        b.or(root, &["select_sublist", "asterisk"]);
+        let m = b.build().unwrap();
+
+        let none = Configuration::of(["select_list"]);
+        assert!(validate(&m, &none).is_err());
+        let one = Configuration::of(["select_list", "asterisk"]);
+        assert!(validate(&m, &one).is_ok());
+        let both = Configuration::of(["select_list", "asterisk", "select_sublist"]);
+        assert!(validate(&m, &both).is_ok());
+    }
+
+    #[test]
+    fn requires_enforced() {
+        let m = table_expression();
+        let c = Configuration::of(["table_expression", "from", "having"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::RequiresViolated { .. })));
+
+        let ok = Configuration::of(["table_expression", "from", "group_by", "having"]);
+        assert!(validate(&m, &ok).is_ok());
+    }
+
+    #[test]
+    fn excludes_enforced() {
+        let mut b = ModelBuilder::new("c");
+        let root = b.root();
+        b.optional(root, "a");
+        b.optional(root, "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let c = Configuration::of(["c", "a", "b"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::ExcludesViolated { .. })));
+    }
+
+    #[test]
+    fn unknown_feature_flagged() {
+        let m = table_expression();
+        let c = Configuration::of(["table_expression", "from", "limit"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.has(|v| matches!(v, Violation::UnknownFeature(n) if n == "limit")));
+    }
+
+    #[test]
+    fn all_violations_collected() {
+        let m = table_expression();
+        // Missing root, missing mandatory, unknown name: three violations.
+        let c = Configuration::of(["having", "bogus"]);
+        let err = validate(&m, &c).unwrap_err();
+        assert!(err.violations.len() >= 3, "got: {err}");
+    }
+
+    #[test]
+    fn group_under_unselected_parent_not_required() {
+        // set_quantifier optional under root; when unselected, its XOR group
+        // imposes nothing.
+        let mut b = ModelBuilder::new("query_specification");
+        let root = b.root();
+        let sq = b.optional(root, "set_quantifier");
+        b.xor(sq, &["all", "distinct"]);
+        let m = b.build().unwrap();
+        let c = Configuration::of(["query_specification"]);
+        assert!(validate(&m, &c).is_ok());
+    }
+}

@@ -1,0 +1,593 @@
+//! Grammar analyses: nullable / FIRST / FOLLOW, LL(1) table construction
+//! with conflict reporting, left-recursion detection, and reachability /
+//! productivity diagnostics.
+//!
+//! All set computations run on the [`crate::lower::flatten`]ed form of the
+//! grammar; original nonterminal names are preserved by lowering, so
+//! results are directly addressable by the caller's names.
+
+use crate::ir::{Grammar, Term};
+use crate::lower::flatten;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Synthetic token name representing end of input in FOLLOW sets.
+pub const EOF: &str = "$";
+
+/// An LL(1) prediction conflict: two alternatives of `nonterminal` are both
+/// predicted on `token`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ll1Conflict {
+    /// The ambiguous nonterminal.
+    pub nonterminal: String,
+    /// The lookahead token both alternatives claim.
+    pub token: String,
+    /// Indices of the clashing alternatives (first two found).
+    pub alternatives: (usize, usize),
+}
+
+impl fmt::Display for Ll1Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LL(1) conflict in `{}` on token {}: alternatives {} and {}",
+            self.nonterminal, self.token, self.alternatives.0, self.alternatives.1
+        )
+    }
+}
+
+/// Errors that make a grammar unanalyzable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Referenced nonterminals with no production.
+    Undefined(Vec<String>),
+    /// The start symbol has no production.
+    UndefinedStart(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Undefined(names) => {
+                write!(f, "undefined nonterminals: {}", names.join(", "))
+            }
+            AnalysisError::UndefinedStart(s) => write!(f, "undefined start symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Complete analysis results over the flattened grammar.
+#[derive(Debug, Clone)]
+pub struct GrammarAnalysis {
+    /// The flattened (plain BNF) grammar the analysis describes.
+    pub flat: Grammar,
+    /// Nullable nonterminals.
+    pub nullable: BTreeSet<String>,
+    /// FIRST sets (token names) per nonterminal.
+    pub first: BTreeMap<String, BTreeSet<String>>,
+    /// FOLLOW sets (token names, possibly [`EOF`]) per nonterminal.
+    pub follow: BTreeMap<String, BTreeSet<String>>,
+    /// LL(1) prediction table: `(nonterminal, token) -> alternative index`.
+    /// On conflicts the *first* (lowest-index) alternative is stored, making
+    /// table-driven parsing deterministic with declaration-order priority.
+    pub table: HashMap<(String, String), usize>,
+    /// All LL(1) conflicts found.
+    pub conflicts: Vec<Ll1Conflict>,
+    /// Left-recursive cycles (each as the chain of nonterminal names).
+    pub left_recursion: Vec<Vec<String>>,
+    /// Nonterminals unreachable from the start symbol.
+    pub unreachable: Vec<String>,
+    /// Nonterminals that derive no terminal string.
+    pub unproductive: Vec<String>,
+}
+
+impl GrammarAnalysis {
+    /// `true` if the grammar is LL(1) (no conflicts, no left recursion).
+    pub fn is_ll1(&self) -> bool {
+        self.conflicts.is_empty() && self.left_recursion.is_empty()
+    }
+
+    /// FIRST set of an arbitrary sequence under this analysis.
+    pub fn first_of_seq(&self, seq: &[Term]) -> (BTreeSet<String>, bool) {
+        let mut set = BTreeSet::new();
+        for term in seq {
+            match term {
+                Term::Token(t) => {
+                    set.insert(t.clone());
+                    return (set, false);
+                }
+                Term::NonTerminal(n) => {
+                    if let Some(f) = self.first.get(n) {
+                        set.extend(f.iter().cloned());
+                    }
+                    if !self.nullable.contains(n) {
+                        return (set, false);
+                    }
+                }
+                // Analysis operates on flattened grammars; nested terms can
+                // only appear if the caller passes an unflattened sequence.
+                Term::Optional(body) | Term::Star(body) => {
+                    let (inner, _) = self.first_of_seq(body);
+                    set.extend(inner);
+                }
+                Term::Plus(body) => {
+                    let (inner, nullable) = self.first_of_seq(body);
+                    set.extend(inner);
+                    if !nullable {
+                        return (set, false);
+                    }
+                }
+                Term::Group(alts) => {
+                    let mut any_nullable = false;
+                    for alt in alts {
+                        let (inner, nullable) = self.first_of_seq(alt);
+                        set.extend(inner);
+                        any_nullable |= nullable;
+                    }
+                    if !any_nullable {
+                        return (set, false);
+                    }
+                }
+            }
+        }
+        (set, true)
+    }
+
+    /// Number of populated LL(1) table cells (size metric, Experiment B3).
+    pub fn table_cells(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Analyze `g`. The grammar must be *closed*: every referenced nonterminal
+/// defined, including the start symbol.
+pub fn analyze(g: &Grammar) -> Result<GrammarAnalysis, AnalysisError> {
+    let undefined: Vec<String> = g
+        .undefined_nonterminals()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    if !undefined.is_empty() {
+        return Err(AnalysisError::Undefined(undefined));
+    }
+    if g.production(g.start()).is_none() {
+        return Err(AnalysisError::UndefinedStart(g.start().to_string()));
+    }
+
+    let flat = flatten(g);
+
+    // --- nullable (fixpoint) ---
+    let mut nullable: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for p in flat.productions() {
+            if nullable.contains(&p.name) {
+                continue;
+            }
+            let is_nullable = p.alternatives.iter().any(|alt| {
+                alt.seq.iter().all(|t| match t {
+                    Term::NonTerminal(n) => nullable.contains(n),
+                    Term::Token(_) => false,
+                    _ => unreachable!("flattened grammar has no nested terms"),
+                })
+            });
+            if is_nullable {
+                nullable.insert(p.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- FIRST (fixpoint) ---
+    let mut first: BTreeMap<String, BTreeSet<String>> = flat
+        .productions()
+        .iter()
+        .map(|p| (p.name.clone(), BTreeSet::new()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for p in flat.productions() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for alt in &p.alternatives {
+                for term in &alt.seq {
+                    match term {
+                        Term::Token(t) => {
+                            add.insert(t.clone());
+                            break;
+                        }
+                        Term::NonTerminal(n) => {
+                            add.extend(first[n].iter().cloned());
+                            if !nullable.contains(n) {
+                                break;
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            let entry = first.get_mut(&p.name).unwrap();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- FOLLOW (fixpoint) ---
+    let mut follow: BTreeMap<String, BTreeSet<String>> = flat
+        .productions()
+        .iter()
+        .map(|p| (p.name.clone(), BTreeSet::new()))
+        .collect();
+    follow
+        .get_mut(flat.start())
+        .expect("start defined")
+        .insert(EOF.to_string());
+    loop {
+        let mut changed = false;
+        for p in flat.productions() {
+            for alt in &p.alternatives {
+                for (i, term) in alt.seq.iter().enumerate() {
+                    let Term::NonTerminal(n) = term else { continue };
+                    // tokens that can start what follows position i
+                    let mut add: BTreeSet<String> = BTreeSet::new();
+                    let mut rest_nullable = true;
+                    for t in &alt.seq[i + 1..] {
+                        match t {
+                            Term::Token(tok) => {
+                                add.insert(tok.clone());
+                                rest_nullable = false;
+                                break;
+                            }
+                            Term::NonTerminal(m) => {
+                                add.extend(first[m].iter().cloned());
+                                if !nullable.contains(m) {
+                                    rest_nullable = false;
+                                    break;
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    if rest_nullable {
+                        add.extend(follow[&p.name].iter().cloned());
+                    }
+                    let entry = follow.get_mut(n).unwrap();
+                    let before = entry.len();
+                    entry.extend(add);
+                    if entry.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- LL(1) table + conflicts ---
+    let mut table: HashMap<(String, String), usize> = HashMap::new();
+    let mut conflicts = Vec::new();
+    for p in flat.productions() {
+        for (ai, alt) in p.alternatives.iter().enumerate() {
+            // predict set of this alternative
+            let mut predict: BTreeSet<String> = BTreeSet::new();
+            let mut alt_nullable = true;
+            for term in &alt.seq {
+                match term {
+                    Term::Token(t) => {
+                        predict.insert(t.clone());
+                        alt_nullable = false;
+                        break;
+                    }
+                    Term::NonTerminal(n) => {
+                        predict.extend(first[n].iter().cloned());
+                        if !nullable.contains(n) {
+                            alt_nullable = false;
+                            break;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if alt_nullable {
+                predict.extend(follow[&p.name].iter().cloned());
+            }
+            for tok in predict {
+                let key = (p.name.clone(), tok.clone());
+                match table.get(&key) {
+                    Some(&prev) if prev != ai => {
+                        conflicts.push(Ll1Conflict {
+                            nonterminal: p.name.clone(),
+                            token: tok,
+                            alternatives: (prev, ai),
+                        });
+                        // keep first alternative (declaration priority)
+                    }
+                    Some(_) => {}
+                    None => {
+                        table.insert(key, ai);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- left recursion (cycles in the "can begin with" relation) ---
+    let left_recursion = find_left_recursion(&flat, &nullable);
+
+    // --- reachability ---
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![flat.start()];
+    while let Some(n) = stack.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        if let Some(p) = flat.production(n) {
+            for alt in &p.alternatives {
+                for t in &alt.seq {
+                    if let Term::NonTerminal(m) = t {
+                        if !reachable.contains(m.as_str()) {
+                            stack.push(m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let unreachable: Vec<String> = flat
+        .productions()
+        .iter()
+        .filter(|p| !reachable.contains(p.name.as_str()))
+        .map(|p| p.name.clone())
+        .collect();
+
+    // --- productivity ---
+    let mut productive: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for p in flat.productions() {
+            if productive.contains(&p.name) {
+                continue;
+            }
+            let ok = p.alternatives.iter().any(|alt| {
+                alt.seq.iter().all(|t| match t {
+                    Term::Token(_) => true,
+                    Term::NonTerminal(n) => productive.contains(n),
+                    _ => unreachable!(),
+                })
+            });
+            if ok {
+                productive.insert(p.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let unproductive: Vec<String> = flat
+        .productions()
+        .iter()
+        .filter(|p| !productive.contains(&p.name))
+        .map(|p| p.name.clone())
+        .collect();
+
+    Ok(GrammarAnalysis {
+        flat,
+        nullable,
+        first,
+        follow,
+        table,
+        conflicts,
+        left_recursion,
+        unreachable,
+        unproductive,
+    })
+}
+
+/// Find cycles in the begins-with graph (A → B when an alternative of A
+/// starts with B modulo nullable prefixes).
+fn find_left_recursion(flat: &Grammar, nullable: &BTreeSet<String>) -> Vec<Vec<String>> {
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for p in flat.productions() {
+        let entry = edges.entry(p.name.as_str()).or_default();
+        for alt in &p.alternatives {
+            for term in &alt.seq {
+                match term {
+                    Term::NonTerminal(n) => {
+                        entry.insert(n.as_str());
+                        if !nullable.contains(n) {
+                            break;
+                        }
+                    }
+                    Term::Token(_) => break,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+    // DFS cycle collection; report each cycle once by its smallest member.
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in edges.keys() {
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        dfs_cycles(
+            start, &edges, &mut path, &mut on_path, &mut visited, &mut cycles, &mut reported,
+        );
+    }
+    cycles
+}
+
+fn dfs_cycles<'a>(
+    node: &'a str,
+    edges: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    path: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    visited: &mut BTreeSet<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    reported: &mut BTreeSet<String>,
+) {
+    if on_path.contains(node) {
+        let pos = path.iter().position(|&n| n == node).unwrap();
+        let cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+        let key = cycle.iter().min().unwrap().clone();
+        if reported.insert(key) {
+            cycles.push(cycle);
+        }
+        return;
+    }
+    if !visited.insert(node) {
+        return;
+    }
+    path.push(node);
+    on_path.insert(node);
+    if let Some(succs) = edges.get(node) {
+        for &next in succs {
+            dfs_cycles(next, edges, path, on_path, visited, cycles, reported);
+        }
+    }
+    path.pop();
+    on_path.remove(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_grammar;
+
+    fn analyze_src(src: &str) -> GrammarAnalysis {
+        analyze(&parse_grammar(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn undefined_nonterminal_is_error() {
+        let g = parse_grammar("grammar g; a : X missing ;").unwrap();
+        assert!(matches!(analyze(&g), Err(AnalysisError::Undefined(v)) if v == ["missing"]));
+    }
+
+    #[test]
+    fn nullable_computation() {
+        let a = analyze_src("grammar g; a : b c ; b : X | ; c : Y | ;");
+        assert!(a.nullable.contains("a"));
+        assert!(a.nullable.contains("b"));
+        let a = analyze_src("grammar g; a : b X ; b : | Y ;");
+        assert!(!a.nullable.contains("a"));
+    }
+
+    #[test]
+    fn first_sets() {
+        let a = analyze_src("grammar g; a : b X | Z ; b : Y | ;");
+        let fa = &a.first["a"];
+        assert!(fa.contains("Y") && fa.contains("X") && fa.contains("Z"));
+        assert_eq!(a.first["b"].iter().collect::<Vec<_>>(), ["Y"]);
+    }
+
+    #[test]
+    fn follow_sets() {
+        let a = analyze_src("grammar g; start s; s : a X ; a : Y | ;");
+        assert!(a.follow["a"].contains("X"));
+        assert!(a.follow["s"].contains(EOF));
+    }
+
+    #[test]
+    fn follow_through_nullable_suffix() {
+        let a = analyze_src("grammar g; start s; s : a b Z ; a : X ; b : Y | ;");
+        // FOLLOW(a) includes FIRST(b)=Y and, because b is nullable, Z.
+        assert!(a.follow["a"].contains("Y"));
+        assert!(a.follow["a"].contains("Z"));
+    }
+
+    #[test]
+    fn ll1_grammar_has_no_conflicts() {
+        let a = analyze_src(
+            "grammar g; start s; s : SELECT list ; list : IDENT (COMMA IDENT)* ;",
+        );
+        assert!(a.is_ll1(), "conflicts: {:?}", a.conflicts);
+        assert!(!a.table.is_empty());
+    }
+
+    #[test]
+    fn common_prefix_conflict_detected() {
+        let a = analyze_src("grammar g; a : X Y | X Z ;");
+        assert!(!a.is_ll1());
+        assert_eq!(a.conflicts[0].token, "X");
+        assert_eq!(a.conflicts[0].alternatives, (0, 1));
+        // priority: table keeps the first alternative
+        assert_eq!(a.table[&("a".to_string(), "X".to_string())], 0);
+    }
+
+    #[test]
+    fn direct_left_recursion_detected() {
+        let a = analyze_src("grammar g; a : a X | Y ;");
+        assert_eq!(a.left_recursion.len(), 1);
+        assert_eq!(a.left_recursion[0], ["a"]);
+    }
+
+    #[test]
+    fn indirect_left_recursion_detected() {
+        let a = analyze_src("grammar g; a : b X | Q ; b : c Y | R ; c : a Z | S ;");
+        assert_eq!(a.left_recursion.len(), 1);
+        assert_eq!(a.left_recursion[0].len(), 3);
+    }
+
+    #[test]
+    fn left_recursion_through_nullable_prefix() {
+        let a = analyze_src("grammar g; a : b a X | Y ; b : Z | ;");
+        // b nullable, so `a : b a X` is left-recursive on a.
+        assert!(!a.left_recursion.is_empty());
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let a = analyze_src("grammar g; start s; s : X ; orphan : Y ;");
+        assert_eq!(a.unreachable, ["orphan"]);
+    }
+
+    #[test]
+    fn unproductive_reported() {
+        let a = analyze_src("grammar g; start s; s : X | loopy ; loopy : loopy X ;");
+        assert_eq!(a.unproductive, ["loopy"]);
+    }
+
+    #[test]
+    fn ebnf_constructs_analyzable_via_flattening() {
+        let a = analyze_src(
+            "grammar g; start q; q : SELECT sq? cols FROM IDENT ; sq : DISTINCT | ALL ; cols : IDENT (COMMA IDENT)* | STAR ;",
+        );
+        assert!(a.is_ll1(), "conflicts: {:?}", a.conflicts);
+        assert!(a.first["q"].contains("SELECT"));
+        // synthetic opt production is nullable
+        assert!(a.nullable.iter().any(|n| n.contains("__opt")));
+    }
+
+    #[test]
+    fn first_of_seq_over_ebnf_terms() {
+        let a = analyze_src("grammar g; a : X ;");
+        use crate::ir::Term;
+        let (set, nullable) = a.first_of_seq(&[
+            Term::Optional(vec![Term::tok("Q")]),
+            Term::tok("X"),
+        ]);
+        assert!(set.contains("Q") && set.contains("X"));
+        assert!(!nullable);
+    }
+
+    #[test]
+    fn table_cells_metric() {
+        let a = analyze_src("grammar g; a : X | Y ;");
+        assert_eq!(a.table_cells(), 2);
+    }
+}

@@ -1,0 +1,628 @@
+//! Textual grammar and token-file languages.
+//!
+//! The grammar DSL follows the "LL(k) grammars with additional options used
+//! by the ANTLR parser generator" notation the paper settles on:
+//!
+//! ```text
+//! grammar query_specification;
+//! start query_specification;
+//!
+//! // Alternatives may carry #labels used as semantic-action hooks.
+//! query_specification
+//!   : SELECT set_quantifier? select_list table_expression  #select
+//!   ;
+//! select_list : select_sublist (COMMA select_sublist)* | ASTERISK ;
+//! ```
+//!
+//! Conventions: `UPPER_SNAKE` names are tokens, `lower_snake` names are
+//! nonterminals; `?`/`*`/`+` are postfix; `(…|…)` groups inline
+//! alternation; `//` and `/* */` comments are skipped.
+//!
+//! The token-file DSL mirrors the paper's per-feature token files:
+//!
+//! ```text
+//! tokens query_specification;
+//! SELECT = kw;            // case-insensitive keyword, spelled as named
+//! COMMA  = ",";           // literal punctuation
+//! IDENT  = /[A-Za-z_][A-Za-z0-9_]*/;
+//! WS     = skip /[ \t\r\n]+/;
+//! ```
+
+use crate::ir::{is_token_name, Alternative, Grammar, Production, Term};
+use sqlweave_lexgen::tokenset::TokenSet;
+use std::fmt;
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DSL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// Lexical items of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Colon,
+    Semi,
+    Pipe,
+    LParen,
+    RParen,
+    Quest,
+    Star,
+    Plus,
+    Hash,
+    Eq,
+    StringLit(String),
+    RegexLit(String),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> DslError {
+        DslError { line: self.line, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump(&mut self, c: char) {
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), DslError> {
+        loop {
+            let rest = self.rest();
+            let Some(c) = rest.chars().next() else { return Ok(()) };
+            if c.is_whitespace() {
+                self.bump(c);
+            } else if rest.starts_with("//") {
+                for c in rest.chars() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump(c);
+                }
+            } else if rest.starts_with("/*") {
+                let start_line = self.line;
+                self.bump('/');
+                self.bump('*');
+                loop {
+                    if self.rest().starts_with("*/") {
+                        self.bump('*');
+                        self.bump('/');
+                        break;
+                    }
+                    match self.rest().chars().next() {
+                        Some(c) => self.bump(c),
+                        None => {
+                            return Err(DslError {
+                                line: start_line,
+                                message: "unterminated block comment".into(),
+                            })
+                        }
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Next token; regex literals `/…/` are only valid where `allow_regex`.
+    fn next(&mut self, allow_regex: bool) -> Result<Option<(Tok, usize)>, DslError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let rest = self.rest();
+        let Some(c) = rest.chars().next() else { return Ok(None) };
+        let tok = match c {
+            ':' => {
+                self.bump(c);
+                Tok::Colon
+            }
+            ';' => {
+                self.bump(c);
+                Tok::Semi
+            }
+            '|' => {
+                self.bump(c);
+                Tok::Pipe
+            }
+            '(' => {
+                self.bump(c);
+                Tok::LParen
+            }
+            ')' => {
+                self.bump(c);
+                Tok::RParen
+            }
+            '?' => {
+                self.bump(c);
+                Tok::Quest
+            }
+            '*' => {
+                self.bump(c);
+                Tok::Star
+            }
+            '+' => {
+                self.bump(c);
+                Tok::Plus
+            }
+            '#' => {
+                self.bump(c);
+                Tok::Hash
+            }
+            '=' => {
+                self.bump(c);
+                Tok::Eq
+            }
+            '"' => {
+                self.bump(c);
+                let mut s = String::new();
+                loop {
+                    let Some(c) = self.rest().chars().next() else {
+                        return Err(self.error("unterminated string literal"));
+                    };
+                    self.bump(c);
+                    if c == '"' {
+                        break;
+                    }
+                    if c == '\\' {
+                        let Some(e) = self.rest().chars().next() else {
+                            return Err(self.error("dangling escape in string"));
+                        };
+                        self.bump(e);
+                        s.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                    } else {
+                        s.push(c);
+                    }
+                }
+                Tok::StringLit(s)
+            }
+            '/' if allow_regex => {
+                self.bump(c);
+                let mut s = String::new();
+                loop {
+                    let Some(c) = self.rest().chars().next() else {
+                        return Err(self.error("unterminated regex literal"));
+                    };
+                    self.bump(c);
+                    if c == '/' {
+                        break;
+                    }
+                    if c == '\\' {
+                        let Some(e) = self.rest().chars().next() else {
+                            return Err(self.error("dangling escape in regex"));
+                        };
+                        self.bump(e);
+                        if e == '/' {
+                            s.push('/');
+                        } else {
+                            s.push('\\');
+                            s.push(e);
+                        }
+                    } else {
+                        s.push(c);
+                    }
+                }
+                Tok::RegexLit(s)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(c) = self.rest().chars().next() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        self.bump(c);
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(s)
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct GrammarParser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl GrammarParser {
+    fn error_at(&self, message: impl Into<String>) -> DslError {
+        let line = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |&(_, l)| l);
+        DslError { line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), DslError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error_at(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DslError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_at(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn parse(&mut self) -> Result<Grammar, DslError> {
+        // header: `grammar NAME ;` then optional `start NT ;`
+        let kw = self.ident("`grammar` header")?;
+        if kw != "grammar" {
+            return Err(self.error_at("grammar file must begin with `grammar <name>;`"));
+        }
+        let name = self.ident("grammar name")?;
+        self.expect(&Tok::Semi, "`;` after grammar name")?;
+
+        let mut start: Option<String> = None;
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "start" {
+                self.bump();
+                start = Some(self.ident("start nonterminal")?);
+                self.expect(&Tok::Semi, "`;` after start declaration")?;
+            }
+        }
+
+        let mut productions: Vec<Production> = Vec::new();
+        while self.peek().is_some() {
+            productions.push(self.production()?);
+        }
+        let start = start
+            .or_else(|| productions.first().map(|p| p.name.clone()))
+            .ok_or_else(|| self.error_at("grammar has no productions and no start"))?;
+
+        let mut g = Grammar::new(&name, &start);
+        for p in productions {
+            g.add_production(p);
+        }
+        Ok(g)
+    }
+
+    fn production(&mut self) -> Result<Production, DslError> {
+        let name = self.ident("production name")?;
+        if is_token_name(&name) {
+            return Err(self.error_at(format!(
+                "`{name}` is a token name; productions must be lower_snake"
+            )));
+        }
+        self.expect(&Tok::Colon, "`:` after production name")?;
+        let mut alternatives = vec![self.alternative()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            alternatives.push(self.alternative()?);
+        }
+        self.expect(&Tok::Semi, "`;` terminating production")?;
+        Ok(Production { name, alternatives })
+    }
+
+    fn alternative(&mut self) -> Result<Alternative, DslError> {
+        let seq = self.sequence()?;
+        let label = if self.peek() == Some(&Tok::Hash) {
+            self.bump();
+            Some(self.ident("label after `#`")?)
+        } else {
+            None
+        };
+        Ok(Alternative { label, seq })
+    }
+
+    fn sequence(&mut self) -> Result<Vec<Term>, DslError> {
+        let mut seq = Vec::new();
+        while matches!(self.peek(), Some(Tok::Ident(_)) | Some(Tok::LParen)) {
+            seq.push(self.term()?);
+        }
+        Ok(seq)
+    }
+
+    fn term(&mut self) -> Result<Term, DslError> {
+        let base = match self.bump() {
+            Some(Tok::Ident(name)) => {
+                if is_token_name(&name) {
+                    Term::Token(name)
+                } else {
+                    Term::NonTerminal(name)
+                }
+            }
+            Some(Tok::LParen) => {
+                let mut alts = vec![self.sequence()?];
+                while self.peek() == Some(&Tok::Pipe) {
+                    self.bump();
+                    alts.push(self.sequence()?);
+                }
+                self.expect(&Tok::RParen, "`)` closing group")?;
+                if alts.len() == 1 {
+                    // A pure group `(a b)` — keep as single-alt group so the
+                    // suffix operators below have something to attach to.
+                    Term::Group(alts)
+                } else {
+                    Term::Group(alts)
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_at("expected a term"));
+            }
+        };
+        Ok(match self.peek() {
+            Some(Tok::Quest) => {
+                self.bump();
+                Term::Optional(group_body(base))
+            }
+            Some(Tok::Star) => {
+                self.bump();
+                Term::Star(group_body(base))
+            }
+            Some(Tok::Plus) => {
+                self.bump();
+                Term::Plus(group_body(base))
+            }
+            _ => match base {
+                // An un-suffixed single-alternative group degrades to its body
+                // inline only when it has exactly one term; otherwise keep it.
+                Term::Group(alts) if alts.len() == 1 && alts[0].len() == 1 => {
+                    alts.into_iter().next().unwrap().into_iter().next().unwrap()
+                }
+                other => other,
+            },
+        })
+    }
+}
+
+/// The sequence a suffix operator applies to: a single-alternative group's
+/// body, a multi-alternative group wrapped as one term, or the bare term.
+fn group_body(base: Term) -> Vec<Term> {
+    match base {
+        Term::Group(alts) if alts.len() == 1 => alts.into_iter().next().unwrap(),
+        Term::Group(alts) => vec![Term::Group(alts)],
+        other => vec![other],
+    }
+}
+
+/// Parse grammar DSL text.
+pub fn parse_grammar(src: &str) -> Result<Grammar, DslError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next(false)? {
+        toks.push(t);
+    }
+    GrammarParser { toks, pos: 0 }.parse()
+}
+
+/// Parse token-file DSL text into a [`TokenSet`].
+pub fn parse_tokens(src: &str) -> Result<TokenSet, DslError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks: Vec<(Tok, usize)> = Vec::new();
+    while let Some(t) = lexer.next(true)? {
+        toks.push(t);
+    }
+    let mut p = GrammarParser { toks, pos: 0 };
+
+    let kw = p.ident("`tokens` header")?;
+    if kw != "tokens" {
+        return Err(p.error_at("token file must begin with `tokens <name>;`"));
+    }
+    let _name = p.ident("token file name")?;
+    p.expect(&Tok::Semi, "`;` after token file name")?;
+
+    let mut set = TokenSet::new();
+    while p.peek().is_some() {
+        let name = p.ident("token name")?;
+        p.expect(&Tok::Eq, "`=` after token name")?;
+        let result = match p.bump() {
+            Some(Tok::Ident(k)) if k == "kw" => set.keyword(&name),
+            Some(Tok::Ident(k)) if k == "skip" => match p.bump() {
+                Some(Tok::RegexLit(r)) => set.skip(&name, &r),
+                _ => return Err(p.error_at("expected /regex/ after `skip`")),
+            },
+            Some(Tok::StringLit(s)) => set.punct(&name, &s),
+            Some(Tok::RegexLit(r)) => set.pattern(&name, &r),
+            _ => return Err(p.error_at("expected `kw`, `skip /…/`, \"literal\", or /regex/")),
+        };
+        result.map_err(|e| p.error_at(e.to_string()))?;
+        p.expect(&Tok::Semi, "`;` terminating token rule")?;
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Term;
+
+    #[test]
+    fn parse_minimal_grammar() {
+        let g = parse_grammar("grammar g; start a; a : X ;").unwrap();
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.start(), "a");
+        assert_eq!(g.productions().len(), 1);
+        assert_eq!(g.production("a").unwrap().alternatives[0].seq, vec![Term::tok("X")]);
+    }
+
+    #[test]
+    fn start_defaults_to_first_production() {
+        let g = parse_grammar("grammar g; a : X ; b : Y ;").unwrap();
+        assert_eq!(g.start(), "a");
+    }
+
+    #[test]
+    fn alternatives_and_labels() {
+        let g = parse_grammar(
+            "grammar g; a : X Y #pair | Z #single | ;",
+        )
+        .unwrap();
+        let p = g.production("a").unwrap();
+        assert_eq!(p.alternatives.len(), 3);
+        assert_eq!(p.alternatives[0].label.as_deref(), Some("pair"));
+        assert_eq!(p.alternatives[1].label.as_deref(), Some("single"));
+        assert!(p.alternatives[2].is_epsilon());
+    }
+
+    #[test]
+    fn ebnf_suffixes() {
+        let g = parse_grammar("grammar g; a : b? (COMMA b)* X+ ;").unwrap();
+        let seq = &g.production("a").unwrap().alternatives[0].seq;
+        assert_eq!(seq[0], Term::Optional(vec![Term::nt("b")]));
+        assert_eq!(
+            seq[1],
+            Term::Star(vec![Term::tok("COMMA"), Term::nt("b")])
+        );
+        assert_eq!(seq[2], Term::Plus(vec![Term::tok("X")]));
+    }
+
+    #[test]
+    fn inline_group_alternation() {
+        let g = parse_grammar("grammar g; a : (ASC | DESC)? ;").unwrap();
+        let seq = &g.production("a").unwrap().alternatives[0].seq;
+        assert_eq!(
+            seq[0],
+            Term::Optional(vec![Term::Group(vec![
+                vec![Term::tok("ASC")],
+                vec![Term::tok("DESC")]
+            ])])
+        );
+    }
+
+    #[test]
+    fn bare_group_with_one_term_unwraps() {
+        let g = parse_grammar("grammar g; a : (X) ;").unwrap();
+        assert_eq!(g.production("a").unwrap().alternatives[0].seq, vec![Term::tok("X")]);
+    }
+
+    #[test]
+    fn group_without_suffix_kept_for_alternation() {
+        let g = parse_grammar("grammar g; a : (X | Y) Z ;").unwrap();
+        let seq = &g.production("a").unwrap().alternatives[0].seq;
+        assert!(matches!(seq[0], Term::Group(_)));
+        assert_eq!(seq[1], Term::tok("Z"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let g = parse_grammar(
+            "grammar g; // line comment\n/* block\ncomment */ a : X ; ",
+        )
+        .unwrap();
+        assert_eq!(g.productions().len(), 1);
+    }
+
+    #[test]
+    fn case_convention_enforced_for_production_names() {
+        let err = parse_grammar("grammar g; FOO : X ;").unwrap_err();
+        assert!(err.message.contains("token name"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_grammar("grammar g;\n\na : X\n").unwrap_err();
+        assert!(err.line >= 3, "{err:?}");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(parse_grammar("a : X ;").is_err());
+    }
+
+    #[test]
+    fn parse_token_file() {
+        let ts = parse_tokens(
+            r#"
+            tokens query_specification;
+            SELECT = kw;
+            AS = kw;
+            COMMA = ",";
+            IDENT = /[A-Za-z_][A-Za-z0-9_]*/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 5);
+        assert!(ts.get("SELECT").is_some());
+        assert!(ts.get("WS").unwrap().is_skip());
+        let scanner = ts.build().unwrap();
+        let toks = scanner.scan("select a, b").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn token_file_regex_with_escaped_slash() {
+        let ts = parse_tokens(r"tokens t; SLASHY = /a\/b/;").unwrap();
+        let s = ts.build().unwrap();
+        assert_eq!(s.scan("a/b").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn token_file_errors() {
+        assert!(parse_tokens("SELECT = kw;").is_err()); // missing header
+        assert!(parse_tokens("tokens t; SELECT kw;").is_err()); // missing =
+        assert!(parse_tokens("tokens t; X = bogus;").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let src = r#"
+            grammar table_expression;
+            start table_expression;
+            table_expression : from_clause where_clause? group_by_clause? ;
+            from_clause : FROM table_reference (COMMA table_reference)* ;
+            where_clause : WHERE search_condition ;
+        "#;
+        let g1 = parse_grammar(src).unwrap();
+        let printed = crate::print::to_dsl(&g1);
+        let g2 = parse_grammar(&printed).unwrap();
+        assert_eq!(g1, g2, "printed form:\n{printed}");
+    }
+}

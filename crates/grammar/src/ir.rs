@@ -1,0 +1,391 @@
+//! Grammar intermediate representation.
+//!
+//! Conventions (shared with the DSL): token names are `UPPER_SNAKE`,
+//! nonterminal names are `lower_snake`. Alternatives may carry `#labels`
+//! used by the AST-lowering layer as semantic-action hooks.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One item in an alternative's sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Reference to another production.
+    NonTerminal(String),
+    /// Reference to a token rule (terminal).
+    Token(String),
+    /// `seq?` — zero or one occurrence.
+    Optional(Vec<Term>),
+    /// `(seq)*` — zero or more occurrences.
+    Star(Vec<Term>),
+    /// `(seq)+` — one or more occurrences.
+    Plus(Vec<Term>),
+    /// `(alt | alt | …)` — inline alternation.
+    Group(Vec<Vec<Term>>),
+}
+
+impl Term {
+    /// Shorthand constructor for a nonterminal reference.
+    pub fn nt(name: &str) -> Term {
+        Term::NonTerminal(name.to_string())
+    }
+
+    /// Shorthand constructor for a token reference.
+    pub fn tok(name: &str) -> Term {
+        Term::Token(name.to_string())
+    }
+
+    /// Visit every token and nonterminal name in this term.
+    pub fn visit_symbols<'a>(&'a self, f: &mut impl FnMut(&'a str, bool)) {
+        match self {
+            Term::NonTerminal(n) => f(n, false),
+            Term::Token(t) => f(t, true),
+            Term::Optional(seq) | Term::Star(seq) | Term::Plus(seq) => {
+                for t in seq {
+                    t.visit_symbols(f);
+                }
+            }
+            Term::Group(alts) => {
+                for alt in alts {
+                    for t in alt {
+                        t.visit_symbols(f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::NonTerminal(n) | Term::Token(n) => write!(f, "{n}"),
+            Term::Optional(seq) => {
+                if seq.len() == 1 && matches!(seq[0], Term::NonTerminal(_) | Term::Token(_)) {
+                    write!(f, "{}?", seq[0])
+                } else {
+                    write!(f, "({})?", seq_to_string(seq))
+                }
+            }
+            Term::Star(seq) => write!(f, "({})*", seq_to_string(seq)),
+            Term::Plus(seq) => write!(f, "({})+", seq_to_string(seq)),
+            Term::Group(alts) => {
+                let inner: Vec<String> = alts.iter().map(|a| seq_to_string(a)).collect();
+                write!(f, "({})", inner.join(" | "))
+            }
+        }
+    }
+}
+
+/// Render a sequence with single spaces.
+pub fn seq_to_string(seq: &[Term]) -> String {
+    seq.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One alternative of a production.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Alternative {
+    /// Optional `#label` naming this alternative for semantic actions.
+    pub label: Option<String>,
+    /// The sequence of terms; empty = ε.
+    pub seq: Vec<Term>,
+}
+
+impl Alternative {
+    /// Unlabeled alternative.
+    pub fn new(seq: Vec<Term>) -> Self {
+        Alternative { label: None, seq }
+    }
+
+    /// Labeled alternative.
+    pub fn labeled(label: &str, seq: Vec<Term>) -> Self {
+        Alternative {
+            label: Some(label.to_string()),
+            seq,
+        }
+    }
+
+    /// `true` if this alternative is the empty sequence.
+    pub fn is_epsilon(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+impl fmt::Display for Alternative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.seq.is_empty() {
+            write!(f, "/* epsilon */")?;
+        } else {
+            write!(f, "{}", seq_to_string(&self.seq))?;
+        }
+        if let Some(l) = &self.label {
+            write!(f, " #{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A production: one nonterminal and its alternatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Production {
+    /// The nonterminal this production defines.
+    pub name: String,
+    /// Ordered alternatives (order is parse priority for the backtracking
+    /// engine and a tiebreak hint for table conflicts).
+    pub alternatives: Vec<Alternative>,
+}
+
+impl Production {
+    /// Construct a production.
+    pub fn new(name: &str, alternatives: Vec<Alternative>) -> Self {
+        Production {
+            name: name.to_string(),
+            alternatives,
+        }
+    }
+}
+
+/// A context-free grammar in EBNF form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    name: String,
+    start: String,
+    productions: Vec<Production>,
+    index: HashMap<String, usize>,
+}
+
+impl Grammar {
+    /// Create a grammar. `start` need not be defined yet (sub-grammars may
+    /// reference nonterminals provided by other features; composition
+    /// resolves them).
+    pub fn new(name: &str, start: &str) -> Self {
+        Grammar {
+            name: name.to_string(),
+            start: start.to_string(),
+            productions: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Grammar name (usually the feature name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The start nonterminal.
+    pub fn start(&self) -> &str {
+        &self.start
+    }
+
+    /// Change the start nonterminal.
+    pub fn set_start(&mut self, start: &str) {
+        self.start = start.to_string();
+    }
+
+    /// Rename the grammar.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// All productions in declaration order.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Mutable access (used by the composition engine).
+    pub fn productions_mut(&mut self) -> &mut Vec<Production> {
+        &mut self.productions
+    }
+
+    /// Rebuild the name index after direct mutation of productions.
+    pub fn reindex(&mut self) {
+        self.index = self
+            .productions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i))
+            .collect();
+    }
+
+    /// Look up a production by nonterminal name.
+    pub fn production(&self, name: &str) -> Option<&Production> {
+        self.index.get(name).map(|&i| &self.productions[i])
+    }
+
+    /// Mutable lookup.
+    pub fn production_mut(&mut self, name: &str) -> Option<&mut Production> {
+        let i = *self.index.get(name)?;
+        Some(&mut self.productions[i])
+    }
+
+    /// Add a production. If the nonterminal already exists, alternatives are
+    /// appended (plain union; the composition engine applies the paper's
+    /// smarter rules instead).
+    pub fn add_production(&mut self, prod: Production) {
+        match self.index.get(&prod.name) {
+            Some(&i) => self.productions[i].alternatives.extend(prod.alternatives),
+            None => {
+                self.index.insert(prod.name.clone(), self.productions.len());
+                self.productions.push(prod);
+            }
+        }
+    }
+
+    /// Every nonterminal referenced anywhere (defined or not).
+    pub fn referenced_nonterminals(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for p in &self.productions {
+            for alt in &p.alternatives {
+                for term in &alt.seq {
+                    term.visit_symbols(&mut |name, is_token| {
+                        if !is_token && !seen.contains(&name) {
+                            seen.push(name);
+                        }
+                    });
+                }
+            }
+        }
+        seen
+    }
+
+    /// Every token referenced anywhere.
+    pub fn referenced_tokens(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for p in &self.productions {
+            for alt in &p.alternatives {
+                for term in &alt.seq {
+                    term.visit_symbols(&mut |name, is_token| {
+                        if is_token && !seen.contains(&name) {
+                            seen.push(name);
+                        }
+                    });
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nonterminals referenced but not defined (to be supplied by other
+    /// sub-grammars before parser construction).
+    pub fn undefined_nonterminals(&self) -> Vec<&str> {
+        self.referenced_nonterminals()
+            .into_iter()
+            .filter(|n| !self.index.contains_key(*n))
+            .collect()
+    }
+
+    /// Total number of alternatives across all productions (size metric).
+    pub fn alternative_count(&self) -> usize {
+        self.productions.iter().map(|p| p.alternatives.len()).sum()
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::print::to_dsl(self))
+    }
+}
+
+/// Is `name` a token by naming convention (all-caps with digits/underscore)?
+pub fn is_token_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && name.chars().any(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select_grammar() -> Grammar {
+        let mut g = Grammar::new("query_specification", "query_specification");
+        g.add_production(Production::new(
+            "query_specification",
+            vec![Alternative::new(vec![
+                Term::tok("SELECT"),
+                Term::Optional(vec![Term::nt("set_quantifier")]),
+                Term::nt("select_list"),
+                Term::nt("table_expression"),
+            ])],
+        ));
+        g.add_production(Production::new(
+            "select_list",
+            vec![Alternative::new(vec![
+                Term::nt("select_sublist"),
+                Term::Star(vec![Term::tok("COMMA"), Term::nt("select_sublist")]),
+            ])],
+        ));
+        g
+    }
+
+    #[test]
+    fn token_name_convention() {
+        assert!(is_token_name("SELECT"));
+        assert!(is_token_name("GROUP_BY"));
+        assert!(is_token_name("IDENT2"));
+        assert!(!is_token_name("select"));
+        assert!(!is_token_name("Select"));
+        assert!(!is_token_name(""));
+        assert!(!is_token_name("_"));
+    }
+
+    #[test]
+    fn referenced_symbols() {
+        let g = select_grammar();
+        let nts = g.referenced_nonterminals();
+        assert!(nts.contains(&"set_quantifier"));
+        assert!(nts.contains(&"select_list"));
+        assert!(nts.contains(&"table_expression"));
+        let toks = g.referenced_tokens();
+        assert_eq!(toks, ["SELECT", "COMMA"]);
+    }
+
+    #[test]
+    fn undefined_nonterminals_listed() {
+        let g = select_grammar();
+        let undef = g.undefined_nonterminals();
+        assert!(undef.contains(&"set_quantifier"));
+        assert!(undef.contains(&"table_expression"));
+        assert!(undef.contains(&"select_sublist"));
+        assert!(!undef.contains(&"select_list"));
+    }
+
+    #[test]
+    fn add_production_merges_alternatives() {
+        let mut g = Grammar::new("g", "a");
+        g.add_production(Production::new("a", vec![Alternative::new(vec![Term::tok("X")])]));
+        g.add_production(Production::new("a", vec![Alternative::new(vec![Term::tok("Y")])]));
+        assert_eq!(g.productions().len(), 1);
+        assert_eq!(g.production("a").unwrap().alternatives.len(), 2);
+    }
+
+    #[test]
+    fn display_of_terms() {
+        let t = Term::Optional(vec![Term::nt("set_quantifier")]);
+        assert_eq!(t.to_string(), "set_quantifier?");
+        let t = Term::Star(vec![Term::tok("COMMA"), Term::nt("x")]);
+        assert_eq!(t.to_string(), "(COMMA x)*");
+        let t = Term::Group(vec![vec![Term::tok("ASC")], vec![Term::tok("DESC")]]);
+        assert_eq!(t.to_string(), "(ASC | DESC)");
+    }
+
+    #[test]
+    fn reindex_after_mutation() {
+        let mut g = select_grammar();
+        g.productions_mut().retain(|p| p.name != "select_list");
+        g.reindex();
+        assert!(g.production("select_list").is_none());
+        assert!(g.production("query_specification").is_some());
+    }
+
+    #[test]
+    fn alternative_count_metric() {
+        let g = select_grammar();
+        assert_eq!(g.alternative_count(), 2);
+    }
+}

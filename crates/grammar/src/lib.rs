@@ -1,0 +1,44 @@
+//! LL(k) grammar substrate for `sqlweave`.
+//!
+//! The paper expresses each SQL feature as an LL(k) sub-grammar in ANTLR
+//! notation plus a token file. This crate provides:
+//!
+//! * [`ir`] — the grammar intermediate representation: productions with
+//!   labeled alternatives over sequences of terms (tokens, nonterminals,
+//!   optional `?`, star `*`, plus `+`, and grouped alternation `(a | b)`).
+//! * [`dsl`] — a textual grammar language in that ANTLR-ish notation, and a
+//!   token-file language, so sub-grammars are written the way the paper
+//!   writes them.
+//! * [`analysis`] — nullable/FIRST/FOLLOW computation, LL(1) conflict
+//!   reporting, left-recursion detection, and reachability/usefulness
+//!   diagnostics.
+//! * [`lower`] — flattening of EBNF operators into plain BNF with synthetic
+//!   nonterminals (what table-driven LL(1) parsing consumes).
+//! * [`mod@print`] — pretty-printing back to DSL text (round-trip stable).
+//! * [`sentence`] — grammar-driven random sentence generation, the workload
+//!   generator for benchmarks and property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlweave_grammar::dsl;
+//!
+//! let g = dsl::parse_grammar(r#"
+//!     grammar select_stmt;
+//!     start query;
+//!     query : SELECT column_list FROM IDENT ;
+//!     column_list : IDENT (COMMA IDENT)* ;
+//! "#).unwrap();
+//! assert_eq!(g.start(), "query");
+//! assert_eq!(g.productions().len(), 2);
+//! ```
+
+pub mod analysis;
+pub mod dsl;
+pub mod ir;
+pub mod lower;
+pub mod print;
+pub mod sentence;
+
+pub use analysis::GrammarAnalysis;
+pub use ir::{Alternative, Grammar, Production, Term};

@@ -1,0 +1,231 @@
+//! Lowering EBNF operators to plain BNF.
+//!
+//! Table-driven LL(1) parsing wants productions whose alternatives are flat
+//! sequences of tokens and nonterminals. [`flatten`] rewrites `?`, `*`, `+`
+//! and inline groups into synthetic right-recursive nonterminals named
+//! `<owner>__<kind><n>`. The `__` infix marks synthetic nodes; the CST
+//! builder in `sqlweave-parser-rt` splices their children into the parent
+//! node so parse trees look identical for both engines.
+
+use crate::ir::{Alternative, Grammar, Production, Term};
+
+/// `true` if `name` names a synthetic nonterminal introduced by [`flatten`].
+pub fn is_synthetic(name: &str) -> bool {
+    name.contains("__")
+}
+
+struct Lowerer {
+    new_productions: Vec<Production>,
+    counter: usize,
+}
+
+impl Lowerer {
+    fn fresh(&mut self, owner: &str, kind: &str) -> String {
+        self.counter += 1;
+        format!("{owner}__{kind}{}", self.counter)
+    }
+
+    /// Flatten one sequence, emitting synthetic productions as needed.
+    fn lower_seq(&mut self, owner: &str, seq: &[Term]) -> Vec<Term> {
+        let mut out = Vec::with_capacity(seq.len());
+        for term in seq {
+            match term {
+                Term::NonTerminal(_) | Term::Token(_) => out.push(term.clone()),
+                Term::Optional(body) => {
+                    let body = self.lower_seq(owner, body);
+                    let name = self.fresh(owner, "opt");
+                    self.new_productions.push(Production {
+                        name: name.clone(),
+                        alternatives: vec![Alternative::new(body), Alternative::new(vec![])],
+                    });
+                    out.push(Term::NonTerminal(name));
+                }
+                Term::Star(body) => {
+                    let body = self.lower_seq(owner, body);
+                    let name = self.fresh(owner, "star");
+                    let mut rec = body.clone();
+                    rec.push(Term::NonTerminal(name.clone()));
+                    self.new_productions.push(Production {
+                        name: name.clone(),
+                        alternatives: vec![Alternative::new(rec), Alternative::new(vec![])],
+                    });
+                    out.push(Term::NonTerminal(name));
+                }
+                Term::Plus(body) => {
+                    // x+ = x x*
+                    let body_flat = self.lower_seq(owner, body);
+                    let star = self.fresh(owner, "star");
+                    let mut rec = body_flat.clone();
+                    rec.push(Term::NonTerminal(star.clone()));
+                    self.new_productions.push(Production {
+                        name: star.clone(),
+                        alternatives: vec![Alternative::new(rec), Alternative::new(vec![])],
+                    });
+                    out.extend(body_flat);
+                    out.push(Term::NonTerminal(star));
+                }
+                Term::Group(alts) => {
+                    let lowered: Vec<Alternative> = alts
+                        .iter()
+                        .map(|a| Alternative::new(self.lower_seq(owner, a)))
+                        .collect();
+                    if lowered.len() == 1 {
+                        out.extend(lowered.into_iter().next().unwrap().seq);
+                    } else {
+                        let name = self.fresh(owner, "grp");
+                        self.new_productions.push(Production {
+                            name: name.clone(),
+                            alternatives: lowered,
+                        });
+                        out.push(Term::NonTerminal(name));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Rewrite `g` into plain BNF. Alternative labels are preserved on the
+/// original productions; synthetic productions are unlabeled.
+pub fn flatten(g: &Grammar) -> Grammar {
+    let mut lowerer = Lowerer {
+        new_productions: Vec::new(),
+        counter: 0,
+    };
+    let mut out = Grammar::new(g.name(), g.start());
+    for p in g.productions() {
+        let alternatives = p
+            .alternatives
+            .iter()
+            .map(|alt| Alternative {
+                label: alt.label.clone(),
+                seq: lowerer.lower_seq(&p.name, &alt.seq),
+            })
+            .collect();
+        out.add_production(Production {
+            name: p.name.clone(),
+            alternatives,
+        });
+    }
+    for p in lowerer.new_productions {
+        out.add_production(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_grammar;
+
+    fn is_flat(g: &Grammar) -> bool {
+        g.productions().iter().all(|p| {
+            p.alternatives.iter().all(|a| {
+                a.seq
+                    .iter()
+                    .all(|t| matches!(t, Term::NonTerminal(_) | Term::Token(_)))
+            })
+        })
+    }
+
+    #[test]
+    fn optional_lowered_to_epsilon_alternative() {
+        let g = parse_grammar("grammar g; a : X b? Y ;").unwrap();
+        let f = flatten(&g);
+        assert!(is_flat(&f));
+        let synth: Vec<_> = f
+            .productions()
+            .iter()
+            .filter(|p| is_synthetic(&p.name))
+            .collect();
+        assert_eq!(synth.len(), 1);
+        assert_eq!(synth[0].alternatives.len(), 2);
+        assert!(synth[0].alternatives[1].is_epsilon());
+    }
+
+    #[test]
+    fn star_lowered_to_right_recursion() {
+        let g = parse_grammar("grammar g; a : X (COMMA X)* ;").unwrap();
+        let f = flatten(&g);
+        assert!(is_flat(&f));
+        let star = f
+            .productions()
+            .iter()
+            .find(|p| p.name.contains("__star"))
+            .unwrap();
+        // star : COMMA X star | ε
+        assert_eq!(star.alternatives.len(), 2);
+        let rec = &star.alternatives[0].seq;
+        assert_eq!(rec.last(), Some(&Term::nt(&star.name)));
+    }
+
+    #[test]
+    fn plus_lowered_to_body_then_star() {
+        let g = parse_grammar("grammar g; a : X+ ;").unwrap();
+        let f = flatten(&g);
+        assert!(is_flat(&f));
+        let a = f.production("a").unwrap();
+        assert_eq!(a.alternatives[0].seq.len(), 2);
+        assert_eq!(a.alternatives[0].seq[0], Term::tok("X"));
+        assert!(matches!(&a.alternatives[0].seq[1], Term::NonTerminal(n) if n.contains("__star")));
+    }
+
+    #[test]
+    fn group_lowered_to_alternative_production() {
+        let g = parse_grammar("grammar g; a : (ASC | DESC) X ;").unwrap();
+        let f = flatten(&g);
+        assert!(is_flat(&f));
+        let grp = f
+            .productions()
+            .iter()
+            .find(|p| p.name.contains("__grp"))
+            .unwrap();
+        assert_eq!(grp.alternatives.len(), 2);
+    }
+
+    #[test]
+    fn nested_constructs_fully_flattened() {
+        let g = parse_grammar("grammar g; a : (b (COMMA b)*)? ;").unwrap();
+        let f = flatten(&g);
+        assert!(is_flat(&f));
+        // opt + star synthetics
+        assert_eq!(
+            f.productions().iter().filter(|p| is_synthetic(&p.name)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn labels_preserved_on_original_productions() {
+        let g = parse_grammar("grammar g; a : X #first | Y? #second ;").unwrap();
+        let f = flatten(&g);
+        let a = f.production("a").unwrap();
+        assert_eq!(a.alternatives[0].label.as_deref(), Some("first"));
+        assert_eq!(a.alternatives[1].label.as_deref(), Some("second"));
+    }
+
+    #[test]
+    fn already_flat_grammar_unchanged_in_shape() {
+        let g = parse_grammar("grammar g; a : X b ; b : Y | ;").unwrap();
+        let f = flatten(&g);
+        assert_eq!(f.productions().len(), g.productions().len());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn synthetic_names_unique_across_productions() {
+        let g = parse_grammar("grammar g; a : X? Y? ; b : Z? ;").unwrap();
+        let f = flatten(&g);
+        let mut names: Vec<_> = f
+            .productions()
+            .iter()
+            .filter(|p| is_synthetic(&p.name))
+            .map(|p| p.name.clone())
+            .collect();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Pretty-printing grammars back to DSL text.
+//!
+//! The output re-parses to an identical grammar ([`crate::dsl`] round-trip),
+//! which the composition engine uses to emit human-readable composed
+//! grammars for inspection and golden tests.
+
+use crate::ir::{seq_to_string, Grammar};
+use std::fmt::Write as _;
+
+/// Render a grammar as DSL text.
+pub fn to_dsl(g: &Grammar) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "grammar {};", g.name());
+    let _ = writeln!(out, "start {};", g.start());
+    let _ = writeln!(out);
+    for p in g.productions() {
+        if p.alternatives.len() == 1 && p.alternatives[0].label.is_none() {
+            let _ = writeln!(out, "{} : {} ;", p.name, seq_to_string(&p.alternatives[0].seq));
+            continue;
+        }
+        let _ = writeln!(out, "{}", p.name);
+        for (i, alt) in p.alternatives.iter().enumerate() {
+            let lead = if i == 0 { ':' } else { '|' };
+            let mut line = format!("  {lead} {}", seq_to_string(&alt.seq));
+            if let Some(l) = &alt.label {
+                let _ = write!(line, " #{l}");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        let _ = writeln!(out, "  ;");
+    }
+    out
+}
+
+/// One-line summary used in diagnostics: `name(start): N productions,
+/// M alternatives`.
+pub fn summary(g: &Grammar) -> String {
+    format!(
+        "{}({}): {} productions, {} alternatives",
+        g.name(),
+        g.start(),
+        g.productions().len(),
+        g.alternative_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_grammar;
+
+    #[test]
+    fn single_alternative_prints_on_one_line() {
+        let g = parse_grammar("grammar g; a : X Y ;").unwrap();
+        let out = to_dsl(&g);
+        assert!(out.contains("a : X Y ;"), "{out}");
+    }
+
+    #[test]
+    fn multi_alternative_layout() {
+        let g = parse_grammar("grammar g; a : X #x | Y #y ;").unwrap();
+        let out = to_dsl(&g);
+        assert!(out.contains("  : X #x"), "{out}");
+        assert!(out.contains("  | Y #y"), "{out}");
+    }
+
+    #[test]
+    fn epsilon_alternative_roundtrips() {
+        let src = "grammar g; a : X | ;";
+        let g1 = parse_grammar(src).unwrap();
+        let g2 = parse_grammar(&to_dsl(&g1)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn nested_constructs_roundtrip() {
+        let src = "grammar g; a : b? (COMMA (X | Y))* (Z W)+ ;";
+        let g1 = parse_grammar(src).unwrap();
+        let g2 = parse_grammar(&to_dsl(&g1)).unwrap();
+        assert_eq!(g1, g2, "printed:\n{}", to_dsl(&g1));
+    }
+
+    #[test]
+    fn summary_format() {
+        let g = parse_grammar("grammar g; a : X | Y ; b : Z ;").unwrap();
+        assert_eq!(summary(&g), "g(a): 2 productions, 3 alternatives");
+    }
+}

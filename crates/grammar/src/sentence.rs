@@ -1,0 +1,493 @@
+//! Grammar-driven random sentence generation.
+//!
+//! Given a closed grammar and the token set it references, the generator
+//! produces random strings *in the language of the grammar*. This is the
+//! workload generator for the benchmark harness (each dialect generates its
+//! own statements) and the engine behind round-trip property tests
+//! (generated sentence ⇒ parser must accept).
+
+use crate::ir::{Grammar, Term};
+use rand::Rng;
+use sqlweave_lexgen::regex::{CharClass, Regex};
+use sqlweave_lexgen::tokenset::{RuleKind, TokenSet};
+use sqlweave_lexgen::Scanner;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Effectively-infinite depth for unproductive symbols.
+const INF: usize = usize::MAX / 4;
+
+/// Error constructing a generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SentenceError {
+    /// The grammar references nonterminals with no production.
+    UndefinedNonterminals(Vec<String>),
+    /// The grammar references tokens missing from the token set.
+    UndefinedTokens(Vec<String>),
+    /// The requested start symbol cannot derive any terminal string.
+    Unproductive(String),
+}
+
+impl fmt::Display for SentenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SentenceError::UndefinedNonterminals(v) => {
+                write!(f, "undefined nonterminals: {}", v.join(", "))
+            }
+            SentenceError::UndefinedTokens(v) => {
+                write!(f, "tokens not in token set: {}", v.join(", "))
+            }
+            SentenceError::Unproductive(n) => {
+                write!(f, "`{n}` cannot derive any terminal string")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SentenceError {}
+
+/// Random sentence generator for one grammar + token set.
+pub struct SentenceGenerator<'a> {
+    grammar: &'a Grammar,
+    tokens: &'a TokenSet,
+    /// Minimum derivation depth per nonterminal (for budget-driven choice).
+    min_depth: HashMap<String, usize>,
+    /// Optional scanner used to validate sampled pattern lexemes (so a
+    /// random identifier never collides with a keyword).
+    validator: Option<Scanner>,
+}
+
+impl<'a> SentenceGenerator<'a> {
+    /// Build a generator; the grammar must be closed over `tokens`.
+    pub fn new(grammar: &'a Grammar, tokens: &'a TokenSet) -> Result<Self, SentenceError> {
+        let undef: Vec<String> = grammar
+            .undefined_nonterminals()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        if !undef.is_empty() {
+            return Err(SentenceError::UndefinedNonterminals(undef));
+        }
+        let missing: Vec<String> = grammar
+            .referenced_tokens()
+            .into_iter()
+            .filter(|t| tokens.get(t).is_none())
+            .map(str::to_string)
+            .collect();
+        if !missing.is_empty() {
+            return Err(SentenceError::UndefinedTokens(missing));
+        }
+
+        let min_depth = compute_min_depth(grammar);
+        if min_depth.get(grammar.start()).copied().unwrap_or(INF) >= INF {
+            return Err(SentenceError::Unproductive(grammar.start().to_string()));
+        }
+        let validator = tokens.build().ok();
+        Ok(SentenceGenerator {
+            grammar,
+            tokens,
+            min_depth,
+            validator,
+        })
+    }
+
+    /// Generate one sentence from the start symbol.
+    pub fn generate(&self, rng: &mut impl Rng, max_depth: usize) -> String {
+        self.generate_from(self.grammar.start(), rng, max_depth)
+    }
+
+    /// Generate one sentence from an arbitrary nonterminal.
+    pub fn generate_from(&self, nt: &str, rng: &mut impl Rng, max_depth: usize) -> String {
+        let mut lexemes: Vec<String> = Vec::new();
+        self.gen_nt(nt, rng, max_depth, &mut lexemes);
+        lexemes.join(" ")
+    }
+
+    fn depth_of(&self, nt: &str) -> usize {
+        self.min_depth.get(nt).copied().unwrap_or(INF)
+    }
+
+    fn seq_depth(&self, seq: &[Term]) -> usize {
+        seq.iter().map(|t| self.term_depth(t)).max().unwrap_or(0)
+    }
+
+    fn term_depth(&self, term: &Term) -> usize {
+        match term {
+            Term::Token(_) => 0,
+            Term::NonTerminal(n) => self.depth_of(n),
+            Term::Optional(_) | Term::Star(_) => 0,
+            Term::Plus(body) => self.seq_depth(body),
+            Term::Group(alts) => alts.iter().map(|a| self.seq_depth(a)).min().unwrap_or(0),
+        }
+    }
+
+    fn gen_nt(&self, nt: &str, rng: &mut impl Rng, budget: usize, out: &mut Vec<String>) {
+        let Some(prod) = self.grammar.production(nt) else {
+            out.push(format!("<{nt}?>"));
+            return;
+        };
+        let child_budget = budget.saturating_sub(1);
+        // Feasible alternatives within budget; if none, take the shallowest.
+        let feasible: Vec<usize> = prod
+            .alternatives
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| self.seq_depth(&a.seq) <= child_budget)
+            .map(|(i, _)| i)
+            .collect();
+        let choice = if feasible.is_empty() {
+            prod.alternatives
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, a)| self.seq_depth(&a.seq))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        } else {
+            feasible[rng.gen_range(0..feasible.len())]
+        };
+        self.gen_seq(&prod.alternatives[choice].seq, rng, child_budget, out);
+    }
+
+    fn gen_seq(&self, seq: &[Term], rng: &mut impl Rng, budget: usize, out: &mut Vec<String>) {
+        for term in seq {
+            self.gen_term(term, rng, budget, out);
+        }
+    }
+
+    fn gen_term(&self, term: &Term, rng: &mut impl Rng, budget: usize, out: &mut Vec<String>) {
+        match term {
+            Term::Token(t) => out.push(self.sample_token(t, rng)),
+            Term::NonTerminal(n) => self.gen_nt(n, rng, budget, out),
+            Term::Optional(body) => {
+                if self.seq_depth(body) <= budget && rng.gen_bool(0.5) {
+                    self.gen_seq(body, rng, budget, out);
+                }
+            }
+            Term::Star(body) => {
+                if self.seq_depth(body) <= budget {
+                    let reps = geometric(rng, 0, 3);
+                    for _ in 0..reps {
+                        self.gen_seq(body, rng, budget, out);
+                    }
+                }
+            }
+            Term::Plus(body) => {
+                let reps = if self.seq_depth(body) <= budget {
+                    geometric(rng, 1, 3)
+                } else {
+                    1
+                };
+                for _ in 0..reps {
+                    self.gen_seq(body, rng, budget, out);
+                }
+            }
+            Term::Group(alts) => {
+                let feasible: Vec<&Vec<Term>> = alts
+                    .iter()
+                    .filter(|a| self.seq_depth(a) <= budget)
+                    .collect();
+                let pick = if feasible.is_empty() {
+                    alts.iter()
+                        .min_by_key(|a| self.seq_depth(a))
+                        .expect("group has alternatives")
+                } else {
+                    feasible[rng.gen_range(0..feasible.len())]
+                };
+                self.gen_seq(pick, rng, budget, out);
+            }
+        }
+    }
+
+    /// Concrete lexeme for a token reference.
+    fn sample_token(&self, name: &str, rng: &mut impl Rng) -> String {
+        let Some(rule) = self.tokens.get(name) else {
+            return format!("<{name}?>");
+        };
+        match &rule.kind {
+            RuleKind::Keyword => rule.name.clone(),
+            RuleKind::Punct(lit) => lit.clone(),
+            RuleKind::Skip(_) => String::new(),
+            RuleKind::Pattern(p) => {
+                let re = sqlweave_lexgen::regex::parse(p).expect("validated at TokenSet::add");
+                // Sample until the lexeme scans back as this very token (a
+                // random identifier could otherwise spell a keyword).
+                for attempt in 0..8 {
+                    let s = if attempt == 0 && rng.gen_bool(0.3) {
+                        sample_regex_minimal(&re)
+                    } else {
+                        sample_regex(&re, rng)
+                    };
+                    if s.is_empty() {
+                        continue;
+                    }
+                    match &self.validator {
+                        Some(scanner) => {
+                            if let Ok(toks) = scanner.scan(&s) {
+                                if toks.len() == 1 && scanner.name(toks[0].kind) == name {
+                                    return s;
+                                }
+                            }
+                        }
+                        None => return s,
+                    }
+                }
+                sample_regex_minimal(&re)
+            }
+        }
+    }
+}
+
+/// Geometric-ish small random count in `[min, max]`.
+fn geometric(rng: &mut impl Rng, min: usize, max: usize) -> usize {
+    let mut n = min;
+    while n < max && rng.gen_bool(0.4) {
+        n += 1;
+    }
+    n
+}
+
+fn sample_class(class: &CharClass, rng: &mut impl Rng) -> char {
+    let ranges = class.ranges();
+    if ranges.is_empty() {
+        return '?';
+    }
+    // Prefer printable ASCII ranges for readable workloads.
+    let printable: Vec<(char, char)> = ranges
+        .iter()
+        .copied()
+        .map(|(lo, hi)| (lo.max(' '), hi.min('~')))
+        .filter(|(lo, hi)| lo <= hi)
+        .collect();
+    let pool = if printable.is_empty() { ranges } else { &printable[..] };
+    let (lo, hi) = pool[rng.gen_range(0..pool.len())];
+    let span = hi as u32 - lo as u32 + 1;
+    char::from_u32(lo as u32 + rng.gen_range(0..span)).unwrap_or(lo)
+}
+
+/// Random string in the language of `re`.
+pub fn sample_regex(re: &Regex, rng: &mut impl Rng) -> String {
+    match re {
+        Regex::Empty => String::new(),
+        Regex::Class(c) => sample_class(c, rng).to_string(),
+        Regex::Concat(items) => items.iter().map(|i| sample_regex(i, rng)).collect(),
+        Regex::Alt(alts) => sample_regex(&alts[rng.gen_range(0..alts.len())], rng),
+        Regex::Star(inner) => (0..geometric(rng, 0, 4))
+            .map(|_| sample_regex(inner, rng))
+            .collect(),
+        Regex::Plus(inner) => (0..geometric(rng, 1, 4))
+            .map(|_| sample_regex(inner, rng))
+            .collect(),
+        Regex::Opt(inner) => {
+            if rng.gen_bool(0.5) {
+                sample_regex(inner, rng)
+            } else {
+                String::new()
+            }
+        }
+    }
+}
+
+/// Deterministic shortest-ish member of the language of `re`.
+pub fn sample_regex_minimal(re: &Regex) -> String {
+    match re {
+        Regex::Empty => String::new(),
+        Regex::Class(c) => c.sample().unwrap_or('?').to_string(),
+        Regex::Concat(items) => items.iter().map(sample_regex_minimal).collect(),
+        Regex::Alt(alts) => alts
+            .iter()
+            .map(sample_regex_minimal)
+            .min_by_key(String::len)
+            .unwrap_or_default(),
+        Regex::Star(_) => String::new(),
+        Regex::Plus(inner) => sample_regex_minimal(inner),
+        Regex::Opt(_) => String::new(),
+    }
+}
+
+/// Minimum derivation depth per nonterminal (tokens cost 0, each
+/// nonterminal expansion costs 1); [`INF`] for unproductive symbols.
+fn compute_min_depth(grammar: &Grammar) -> HashMap<String, usize> {
+    let mut depth: HashMap<String, usize> = grammar
+        .productions()
+        .iter()
+        .map(|p| (p.name.clone(), INF))
+        .collect();
+
+    fn seq_depth(seq: &[Term], depth: &HashMap<String, usize>) -> usize {
+        seq.iter().map(|t| term_depth(t, depth)).max().unwrap_or(0)
+    }
+    fn term_depth(term: &Term, depth: &HashMap<String, usize>) -> usize {
+        match term {
+            Term::Token(_) => 0,
+            Term::NonTerminal(n) => depth.get(n).copied().unwrap_or(INF),
+            Term::Optional(_) | Term::Star(_) => 0,
+            Term::Plus(body) => seq_depth(body, depth),
+            Term::Group(alts) => alts
+                .iter()
+                .map(|a| seq_depth(a, depth))
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        for p in grammar.productions() {
+            let best = p
+                .alternatives
+                .iter()
+                .map(|a| seq_depth(&a.seq, &depth).saturating_add(1))
+                .min()
+                .unwrap_or(INF);
+            if best < depth[&p.name] {
+                depth.insert(p.name.clone(), best);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{parse_grammar, parse_tokens};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Grammar, TokenSet) {
+        let g = parse_grammar(
+            r#"
+            grammar q;
+            start query;
+            query : SELECT quant? select_list FROM IDENT (WHERE cond)? ;
+            quant : DISTINCT | ALL ;
+            select_list : IDENT (COMMA IDENT)* | STAR ;
+            cond : IDENT EQ value ;
+            value : IDENT | NUMBER ;
+            "#,
+        )
+        .unwrap();
+        let t = parse_tokens(
+            r#"
+            tokens q;
+            SELECT = kw; FROM = kw; WHERE = kw; DISTINCT = kw; ALL = kw;
+            COMMA = ","; STAR = "*"; EQ = "=";
+            IDENT = /[a-z][a-z0-9_]*/;
+            NUMBER = /[0-9]+/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        (g, t)
+    }
+
+    #[test]
+    fn generated_sentences_lex_cleanly() {
+        let (g, t) = setup();
+        let gen = SentenceGenerator::new(&g, &t).unwrap();
+        let scanner = t.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = gen.generate(&mut rng, 8);
+            assert!(s.to_uppercase().starts_with("SELECT"), "{s}");
+            scanner.scan(&s).unwrap_or_else(|e| panic!("lex {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sampled_identifiers_never_collide_with_keywords() {
+        let (g, t) = setup();
+        let gen = SentenceGenerator::new(&g, &t).unwrap();
+        let scanner = t.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let s = gen.generate(&mut rng, 8);
+            let toks = scanner.scan(&s).unwrap();
+            // Count FROM tokens: must be exactly 1 (an identifier that
+            // sampled as "from" would add more).
+            let from_count = toks
+                .iter()
+                .filter(|t| scanner.name(t.kind) == "FROM")
+                .count();
+            assert_eq!(from_count, 1, "on {s:?}");
+        }
+    }
+
+    #[test]
+    fn depth_budget_bounds_length() {
+        let (g, t) = setup();
+        let gen = SentenceGenerator::new(&g, &t).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = gen.generate(&mut rng, 4);
+            assert!(s.split(' ').count() < 60, "unexpectedly long: {s}");
+        }
+    }
+
+    #[test]
+    fn generate_from_inner_nonterminal() {
+        let (g, t) = setup();
+        let gen = SentenceGenerator::new(&g, &t).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = gen.generate_from("cond", &mut rng, 5);
+        assert!(s.contains('='), "{s}");
+    }
+
+    #[test]
+    fn undefined_nonterminal_rejected() {
+        let g = parse_grammar("grammar g; a : X missing ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(
+            SentenceGenerator::new(&g, &t),
+            Err(SentenceError::UndefinedNonterminals(_))
+        ));
+    }
+
+    #[test]
+    fn missing_token_rejected() {
+        let g = parse_grammar("grammar g; a : X GHOST ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(
+            SentenceGenerator::new(&g, &t),
+            Err(SentenceError::UndefinedTokens(v)) if v == ["GHOST"]
+        ));
+    }
+
+    #[test]
+    fn unproductive_start_rejected() {
+        let g = parse_grammar("grammar g; a : a X ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(
+            SentenceGenerator::new(&g, &t),
+            Err(SentenceError::Unproductive(_))
+        ));
+    }
+
+    #[test]
+    fn minimal_regex_samples() {
+        use sqlweave_lexgen::regex::parse;
+        assert_eq!(sample_regex_minimal(&parse("[a-z]+").unwrap()), "a");
+        assert_eq!(sample_regex_minimal(&parse("abc?").unwrap()), "ab");
+        assert_eq!(sample_regex_minimal(&parse("x|yy").unwrap()), "x");
+    }
+
+    #[test]
+    fn random_regex_samples_match_language() {
+        use sqlweave_lexgen::nfa::Nfa;
+        use sqlweave_lexgen::regex::parse;
+        let pat = "[a-z][a-z0-9_]*";
+        let re = parse(pat).unwrap();
+        let mut nfa = Nfa::new();
+        nfa.add_pattern(&re, 0);
+        nfa.finish();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = sample_regex(&re, &mut rng);
+            assert_eq!(nfa.simulate(&s), Some((s.len(), 0)), "sample {s:?}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Subset construction: tagged NFA → DFA over a partitioned alphabet.
+//!
+//! The automaton's alphabet is not `char` directly but a set of disjoint
+//! character intervals computed from every class boundary appearing in the
+//! NFA. Within one interval, all characters behave identically, so DFA
+//! transitions are per-interval — typically a few dozen intervals for a SQL
+//! token set instead of 1.1M code points.
+
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// A deterministic automaton with tagged accepting states.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Sorted, disjoint alphabet intervals (inclusive).
+    pub intervals: Vec<(char, char)>,
+    /// States; index 0 is the start state.
+    pub states: Vec<DfaState>,
+}
+
+/// One DFA state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfaState {
+    /// Per-interval successor (`None` = reject).
+    pub trans: Vec<Option<u32>>,
+    /// Accepting tag (token rule index), smallest tag wins on conflicts.
+    pub accept: Option<usize>,
+}
+
+impl Dfa {
+    /// Build a DFA from a finished NFA.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let intervals = alphabet_intervals(nfa);
+        let mut states: Vec<DfaState> = Vec::new();
+        let mut index: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut worklist: Vec<Vec<usize>> = Vec::new();
+
+        let start_set = nfa.eps_closure(&[nfa.start()]);
+        index.insert(start_set.clone(), 0);
+        states.push(DfaState {
+            trans: vec![None; intervals.len()],
+            accept: accept_of(nfa, &start_set),
+        });
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let id = index[&set];
+            for (ii, &(lo, _hi)) in intervals.iter().enumerate() {
+                // Any character of the interval is representative.
+                let mut moved: Vec<usize> = Vec::new();
+                for &s in &set {
+                    for (class, t) in &nfa.states[s].trans {
+                        if class.contains(lo) && !moved.contains(t) {
+                            moved.push(*t);
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = nfa.eps_closure(&moved);
+                let target = match index.get(&closed) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len() as u32;
+                        index.insert(closed.clone(), t);
+                        states.push(DfaState {
+                            trans: vec![None; intervals.len()],
+                            accept: accept_of(nfa, &closed),
+                        });
+                        worklist.push(closed);
+                        t
+                    }
+                };
+                states[id as usize].trans[ii] = Some(target);
+            }
+        }
+        Dfa { intervals, states }
+    }
+
+    /// Map a character to its alphabet interval, if any.
+    pub fn classify(&self, c: char) -> Option<usize> {
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
+    }
+
+    /// Step from `state` on character `c`.
+    #[inline]
+    pub fn step(&self, state: u32, c: char) -> Option<u32> {
+        let ii = self.classify(c)?;
+        self.states[state as usize].trans[ii]
+    }
+
+    /// Longest-match simulation from position 0 of `input`; returns
+    /// `(match_len_bytes, tag)`.
+    pub fn simulate(&self, input: &str) -> Option<(usize, usize)> {
+        let mut state = 0u32;
+        let mut best: Option<(usize, usize)> = None;
+        let mut len = 0usize;
+        for c in input.chars() {
+            match self.step(state, c) {
+                Some(next) => {
+                    state = next;
+                    len += c.len_utf8();
+                    if let Some(tag) = self.states[state as usize].accept {
+                        best = Some((len, tag));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the automaton has no states (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Smallest accepting tag of an NFA state set.
+fn accept_of(nfa: &Nfa, set: &[usize]) -> Option<usize> {
+    set.iter().filter_map(|&s| nfa.states[s].accept).min()
+}
+
+/// Compute the disjoint alphabet intervals induced by all class boundaries.
+fn alphabet_intervals(nfa: &Nfa) -> Vec<(char, char)> {
+    // Cut points in u32 space: start of each range, and one past its end.
+    let mut cuts: Vec<u32> = Vec::new();
+    for state in &nfa.states {
+        for (class, _) in &state.trans {
+            for &(lo, hi) in class.ranges() {
+                cuts.push(lo as u32);
+                cuts.push(hi as u32 + 1);
+            }
+        }
+    }
+    // Always cut at the surrogate gap so no interval straddles it; gap
+    // intervals are dropped below because their low end is not a `char`.
+    cuts.push(0xD800);
+    cuts.push(0xE000);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut intervals = Vec::new();
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1] - 1);
+        // Skip the surrogate gap and keep the interval only if some class
+        // covers it (checking one representative char suffices: cut points
+        // include every class boundary, so an interval is fully inside or
+        // fully outside each class).
+        let lo_c = match char::from_u32(lo) {
+            Some(c) => c,
+            None => continue,
+        };
+        let covered = nfa
+            .states
+            .iter()
+            .any(|s| s.trans.iter().any(|(class, _)| class.contains(lo_c)));
+        if !covered {
+            continue;
+        }
+        let hi_c = char::from_u32(hi).expect("interval ends never fall inside the surrogate gap");
+        intervals.push((lo_c, hi_c));
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn dfa_of(patterns: &[&str]) -> Dfa {
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_pattern(&parse(p).unwrap(), i);
+        }
+        nfa.finish();
+        Dfa::from_nfa(&nfa)
+    }
+
+    #[test]
+    fn literal_simulation() {
+        let d = dfa_of(&["abc"]);
+        assert_eq!(d.simulate("abc"), Some((3, 0)));
+        assert_eq!(d.simulate("abx"), None);
+        assert_eq!(d.simulate("ab"), None);
+    }
+
+    #[test]
+    fn longest_match() {
+        let d = dfa_of(&["a+"]);
+        assert_eq!(d.simulate("aaab"), Some((3, 0)));
+    }
+
+    #[test]
+    fn priority_resolution() {
+        let d = dfa_of(&["select", "[a-z]+"]);
+        assert_eq!(d.simulate("select"), Some((6, 0)));
+        assert_eq!(d.simulate("selected"), Some((8, 1)));
+        assert_eq!(d.simulate("sel"), Some((3, 1)));
+    }
+
+    #[test]
+    fn intervals_are_disjoint_and_sorted() {
+        let d = dfa_of(&["[a-m]+", "[k-z]+", "[0-9]"]);
+        for w in d.intervals.windows(2) {
+            assert!(w[0].1 < w[1].0, "overlap: {:?}", d.intervals);
+        }
+        // boundary char 'k' splits [a-m] and [k-z]
+        assert!(d.classify('j') != d.classify('k'));
+    }
+
+    #[test]
+    fn classify_outside_alphabet() {
+        let d = dfa_of(&["[a-z]+"]);
+        assert_eq!(d.classify('0'), None);
+        assert!(d.classify('q').is_some());
+    }
+
+    #[test]
+    fn agreement_with_nfa_reference() {
+        let patterns = ["[0-9]+", "[0-9]+\\.[0-9]+", "[a-zA-Z_][a-zA-Z0-9_]*", "'([^'])*'"];
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_pattern(&parse(p).unwrap(), i);
+        }
+        nfa.finish();
+        let dfa = Dfa::from_nfa(&nfa);
+        for input in ["123", "12.5", "hello", "'str'", "12.x", "x12", "''", "9"] {
+            assert_eq!(dfa.simulate(input), nfa.simulate(input), "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn dot_like_negated_class() {
+        let d = dfa_of(&["--[^\n]*"]);
+        assert_eq!(d.simulate("-- a comment"), Some((12, 0)));
+        assert_eq!(d.simulate("-- a\nrest"), Some((4, 0)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Lexer-generator substrate for `sqlweave`.
+//!
+//! The paper delegates lexing to ANTLR's generated lexers; this crate is the
+//! from-scratch replacement. It compiles a set of token rules — keywords,
+//! punctuation, and regular-expression patterns — into a single minimized
+//! DFA and scans input with longest-match / declaration-priority semantics.
+//!
+//! Pipeline: [`regex`] (pattern AST + parser) → [`nfa`] (Thompson
+//! construction) → [`dfa`] (subset construction over a partitioned
+//! alphabet) → [`minimize`] (partition refinement) → [`scanner`]
+//! (maximal-munch scanning). [`tokenset`] is the user-facing rule
+//! collection, used by the grammar/composition layers for the paper's
+//! per-feature *token files*.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlweave_lexgen::tokenset::TokenSet;
+//!
+//! let mut ts = TokenSet::new();
+//! ts.keyword("SELECT").unwrap();
+//! ts.keyword("FROM").unwrap();
+//! ts.punct("COMMA", ",").unwrap();
+//! ts.pattern("IDENT", r"[A-Za-z_][A-Za-z0-9_]*").unwrap();
+//! ts.skip("WS", r"[ \t\r\n]+").unwrap();
+//!
+//! let scanner = ts.build().unwrap();
+//! let toks = scanner.scan("select x, y from t").unwrap();
+//! let kinds: Vec<&str> = toks.iter().map(|t| scanner.name(t.kind)).collect();
+//! assert_eq!(kinds, ["SELECT", "IDENT", "COMMA", "IDENT", "FROM", "IDENT"]);
+//! ```
+
+pub mod dfa;
+pub mod minimize;
+pub mod nfa;
+pub mod regex;
+pub mod scanner;
+pub mod tokenset;
+
+pub use scanner::{LexError, Scanner, Token, TokenKind};
+pub use tokenset::{TokenRule, TokenSet};

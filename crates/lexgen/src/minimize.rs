@@ -1,0 +1,145 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! Accepting states with different tags are kept distinguishable, so
+//! minimization never merges two token kinds. The implicit dead state is
+//! modeled as block `usize::MAX` and remains implicit in the result.
+
+use crate::dfa::{Dfa, DfaState};
+use std::collections::HashMap;
+
+/// Minimize `dfa`, preserving language and tags. The start state of the
+/// result is state 0.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let n = dfa.states.len();
+    if n == 0 {
+        return dfa.clone();
+    }
+
+    // Initial partition: by accept tag.
+    let mut block_of: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut tag_block: HashMap<Option<usize>, usize> = HashMap::new();
+        for s in &dfa.states {
+            let next = tag_block.len();
+            let b = *tag_block.entry(s.accept).or_insert(next);
+            block_of.push(b);
+        }
+    }
+
+    // Refine until stable: two states stay together iff for every interval
+    // their successors are in the same block (dead successor = MAX).
+    loop {
+        let mut sig_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut next_block_of: Vec<usize> = Vec::with_capacity(n);
+        for (s, state) in dfa.states.iter().enumerate() {
+            let sig: Vec<usize> = state
+                .trans
+                .iter()
+                .map(|t| t.map_or(usize::MAX, |t| block_of[t as usize]))
+                .collect();
+            let key = (block_of[s], sig);
+            let next = sig_block.len();
+            let b = *sig_block.entry(key).or_insert(next);
+            next_block_of.push(b);
+        }
+        let stable = next_block_of == block_of;
+        block_of = next_block_of;
+        if stable {
+            break;
+        }
+    }
+
+    // Renumber blocks so the start state's block is 0, then in discovery
+    // order for determinism.
+    let block_count = block_of.iter().max().map_or(0, |&b| b + 1);
+    let mut renumber: Vec<Option<u32>> = vec![None; block_count];
+    let mut order: Vec<usize> = Vec::new(); // representative state per new id
+    renumber[block_of[0]] = Some(0);
+    order.push(0);
+    for (s, &b) in block_of.iter().enumerate() {
+        if renumber[b].is_none() {
+            renumber[b] = Some(order.len() as u32);
+            order.push(s);
+        }
+    }
+
+    let states: Vec<DfaState> = order
+        .iter()
+        .map(|&rep| DfaState {
+            trans: dfa.states[rep]
+                .trans
+                .iter()
+                .map(|t| t.map(|t| renumber[block_of[t as usize]].unwrap()))
+                .collect(),
+            accept: dfa.states[rep].accept,
+        })
+        .collect();
+
+    Dfa {
+        intervals: dfa.intervals.clone(),
+        states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::parse;
+
+    fn dfa_of(patterns: &[&str]) -> Dfa {
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_pattern(&parse(p).unwrap(), i);
+        }
+        nfa.finish();
+        Dfa::from_nfa(&nfa)
+    }
+
+    #[test]
+    fn minimization_shrinks_redundant_states() {
+        // (a|b)(a|b)* has equivalent states after the first step.
+        let d = dfa_of(&["(a|b)(a|b)*"]);
+        let m = minimize(&d);
+        assert!(m.len() <= d.len());
+        assert_eq!(m.simulate("abba"), Some((4, 0)));
+        assert_eq!(m.simulate("c"), None);
+    }
+
+    #[test]
+    fn language_preserved() {
+        let patterns = ["select", "from", "[a-z_][a-z0-9_]*", "[0-9]+", "<>|<=|>=|=|<|>"];
+        let d = dfa_of(&patterns);
+        let m = minimize(&d);
+        for input in [
+            "select", "from", "fro", "froms", "x1", "42", "<=", "<", "<>", "=", "", "1a",
+        ] {
+            assert_eq!(m.simulate(input), d.simulate(input), "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_tags_not_merged() {
+        // `a` and `b` accept with different tags; their accepting states
+        // must stay distinct.
+        let d = dfa_of(&["a", "b"]);
+        let m = minimize(&d);
+        assert_eq!(m.simulate("a"), Some((1, 0)));
+        assert_eq!(m.simulate("b"), Some((1, 1)));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let d = dfa_of(&["(ab|ac)*d"]);
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.len(), m2.len());
+    }
+
+    #[test]
+    fn start_state_is_zero() {
+        let d = dfa_of(&["xy"]);
+        let m = minimize(&d);
+        assert_eq!(m.simulate("xy"), Some((2, 0)));
+    }
+}

@@ -1,0 +1,628 @@
+//! A regular-expression subset sufficient for SQL token patterns.
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z0-9_]` /
+//! `[^…]` with ranges, escapes (`\d \w \s \n \r \t` and `\<punct>`),
+//! grouping `(…)`, alternation `|`, and the quantifiers `* + ? {m} {m,}
+//! {m,n}`. No anchors, backreferences, or capture semantics — token
+//! patterns are pure regular languages.
+
+use std::fmt;
+
+/// A normalized set of inclusive character ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    /// Sorted, disjoint, non-adjacent inclusive ranges.
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    /// Empty class (matches nothing).
+    pub fn empty() -> Self {
+        CharClass { ranges: Vec::new() }
+    }
+
+    /// Class containing a single character.
+    pub fn single(c: char) -> Self {
+        CharClass { ranges: vec![(c, c)] }
+    }
+
+    /// Class from arbitrary ranges (normalized).
+    pub fn from_ranges(ranges: impl IntoIterator<Item = (char, char)>) -> Self {
+        let mut rs: Vec<(char, char)> = ranges
+            .into_iter()
+            .filter(|(lo, hi)| lo <= hi)
+            .collect();
+        rs.sort();
+        let mut out: Vec<(char, char)> = Vec::with_capacity(rs.len());
+        for (lo, hi) in rs {
+            match out.last_mut() {
+                Some((_, phi)) if (*phi as u32) + 1 >= lo as u32 => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        CharClass { ranges: out }
+    }
+
+    /// The class matching any character except those in `self`
+    /// (over the full Unicode scalar range).
+    pub fn negate(&self) -> Self {
+        let mut out = Vec::new();
+        let mut next = '\u{0}';
+        for &(lo, hi) in &self.ranges {
+            if next < lo {
+                out.push((next, prev_char(lo)));
+            }
+            next = match succ_char(hi) {
+                Some(c) => c,
+                None => return CharClass { ranges: out },
+            };
+        }
+        out.push((next, char::MAX));
+        CharClass { ranges: out }
+    }
+
+    /// Union of two classes.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        CharClass::from_ranges(self.ranges.iter().chain(other.ranges.iter()).copied())
+    }
+
+    /// `true` if `c` is in the class.
+    pub fn contains(&self, c: char) -> bool {
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// The normalized ranges.
+    pub fn ranges(&self) -> &[(char, char)] {
+        &self.ranges
+    }
+
+    /// `true` if the class matches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// An arbitrary member character, if non-empty (used by sentence
+    /// generation).
+    pub fn sample(&self) -> Option<char> {
+        self.ranges.first().map(|&(lo, _)| lo)
+    }
+}
+
+/// Skip surrogate gap going down.
+fn prev_char(c: char) -> char {
+    let mut v = c as u32;
+    loop {
+        v = v.wrapping_sub(1);
+        if let Some(c) = char::from_u32(v) {
+            return c;
+        }
+    }
+}
+
+/// Skip surrogate gap going up; `None` past `char::MAX`.
+fn succ_char(c: char) -> Option<char> {
+    let mut v = c as u32;
+    loop {
+        v = v.checked_add(1)?;
+        if v > char::MAX as u32 {
+            return None;
+        }
+        if let Some(c) = char::from_u32(v) {
+            return Some(c);
+        }
+    }
+}
+
+/// Regular-expression abstract syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one character from the class.
+    Class(CharClass),
+    /// Sequence.
+    Concat(Vec<Regex>),
+    /// Ordered alternation.
+    Alt(Vec<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Literal string (case-sensitive).
+    pub fn literal(s: &str) -> Regex {
+        Regex::Concat(s.chars().map(|c| Regex::Class(CharClass::single(c))).collect())
+    }
+
+    /// Literal string matching either case of every ASCII letter
+    /// (SQL keywords are case-insensitive).
+    pub fn literal_ci(s: &str) -> Regex {
+        Regex::Concat(
+            s.chars()
+                .map(|c| {
+                    if c.is_ascii_alphabetic() {
+                        Regex::Class(CharClass::from_ranges([
+                            (c.to_ascii_lowercase(), c.to_ascii_lowercase()),
+                            (c.to_ascii_uppercase(), c.to_ascii_uppercase()),
+                        ]))
+                    } else {
+                        Regex::Class(CharClass::single(c))
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset in the pattern.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Parse a pattern string into a [`Regex`].
+pub fn parse(pattern: &str) -> Result<Regex, RegexError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+    };
+    let re = p.alternation()?;
+    if p.pos < p.chars.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(re)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> RegexError {
+        RegexError {
+            at: self.chars.get(self.pos).map_or(self.chars.len(), |&(i, _)| i),
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Regex, RegexError> {
+        let mut alts = vec![self.concat()?];
+        while self.eat('|') {
+            alts.push(self.concat()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            Regex::Alt(alts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, RegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.quantified()?);
+        }
+        Ok(match items.len() {
+            0 => Regex::Empty,
+            1 => items.pop().unwrap(),
+            _ => Regex::Concat(items),
+        })
+    }
+
+    fn quantified(&mut self) -> Result<Regex, RegexError> {
+        let mut atom = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some('+') => {
+                    self.bump();
+                    atom = Regex::Plus(Box::new(atom));
+                }
+                Some('?') => {
+                    self.bump();
+                    atom = Regex::Opt(Box::new(atom));
+                }
+                Some('{') => {
+                    self.bump();
+                    atom = self.counted(atom)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    /// `{m}`, `{m,}`, `{m,n}` expanded structurally.
+    fn counted(&mut self, atom: Regex) -> Result<Regex, RegexError> {
+        let min = self.number()?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.number()?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.error("expected `}` in counted repetition"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.error("repetition max below min"));
+            }
+            if max > 64 {
+                return Err(self.error("counted repetition larger than 64 not supported"));
+            }
+        }
+        // Expand: atom{m,n} = atom^m (atom?)^(n-m); atom{m,} = atom^m atom*
+        let mut seq: Vec<Regex> = (0..min).map(|_| atom.clone()).collect();
+        match max {
+            Some(max) => {
+                for _ in min..max {
+                    seq.push(Regex::Opt(Box::new(atom.clone())));
+                }
+            }
+            None => seq.push(Regex::Star(Box::new(atom.clone()))),
+        }
+        Ok(match seq.len() {
+            0 => Regex::Empty,
+            1 => seq.pop().unwrap(),
+            _ => Regex::Concat(seq),
+        })
+    }
+
+    fn number(&mut self) -> Result<u32, RegexError> {
+        let mut n: Option<u32> = None;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                n = Some(n.unwrap_or(0).saturating_mul(10).saturating_add(d));
+            } else {
+                break;
+            }
+        }
+        n.ok_or_else(|| self.error("expected a number"))
+    }
+
+    fn atom(&mut self) -> Result<Regex, RegexError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(self.error("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => {
+                self.bump();
+                self.char_class()
+            }
+            Some('.') => {
+                self.bump();
+                // `.` = anything but newline, the conventional meaning.
+                Ok(Regex::Class(CharClass::single('\n').negate()))
+            }
+            Some('\\') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                Ok(Regex::Class(escape_class(c)))
+            }
+            Some(c) if !"*+?{}|)".contains(c) => {
+                self.bump();
+                Ok(Regex::Class(CharClass::single(c)))
+            }
+            Some(_) => Err(self.error("unexpected metacharacter")),
+            None => Err(self.error("unexpected end of pattern")),
+        }
+    }
+
+    fn char_class(&mut self) -> Result<Regex, RegexError> {
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.peek() {
+                None => return Err(self.error("unclosed character class")),
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                Some(c) => c,
+            };
+            first = false;
+            self.bump();
+            let lo_class = if c == '\\' {
+                let e = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                let cls = escape_class(e);
+                // Multi-range escapes (\d, \w, \s) can't form ranges.
+                if cls.ranges().len() > 1 || e == 'd' || e == 'w' || e == 's' {
+                    ranges.extend(cls.ranges().iter().copied());
+                    continue;
+                }
+                cls
+            } else {
+                CharClass::single(c)
+            };
+            let lo = lo_class.ranges()[0].0;
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+            {
+                self.bump(); // '-'
+                let hi_c = self
+                    .bump()
+                    .ok_or_else(|| self.error("unterminated range"))?;
+                let hi = if hi_c == '\\' {
+                    let e = self.bump().ok_or_else(|| self.error("dangling escape"))?;
+                    escape_class(e).ranges()[0].0
+                } else {
+                    hi_c
+                };
+                if hi < lo {
+                    return Err(self.error("inverted character range"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.extend(lo_class.ranges().iter().copied());
+            }
+        }
+        let class = CharClass::from_ranges(ranges);
+        Ok(Regex::Class(if negated { class.negate() } else { class }))
+    }
+}
+
+/// The class an escape sequence denotes.
+fn escape_class(c: char) -> CharClass {
+    match c {
+        'd' => CharClass::from_ranges([('0', '9')]),
+        'w' => CharClass::from_ranges([('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')]),
+        's' => CharClass::from_ranges([
+            (' ', ' '),
+            ('\t', '\t'),
+            ('\n', '\n'),
+            ('\r', '\r'),
+            ('\u{b}', '\u{c}'),
+        ]),
+        'n' => CharClass::single('\n'),
+        'r' => CharClass::single('\r'),
+        't' => CharClass::single('\t'),
+        '0' => CharClass::single('\0'),
+        other => CharClass::single(other),
+    }
+}
+
+#[cfg(test)]
+impl Regex {
+    /// `Regex::literal("a")` builds `Concat([Class(a)])`; single-element
+    /// concat compares unequal to the parser's unwrapped form. Normalize for
+    /// test assertions.
+    fn simplify_for_test(self) -> Regex {
+        match self {
+            Regex::Concat(mut v) if v.len() == 1 => v.pop().unwrap(),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_normalization_merges_overlaps() {
+        let c = CharClass::from_ranges([('a', 'f'), ('d', 'k'), ('m', 'm')]);
+        assert_eq!(c.ranges(), &[('a', 'k'), ('m', 'm')]);
+    }
+
+    #[test]
+    fn class_normalization_merges_adjacent() {
+        let c = CharClass::from_ranges([('a', 'c'), ('d', 'f')]);
+        assert_eq!(c.ranges(), &[('a', 'f')]);
+    }
+
+    #[test]
+    fn class_contains() {
+        let c = CharClass::from_ranges([('0', '9'), ('a', 'f')]);
+        assert!(c.contains('5'));
+        assert!(c.contains('a'));
+        assert!(!c.contains('g'));
+        assert!(!c.contains('/'));
+    }
+
+    #[test]
+    fn negation_roundtrip() {
+        let c = CharClass::from_ranges([('b', 'y')]);
+        let n = c.negate();
+        assert!(n.contains('a'));
+        assert!(n.contains('z'));
+        assert!(!n.contains('m'));
+        assert_eq!(n.negate().ranges(), c.ranges());
+    }
+
+    #[test]
+    fn negate_empty_is_everything() {
+        let all = CharClass::empty().negate();
+        assert!(all.contains('\0'));
+        assert!(all.contains(char::MAX));
+        assert!(all.contains('x'));
+    }
+
+    #[test]
+    fn parse_literal() {
+        let r = parse("abc").unwrap();
+        assert_eq!(r, Regex::literal("abc"));
+    }
+
+    #[test]
+    fn parse_alternation_and_grouping() {
+        let r = parse("a(b|c)d").unwrap();
+        match r {
+            Regex::Concat(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(matches!(items[1], Regex::Alt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        assert!(matches!(parse("a*").unwrap(), Regex::Star(_)));
+        assert!(matches!(parse("a+").unwrap(), Regex::Plus(_)));
+        assert!(matches!(parse("a?").unwrap(), Regex::Opt(_)));
+    }
+
+    #[test]
+    fn parse_counted_repetition() {
+        // a{2,3} == aa(a?)
+        let r = parse("a{2,3}").unwrap();
+        match r {
+            Regex::Concat(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(matches!(items[2], Regex::Opt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse("a{3}").unwrap(), Regex::Concat(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn parse_counted_open_ended() {
+        // a{2,} == aa a*
+        let r = parse("a{2,}").unwrap();
+        match r {
+            Regex::Concat(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(matches!(items[2], Regex::Star(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_char_class_with_ranges() {
+        let r = parse("[A-Za-z_][A-Za-z0-9_]*").unwrap();
+        match r {
+            Regex::Concat(items) => {
+                let Regex::Class(c) = &items[0] else { panic!() };
+                assert!(c.contains('Q') && c.contains('q') && c.contains('_'));
+                assert!(!c.contains('0'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negated_class() {
+        let r = parse("[^'\n]").unwrap();
+        let Regex::Class(c) = r else { panic!() };
+        assert!(!c.contains('\''));
+        assert!(!c.contains('\n'));
+        assert!(c.contains('x'));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let r = parse(r"\d+\.\d+").unwrap();
+        let Regex::Concat(items) = r else { panic!() };
+        assert_eq!(items.len(), 3); // \d+  \.  \d+
+        let Regex::Class(dot) = &items[1] else { panic!() };
+        assert!(dot.contains('.') && !dot.contains('5'));
+    }
+
+    #[test]
+    fn parse_class_with_escape_sets() {
+        let r = parse(r"[\d_]").unwrap();
+        let Regex::Class(c) = r else { panic!() };
+        assert!(c.contains('7') && c.contains('_') && !c.contains('a'));
+    }
+
+    #[test]
+    fn parse_dash_literal_at_end_of_class() {
+        let r = parse("[a-]").unwrap();
+        let Regex::Class(c) = r else { panic!() };
+        assert!(c.contains('a') && c.contains('-'));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("(a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse(r"\").is_err());
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn literal_ci_matches_both_cases() {
+        let r = Regex::literal_ci("As");
+        let Regex::Concat(items) = r else { panic!() };
+        let Regex::Class(a) = &items[0] else { panic!() };
+        assert!(a.contains('a') && a.contains('A'));
+        let Regex::Class(s) = &items[1] else { panic!() };
+        assert!(s.contains('s') && s.contains('S'));
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_regex() {
+        assert_eq!(parse("").unwrap(), Regex::Empty);
+        assert_eq!(parse("a|").unwrap(), Regex::Alt(vec![Regex::literal("a").simplify_for_test(), Regex::Empty]));
+    }
+}

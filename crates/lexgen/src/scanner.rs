@@ -1,0 +1,314 @@
+//! Maximal-munch scanning with a compiled DFA.
+
+use crate::dfa::Dfa;
+use std::fmt;
+
+/// Index of a token rule inside the [`crate::TokenSet`] that built the
+/// scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenKind(pub u32);
+
+impl TokenKind {
+    /// The dense rule index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One scanned token. Text is referenced by byte span into the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Which rule matched.
+    pub kind: TokenKind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The matched lexeme.
+    pub fn text<'a>(&self, input: &'a str) -> &'a str {
+        &input[self.start..self.end]
+    }
+}
+
+/// Lexical error: no rule matches at `at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub column: usize,
+    /// The offending character, if any (None at end of input).
+    pub found: Option<char>,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.found {
+            Some(c) => write!(
+                f,
+                "lexical error at line {}, column {}: unexpected character {c:?}",
+                self.line, self.column
+            ),
+            None => write!(
+                f,
+                "lexical error at line {}, column {}: unexpected end of input",
+                self.line, self.column
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Compute 1-based line/column of a byte offset.
+pub fn line_col(input: &str, at: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in input.char_indices() {
+        if i >= at {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// A compiled scanner: minimized DFA + rule metadata.
+#[derive(Debug, Clone)]
+pub struct Scanner {
+    pub(crate) dfa: Dfa,
+    pub(crate) names: Vec<String>,
+    pub(crate) skip: Vec<bool>,
+}
+
+impl Scanner {
+    /// Rule name for a token kind.
+    pub fn name(&self, kind: TokenKind) -> &str {
+        &self.names[kind.index()]
+    }
+
+    /// Kind for a rule name, if present.
+    pub fn kind_of(&self, name: &str) -> Option<TokenKind> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TokenKind(i as u32))
+    }
+
+    /// Number of rules (including skip rules).
+    pub fn rule_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of DFA states (size metric for Experiment B3).
+    pub fn dfa_states(&self) -> usize {
+        self.dfa.len()
+    }
+
+    /// Scan the whole input, dropping skip-rule matches.
+    pub fn scan(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let rest = &input[pos..];
+            match self.dfa.simulate(rest) {
+                Some((len, tag)) => {
+                    debug_assert!(len > 0, "zero-length token match would not progress");
+                    if !self.skip[tag] {
+                        out.push(Token {
+                            kind: TokenKind(tag as u32),
+                            start: pos,
+                            end: pos + len,
+                        });
+                    }
+                    pos += len;
+                }
+                None => {
+                    let (line, column) = line_col(input, pos);
+                    return Err(LexError {
+                        at: pos,
+                        line,
+                        column,
+                        found: rest.chars().next(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reference implementation scanning with per-rule NFA simulation; used
+    /// as the naive-scanner ablation baseline (Experiment B5) and in
+    /// differential tests. Produces identical output to [`Scanner::scan`].
+    pub fn scan_naive(
+        &self,
+        input: &str,
+        nfas: &[crate::nfa::Nfa],
+    ) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let rest = &input[pos..];
+            // Try every rule; longest match wins, ties by rule order.
+            let mut best: Option<(usize, usize)> = None;
+            for (tag, nfa) in nfas.iter().enumerate() {
+                if let Some((len, _)) = nfa.simulate(rest) {
+                    match best {
+                        Some((blen, _)) if blen >= len => {}
+                        _ => best = Some((len, tag)),
+                    }
+                }
+            }
+            match best {
+                Some((len, tag)) => {
+                    if !self.skip[tag] {
+                        out.push(Token {
+                            kind: TokenKind(tag as u32),
+                            start: pos,
+                            end: pos + len,
+                        });
+                    }
+                    pos += len;
+                }
+                None => {
+                    let (line, column) = line_col(input, pos);
+                    return Err(LexError {
+                        at: pos,
+                        line,
+                        column,
+                        found: rest.chars().next(),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenset::TokenSet;
+
+    fn sql_scanner() -> Scanner {
+        let mut ts = TokenSet::new();
+        ts.keyword("SELECT").unwrap();
+        ts.keyword("FROM").unwrap();
+        ts.keyword("WHERE").unwrap();
+        ts.punct("COMMA", ",").unwrap();
+        ts.punct("EQ", "=").unwrap();
+        ts.punct("LPAREN", "(").unwrap();
+        ts.punct("RPAREN", ")").unwrap();
+        ts.pattern("IDENT", "[A-Za-z_][A-Za-z0-9_]*").unwrap();
+        ts.pattern("NUMBER", "[0-9]+(\\.[0-9]+)?").unwrap();
+        ts.pattern("STRING", "'([^'])*'").unwrap();
+        ts.skip("WS", "[ \\t\\r\\n]+").unwrap();
+        ts.skip("LINE_COMMENT", "--[^\\n]*").unwrap();
+        ts.build().unwrap()
+    }
+
+    fn kinds(s: &Scanner, input: &str) -> Vec<String> {
+        s.scan(input)
+            .unwrap()
+            .iter()
+            .map(|t| s.name(t.kind).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let s = sql_scanner();
+        assert_eq!(
+            kinds(&s, "SELECT a, b FROM t WHERE a = 1"),
+            [
+                "SELECT", "IDENT", "COMMA", "IDENT", "FROM", "IDENT", "WHERE", "IDENT", "EQ",
+                "NUMBER"
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = sql_scanner();
+        assert_eq!(kinds(&s, "select From WHERE"), ["SELECT", "FROM", "WHERE"]);
+    }
+
+    #[test]
+    fn keyword_prefix_is_identifier() {
+        let s = sql_scanner();
+        assert_eq!(kinds(&s, "selection fromage"), ["IDENT", "IDENT"]);
+    }
+
+    #[test]
+    fn spans_and_text() {
+        let s = sql_scanner();
+        let input = "SELECT name FROM users";
+        let toks = s.scan(input).unwrap();
+        assert_eq!(toks[1].text(input), "name");
+        assert_eq!(toks[3].text(input), "users");
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[0].end, 6);
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let s = sql_scanner();
+        assert_eq!(
+            kinds(&s, "SELECT a -- trailing comment\nFROM t"),
+            ["SELECT", "IDENT", "FROM", "IDENT"]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        let s = sql_scanner();
+        let input = "WHERE name = 'O Brien'";
+        let toks = s.scan(input).unwrap();
+        assert_eq!(s.name(toks[3].kind), "STRING");
+        assert_eq!(toks[3].text(input), "'O Brien'");
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        let s = sql_scanner();
+        let input = "3.14 42";
+        let toks = s.scan(input).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].text(input), "3.14");
+        assert_eq!(toks[1].text(input), "42");
+    }
+
+    #[test]
+    fn lex_error_position() {
+        let s = sql_scanner();
+        let err = s.scan("SELECT a\nFROM #").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 6);
+        assert_eq!(err.found, Some('#'));
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        let s = sql_scanner();
+        assert_eq!(s.scan("").unwrap(), vec![]);
+        assert_eq!(s.scan("   \n\t ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn kind_lookup_roundtrip() {
+        let s = sql_scanner();
+        let k = s.kind_of("IDENT").unwrap();
+        assert_eq!(s.name(k), "IDENT");
+        assert!(s.kind_of("NOPE").is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based differential tests over the lexer-generator pipeline:
+//! for random patterns and inputs, the Thompson NFA, the subset-construction
+//! DFA, and the minimized DFA must agree exactly.
+
+use proptest::prelude::*;
+use sqlweave_lexgen::dfa::Dfa;
+use sqlweave_lexgen::minimize::minimize;
+use sqlweave_lexgen::nfa::Nfa;
+use sqlweave_lexgen::regex::{parse, Regex};
+
+/// A strategy for random regexes over a small alphabet, by construction
+/// valid (we generate the AST, then render it to pattern syntax).
+fn arb_regex() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "[ab]", "[a-c]", "[^a]", "x"])
+            .prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // concatenation
+            prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("")),
+            // alternation
+            prop::collection::vec(inner.clone(), 2..4).prop_map(|v| format!("({})", v.join("|"))),
+            // quantifiers
+            inner.clone().prop_map(|r| format!("({r})*")),
+            inner.clone().prop_map(|r| format!("({r})+")),
+            inner.prop_map(|r| format!("({r})?")),
+        ]
+    })
+}
+
+fn arb_input() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!['a', 'b', 'c', 'x', 'y']), 0..10)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_dfa_minimized_agree(pattern in arb_regex(), input in arb_input()) {
+        let re = parse(&pattern).unwrap_or_else(|e| panic!("generated bad pattern {pattern:?}: {e}"));
+        let mut nfa = Nfa::new();
+        nfa.add_pattern(&re, 0);
+        nfa.finish();
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = minimize(&dfa);
+        let n = nfa.simulate(&input);
+        let d = dfa.simulate(&input);
+        let m = min.simulate(&input);
+        prop_assert_eq!(n, d, "NFA vs DFA on {:?} / {:?}", pattern, input);
+        prop_assert_eq!(d, m, "DFA vs minimized on {:?} / {:?}", pattern, input);
+    }
+
+    #[test]
+    fn minimization_never_grows(pattern in arb_regex()) {
+        let re = parse(&pattern).unwrap();
+        let mut nfa = Nfa::new();
+        nfa.add_pattern(&re, 0);
+        nfa.finish();
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = minimize(&dfa);
+        prop_assert!(min.len() <= dfa.len());
+    }
+
+    #[test]
+    fn multi_pattern_priority_is_stable(input in arb_input()) {
+        // keyword-style literals + identifier pattern: for any input the
+        // winning tag must be the longest match, ties to the smaller tag.
+        let patterns = ["ab", "abc", "[a-c]+"];
+        let mut nfa = Nfa::new();
+        for (i, p) in patterns.iter().enumerate() {
+            nfa.add_pattern(&parse(p).unwrap(), i);
+        }
+        nfa.finish();
+        let dfa = Dfa::from_nfa(&nfa);
+        prop_assert_eq!(nfa.simulate(&input), dfa.simulate(&input));
+        if let Some((len, tag)) = dfa.simulate(&input) {
+            // cross-check: no other pattern matches a longer prefix, and no
+            // smaller tag matches the same length.
+            for (i, p) in patterns.iter().enumerate() {
+                let mut single = Nfa::new();
+                single.add_pattern(&parse(p).unwrap(), 0);
+                single.finish();
+                if let Some((l2, _)) = single.simulate(&input) {
+                    prop_assert!(l2 <= len, "pattern {i} matched longer");
+                    if l2 == len {
+                        prop_assert!(tag <= i, "priority violated");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn regex_ast_roundtrip_samples() {
+    // literal helpers produce ASTs equal to their parsed spelling
+    assert_eq!(parse("abc").unwrap(), Regex::literal("abc"));
+}

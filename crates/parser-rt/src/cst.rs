@@ -1,0 +1,248 @@
+//! Concrete syntax trees with token spans.
+
+use std::fmt;
+
+/// A node of the concrete syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CstNode {
+    /// An expanded nonterminal.
+    Rule {
+        /// Production name.
+        name: String,
+        /// Label of the alternative that matched, if any.
+        label: Option<String>,
+        /// Child nodes in input order.
+        children: Vec<CstNode>,
+    },
+    /// A matched token.
+    Token {
+        /// Token rule name (e.g. `SELECT`, `IDENT`).
+        kind: String,
+        /// The lexeme.
+        text: String,
+        /// Start byte offset in the original input.
+        start: usize,
+        /// End byte offset (exclusive).
+        end: usize,
+    },
+}
+
+impl CstNode {
+    /// Construct a rule node.
+    pub fn rule(name: &str, label: Option<String>, children: Vec<CstNode>) -> CstNode {
+        CstNode::Rule {
+            name: name.to_string(),
+            label,
+            children,
+        }
+    }
+
+    /// The rule/production name, or the token kind.
+    pub fn name(&self) -> &str {
+        match self {
+            CstNode::Rule { name, .. } => name,
+            CstNode::Token { kind, .. } => kind,
+        }
+    }
+
+    /// `true` for token leaves.
+    pub fn is_token(&self) -> bool {
+        matches!(self, CstNode::Token { .. })
+    }
+
+    /// Children (empty for tokens).
+    pub fn children(&self) -> &[CstNode] {
+        match self {
+            CstNode::Rule { children, .. } => children,
+            CstNode::Token { .. } => &[],
+        }
+    }
+
+    /// Alternative label (rules only).
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            CstNode::Rule { label, .. } => label.as_deref(),
+            CstNode::Token { .. } => None,
+        }
+    }
+
+    /// First child rule with the given production name.
+    pub fn child(&self, name: &str) -> Option<&CstNode> {
+        self.children().iter().find(|c| c.name() == name)
+    }
+
+    /// All direct children with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a CstNode> {
+        self.children().iter().filter(move |c| c.name() == name)
+    }
+
+    /// First token descendant of the given kind (pre-order).
+    pub fn find_token(&self, kind: &str) -> Option<&CstNode> {
+        match self {
+            CstNode::Token { kind: k, .. } if k == kind => Some(self),
+            CstNode::Token { .. } => None,
+            CstNode::Rule { children, .. } => {
+                children.iter().find_map(|c| c.find_token(kind))
+            }
+        }
+    }
+
+    /// Token text if this is a token node.
+    pub fn token_text(&self) -> Option<&str> {
+        match self {
+            CstNode::Token { text, .. } => Some(text),
+            CstNode::Rule { .. } => None,
+        }
+    }
+
+    /// Byte span covered by this node, if it contains any tokens.
+    pub fn span(&self) -> Option<(usize, usize)> {
+        match self {
+            CstNode::Token { start, end, .. } => Some((*start, *end)),
+            CstNode::Rule { children, .. } => {
+                let first = children.iter().find_map(|c| c.span())?;
+                let last = children.iter().rev().find_map(|c| c.span())?;
+                Some((first.0, last.1))
+            }
+        }
+    }
+
+    /// All token leaves in order.
+    pub fn tokens(&self) -> Vec<&CstNode> {
+        let mut out = Vec::new();
+        self.collect_tokens(&mut out);
+        out
+    }
+
+    fn collect_tokens<'a>(&'a self, out: &mut Vec<&'a CstNode>) {
+        match self {
+            CstNode::Token { .. } => out.push(self),
+            CstNode::Rule { children, .. } => {
+                for c in children {
+                    c.collect_tokens(out);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct the lexeme stream separated by single spaces (not the
+    /// original whitespace; use spans against the original input for that).
+    pub fn text(&self) -> String {
+        self.tokens()
+            .iter()
+            .filter_map(|t| t.token_text())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Total number of nodes (rules + tokens).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(CstNode::node_count).sum::<usize>()
+    }
+
+    /// Render an indented tree (debugging and golden tests).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.pretty_into(&mut out, 0);
+        out
+    }
+
+    fn pretty_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let indent = "  ".repeat(depth);
+        match self {
+            CstNode::Rule { name, label, children } => {
+                let _ = match label {
+                    Some(l) => writeln!(out, "{indent}{name} #{l}"),
+                    None => writeln!(out, "{indent}{name}"),
+                };
+                for c in children {
+                    c.pretty_into(out, depth + 1);
+                }
+            }
+            CstNode::Token { kind, text, .. } => {
+                let _ = writeln!(out, "{indent}{kind} {text:?}");
+            }
+        }
+    }
+}
+
+impl fmt::Display for CstNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(kind: &str, text: &str, start: usize) -> CstNode {
+        CstNode::Token {
+            kind: kind.to_string(),
+            text: text.to_string(),
+            start,
+            end: start + text.len(),
+        }
+    }
+
+    fn sample() -> CstNode {
+        CstNode::rule(
+            "query",
+            Some("select".to_string()),
+            vec![
+                tok("SELECT", "SELECT", 0),
+                CstNode::rule(
+                    "select_list",
+                    None,
+                    vec![tok("IDENT", "a", 7), tok("COMMA", ",", 8), tok("IDENT", "b", 10)],
+                ),
+                tok("FROM", "FROM", 12),
+                tok("IDENT", "t", 17),
+            ],
+        )
+    }
+
+    #[test]
+    fn navigation() {
+        let n = sample();
+        assert_eq!(n.name(), "query");
+        assert_eq!(n.label(), Some("select"));
+        let sl = n.child("select_list").unwrap();
+        assert_eq!(sl.children_named("IDENT").count(), 2);
+        assert_eq!(n.find_token("FROM").unwrap().token_text(), Some("FROM"));
+        assert!(n.find_token("WHERE").is_none());
+    }
+
+    #[test]
+    fn span_covers_all_tokens() {
+        let n = sample();
+        assert_eq!(n.span(), Some((0, 18)));
+        assert_eq!(n.child("select_list").unwrap().span(), Some((7, 11)));
+    }
+
+    #[test]
+    fn text_reconstruction() {
+        assert_eq!(sample().text(), "SELECT a , b FROM t");
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(sample().node_count(), 8);
+    }
+
+    #[test]
+    fn pretty_shape() {
+        let p = sample().pretty();
+        assert!(p.starts_with("query #select\n"));
+        assert!(p.contains("  select_list\n"));
+        assert!(p.contains("    IDENT \"a\"\n"));
+    }
+
+    #[test]
+    fn empty_rule_has_no_span() {
+        let n = CstNode::rule("empty", None, vec![]);
+        assert_eq!(n.span(), None);
+        assert_eq!(n.text(), "");
+    }
+}

@@ -1,0 +1,972 @@
+//! The two parse engines: FIRST-pruned backtracking recursive descent over
+//! the EBNF IR, and table-driven LL(1) over the flattened BNF.
+//!
+//! Both engines run on *compiled* grammar forms built once at
+//! [`Parser::new`]: token kinds are interned to dense ids (the scanner's
+//! rule indices), FIRST sets become bitsets, nonterminal references become
+//! vector indices, and the LL(1) prediction table becomes a dense
+//! per-production row. The hot path performs no string comparisons and no
+//! hashing.
+
+use crate::cst::CstNode;
+use crate::errors::ParseError;
+use sqlweave_grammar::analysis::{analyze, AnalysisError, GrammarAnalysis, EOF};
+use sqlweave_grammar::ir::{Grammar, Term};
+use sqlweave_grammar::lower::is_synthetic;
+use sqlweave_lexgen::scanner::line_col;
+use sqlweave_lexgen::tokenset::{TokenSet, TokenSetError};
+use sqlweave_lexgen::{Scanner, Token};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Which algorithm [`Parser::parse`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Recursive-descent interpretation of the EBNF grammar with FIRST-set
+    /// pruning and ordered backtracking across alternatives. Handles any
+    /// composed grammar (PEG-style disambiguation on non-LL(1) spots).
+    #[default]
+    Backtracking,
+    /// Table-driven predictive parsing over the flattened grammar. Fastest,
+    /// but decisions follow the LL(1) table; reported conflicts resolve to
+    /// the first-declared alternative.
+    Ll1Table,
+}
+
+/// Errors building a [`Parser`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Grammar analysis failed (undefined symbols).
+    Analysis(AnalysisError),
+    /// Token-set compilation failed.
+    Tokens(TokenSetError),
+    /// The grammar references tokens absent from the token set.
+    MissingTokens(Vec<String>),
+    /// The grammar is left-recursive (fatal for LL parsing).
+    LeftRecursive(Vec<Vec<String>>),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Analysis(e) => write!(f, "{e}"),
+            BuildError::Tokens(e) => write!(f, "{e}"),
+            BuildError::MissingTokens(v) => {
+                write!(f, "grammar references tokens not in the token set: {}", v.join(", "))
+            }
+            BuildError::LeftRecursive(cycles) => {
+                write!(f, "grammar is left-recursive: ")?;
+                for (i, c) in cycles.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", c.join(" -> "))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Static size metrics of a built parser (Experiment B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserStats {
+    /// Productions in the (EBNF) grammar.
+    pub productions: usize,
+    /// Alternatives across all productions.
+    pub alternatives: usize,
+    /// Productions after flattening.
+    pub flat_productions: usize,
+    /// Populated LL(1) table cells.
+    pub table_cells: usize,
+    /// LL(1) conflicts (resolved by declaration order).
+    pub conflicts: usize,
+    /// Token rules in the scanner.
+    pub token_rules: usize,
+    /// States in the minimized lexer DFA.
+    pub dfa_states: usize,
+}
+
+// ---------------------------------------------------------------- bitsets
+
+/// Dense bitset over interned token ids.
+#[derive(Debug, Clone, Default)]
+struct TokBits {
+    words: Box<[u64]>,
+}
+
+impl TokBits {
+    fn new(n_tokens: usize) -> TokBits {
+        TokBits {
+            words: vec![0u64; n_tokens.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: u32) {
+        self.words[(id / 64) as usize] |= 1 << (id % 64);
+    }
+
+    #[inline]
+    fn contains(&self, id: u32) -> bool {
+        (self.words[(id / 64) as usize] >> (id % 64)) & 1 == 1
+    }
+
+    fn union_with(&mut self, other: &TokBits) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    fn iter_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if (w >> b) & 1 == 1 {
+                    Some(wi as u32 * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+// ------------------------------------------------------- compiled grammars
+
+/// Compiled EBNF term for the backtracking engine.
+enum CTerm {
+    Tok(u32),
+    Nt(u32),
+    Opt { body: Vec<CTerm>, first: TokBits },
+    Star { body: Vec<CTerm>, first: TokBits },
+    Plus { body: Vec<CTerm>, first: TokBits },
+    Group(Vec<CGroupAlt>),
+}
+
+struct CGroupAlt {
+    seq: Vec<CTerm>,
+    first: TokBits,
+    nullable: bool,
+}
+
+struct CAlt {
+    seq: Vec<CTerm>,
+    first: TokBits,
+    nullable: bool,
+    label: Option<String>,
+}
+
+struct CProd {
+    name: String,
+    alts: Vec<CAlt>,
+}
+
+/// Compiled flat term for the LL(1) engine.
+enum FTerm {
+    Tok(u32),
+    Nt { idx: u32, synthetic: bool },
+}
+
+struct FAlt {
+    seq: Vec<FTerm>,
+    label: Option<String>,
+}
+
+const NO_ALT: u16 = u16::MAX;
+
+struct FProd {
+    name: String,
+    alts: Vec<FAlt>,
+    /// Dense prediction row: token id → alternative index (or [`NO_ALT`]).
+    row: Box<[u16]>,
+    /// Alternative predicted at end of input.
+    eof_alt: u16,
+    /// Tokens with a prediction (for error messages).
+    expected: TokBits,
+}
+
+/// A ready-to-use parser for one composed grammar.
+pub struct Parser {
+    grammar: Grammar,
+    analysis: GrammarAnalysis,
+    scanner: Scanner,
+    mode: EngineMode,
+    n_tokens: usize,
+    cprods: Vec<CProd>,
+    cstart: u32,
+    fprods: Vec<FProd>,
+    fstart: u32,
+}
+
+impl fmt::Debug for Parser {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Parser")
+            .field("grammar", &self.grammar.name())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Parser {
+    /// Build a parser from a closed grammar and its token set.
+    pub fn new(grammar: Grammar, tokens: &TokenSet) -> Result<Parser, BuildError> {
+        let missing: Vec<String> = grammar
+            .referenced_tokens()
+            .into_iter()
+            .filter(|t| tokens.get(t).is_none())
+            .map(str::to_string)
+            .collect();
+        if !missing.is_empty() {
+            return Err(BuildError::MissingTokens(missing));
+        }
+        let analysis = analyze(&grammar).map_err(BuildError::Analysis)?;
+        if !analysis.left_recursion.is_empty() {
+            return Err(BuildError::LeftRecursive(analysis.left_recursion.clone()));
+        }
+        let scanner = tokens.build().map_err(BuildError::Tokens)?;
+        let n_tokens = scanner.rule_count();
+
+        let compiler = Compiler {
+            analysis: &analysis,
+            scanner: &scanner,
+            n_tokens,
+        };
+        let (cprods, cstart) = compiler.compile_ebnf(&grammar);
+        let (fprods, fstart) = compiler.compile_flat();
+
+        Ok(Parser {
+            grammar,
+            analysis,
+            scanner,
+            mode: EngineMode::default(),
+            n_tokens,
+            cprods,
+            cstart,
+            fprods,
+            fstart,
+        })
+    }
+
+    /// Select the engine mode (builder style).
+    pub fn with_mode(mut self, mode: EngineMode) -> Parser {
+        self.mode = mode;
+        self
+    }
+
+    /// Current engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// The (EBNF) grammar this parser accepts.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Analysis results (FIRST/FOLLOW, table, conflicts).
+    pub fn analysis(&self) -> &GrammarAnalysis {
+        &self.analysis
+    }
+
+    /// The compiled scanner.
+    pub fn scanner(&self) -> &Scanner {
+        &self.scanner
+    }
+
+    /// Size metrics.
+    pub fn stats(&self) -> ParserStats {
+        ParserStats {
+            productions: self.grammar.productions().len(),
+            alternatives: self.grammar.alternative_count(),
+            flat_productions: self.analysis.flat.productions().len(),
+            table_cells: self.analysis.table_cells(),
+            conflicts: self.analysis.conflicts.len(),
+            token_rules: self.scanner.rule_count(),
+            dfa_states: self.scanner.dfa_states(),
+        }
+    }
+
+    /// Parse `input` to a CST, or produce the farthest-failure error.
+    pub fn parse(&self, input: &str) -> Result<CstNode, ParseError> {
+        let toks = self.scanner.scan(input).map_err(|e| ParseError {
+            at: e.at,
+            line: e.line,
+            column: e.column,
+            expected: BTreeSet::new(),
+            found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
+            lexical: Some(e.to_string()),
+        })?;
+        let kind_ids: Vec<u32> = toks.iter().map(|t| t.kind.0).collect();
+        let mut ctx = Ctx {
+            toks: &toks,
+            kind_ids,
+            input,
+            scanner: &self.scanner,
+            farthest: 0,
+            expected: TokBits::new(self.n_tokens),
+            expected_eof: false,
+        };
+        let result = match self.mode {
+            EngineMode::Backtracking => self.bt_nt(&mut ctx, self.cstart, 0),
+            EngineMode::Ll1Table => self.ll1_nt(&mut ctx, self.fstart, 0),
+        };
+        match result {
+            Ok((node, next)) if next == toks.len() => Ok(node),
+            Ok((_, next)) => {
+                ctx.note_eof(next);
+                Err(self.error_from(&ctx))
+            }
+            Err(()) => Err(self.error_from(&ctx)),
+        }
+    }
+
+    fn error_from(&self, ctx: &Ctx<'_>) -> ParseError {
+        let (at, found) = match ctx.toks.get(ctx.farthest) {
+            Some(t) => (
+                t.start,
+                Some((
+                    self.scanner.name(t.kind).to_string(),
+                    t.text(ctx.input).to_string(),
+                )),
+            ),
+            None => (ctx.input.len(), None),
+        };
+        let (line, column) = line_col(ctx.input, at);
+        let mut expected: BTreeSet<String> = ctx
+            .expected
+            .iter_ids()
+            .map(|id| {
+                self.scanner
+                    .name(sqlweave_lexgen::TokenKind(id))
+                    .to_string()
+            })
+            .collect();
+        if ctx.expected_eof {
+            expected.insert(EOF.to_string());
+        }
+        ParseError {
+            at,
+            line,
+            column,
+            expected,
+            found,
+            lexical: None,
+        }
+    }
+
+    // ---------- backtracking engine ----------
+
+    fn bt_nt(&self, ctx: &mut Ctx<'_>, prod: u32, pos: usize) -> Result<(CstNode, usize), ()> {
+        let prod = &self.cprods[prod as usize];
+        let la = ctx.kind_ids.get(pos).copied();
+        for alt in &prod.alts {
+            if !alt.nullable {
+                match la {
+                    Some(k) if alt.first.contains(k) => {}
+                    _ => {
+                        ctx.note_set(pos, &alt.first);
+                        continue;
+                    }
+                }
+            }
+            let mut children = Vec::new();
+            if let Ok(next) = self.bt_seq(ctx, &alt.seq, pos, &mut children) {
+                return Ok((
+                    CstNode::rule(&prod.name, alt.label.clone(), children),
+                    next,
+                ));
+            }
+        }
+        Err(())
+    }
+
+    fn bt_seq(
+        &self,
+        ctx: &mut Ctx<'_>,
+        seq: &[CTerm],
+        mut pos: usize,
+        children: &mut Vec<CstNode>,
+    ) -> Result<usize, ()> {
+        for term in seq {
+            pos = self.bt_term(ctx, term, pos, children)?;
+        }
+        Ok(pos)
+    }
+
+    /// Greedy repetition shared by `Star` and the tail of `Plus`.
+    fn bt_repeat(
+        &self,
+        ctx: &mut Ctx<'_>,
+        body: &[CTerm],
+        first: &TokBits,
+        mut pos: usize,
+        children: &mut Vec<CstNode>,
+    ) -> usize {
+        loop {
+            match ctx.kind_ids.get(pos) {
+                Some(&k) if first.contains(k) => {
+                    let mark = children.len();
+                    match self.bt_seq(ctx, body, pos, children) {
+                        Ok(next) if next > pos => pos = next,
+                        _ => {
+                            children.truncate(mark);
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    ctx.note_set(pos, first);
+                    break;
+                }
+            }
+        }
+        pos
+    }
+
+    fn bt_term(
+        &self,
+        ctx: &mut Ctx<'_>,
+        term: &CTerm,
+        pos: usize,
+        children: &mut Vec<CstNode>,
+    ) -> Result<usize, ()> {
+        match term {
+            CTerm::Tok(kind) => match ctx.kind_ids.get(pos) {
+                Some(k) if k == kind => {
+                    children.push(ctx.token_node(pos));
+                    Ok(pos + 1)
+                }
+                _ => {
+                    ctx.note_id(pos, *kind);
+                    Err(())
+                }
+            },
+            CTerm::Nt(n) => {
+                let (node, next) = self.bt_nt(ctx, *n, pos)?;
+                children.push(node);
+                Ok(next)
+            }
+            CTerm::Opt { body, first } => {
+                if matches!(ctx.kind_ids.get(pos), Some(&k) if first.contains(k)) {
+                    let mark = children.len();
+                    match self.bt_seq(ctx, body, pos, children) {
+                        Ok(next) => return Ok(next),
+                        Err(()) => children.truncate(mark),
+                    }
+                } else {
+                    // Not taken: still informative for error messages.
+                    ctx.note_set(pos, first);
+                }
+                Ok(pos)
+            }
+            CTerm::Star { body, first } => Ok(self.bt_repeat(ctx, body, first, pos, children)),
+            CTerm::Plus { body, first } => {
+                let next = self.bt_seq(ctx, body, pos, children)?;
+                Ok(self.bt_repeat(ctx, body, first, next, children))
+            }
+            CTerm::Group(alts) => {
+                let la = ctx.kind_ids.get(pos).copied();
+                for alt in alts {
+                    if !alt.nullable {
+                        match la {
+                            Some(k) if alt.first.contains(k) => {}
+                            _ => {
+                                ctx.note_set(pos, &alt.first);
+                                continue;
+                            }
+                        }
+                    }
+                    let mark = children.len();
+                    match self.bt_seq(ctx, &alt.seq, pos, children) {
+                        Ok(next) => return Ok(next),
+                        Err(()) => children.truncate(mark),
+                    }
+                }
+                Err(())
+            }
+        }
+    }
+
+    // ---------- LL(1) table engine ----------
+
+    fn ll1_nt(&self, ctx: &mut Ctx<'_>, prod: u32, pos: usize) -> Result<(CstNode, usize), ()> {
+        let name = self.fprods[prod as usize].name.clone();
+        let (children, next, label) = self.ll1_expand(ctx, prod, pos)?;
+        Ok((CstNode::rule(&name, label, children), next))
+    }
+
+    /// Expand one flat nonterminal, returning its children (used both for
+    /// real rules and for splicing synthetic ones).
+    fn ll1_expand(
+        &self,
+        ctx: &mut Ctx<'_>,
+        prod: u32,
+        mut pos: usize,
+    ) -> Result<(Vec<CstNode>, usize, Option<String>), ()> {
+        let fprod = &self.fprods[prod as usize];
+        let alt_index = match ctx.kind_ids.get(pos) {
+            Some(&k) => fprod.row[k as usize],
+            None => fprod.eof_alt,
+        };
+        if alt_index == NO_ALT {
+            ctx.note_set(pos, &fprod.expected);
+            return Err(());
+        }
+        let alt = &fprod.alts[alt_index as usize];
+        let mut children = Vec::new();
+        for term in &alt.seq {
+            match term {
+                FTerm::Tok(kind) => match ctx.kind_ids.get(pos) {
+                    Some(k) if k == kind => {
+                        children.push(ctx.token_node(pos));
+                        pos += 1;
+                    }
+                    _ => {
+                        ctx.note_id(pos, *kind);
+                        return Err(());
+                    }
+                },
+                FTerm::Nt { idx, synthetic } => {
+                    if *synthetic {
+                        let (spliced, next, _) = self.ll1_expand(ctx, *idx, pos)?;
+                        children.extend(spliced);
+                        pos = next;
+                    } else {
+                        let (node, next) = self.ll1_nt(ctx, *idx, pos)?;
+                        children.push(node);
+                        pos = next;
+                    }
+                }
+            }
+        }
+        Ok((children, pos, alt.label.clone()))
+    }
+}
+
+// ---------------------------------------------------------------- compiler
+
+struct Compiler<'a> {
+    analysis: &'a GrammarAnalysis,
+    scanner: &'a Scanner,
+    n_tokens: usize,
+}
+
+impl Compiler<'_> {
+    fn tok_id(&self, name: &str) -> u32 {
+        self.scanner
+            .kind_of(name)
+            .expect("token presence checked before compilation")
+            .0
+    }
+
+    fn bits_of(&self, names: &BTreeSet<String>) -> TokBits {
+        let mut bits = TokBits::new(self.n_tokens);
+        for n in names {
+            if n != EOF {
+                bits.insert(self.tok_id(n));
+            }
+        }
+        bits
+    }
+
+    fn first_bits(&self, seq: &[Term]) -> (TokBits, bool) {
+        let (names, nullable) = self.analysis.first_of_seq(seq);
+        (self.bits_of(&names), nullable)
+    }
+
+    fn compile_ebnf(&self, grammar: &Grammar) -> (Vec<CProd>, u32) {
+        let index: HashMap<&str, u32> = grammar
+            .productions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i as u32))
+            .collect();
+        let prods = grammar
+            .productions()
+            .iter()
+            .map(|p| CProd {
+                name: p.name.clone(),
+                alts: p
+                    .alternatives
+                    .iter()
+                    .map(|alt| {
+                        let (first, nullable) = self.first_bits(&alt.seq);
+                        CAlt {
+                            seq: self.compile_seq(&alt.seq, &index),
+                            first,
+                            nullable,
+                            label: alt.label.clone(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        (prods, index[grammar.start()])
+    }
+
+    fn compile_seq(&self, seq: &[Term], index: &HashMap<&str, u32>) -> Vec<CTerm> {
+        seq.iter()
+            .map(|term| match term {
+                Term::Token(t) => CTerm::Tok(self.tok_id(t)),
+                Term::NonTerminal(n) => CTerm::Nt(index[n.as_str()]),
+                Term::Optional(body) => CTerm::Opt {
+                    first: self.first_bits(body).0,
+                    body: self.compile_seq(body, index),
+                },
+                Term::Star(body) => CTerm::Star {
+                    first: self.first_bits(body).0,
+                    body: self.compile_seq(body, index),
+                },
+                Term::Plus(body) => CTerm::Plus {
+                    first: self.first_bits(body).0,
+                    body: self.compile_seq(body, index),
+                },
+                Term::Group(alts) => CTerm::Group(
+                    alts.iter()
+                        .map(|a| {
+                            let (first, nullable) = self.first_bits(a);
+                            CGroupAlt {
+                                seq: self.compile_seq(a, index),
+                                first,
+                                nullable,
+                            }
+                        })
+                        .collect(),
+                ),
+            })
+            .collect()
+    }
+
+    fn compile_flat(&self) -> (Vec<FProd>, u32) {
+        let flat = &self.analysis.flat;
+        let index: HashMap<&str, u32> = flat
+            .productions()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i as u32))
+            .collect();
+        let mut prods: Vec<FProd> = flat
+            .productions()
+            .iter()
+            .map(|p| FProd {
+                name: p.name.clone(),
+                alts: p
+                    .alternatives
+                    .iter()
+                    .map(|alt| FAlt {
+                        label: alt.label.clone(),
+                        seq: alt
+                            .seq
+                            .iter()
+                            .map(|t| match t {
+                                Term::Token(t) => FTerm::Tok(self.tok_id(t)),
+                                Term::NonTerminal(n) => FTerm::Nt {
+                                    idx: index[n.as_str()],
+                                    synthetic: is_synthetic(n),
+                                },
+                                _ => unreachable!("flattened grammar has no nested terms"),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                row: vec![NO_ALT; self.n_tokens].into_boxed_slice(),
+                eof_alt: NO_ALT,
+                expected: TokBits::new(self.n_tokens),
+            })
+            .collect();
+        for ((nt, tok), &alt) in &self.analysis.table {
+            let pi = index[nt.as_str()] as usize;
+            if tok == EOF {
+                prods[pi].eof_alt = alt as u16;
+            } else {
+                let id = self.tok_id(tok);
+                prods[pi].row[id as usize] = alt as u16;
+                prods[pi].expected.insert(id);
+            }
+        }
+        (prods, index[flat.start()])
+    }
+}
+
+/// Shared parse context: token stream plus farthest-failure tracking.
+struct Ctx<'a> {
+    toks: &'a [Token],
+    kind_ids: Vec<u32>,
+    input: &'a str,
+    scanner: &'a Scanner,
+    farthest: usize,
+    expected: TokBits,
+    expected_eof: bool,
+}
+
+impl Ctx<'_> {
+    /// `true` if `pos` becomes (or ties) the farthest failure point.
+    #[inline]
+    fn advance_farthest(&mut self, pos: usize) -> bool {
+        use std::cmp::Ordering;
+        match pos.cmp(&self.farthest) {
+            Ordering::Greater => {
+                self.farthest = pos;
+                self.expected.clear();
+                self.expected_eof = false;
+                true
+            }
+            Ordering::Equal => true,
+            Ordering::Less => false,
+        }
+    }
+
+    fn note_id(&mut self, pos: usize, expected: u32) {
+        if self.advance_farthest(pos) {
+            self.expected.insert(expected);
+        }
+    }
+
+    fn note_set(&mut self, pos: usize, expected: &TokBits) {
+        if self.advance_farthest(pos) {
+            self.expected.union_with(expected);
+        }
+    }
+
+    fn note_eof(&mut self, pos: usize) {
+        if self.advance_farthest(pos) {
+            self.expected_eof = true;
+        }
+    }
+
+    fn token_node(&self, pos: usize) -> CstNode {
+        let t = &self.toks[pos];
+        CstNode::Token {
+            kind: self.scanner.name(t.kind).to_string(),
+            text: t.text(self.input).to_string(),
+            start: t.start,
+            end: t.end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+
+    fn select_parser(mode: EngineMode) -> Parser {
+        let g = parse_grammar(
+            r#"
+            grammar q;
+            start query;
+            query : SELECT quant? select_list FROM IDENT where_clause? #select ;
+            quant : DISTINCT #distinct | ALL #all ;
+            select_list : IDENT (COMMA IDENT)* #columns | STAR #star ;
+            where_clause : WHERE IDENT EQ value ;
+            value : IDENT | NUMBER ;
+            "#,
+        )
+        .unwrap();
+        let t = parse_tokens(
+            r#"
+            tokens q;
+            SELECT = kw; FROM = kw; WHERE = kw; DISTINCT = kw; ALL = kw;
+            COMMA = ","; STAR = "*"; EQ = "=";
+            IDENT = /[a-z][a-z0-9_]*/;
+            NUMBER = /[0-9]+/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        Parser::new(g, &t).unwrap().with_mode(mode)
+    }
+
+    #[test]
+    fn backtracking_accepts_and_shapes() {
+        let p = select_parser(EngineMode::Backtracking);
+        let cst = p.parse("SELECT a, b FROM t WHERE a = 1").unwrap();
+        assert_eq!(cst.name(), "query");
+        assert_eq!(cst.label(), Some("select"));
+        let sl = cst.child("select_list").unwrap();
+        assert_eq!(sl.label(), Some("columns"));
+        assert_eq!(sl.children_named("IDENT").count(), 2);
+        assert!(cst.child("where_clause").is_some());
+    }
+
+    #[test]
+    fn ll1_table_accepts_same_inputs() {
+        let p = select_parser(EngineMode::Ll1Table);
+        assert!(p.parse("SELECT * FROM t").is_ok());
+        assert!(p.parse("SELECT DISTINCT a FROM t").is_ok());
+        assert!(p.parse("SELECT a, b, c FROM t WHERE x = y").is_ok());
+    }
+
+    #[test]
+    fn engines_produce_identical_csts() {
+        let bt = select_parser(EngineMode::Backtracking);
+        let ll = select_parser(EngineMode::Ll1Table);
+        for input in [
+            "SELECT a FROM t",
+            "SELECT * FROM t",
+            "SELECT ALL a, b FROM t WHERE a = 9",
+            "SELECT DISTINCT x FROM y WHERE q = r",
+        ] {
+            assert_eq!(
+                bt.parse(input).unwrap(),
+                ll.parse(input).unwrap(),
+                "CSTs differ on {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_with_expected_set() {
+        let p = select_parser(EngineMode::Backtracking);
+        let err = p.parse("SELECT a b FROM t").unwrap_err();
+        assert_eq!(err.found.as_ref().unwrap().1, "b");
+        assert!(
+            err.expected.contains("FROM") && err.expected.contains("COMMA"),
+            "expected: {:?}",
+            err.expected
+        );
+    }
+
+    #[test]
+    fn ll1_rejects_with_expected_set() {
+        let p = select_parser(EngineMode::Ll1Table);
+        let err = p.parse("SELECT FROM t").unwrap_err();
+        assert!(
+            err.expected.contains("IDENT") || err.expected.contains("STAR"),
+            "expected: {:?}",
+            err.expected
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let p = select_parser(EngineMode::Backtracking);
+        let err = p.parse("SELECT a FROM t t2").unwrap_err();
+        assert_eq!(err.found.as_ref().unwrap().1, "t2");
+    }
+
+    #[test]
+    fn eof_error() {
+        let p = select_parser(EngineMode::Backtracking);
+        let err = p.parse("SELECT a FROM").unwrap_err();
+        assert!(err.found.is_none());
+        assert!(err.expected.contains("IDENT"));
+    }
+
+    #[test]
+    fn lexical_error_propagated() {
+        let p = select_parser(EngineMode::Backtracking);
+        let err = p.parse("SELECT a FROM t WHERE a = #").unwrap_err();
+        assert!(err.lexical.is_some());
+    }
+
+    #[test]
+    fn missing_token_detected_at_build() {
+        let g = parse_grammar("grammar g; a : GHOST ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(
+            Parser::new(g, &t),
+            Err(BuildError::MissingTokens(v)) if v == ["GHOST"]
+        ));
+    }
+
+    #[test]
+    fn left_recursion_detected_at_build() {
+        let g = parse_grammar("grammar g; a : a X | X ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(Parser::new(g, &t), Err(BuildError::LeftRecursive(_))));
+    }
+
+    #[test]
+    fn undefined_nonterminal_detected_at_build() {
+        let g = parse_grammar("grammar g; a : missing ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw;").unwrap();
+        assert!(matches!(Parser::new(g, &t), Err(BuildError::Analysis(_))));
+    }
+
+    #[test]
+    fn backtracking_resolves_non_ll1_alternatives() {
+        // Common prefix: LL(1) conflict, but ordered backtracking succeeds.
+        let g = parse_grammar("grammar g; a : X Y #xy | X Z #xz ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; Z = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        assert_eq!(p.parse("X Y").unwrap().label(), Some("xy"));
+        assert_eq!(p.parse("X Z").unwrap().label(), Some("xz"));
+        assert_eq!(p.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn optional_fallback_backtracks() {
+        // b? followed by IDENT where b also starts with IDENT: greedy take
+        // of b? must fall back when the suffix then fails.
+        let g = parse_grammar("grammar g; a : b? IDENT ; b : IDENT IDENT ;").unwrap();
+        let t =
+            parse_tokens("tokens t; IDENT = /[a-z]+/; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        // one ident: optional not taken
+        assert!(p.parse("x").is_ok());
+        // three idents: optional taken
+        assert!(p.parse("x y z").is_ok());
+    }
+
+    #[test]
+    fn stats_reported() {
+        let p = select_parser(EngineMode::Backtracking);
+        let s = p.stats();
+        assert_eq!(s.productions, 5);
+        assert!(s.flat_productions > s.productions);
+        assert!(s.table_cells > 0);
+        assert!(s.dfa_states > 5);
+        assert_eq!(s.token_rules, 11);
+    }
+
+    #[test]
+    fn empty_input_rejected_when_not_nullable() {
+        let p = select_parser(EngineMode::Backtracking);
+        let err = p.parse("").unwrap_err();
+        assert!(err.expected.contains("SELECT"));
+    }
+
+    #[test]
+    fn star_of_nullable_body_rejected_at_build() {
+        // (b)* with nullable b is ill-formed for LL parsing (the lowered
+        // right-recursion is left-recursive through the nullable prefix);
+        // it must be rejected at build time rather than spin at parse time.
+        let g = parse_grammar("grammar g; a : (b)* X ; b : Y | ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; WS = skip / +/;").unwrap();
+        assert!(matches!(Parser::new(g, &t), Err(BuildError::LeftRecursive(_))));
+    }
+
+    #[test]
+    fn star_of_non_nullable_body_loops_fine() {
+        let g = parse_grammar("grammar g; a : (b)* X ; b : Y ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        assert!(p.parse("X").is_ok());
+        assert!(p.parse("Y Y X").is_ok());
+    }
+
+    #[test]
+    fn tokbits_basics() {
+        let mut b = TokBits::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1) && !b.contains(128));
+        let ids: Vec<u32> = b.iter_ids().collect();
+        assert_eq!(ids, [0, 64, 129]);
+        let mut c = TokBits::new(130);
+        c.insert(5);
+        c.union_with(&b);
+        assert!(c.contains(5) && c.contains(129));
+        c.clear();
+        assert_eq!(c.iter_ids().count(), 0);
+    }
+}

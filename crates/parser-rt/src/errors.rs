@@ -1,0 +1,100 @@
+//! Parse errors with expected-token reporting.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A syntax error at the farthest point the parser reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token (or end of input).
+    pub at: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Token kinds that would have been accepted here.
+    pub expected: BTreeSet<String>,
+    /// The token actually found (kind, text); `None` at end of input.
+    pub found: Option<(String, String)>,
+    /// Set when the failure came from the lexer, with its message.
+    pub lexical: Option<String>,
+}
+
+impl ParseError {
+    /// Render the expected set compactly (up to 8 entries).
+    pub fn expected_summary(&self) -> String {
+        let items: Vec<&str> = self.expected.iter().map(String::as_str).take(8).collect();
+        let mut s = items.join(", ");
+        if self.expected.len() > 8 {
+            s.push_str(", …");
+        }
+        s
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(lex) = &self.lexical {
+            return write!(f, "{lex}");
+        }
+        write!(f, "syntax error at line {}, column {}: ", self.line, self.column)?;
+        match &self.found {
+            Some((kind, text)) => write!(f, "unexpected {kind} {text:?}")?,
+            None => write!(f, "unexpected end of input")?,
+        }
+        if !self.expected.is_empty() {
+            write!(f, "; expected one of: {}", self.expected_summary())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_found_token() {
+        let e = ParseError {
+            at: 10,
+            line: 1,
+            column: 11,
+            expected: BTreeSet::from(["FROM".to_string(), "COMMA".to_string()]),
+            found: Some(("WHERE".to_string(), "where".to_string())),
+            lexical: None,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 1, column 11"));
+        assert!(s.contains("unexpected WHERE"));
+        assert!(s.contains("COMMA, FROM"));
+    }
+
+    #[test]
+    fn display_at_eof() {
+        let e = ParseError {
+            at: 5,
+            line: 2,
+            column: 1,
+            expected: BTreeSet::from(["IDENT".to_string()]),
+            found: None,
+            lexical: None,
+        };
+        assert!(e.to_string().contains("unexpected end of input"));
+    }
+
+    #[test]
+    fn expected_summary_truncates() {
+        let expected: BTreeSet<String> = (0..12).map(|i| format!("T{i:02}")).collect();
+        let e = ParseError {
+            at: 0,
+            line: 1,
+            column: 1,
+            expected,
+            found: None,
+            lexical: None,
+        };
+        assert!(e.expected_summary().ends_with(", …"));
+    }
+}

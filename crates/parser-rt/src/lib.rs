@@ -1,0 +1,29 @@
+//! Parser runtime for `sqlweave` — the from-scratch replacement for the
+//! ANTLR/JavaCC parser generators the paper relies on.
+//!
+//! A [`Parser`] is built from a composed grammar plus its token set and can
+//! run in two engine modes (the ablation of Experiment B4):
+//!
+//! * [`EngineMode::Backtracking`] — a recursive-descent interpreter over the
+//!   EBNF IR with FIRST-set pruning and ordered-alternative backtracking
+//!   (PEG-style resolution of non-LL(1) spots, like ANTLR's decision
+//!   engine).
+//! * [`EngineMode::Ll1Table`] — a table-driven predictive parser over the
+//!   flattened BNF; requires the grammar to be LL(1) at every decision the
+//!   input exercises (declaration order breaks reported conflicts).
+//!
+//! Both engines produce identical [`cst::CstNode`] parse trees (synthetic
+//! nonterminals introduced by flattening are spliced away).
+//!
+//! [`codegen`] additionally *generates Rust source* for a standalone
+//! recursive-descent parser, which is the closest analogue of the paper's
+//! "use ANTLR to generate parser code" step.
+
+pub mod codegen;
+pub mod cst;
+pub mod engine;
+pub mod errors;
+
+pub use cst::CstNode;
+pub use engine::{EngineMode, Parser, ParserStats};
+pub use errors::ParseError;

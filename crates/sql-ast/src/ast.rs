@@ -1,0 +1,955 @@
+//! Typed SQL abstract syntax.
+//!
+//! One AST serves every dialect of the product line: parsers for scaled-down
+//! dialects simply never produce the variants of unselected features. The
+//! same types are produced by the monolithic baseline parser
+//! (`sqlweave-baseline`), enabling differential testing.
+
+/// A dotted name such as `schema.table` or `t.column`.
+pub type QualifiedName = Vec<String>;
+
+/// Any SQL statement of the product line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query expression (SELECT …).
+    Query(Query),
+    /// INSERT INTO.
+    Insert(Insert),
+    /// UPDATE.
+    Update(Update),
+    /// DELETE FROM.
+    Delete(Delete),
+    /// MERGE INTO.
+    Merge(Merge),
+    /// CREATE TABLE.
+    CreateTable(CreateTable),
+    /// CREATE VIEW.
+    CreateView(CreateView),
+    /// CREATE SCHEMA.
+    CreateSchema {
+        /// Schema name.
+        name: String,
+        /// AUTHORIZATION user.
+        authorization: Option<String>,
+    },
+    /// CREATE DOMAIN.
+    CreateDomain {
+        /// Domain name.
+        name: String,
+        /// Underlying type.
+        data_type: DataType,
+        /// DEFAULT literal.
+        default: Option<Literal>,
+        /// CHECK condition.
+        check: Option<Expr>,
+    },
+    /// ALTER TABLE.
+    AlterTable {
+        /// Target table.
+        name: QualifiedName,
+        /// The action performed.
+        action: AlterAction,
+    },
+    /// DROP TABLE/VIEW/SCHEMA/DOMAIN.
+    Drop {
+        /// What kind of object.
+        kind: ObjectKind,
+        /// Object name.
+        name: QualifiedName,
+        /// CASCADE/RESTRICT.
+        behavior: Option<DropBehavior>,
+    },
+    /// GRANT.
+    Grant(Grant),
+    /// REVOKE.
+    Revoke(Grant),
+    /// Transaction control.
+    Transaction(TransactionStatement),
+    /// Session SET statements.
+    Session(SessionStatement),
+    /// Cursor management.
+    Cursor(CursorStatement),
+}
+
+/// A full query: optional WITH, a body, and postfix clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Common table expressions.
+    pub with: Vec<Cte>,
+    /// `true` for `WITH RECURSIVE`.
+    pub recursive: bool,
+    /// The query body (select core and set operations).
+    pub body: QueryBody,
+    /// ORDER BY items.
+    pub order_by: Vec<SortSpec>,
+    /// OFFSET row count.
+    pub offset: Option<String>,
+    /// FETCH FIRST row count.
+    pub fetch: Option<String>,
+}
+
+/// One WITH element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    /// CTE name.
+    pub name: String,
+    /// Optional column list.
+    pub columns: Vec<String>,
+    /// The defining query.
+    pub query: Box<Query>,
+}
+
+/// Query body: a select core, possibly combined with set operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    /// A plain SELECT.
+    Select(Box<Select>),
+    /// A parenthesized query.
+    Nested(Box<Query>),
+    /// `left UNION/EXCEPT/INTERSECT right` (left-associative chain).
+    SetOp {
+        /// Left operand.
+        left: Box<QueryBody>,
+        /// Which operation.
+        op: SetOp,
+        /// ALL / DISTINCT modifier.
+        quantifier: Option<SetQuantifier>,
+        /// Right operand.
+        right: Box<QueryBody>,
+    },
+}
+
+/// Set operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// UNION.
+    Union,
+    /// EXCEPT.
+    Except,
+    /// INTERSECT.
+    Intersect,
+}
+
+/// SELECT core.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    /// DISTINCT / ALL.
+    pub quantifier: Option<SetQuantifier>,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM references (empty only in degenerate dialects).
+    pub from: Vec<TableRef>,
+    /// WHERE condition.
+    pub selection: Option<Expr>,
+    /// GROUP BY elements.
+    pub group_by: Vec<GroupingElement>,
+    /// HAVING condition.
+    pub having: Option<Expr>,
+    /// Named windows.
+    pub windows: Vec<WindowDef>,
+    /// TinySQL sensor clauses (EPOCH DURATION / SAMPLE PERIOD / LIFETIME).
+    pub sensor: SensorClauses,
+}
+
+/// DISTINCT or ALL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetQuantifier {
+    /// ALL.
+    All,
+    /// DISTINCT.
+    Distinct,
+}
+
+/// TinySQL acquisition clauses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SensorClauses {
+    /// EPOCH DURATION n.
+    pub epoch_duration: Option<String>,
+    /// SAMPLE PERIOD n.
+    pub sample_period: Option<String>,
+    /// LIFETIME n.
+    pub lifetime: Option<String>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// `t.*`.
+    QualifiedStar(QualifiedName),
+    /// Expression with optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// AS alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table with optional alias.
+    Named {
+        /// Table name.
+        name: QualifiedName,
+        /// Correlation name.
+        alias: Option<String>,
+    },
+    /// A derived table (subquery) with alias.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// Correlation name.
+        alias: Option<String>,
+    },
+    /// A join.
+    Join {
+        /// Left operand.
+        left: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Right operand.
+        right: Box<TableRef>,
+        /// ON / USING / natural.
+        condition: JoinCondition,
+    },
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// INNER (or unspecified) JOIN.
+    Inner,
+    /// LEFT \[OUTER\] JOIN.
+    Left,
+    /// RIGHT \[OUTER\] JOIN.
+    Right,
+    /// FULL \[OUTER\] JOIN.
+    Full,
+    /// CROSS JOIN.
+    Cross,
+    /// NATURAL \[kind\] JOIN — inner kind preserved.
+    Natural,
+}
+
+/// Join condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinCondition {
+    /// No condition (CROSS / NATURAL).
+    None,
+    /// ON predicate.
+    On(Expr),
+    /// USING (columns).
+    Using(Vec<String>),
+}
+
+/// GROUP BY element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupingElement {
+    /// A plain column.
+    Column(QualifiedName),
+    /// ROLLUP (columns).
+    Rollup(Vec<QualifiedName>),
+    /// CUBE (columns).
+    Cube(Vec<QualifiedName>),
+    /// GROUPING SETS (elements).
+    GroupingSets(Vec<GroupingElement>),
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortSpec {
+    /// Sort key.
+    pub expr: Expr,
+    /// ASC (false = unspecified/ASC, true = DESC).
+    pub descending: bool,
+    /// NULLS FIRST / LAST.
+    pub nulls_first: Option<bool>,
+}
+
+/// Named window definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDef {
+    /// Window name.
+    pub name: String,
+    /// PARTITION BY columns.
+    pub partition_by: Vec<QualifiedName>,
+    /// ORDER BY items.
+    pub order_by: Vec<SortSpec>,
+    /// Frame clause, printed verbatim.
+    pub frame: Option<String>,
+}
+
+/// Scalar/boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(QualifiedName),
+    /// Literal value.
+    Literal(Literal),
+    /// Unary +/- or NOT.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation (arithmetic, comparison, logic, concat, overlaps).
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Parenthesized / grouped expression.
+    Nested(Box<Expr>),
+    /// Function call (string/numeric/datetime/aggregate).
+    Function {
+        /// Uppercased function name.
+        name: String,
+        /// DISTINCT/ALL inside aggregates.
+        quantifier: Option<SetQuantifier>,
+        /// Arguments; `COUNT(*)` has a single [`Expr::Wildcard`].
+        args: Vec<Expr>,
+    },
+    /// `*` inside COUNT(*).
+    Wildcard,
+    /// CASE expression.
+    Case {
+        /// Operand of a simple CASE.
+        operand: Option<Box<Expr>>,
+        /// WHEN/THEN pairs.
+        when_then: Vec<(Expr, Expr)>,
+        /// ELSE branch.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// CAST(expr AS type).
+    Cast {
+        /// Source expression.
+        expr: Box<Expr>,
+        /// Target type.
+        data_type: DataType,
+    },
+    /// EXTRACT(field FROM expr).
+    Extract {
+        /// Datetime field name (YEAR…SECOND).
+        field: String,
+        /// Source expression.
+        expr: Box<Expr>,
+    },
+    /// SUBSTRING(expr FROM start [FOR len]).
+    Substring {
+        /// Source string.
+        expr: Box<Expr>,
+        /// FROM position.
+        from: Box<Expr>,
+        /// FOR length.
+        len: Option<Box<Expr>>,
+    },
+    /// TRIM([spec FROM] expr).
+    Trim {
+        /// LEADING/TRAILING/BOTH.
+        spec: Option<String>,
+        /// Source string.
+        expr: Box<Expr>,
+    },
+    /// POSITION(needle IN haystack).
+    Position {
+        /// Needle.
+        needle: Box<Expr>,
+        /// Haystack.
+        haystack: Box<Expr>,
+    },
+    /// Scalar subquery.
+    Subquery(Box<Query>),
+    /// EXISTS (query).
+    Exists(Box<Query>),
+    /// expr \[NOT\] BETWEEN low AND high.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+    /// expr \[NOT\] IN (list).
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// The list.
+        list: Vec<Expr>,
+    },
+    /// expr \[NOT\] IN (query).
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// The subquery.
+        query: Box<Query>,
+    },
+    /// expr \[NOT\] LIKE pattern \[ESCAPE e\].
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// Pattern.
+        pattern: Box<Expr>,
+        /// ESCAPE character expression.
+        escape: Option<Box<Expr>>,
+    },
+    /// expr IS \[NOT\] NULL.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// expr IS \[NOT\] TRUE/FALSE/UNKNOWN.
+    IsTruthValue {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// `TRUE`, `FALSE`, or `UNKNOWN`.
+        value: String,
+    },
+    /// Ranking window function: `RANK() OVER (…)` etc.
+    WindowFunction {
+        /// `RANK`, `DENSE_RANK`, or `ROW_NUMBER`.
+        name: String,
+        /// PARTITION BY columns.
+        partition_by: Vec<QualifiedName>,
+        /// ORDER BY items.
+        order_by: Vec<SortSpec>,
+        /// Frame clause, printed verbatim.
+        frame: Option<String>,
+    },
+    /// expr IS \[NOT\] DISTINCT FROM other.
+    IsDistinctFrom {
+        /// Left side.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+        /// Right side.
+        other: Box<Expr>,
+    },
+    /// expr op ALL/ANY/SOME (query).
+    Quantified {
+        /// Left side.
+        expr: Box<Expr>,
+        /// Comparison operator.
+        op: BinaryOp,
+        /// ALL / ANY / SOME.
+        quantifier: String,
+        /// The subquery.
+        query: Box<Query>,
+    },
+    /// DEFAULT (in INSERT/UPDATE sources).
+    Default,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Multiply,
+    /// `/`.
+    Divide,
+    /// `||`.
+    Concat,
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Neq,
+    /// `<`.
+    Lt,
+    /// `>`.
+    Gt,
+    /// `<=`.
+    Le,
+    /// `>=`.
+    Ge,
+    /// AND.
+    And,
+    /// OR.
+    Or,
+    /// OVERLAPS.
+    Overlaps,
+}
+
+impl BinaryOp {
+    /// The SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Concat => "||",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Gt => ">",
+            BinaryOp::Le => "<=",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Overlaps => "OVERLAPS",
+        }
+    }
+}
+
+/// Literal values (lexical form preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal, original spelling.
+    Number(String),
+    /// Character string (with quotes stripped, `''` unescaped).
+    String(String),
+    /// TRUE/FALSE.
+    Boolean(bool),
+    /// NULL.
+    Null,
+    /// DATE 'lit'.
+    Date(String),
+    /// TIME 'lit'.
+    Time(String),
+    /// TIMESTAMP 'lit'.
+    Timestamp(String),
+    /// INTERVAL \[sign\] 'lit' qualifier.
+    Interval {
+        /// `-` sign present.
+        negative: bool,
+        /// The quoted body.
+        value: String,
+        /// e.g. `DAY TO SECOND`.
+        qualifier: String,
+    },
+}
+
+/// SQL data types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataType {
+    /// CHAR/CHARACTER \[VARYING\] (n).
+    Character {
+        /// VARYING flag.
+        varying: bool,
+        /// Length.
+        length: Option<String>,
+    },
+    /// VARCHAR (n).
+    Varchar(Option<String>),
+    /// CLOB.
+    Clob,
+    /// NUMERIC/DECIMAL (p, s).
+    Decimal {
+        /// Precision.
+        precision: Option<String>,
+        /// Scale.
+        scale: Option<String>,
+    },
+    /// SMALLINT.
+    SmallInt,
+    /// INTEGER.
+    Integer,
+    /// BIGINT.
+    BigInt,
+    /// FLOAT (p).
+    Float(Option<String>),
+    /// REAL.
+    Real,
+    /// DOUBLE PRECISION.
+    Double,
+    /// BOOLEAN.
+    Boolean,
+    /// DATE.
+    Date,
+    /// TIME (p) \[WITH TIME ZONE\].
+    Time {
+        /// Precision.
+        precision: Option<String>,
+        /// WITH TIME ZONE flag (None = unspecified).
+        with_time_zone: Option<bool>,
+    },
+    /// TIMESTAMP (p) \[WITH TIME ZONE\].
+    Timestamp {
+        /// Precision.
+        precision: Option<String>,
+        /// WITH TIME ZONE flag.
+        with_time_zone: Option<bool>,
+    },
+    /// INTERVAL qualifier.
+    Interval(String),
+    /// BLOB.
+    Blob,
+    /// BINARY \[VARYING\] (n).
+    Binary {
+        /// VARYING flag.
+        varying: bool,
+        /// Length.
+        length: Option<String>,
+    },
+    /// element-type ARRAY \[n\].
+    Array {
+        /// Element type.
+        element: Box<DataType>,
+        /// Optional bound.
+        bound: Option<String>,
+    },
+}
+
+/// INSERT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: QualifiedName,
+    /// Explicit column list.
+    pub columns: Vec<String>,
+    /// The row source.
+    pub source: InsertSource,
+}
+
+/// INSERT row source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// VALUES rows.
+    Values(Vec<Vec<Expr>>),
+    /// A query.
+    Query(Box<Query>),
+    /// DEFAULT VALUES.
+    DefaultValues,
+}
+
+/// UPDATE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: QualifiedName,
+    /// SET assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE condition.
+    pub selection: Option<UpdateSelection>,
+}
+
+/// WHERE of UPDATE/DELETE: searched or positioned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateSelection {
+    /// WHERE condition.
+    Searched(Expr),
+    /// WHERE CURRENT OF cursor.
+    CurrentOf(String),
+}
+
+/// DELETE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: QualifiedName,
+    /// WHERE condition.
+    pub selection: Option<UpdateSelection>,
+}
+
+/// MERGE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// Target table.
+    pub target: QualifiedName,
+    /// Source table.
+    pub source: QualifiedName,
+    /// ON condition.
+    pub on: Expr,
+    /// WHEN branches.
+    pub when: Vec<MergeWhen>,
+}
+
+/// One WHEN branch of MERGE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeWhen {
+    /// WHEN MATCHED THEN UPDATE SET …
+    MatchedUpdate(Vec<(String, Expr)>),
+    /// WHEN NOT MATCHED THEN INSERT … VALUES …
+    NotMatchedInsert {
+        /// Column list.
+        columns: Vec<String>,
+        /// The single VALUES row.
+        values: Vec<Expr>,
+    },
+}
+
+/// CREATE TABLE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: QualifiedName,
+    /// GLOBAL/LOCAL TEMPORARY marker.
+    pub temporary: Option<TableScope>,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Table constraints.
+    pub constraints: Vec<TableConstraint>,
+}
+
+/// Temporary-table scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableScope {
+    /// GLOBAL TEMPORARY.
+    Global,
+    /// LOCAL TEMPORARY.
+    Local,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// DEFAULT literal.
+    pub default: Option<Literal>,
+    /// GENERATED ALWAYS AS IDENTITY flag.
+    pub identity: bool,
+    /// Inline constraints.
+    pub constraints: Vec<ColumnConstraint>,
+}
+
+/// Inline column constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnConstraint {
+    /// NOT NULL.
+    NotNull,
+    /// UNIQUE.
+    Unique,
+    /// PRIMARY KEY.
+    PrimaryKey,
+    /// CHECK (condition).
+    Check(Expr),
+    /// REFERENCES table (columns).
+    References {
+        /// Referenced table.
+        table: QualifiedName,
+        /// Referenced columns.
+        columns: Vec<String>,
+    },
+}
+
+/// Table-level constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableConstraint {
+    /// CONSTRAINT name.
+    pub name: Option<String>,
+    /// The body.
+    pub body: TableConstraintBody,
+}
+
+/// Table-level constraint body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraintBody {
+    /// PRIMARY KEY (columns).
+    PrimaryKey(Vec<String>),
+    /// UNIQUE (columns).
+    Unique(Vec<String>),
+    /// FOREIGN KEY … REFERENCES …
+    ForeignKey {
+        /// Referencing columns.
+        columns: Vec<String>,
+        /// Referenced table.
+        table: QualifiedName,
+        /// Referenced columns.
+        ref_columns: Vec<String>,
+        /// ON DELETE action.
+        on_delete: Option<String>,
+        /// ON UPDATE action.
+        on_update: Option<String>,
+    },
+    /// CHECK (condition).
+    Check(Expr),
+}
+
+/// CREATE VIEW statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    /// View name.
+    pub name: QualifiedName,
+    /// RECURSIVE flag.
+    pub recursive: bool,
+    /// Column list.
+    pub columns: Vec<String>,
+    /// The defining query.
+    pub query: Box<Query>,
+    /// WITH CHECK OPTION flag.
+    pub with_check_option: bool,
+}
+
+/// ALTER TABLE action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlterAction {
+    /// ADD COLUMN.
+    AddColumn(ColumnDef),
+    /// DROP COLUMN.
+    DropColumn {
+        /// Column name.
+        name: String,
+        /// CASCADE/RESTRICT.
+        behavior: Option<DropBehavior>,
+    },
+    /// ALTER COLUMN SET DEFAULT.
+    SetDefault {
+        /// Column name.
+        name: String,
+        /// The default.
+        default: Literal,
+    },
+    /// ALTER COLUMN DROP DEFAULT.
+    DropDefault {
+        /// Column name.
+        name: String,
+    },
+    /// ADD table constraint.
+    AddConstraint(TableConstraint),
+    /// DROP CONSTRAINT.
+    DropConstraint {
+        /// Constraint name.
+        name: String,
+        /// CASCADE/RESTRICT.
+        behavior: Option<DropBehavior>,
+    },
+}
+
+/// Droppable object kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// TABLE.
+    Table,
+    /// VIEW.
+    View,
+    /// SCHEMA.
+    Schema,
+    /// DOMAIN.
+    Domain,
+}
+
+/// CASCADE/RESTRICT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropBehavior {
+    /// CASCADE.
+    Cascade,
+    /// RESTRICT.
+    Restrict,
+}
+
+/// GRANT/REVOKE statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    /// ALL PRIVILEGES, or the listed actions.
+    pub privileges: Privileges,
+    /// Target object.
+    pub object: QualifiedName,
+    /// Grantees (`PUBLIC` appears verbatim).
+    pub grantees: Vec<String>,
+    /// WITH GRANT OPTION (grant) / GRANT OPTION FOR (revoke).
+    pub grant_option: bool,
+    /// CASCADE/RESTRICT (revoke only).
+    pub behavior: Option<DropBehavior>,
+}
+
+/// Privilege list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Privileges {
+    /// ALL PRIVILEGES.
+    All,
+    /// A list of actions (SELECT, INSERT, …), uppercased.
+    Actions(Vec<String>),
+}
+
+/// Transaction-control statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransactionStatement {
+    /// START TRANSACTION \[modes\].
+    Start(Vec<String>),
+    /// COMMIT.
+    Commit,
+    /// ROLLBACK.
+    Rollback,
+    /// ROLLBACK TO SAVEPOINT name.
+    RollbackTo(String),
+    /// SAVEPOINT name.
+    Savepoint(String),
+    /// RELEASE SAVEPOINT name.
+    Release(String),
+    /// SET \[LOCAL\] TRANSACTION modes.
+    SetTransaction {
+        /// LOCAL flag.
+        local: bool,
+        /// Mode strings.
+        modes: Vec<String>,
+    },
+}
+
+/// Session SET statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionStatement {
+    /// SET SCHEMA name.
+    SetSchema(String),
+    /// SET ROLE name|NONE.
+    SetRole(String),
+    /// SET SESSION AUTHORIZATION name.
+    SetSessionAuthorization(String),
+    /// SET TIME ZONE LOCAL|'tz'.
+    SetTimeZone(String),
+}
+
+/// Cursor-management statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CursorStatement {
+    /// DECLARE name … CURSOR … FOR query.
+    Declare {
+        /// Cursor name.
+        name: String,
+        /// SENSITIVE/INSENSITIVE/ASENSITIVE.
+        sensitivity: Option<String>,
+        /// \[NO\] SCROLL.
+        scroll: Option<bool>,
+        /// WITH/WITHOUT HOLD.
+        hold: Option<bool>,
+        /// The cursor's query.
+        query: Box<Query>,
+    },
+    /// OPEN name.
+    Open(String),
+    /// CLOSE name.
+    Close(String),
+    /// FETCH \[orientation\] \[FROM\] name.
+    Fetch {
+        /// NEXT/PRIOR/FIRST/LAST/ABSOLUTE n/RELATIVE n.
+        orientation: Option<String>,
+        /// Cursor name.
+        name: String,
+    },
+}

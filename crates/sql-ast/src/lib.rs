@@ -1,0 +1,29 @@
+//! Typed SQL AST, CST → AST lowering (the semantic-actions layer), and an
+//! AST → SQL pretty-printer for the `sqlweave` product line.
+//!
+//! Where the paper attaches semantics to generated parsers with the Jak
+//! language and feature-oriented tools, this crate lowers the concrete
+//! syntax trees produced by any composed parser into one shared typed AST —
+//! dialects that exclude features simply never produce the corresponding
+//! variants. The monolithic baseline parser (`sqlweave-baseline`) targets
+//! the same AST, enabling differential testing between the composed and
+//! conventional parsers.
+//!
+//! ```
+//! use sqlweave_dialects::Dialect;
+//! use sqlweave_sql_ast::{lower, print};
+//!
+//! let parser = Dialect::Core.parser().unwrap();
+//! let cst = parser.parse("SELECT a, b AS bee FROM t WHERE a = 1").unwrap();
+//! let stmts = lower::lower_script(&cst).unwrap();
+//! let sql = print::statement(&stmts[0]);
+//! assert_eq!(sql, "SELECT a, b AS bee FROM t WHERE a = 1");
+//! ```
+
+pub mod ast;
+pub mod lower;
+pub mod print;
+
+pub use ast::{Expr, Literal, Query, Select, Statement};
+pub use lower::{lower_script, lower_statement, LowerError};
+pub use print::statement as print_statement;

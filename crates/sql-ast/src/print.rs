@@ -1,0 +1,832 @@
+//! AST → SQL text. The output re-parses in any dialect that includes the
+//! statement's features (round-trip property tests rely on this).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+fn joined<T>(items: &[T], sep: &str, f: impl Fn(&T) -> String) -> String {
+    items.iter().map(f).collect::<Vec<_>>().join(sep)
+}
+
+fn name(n: &QualifiedName) -> String {
+    n.join(".")
+}
+
+fn name_ref(n: &QualifiedName) -> String {
+    name(n)
+}
+
+/// Render a statement.
+pub fn statement(s: &Statement) -> String {
+    match s {
+        Statement::Query(q) => query(q),
+        Statement::Insert(i) => insert(i),
+        Statement::Update(u) => update(u),
+        Statement::Delete(d) => delete(d),
+        Statement::Merge(m) => merge(m),
+        Statement::CreateTable(c) => create_table(c),
+        Statement::CreateView(v) => create_view(v),
+        Statement::CreateSchema { name, authorization } => match authorization {
+            Some(a) => format!("CREATE SCHEMA {name} AUTHORIZATION {a}"),
+            None => format!("CREATE SCHEMA {name}"),
+        },
+        Statement::CreateDomain { name, data_type, default, check } => {
+            let mut out = format!("CREATE DOMAIN {name} AS {}", print_type(data_type));
+            if let Some(d) = default {
+                let _ = write!(out, " DEFAULT {}", literal(d));
+            }
+            if let Some(c) = check {
+                let _ = write!(out, " CHECK ({})", expr(c));
+            }
+            out
+        }
+        Statement::AlterTable { name: n, action } => {
+            format!("ALTER TABLE {} {}", name(n), alter_action(action))
+        }
+        Statement::Drop { kind, name: n, behavior } => {
+            let kind = match kind {
+                ObjectKind::Table => "TABLE",
+                ObjectKind::View => "VIEW",
+                ObjectKind::Schema => "SCHEMA",
+                ObjectKind::Domain => "DOMAIN",
+            };
+            let mut out = format!("DROP {kind} {}", name(n));
+            push_behavior(&mut out, behavior);
+            out
+        }
+        Statement::Grant(g) => grant(g, false),
+        Statement::Revoke(g) => grant(g, true),
+        Statement::Transaction(t) => transaction(t),
+        Statement::Session(s) => session(s),
+        Statement::Cursor(c) => cursor(c),
+    }
+}
+
+fn push_behavior(out: &mut String, behavior: &Option<DropBehavior>) {
+    match behavior {
+        Some(DropBehavior::Cascade) => out.push_str(" CASCADE"),
+        Some(DropBehavior::Restrict) => out.push_str(" RESTRICT"),
+        None => {}
+    }
+}
+
+/// Render a query.
+pub fn query(q: &Query) -> String {
+    let mut out = String::new();
+    if !q.with.is_empty() {
+        out.push_str("WITH ");
+        if q.recursive {
+            out.push_str("RECURSIVE ");
+        }
+        let ctes = joined(&q.with, ", ", |c| {
+            let cols = if c.columns.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", c.columns.join(", "))
+            };
+            format!("{}{cols} AS ({})", c.name, query(&c.query))
+        });
+        out.push_str(&ctes);
+        out.push(' ');
+    }
+    out.push_str(&query_body(&q.body));
+    if !q.order_by.is_empty() {
+        let _ = write!(out, " ORDER BY {}", joined(&q.order_by, ", ", sort_spec));
+    }
+    if let Some(o) = &q.offset {
+        let _ = write!(out, " OFFSET {o} ROWS");
+    }
+    if let Some(f) = &q.fetch {
+        let _ = write!(out, " FETCH FIRST {f} ROWS ONLY");
+    }
+    out
+}
+
+fn query_body(b: &QueryBody) -> String {
+    match b {
+        QueryBody::Select(s) => select(s),
+        QueryBody::Nested(q) => format!("({})", query(q)),
+        QueryBody::SetOp { left, op, quantifier, right } => {
+            let op = match op {
+                SetOp::Union => "UNION",
+                SetOp::Except => "EXCEPT",
+                SetOp::Intersect => "INTERSECT",
+            };
+            let q = match quantifier {
+                Some(SetQuantifier::All) => " ALL",
+                Some(SetQuantifier::Distinct) => " DISTINCT",
+                None => "",
+            };
+            format!("{} {op}{q} {}", query_body(left), query_body(right))
+        }
+    }
+}
+
+fn select(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    match s.quantifier {
+        Some(SetQuantifier::All) => out.push_str("ALL "),
+        Some(SetQuantifier::Distinct) => out.push_str("DISTINCT "),
+        None => {}
+    }
+    out.push_str(&joined(&s.projection, ", ", select_item));
+    if !s.from.is_empty() {
+        let _ = write!(out, " FROM {}", joined(&s.from, ", ", table_ref));
+    }
+    if let Some(w) = &s.selection {
+        let _ = write!(out, " WHERE {}", expr(w));
+    }
+    if !s.group_by.is_empty() {
+        let _ = write!(out, " GROUP BY {}", joined(&s.group_by, ", ", grouping));
+    }
+    if let Some(h) = &s.having {
+        let _ = write!(out, " HAVING {}", expr(h));
+    }
+    if !s.windows.is_empty() {
+        let _ = write!(out, " WINDOW {}", joined(&s.windows, ", ", window_def));
+    }
+    if let Some(e) = &s.sensor.epoch_duration {
+        let _ = write!(out, " EPOCH DURATION {e}");
+    }
+    if let Some(e) = &s.sensor.sample_period {
+        let _ = write!(out, " SAMPLE PERIOD {e}");
+    }
+    if let Some(e) = &s.sensor.lifetime {
+        let _ = write!(out, " LIFETIME {e}");
+    }
+    out
+}
+
+fn select_item(i: &SelectItem) -> String {
+    match i {
+        SelectItem::Star => "*".into(),
+        SelectItem::QualifiedStar(q) => format!("{}.*", name(q)),
+        SelectItem::Expr { expr: e, alias } => match alias {
+            Some(a) => format!("{} AS {a}", expr(e)),
+            None => expr(e),
+        },
+    }
+}
+
+fn table_ref(t: &TableRef) -> String {
+    match t {
+        TableRef::Named { name: n, alias } => match alias {
+            Some(a) => format!("{} AS {a}", name(n)),
+            None => name(n),
+        },
+        TableRef::Derived { query: q, alias } => match alias {
+            Some(a) => format!("({}) AS {a}", query(q)),
+            None => format!("({})", query(q)),
+        },
+        TableRef::Join { left, kind, right, condition } => {
+            let kw = match kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT OUTER JOIN",
+                JoinKind::Right => "RIGHT OUTER JOIN",
+                JoinKind::Full => "FULL OUTER JOIN",
+                JoinKind::Cross => "CROSS JOIN",
+                JoinKind::Natural => "NATURAL JOIN",
+            };
+            let cond = match condition {
+                JoinCondition::None => String::new(),
+                JoinCondition::On(e) => format!(" ON {}", expr(e)),
+                JoinCondition::Using(cols) => format!(" USING ({})", cols.join(", ")),
+            };
+            format!("{} {kw} {}{cond}", table_ref(left), table_ref(right))
+        }
+    }
+}
+
+fn grouping(g: &GroupingElement) -> String {
+    match g {
+        GroupingElement::Column(c) => name(c),
+        GroupingElement::Rollup(cols) => format!("ROLLUP ({})", joined(cols, ", ", name)),
+        GroupingElement::Cube(cols) => format!("CUBE ({})", joined(cols, ", ", name)),
+        GroupingElement::GroupingSets(elems) => {
+            format!("GROUPING SETS ({})", joined(elems, ", ", grouping))
+        }
+    }
+}
+
+fn sort_spec(s: &SortSpec) -> String {
+    let mut out = expr(&s.expr);
+    if s.descending {
+        out.push_str(" DESC");
+    }
+    match s.nulls_first {
+        Some(true) => out.push_str(" NULLS FIRST"),
+        Some(false) => out.push_str(" NULLS LAST"),
+        None => {}
+    }
+    out
+}
+
+fn window_def(w: &WindowDef) -> String {
+    let mut inner = Vec::new();
+    if !w.partition_by.is_empty() {
+        inner.push(format!("PARTITION BY {}", joined(&w.partition_by, ", ", name)));
+    }
+    if !w.order_by.is_empty() {
+        inner.push(format!("ORDER BY {}", joined(&w.order_by, ", ", sort_spec)));
+    }
+    if let Some(f) = &w.frame {
+        inner.push(f.clone());
+    }
+    format!("{} AS ({})", w.name, inner.join(" "))
+}
+
+/// Render an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => name(c),
+        Expr::Literal(l) => literal(l),
+        Expr::Unary { op, expr: inner } => match op {
+            UnaryOp::Plus => format!("+{}", expr(inner)),
+            UnaryOp::Minus => format!("-{}", expr(inner)),
+            UnaryOp::Not => format!("NOT {}", expr(inner)),
+        },
+        Expr::Binary { left, op, right } => {
+            format!("{} {} {}", expr(left), op.sql(), expr(right))
+        }
+        Expr::Nested(inner) => format!("({})", expr(inner)),
+        Expr::Function { name, quantifier, args } => {
+            let q = match quantifier {
+                Some(SetQuantifier::Distinct) => "DISTINCT ",
+                Some(SetQuantifier::All) => "ALL ",
+                None => "",
+            };
+            if args.is_empty() && name.starts_with("CURRENT_") {
+                name.clone()
+            } else {
+                format!("{name}({q}{})", joined(args, ", ", expr))
+            }
+        }
+        Expr::Wildcard => "*".into(),
+        Expr::Case { operand, when_then, else_expr } => {
+            let mut out = String::from("CASE");
+            if let Some(op) = operand {
+                let _ = write!(out, " {}", expr(op));
+            }
+            for (w, t) in when_then {
+                let _ = write!(out, " WHEN {} THEN {}", expr(w), expr(t));
+            }
+            if let Some(el) = else_expr {
+                let _ = write!(out, " ELSE {}", expr(el));
+            }
+            out.push_str(" END");
+            out
+        }
+        Expr::Cast { expr: inner, data_type } => {
+            format!("CAST({} AS {})", expr(inner), print_type(data_type))
+        }
+        Expr::Extract { field, expr: inner } => {
+            format!("EXTRACT({field} FROM {})", expr(inner))
+        }
+        Expr::Substring { expr: inner, from, len } => match len {
+            Some(l) => format!("SUBSTRING({} FROM {} FOR {})", expr(inner), expr(from), expr(l)),
+            None => format!("SUBSTRING({} FROM {})", expr(inner), expr(from)),
+        },
+        Expr::Trim { spec, expr: inner } => match spec {
+            Some(s) => format!("TRIM({s} FROM {})", expr(inner)),
+            None => format!("TRIM({})", expr(inner)),
+        },
+        Expr::Position { needle, haystack } => {
+            format!("POSITION({} IN {})", expr(needle), expr(haystack))
+        }
+        Expr::Subquery(q) => format!("({})", query(q)),
+        Expr::Exists(q) => format!("EXISTS ({})", query(q)),
+        Expr::Between { expr: inner, negated, low, high } => format!(
+            "{}{} BETWEEN {} AND {}",
+            expr(inner),
+            if *negated { " NOT" } else { "" },
+            expr(low),
+            expr(high)
+        ),
+        Expr::InList { expr: inner, negated, list } => format!(
+            "{}{} IN ({})",
+            expr(inner),
+            if *negated { " NOT" } else { "" },
+            joined(list, ", ", expr)
+        ),
+        Expr::InSubquery { expr: inner, negated, query: q } => format!(
+            "{}{} IN ({})",
+            expr(inner),
+            if *negated { " NOT" } else { "" },
+            query(q)
+        ),
+        Expr::Like { expr: inner, negated, pattern, escape } => {
+            let mut out = format!(
+                "{}{} LIKE {}",
+                expr(inner),
+                if *negated { " NOT" } else { "" },
+                expr(pattern)
+            );
+            if let Some(e) = escape {
+                let _ = write!(out, " ESCAPE {}", expr(e));
+            }
+            out
+        }
+        Expr::IsNull { expr: inner, negated } => format!(
+            "{} IS{} NULL",
+            expr(inner),
+            if *negated { " NOT" } else { "" }
+        ),
+        Expr::IsTruthValue { expr: inner, negated, value } => format!(
+            "{} IS{} {value}",
+            expr(inner),
+            if *negated { " NOT" } else { "" }
+        ),
+        Expr::WindowFunction { name, partition_by, order_by, frame } => {
+            let mut inner = Vec::new();
+            if !partition_by.is_empty() {
+                inner.push(format!("PARTITION BY {}", joined(partition_by, ", ", name_ref)));
+            }
+            if !order_by.is_empty() {
+                inner.push(format!("ORDER BY {}", joined(order_by, ", ", sort_spec)));
+            }
+            if let Some(f) = frame {
+                inner.push(f.clone());
+            }
+            format!("{name}() OVER ({})", inner.join(" "))
+        }
+        Expr::IsDistinctFrom { expr: inner, negated, other } => format!(
+            "{} IS{} DISTINCT FROM {}",
+            expr(inner),
+            if *negated { " NOT" } else { "" },
+            expr(other)
+        ),
+        Expr::Quantified { expr: inner, op, quantifier, query: q } => {
+            format!("{} {} {quantifier} ({})", expr(inner), op.sql(), query(q))
+        }
+        Expr::Default => "DEFAULT".into(),
+    }
+}
+
+/// Quote a character-string body, doubling embedded quotes.
+fn quoted(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// Render a literal.
+pub fn literal(l: &Literal) -> String {
+    match l {
+        Literal::Number(n) => n.clone(),
+        Literal::String(s) => quoted(s),
+        Literal::Boolean(true) => "TRUE".into(),
+        Literal::Boolean(false) => "FALSE".into(),
+        Literal::Null => "NULL".into(),
+        Literal::Date(s) => format!("DATE {}", quoted(s)),
+        Literal::Time(s) => format!("TIME {}", quoted(s)),
+        Literal::Timestamp(s) => format!("TIMESTAMP {}", quoted(s)),
+        Literal::Interval { negative, value, qualifier } => format!(
+            "INTERVAL {}{} {qualifier}",
+            if *negative { "- " } else { "" },
+            quoted(value)
+        ),
+    }
+}
+
+/// Render a data type.
+pub fn print_type(t: &DataType) -> String {
+    let with_len = |kw: &str, len: &Option<String>| match len {
+        Some(l) => format!("{kw}({l})"),
+        None => kw.to_string(),
+    };
+    match t {
+        DataType::Character { varying, length } => {
+            let kw = if *varying { "CHAR VARYING" } else { "CHAR" };
+            with_len(kw, length)
+        }
+        DataType::Varchar(l) => with_len("VARCHAR", l),
+        DataType::Clob => "CLOB".into(),
+        DataType::Decimal { precision, scale } => match (precision, scale) {
+            (Some(p), Some(s)) => format!("DECIMAL({p}, {s})"),
+            (Some(p), None) => format!("DECIMAL({p})"),
+            _ => "DECIMAL".into(),
+        },
+        DataType::SmallInt => "SMALLINT".into(),
+        DataType::Integer => "INTEGER".into(),
+        DataType::BigInt => "BIGINT".into(),
+        DataType::Float(l) => with_len("FLOAT", l),
+        DataType::Real => "REAL".into(),
+        DataType::Double => "DOUBLE PRECISION".into(),
+        DataType::Boolean => "BOOLEAN".into(),
+        DataType::Date => "DATE".into(),
+        DataType::Time { precision, with_time_zone } => {
+            let mut out = with_len("TIME", precision);
+            match with_time_zone {
+                Some(true) => out.push_str(" WITH TIME ZONE"),
+                Some(false) => out.push_str(" WITHOUT TIME ZONE"),
+                None => {}
+            }
+            out
+        }
+        DataType::Timestamp { precision, with_time_zone } => {
+            let mut out = with_len("TIMESTAMP", precision);
+            match with_time_zone {
+                Some(true) => out.push_str(" WITH TIME ZONE"),
+                Some(false) => out.push_str(" WITHOUT TIME ZONE"),
+                None => {}
+            }
+            out
+        }
+        DataType::Interval(q) => format!("INTERVAL {q}"),
+        DataType::Blob => "BLOB".into(),
+        DataType::Binary { varying, length } => {
+            let kw = if *varying { "BINARY VARYING" } else { "BINARY" };
+            with_len(kw, length)
+        }
+        DataType::Array { element, bound } => match bound {
+            Some(b) => format!("{} ARRAY[{b}]", print_type(element)),
+            None => format!("{} ARRAY", print_type(element)),
+        },
+    }
+}
+
+fn insert(i: &Insert) -> String {
+    let cols = if i.columns.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", i.columns.join(", "))
+    };
+    let source = match &i.source {
+        InsertSource::Values(rows) => format!(
+            "VALUES {}",
+            joined(rows, ", ", |row| format!("({})", joined(row, ", ", expr)))
+        ),
+        InsertSource::Query(q) => query(q),
+        InsertSource::DefaultValues => "DEFAULT VALUES".into(),
+    };
+    format!("INSERT INTO {}{cols} {source}", name(&i.table))
+}
+
+fn assignments(a: &[(String, Expr)]) -> String {
+    joined(a, ", ", |(c, e)| format!("{c} = {}", expr(e)))
+}
+
+fn update(u: &Update) -> String {
+    let mut out = format!("UPDATE {} SET {}", name(&u.table), assignments(&u.assignments));
+    push_selection(&mut out, &u.selection);
+    out
+}
+
+fn push_selection(out: &mut String, sel: &Option<UpdateSelection>) {
+    match sel {
+        Some(UpdateSelection::Searched(e)) => {
+            let _ = write!(out, " WHERE {}", expr(e));
+        }
+        Some(UpdateSelection::CurrentOf(c)) => {
+            let _ = write!(out, " WHERE CURRENT OF {c}");
+        }
+        None => {}
+    }
+}
+
+fn delete(d: &Delete) -> String {
+    let mut out = format!("DELETE FROM {}", name(&d.table));
+    push_selection(&mut out, &d.selection);
+    out
+}
+
+fn merge(m: &Merge) -> String {
+    let mut out = format!(
+        "MERGE INTO {} USING {} ON {}",
+        name(&m.target),
+        name(&m.source),
+        expr(&m.on)
+    );
+    for w in &m.when {
+        match w {
+            MergeWhen::MatchedUpdate(a) => {
+                let _ = write!(out, " WHEN MATCHED THEN UPDATE SET {}", assignments(a));
+            }
+            MergeWhen::NotMatchedInsert { columns, values } => {
+                let cols = if columns.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", columns.join(", "))
+                };
+                let _ = write!(
+                    out,
+                    " WHEN NOT MATCHED THEN INSERT{cols} VALUES ({})",
+                    joined(values, ", ", expr)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn column_def(c: &ColumnDef) -> String {
+    let mut out = format!("{} {}", c.name, print_type(&c.data_type));
+    if let Some(d) = &c.default {
+        let _ = write!(out, " DEFAULT {}", literal(d));
+    }
+    if c.identity {
+        out.push_str(" GENERATED ALWAYS AS IDENTITY");
+    }
+    for cc in &c.constraints {
+        out.push(' ');
+        out.push_str(&match cc {
+            ColumnConstraint::NotNull => "NOT NULL".to_string(),
+            ColumnConstraint::Unique => "UNIQUE".to_string(),
+            ColumnConstraint::PrimaryKey => "PRIMARY KEY".to_string(),
+            ColumnConstraint::Check(e) => format!("CHECK ({})", expr(e)),
+            ColumnConstraint::References { table, columns } => {
+                if columns.is_empty() {
+                    format!("REFERENCES {}", name(table))
+                } else {
+                    format!("REFERENCES {} ({})", name(table), columns.join(", "))
+                }
+            }
+        });
+    }
+    out
+}
+
+fn table_constraint(tc: &TableConstraint) -> String {
+    let mut out = String::new();
+    if let Some(n) = &tc.name {
+        let _ = write!(out, "CONSTRAINT {n} ");
+    }
+    out.push_str(&match &tc.body {
+        TableConstraintBody::PrimaryKey(cols) => format!("PRIMARY KEY ({})", cols.join(", ")),
+        TableConstraintBody::Unique(cols) => format!("UNIQUE ({})", cols.join(", ")),
+        TableConstraintBody::ForeignKey { columns, table, ref_columns, on_delete, on_update } => {
+            let mut s = format!("FOREIGN KEY ({}) REFERENCES {}", columns.join(", "), name(table));
+            if !ref_columns.is_empty() {
+                let _ = write!(s, " ({})", ref_columns.join(", "));
+            }
+            if let Some(a) = on_delete {
+                let _ = write!(s, " ON DELETE {a}");
+            }
+            if let Some(a) = on_update {
+                let _ = write!(s, " ON UPDATE {a}");
+            }
+            s
+        }
+        TableConstraintBody::Check(e) => format!("CHECK ({})", expr(e)),
+    });
+    out
+}
+
+fn create_table(c: &CreateTable) -> String {
+    let scope = match c.temporary {
+        Some(TableScope::Global) => "GLOBAL TEMPORARY ",
+        Some(TableScope::Local) => "LOCAL TEMPORARY ",
+        None => "",
+    };
+    let mut elements: Vec<String> = c.columns.iter().map(column_def).collect();
+    elements.extend(c.constraints.iter().map(table_constraint));
+    format!(
+        "CREATE {scope}TABLE {} ({})",
+        name(&c.name),
+        elements.join(", ")
+    )
+}
+
+fn create_view(v: &CreateView) -> String {
+    let mut out = String::from("CREATE ");
+    if v.recursive {
+        out.push_str("RECURSIVE ");
+    }
+    let _ = write!(out, "VIEW {}", name(&v.name));
+    if !v.columns.is_empty() {
+        let _ = write!(out, " ({})", v.columns.join(", "));
+    }
+    let _ = write!(out, " AS {}", query(&v.query));
+    if v.with_check_option {
+        out.push_str(" WITH CHECK OPTION");
+    }
+    out
+}
+
+fn alter_action(a: &AlterAction) -> String {
+    match a {
+        AlterAction::AddColumn(c) => format!("ADD COLUMN {}", column_def(c)),
+        AlterAction::DropColumn { name, behavior } => {
+            let mut out = format!("DROP COLUMN {name}");
+            push_behavior(&mut out, behavior);
+            out
+        }
+        AlterAction::SetDefault { name, default } => {
+            format!("ALTER COLUMN {name} SET DEFAULT {}", literal(default))
+        }
+        AlterAction::DropDefault { name } => format!("ALTER COLUMN {name} DROP DEFAULT"),
+        AlterAction::AddConstraint(tc) => format!("ADD {}", table_constraint(tc)),
+        AlterAction::DropConstraint { name, behavior } => {
+            let mut out = format!("DROP CONSTRAINT {name}");
+            push_behavior(&mut out, behavior);
+            out
+        }
+    }
+}
+
+fn grant(g: &Grant, revoke: bool) -> String {
+    let privs = match &g.privileges {
+        Privileges::All => "ALL PRIVILEGES".to_string(),
+        Privileges::Actions(a) => a.join(", "),
+    };
+    if revoke {
+        let mut out = String::from("REVOKE ");
+        if g.grant_option {
+            out.push_str("GRANT OPTION FOR ");
+        }
+        let _ = write!(
+            out,
+            "{privs} ON {} FROM {}",
+            name(&g.object),
+            g.grantees.join(", ")
+        );
+        push_behavior(&mut out, &g.behavior);
+        out
+    } else {
+        let mut out = format!(
+            "GRANT {privs} ON {} TO {}",
+            name(&g.object),
+            g.grantees.join(", ")
+        );
+        if g.grant_option {
+            out.push_str(" WITH GRANT OPTION");
+        }
+        out
+    }
+}
+
+fn transaction(t: &TransactionStatement) -> String {
+    match t {
+        TransactionStatement::Start(modes) => {
+            if modes.is_empty() {
+                "START TRANSACTION".into()
+            } else {
+                format!("START TRANSACTION {}", modes.join(", "))
+            }
+        }
+        TransactionStatement::Commit => "COMMIT".into(),
+        TransactionStatement::Rollback => "ROLLBACK".into(),
+        TransactionStatement::RollbackTo(s) => format!("ROLLBACK TO SAVEPOINT {s}"),
+        TransactionStatement::Savepoint(s) => format!("SAVEPOINT {s}"),
+        TransactionStatement::Release(s) => format!("RELEASE SAVEPOINT {s}"),
+        TransactionStatement::SetTransaction { local, modes } => format!(
+            "SET {}TRANSACTION {}",
+            if *local { "LOCAL " } else { "" },
+            modes.join(", ")
+        ),
+    }
+}
+
+fn session(s: &SessionStatement) -> String {
+    match s {
+        SessionStatement::SetSchema(v) => format!("SET SCHEMA {v}"),
+        SessionStatement::SetRole(v) => format!("SET ROLE {v}"),
+        SessionStatement::SetSessionAuthorization(v) => {
+            format!("SET SESSION AUTHORIZATION {v}")
+        }
+        SessionStatement::SetTimeZone(v) => format!("SET TIME ZONE {v}"),
+    }
+}
+
+fn cursor(c: &CursorStatement) -> String {
+    match c {
+        CursorStatement::Declare { name, sensitivity, scroll, hold, query: q } => {
+            let mut out = format!("DECLARE {name} ");
+            if let Some(s) = sensitivity {
+                let _ = write!(out, "{s} ");
+            }
+            match scroll {
+                Some(true) => out.push_str("SCROLL "),
+                Some(false) => out.push_str("NO SCROLL "),
+                None => {}
+            }
+            out.push_str("CURSOR ");
+            match hold {
+                Some(true) => out.push_str("WITH HOLD "),
+                Some(false) => out.push_str("WITHOUT HOLD "),
+                None => {}
+            }
+            let _ = write!(out, "FOR {}", query(q));
+            out
+        }
+        CursorStatement::Open(n) => format!("OPEN {n}"),
+        CursorStatement::Close(n) => format!("CLOSE {n}"),
+        CursorStatement::Fetch { orientation, name } => match orientation {
+            Some(o) => format!("FETCH {o} FROM {name}"),
+            None => format!("FETCH FROM {name}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(literal(&Literal::String("it's".into())), "'it''s'");
+        assert_eq!(literal(&Literal::Date("'".into())), "DATE ''''");
+        assert_eq!(
+            literal(&Literal::Interval {
+                negative: true,
+                value: "1".into(),
+                qualifier: "DAY".into()
+            }),
+            "INTERVAL - '1' DAY"
+        );
+    }
+
+    #[test]
+    fn expr_shapes() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Column(vec!["a".into()])),
+            op: BinaryOp::Plus,
+            right: Box::new(Expr::Nested(Box::new(Expr::Literal(Literal::Number(
+                "1".into(),
+            ))))),
+        };
+        assert_eq!(expr(&e), "a + (1)");
+        let agg = Expr::Function {
+            name: "COUNT".into(),
+            quantifier: Some(SetQuantifier::Distinct),
+            args: vec![Expr::Column(vec!["x".into()])],
+        };
+        assert_eq!(expr(&agg), "COUNT(DISTINCT x)");
+        let star = Expr::Function {
+            name: "COUNT".into(),
+            quantifier: None,
+            args: vec![Expr::Wildcard],
+        };
+        assert_eq!(expr(&star), "COUNT(*)");
+        let niladic = Expr::Function {
+            name: "CURRENT_DATE".into(),
+            quantifier: None,
+            args: vec![],
+        };
+        assert_eq!(expr(&niladic), "CURRENT_DATE");
+    }
+
+    #[test]
+    fn window_function_rendering() {
+        let e = Expr::WindowFunction {
+            name: "RANK".into(),
+            partition_by: vec![vec!["region".into()]],
+            order_by: vec![SortSpec {
+                expr: Expr::Column(vec!["sales".into()]),
+                descending: true,
+                nulls_first: None,
+            }],
+            frame: None,
+        };
+        assert_eq!(
+            expr(&e),
+            "RANK() OVER (PARTITION BY region ORDER BY sales DESC)"
+        );
+    }
+
+    #[test]
+    fn data_type_rendering() {
+        assert_eq!(print_type(&DataType::Varchar(Some("40".into()))), "VARCHAR(40)");
+        assert_eq!(
+            print_type(&DataType::Decimal {
+                precision: Some("10".into()),
+                scale: Some("2".into())
+            }),
+            "DECIMAL(10, 2)"
+        );
+        assert_eq!(
+            print_type(&DataType::Array {
+                element: Box::new(DataType::Integer),
+                bound: Some("8".into())
+            }),
+            "INTEGER ARRAY[8]"
+        );
+        assert_eq!(
+            print_type(&DataType::Time { precision: None, with_time_zone: Some(true) }),
+            "TIME WITH TIME ZONE"
+        );
+    }
+
+    #[test]
+    fn column_def_with_identity_and_constraints() {
+        let c = ColumnDef {
+            name: "id".into(),
+            data_type: DataType::Integer,
+            default: Some(Literal::Number("0".into())),
+            identity: true,
+            constraints: vec![ColumnConstraint::NotNull, ColumnConstraint::PrimaryKey],
+        };
+        assert_eq!(
+            column_def(&c),
+            "id INTEGER DEFAULT 0 GENERATED ALWAYS AS IDENTITY NOT NULL PRIMARY KEY"
+        );
+    }
+
+    #[test]
+    fn truth_value_rendering() {
+        let e = Expr::IsTruthValue {
+            expr: Box::new(Expr::Column(vec!["b".into()])),
+            negated: true,
+            value: "UNKNOWN".into(),
+        };
+        assert_eq!(expr(&e), "b IS NOT UNKNOWN");
+    }
+}

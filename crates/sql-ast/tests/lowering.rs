@@ -1,0 +1,217 @@
+//! Lowering + printing round-trip tests across dialects.
+//!
+//! Round-trip property: `parse → lower → print → parse → lower` is a fixed
+//! point (the printed SQL re-parses to the identical AST).
+
+use sqlweave_dialects::Dialect;
+use sqlweave_parser_rt::engine::Parser;
+use sqlweave_sql_ast::ast::*;
+use sqlweave_sql_ast::{lower, print};
+
+fn lower_one(parser: &Parser, sql: &str) -> Statement {
+    let cst = parser
+        .parse(sql)
+        .unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+    let stmts = lower::lower_script(&cst).unwrap_or_else(|e| panic!("lower {sql:?}: {e}"));
+    assert_eq!(stmts.len(), 1, "expected one statement in {sql:?}");
+    stmts.into_iter().next().unwrap()
+}
+
+fn roundtrip(parser: &Parser, sql: &str) {
+    let ast1 = lower_one(parser, sql);
+    let printed = print::statement(&ast1);
+    let ast2 = lower_one(parser, &printed);
+    assert_eq!(ast1, ast2, "round-trip changed AST:\n  in:  {sql}\n  out: {printed}");
+}
+
+#[test]
+fn select_shapes() {
+    let p = Dialect::Core.parser().unwrap();
+    let ast = lower_one(&p, "SELECT DISTINCT a, b AS bee FROM t WHERE a = 1");
+    let Statement::Query(q) = &ast else { panic!("not a query") };
+    let QueryBody::Select(s) = &q.body else { panic!("not a select") };
+    assert_eq!(s.quantifier, Some(SetQuantifier::Distinct));
+    assert_eq!(s.projection.len(), 2);
+    assert!(matches!(
+        &s.projection[1],
+        SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+    ));
+    assert!(matches!(
+        s.selection,
+        Some(Expr::Binary { op: BinaryOp::Eq, .. })
+    ));
+}
+
+#[test]
+fn expression_precedence_shape() {
+    let p = Dialect::Core.parser().unwrap();
+    let ast = lower_one(&p, "SELECT a + b * c FROM t");
+    let Statement::Query(q) = &ast else { panic!() };
+    let QueryBody::Select(s) = &q.body else { panic!() };
+    let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+    // a + (b * c): multiplication binds tighter
+    let Expr::Binary { op: BinaryOp::Plus, right, .. } = expr else {
+        panic!("top is {expr:?}")
+    };
+    assert!(matches!(**right, Expr::Binary { op: BinaryOp::Multiply, .. }));
+}
+
+#[test]
+fn boolean_precedence_shape() {
+    let p = Dialect::Core.parser().unwrap();
+    let ast = lower_one(&p, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+    let Statement::Query(q) = &ast else { panic!() };
+    let QueryBody::Select(s) = &q.body else { panic!() };
+    // OR at top, AND beneath its right side.
+    let Some(Expr::Binary { op: BinaryOp::Or, right, .. }) = &s.selection else {
+        panic!("{:?}", s.selection)
+    };
+    assert!(matches!(**right, Expr::Binary { op: BinaryOp::And, .. }));
+}
+
+#[test]
+fn join_tree() {
+    let p = Dialect::Core.parser().unwrap();
+    let ast = lower_one(&p, "SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y");
+    let Statement::Query(q) = &ast else { panic!() };
+    let QueryBody::Select(s) = &q.body else { panic!() };
+    let TableRef::Join { kind, condition, .. } = &s.from[0] else {
+        panic!("{:?}", s.from)
+    };
+    assert_eq!(*kind, JoinKind::Left);
+    assert!(matches!(condition, JoinCondition::On(_)));
+}
+
+#[test]
+fn roundtrips_core() {
+    let p = Dialect::Core.parser().unwrap();
+    for sql in [
+        "SELECT a FROM t",
+        "SELECT * FROM t",
+        "SELECT DISTINCT a, b AS x FROM t, u WHERE a = b",
+        "SELECT a FROM t WHERE NOT (a < 1 OR b > 2) AND c = 3",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+        "SELECT a FROM t WHERE a IN (1, 2, 3)",
+        "SELECT a FROM t WHERE name LIKE 'x%' ESCAPE '!'",
+        "SELECT a FROM t WHERE b IS NOT NULL",
+        "SELECT a FROM (SELECT a FROM u) AS v",
+        "SELECT SUM(a + b * c) FROM t",
+        "SELECT -a, +b FROM t",
+        "INSERT INTO t VALUES (1, 'two', TRUE, NULL)",
+        "INSERT INTO t (a, b) VALUES (1, 2), (3, DEFAULT)",
+        "UPDATE t SET a = 1, b = DEFAULT WHERE c = 2",
+        "DELETE FROM t WHERE a = 1",
+        "CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, name VARCHAR(40) DEFAULT 'x', CONSTRAINT pk PRIMARY KEY (id), FOREIGN KEY (name) REFERENCES u (n) ON DELETE CASCADE)",
+        "DROP TABLE t RESTRICT",
+        "START TRANSACTION READ ONLY, ISOLATION LEVEL READ COMMITTED",
+        "COMMIT",
+        "ROLLBACK TO SAVEPOINT sp",
+        "SAVEPOINT sp",
+    ] {
+        roundtrip(&p, sql);
+    }
+}
+
+#[test]
+fn roundtrips_warehouse() {
+    let p = Dialect::Warehouse.parser().unwrap();
+    for sql in [
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "SELECT a FROM t INTERSECT SELECT b FROM u ORDER BY a OFFSET 5 ROWS FETCH FIRST 10 ROWS ONLY",
+        "WITH RECURSIVE r (n) AS (SELECT a FROM t) SELECT * FROM r",
+        "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'many' END FROM t",
+        "SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+        "SELECT NULLIF(a, b), COALESCE(a, b, 1) FROM t",
+        "SELECT CAST(a AS DECIMAL(10, 2)) FROM t",
+        "SELECT region, SUM(x) FROM f GROUP BY ROLLUP (region, yr)",
+        "SELECT a FROM f GROUP BY GROUPING SETS (a, ROLLUP (b, c))",
+        "SELECT a FROM t WHERE EXISTS (SELECT b FROM u)",
+        "SELECT a FROM t WHERE a = ALL (SELECT b FROM u)",
+        "SELECT a FROM t WHERE a IN (SELECT b FROM u)",
+        "SELECT t.* FROM t",
+        "SELECT a FROM t ORDER BY a DESC NULLS LAST",
+        "SELECT a FROM t CROSS JOIN u",
+        "SELECT a FROM t NATURAL JOIN u",
+        "SELECT a FROM t JOIN u USING (x, y)",
+        "CREATE VIEW v (a, b) AS SELECT x, y FROM t WITH CHECK OPTION",
+        "SELECT EXTRACT(YEAR FROM d) FROM t",
+        "SELECT CURRENT_TIMESTAMP FROM t",
+    ] {
+        roundtrip(&p, sql);
+    }
+}
+
+#[test]
+fn roundtrips_full() {
+    let p = Dialect::Full.parser().unwrap();
+    for sql in [
+        "MERGE INTO t USING u ON t.a = u.a WHEN MATCHED THEN UPDATE SET b = 1 WHEN NOT MATCHED THEN INSERT (a, b) VALUES (1, 2)",
+        "CREATE SCHEMA s AUTHORIZATION owner_1",
+        "CREATE DOMAIN d AS INTEGER DEFAULT 0 CHECK (x > 0)",
+        "ALTER TABLE t ADD COLUMN c BOOLEAN",
+        "ALTER TABLE t DROP COLUMN c CASCADE",
+        "ALTER TABLE t ALTER COLUMN c SET DEFAULT 5",
+        "ALTER TABLE t DROP CONSTRAINT ck RESTRICT",
+        "GRANT SELECT, INSERT ON t TO alice, PUBLIC WITH GRANT OPTION",
+        "REVOKE GRANT OPTION FOR UPDATE ON t FROM bob CASCADE",
+        "SET SCHEMA accounting",
+        "SET TIME ZONE LOCAL",
+        "DECLARE c1 INSENSITIVE SCROLL CURSOR WITH HOLD FOR SELECT a FROM t",
+        "OPEN c1",
+        "FETCH ABSOLUTE 5 FROM c1",
+        "CLOSE c1",
+        "SELECT nodeid FROM sensors EPOCH DURATION 1024 SAMPLE PERIOD 10 LIFETIME 30",
+        "SELECT SUBSTRING(s FROM 1 FOR 2), TRIM(LEADING FROM s), POSITION(a IN b) FROM t",
+        "SELECT MOD(a, b), ABS(c), FLOOR(d), POWER(x, 2), SQRT(y) FROM t",
+        "SELECT COUNT(DISTINCT a), SUM(ALL b) FROM t",
+        "SELECT a || b || 'x' FROM t",
+        "SELECT DATE '2026-01-01', TIME '12:00:00', TIMESTAMP '2026-01-01 12:00:00' FROM t",
+        "SELECT INTERVAL '1' DAY, INTERVAL - '2' YEAR TO MONTH FROM t",
+        "CREATE GLOBAL TEMPORARY TABLE tt (a INTEGER)",
+        "CREATE TABLE arr (xs INTEGER ARRAY[10])",
+        "SELECT a FROM t WHERE x IS DISTINCT FROM y",
+        "SELECT a FROM t WHERE x OVERLAPS y",
+    ] {
+        roundtrip(&p, sql);
+    }
+}
+
+#[test]
+fn multi_statement_script() {
+    let p = Dialect::Full.parser().unwrap();
+    let cst = p.parse("SELECT a FROM t; DELETE FROM t; COMMIT;").unwrap();
+    let stmts = lower::lower_script(&cst).unwrap();
+    assert_eq!(stmts.len(), 3);
+    assert!(matches!(stmts[0], Statement::Query(_)));
+    assert!(matches!(stmts[1], Statement::Delete(_)));
+    assert!(matches!(
+        stmts[2],
+        Statement::Transaction(TransactionStatement::Commit)
+    ));
+}
+
+#[test]
+fn string_literal_unescaping() {
+    let p = Dialect::Core.parser().unwrap();
+    let ast = lower_one(&p, "SELECT a FROM t WHERE s = 'it''s'");
+    let printed = print::statement(&ast);
+    assert!(printed.contains("'it''s'"), "{printed}");
+    let Statement::Query(q) = &ast else { panic!() };
+    let QueryBody::Select(s) = &q.body else { panic!() };
+    let Some(Expr::Binary { right, .. }) = &s.selection else { panic!() };
+    assert_eq!(**right, Expr::Literal(Literal::String("it's".into())));
+}
+
+#[test]
+fn tiny_dialect_lowering_includes_sensor_clauses() {
+    let p = Dialect::Tiny.parser().unwrap();
+    let ast = lower_one(
+        &p,
+        "SELECT nodeid, AVG(temp) FROM sensors GROUP BY nodeid EPOCH DURATION 1024",
+    );
+    let Statement::Query(q) = &ast else { panic!() };
+    let QueryBody::Select(s) = &q.body else { panic!() };
+    assert_eq!(s.sensor.epoch_duration.as_deref(), Some("1024"));
+    assert_eq!(s.group_by.len(), 1);
+}

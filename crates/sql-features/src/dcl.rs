@@ -1,0 +1,58 @@
+//! Access-control feature diagram (41): GRANT / REVOKE.
+
+use crate::dml::{TABLE_NAME_RULE, TABLE_NAME_TOKENS};
+use crate::tokens::{token_file, IDENT};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::{Cardinality, FeatureId};
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let gr = cat.b.optional(parent, "grant_revoke");
+    cat.grammar("grant_revoke", "", "");
+
+    let grant = cat.b.mandatory(gr, "grant_statement");
+    cat.b.with_cardinality(grant, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "grant_statement",
+        &format!(
+            "grammar grant_statement;
+             sql_statement : grant_statement #grant ;
+             grant_statement : GRANT privileges ON object_name TO grantee (COMMA grantee)* ;
+             privileges : ALL PRIVILEGES #all | privilege (COMMA privilege)* #list ;
+             privilege : SELECT #select | INSERT #insert | UPDATE #update
+                       | DELETE #delete | REFERENCES #references | USAGE #usage
+                       | TRIGGER #trigger ;
+             object_name : TABLE? table_name ;
+             grantee : PUBLIC #public | IDENT #user ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "grant_statement",
+            &[
+                "GRANT = kw; ON = kw; TO = kw; ALL = kw; PRIVILEGES = kw;\
+                 SELECT = kw; INSERT = kw; UPDATE = kw; DELETE = kw;\
+                 REFERENCES = kw; USAGE = kw; TRIGGER = kw; TABLE = kw;\
+                 PUBLIC = kw; COMMA = \",\";",
+                TABLE_NAME_TOKENS,
+                IDENT,
+            ],
+        ),
+    );
+
+    cat.b.optional(gr, "grant_option");
+    cat.grammar(
+        "grant_option",
+        "grammar grant_option;
+         grant_statement : GRANT privileges ON object_name TO grantee (COMMA grantee)* (WITH GRANT OPTION)? ;",
+        "tokens grant_option; WITH = kw; GRANT = kw; OPTION = kw;",
+    );
+
+    cat.b.optional(gr, "revoke_statement");
+    cat.grammar(
+        "revoke_statement",
+        "grammar revoke_statement;
+         sql_statement : revoke_statement #revoke ;
+         revoke_statement : REVOKE (GRANT OPTION FOR)? privileges ON object_name FROM grantee (COMMA grantee)* ((CASCADE | RESTRICT))? ;",
+        "tokens revoke_statement; REVOKE = kw; GRANT = kw; OPTION = kw; FOR = kw;\
+         FROM = kw; CASCADE = kw; RESTRICT = kw; COMMA = \",\";",
+    );
+}

@@ -1,0 +1,350 @@
+//! Schema-definition feature diagrams (33–40): CREATE TABLE (columns,
+//! constraints, temporaries), CREATE VIEW / SCHEMA / DOMAIN, ALTER TABLE,
+//! and DROP.
+
+use crate::dml::{TABLE_NAME_RULE, TABLE_NAME_TOKENS};
+use crate::tokens::{token_file, IDENT, LIST_PUNCT};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::{Cardinality, FeatureId};
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    // ---- diagram 33: table_definition ----
+    let tbl = cat.b.optional(parent, "table_definition");
+    cat.grammar(
+        "table_definition",
+        &format!(
+            "grammar table_definition;
+             sql_statement : table_definition #create_table ;
+             table_definition : CREATE TABLE table_name LPAREN table_element (COMMA table_element)* RPAREN ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "table_definition",
+            &["CREATE = kw; TABLE = kw;", LIST_PUNCT, TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+
+    // diagram 34: column_definition
+    let col = cat.b.mandatory(tbl, "column_definition");
+    cat.b.with_cardinality(col, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "column_definition",
+        "grammar column_definition;
+         table_element : column_definition #column ;
+         column_definition : IDENT data_type ;",
+        &token_file("column_definition", &[IDENT]),
+    );
+    cat.b.requires("column_definition", "data_type");
+
+    cat.b.optional(col, "default_clause");
+    cat.grammar(
+        "default_clause",
+        "grammar default_clause;
+         column_definition : IDENT data_type (DEFAULT literal)? ;",
+        "tokens default_clause; DEFAULT = kw;",
+    );
+    cat.b.requires("default_clause", "literal");
+
+    cat.b.optional(col, "identity_column");
+    cat.grammar(
+        "identity_column",
+        "grammar identity_column;
+         column_definition : IDENT data_type (GENERATED ALWAYS AS IDENTITY)? ;",
+        "tokens identity_column; GENERATED = kw; ALWAYS = kw; AS = kw; IDENTITY = kw;",
+    );
+
+    let cc = cat.b.optional(col, "column_constraints");
+    cat.grammar(
+        "column_constraints",
+        "grammar column_constraints;
+         column_definition : IDENT data_type column_constraint* ;",
+        "",
+    );
+    cat.b.or(
+        cc,
+        &[
+            "not_null_constraint",
+            "column_unique",
+            "column_primary_key",
+            "column_check",
+            "column_references",
+        ],
+    );
+    cat.grammar(
+        "not_null_constraint",
+        "grammar not_null_constraint; column_constraint : NOT NULL #not_null ;",
+        "tokens not_null_constraint; NOT = kw; NULL = kw;",
+    );
+    cat.grammar(
+        "column_unique",
+        "grammar column_unique; column_constraint : UNIQUE #unique ;",
+        "tokens column_unique; UNIQUE = kw;",
+    );
+    cat.grammar(
+        "column_primary_key",
+        "grammar column_primary_key; column_constraint : PRIMARY KEY #primary_key ;",
+        "tokens column_primary_key; PRIMARY = kw; KEY = kw;",
+    );
+    cat.grammar(
+        "column_check",
+        "grammar column_check;
+         column_constraint : CHECK LPAREN search_condition RPAREN #check ;",
+        "tokens column_check; CHECK = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.b.requires("column_check", "predicates");
+    cat.grammar(
+        "column_references",
+        &format!(
+            "grammar column_references;
+             column_constraint : REFERENCES table_name (LPAREN column_name_list RPAREN)? #references ;
+             column_name_list : IDENT (COMMA IDENT)* ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "column_references",
+            &["REFERENCES = kw;", LIST_PUNCT, TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+
+    // diagram 35: table_constraint
+    let tc = cat.b.optional(tbl, "table_constraint");
+    cat.grammar(
+        "table_constraint",
+        "grammar table_constraint;
+             table_element : table_constraint #constraint ;
+             table_constraint : (CONSTRAINT IDENT)? table_constraint_body ;
+             column_name_list : IDENT (COMMA IDENT)* ;",
+        &token_file("table_constraint", &["CONSTRAINT = kw;", LIST_PUNCT, IDENT]),
+    );
+    cat.b.or(
+        tc,
+        &[
+            "primary_key_constraint",
+            "unique_constraint",
+            "foreign_key_constraint",
+            "check_constraint",
+        ],
+    );
+    cat.grammar(
+        "primary_key_constraint",
+        "grammar primary_key_constraint;
+         table_constraint_body : PRIMARY KEY LPAREN column_name_list RPAREN #primary_key ;",
+        &token_file("primary_key_constraint", &["PRIMARY = kw; KEY = kw;", LIST_PUNCT]),
+    );
+    cat.grammar(
+        "unique_constraint",
+        "grammar unique_constraint;
+         table_constraint_body : UNIQUE LPAREN column_name_list RPAREN #unique ;",
+        &token_file("unique_constraint", &["UNIQUE = kw;", LIST_PUNCT]),
+    );
+    cat.grammar(
+        "foreign_key_constraint",
+        &format!(
+            "grammar foreign_key_constraint;
+             table_constraint_body : FOREIGN KEY LPAREN column_name_list RPAREN REFERENCES table_name (LPAREN column_name_list RPAREN)? (ON DELETE referential_action)? (ON UPDATE referential_action)? #foreign_key ;
+             referential_action : CASCADE #cascade | RESTRICT #restrict | SET NULL #set_null | SET DEFAULT #set_default | NO ACTION #no_action ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "foreign_key_constraint",
+            &[
+                "FOREIGN = kw; KEY = kw; REFERENCES = kw; ON = kw; DELETE = kw;\
+                 UPDATE = kw; CASCADE = kw; RESTRICT = kw; SET = kw; NULL = kw;\
+                 DEFAULT = kw; NO = kw; ACTION = kw;",
+                LIST_PUNCT,
+                TABLE_NAME_TOKENS,
+                IDENT,
+            ],
+        ),
+    );
+    cat.grammar(
+        "check_constraint",
+        "grammar check_constraint;
+         table_constraint_body : CHECK LPAREN search_condition RPAREN #check ;",
+        "tokens check_constraint; CHECK = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.b.requires("check_constraint", "predicates");
+
+    cat.b.optional(tbl, "temporary_table");
+    cat.grammar(
+        "temporary_table",
+        "grammar temporary_table;
+         table_definition : CREATE ((GLOBAL | LOCAL) TEMPORARY)? TABLE table_name LPAREN table_element (COMMA table_element)* RPAREN ;",
+        "tokens temporary_table; GLOBAL = kw; LOCAL = kw; TEMPORARY = kw;",
+    );
+
+    // ---- diagram 36: view_definition ----
+    let view = cat.b.optional(parent, "view_definition");
+    cat.grammar(
+        "view_definition",
+        &format!(
+            "grammar view_definition;
+             sql_statement : view_definition #create_view ;
+             view_definition : CREATE VIEW table_name (LPAREN column_name_list RPAREN)? AS query_expression ;
+             column_name_list : IDENT (COMMA IDENT)* ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "view_definition",
+            &["CREATE = kw; VIEW = kw; AS = kw;", LIST_PUNCT, TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+    cat.b.requires("view_definition", "query_expression");
+    cat.b.optional(view, "recursive_view");
+    cat.grammar(
+        "recursive_view",
+        "grammar recursive_view;
+         view_definition : CREATE RECURSIVE? VIEW table_name (LPAREN column_name_list RPAREN)? AS query_expression ;",
+        "tokens recursive_view; RECURSIVE = kw;",
+    );
+    cat.b.optional(view, "with_check_option");
+    cat.grammar(
+        "with_check_option",
+        "grammar with_check_option;
+         view_definition : CREATE VIEW table_name (LPAREN column_name_list RPAREN)? AS query_expression (WITH CHECK OPTION)? ;",
+        "tokens with_check_option; WITH = kw; CHECK = kw; OPTION = kw;",
+    );
+
+    // ---- diagram 37: schema_definition ----
+    let sch = cat.b.optional(parent, "schema_definition");
+    cat.grammar(
+        "schema_definition",
+        "grammar schema_definition;
+             sql_statement : schema_definition #create_schema ;
+             schema_definition : CREATE SCHEMA IDENT ;",
+        &token_file("schema_definition", &["CREATE = kw; SCHEMA = kw;", IDENT]),
+    );
+    cat.b.optional(sch, "schema_authorization");
+    cat.grammar(
+        "schema_authorization",
+        "grammar schema_authorization;
+         schema_definition : CREATE SCHEMA IDENT (AUTHORIZATION IDENT)? ;",
+        "tokens schema_authorization; AUTHORIZATION = kw;",
+    );
+
+    // ---- diagram 38: domain_definition ----
+    let dom = cat.b.optional(parent, "domain_definition");
+    cat.grammar(
+        "domain_definition",
+        "grammar domain_definition;
+             sql_statement : domain_definition #create_domain ;
+             domain_definition : CREATE DOMAIN IDENT AS? data_type ;",
+        &token_file("domain_definition", &["CREATE = kw; DOMAIN = kw; AS = kw;", IDENT]),
+    );
+    cat.b.requires("domain_definition", "data_type");
+    cat.b.optional(dom, "domain_default");
+    cat.grammar(
+        "domain_default",
+        "grammar domain_default;
+         domain_definition : CREATE DOMAIN IDENT AS? data_type (DEFAULT literal)? ;",
+        "tokens domain_default; DEFAULT = kw;",
+    );
+    cat.b.requires("domain_default", "literal");
+    cat.b.optional(dom, "domain_check");
+    cat.grammar(
+        "domain_check",
+        "grammar domain_check;
+         domain_definition : CREATE DOMAIN IDENT AS? data_type (CHECK LPAREN search_condition RPAREN)? ;",
+        "tokens domain_check; CHECK = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.b.requires("domain_check", "predicates");
+
+    // ---- diagram 39: alter_table_statement ----
+    let alt = cat.b.optional(parent, "alter_table_statement");
+    cat.grammar(
+        "alter_table_statement",
+        &format!(
+            "grammar alter_table_statement;
+             sql_statement : alter_table_statement #alter_table ;
+             alter_table_statement : ALTER TABLE table_name alter_action ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "alter_table_statement",
+            &["ALTER = kw; TABLE = kw;", TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+    cat.b.or(
+        alt,
+        &[
+            "add_column",
+            "drop_column",
+            "alter_column_default",
+            "add_constraint",
+            "drop_constraint",
+        ],
+    );
+    cat.grammar(
+        "add_column",
+        "grammar add_column; alter_action : ADD COLUMN? column_definition #add_column ;",
+        "tokens add_column; ADD = kw; COLUMN = kw;",
+    );
+    cat.b.requires("add_column", "column_definition");
+    cat.grammar(
+        "drop_column",
+        "grammar drop_column;
+         alter_action : DROP COLUMN? IDENT (CASCADE | RESTRICT)? #drop_column ;",
+        &token_file(
+            "drop_column",
+            &["DROP = kw; COLUMN = kw; CASCADE = kw; RESTRICT = kw;", IDENT],
+        ),
+    );
+    cat.grammar(
+        "alter_column_default",
+        "grammar alter_column_default;
+         alter_action : ALTER COLUMN? IDENT SET DEFAULT literal #set_default
+                      | ALTER COLUMN? IDENT DROP DEFAULT #drop_default ;",
+        &token_file(
+            "alter_column_default",
+            &["ALTER = kw; COLUMN = kw; SET = kw; DROP = kw; DEFAULT = kw;", IDENT],
+        ),
+    );
+    cat.b.requires("alter_column_default", "literal");
+    cat.grammar(
+        "add_constraint",
+        "grammar add_constraint; alter_action : ADD table_constraint #add_constraint ;",
+        "tokens add_constraint; ADD = kw;",
+    );
+    cat.b.requires("add_constraint", "table_constraint");
+    cat.grammar(
+        "drop_constraint",
+        "grammar drop_constraint;
+         alter_action : DROP CONSTRAINT IDENT (CASCADE | RESTRICT)? #drop_constraint ;",
+        &token_file(
+            "drop_constraint",
+            &["DROP = kw; CONSTRAINT = kw; CASCADE = kw; RESTRICT = kw;", IDENT],
+        ),
+    );
+
+    // ---- diagram 40: drop_statement ----
+    let drp = cat.b.optional(parent, "drop_statement");
+    cat.grammar(
+        "drop_statement",
+        "grammar drop_statement; sql_statement : drop_statement #drop ;",
+        "",
+    );
+    cat.b.or(drp, &["drop_table", "drop_view", "drop_schema", "drop_domain"]);
+    for (feat, kw, label) in [
+        ("drop_table", "TABLE", "table"),
+        ("drop_view", "VIEW", "view"),
+        ("drop_schema", "SCHEMA", "schema"),
+        ("drop_domain", "DOMAIN", "domain"),
+    ] {
+        cat.grammar(
+            feat,
+            &format!(
+                "grammar {feat};
+                 drop_statement : DROP {kw} table_name (CASCADE | RESTRICT)? #{label} ;
+                 {TABLE_NAME_RULE}"
+            ),
+            &token_file(
+                feat,
+                &[
+                    &format!("DROP = kw; {kw} = kw; CASCADE = kw; RESTRICT = kw;"),
+                    TABLE_NAME_TOKENS,
+                    IDENT,
+                ],
+            ),
+        );
+    }
+}

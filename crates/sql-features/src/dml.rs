@@ -1,0 +1,198 @@
+//! Data-manipulation feature diagrams (29–32): INSERT, UPDATE, DELETE,
+//! MERGE.
+
+use crate::tokens::{token_file, IDENT, LIST_PUNCT};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::{Cardinality, FeatureId};
+
+/// `table_name` is shared by every statement that names a table; identical
+/// text composes idempotently.
+pub(crate) const TABLE_NAME_RULE: &str = "table_name : IDENT (DOT IDENT)* ;";
+
+/// Token fragment for [`TABLE_NAME_RULE`].
+pub(crate) const TABLE_NAME_TOKENS: &str = "DOT = \".\";";
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    // ---- diagram 29: insert_statement ----
+    let ins = cat.b.optional(parent, "insert_statement");
+    cat.grammar(
+        "insert_statement",
+        &format!(
+            "grammar insert_statement;
+             sql_statement : insert_statement #insert ;
+             insert_statement : INSERT INTO table_name insert_source ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "insert_statement",
+            &["INSERT = kw; INTO = kw;", TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+    let iv = cat.b.mandatory(ins, "insert_values");
+    cat.b.with_cardinality(iv, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "insert_values",
+        "grammar insert_values;
+         insert_source : VALUES row_constructor (COMMA row_constructor)* #values ;
+         row_constructor : LPAREN insert_value (COMMA insert_value)* RPAREN ;
+         insert_value : value_expression #value | DEFAULT #default ;",
+        &token_file("insert_values", &["VALUES = kw; DEFAULT = kw;", LIST_PUNCT]),
+    );
+    cat.b.requires("insert_values", "value_expression");
+    cat.b.optional(ins, "insert_columns");
+    cat.grammar(
+        "insert_columns",
+        "grammar insert_columns;
+             insert_statement : INSERT INTO table_name (LPAREN column_name_list RPAREN)? insert_source ;
+             column_name_list : IDENT (COMMA IDENT)* ;",
+        &token_file("insert_columns", &[LIST_PUNCT, IDENT]),
+    );
+    cat.b.optional(ins, "insert_query");
+    cat.grammar(
+        "insert_query",
+        "grammar insert_query; insert_source : query_expression #query ;",
+        "",
+    );
+    cat.b.requires("insert_query", "query_expression");
+    cat.b.optional(ins, "insert_default_values");
+    cat.grammar(
+        "insert_default_values",
+        "grammar insert_default_values; insert_source : DEFAULT VALUES #default_values ;",
+        "tokens insert_default_values; DEFAULT = kw; VALUES = kw;",
+    );
+    // `DEFAULT VALUES` must be tried before the committed VALUES list.
+    cat.registry.order_after("insert_values", "insert_default_values");
+
+    // ---- diagram 30: update_statement ----
+    let upd = cat.b.optional(parent, "update_statement");
+    cat.grammar(
+        "update_statement",
+        &format!(
+            "grammar update_statement;
+             sql_statement : update_statement #update ;
+             update_statement : UPDATE table_name SET set_clause (COMMA set_clause)* ;
+             set_clause : IDENT EQ update_source ;
+             update_source : value_expression #value | DEFAULT #default ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "update_statement",
+            &[
+                "UPDATE = kw; SET = kw; DEFAULT = kw; EQ = \"=\"; COMMA = \",\";",
+                TABLE_NAME_TOKENS,
+                IDENT,
+            ],
+        ),
+    );
+    cat.b.requires("update_statement", "value_expression");
+    cat.b.optional(upd, "update_where");
+    cat.grammar(
+        "update_where",
+        "grammar update_where;
+         update_statement : UPDATE table_name SET set_clause (COMMA set_clause)* (WHERE search_condition)? ;",
+        "tokens update_where; WHERE = kw;",
+    );
+    cat.b.requires("update_where", "predicates");
+    cat.b.optional(upd, "update_positioned");
+    // The positioned form must be *tried before* the searched form: the
+    // searched alternative's optional `(WHERE search_condition)?` commits
+    // to an empty WHERE when the condition fails to parse, leaving the
+    // trailing `WHERE CURRENT OF …` unconsumed. Composing positioned first
+    // puts it ahead in the choice order (R6 composition sequence).
+    cat.registry.order_after("update_statement", "update_positioned");
+    cat.registry.order_after("update_where", "update_positioned");
+    cat.grammar(
+        "update_positioned",
+        "grammar update_positioned;
+         update_statement : UPDATE table_name SET set_clause (COMMA set_clause)* WHERE CURRENT OF IDENT #positioned ;",
+        &token_file(
+            "update_positioned",
+            &["WHERE = kw; CURRENT = kw; OF = kw;", IDENT],
+        ),
+    );
+    cat.b.requires("update_positioned", "cursor_statement");
+
+    // ---- diagram 31: delete_statement ----
+    let del = cat.b.optional(parent, "delete_statement");
+    cat.grammar(
+        "delete_statement",
+        &format!(
+            "grammar delete_statement;
+             sql_statement : delete_statement #delete ;
+             delete_statement : DELETE FROM table_name ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "delete_statement",
+            &["DELETE = kw; FROM = kw;", TABLE_NAME_TOKENS, IDENT],
+        ),
+    );
+    cat.b.optional(del, "delete_where");
+    cat.grammar(
+        "delete_where",
+        "grammar delete_where;
+         delete_statement : DELETE FROM table_name (WHERE search_condition)? ;",
+        "tokens delete_where; WHERE = kw;",
+    );
+    cat.b.requires("delete_where", "predicates");
+    cat.b.optional(del, "delete_positioned");
+    // Same ordering requirement as update_positioned.
+    cat.registry.order_after("delete_statement", "delete_positioned");
+    cat.registry.order_after("delete_where", "delete_positioned");
+    cat.grammar(
+        "delete_positioned",
+        "grammar delete_positioned;
+         delete_statement : DELETE FROM table_name WHERE CURRENT OF IDENT #positioned ;",
+        &token_file(
+            "delete_positioned",
+            &["WHERE = kw; CURRENT = kw; OF = kw;", IDENT],
+        ),
+    );
+    cat.b.requires("delete_positioned", "cursor_statement");
+
+    // ---- diagram 32: merge_statement ----
+    let mrg = cat.b.optional(parent, "merge_statement");
+    cat.b.with_cardinality(mrg, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "merge_statement",
+        &format!(
+            "grammar merge_statement;
+             sql_statement : merge_statement #merge ;
+             merge_statement : MERGE INTO table_name USING table_name ON search_condition merge_when+ ;
+             {TABLE_NAME_RULE}"
+        ),
+        &token_file(
+            "merge_statement",
+            &[
+                "MERGE = kw; INTO = kw; USING = kw; ON = kw; WHEN = kw;",
+                TABLE_NAME_TOKENS,
+                IDENT,
+            ],
+        ),
+    );
+    cat.b.requires("merge_statement", "predicates");
+    cat.b.or(mrg, &["merge_update_branch", "merge_insert_branch"]);
+    cat.grammar(
+        "merge_update_branch",
+        "grammar merge_update_branch;
+         merge_when : WHEN MATCHED THEN UPDATE SET set_clause (COMMA set_clause)* #matched ;",
+        "tokens merge_update_branch; WHEN = kw; MATCHED = kw; THEN = kw;\
+         UPDATE = kw; SET = kw; COMMA = \",\";",
+    );
+    cat.b.requires("merge_update_branch", "update_statement");
+    cat.grammar(
+        "merge_insert_branch",
+        "grammar merge_insert_branch;
+             merge_when : WHEN NOT MATCHED THEN INSERT (LPAREN column_name_list RPAREN)? VALUES row_constructor #not_matched ;
+             column_name_list : IDENT (COMMA IDENT)* ;",
+        &token_file(
+            "merge_insert_branch",
+            &[
+                "WHEN = kw; NOT = kw; MATCHED = kw; THEN = kw; INSERT = kw; VALUES = kw;",
+                LIST_PUNCT,
+                IDENT,
+            ],
+        ),
+    );
+    cat.b.requires("merge_insert_branch", "insert_values");
+}

@@ -1,0 +1,413 @@
+//! Query-side feature diagrams (2–15): Figure 1 (*Query Specification*),
+//! Figure 2 (*Table Expression*), and their satellite diagrams — set
+//! quantifier, select list, FROM, table references, joins, WHERE, GROUP BY,
+//! HAVING, windows, ORDER BY, query expressions (set operations / WITH),
+//! and subqueries.
+
+use crate::tokens::{token_file, IDENT, LIST_PUNCT, NUMBER};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::{Cardinality, FeatureId};
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let qstmt = cat.b.optional(parent, "query_statement");
+    cat.grammar(
+        "query_statement",
+        "grammar query_statement; sql_statement : query_expression #query ;",
+        "",
+    );
+
+    // ---- diagram 14: query_expression ----
+    let qe = cat.b.mandatory(qstmt, "query_expression");
+    cat.grammar(
+        "query_expression",
+        "grammar query_expression;
+         query_expression : query_term ;
+         query_term : query_primary ;
+         query_primary : query_specification #select ;",
+        "",
+    );
+
+    // ---- diagram 2 (Figure 1): query_specification ----
+    let qs = cat.b.mandatory(qe, "query_specification");
+    cat.grammar(
+        "query_specification",
+        "grammar query_specification;
+         query_specification : SELECT select_list table_expression ;",
+        "tokens query_specification; SELECT = kw;",
+    );
+
+    // diagram 4: set_quantifier
+    let sq = cat.b.optional(qs, "set_quantifier");
+    cat.grammar(
+        "set_quantifier",
+        "grammar set_quantifier;
+         query_specification : SELECT set_quantifier? select_list table_expression ;",
+        "",
+    );
+    cat.b.or(sq, &["all", "distinct"]);
+    cat.grammar(
+        "all",
+        "grammar all; set_quantifier : ALL #all ;",
+        "tokens all; ALL = kw;",
+    );
+    cat.grammar(
+        "distinct",
+        "grammar distinct; set_quantifier : DISTINCT #distinct ;",
+        "tokens distinct; DISTINCT = kw;",
+    );
+
+    // diagram 5: select_list
+    let sl = cat.b.mandatory(qs, "select_list");
+    cat.grammar("select_list", "", "");
+    let members = cat.b.or(sl, &["select_sublist", "select_asterisk"]);
+    let sublist = members[0];
+    cat.b.with_cardinality(sublist, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "select_sublist",
+        "grammar select_sublist;
+         select_list : select_sublist (COMMA select_sublist)* #columns ;
+         select_sublist : derived_column #derived ;",
+        "tokens select_sublist; COMMA = \",\";",
+    );
+    cat.grammar(
+        "select_asterisk",
+        "grammar select_asterisk; select_list : ASTERISK #star ;",
+        "tokens select_asterisk; ASTERISK = \"*\";",
+    );
+    let dc = cat.b.mandatory(sublist, "derived_column");
+    cat.grammar(
+        "derived_column",
+        "grammar derived_column; derived_column : value_expression ;",
+        "",
+    );
+    cat.b.requires("derived_column", "value_expression");
+    cat.b.optional(dc, "as_clause");
+    cat.grammar(
+        "as_clause",
+        "grammar as_clause;
+         derived_column : value_expression as_clause? ;
+         as_clause : AS? IDENT ;",
+        &token_file("as_clause", &["AS = kw;", IDENT]),
+    );
+    cat.b.optional(sublist, "qualified_asterisk");
+    cat.grammar(
+        "qualified_asterisk",
+        "grammar qualified_asterisk;
+         select_sublist : identifier_chain DOT ASTERISK #qualified_star ;",
+        "tokens qualified_asterisk; DOT = \".\"; ASTERISK = \"*\";",
+    );
+    cat.b.requires("qualified_asterisk", "identifier_chain");
+    // `t.*` must be tried before the committed derived-column alternative.
+    cat.registry.order_after("select_sublist", "qualified_asterisk");
+
+    // ---- diagram 3 (Figure 2): table_expression ----
+    let te = cat.b.mandatory(qs, "table_expression");
+    cat.grammar(
+        "table_expression",
+        "grammar table_expression; table_expression : from_clause ;",
+        "",
+    );
+
+    // diagram 6: from
+    let from = cat.b.mandatory(te, "from");
+    cat.grammar(
+        "from",
+        "grammar from; from_clause : FROM table_reference ;",
+        "tokens from; FROM = kw;",
+    );
+
+    // diagram 7: table_reference
+    let tr = cat.b.mandatory(from, "table_reference");
+    cat.b.with_cardinality(tr, Cardinality::ONE_OR_MORE);
+    cat.grammar(
+        "table_reference",
+        "grammar table_reference;
+             table_reference : table_primary ;
+             table_primary : table_name #table ;
+             table_name : IDENT (DOT IDENT)* ;",
+        &token_file("table_reference", &["DOT = \".\";", IDENT]),
+    );
+    cat.b.optional(tr, "correlation_name");
+    cat.grammar(
+        "correlation_name",
+        "grammar correlation_name;
+             table_primary : table_name correlation? #table ;
+             correlation : AS? IDENT ;",
+        &token_file("correlation_name", &["AS = kw;", IDENT]),
+    );
+    cat.b.optional(tr, "derived_table");
+    cat.grammar(
+        "derived_table",
+        "grammar derived_table; table_primary : subquery correlation #derived_table ;",
+        "",
+    );
+    cat.b.requires("derived_table", "subquery");
+    cat.b.requires("derived_table", "correlation_name");
+
+    cat.b.optional(from, "from_list");
+    cat.grammar(
+        "from_list",
+        "grammar from_list; from_clause : FROM table_reference (COMMA table_reference)* ;",
+        "tokens from_list; COMMA = \",\";",
+    );
+
+    // diagram 8: joined_table
+    let jt = cat.b.optional(from, "joined_table");
+    cat.grammar(
+        "joined_table",
+        "grammar joined_table;
+         table_reference : table_primary joined_table* ;
+         joined_table : join_type? JOIN table_primary join_condition #qualified ;
+         join_condition : ON search_condition #on ;",
+        "tokens joined_table; JOIN = kw; ON = kw;",
+    );
+    cat.b.requires("joined_table", "predicates");
+    cat.b.mandatory(jt, "inner_join");
+    cat.grammar(
+        "inner_join",
+        "grammar inner_join; join_type : INNER #inner ;",
+        "tokens inner_join; INNER = kw;",
+    );
+    let oj = cat.b.optional(jt, "outer_join");
+    cat.grammar("outer_join", "", "");
+    cat.b.or(oj, &["left_join", "right_join", "full_join"]);
+    cat.grammar(
+        "left_join",
+        "grammar left_join; join_type : LEFT OUTER? #left ;",
+        "tokens left_join; LEFT = kw; OUTER = kw;",
+    );
+    cat.grammar(
+        "right_join",
+        "grammar right_join; join_type : RIGHT OUTER? #right ;",
+        "tokens right_join; RIGHT = kw; OUTER = kw;",
+    );
+    cat.grammar(
+        "full_join",
+        "grammar full_join; join_type : FULL OUTER? #full ;",
+        "tokens full_join; FULL = kw; OUTER = kw;",
+    );
+    cat.b.optional(jt, "cross_join");
+    cat.grammar(
+        "cross_join",
+        "grammar cross_join; joined_table : CROSS JOIN table_primary #cross ;",
+        "tokens cross_join; CROSS = kw; JOIN = kw;",
+    );
+    cat.b.optional(jt, "natural_join");
+    cat.grammar(
+        "natural_join",
+        "grammar natural_join; joined_table : NATURAL join_type? JOIN table_primary #natural ;",
+        "tokens natural_join; NATURAL = kw; JOIN = kw;",
+    );
+    cat.b.optional(jt, "join_using");
+    cat.grammar(
+        "join_using",
+        "grammar join_using;
+             join_condition : USING LPAREN column_name_list RPAREN #using ;
+             column_name_list : IDENT (COMMA IDENT)* ;",
+        &token_file("join_using", &["USING = kw;", LIST_PUNCT, IDENT]),
+    );
+
+    // diagram 9: where
+    cat.b.optional(te, "where");
+    cat.grammar(
+        "where",
+        "grammar where;
+         table_expression : from_clause where_clause? ;
+         where_clause : WHERE search_condition ;",
+        "tokens where; WHERE = kw;",
+    );
+    cat.b.requires("where", "predicates");
+
+    // diagram 10: group_by
+    let gb = cat.b.optional(te, "group_by");
+    cat.grammar(
+        "group_by",
+        "grammar group_by;
+         table_expression : from_clause group_by_clause? ;
+         group_by_clause : GROUP BY grouping_element (COMMA grouping_element)* ;
+         grouping_element : column_reference #column ;",
+        "tokens group_by; GROUP = kw; BY = kw; COMMA = \",\";",
+    );
+    cat.b.requires("group_by", "column_reference");
+    cat.b.optional(gb, "grouping_sets");
+    cat.grammar(
+        "grouping_sets",
+        "grammar grouping_sets;
+         grouping_element : GROUPING SETS LPAREN grouping_element (COMMA grouping_element)* RPAREN #sets ;",
+        &token_file("grouping_sets", &["GROUPING = kw; SETS = kw;", LIST_PUNCT]),
+    );
+    cat.b.optional(gb, "rollup");
+    cat.grammar(
+        "rollup",
+        "grammar rollup;
+         grouping_element : ROLLUP LPAREN column_reference (COMMA column_reference)* RPAREN #rollup ;",
+        &token_file("rollup", &["ROLLUP = kw;", LIST_PUNCT]),
+    );
+    cat.b.optional(gb, "cube");
+    cat.grammar(
+        "cube",
+        "grammar cube;
+         grouping_element : CUBE LPAREN column_reference (COMMA column_reference)* RPAREN #cube ;",
+        &token_file("cube", &["CUBE = kw;", LIST_PUNCT]),
+    );
+
+    // diagram 11: having
+    cat.b.optional(te, "having");
+    cat.grammar(
+        "having",
+        "grammar having;
+         table_expression : from_clause having_clause? ;
+         having_clause : HAVING search_condition ;",
+        "tokens having; HAVING = kw;",
+    );
+    cat.b.requires("having", "group_by");
+    cat.b.requires("having", "predicates");
+
+    // diagram 12: window_clause
+    let win = cat.b.optional(te, "window_clause");
+    cat.grammar(
+        "window_clause",
+        "grammar window_clause;
+             table_expression : from_clause window_clause? ;
+             window_clause : WINDOW window_definition (COMMA window_definition)* ;
+             window_definition : IDENT AS LPAREN window_spec RPAREN ;
+             window_spec : ;",
+        &token_file("window_clause", &["WINDOW = kw; AS = kw;", LIST_PUNCT, IDENT]),
+    );
+    cat.b.optional(win, "partition_by");
+    cat.grammar(
+        "partition_by",
+        "grammar partition_by;
+         window_spec : partition_clause? ;
+         partition_clause : PARTITION BY column_reference (COMMA column_reference)* ;",
+        "tokens partition_by; PARTITION = kw; BY = kw; COMMA = \",\";",
+    );
+    cat.b.requires("partition_by", "column_reference");
+    cat.b.optional(win, "window_order");
+    cat.grammar(
+        "window_order",
+        "grammar window_order;
+         window_spec : window_order_clause? ;
+         window_order_clause : ORDER BY sort_specification (COMMA sort_specification)* ;",
+        "tokens window_order; ORDER = kw; BY = kw; COMMA = \",\";",
+    );
+    cat.b.requires("window_order", "order_by");
+    cat.b.optional(win, "window_frame");
+    // window_order is delayed by its requires(order_by) edge; keep the
+    // frame clause after the ORDER BY clause inside window_spec.
+    cat.registry.order_after("window_frame", "window_order");
+    cat.grammar(
+        "window_frame",
+        "grammar window_frame;
+             window_spec : frame_clause? ;
+             frame_clause : (ROWS | RANGE) frame_extent ;
+             frame_extent : BETWEEN frame_bound AND frame_bound #bounded | frame_bound #single ;
+             frame_bound : UNBOUNDED (PRECEDING | FOLLOWING) #unbounded
+                         | CURRENT ROW #current_row
+                         | NUMBER (PRECEDING | FOLLOWING) #offset ;",
+        &token_file(
+            "window_frame",
+            &[
+                "ROWS = kw; RANGE = kw; BETWEEN = kw; AND = kw; UNBOUNDED = kw;\
+                 PRECEDING = kw; FOLLOWING = kw; CURRENT = kw; ROW = kw;",
+                NUMBER,
+            ],
+        ),
+    );
+
+    // ---- diagram 15: subquery (declared before the postfix clauses so the
+    // alternatives land early; harmless either way) ----
+    cat.b.optional(qe, "subquery");
+    cat.grammar(
+        "subquery",
+        "grammar subquery;
+         query_primary : subquery #nested ;
+         subquery : LPAREN query_expression RPAREN ;",
+        "tokens subquery; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+
+    // ---- set operations (part of diagram 14) ----
+    let so = cat.b.optional(qe, "set_operations");
+    cat.grammar(
+        "set_operations",
+        "grammar set_operations;
+         query_expression : query_term (set_operator query_term)* ;",
+        "",
+    );
+    cat.b.or(so, &["union_op", "except_op", "intersect_op"]);
+    cat.grammar(
+        "union_op",
+        "grammar union_op; set_operator : UNION (ALL | DISTINCT)? #union ;",
+        "tokens union_op; UNION = kw; ALL = kw; DISTINCT = kw;",
+    );
+    cat.grammar(
+        "except_op",
+        "grammar except_op; set_operator : EXCEPT (ALL | DISTINCT)? #except ;",
+        "tokens except_op; EXCEPT = kw; ALL = kw; DISTINCT = kw;",
+    );
+    cat.grammar(
+        "intersect_op",
+        "grammar intersect_op; set_operator : INTERSECT (ALL | DISTINCT)? #intersect ;",
+        "tokens intersect_op; INTERSECT = kw; ALL = kw; DISTINCT = kw;",
+    );
+
+    // ---- diagram 13: order_by (after set operations in clause order) ----
+    let ob = cat.b.optional(qe, "order_by");
+    cat.grammar(
+        "order_by",
+        "grammar order_by;
+         query_expression : query_term order_by_clause? ;
+         order_by_clause : ORDER BY sort_specification (COMMA sort_specification)* ;
+         sort_specification : value_expression ;",
+        "tokens order_by; ORDER = kw; BY = kw; COMMA = \",\";",
+    );
+    cat.b.requires("order_by", "value_expression");
+    cat.b.optional(ob, "asc_desc");
+    cat.grammar(
+        "asc_desc",
+        "grammar asc_desc; sort_specification : value_expression (ASC | DESC)? ;",
+        "tokens asc_desc; ASC = kw; DESC = kw;",
+    );
+    cat.b.optional(ob, "nulls_ordering");
+    cat.grammar(
+        "nulls_ordering",
+        "grammar nulls_ordering;
+         sort_specification : value_expression (NULLS (FIRST | LAST))? ;",
+        "tokens nulls_ordering; NULLS = kw; FIRST = kw; LAST = kw;",
+    );
+
+    // row-limit clause (OFFSET … FETCH FIRST …; SQL:2008 extension, kept as
+    // an extension feature per the paper's "other packages" note)
+    cat.b.optional(qe, "row_limit");
+    cat.grammar(
+        "row_limit",
+        "grammar row_limit;
+             query_expression : query_term (OFFSET NUMBER (ROW | ROWS)?)? (FETCH (FIRST | NEXT) NUMBER (ROW | ROWS) ONLY)? ;",
+        &token_file(
+            "row_limit",
+            &[
+                "OFFSET = kw; FETCH = kw; FIRST = kw; NEXT = kw; ROW = kw; ROWS = kw; ONLY = kw;",
+                NUMBER,
+            ],
+        ),
+    );
+
+    // ---- WITH clause (part of diagram 14) ----
+    let wc = cat.b.optional(qe, "with_clause");
+    cat.grammar(
+        "with_clause",
+        "grammar with_clause;
+             query_expression : with_clause? query_term ;
+             with_clause : WITH with_element (COMMA with_element)* ;
+             with_element : IDENT (LPAREN column_name_list RPAREN)? AS LPAREN query_expression RPAREN ;
+             column_name_list : IDENT (COMMA IDENT)* ;",
+        &token_file("with_clause", &["WITH = kw; AS = kw;", LIST_PUNCT, IDENT]),
+    );
+    cat.b.optional(wc, "recursive_with");
+    cat.grammar(
+        "recursive_with",
+        "grammar recursive_with;
+         with_clause : WITH RECURSIVE? with_element (COMMA with_element)* ;",
+        "tokens recursive_with; WITH = kw; RECURSIVE = kw;",
+    );
+}

@@ -1,0 +1,434 @@
+//! Value-expression feature diagrams (16–25): literals, column references,
+//! arithmetic, CASE/CAST, string/numeric/datetime functions, aggregates,
+//! and scalar subqueries.
+//!
+//! Grammar layering (all LL-friendly, no left recursion):
+//!
+//! ```text
+//! value_expression : term ((PLUS | MINUS) term)*            -- arithmetic
+//! term             : factor ((ASTERISK | SOLIDUS) factor)*  -- arithmetic
+//! factor           : (PLUS|MINUS)? value_primary (CONCAT value_primary)*
+//! value_primary    : column | literal | (…) | CASE | CAST | functions | …
+//! ```
+//!
+//! Base features contribute the plain layer (`value_expression : term`);
+//! operator features merge their repetition/optional slots via rule R4.
+
+use crate::tokens::{token_file, IDENT, NUMBER, STRING};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+/// The datetime-field production shared by EXTRACT and interval
+/// qualifiers; identical text composes idempotently.
+pub(crate) const INTERVAL_FIELD_RULE: &str =
+    "interval_field : YEAR #year | MONTH #month | DAY #day | HOUR #hour | MINUTE #minute | SECOND #second ;";
+
+/// Shared interval-qualifier productions (also used by `interval_type`);
+/// identical text composes idempotently.
+pub(crate) const INTERVAL_QUALIFIER_RULES: &str = "interval_qualifier : interval_field (TO interval_field)? ;
+ interval_field : YEAR #year | MONTH #month | DAY #day | HOUR #hour | MINUTE #minute | SECOND #second ;";
+
+/// Token fragment for the datetime-field keywords.
+pub(crate) const INTERVAL_FIELD_TOKENS: &str =
+    "YEAR = kw; MONTH = kw; DAY = kw; HOUR = kw; MINUTE = kw; SECOND = kw;";
+
+/// Token fragment for the interval-qualifier keywords.
+pub(crate) const INTERVAL_QUALIFIER_TOKENS: &str =
+    "TO = kw; YEAR = kw; MONTH = kw; DAY = kw; HOUR = kw; MINUTE = kw; SECOND = kw;";
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let exprs = cat.b.optional(parent, "expressions");
+
+    // ---- diagram 16: value_expression ----
+    let ve = cat.b.mandatory(exprs, "value_expression");
+    cat.grammar(
+        "value_expression",
+        "grammar value_expression;
+         value_expression : term ;
+         term : factor ;
+         factor : value_primary ;",
+        "",
+    );
+
+    // ---- diagram 17: literal ----
+    let lit = cat.b.mandatory(ve, "literal");
+    cat.grammar(
+        "literal",
+        "grammar literal; value_primary : literal #literal ;",
+        "",
+    );
+    cat.b.mandatory(lit, "numeric_literal");
+    cat.grammar(
+        "numeric_literal",
+        "grammar numeric_literal; literal : NUMBER #number ;",
+        &token_file("numeric_literal", &[NUMBER]),
+    );
+    cat.b.optional(lit, "string_literal");
+    cat.grammar(
+        "string_literal",
+        "grammar string_literal; literal : STRING #string ;",
+        &token_file("string_literal", &[STRING]),
+    );
+    cat.b.optional(lit, "boolean_literal");
+    cat.grammar(
+        "boolean_literal",
+        "grammar boolean_literal; literal : TRUE #true | FALSE #false ;",
+        "tokens boolean_literal; TRUE = kw; FALSE = kw;",
+    );
+    cat.b.optional(lit, "null_literal");
+    cat.grammar(
+        "null_literal",
+        "grammar null_literal; literal : NULL #null ;",
+        "tokens null_literal; NULL = kw;",
+    );
+    cat.b.optional(lit, "datetime_literal");
+    cat.grammar(
+        "datetime_literal",
+        "grammar datetime_literal;
+         literal : DATE STRING #date | TIME STRING #time | TIMESTAMP STRING #timestamp ;",
+        &token_file(
+            "datetime_literal",
+            &["DATE = kw; TIME = kw; TIMESTAMP = kw;", STRING],
+        ),
+    );
+    cat.b.optional(lit, "interval_literal");
+    cat.grammar(
+        "interval_literal",
+        &format!(
+            "grammar interval_literal;
+             literal : INTERVAL (PLUS | MINUS)? STRING interval_qualifier #interval ;
+             {INTERVAL_QUALIFIER_RULES}"
+        ),
+        &token_file(
+            "interval_literal",
+            &[
+                "INTERVAL = kw; PLUS = \"+\"; MINUS = \"-\";",
+                INTERVAL_QUALIFIER_TOKENS,
+                STRING,
+            ],
+        ),
+    );
+
+    // ---- diagram 18: column_reference ----
+    let cr = cat.b.mandatory(ve, "column_reference");
+    cat.grammar(
+        "column_reference",
+        "grammar column_reference;
+         value_primary : column_reference #column ;
+         column_reference : identifier_chain ;",
+        "",
+    );
+    cat.b.mandatory(cr, "identifier_chain");
+    cat.grammar(
+        "identifier_chain",
+        "grammar identifier_chain; identifier_chain : IDENT (DOT IDENT)* ;",
+        &token_file("identifier_chain", &["DOT = \".\";", IDENT]),
+    );
+
+    // ---- diagram 19: arithmetic ----
+    let arith = cat.b.optional(ve, "arithmetic");
+    cat.grammar("arithmetic", "", "");
+    cat.b.mandatory(arith, "additive_ops");
+    cat.grammar(
+        "additive_ops",
+        "grammar additive_ops; value_expression : term ((PLUS | MINUS) term)* ;",
+        "tokens additive_ops; PLUS = \"+\"; MINUS = \"-\";",
+    );
+    cat.b.optional(arith, "multiplicative_ops");
+    cat.grammar(
+        "multiplicative_ops",
+        "grammar multiplicative_ops; term : factor ((ASTERISK | SOLIDUS) factor)* ;",
+        "tokens multiplicative_ops; ASTERISK = \"*\"; SOLIDUS = \"/\";",
+    );
+    cat.b.optional(arith, "unary_sign");
+    cat.grammar(
+        "unary_sign",
+        "grammar unary_sign; factor : (PLUS | MINUS)? value_primary ;",
+        "tokens unary_sign; PLUS = \"+\"; MINUS = \"-\";",
+    );
+
+    cat.b.optional(ve, "parenthesized_expression");
+    cat.grammar(
+        "parenthesized_expression",
+        "grammar parenthesized_expression;
+         value_primary : LPAREN value_expression RPAREN #paren ;",
+        "tokens parenthesized_expression; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+
+    cat.b.optional(ve, "concat_operator");
+    cat.grammar(
+        "concat_operator",
+        "grammar concat_operator; factor : value_primary (CONCAT value_primary)* ;",
+        "tokens concat_operator; CONCAT = \"||\";",
+    );
+
+    // ---- diagram 20: case_expression ----
+    let case = cat.b.optional(ve, "case_expression");
+    cat.grammar(
+        "case_expression",
+        "grammar case_expression; value_primary : case_expression #case ;",
+        "",
+    );
+    cat.b.mandatory(case, "searched_case");
+    cat.grammar(
+        "searched_case",
+        "grammar searched_case;
+         case_expression : CASE searched_when+ (ELSE value_expression)? END #searched ;
+         searched_when : WHEN search_condition THEN value_expression ;",
+        "tokens searched_case; CASE = kw; WHEN = kw; THEN = kw; ELSE = kw; END = kw;",
+    );
+    cat.b.requires("searched_case", "predicates");
+    cat.b.optional(case, "simple_case");
+    cat.grammar(
+        "simple_case",
+        "grammar simple_case;
+         case_expression : CASE value_expression simple_when+ (ELSE value_expression)? END #simple ;
+         simple_when : WHEN value_expression THEN value_expression ;",
+        "tokens simple_case; CASE = kw; WHEN = kw; THEN = kw; ELSE = kw; END = kw;",
+    );
+    cat.b.optional(case, "nullif_function");
+    cat.grammar(
+        "nullif_function",
+        "grammar nullif_function;
+         value_primary : NULLIF LPAREN value_expression COMMA value_expression RPAREN #nullif ;",
+        "tokens nullif_function; NULLIF = kw; LPAREN = \"(\"; RPAREN = \")\"; COMMA = \",\";",
+    );
+    cat.b.optional(case, "coalesce_function");
+    cat.grammar(
+        "coalesce_function",
+        "grammar coalesce_function;
+         value_primary : COALESCE LPAREN value_expression (COMMA value_expression)* RPAREN #coalesce ;",
+        "tokens coalesce_function; COALESCE = kw; LPAREN = \"(\"; RPAREN = \")\"; COMMA = \",\";",
+    );
+
+    // ---- diagram 21: cast_expression ----
+    cat.b.optional(ve, "cast_expression");
+    cat.grammar(
+        "cast_expression",
+        "grammar cast_expression;
+         value_primary : cast_expression #cast ;
+         cast_expression : CAST LPAREN value_expression AS data_type RPAREN ;",
+        "tokens cast_expression; CAST = kw; AS = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.b.requires("cast_expression", "data_type");
+
+    // ---- diagram 22: string_functions ----
+    let sf = cat.b.optional(ve, "string_functions");
+    cat.grammar(
+        "string_functions",
+        "grammar string_functions; value_primary : string_function #string_fn ;",
+        "",
+    );
+    cat.b.or(
+        sf,
+        &["substring_fn", "fold_fn", "trim_fn", "char_length_fn", "position_fn"],
+    );
+    cat.grammar(
+        "substring_fn",
+        "grammar substring_fn;
+         string_function : SUBSTRING LPAREN value_expression FROM value_expression (FOR value_expression)? RPAREN #substring ;",
+        "tokens substring_fn; SUBSTRING = kw; FROM = kw; FOR = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "fold_fn",
+        "grammar fold_fn;
+         string_function : UPPER LPAREN value_expression RPAREN #upper
+                         | LOWER LPAREN value_expression RPAREN #lower ;",
+        "tokens fold_fn; UPPER = kw; LOWER = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "trim_fn",
+        "grammar trim_fn;
+         string_function : TRIM LPAREN ((LEADING | TRAILING | BOTH) FROM)? value_expression RPAREN #trim ;",
+        "tokens trim_fn; TRIM = kw; LEADING = kw; TRAILING = kw; BOTH = kw; FROM = kw;\
+         LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "char_length_fn",
+        "grammar char_length_fn;
+         string_function : (CHAR_LENGTH | CHARACTER_LENGTH) LPAREN value_expression RPAREN #char_length ;",
+        "tokens char_length_fn; CHAR_LENGTH = kw; CHARACTER_LENGTH = kw;\
+         LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "position_fn",
+        "grammar position_fn;
+         string_function : POSITION LPAREN value_expression IN value_expression RPAREN #position ;",
+        "tokens position_fn; POSITION = kw; IN = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+
+    // ---- diagram 23: numeric_functions ----
+    let nf = cat.b.optional(ve, "numeric_functions");
+    cat.grammar(
+        "numeric_functions",
+        "grammar numeric_functions; value_primary : numeric_function #numeric_fn ;",
+        "",
+    );
+    cat.b.or(
+        nf,
+        &["abs_fn", "mod_fn", "floor_ceil_fn", "power_fn", "sqrt_fn", "ln_fn", "exp_fn"],
+    );
+    cat.grammar(
+        "abs_fn",
+        "grammar abs_fn; numeric_function : ABS LPAREN value_expression RPAREN #abs ;",
+        "tokens abs_fn; ABS = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "mod_fn",
+        "grammar mod_fn;
+         numeric_function : MOD LPAREN value_expression COMMA value_expression RPAREN #mod ;",
+        "tokens mod_fn; MOD = kw; LPAREN = \"(\"; RPAREN = \")\"; COMMA = \",\";",
+    );
+    cat.grammar(
+        "floor_ceil_fn",
+        "grammar floor_ceil_fn;
+         numeric_function : FLOOR LPAREN value_expression RPAREN #floor
+                          | (CEIL | CEILING) LPAREN value_expression RPAREN #ceiling ;",
+        "tokens floor_ceil_fn; FLOOR = kw; CEIL = kw; CEILING = kw;\
+         LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "power_fn",
+        "grammar power_fn;
+         numeric_function : POWER LPAREN value_expression COMMA value_expression RPAREN #power ;",
+        "tokens power_fn; POWER = kw; LPAREN = \"(\"; RPAREN = \")\"; COMMA = \",\";",
+    );
+    cat.grammar(
+        "sqrt_fn",
+        "grammar sqrt_fn; numeric_function : SQRT LPAREN value_expression RPAREN #sqrt ;",
+        "tokens sqrt_fn; SQRT = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "ln_fn",
+        "grammar ln_fn; numeric_function : LN LPAREN value_expression RPAREN #ln ;",
+        "tokens ln_fn; LN = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "exp_fn",
+        "grammar exp_fn; numeric_function : EXP LPAREN value_expression RPAREN #exp ;",
+        "tokens exp_fn; EXP = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+
+    // ---- diagram 24: datetime_functions ----
+    let df = cat.b.optional(ve, "datetime_functions");
+    cat.grammar(
+        "datetime_functions",
+        "grammar datetime_functions; value_primary : datetime_function #datetime_fn ;",
+        "",
+    );
+    cat.b.or(df, &["current_datetime_fn", "extract_fn"]);
+    cat.grammar(
+        "current_datetime_fn",
+        "grammar current_datetime_fn;
+         datetime_function : CURRENT_DATE #current_date
+                           | CURRENT_TIME #current_time
+                           | CURRENT_TIMESTAMP #current_timestamp ;",
+        "tokens current_datetime_fn; CURRENT_DATE = kw; CURRENT_TIME = kw; CURRENT_TIMESTAMP = kw;",
+    );
+    cat.grammar(
+        "extract_fn",
+        &format!(
+            "grammar extract_fn;
+             datetime_function : EXTRACT LPAREN interval_field FROM value_expression RPAREN #extract ;
+             {INTERVAL_FIELD_RULE}"
+        ),
+        &token_file(
+            "extract_fn",
+            &[
+                "EXTRACT = kw; FROM = kw; LPAREN = \"(\"; RPAREN = \")\";",
+                INTERVAL_FIELD_TOKENS,
+            ],
+        ),
+    );
+
+    // ---- diagram 25: aggregate_functions ----
+    let agg = cat.b.optional(ve, "aggregate_functions");
+    cat.grammar(
+        "aggregate_functions",
+        "grammar aggregate_functions;
+         value_primary : aggregate_function #aggregate ;
+         agg_quantifier : (DISTINCT | ALL)? ;",
+        "tokens aggregate_functions; DISTINCT = kw; ALL = kw;",
+    );
+    cat.b.or(
+        agg,
+        &[
+            "count_star",
+            "count_agg",
+            "sum_agg",
+            "avg_agg",
+            "min_agg",
+            "max_agg",
+            "stddev_pop_agg",
+            "stddev_samp_agg",
+            "var_pop_agg",
+            "var_samp_agg",
+        ],
+    );
+    cat.grammar(
+        "count_star",
+        "grammar count_star; aggregate_function : COUNT LPAREN ASTERISK RPAREN #count_star ;",
+        "tokens count_star; COUNT = kw; ASTERISK = \"*\"; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.grammar(
+        "count_agg",
+        "grammar count_agg;
+         aggregate_function : COUNT LPAREN agg_quantifier value_expression RPAREN #count ;",
+        "tokens count_agg; COUNT = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    for (feat, kw, label) in [
+        ("sum_agg", "SUM", "sum"),
+        ("avg_agg", "AVG", "avg"),
+        ("min_agg", "MIN", "min"),
+        ("max_agg", "MAX", "max"),
+        ("stddev_pop_agg", "STDDEV_POP", "stddev_pop"),
+        ("stddev_samp_agg", "STDDEV_SAMP", "stddev_samp"),
+        ("var_pop_agg", "VAR_POP", "var_pop"),
+        ("var_samp_agg", "VAR_SAMP", "var_samp"),
+    ] {
+        cat.grammar(
+            feat,
+            &format!(
+                "grammar {feat};
+                 aggregate_function : {kw} LPAREN agg_quantifier value_expression RPAREN #{label} ;"
+            ),
+            &format!("tokens {feat}; {kw} = kw; LPAREN = \"(\"; RPAREN = \")\";"),
+        );
+    }
+
+    // ---- SQL:2003 ranking window functions (requires named windows) ----
+    let wf = cat.b.optional(ve, "window_functions");
+    cat.grammar(
+        "window_functions",
+        "grammar window_functions;
+         value_primary : ranking_function #window_fn ;
+         ranking_function : ranking_kind LPAREN RPAREN OVER LPAREN window_spec RPAREN ;",
+        "tokens window_functions; OVER = kw; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+    cat.b.requires("window_functions", "window_clause");
+    cat.b.or(wf, &["rank_fn", "dense_rank_fn", "row_number_fn"]);
+    cat.grammar(
+        "rank_fn",
+        "grammar rank_fn; ranking_kind : RANK #rank ;",
+        "tokens rank_fn; RANK = kw;",
+    );
+    cat.grammar(
+        "dense_rank_fn",
+        "grammar dense_rank_fn; ranking_kind : DENSE_RANK #dense_rank ;",
+        "tokens dense_rank_fn; DENSE_RANK = kw;",
+    );
+    cat.grammar(
+        "row_number_fn",
+        "grammar row_number_fn; ranking_kind : ROW_NUMBER #row_number ;",
+        "tokens row_number_fn; ROW_NUMBER = kw;",
+    );
+
+    // ---- scalar subqueries (bridges to the DQL subtree) ----
+    cat.b.optional(ve, "scalar_subquery");
+    cat.grammar(
+        "scalar_subquery",
+        "grammar scalar_subquery; value_primary : subquery #scalar_subquery ;",
+        "",
+    );
+    cat.b.requires("scalar_subquery", "subquery");
+}

@@ -1,0 +1,151 @@
+//! Predicate and boolean-logic feature diagrams (26–27).
+//!
+//! The `predicates` base contributes the spine
+//! `search_condition → boolean_term → boolean_factor → predicate`, with the
+//! boolean combinators (`OR`, `AND`, `NOT`, parentheses) as features of the
+//! `boolean_logic` diagram merging their operators into the spine (rule
+//! R4), and each predicate form appending an alternative to
+//! `predicate_tail` (rule R3).
+
+use crate::tokens::{token_file, LIST_PUNCT};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let preds = cat.b.optional(parent, "predicates");
+    cat.grammar(
+        "predicates",
+        "grammar predicates;
+         search_condition : boolean_term ;
+         boolean_term : boolean_factor ;
+         boolean_factor : predicate ;
+         predicate : row_value predicate_tail #standard ;
+         row_value : value_expression ;",
+        "",
+    );
+    cat.b.requires("predicates", "value_expression");
+
+    // ---- diagram 27: boolean_logic ----
+    let bl = cat.b.optional(preds, "boolean_logic");
+    cat.grammar("boolean_logic", "", "");
+    cat.b.optional(bl, "or_operator");
+    cat.grammar(
+        "or_operator",
+        "grammar or_operator; search_condition : boolean_term (OR boolean_term)* ;",
+        "tokens or_operator; OR = kw;",
+    );
+    cat.b.optional(bl, "and_operator");
+    cat.grammar(
+        "and_operator",
+        "grammar and_operator; boolean_term : boolean_factor (AND boolean_factor)* ;",
+        "tokens and_operator; AND = kw;",
+    );
+    cat.b.optional(bl, "not_operator");
+    cat.grammar(
+        "not_operator",
+        "grammar not_operator; boolean_factor : NOT? predicate ;",
+        "tokens not_operator; NOT = kw;",
+    );
+    cat.b.optional(bl, "boolean_parentheses");
+    cat.grammar(
+        "boolean_parentheses",
+        "grammar boolean_parentheses;
+         predicate : LPAREN search_condition RPAREN #paren_condition ;",
+        "tokens boolean_parentheses; LPAREN = \"(\"; RPAREN = \")\";",
+    );
+
+    // ---- diagram 26: predicate forms ----
+    cat.b.mandatory(preds, "comparison_predicate");
+    cat.grammar(
+        "comparison_predicate",
+        "grammar comparison_predicate;
+         predicate_tail : comp_op row_value #comparison ;
+         comp_op : EQ #eq | NEQ #neq | LE #le | GE #ge | LT #lt | GT #gt ;",
+        "tokens comparison_predicate;\
+         EQ = \"=\"; NEQ = \"<>\"; LE = \"<=\"; GE = \">=\"; LT = \"<\"; GT = \">\";",
+    );
+
+    cat.b.optional(preds, "between_predicate");
+    cat.grammar(
+        "between_predicate",
+        "grammar between_predicate;
+         predicate_tail : NOT? BETWEEN row_value AND row_value #between ;",
+        "tokens between_predicate; NOT = kw; BETWEEN = kw; AND = kw;",
+    );
+
+    let inp = cat.b.optional(preds, "in_predicate");
+    cat.grammar(
+        "in_predicate",
+        "grammar in_predicate;
+         predicate_tail : NOT? IN LPAREN in_value_list RPAREN #in ;
+         in_value_list : value_expression (COMMA value_expression)* ;",
+        &token_file("in_predicate", &["NOT = kw; IN = kw;", LIST_PUNCT]),
+    );
+    cat.b.optional(inp, "in_subquery");
+    cat.grammar(
+        "in_subquery",
+        "grammar in_subquery; predicate_tail : NOT? IN subquery #in_subquery ;",
+        "tokens in_subquery; NOT = kw; IN = kw;",
+    );
+    cat.b.requires("in_subquery", "subquery");
+
+    cat.b.optional(preds, "like_predicate");
+    cat.grammar(
+        "like_predicate",
+        "grammar like_predicate;
+         predicate_tail : NOT? LIKE value_expression (ESCAPE value_expression)? #like ;",
+        "tokens like_predicate; NOT = kw; LIKE = kw; ESCAPE = kw;",
+    );
+
+    cat.b.optional(preds, "null_predicate");
+    cat.grammar(
+        "null_predicate",
+        "grammar null_predicate; predicate_tail : IS NOT? NULL #is_null ;",
+        "tokens null_predicate; IS = kw; NOT = kw; NULL = kw;",
+    );
+
+    cat.b.optional(preds, "exists_predicate");
+    cat.grammar(
+        "exists_predicate",
+        "grammar exists_predicate; predicate : EXISTS subquery #exists ;",
+        "tokens exists_predicate; EXISTS = kw;",
+    );
+    cat.b.requires("exists_predicate", "subquery");
+
+    cat.b.optional(preds, "quantified_comparison");
+    cat.grammar(
+        "quantified_comparison",
+        "grammar quantified_comparison;
+         predicate_tail : comp_op (ALL | ANY | SOME) subquery #quantified ;",
+        "tokens quantified_comparison; ALL = kw; ANY = kw; SOME = kw;",
+    );
+    cat.b.requires("quantified_comparison", "subquery");
+    // No ordering edge is needed against comparison_predicate even though
+    // both alternatives start with comp_op: on `= ALL (…)` the plain
+    // comparison fails at `ALL` (a keyword can't start a row value) and the
+    // engine backtracks into the quantified alternative.
+    cat.b.requires("quantified_comparison", "comparison_predicate");
+
+    cat.b.optional(preds, "distinct_predicate");
+    cat.grammar(
+        "distinct_predicate",
+        "grammar distinct_predicate;
+         predicate_tail : IS NOT? DISTINCT FROM row_value #is_distinct ;",
+        "tokens distinct_predicate; IS = kw; NOT = kw; DISTINCT = kw; FROM = kw;",
+    );
+
+    cat.b.optional(preds, "truth_value_test");
+    cat.grammar(
+        "truth_value_test",
+        "grammar truth_value_test;
+         predicate_tail : IS NOT? (TRUE | FALSE | UNKNOWN) #truth_test ;",
+        "tokens truth_value_test; IS = kw; NOT = kw; TRUE = kw; FALSE = kw; UNKNOWN = kw;",
+    );
+
+    cat.b.optional(preds, "overlaps_predicate");
+    cat.grammar(
+        "overlaps_predicate",
+        "grammar overlaps_predicate; predicate : row_value OVERLAPS row_value #overlaps ;",
+        "tokens overlaps_predicate; OVERLAPS = kw;",
+    );
+}

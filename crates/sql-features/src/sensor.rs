@@ -1,0 +1,38 @@
+//! Sensor-network query extensions (diagram 45) — the TinySQL-style
+//! constructs the paper cites as motivation for scaled-down SQL dialects
+//! ("sensor networks specific query constructs such as epoch duration and
+//! sample period clause").
+
+use crate::tokens::{token_file, NUMBER};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let sensor = cat.b.optional(parent, "sensor_query");
+    cat.grammar("sensor_query", "", "");
+    cat.b.requires("sensor_query", "query_specification");
+
+    cat.b.optional(sensor, "epoch_duration");
+    cat.grammar(
+        "epoch_duration",
+        "grammar epoch_duration;
+         query_specification : SELECT select_list table_expression (EPOCH DURATION NUMBER)? ;",
+        &token_file("epoch_duration", &["EPOCH = kw; DURATION = kw;", NUMBER]),
+    );
+
+    cat.b.optional(sensor, "sample_period");
+    cat.grammar(
+        "sample_period",
+        "grammar sample_period;
+         query_specification : SELECT select_list table_expression (SAMPLE PERIOD NUMBER)? ;",
+        &token_file("sample_period", &["SAMPLE = kw; PERIOD = kw;", NUMBER]),
+    );
+
+    cat.b.optional(sensor, "lifetime_clause");
+    cat.grammar(
+        "lifetime_clause",
+        "grammar lifetime_clause;
+         query_specification : SELECT select_list table_expression (LIFETIME NUMBER)? ;",
+        &token_file("lifetime_clause", &["LIFETIME = kw;", NUMBER]),
+    );
+}

@@ -1,0 +1,48 @@
+//! Session-management feature diagram (43): the SET statements.
+
+use crate::tokens::{token_file, IDENT, STRING};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let sess = cat.b.optional(parent, "session_statement");
+    cat.grammar(
+        "session_statement",
+        "grammar session_statement; sql_statement : session_statement #session ;",
+        "",
+    );
+    cat.b.or(
+        sess,
+        &["set_schema", "set_role", "set_session_authorization", "set_time_zone"],
+    );
+    cat.grammar(
+        "set_schema",
+        "grammar set_schema;
+             session_statement : SET SCHEMA (IDENT | STRING) #set_schema ;",
+        &token_file("set_schema", &["SET = kw; SCHEMA = kw;", IDENT, STRING]),
+    );
+    cat.grammar(
+        "set_role",
+        "grammar set_role;
+             session_statement : SET ROLE (NONE | IDENT | STRING) #set_role ;",
+        &token_file("set_role", &["SET = kw; ROLE = kw; NONE = kw;", IDENT, STRING]),
+    );
+    cat.grammar(
+        "set_session_authorization",
+        "grammar set_session_authorization;
+             session_statement : SET SESSION AUTHORIZATION (IDENT | STRING) #set_session_authorization ;",
+        &token_file(
+            "set_session_authorization",
+            &["SET = kw; SESSION = kw; AUTHORIZATION = kw;", IDENT, STRING],
+        ),
+    );
+    cat.grammar(
+        "set_time_zone",
+        "grammar set_time_zone;
+             session_statement : SET TIME ZONE (LOCAL | STRING) #set_time_zone ;",
+        &token_file(
+            "set_time_zone",
+            &["SET = kw; TIME = kw; ZONE = kw; LOCAL = kw;", STRING],
+        ),
+    );
+}

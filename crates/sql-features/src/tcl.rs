@@ -1,0 +1,68 @@
+//! Transaction-control feature diagram (42).
+
+use crate::tokens::{token_file, IDENT};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let tx = cat.b.optional(parent, "transaction_statement");
+    cat.grammar(
+        "transaction_statement",
+        "grammar transaction_statement;
+         sql_statement : transaction_statement #transaction ;",
+        "",
+    );
+
+    cat.b.mandatory(tx, "start_transaction");
+    cat.grammar(
+        "start_transaction",
+        "grammar start_transaction;
+         transaction_statement : START TRANSACTION transaction_modes? #start ;
+         transaction_modes : transaction_mode (COMMA transaction_mode)* ;
+         transaction_mode : READ ONLY #read_only | READ WRITE #read_write ;",
+        "tokens start_transaction; START = kw; TRANSACTION = kw; READ = kw;\
+         ONLY = kw; WRITE = kw; COMMA = \",\";",
+    );
+
+    cat.b.mandatory(tx, "commit_rollback");
+    cat.grammar(
+        "commit_rollback",
+        "grammar commit_rollback;
+         transaction_statement : COMMIT WORK? #commit | ROLLBACK WORK? #rollback ;",
+        "tokens commit_rollback; COMMIT = kw; ROLLBACK = kw; WORK = kw;",
+    );
+
+    cat.b.optional(tx, "isolation_levels");
+    cat.grammar(
+        "isolation_levels",
+        "grammar isolation_levels;
+         transaction_mode : ISOLATION LEVEL isolation_level #isolation ;
+         isolation_level : READ UNCOMMITTED #read_uncommitted
+                         | READ COMMITTED #read_committed
+                         | REPEATABLE READ #repeatable_read
+                         | SERIALIZABLE #serializable ;",
+        "tokens isolation_levels; ISOLATION = kw; LEVEL = kw; READ = kw;\
+         UNCOMMITTED = kw; COMMITTED = kw; REPEATABLE = kw; SERIALIZABLE = kw;",
+    );
+
+    cat.b.optional(tx, "savepoints");
+    cat.grammar(
+        "savepoints",
+        "grammar savepoints;
+             transaction_statement : SAVEPOINT IDENT #savepoint
+                                   | RELEASE SAVEPOINT IDENT #release
+                                   | ROLLBACK WORK? TO SAVEPOINT? IDENT #rollback_to ;",
+        &token_file(
+            "savepoints",
+            &["SAVEPOINT = kw; RELEASE = kw; ROLLBACK = kw; WORK = kw; TO = kw;", IDENT],
+        ),
+    );
+
+    cat.b.optional(tx, "set_transaction");
+    cat.grammar(
+        "set_transaction",
+        "grammar set_transaction;
+         transaction_statement : SET LOCAL? TRANSACTION transaction_modes #set_transaction ;",
+        "tokens set_transaction; SET = kw; LOCAL = kw; TRANSACTION = kw;",
+    );
+}

@@ -1,0 +1,52 @@
+//! Shared token-file fragments.
+//!
+//! Many features reference the same lexical classes (identifiers, numbers,
+//! strings). Composition merges identical rules, so each feature's token
+//! file simply includes the fragments it needs; these constants keep the
+//! definitions textually identical across features (a textual drift would
+//! surface as a provenance-labelled token conflict at composition time).
+
+/// `IDENT` — regular identifiers.
+pub const IDENT: &str = "IDENT = /[A-Za-z_][A-Za-z0-9_]*/;";
+
+/// `NUMBER` — exact and approximate numeric literals.
+pub const NUMBER: &str = "NUMBER = /[0-9]+(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?/;";
+
+/// `STRING` — single-quoted character literals with `''` escapes.
+pub const STRING: &str = "STRING = /'([^']|'')*'/;";
+
+/// Common punctuation used by list-shaped productions.
+pub const LIST_PUNCT: &str = "COMMA = \",\"; LPAREN = \"(\"; RPAREN = \")\";";
+
+/// Whitespace skip rule (also provided by the root `sql_2003` feature).
+pub const WS: &str = "WS = skip /[ \\t\\r\\n]+/;";
+
+/// Build a token-file source: header plus fragments.
+pub fn token_file(feature: &str, fragments: &[&str]) -> String {
+    let mut out = format!("tokens {feature};\n");
+    for f in fragments {
+        out.push_str(f);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::parse_tokens;
+
+    #[test]
+    fn fragments_parse() {
+        let src = token_file("t", &[IDENT, NUMBER, STRING, LIST_PUNCT, WS]);
+        let ts = parse_tokens(&src).unwrap();
+        assert_eq!(ts.len(), 7);
+        let s = ts.build().unwrap();
+        let toks = s.scan("abc 1.5e3 'it''s' (a, b)").unwrap();
+        let names: Vec<&str> = toks.iter().map(|t| s.name(t.kind)).collect();
+        assert_eq!(
+            names,
+            ["IDENT", "NUMBER", "STRING", "LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN"]
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! The data-type feature diagram (28), shared by DDL and CAST.
+//!
+//! Every concrete type family appends alternatives to `scalar_type` (rule
+//! R3); the `array_type` suffix merges an optional onto the `data_type`
+//! backbone (rule R4).
+
+use crate::expressions::{INTERVAL_QUALIFIER_RULES, INTERVAL_QUALIFIER_TOKENS};
+use crate::tokens::{token_file, NUMBER};
+use crate::CatalogBuilder;
+use sqlweave_feature_model::FeatureId;
+
+pub(crate) fn define(cat: &mut CatalogBuilder, parent: FeatureId) {
+    let dt = cat.b.optional(parent, "data_type");
+    cat.grammar(
+        "data_type",
+        "grammar data_type; data_type : scalar_type ;",
+        "",
+    );
+
+    // At least one type family must be present for `scalar_type` to exist.
+    cat.b.or(
+        dt,
+        &[
+            "character_types",
+            "exact_numeric_types",
+            "approximate_numeric_types",
+            "boolean_type",
+            "datetime_types",
+            "interval_type",
+            "binary_types",
+        ],
+    );
+
+    cat.grammar(
+        "character_types",
+        "grammar character_types;
+         scalar_type : (CHARACTER | CHAR) VARYING? (LPAREN NUMBER RPAREN)? #character
+                     | VARCHAR (LPAREN NUMBER RPAREN)? #varchar
+                     | CLOB #clob ;",
+        &token_file(
+            "character_types",
+            &[
+                "CHARACTER = kw; CHAR = kw; VARYING = kw; VARCHAR = kw; CLOB = kw;",
+                "LPAREN = \"(\"; RPAREN = \")\";",
+                NUMBER,
+            ],
+        ),
+    );
+
+    cat.grammar(
+        "exact_numeric_types",
+        "grammar exact_numeric_types;
+         scalar_type : (NUMERIC | DECIMAL | DEC) (LPAREN NUMBER (COMMA NUMBER)? RPAREN)? #decimal
+                     | SMALLINT #smallint
+                     | (INTEGER | INT) #integer
+                     | BIGINT #bigint ;",
+        &token_file(
+            "exact_numeric_types",
+            &[
+                "NUMERIC = kw; DECIMAL = kw; DEC = kw; SMALLINT = kw;\
+                 INTEGER = kw; INT = kw; BIGINT = kw;",
+                "LPAREN = \"(\"; RPAREN = \")\"; COMMA = \",\";",
+                NUMBER,
+            ],
+        ),
+    );
+
+    cat.grammar(
+        "approximate_numeric_types",
+        "grammar approximate_numeric_types;
+         scalar_type : FLOAT (LPAREN NUMBER RPAREN)? #float
+                     | REAL #real
+                     | DOUBLE PRECISION #double ;",
+        &token_file(
+            "approximate_numeric_types",
+            &[
+                "FLOAT = kw; REAL = kw; DOUBLE = kw; PRECISION = kw;",
+                "LPAREN = \"(\"; RPAREN = \")\";",
+                NUMBER,
+            ],
+        ),
+    );
+
+    cat.grammar(
+        "boolean_type",
+        "grammar boolean_type; scalar_type : BOOLEAN #boolean ;",
+        "tokens boolean_type; BOOLEAN = kw;",
+    );
+
+    cat.grammar(
+        "datetime_types",
+        "grammar datetime_types;
+         scalar_type : DATE #date
+                     | TIME (LPAREN NUMBER RPAREN)? ((WITH | WITHOUT) TIME ZONE)? #time
+                     | TIMESTAMP (LPAREN NUMBER RPAREN)? ((WITH | WITHOUT) TIME ZONE)? #timestamp ;",
+        &token_file(
+            "datetime_types",
+            &[
+                "DATE = kw; TIME = kw; TIMESTAMP = kw; WITH = kw; WITHOUT = kw; ZONE = kw;",
+                "LPAREN = \"(\"; RPAREN = \")\";",
+                NUMBER,
+            ],
+        ),
+    );
+
+    cat.grammar(
+        "interval_type",
+        &format!(
+            "grammar interval_type;
+             scalar_type : INTERVAL interval_qualifier #interval ;
+             {INTERVAL_QUALIFIER_RULES}"
+        ),
+        &token_file(
+            "interval_type",
+            &["INTERVAL = kw;", INTERVAL_QUALIFIER_TOKENS],
+        ),
+    );
+
+    cat.grammar(
+        "binary_types",
+        "grammar binary_types;
+         scalar_type : BLOB #blob | BINARY VARYING? (LPAREN NUMBER RPAREN)? #binary ;",
+        &token_file(
+            "binary_types",
+            &[
+                "BLOB = kw; BINARY = kw; VARYING = kw;",
+                "LPAREN = \"(\"; RPAREN = \")\";",
+                NUMBER,
+            ],
+        ),
+    );
+
+    // Array suffix applies to any scalar type (SQL:2003 collection types).
+    cat.b.optional(dt, "array_type");
+    cat.grammar(
+        "array_type",
+        "grammar array_type;
+         data_type : scalar_type (ARRAY (LBRACKET NUMBER RBRACKET)?)? ;",
+        &token_file(
+            "array_type",
+            &["ARRAY = kw; LBRACKET = \"[\"; RBRACKET = \"]\";", NUMBER],
+        ),
+    );
+}

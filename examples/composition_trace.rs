@@ -1,0 +1,47 @@
+//! Watch the composition rules of Section 3.2 fire, step by step.
+//!
+//! Composes the worked-example dialect and prints the full trace: which
+//! feature contributed which alternative to which production, and which
+//! rule (identity, R1 replace, R2 retain, R3 append, R4 optional-merge)
+//! the engine applied.
+//!
+//! ```sh
+//! cargo run --example composition_trace
+//! ```
+
+use sqlweave::grammar::print::to_dsl;
+use sqlweave::sql::catalog;
+
+fn main() {
+    let cat = catalog();
+    let config = cat
+        .complete([
+            "query_statement",
+            "select_sublist",
+            "set_quantifier",
+            "all",
+            "distinct",
+            "where",
+            "group_by",
+            "having",
+        ])
+        .expect("valid selection");
+
+    let composed = cat
+        .pipeline_from("query_specification")
+        .compose(&config)
+        .expect("composes");
+
+    println!("composition sequence ({} features):", composed.sequence.len());
+    for (i, f) in composed.sequence.iter().enumerate() {
+        println!("  {:>3}. {f}", i + 1);
+    }
+
+    println!("\nrule applications ({} steps):", composed.trace.entries.len());
+    println!("{}", composed.trace.table());
+    for tag in ["=", "R1", "R2", "R3", "R4"] {
+        println!("  {tag:>2}: {} applications", composed.trace.count(tag));
+    }
+
+    println!("\n==== composed grammar ====\n{}", to_dsl(&composed.grammar));
+}

@@ -1,0 +1,82 @@
+//! Build every dialect preset and print the acceptance matrix and the
+//! static size table — the "different prototype parsers by composing
+//! different features" of the paper's Section 5.
+//!
+//! ```sh
+//! cargo run --example dialect_matrix
+//! ```
+
+use sqlweave::dialects::Dialect;
+use sqlweave::parser_rt::engine::Parser;
+
+fn corpus(d: Dialect) -> Vec<&'static str> {
+    match d {
+        Dialect::Pico => vec![
+            "SELECT a, b FROM t WHERE a = 1",
+            "SELECT * FROM accounts WHERE owner = 4711 AND kind = 2",
+        ],
+        Dialect::Tiny => vec![
+            "SELECT nodeid, AVG(temp) FROM sensors GROUP BY nodeid EPOCH DURATION 1024",
+        ],
+        Dialect::Scql => vec![
+            "CREATE TABLE purse (id INT NOT NULL, balance DECIMAL(8, 2))",
+            "UPDATE purse SET balance = 50 WHERE id = 1",
+            "GRANT SELECT ON purse TO PUBLIC",
+        ],
+        Dialect::Core => vec![
+            "SELECT a, COUNT(*) FROM t LEFT OUTER JOIN u ON t.x = u.y GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC",
+            "INSERT INTO t (a, b) VALUES (1, 'x')",
+        ],
+        Dialect::Warehouse => vec![
+            "WITH r AS (SELECT a FROM t) SELECT * FROM r UNION ALL SELECT b FROM u",
+            "SELECT region, SUM(x) FROM f GROUP BY ROLLUP (region, yr)",
+        ],
+        Dialect::Full => vec![
+            "MERGE INTO t USING u ON t.a = u.a WHEN MATCHED THEN UPDATE SET b = 1",
+            "DECLARE c1 SCROLL CURSOR FOR SELECT a FROM t",
+        ],
+    }
+}
+
+fn main() {
+    let parsers: Vec<(Dialect, Parser)> = Dialect::ALL
+        .into_iter()
+        .map(|d| (d, d.parser().expect("dialect composes")))
+        .collect();
+
+    // --- static size table (Experiment B3) ---
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>8} {:>11}",
+        "dialect", "features", "productions", "table cells", "tokens", "DFA states"
+    );
+    for (d, p) in &parsers {
+        let s = p.stats();
+        println!(
+            "{:<10} {:>9} {:>12} {:>12} {:>8} {:>11}",
+            d.name(),
+            d.configuration().len(),
+            s.productions,
+            s.table_cells,
+            s.token_rules,
+            s.dfa_states
+        );
+    }
+
+    // --- acceptance matrix (Experiment T4) ---
+    println!("\nacceptance matrix (rows parse columns' corpora):");
+    print!("{:<10}", "");
+    for (d, _) in &parsers {
+        print!("{:>10}", d.name());
+    }
+    println!();
+    for (row, parser) in &parsers {
+        print!("{:<10}", row.name());
+        for (col, _) in &parsers {
+            let stmts = corpus(*col);
+            let ok = stmts.iter().filter(|s| parser.parse(s).is_ok()).count();
+            print!("{:>7}/{:<2}", ok, stmts.len());
+        }
+        println!();
+    }
+    println!("\n(the full row accepts everything; scaled-down rows reject foreign features)");
+}

@@ -1,0 +1,15 @@
+//! Print the composed grammar of the `tiny` (TinySQL) dialect — used to
+//! regenerate `tests/golden/tiny.grammar` and handy for inspecting what a
+//! sensor-network SQL engine actually has to parse.
+//!
+//! ```sh
+//! cargo run --example dump_tiny_grammar
+//! ```
+
+use sqlweave::dialects::Dialect;
+use sqlweave::grammar::print::to_dsl;
+
+fn main() {
+    let composed = Dialect::Tiny.composed().expect("tiny composes");
+    print!("{}", to_dsl(&composed.grammar));
+}

@@ -1,0 +1,145 @@
+//! Experiment T2 — the composition rules of Section 3.2, demonstrated with
+//! the paper's own examples through the public API, printing the rule
+//! table recorded in EXPERIMENTS.md.
+
+use sqlweave::compose::registry::FeatureRegistry;
+use sqlweave::compose::{compose_grammars, compose_into, ComposeDecision};
+use sqlweave::grammar::dsl::parse_grammar;
+use sqlweave::grammar::ir::{Alternative, Term};
+
+/// Compose two single-production grammars written in DSL text and return
+/// `(resulting alternatives as text, decision tags)`.
+fn compose_texts(cases: &[&str]) -> (Vec<String>, Vec<&'static str>) {
+    let mut alternatives: Vec<Alternative> = Vec::new();
+    let mut decisions = Vec::new();
+    for src in cases {
+        let g = parse_grammar(&format!("grammar t; a : {src} ;")).unwrap();
+        for alt in &g.production("a").unwrap().alternatives {
+            decisions.push(compose_into(&mut alternatives, alt.clone()).tag());
+        }
+    }
+    (
+        alternatives.iter().map(|a| a.to_string()).collect(),
+        decisions,
+    )
+}
+
+#[test]
+fn rule_table_matches_the_paper() {
+    // The exact examples from Section 3.2, printed as a table.
+    let cases: &[(&str, &[&str], &str, &[&str])] = &[
+        // (description, inputs in order, expected result, expected tags)
+        ("R1: A:B ∘ A:BC  => replace", &["b", "b c"], "b c", &["R3", "R1"]),
+        ("R2: A:BC ∘ A:B  => retain", &["b c", "b"], "b c", &["R3", "R2"]),
+        ("R3: A:B ∘ A:C   => choices", &["b", "c"], "b | c", &["R3", "R3"]),
+        ("R4: A:B ∘ A:B[C] => optional after base", &["b", "b c?"], "b c?", &["R3", "R4"]),
+        ("R4: A:B ∘ A:[C]B => optional before base", &["b", "c? b"], "c? b", &["R3", "R4"]),
+        (
+            "R5: sublist ∘ complex list",
+            &["b", "b (COMMA b)*"],
+            "b (COMMA b)*",
+            &["R3", "R4"],
+        ),
+        ("idempotence", &["b c", "b c"], "b c", &["R3", "="]),
+    ];
+    println!("{:<42} {:<22} {:<16} tags", "case", "inputs", "result");
+    for (desc, inputs, expected, tags) in cases {
+        let (alts, decisions) = compose_texts(inputs);
+        let result = alts.join(" | ");
+        println!("{desc:<42} {:<22} {result:<16} {decisions:?}", inputs.join(" ∘ "));
+        assert_eq!(result, *expected, "{desc}");
+        assert_eq!(&decisions[..], *tags, "{desc}");
+    }
+}
+
+#[test]
+fn independent_optionals_accumulate() {
+    // The composition that makes Figure 2 work: where/group_by/having each
+    // extend table_expression independently and merge into one production.
+    let (alts, _) = compose_texts(&[
+        "from_clause",
+        "from_clause where_clause?",
+        "from_clause group_by_clause?",
+        "from_clause having_clause?",
+    ]);
+    assert_eq!(
+        alts,
+        ["from_clause where_clause? group_by_clause? having_clause?"]
+    );
+}
+
+#[test]
+fn grammar_level_composition_records_trace() {
+    let mut r = FeatureRegistry::new();
+    r.register(
+        "base",
+        "grammar base; stmt : walk ; walk : STEP ;",
+        "tokens base; STEP = kw;",
+    )
+    .unwrap();
+    r.register(
+        "run",
+        "grammar run; stmt : run_stmt ; run_stmt : RUN STEP ;",
+        "tokens run; RUN = kw; STEP = kw;",
+    )
+    .unwrap();
+    let artifacts = [r.get("base").unwrap(), r.get("run").unwrap()];
+    let (grammar, tokens, trace) = compose_grammars("demo", "stmt", &artifacts).unwrap();
+    assert_eq!(grammar.production("stmt").unwrap().alternatives.len(), 2);
+    assert_eq!(tokens.len(), 2);
+    assert_eq!(trace.entries.len(), 4);
+    assert!(trace.table().contains("run_stmt"));
+}
+
+#[test]
+fn composition_is_a_fixed_point_under_reapplication() {
+    // Re-composing every selected feature's grammar a second time must not
+    // change the result (idempotence at the whole-dialect level).
+    let cat = sqlweave::sql::catalog();
+    let config = cat
+        .complete(["query_statement", "select_sublist", "where"])
+        .unwrap();
+    let pipeline = cat.pipeline();
+    let once = pipeline.compose(&config).unwrap();
+
+    // compose the same artifacts again on top, by doubling the sequence
+    let registry = cat.registry();
+    let artifacts: Vec<_> = once
+        .sequence
+        .iter()
+        .chain(once.sequence.iter())
+        .filter_map(|f| registry.get(f))
+        .collect();
+    let (grammar2, _, _) =
+        compose_grammars("dialect-twice", "sql_script", &artifacts).unwrap();
+    let mut g1 = once.grammar.clone();
+    g1.set_name("dialect-twice");
+    assert_eq!(g1, grammar2);
+}
+
+#[test]
+fn order_sensitivity_is_controlled_by_the_sequence() {
+    // The paper's R4/R6: optionals land in composition order. Arrival order
+    // of independent optional features changes the grammar (documented
+    // order-sensitivity), which is why the composition sequence exists.
+    let (ab, _) = compose_texts(&["x", "x a?", "x b?"]);
+    let (ba, _) = compose_texts(&["x", "x b?", "x a?"]);
+    assert_eq!(ab, ["x a? b?"]);
+    assert_eq!(ba, ["x b? a?"]);
+    assert_ne!(ab, ba);
+}
+
+#[test]
+fn epsilon_bodies_are_replaced_by_refinements() {
+    // set_quantifier's empty body is replaced by keyword alternatives (R1
+    // with the empty production as the contained one).
+    let mut alternatives = vec![Alternative::new(vec![])];
+    let d1 = compose_into(&mut alternatives, Alternative::new(vec![Term::tok("ALL")]));
+    assert_eq!(d1, ComposeDecision::Replaced(0));
+    let d2 = compose_into(
+        &mut alternatives,
+        Alternative::new(vec![Term::tok("DISTINCT")]),
+    );
+    assert_eq!(d2, ComposeDecision::Appended(1));
+    assert_eq!(alternatives.len(), 2);
+}

@@ -1,0 +1,115 @@
+//! Experiment B4 (correctness side) — the two parse engines.
+//!
+//! The paper closes asking "what kind of parsing mechanism is most suitable
+//! for feature-oriented extension of SQL". We ship two: a backtracking
+//! interpreter (handles every composed grammar) and an LL(1) table engine
+//! (fastest, but commits to the table's choice on conflicts). These tests
+//! pin down where they agree and where the table engine gives up.
+
+use sqlweave_bench::{corpus, parser};
+use sqlweave::dialects::Dialect;
+use sqlweave::parser_rt::engine::EngineMode;
+
+#[test]
+fn engines_agree_when_the_table_engine_succeeds() {
+    for d in Dialect::ALL {
+        let bt = parser(d, EngineMode::Backtracking);
+        let ll = parser(d, EngineMode::Ll1Table);
+        let mut ll_ok = 0usize;
+        let mut total = 0usize;
+        for stmt in corpus(d) {
+            total += 1;
+            let b = bt.parse(stmt).expect("backtracking accepts its corpus");
+            if let Ok(l) = ll.parse(stmt) {
+                ll_ok += 1;
+                assert_eq!(b, l, "engines disagree on {stmt:?} ({})", d.name());
+            }
+        }
+        println!("{:<10} LL(1) engine parsed {ll_ok}/{total} corpus statements", d.name());
+        assert!(ll_ok > 0, "{}: LL(1) engine parsed nothing", d.name());
+    }
+}
+
+#[test]
+fn pico_is_fully_ll1_parsable() {
+    // The tailored pico dialect avoids every conflict-heavy feature, so the
+    // table engine covers it completely.
+    let ll = parser(Dialect::Pico, EngineMode::Ll1Table);
+    let bt = parser(Dialect::Pico, EngineMode::Backtracking);
+    for stmt in corpus(Dialect::Pico) {
+        let l = ll.parse(stmt).unwrap_or_else(|e| panic!("LL(1) on {stmt:?}: {e}"));
+        assert_eq!(l, bt.parse(stmt).unwrap());
+    }
+}
+
+#[test]
+fn conflicts_grow_with_dialect_size() {
+    let mut prev = 0usize;
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let stats = parser(d, EngineMode::Backtracking).stats();
+        println!(
+            "{:<10} productions={} conflicts={} table_cells={}",
+            d.name(),
+            stats.productions,
+            stats.conflicts,
+            stats.table_cells
+        );
+        assert!(
+            stats.conflicts >= prev,
+            "conflicts should not shrink as features are added"
+        );
+        prev = stats.conflicts;
+    }
+}
+
+#[test]
+fn both_engines_reject_out_of_dialect_statements() {
+    for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+        let p = parser(Dialect::Pico, mode);
+        assert!(p.parse("SELECT a FROM t ORDER BY a").is_err());
+        assert!(p.parse("INSERT INTO t VALUES (1)").is_err());
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_workloads_for_ll1_dialects() {
+    // pico and tiny are LL(1)-parsable except for ONE conflict every
+    // dialect shares: in `sql_script : stmt (SEMI stmt)* SEMI?`, a trailing
+    // semicolon is predicted as a separator, so the table engine rejects
+    // scripts that end in `;`. Strip that case and both engines must accept
+    // every grammar-generated sentence with identical CSTs.
+    for d in [Dialect::Pico, Dialect::Tiny] {
+        let bt = parser(d, EngineMode::Backtracking);
+        let ll = parser(d, EngineMode::Ll1Table);
+        for s in sqlweave_bench::generated(d, 0x5eed, 200, 9) {
+            let s = s.trim_end().trim_end_matches(';').trim_end();
+            if s.is_empty() {
+                continue;
+            }
+            let b = bt
+                .parse(s)
+                .unwrap_or_else(|e| panic!("{} backtracking rejected {s:?}: {e}", d.name()));
+            let l = ll
+                .parse(s)
+                .unwrap_or_else(|e| panic!("{} LL(1) rejected {s:?}: {e}", d.name()));
+            assert_eq!(b, l, "{}: engines disagree on {s:?}", d.name());
+        }
+    }
+}
+
+#[test]
+fn ll1_never_accepts_what_backtracking_rejects() {
+    // The table engine resolves conflicts to the first alternative; it may
+    // reject more, but must never accept a statement the general engine
+    // rejects (soundness of the table construction).
+    let bt = parser(Dialect::Full, EngineMode::Backtracking);
+    let ll = parser(Dialect::Full, EngineMode::Ll1Table);
+    for s in sqlweave_bench::generated(Dialect::Full, 77, 300, 8) {
+        if ll.parse(&s).is_ok() {
+            assert!(
+                bt.parse(&s).is_ok(),
+                "LL(1) accepted but backtracking rejected {s:?}"
+            );
+        }
+    }
+}

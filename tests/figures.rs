@@ -1,0 +1,103 @@
+//! Experiments F1 and F2 — regenerate Figures 1 and 2 of the paper.
+//!
+//! Figure 1: the *Query Specification* feature diagram (SELECT statement):
+//! optional Set Quantifier with ALL/DISTINCT alternatives, mandatory Select
+//! List with Select Sublist `[1..*]` / Asterisk choices, Derived Column
+//! with optional AS clause, and mandatory Table Expression.
+//!
+//! Figure 2: the *Table Expression* feature diagram: mandatory From,
+//! optional Where / Group By / Having / Window.
+
+use sqlweave::feature_model::{render, Cardinality, Optionality};
+use sqlweave::sql::catalog;
+
+#[test]
+fn figure1_query_specification_structure() {
+    let fig1 = catalog().diagram("query_specification").unwrap();
+
+    // Optional Set Quantifier with the ALL / DISTINCT group.
+    let sq = fig1.by_name("set_quantifier").expect("Set Quantifier");
+    assert_eq!(sq.optionality, Optionality::Optional);
+    let all = fig1.id_of("all").expect("ALL");
+    let distinct = fig1.id_of("distinct").expect("DISTINCT");
+    let group = fig1.group_of(all).expect("ALL is grouped");
+    assert!(group.members.contains(&distinct));
+
+    // Mandatory Select List with Select Sublist / Asterisk.
+    let sl = fig1.by_name("select_list").expect("Select List");
+    assert_eq!(sl.optionality, Optionality::Mandatory);
+    let sublist = fig1.id_of("select_sublist").expect("Select Sublist");
+    assert!(fig1.group_of(sublist).is_some());
+    assert!(fig1.by_name("select_asterisk").is_some(), "Asterisk");
+
+    // Select Sublist carries the paper's [1..*] cardinality.
+    assert_eq!(
+        fig1.feature(sublist).cardinality,
+        Some(Cardinality::ONE_OR_MORE)
+    );
+
+    // Derived Column with optional AS clause.
+    let dc = fig1.by_name("derived_column").expect("Derived Column");
+    assert_eq!(dc.optionality, Optionality::Mandatory);
+    let as_clause = fig1.by_name("as_clause").expect("AS");
+    assert_eq!(as_clause.optionality, Optionality::Optional);
+
+    // Mandatory Table Expression.
+    let te = fig1.by_name("table_expression").expect("Table Expression");
+    assert_eq!(te.optionality, Optionality::Mandatory);
+}
+
+#[test]
+fn figure2_table_expression_structure() {
+    let fig2 = catalog().diagram("table_expression").unwrap();
+    let from = fig2.by_name("from").expect("From");
+    assert_eq!(from.optionality, Optionality::Mandatory);
+    for clause in ["where", "group_by", "having", "window_clause"] {
+        let f = fig2.by_name(clause).unwrap_or_else(|| panic!("missing {clause}"));
+        assert_eq!(f.optionality, Optionality::Optional, "{clause} must be optional");
+    }
+    // The standard constraint the paper's semantics imply.
+    assert!(
+        fig2.constraints()
+            .iter()
+            .any(|c| matches!(c, sqlweave::feature_model::Constraint::Requires(a, b)
+                if fig2.feature(*a).name == "having" && fig2.feature(*b).name == "group_by")),
+        "having requires group_by"
+    );
+}
+
+#[test]
+fn figures_render_as_ascii_and_dot() {
+    let cat = catalog();
+    for (name, must_contain) in [
+        ("query_specification", vec!["Set Quantifier", "Select List", "Table Expression", "[1..*]"]),
+        ("table_expression", vec!["From", "Where", "Group By", "Having", "Window"]),
+    ] {
+        let model = cat.diagram(name).unwrap();
+        let ascii = render::ascii(&model);
+        for needle in &must_contain {
+            assert!(ascii.contains(needle), "figure {name} ASCII missing {needle}:\n{ascii}");
+        }
+        let dot = render::dot(&model);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+    }
+}
+
+#[test]
+fn figure1_worked_instance_is_valid() {
+    // The feature instance description of Section 3.2:
+    // {Query Specification, Select List, Select Sublist (1), Table
+    // Expression} with {Table Expression, From, Table Reference (1)}.
+    let fig1 = catalog().diagram("query_specification").unwrap();
+    let config = sqlweave::feature_model::Configuration::of([
+        "query_specification",
+        "select_list",
+        "select_sublist",
+        "derived_column",
+        "table_expression",
+        "from",
+        "table_reference",
+    ]);
+    assert!(fig1.validate(&config).is_ok(), "{:?}", fig1.validate(&config));
+}

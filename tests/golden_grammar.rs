@@ -1,0 +1,71 @@
+//! Golden-file test: the composed grammar of the worked-example dialect is
+//! pinned to `tests/golden/worked_example.grammar`. Any change to the
+//! feature decomposition or the composition rules that alters this grammar
+//! must update the golden file deliberately:
+//!
+//! ```sh
+//! cargo run -p sqlweave-cli -- compose query_statement select_sublist \
+//!     set_quantifier all distinct where > tests/golden/worked_example.grammar
+//! ```
+
+use sqlweave::grammar::dsl::parse_grammar;
+use sqlweave::grammar::print::to_dsl;
+use sqlweave::sql::catalog;
+
+const FEATURES: [&str; 6] = [
+    "query_statement",
+    "select_sublist",
+    "set_quantifier",
+    "all",
+    "distinct",
+    "where",
+];
+
+fn composed_dsl() -> String {
+    let cat = catalog();
+    let config = cat.complete(FEATURES).unwrap();
+    let composed = cat.pipeline().compose(&config).unwrap();
+    to_dsl(&composed.grammar)
+}
+
+#[test]
+fn worked_example_grammar_matches_golden_file() {
+    let expected = include_str!("golden/worked_example.grammar");
+    let actual = composed_dsl();
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "composed grammar drifted from the golden file; if intentional, \
+         regenerate it (see the module docs)"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_dsl() {
+    let g = parse_grammar(include_str!("golden/worked_example.grammar")).unwrap();
+    assert_eq!(g.start(), "sql_script");
+    // and printing the parsed golden file reproduces it (printer round-trip
+    // at the whole-dialect scale)
+    assert_eq!(to_dsl(&g).trim(), include_str!("golden/worked_example.grammar").trim());
+}
+
+#[test]
+fn composition_is_deterministic() {
+    // Composing the same configuration twice yields byte-identical DSL.
+    assert_eq!(composed_dsl(), composed_dsl());
+}
+
+#[test]
+fn tiny_dialect_grammar_matches_golden_file() {
+    // The TinySQL dialect grammar, pinned. Regenerate with:
+    //   cargo run -p sqlweave-cli -- compose $(tr '\n' ' ' <<< "...tiny seeds...")
+    // or simply: see tests/golden/README for the regeneration command.
+    let expected = include_str!("golden/tiny.grammar");
+    let composed = sqlweave::dialects::Dialect::Tiny.composed().unwrap();
+    let actual = to_dsl(&composed.grammar);
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "tiny dialect grammar drifted from the golden file"
+    );
+}

@@ -1,0 +1,124 @@
+//! Experiment T3 — the worked example of Section 3.2.
+//!
+//! "Suppose that we want to create a parser for the SELECT statement …
+//! Specifically we want to implement a feature instance description of
+//! {Query Specification, Select List, Select Sublist (with cardinality 1),
+//! Table Expression} with the Table Expression feature instance
+//! description {Table Expression, From, Table Reference (with cardinality
+//! 1)}" — and then: "composing the sub-grammars for the Query
+//! Specification feature …, the optional Set Quantifier feature … and the
+//! optional Where feature … gives a grammar which can essentially parse a
+//! SELECT statement with a single column from a single table with optional
+//! set quantifier (DISTINCT or ALL) and optional where clause."
+
+use sqlweave::feature_model::Configuration;
+use sqlweave::sql::catalog;
+
+/// The base instance of the worked example (plus the expression features
+/// the select sublist needs to denote a column).
+fn base_selection() -> Vec<&'static str> {
+    vec![
+        "query_statement",
+        "query_expression",
+        "query_specification",
+        "select_list",
+        "select_sublist",
+        "derived_column",
+        "table_expression",
+        "from",
+        "table_reference",
+    ]
+}
+
+#[test]
+fn base_instance_parses_single_column_single_table() {
+    let cat = catalog();
+    let pipeline = cat.pipeline_from("query_specification");
+    let config = cat.complete(base_selection()).unwrap();
+    let parser = pipeline.parser_for(&config).unwrap();
+
+    // single column, single table
+    assert!(parser.parse("SELECT a FROM t").is_ok());
+    // the sublist cardinality [1..*] admits more columns
+    assert!(parser.parse("SELECT a, b FROM t").is_ok());
+    // nothing else was selected:
+    assert!(parser.parse("SELECT DISTINCT a FROM t").is_err(), "set quantifier unselected");
+    assert!(parser.parse("SELECT a FROM t WHERE a = b").is_err(), "where unselected");
+    assert!(parser.parse("SELECT a FROM t, u").is_err(), "from list unselected");
+    assert!(parser.parse("SELECT * FROM t").is_err(), "asterisk unselected");
+    assert!(parser.parse("SELECT a AS x FROM t").is_err(), "alias unselected");
+    assert!(parser.parse("SELECT a FROM t ORDER BY a").is_err(), "order by unselected");
+}
+
+#[test]
+fn extended_instance_adds_quantifier_and_where() {
+    let cat = catalog();
+    let pipeline = cat.pipeline_from("query_specification");
+    let mut features = base_selection();
+    features.extend(["set_quantifier", "all", "distinct", "where", "comparison_predicate"]);
+    let config = cat.complete(features).unwrap();
+    let parser = pipeline.parser_for(&config).unwrap();
+
+    // exactly the paper's description: optional quantifier, optional where
+    assert!(parser.parse("SELECT a FROM t").is_ok());
+    assert!(parser.parse("SELECT DISTINCT a FROM t").is_ok());
+    assert!(parser.parse("SELECT ALL a FROM t").is_ok());
+    assert!(parser.parse("SELECT a FROM t WHERE a = b").is_ok());
+    assert!(parser.parse("SELECT DISTINCT a FROM t WHERE a < b").is_ok());
+    // still scaled down:
+    assert!(parser.parse("SELECT a FROM t GROUP BY a").is_err());
+    assert!(parser.parse("SELECT a FROM t WHERE a = b OR c = d").is_err(), "boolean OR unselected");
+}
+
+#[test]
+fn composition_trace_shows_rule_applications() {
+    // The quantifier and where features merge into the base productions
+    // (rule R4), the ALL/DISTINCT leaves replace the empty quantifier body
+    // (rule R1 over the epsilon production) or append (R3).
+    let cat = catalog();
+    let pipeline = cat.pipeline_from("query_specification");
+    let mut features = base_selection();
+    features.extend(["set_quantifier", "all", "distinct", "where", "comparison_predicate"]);
+    let config = cat.complete(features).unwrap();
+    let composed = pipeline.compose(&config).unwrap();
+
+    assert!(composed.trace.count("R4") >= 2, "\n{}", composed.trace.table());
+    assert!(composed.trace.count("R3") >= 2, "\n{}", composed.trace.table());
+    // The quantifier's two keyword alternatives both survive.
+    let sq = composed.grammar.production("set_quantifier").unwrap();
+    assert_eq!(sq.alternatives.len(), 2);
+}
+
+#[test]
+fn composition_sequence_respects_requires() {
+    let cat = catalog();
+    let pipeline = cat.pipeline_from("query_specification");
+    let mut features = base_selection();
+    features.extend(["where", "comparison_predicate"]);
+    let config = cat.complete(features).unwrap();
+    let composed = pipeline.compose(&config).unwrap();
+    let pos = |f: &str| {
+        composed
+            .sequence
+            .iter()
+            .position(|x| x == f)
+            .unwrap_or_else(|| panic!("{f} not in sequence"))
+    };
+    // `where` requires `predicates`; the required feature composes first.
+    assert!(pos("predicates") < pos("where"), "{:?}", composed.sequence);
+    // parents before children (base before refinement)
+    assert!(pos("query_specification") < pos("table_expression"));
+    assert!(pos("table_expression") < pos("where"));
+}
+
+#[test]
+fn unselecting_mandatory_feature_is_rejected() {
+    let cat = catalog();
+    let mut features = base_selection();
+    features.retain(|f| *f != "from"); // drop the mandatory From
+    let config = Configuration::of(features)
+        .with("sql_2003")
+        .with("common_elements")
+        .with("data_statements");
+    assert!(cat.model().validate(&config).is_err());
+}
