@@ -15,6 +15,7 @@
 //! sqlweave format --dialect NAME SQL   reformat a script via the AST
 //! sqlweave generate FEATURE...         emit standalone Rust parser source
 //! sqlweave dialects                    list preset dialects with sizes
+//! sqlweave lint [TARGET...]            static analysis with diagnostic codes
 //! ```
 
 use sqlweave_dialects::Dialect;
@@ -33,7 +34,12 @@ fn usage() -> ExitCode {
          sqlweave parse --dialect NAME 'SQL'\n  \
          sqlweave check --dialect NAME 'SQL'\n  \
          sqlweave format --dialect NAME 'SQL'\n  \
-         sqlweave generate FEATURE..."
+         sqlweave generate FEATURE...\n  \
+         sqlweave lint [--format text|json] --all-dialects\n  \
+         sqlweave lint [--format text|json] --dialect NAME\n  \
+         sqlweave lint [--format text|json] --grammar FILE [--tokens FILE]\n  \
+         sqlweave lint [--format text|json] FEATURE...\n  \
+         sqlweave lint --codes"
     );
     ExitCode::from(2)
 }
@@ -52,8 +58,196 @@ fn main() -> ExitCode {
         "check" => cmd_parse(&args[1..], false),
         "format" => cmd_format(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         _ => usage(),
     }
+}
+
+/// Parsed `lint` arguments.
+struct LintArgs {
+    format_json: bool,
+    all_dialects: bool,
+    codes: bool,
+    dialect: Option<String>,
+    grammar_file: Option<String>,
+    tokens_file: Option<String>,
+    features: Vec<String>,
+}
+
+fn parse_lint_args(args: &[String]) -> Option<LintArgs> {
+    let mut parsed = LintArgs {
+        format_json: false,
+        all_dialects: false,
+        codes: false,
+        dialect: None,
+        grammar_file: None,
+        tokens_file: None,
+        features: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => parsed.format_json = true,
+                    Some("text") => parsed.format_json = false,
+                    _ => return None,
+                }
+                i += 2;
+            }
+            "--all-dialects" => {
+                parsed.all_dialects = true;
+                i += 1;
+            }
+            "--codes" => {
+                parsed.codes = true;
+                i += 1;
+            }
+            "--dialect" => {
+                parsed.dialect = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--grammar" => {
+                parsed.grammar_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--tokens" => {
+                parsed.tokens_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return None,
+            _ => {
+                parsed.features.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Some(parsed)
+}
+
+/// Render reports in the selected format and turn findings into an exit
+/// code: 0 clean (notes/warnings allowed), 1 if any error-level diagnostic.
+fn emit_lint_reports(reports: &[sqlweave_lint::LintReport], json: bool) -> ExitCode {
+    if json {
+        println!("{}", sqlweave_lint::json::reports(reports));
+    } else {
+        for r in reports {
+            print!("{r}");
+        }
+    }
+    let errors: usize = reports
+        .iter()
+        .map(|r| r.count(sqlweave_lint::Severity::Error))
+        .sum();
+    if errors > 0 {
+        if !json {
+            eprintln!("lint failed: {errors} error(s)");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let Some(parsed) = parse_lint_args(args) else {
+        return usage();
+    };
+
+    if parsed.codes {
+        println!("{:<6} {:<8} {:<14} description", "code", "severity", "layer");
+        for c in sqlweave_lint::Code::ALL {
+            println!(
+                "{:<6} {:<8} {:<14} {}",
+                c.id(),
+                c.severity().as_str(),
+                c.layer().as_str(),
+                c.title()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if parsed.all_dialects {
+        return match sqlweave_lint::lint_all_dialects() {
+            Ok(reports) => emit_lint_reports(&reports, parsed.format_json),
+            Err(e) => {
+                eprintln!("composition failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(gfile) = &parsed.grammar_file {
+        let grammar_src = match std::fs::read_to_string(gfile) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{gfile}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let grammar = match sqlweave_grammar::dsl::parse_grammar(&grammar_src) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot parse grammar `{gfile}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match &parsed.tokens_file {
+            Some(tfile) => {
+                let tokens_src = match std::fs::read_to_string(tfile) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot read `{tfile}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match sqlweave_grammar::dsl::parse_tokens(&tokens_src) {
+                    Ok(tokens) => sqlweave_lint::lint_pair(gfile, &grammar, &tokens),
+                    Err(e) => {
+                        eprintln!("cannot parse tokens `{tfile}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => sqlweave_lint::lint_grammar(gfile, &grammar),
+        };
+        return emit_lint_reports(&[report], parsed.format_json);
+    }
+
+    if let Some(name) = &parsed.dialect {
+        let Some(&dialect) = Dialect::ALL.iter().find(|d| d.name() == *name) else {
+            eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+            return ExitCode::FAILURE;
+        };
+        return match sqlweave_lint::lint_dialect(dialect) {
+            Ok(report) => emit_lint_reports(&[report], parsed.format_json),
+            Err(e) => {
+                eprintln!("composition failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if parsed.features.is_empty() {
+        return usage();
+    }
+    let cat = catalog();
+    let config = match cat.complete(parsed.features.iter().cloned()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid selection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let composed = match cat.pipeline().compose(&config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("composition failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit_lint_reports(&[sqlweave_lint::lint_composed(&composed)], parsed.format_json)
 }
 
 fn cmd_features(diagram: Option<&str>) -> ExitCode {

@@ -125,3 +125,107 @@ fn generate_emits_rust_source() {
     assert!(out.contains("pub enum TokenKind"), "{out}");
     assert!(out.contains("fn parse_sql_script"), "{out}");
 }
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_all_dialects_is_error_free() {
+    let o = run(&["lint", "--all-dialects"]);
+    assert!(o.status.success(), "{}\n{}", stdout(&o), stderr(&o));
+    let out = stdout(&o);
+    // one report per dialect plus the catalog
+    for subject in ["feature-model catalog", "pico", "tiny", "scql", "core", "warehouse", "full"] {
+        assert!(out.contains(&format!("lint: {subject}")), "{out}");
+    }
+    assert!(out.contains("0 error(s)"), "{out}");
+}
+
+#[test]
+fn lint_broken_fixture_fails_with_codes() {
+    let o = run(&[
+        "lint",
+        "--grammar",
+        &fixture("broken.grammar"),
+        "--tokens",
+        &fixture("broken.tokens"),
+    ]);
+    assert_eq!(o.status.code(), Some(1), "{}", stdout(&o));
+    let out = stdout(&o);
+    assert!(out.contains("error[SW002]"), "{out}"); // expr : expr PLUS term
+    assert!(out.contains("error[SW101]"), "{out}"); // ABC shadowed by IDENT
+    assert!(out.contains("error[SW302]"), "{out}"); // MISSING not in token set
+    assert!(out.contains("warning[SW004]"), "{out}"); // orphan unreachable
+    assert!(stderr(&o).contains("lint failed"), "{}", stderr(&o));
+}
+
+#[test]
+fn lint_clean_fixture_succeeds() {
+    let o = run(&[
+        "lint",
+        "--grammar",
+        &fixture("clean.grammar"),
+        "--tokens",
+        &fixture("clean.tokens"),
+    ]);
+    assert!(o.status.success(), "{}", stdout(&o));
+    assert!(stdout(&o).contains("0 error(s)"), "{}", stdout(&o));
+}
+
+#[test]
+fn lint_json_output_is_structured() {
+    let o = run(&["lint", "--format", "json", "--dialect", "pico"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("{\"summary\":"), "{out}");
+    assert!(out.contains("\"subject\":\"pico\""), "{out}");
+    assert!(out.contains("\"code\":\"SW001\""), "{out}");
+    assert!(out.contains("\"errors\":0"), "{out}");
+}
+
+#[test]
+fn lint_json_exit_code_still_reflects_errors() {
+    let o = run(&[
+        "lint",
+        "--format",
+        "json",
+        "--grammar",
+        &fixture("broken.grammar"),
+        "--tokens",
+        &fixture("broken.tokens"),
+    ]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stdout(&o).contains("\"code\":\"SW002\""), "{}", stdout(&o));
+}
+
+#[test]
+fn lint_feature_selection() {
+    let o = run(&["lint", "query_statement", "select_sublist", "where"]);
+    assert!(o.status.success(), "{}\n{}", stdout(&o), stderr(&o));
+    assert!(stdout(&o).contains("0 error(s)"), "{}", stdout(&o));
+}
+
+#[test]
+fn lint_unknown_dialect_fails() {
+    let o = run(&["lint", "--dialect", "nonsense"]);
+    assert_eq!(o.status.code(), Some(1));
+    assert!(stderr(&o).contains("unknown dialect"));
+}
+
+#[test]
+fn lint_codes_prints_catalog() {
+    let o = run(&["lint", "--codes"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for code in ["SW001", "SW101", "SW201", "SW301"] {
+        assert!(out.contains(code), "{out}");
+    }
+    assert!(out.contains("LL(1) prediction conflict"), "{out}");
+}
+
+#[test]
+fn lint_without_target_prints_usage() {
+    let o = run(&["lint"]);
+    assert_eq!(o.status.code(), Some(2));
+}

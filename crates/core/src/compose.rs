@@ -21,16 +21,26 @@ pub struct TraceEntry {
     pub decision: ComposeDecision,
 }
 
-impl fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:>2}] {:<24} {:<28} {}",
+impl TraceEntry {
+    /// Render one table line with explicit column widths for the feature
+    /// and production columns (used by [`CompositionTrace::table`] to align
+    /// the whole table without truncating long names).
+    fn render(&self, feature_width: usize, production_width: usize) -> String {
+        format!(
+            "[{:>2}] {:<fw$} {:<pw$} {}",
             self.decision.tag(),
             self.feature,
             self.production,
-            self.alternative
+            self.alternative,
+            fw = feature_width,
+            pw = production_width,
         )
+    }
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(24, 28))
     }
 }
 
@@ -50,14 +60,29 @@ impl CompositionTrace {
             .count()
     }
 
-    /// Render as an aligned table (one line per step).
+    /// Render as an aligned table (one line per step). Column widths adapt
+    /// to the longest feature and production names so nothing is truncated
+    /// or misaligned, whatever the dialect.
     pub fn table(&self) -> String {
+        let fw = self.entries.iter().map(|e| e.feature.len()).max().unwrap_or(0);
+        let pw = self
+            .entries
+            .iter()
+            .map(|e| e.production.len())
+            .max()
+            .unwrap_or(0);
         let mut out = String::new();
         for e in &self.entries {
-            out.push_str(&e.to_string());
+            out.push_str(&e.render(fw, pw));
             out.push('\n');
         }
         out
+    }
+}
+
+impl fmt::Display for CompositionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table())
     }
 }
 
@@ -116,49 +141,57 @@ mod tests {
     use super::*;
     use crate::registry::FeatureRegistry;
 
+    /// Register a fixture feature, naming it in the failure message instead
+    /// of surfacing a bare `unwrap` panic.
+    fn must_register(r: &mut FeatureRegistry, name: &str, grammar: &str, tokens: &str) {
+        if let Err(e) = r.register(name, grammar, tokens) {
+            panic!("fixture feature `{name}` failed to register: {e}");
+        }
+    }
+
     fn registry() -> FeatureRegistry {
         let mut r = FeatureRegistry::new();
         // The paper's worked example, Section 3.2: Query Specification with
         // optional Set Quantifier and Table Expression with optional Where.
-        r.register(
+        must_register(
+            &mut r,
             "query_specification",
             "grammar query_specification;
              query_specification : SELECT select_list table_expression ;",
             "tokens query_specification; SELECT = kw;",
-        )
-        .unwrap();
-        r.register(
+        );
+        must_register(
+            &mut r,
             "set_quantifier",
             "grammar set_quantifier;
              query_specification : SELECT set_quantifier? select_list table_expression ;
              set_quantifier : DISTINCT | ALL ;",
             "tokens set_quantifier; DISTINCT = kw; ALL = kw;",
-        )
-        .unwrap();
-        r.register(
+        );
+        must_register(
+            &mut r,
             "select_list",
             "grammar select_list;
              select_list : select_sublist ;
              select_sublist : IDENT ;",
             "tokens select_list; IDENT = /[a-z][a-z0-9_]*/; WS = skip /[ \\t\\r\\n]+/;",
-        )
-        .unwrap();
-        r.register(
+        );
+        must_register(
+            &mut r,
             "table_expression",
             "grammar table_expression;
              table_expression : from_clause ;
              from_clause : FROM IDENT ;",
             "tokens table_expression; FROM = kw;",
-        )
-        .unwrap();
-        r.register(
+        );
+        must_register(
+            &mut r,
             "where",
             "grammar where;
              table_expression : from_clause where_clause? ;
              where_clause : WHERE IDENT EQ IDENT ;",
             "tokens where; WHERE = kw; EQ = \"=\";",
-        )
-        .unwrap();
+        );
         r
     }
 
@@ -286,5 +319,14 @@ mod tests {
         let table = trace.table();
         assert!(table.contains("set_quantifier"), "{table}");
         assert!(table.contains("R4"), "{table}");
+        // Display renders the same adaptive table.
+        assert_eq!(trace.to_string(), table);
+        // Columns adapt to the longest feature name: every line's feature
+        // column is padded to `set_quantifier`'s width plus "[xx] ".
+        let fw = "query_specification".len();
+        for line in table.lines() {
+            assert!(line.len() > 5 + fw, "short line in table:\n{table}");
+            assert_eq!(line.as_bytes()[5 + fw], b' ', "misaligned:\n{table}");
+        }
     }
 }

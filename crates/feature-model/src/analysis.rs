@@ -43,6 +43,163 @@ pub fn analyze(model: &FeatureModel) -> ModelAnalysis {
     }
 }
 
+impl ModelAnalysis {
+    /// Features declared variable (optional solitary or group member) that
+    /// nonetheless appear in **every** valid configuration — the modeling
+    /// smell usually called *false-optional*: the diagram promises a choice
+    /// the constraints have already made.
+    pub fn false_optional(&self, model: &FeatureModel) -> Vec<FeatureId> {
+        self.core
+            .iter()
+            .copied()
+            .filter(|&f| {
+                let feat = model.feature(f);
+                feat.parent.is_some()
+                    && (feat.is_grouped() || !feat.optionality.is_mandatory())
+            })
+            .collect()
+    }
+}
+
+/// What is wrong with a cross-tree constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintDefect {
+    /// Together with the rest of the model, the constraint forbids its own
+    /// source feature: no valid configuration selects it, though some would
+    /// without this constraint.
+    Contradictory,
+    /// Removing the constraint changes nothing — it is already implied by
+    /// the tree structure and the remaining constraints.
+    Redundant,
+}
+
+/// A defective cross-tree constraint found by [`try_analyze_constraints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstraintFinding {
+    /// Index into [`FeatureModel::constraints`].
+    pub index: usize,
+    /// The constraint itself.
+    pub constraint: Constraint,
+    /// Why it was flagged.
+    pub defect: ConstraintDefect,
+}
+
+impl ConstraintFinding {
+    /// Human-readable rendering naming both endpoint features.
+    pub fn describe(&self, model: &FeatureModel) -> String {
+        let (a, b) = self.constraint.endpoints();
+        let rel = match self.constraint {
+            Constraint::Requires(..) => "requires",
+            Constraint::Excludes(..) => "excludes",
+        };
+        let what = match self.defect {
+            ConstraintDefect::Contradictory => "contradictory",
+            ConstraintDefect::Redundant => "redundant",
+        };
+        format!(
+            "{what} constraint: `{}` {rel} `{}`",
+            model.feature(a).name,
+            model.feature(b).name
+        )
+    }
+}
+
+/// Check every cross-tree constraint for contradiction and redundancy by
+/// exact counting with the constraint removed. Returns `None` when more
+/// than `max_split` distinct features appear in constraints (the split
+/// enumeration would need `2^n` assignments).
+pub fn try_analyze_constraints(
+    model: &FeatureModel,
+    max_split: usize,
+) -> Option<Vec<ConstraintFinding>> {
+    let all = model.constraints();
+    if all.is_empty() {
+        return Some(Vec::new());
+    }
+    let total = count_filtered(model, all, None, max_split)?;
+    let mut findings = Vec::new();
+    for (index, &constraint) in all.iter().enumerate() {
+        let rest: Vec<Constraint> = all
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != index)
+            .map(|(_, &c)| c)
+            .collect();
+        let without = count_filtered(model, &rest, None, max_split)?;
+        if without == total {
+            findings.push(ConstraintFinding {
+                index,
+                constraint,
+                defect: ConstraintDefect::Redundant,
+            });
+            continue;
+        }
+        // The constraint does prune configurations; contradictory if it
+        // prunes *all* configurations selecting its source feature.
+        let (source, _) = constraint.endpoints();
+        let with_source = count_filtered(model, all, Some((source, true)), max_split)?;
+        let without_source = count_filtered(model, &rest, Some((source, true)), max_split)?;
+        if with_source == 0 && without_source > 0 {
+            findings.push(ConstraintFinding {
+                index,
+                constraint,
+                defect: ConstraintDefect::Contradictory,
+            });
+        }
+    }
+    Some(findings)
+}
+
+/// Exact configuration count honoring only `constraints` (a subset of the
+/// model's), optionally forcing one feature. `None` past the split cap.
+fn count_filtered(
+    model: &FeatureModel,
+    constraints: &[Constraint],
+    force: Option<(FeatureId, bool)>,
+    max_split: usize,
+) -> Option<u128> {
+    let mut involved: Vec<FeatureId> = constraints
+        .iter()
+        .flat_map(|c| {
+            let (a, b) = c.endpoints();
+            [a, b]
+        })
+        .collect();
+    if let Some((f, _)) = force {
+        involved.push(f);
+    }
+    involved.sort();
+    involved.dedup();
+    if involved.len() > max_split.min(63) {
+        return None;
+    }
+    let mut total = 0u128;
+    for mask in 0u64..(1u64 << involved.len()) {
+        let mut forced: Vec<Option<bool>> = vec![None; model.len()];
+        for (bit, &fid) in involved.iter().enumerate() {
+            forced[fid.index()] = Some(mask & (1 << bit) != 0);
+        }
+        if let Some((f, v)) = force {
+            if forced[f.index()] != Some(v) {
+                continue;
+            }
+        }
+        let consistent = constraints.iter().all(|&c| match c {
+            Constraint::Requires(a, b) => {
+                !(forced[a.index()] == Some(true) && forced[b.index()] == Some(false))
+            }
+            Constraint::Excludes(a, b) => {
+                !(forced[a.index()] == Some(true) && forced[b.index()] == Some(true))
+            }
+        });
+        if !consistent {
+            continue;
+        }
+        total = total.saturating_add(crate::count::count_subtree_forced(model, &forced));
+    }
+    Some(total)
+}
+
 /// Count configurations where `feature` is forced to `value`.
 ///
 /// Implemented by adding a synthetic constraint split; reuses the counting
@@ -235,6 +392,80 @@ mod tests {
         assert_eq!(c.constraints, 1);
         assert_eq!(c.depth, 2);
         assert!(c.configurations.unwrap() > 0);
+    }
+
+    #[test]
+    fn false_optional_feature_detected() {
+        // `b` is optional but `a` is mandatory and requires it: b is in
+        // every valid configuration.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.mandatory(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        let analysis = analyze(&m);
+        let fo: Vec<_> = analysis
+            .false_optional(&m)
+            .iter()
+            .map(|&f| m.feature(f).name.as_str())
+            .collect();
+        assert_eq!(fo, ["b"]);
+    }
+
+    #[test]
+    fn redundant_constraint_detected() {
+        // b is mandatory, so `a requires b` prunes nothing.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.mandatory(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        let findings = try_analyze_constraints(&m, 20).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].defect, ConstraintDefect::Redundant);
+        assert!(findings[0].describe(&m).contains("`a` requires `b`"));
+    }
+
+    #[test]
+    fn contradictory_constraints_detected() {
+        // a requires b AND a excludes b: each one, given the other, makes
+        // `a` unselectable.
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let findings = try_analyze_constraints(&m, 20).unwrap();
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .all(|f| f.defect == ConstraintDefect::Contradictory));
+    }
+
+    #[test]
+    fn healthy_constraints_not_flagged() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        assert!(try_analyze_constraints(&m, 20).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constraint_analysis_respects_split_cap() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        assert!(try_analyze_constraints(&m, 1).is_none());
     }
 
     #[test]

@@ -26,6 +26,28 @@ pub struct Ll1Conflict {
     pub alternatives: (usize, usize),
 }
 
+impl Ll1Conflict {
+    /// Render the conflict naming the two offending alternatives by their
+    /// DSL text, resolved against the flattened grammar the analysis ran
+    /// on. Falls back to indices when the production cannot be found (e.g.
+    /// a conflict recorded against a different grammar).
+    pub fn describe(&self, flat: &Grammar) -> String {
+        let alt_text = |i: usize| -> String {
+            flat.production(&self.nonterminal)
+                .and_then(|p| p.alternatives.get(i))
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| format!("#{i}"))
+        };
+        format!(
+            "LL(1) conflict in `{}` on token {}: `{}` vs `{}`",
+            self.nonterminal,
+            self.token,
+            alt_text(self.alternatives.0),
+            alt_text(self.alternatives.1)
+        )
+    }
+}
+
 impl fmt::Display for Ll1Conflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -33,6 +55,38 @@ impl fmt::Display for Ll1Conflict {
             "LL(1) conflict in `{}` on token {}: alternatives {} and {}",
             self.nonterminal, self.token, self.alternatives.0, self.alternatives.1
         )
+    }
+}
+
+/// A left-recursion cycle through the named productions, closed back onto
+/// its first element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeftRecursionCycle(pub Vec<String>);
+
+impl LeftRecursionCycle {
+    /// The productions on the cycle, in discovery order.
+    pub fn productions(&self) -> &[String] {
+        &self.0
+    }
+
+    /// `true` for `a : a ...`-style self-recursion.
+    pub fn is_direct(&self) -> bool {
+        self.0.len() == 1
+    }
+}
+
+impl fmt::Display for LeftRecursionCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_direct() {
+            write!(f, "`{}` is directly left-recursive", self.0[0])
+        } else {
+            write!(
+                f,
+                "left-recursive cycle `{}` -> `{}`",
+                self.0.join("` -> `"),
+                self.0[0]
+            )
+        }
     }
 }
 
@@ -138,6 +192,25 @@ impl GrammarAnalysis {
     /// Number of populated LL(1) table cells (size metric, Experiment B3).
     pub fn table_cells(&self) -> usize {
         self.table.len()
+    }
+
+    /// The full LL(1) conflict list (what [`GrammarAnalysis::is_ll1`]
+    /// summarizes as a boolean), for diagnostic consumers like the linter.
+    pub fn conflicts(&self) -> &[Ll1Conflict] {
+        &self.conflicts
+    }
+
+    /// Every conflict rendered with the offending alternatives' DSL text.
+    pub fn conflict_details(&self) -> Vec<String> {
+        self.conflicts.iter().map(|c| c.describe(&self.flat)).collect()
+    }
+
+    /// Left-recursion cycle paths as displayable values.
+    pub fn left_recursion_cycles(&self) -> Vec<LeftRecursionCycle> {
+        self.left_recursion
+            .iter()
+            .map(|c| LeftRecursionCycle(c.clone()))
+            .collect()
     }
 }
 
@@ -589,5 +662,27 @@ mod tests {
     fn table_cells_metric() {
         let a = analyze_src("grammar g; a : X | Y ;");
         assert_eq!(a.table_cells(), 2);
+    }
+
+    #[test]
+    fn conflict_details_name_offending_alternatives() {
+        let a = analyze_src("grammar g; a : X Y | X Z ;");
+        let details = a.conflict_details();
+        assert_eq!(details.len(), a.conflicts().len());
+        assert!(details[0].contains("`X Y`") && details[0].contains("`X Z`"), "{}", details[0]);
+    }
+
+    #[test]
+    fn left_recursion_cycles_display() {
+        let a = analyze_src("grammar g; a : a X | Y ;");
+        let cycles = a.left_recursion_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].is_direct());
+        assert_eq!(cycles[0].to_string(), "`a` is directly left-recursive");
+
+        let a = analyze_src("grammar g; a : b X | Q ; b : c Y | R ; c : a Z | S ;");
+        let cycles = a.left_recursion_cycles();
+        assert_eq!(cycles[0].productions().len(), 3);
+        assert!(cycles[0].to_string().starts_with("left-recursive cycle"));
     }
 }

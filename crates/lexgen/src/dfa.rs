@@ -138,7 +138,7 @@ fn accept_of(nfa: &Nfa, set: &[usize]) -> Option<usize> {
 }
 
 /// Compute the disjoint alphabet intervals induced by all class boundaries.
-fn alphabet_intervals(nfa: &Nfa) -> Vec<(char, char)> {
+pub(crate) fn alphabet_intervals(nfa: &Nfa) -> Vec<(char, char)> {
     // Cut points in u32 space: start of each range, and one past its end.
     let mut cuts: Vec<u32> = Vec::new();
     for state in &nfa.states {

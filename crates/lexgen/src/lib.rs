@@ -30,6 +30,7 @@
 //! assert_eq!(kinds, ["SELECT", "IDENT", "COMMA", "IDENT", "FROM", "IDENT"]);
 //! ```
 
+pub mod analysis;
 pub mod dfa;
 pub mod minimize;
 pub mod nfa;

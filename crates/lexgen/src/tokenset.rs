@@ -225,7 +225,7 @@ impl TokenSet {
     }
 
     /// Rules with keywords/puncts hoisted above patterns/skips.
-    fn prioritized(&self) -> Vec<TokenRule> {
+    pub(crate) fn prioritized(&self) -> Vec<TokenRule> {
         let mut ordered: Vec<TokenRule> = self
             .rules
             .iter()

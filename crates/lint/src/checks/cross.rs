@@ -1,0 +1,77 @@
+//! Cross-layer checks: every token the grammar references must exist in
+//! the composed token set, and every non-skip token in the set should be
+//! referenced by some production.
+
+use crate::diag::{Code, Diagnostic};
+use sqlweave_grammar::ir::Grammar;
+use sqlweave_lexgen::tokenset::TokenSet;
+use std::collections::BTreeSet;
+
+/// Lint the grammar/token-set pair.
+pub fn check(grammar: &Grammar, tokens: &TokenSet) -> Vec<Diagnostic> {
+    let referenced: BTreeSet<&str> = grammar.referenced_tokens().into_iter().collect();
+    let mut out = Vec::new();
+    for rule in tokens.rules() {
+        if !rule.is_skip() && !referenced.contains(rule.name.as_str()) {
+            out.push(Diagnostic::new(
+                Code::UnreferencedToken,
+                format!("token `{}`", rule.name),
+                format!(
+                    "token `{}` is in the composed set but no production references it",
+                    rule.name
+                ),
+            ));
+        }
+    }
+    for name in referenced {
+        if tokens.get(name).is_none() {
+            out.push(Diagnostic::new(
+                Code::UnknownTokenReference,
+                format!("token `{name}`"),
+                format!(
+                    "productions reference token `{name}`, which the composed token set does not define"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+
+    #[test]
+    fn consistent_pair_is_clean() {
+        let g = parse_grammar("grammar g; s : SELECT IDENT ;").unwrap();
+        let t = parse_tokens(
+            "tokens g; SELECT = kw; IDENT = /[a-z]+/; WS = skip /[ ]+/;",
+        )
+        .unwrap();
+        assert!(check(&g, &t).is_empty());
+    }
+
+    #[test]
+    fn unreferenced_token_is_flagged_but_skips_are_exempt() {
+        let g = parse_grammar("grammar g; s : SELECT ;").unwrap();
+        let t = parse_tokens(
+            "tokens g; SELECT = kw; IDENT = /[a-z]+/; WS = skip /[ ]+/;",
+        )
+        .unwrap();
+        let d = check(&g, &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::UnreferencedToken);
+        assert_eq!(d[0].site, "token `IDENT`");
+    }
+
+    #[test]
+    fn unknown_reference_is_flagged() {
+        let g = parse_grammar("grammar g; s : SELECT MISSING ;").unwrap();
+        let t = parse_tokens("tokens g; SELECT = kw;").unwrap();
+        let d = check(&g, &t);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, Code::UnknownTokenReference);
+        assert!(d[0].message.contains("`MISSING`"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Grammar-layer checks: LL(1) conflicts, left recursion, reachability,
+//! productivity, and undefined references — all driven by the existing
+//! [`sqlweave_grammar::analysis`] pass.
+
+use crate::diag::{Code, Diagnostic};
+use sqlweave_grammar::analysis::{analyze, AnalysisError};
+use sqlweave_grammar::ir::Grammar;
+
+fn prod_site(name: &str) -> String {
+    format!("production `{name}`")
+}
+
+/// Lint one (composed) grammar.
+pub fn check(grammar: &Grammar) -> Vec<Diagnostic> {
+    let analysis = match analyze(grammar) {
+        Ok(a) => a,
+        Err(AnalysisError::Undefined(names)) => {
+            return names
+                .into_iter()
+                .map(|n| {
+                    Diagnostic::new(
+                        Code::UndefinedNonterminal,
+                        prod_site(&n),
+                        format!("nonterminal `{n}` is referenced but has no production"),
+                    )
+                })
+                .collect();
+        }
+        Err(AnalysisError::UndefinedStart(s)) => {
+            return vec![Diagnostic::new(
+                Code::UndefinedNonterminal,
+                prod_site(&s),
+                format!("start symbol `{s}` has no production"),
+            )];
+        }
+    };
+
+    let mut out = Vec::new();
+    for conflict in analysis.conflicts() {
+        out.push(Diagnostic::new(
+            Code::Ll1Conflict,
+            prod_site(&conflict.nonterminal),
+            conflict.describe(&analysis.flat),
+        ));
+    }
+    for cycle in analysis.left_recursion_cycles() {
+        let code = if cycle.is_direct() {
+            Code::DirectLeftRecursion
+        } else {
+            Code::LeftRecursionCycle
+        };
+        out.push(Diagnostic::new(
+            code,
+            prod_site(&cycle.productions()[0]),
+            cycle.to_string(),
+        ));
+    }
+    for n in &analysis.unreachable {
+        out.push(Diagnostic::new(
+            Code::UnreachableNonterminal,
+            prod_site(n),
+            format!(
+                "`{n}` is never reachable from start symbol `{}`",
+                grammar.start()
+            ),
+        ));
+    }
+    for n in &analysis.unproductive {
+        out.push(Diagnostic::new(
+            Code::UnproductiveNonterminal,
+            prod_site(n),
+            format!("`{n}` cannot derive any finite token string"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::parse_grammar;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        let mut c: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        c.dedup();
+        c
+    }
+
+    #[test]
+    fn clean_grammar_lints_clean() {
+        let g = parse_grammar("grammar g; s : A b ; b : B | C ;").unwrap();
+        assert!(check(&g).is_empty());
+    }
+
+    #[test]
+    fn ll1_conflict_reported() {
+        let g = parse_grammar("grammar g; s : A B | A C ;").unwrap();
+        let d = check(&g);
+        assert_eq!(codes(&d), [Code::Ll1Conflict]);
+        assert!(d[0].message.contains('A'), "{}", d[0].message);
+    }
+
+    #[test]
+    fn direct_left_recursion_reported() {
+        let g = parse_grammar("grammar g; e : e PLUS T | T ;").unwrap();
+        let d = check(&g);
+        assert!(codes(&d).contains(&Code::DirectLeftRecursion), "{d:?}");
+    }
+
+    #[test]
+    fn indirect_cycle_reported() {
+        let g = parse_grammar("grammar g; a : b X | Y ; b : a Z ;").unwrap();
+        let d = check(&g);
+        assert!(codes(&d).contains(&Code::LeftRecursionCycle), "{d:?}");
+        let cyc = d
+            .iter()
+            .find(|d| d.code == Code::LeftRecursionCycle)
+            .unwrap();
+        assert!(cyc.message.contains("`a`") && cyc.message.contains("`b`"));
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let g = parse_grammar("grammar g; s : A ; orphan : B ;").unwrap();
+        let d = check(&g);
+        assert_eq!(codes(&d), [Code::UnreachableNonterminal]);
+        assert_eq!(d[0].site, "production `orphan`");
+    }
+
+    #[test]
+    fn unproductive_reported() {
+        // `x` only ever rewrites to something containing `x`.
+        let g = parse_grammar("grammar g; s : A | x ; x : B x ;").unwrap();
+        let d = check(&g);
+        assert!(codes(&d).contains(&Code::UnproductiveNonterminal), "{d:?}");
+    }
+
+    #[test]
+    fn undefined_reference_reported() {
+        let g = parse_grammar("grammar g; s : missing A ;").unwrap();
+        let d = check(&g);
+        assert_eq!(codes(&d), [Code::UndefinedNonterminal]);
+        assert!(d[0].message.contains("`missing`"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Lexer-layer checks over the composed token set, driven by
+//! [`sqlweave_lexgen::analysis`]'s exact DFA overlap analysis.
+
+use crate::diag::{Code, Diagnostic};
+use sqlweave_lexgen::analysis::analyze;
+use sqlweave_lexgen::tokenset::{RuleKind, TokenSet};
+use std::collections::BTreeSet;
+
+fn tok_site(name: &str) -> String {
+    format!("token `{name}`")
+}
+
+/// `true` for rules matching one fixed spelling (keywords and punctuation),
+/// whose overlap with a pattern rule is the normal "reserved word" setup.
+fn is_literal(kind: &RuleKind) -> bool {
+    matches!(kind, RuleKind::Keyword | RuleKind::Punct(_))
+}
+
+/// Lint one (composed) token set.
+pub fn check(tokens: &TokenSet) -> Vec<Diagnostic> {
+    let analysis = match analyze(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            // Unreachable for sets built through the public API (patterns
+            // are validated on insertion), but surfaced rather than hidden.
+            return vec![Diagnostic::new(
+                Code::BadTokenPattern,
+                "token set".to_string(),
+                e.to_string(),
+            )];
+        }
+    };
+
+    let mut out = Vec::new();
+    let shadowed: BTreeSet<usize> = analysis.shadowed().into_iter().collect();
+    for &i in &shadowed {
+        let shadowers: Vec<String> = analysis
+            .shadowers(i)
+            .into_iter()
+            .map(|j| format!("`{}`", analysis.rules[j].name))
+            .collect();
+        out.push(Diagnostic::new(
+            Code::ShadowedTokenRule,
+            tok_site(&analysis.rules[i].name),
+            format!(
+                "rule can never be emitted: every string it matches is won by {}",
+                shadowers.join(", ")
+            ),
+        ));
+    }
+
+    // Overlaps involving a shadowed loser are already covered by SW101.
+    // Group the rest per losing rule: literal winners (keywords/puncts over
+    // a pattern — ordinary reserved-word behavior) are summarized in one
+    // note; everything else is reported pairwise.
+    for (j, rule) in analysis.rules.iter().enumerate() {
+        if shadowed.contains(&j) {
+            continue;
+        }
+        let winners: Vec<usize> = analysis
+            .overlaps
+            .iter()
+            .filter(|&&(a, b)| b == j && !shadowed.contains(&a))
+            .map(|&(a, _)| a)
+            .collect();
+        if winners.is_empty() {
+            continue;
+        }
+        let mut literal_winners: Vec<&str> = Vec::new();
+        for &i in &winners {
+            let winner = &analysis.rules[i];
+            if winner.is_skip() || rule.is_skip() {
+                out.push(Diagnostic::new(
+                    Code::SkipRuleConflict,
+                    tok_site(&rule.name),
+                    format!(
+                        "skip/token collision: `{}` and `{}` match common strings; `{}` wins by priority",
+                        winner.name, rule.name, winner.name
+                    ),
+                ));
+            } else if is_literal(&winner.kind) && !is_literal(&rule.kind) {
+                literal_winners.push(&winner.name);
+            } else {
+                out.push(Diagnostic::new(
+                    Code::TokenOverlap,
+                    tok_site(&rule.name),
+                    format!(
+                        "`{}` and `{}` match common strings; `{}` wins by priority",
+                        winner.name, rule.name, winner.name
+                    ),
+                ));
+            }
+        }
+        if !literal_winners.is_empty() {
+            let shown: Vec<String> = literal_winners
+                .iter()
+                .take(4)
+                .map(|n| format!("`{n}`"))
+                .collect();
+            let suffix = if literal_winners.len() > shown.len() {
+                format!(" and {} more", literal_winners.len() - shown.len())
+            } else {
+                String::new()
+            };
+            out.push(Diagnostic::new(
+                Code::TokenOverlap,
+                tok_site(&rule.name),
+                format!(
+                    "`{}` also matches {} reserved spelling(s): {}{suffix} (literals win by priority)",
+                    rule.name,
+                    literal_winners.len(),
+                    shown.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> BTreeSet<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn disjoint_set_is_clean() {
+        let mut ts = TokenSet::new();
+        ts.pattern("NUM", "[0-9]+").unwrap();
+        ts.pattern("IDENT", "[a-z]+").unwrap();
+        assert!(check(&ts).is_empty());
+    }
+
+    #[test]
+    fn shadowed_rule_is_an_error() {
+        let mut ts = TokenSet::new();
+        ts.pattern("ANY", "[a-z]+").unwrap();
+        ts.pattern("ABC", "abc").unwrap();
+        let d = check(&ts);
+        assert_eq!(codes(&d), BTreeSet::from([Code::ShadowedTokenRule]));
+        assert_eq!(d[0].site, "token `ABC`");
+        assert!(d[0].message.contains("`ANY`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn keyword_over_ident_is_one_note() {
+        let mut ts = TokenSet::new();
+        ts.keyword("FROM").unwrap();
+        ts.keyword("WHERE").unwrap();
+        ts.pattern("IDENT", "[a-z]+").unwrap();
+        let d = check(&ts);
+        assert_eq!(codes(&d), BTreeSet::from([Code::TokenOverlap]));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("2 reserved spelling(s)"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn skip_collision_is_a_warning() {
+        let mut ts = TokenSet::new();
+        ts.pattern("DASHES", "-+").unwrap();
+        ts.skip("COMMENT", "--[a-z]*").unwrap();
+        let d = check(&ts);
+        assert_eq!(codes(&d), BTreeSet::from([Code::SkipRuleConflict]));
+    }
+
+    #[test]
+    fn pattern_pattern_overlap_is_pairwise() {
+        let mut ts = TokenSet::new();
+        ts.pattern("HEX", "[0-9a-f]+").unwrap();
+        ts.pattern("IDENT", "[a-z]+").unwrap();
+        let d = check(&ts);
+        assert_eq!(codes(&d), BTreeSet::from([Code::TokenOverlap]));
+        assert!(d[0].message.contains("`HEX`") && d[0].message.contains("`IDENT`"));
+    }
+}

@@ -1,0 +1,6 @@
+//! The individual check passes, one module per layer.
+
+pub mod cross;
+pub mod grammar;
+pub mod lexer;
+pub mod model;

@@ -1,0 +1,187 @@
+//! Feature-model checks: void models, dead and false-optional features,
+//! contradictory and redundant cross-tree constraints.
+
+use crate::diag::{Code, Diagnostic};
+use sqlweave_feature_model::analysis::{
+    analyze, try_analyze_constraints, ConstraintDefect,
+};
+use sqlweave_feature_model::count::try_count_configurations;
+use sqlweave_feature_model::model::FeatureModel;
+
+/// Split cap for the exact-counting analyses; diagrams past it get a
+/// [`Code::ModelAnalysisSkipped`] note instead of results.
+const MAX_SPLIT: usize = 20;
+
+fn feat_site(model: &FeatureModel, name: &str) -> String {
+    format!("diagram `{}`, feature `{name}`", model.name())
+}
+
+/// Lint one feature diagram.
+pub fn check(model: &FeatureModel) -> Vec<Diagnostic> {
+    let diagram = model.name();
+    let Some(total) = try_count_configurations(model, MAX_SPLIT) else {
+        return vec![Diagnostic::new(
+            Code::ModelAnalysisSkipped,
+            format!("diagram `{diagram}`"),
+            format!(
+                "more than {MAX_SPLIT} constraint-involved features; exact analysis skipped"
+            ),
+        )];
+    };
+    if total == 0 {
+        // Everything is dead in a void model; the single root cause is the
+        // useful diagnostic.
+        return vec![Diagnostic::new(
+            Code::VoidModel,
+            format!("diagram `{diagram}`"),
+            "the model admits no valid configuration".to_string(),
+        )];
+    }
+
+    let mut out = Vec::new();
+    let analysis = analyze(model);
+    for &f in &analysis.dead {
+        let name = &model.feature(f).name;
+        out.push(Diagnostic::new(
+            Code::DeadFeature,
+            feat_site(model, name),
+            format!("feature `{name}` appears in no valid configuration"),
+        ));
+    }
+    for f in analysis.false_optional(model) {
+        let name = &model.feature(f).name;
+        out.push(Diagnostic::new(
+            Code::FalseOptionalFeature,
+            feat_site(model, name),
+            format!(
+                "feature `{name}` is declared variable but appears in every valid configuration"
+            ),
+        ));
+    }
+    if let Some(findings) = try_analyze_constraints(model, MAX_SPLIT) {
+        for finding in findings {
+            let code = match finding.defect {
+                ConstraintDefect::Contradictory => Code::ContradictoryConstraint,
+                ConstraintDefect::Redundant => Code::RedundantConstraint,
+            };
+            out.push(Diagnostic::new(
+                code,
+                format!("diagram `{diagram}`, constraint #{}", finding.index),
+                finding.describe(model),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_feature_model::ModelBuilder;
+    use std::collections::BTreeSet;
+
+    fn codes(diags: &[Diagnostic]) -> BTreeSet<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn healthy_diagram_is_clean() {
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.mandatory(r, "a");
+        b.optional(r, "o");
+        b.xor(r, &["x", "y"]);
+        let m = b.build().unwrap();
+        assert!(check(&m).is_empty());
+    }
+
+    #[test]
+    fn void_model_is_single_error() {
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.mandatory(r, "a");
+        b.mandatory(r, "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert_eq!(codes(&d), BTreeSet::from([Code::VoidModel]));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn dead_feature_reported() {
+        // `a` is excluded by the always-present `m`.
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.mandatory(r, "core");
+        b.optional(r, "a");
+        b.excludes("core", "a");
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert_eq!(codes(&d), BTreeSet::from([Code::DeadFeature]));
+        assert!(d[0].site.contains("feature `a`"), "{}", d[0].site);
+    }
+
+    #[test]
+    fn false_optional_reported() {
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.mandatory(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert_eq!(codes(&d), BTreeSet::from([Code::FalseOptionalFeature]));
+    }
+
+    #[test]
+    fn contradictory_constraints_reported_with_dead_source() {
+        // requires + excludes on the same pair: each constraint (given the
+        // other) forbids `a`, which also makes `a` dead — both facts are
+        // reported, anchored at the constraint and the feature.
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.optional(r, "a");
+        b.optional(r, "b");
+        b.requires("a", "b");
+        b.excludes("a", "b");
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert!(codes(&d).contains(&Code::ContradictoryConstraint), "{d:?}");
+        assert!(codes(&d).contains(&Code::DeadFeature), "{d:?}");
+        assert_eq!(
+            d.iter()
+                .filter(|d| d.code == Code::ContradictoryConstraint)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn redundant_constraint_reported() {
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        b.optional(r, "a");
+        b.mandatory(r, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert_eq!(codes(&d), BTreeSet::from([Code::RedundantConstraint]));
+        assert!(d[0].message.contains("redundant"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn oversized_model_skipped_with_note() {
+        let mut b = ModelBuilder::new("m");
+        let r = b.root();
+        for i in 0..22 {
+            b.optional(r, &format!("f{i}"));
+        }
+        for i in 0..11 {
+            b.requires(&format!("f{i}"), &format!("f{}", i + 11));
+        }
+        let m = b.build().unwrap();
+        let d = check(&m);
+        assert_eq!(codes(&d), BTreeSet::from([Code::ModelAnalysisSkipped]));
+    }
+}

@@ -1,0 +1,423 @@
+//! Diagnostic vocabulary: stable codes, severities, layers, and the report
+//! container shared by every check and both output formats.
+
+use std::fmt;
+
+/// How serious a diagnostic is. Ordering is by increasing severity so
+/// `Ord::max` and sorting do the right thing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; expected in healthy dialects (e.g. keyword/identifier
+    /// overlap, which the scanner resolves by priority).
+    Note,
+    /// Suspicious but tolerated by the runtime (e.g. LL(1) conflicts, which
+    /// the backtracking engine handles).
+    Warning,
+    /// A defect: the composed artifact misbehaves or some part of it is
+    /// unusable.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as used in JSON output and CLI filters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which layer of the product line a diagnostic comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Layer {
+    /// Composed grammar (LL(1) table, recursion, reachability).
+    Grammar,
+    /// Composed token set (DFA-level rule interactions).
+    Lexer,
+    /// Feature diagrams and cross-tree constraints.
+    FeatureModel,
+    /// Consistency between the grammar and the token set.
+    Cross,
+}
+
+impl Layer {
+    /// Lowercase name, as used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Grammar => "grammar",
+            Layer::Lexer => "lexer",
+            Layer::FeatureModel => "feature-model",
+            Layer::Cross => "cross-layer",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. The numeric ranges encode the layer: `SW0xx`
+/// grammar, `SW1xx` lexer, `SW2xx` feature model, `SW3xx` cross-layer.
+/// Codes are append-only: new checks get new numbers, retired checks leave
+/// gaps, so scripts keying on codes never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// SW001 — LL(1) prediction conflict (two alternatives share a
+    /// prediction token).
+    Ll1Conflict,
+    /// SW002 — a production is directly left-recursive.
+    DirectLeftRecursion,
+    /// SW003 — a cycle of productions is mutually left-recursive.
+    LeftRecursionCycle,
+    /// SW004 — a nonterminal is never reachable from the start symbol.
+    UnreachableNonterminal,
+    /// SW005 — a nonterminal derives no finite terminal string.
+    UnproductiveNonterminal,
+    /// SW006 — a referenced nonterminal (or the start symbol) has no
+    /// production.
+    UndefinedNonterminal,
+    /// SW101 — a token rule can never be emitted: higher-priority rules
+    /// win every string it matches.
+    ShadowedTokenRule,
+    /// SW102 — two token rules match some common string; priority decides.
+    TokenOverlap,
+    /// SW103 — a skip rule's language collides with another rule.
+    SkipRuleConflict,
+    /// SW104 — a token rule's pattern failed to compile.
+    BadTokenPattern,
+    /// SW200 — feature-model analysis was skipped (too many
+    /// constraint-involved features for exact counting).
+    ModelAnalysisSkipped,
+    /// SW201 — a feature appears in no valid configuration.
+    DeadFeature,
+    /// SW202 — a feature is declared variable but appears in every valid
+    /// configuration (false-optional).
+    FalseOptionalFeature,
+    /// SW203 — a cross-tree constraint forbids its own source feature.
+    ContradictoryConstraint,
+    /// SW204 — a cross-tree constraint prunes nothing.
+    RedundantConstraint,
+    /// SW205 — the model admits no valid configuration at all.
+    VoidModel,
+    /// SW301 — a composed (non-skip) token is never referenced by any
+    /// production.
+    UnreferencedToken,
+    /// SW302 — a production references a token absent from the composed
+    /// token set.
+    UnknownTokenReference,
+}
+
+impl Code {
+    /// Every code, in catalog order.
+    pub const ALL: [Code; 18] = [
+        Code::Ll1Conflict,
+        Code::DirectLeftRecursion,
+        Code::LeftRecursionCycle,
+        Code::UnreachableNonterminal,
+        Code::UnproductiveNonterminal,
+        Code::UndefinedNonterminal,
+        Code::ShadowedTokenRule,
+        Code::TokenOverlap,
+        Code::SkipRuleConflict,
+        Code::BadTokenPattern,
+        Code::ModelAnalysisSkipped,
+        Code::DeadFeature,
+        Code::FalseOptionalFeature,
+        Code::ContradictoryConstraint,
+        Code::RedundantConstraint,
+        Code::VoidModel,
+        Code::UnreferencedToken,
+        Code::UnknownTokenReference,
+    ];
+
+    /// The stable identifier, e.g. `"SW001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::Ll1Conflict => "SW001",
+            Code::DirectLeftRecursion => "SW002",
+            Code::LeftRecursionCycle => "SW003",
+            Code::UnreachableNonterminal => "SW004",
+            Code::UnproductiveNonterminal => "SW005",
+            Code::UndefinedNonterminal => "SW006",
+            Code::ShadowedTokenRule => "SW101",
+            Code::TokenOverlap => "SW102",
+            Code::SkipRuleConflict => "SW103",
+            Code::BadTokenPattern => "SW104",
+            Code::ModelAnalysisSkipped => "SW200",
+            Code::DeadFeature => "SW201",
+            Code::FalseOptionalFeature => "SW202",
+            Code::ContradictoryConstraint => "SW203",
+            Code::RedundantConstraint => "SW204",
+            Code::VoidModel => "SW205",
+            Code::UnreferencedToken => "SW301",
+            Code::UnknownTokenReference => "SW302",
+        }
+    }
+
+    /// Reverse of [`Code::id`].
+    pub fn from_id(id: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.id() == id)
+    }
+
+    /// Default severity. Chosen so that a well-formed dialect lints with
+    /// zero errors: conditions the runtime tolerates (backtracking over
+    /// LL(1) conflicts, priority-resolved token overlap, unreachable spare
+    /// productions) are warnings or notes; conditions that make some part
+    /// of the artifact unusable are errors.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Ll1Conflict => Severity::Warning,
+            Code::DirectLeftRecursion => Severity::Error,
+            Code::LeftRecursionCycle => Severity::Error,
+            Code::UnreachableNonterminal => Severity::Warning,
+            Code::UnproductiveNonterminal => Severity::Error,
+            Code::UndefinedNonterminal => Severity::Error,
+            Code::ShadowedTokenRule => Severity::Error,
+            Code::TokenOverlap => Severity::Note,
+            Code::SkipRuleConflict => Severity::Warning,
+            Code::BadTokenPattern => Severity::Error,
+            Code::ModelAnalysisSkipped => Severity::Note,
+            Code::DeadFeature => Severity::Error,
+            Code::FalseOptionalFeature => Severity::Warning,
+            Code::ContradictoryConstraint => Severity::Error,
+            Code::RedundantConstraint => Severity::Note,
+            Code::VoidModel => Severity::Error,
+            Code::UnreferencedToken => Severity::Warning,
+            Code::UnknownTokenReference => Severity::Error,
+        }
+    }
+
+    /// The layer the code belongs to (encoded in its number range).
+    pub fn layer(self) -> Layer {
+        match self {
+            Code::Ll1Conflict
+            | Code::DirectLeftRecursion
+            | Code::LeftRecursionCycle
+            | Code::UnreachableNonterminal
+            | Code::UnproductiveNonterminal
+            | Code::UndefinedNonterminal => Layer::Grammar,
+            Code::ShadowedTokenRule
+            | Code::TokenOverlap
+            | Code::SkipRuleConflict
+            | Code::BadTokenPattern => Layer::Lexer,
+            Code::ModelAnalysisSkipped
+            | Code::DeadFeature
+            | Code::FalseOptionalFeature
+            | Code::ContradictoryConstraint
+            | Code::RedundantConstraint
+            | Code::VoidModel => Layer::FeatureModel,
+            Code::UnreferencedToken | Code::UnknownTokenReference => Layer::Cross,
+        }
+    }
+
+    /// One-line description for the catalog (`sqlweave lint --codes`, docs).
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::Ll1Conflict => "LL(1) prediction conflict",
+            Code::DirectLeftRecursion => "direct left recursion",
+            Code::LeftRecursionCycle => "indirect left-recursive cycle",
+            Code::UnreachableNonterminal => "unreachable nonterminal",
+            Code::UnproductiveNonterminal => "unproductive nonterminal",
+            Code::UndefinedNonterminal => "undefined nonterminal reference",
+            Code::ShadowedTokenRule => "token rule fully shadowed",
+            Code::TokenOverlap => "token rules overlap",
+            Code::SkipRuleConflict => "skip rule collides with another rule",
+            Code::BadTokenPattern => "token pattern failed to compile",
+            Code::ModelAnalysisSkipped => "feature-model analysis skipped",
+            Code::DeadFeature => "dead feature",
+            Code::FalseOptionalFeature => "false-optional feature",
+            Code::ContradictoryConstraint => "contradictory cross-tree constraint",
+            Code::RedundantConstraint => "redundant cross-tree constraint",
+            Code::VoidModel => "void feature model",
+            Code::UnreferencedToken => "token never referenced by the grammar",
+            Code::UnknownTokenReference => "reference to a token absent from the set",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: a code anchored at a named site with a rendered message.
+///
+/// Sites are structural, not positional — the product line composes
+/// grammars from registered feature artifacts rather than source files, so
+/// the natural "location" is the named item: a production, a token rule, a
+/// feature within a diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (determines severity and layer).
+    pub code: Code,
+    /// The named item the diagnostic anchors to, e.g.
+    /// ``production `query_specification` `` or ``token `IDENT` ``.
+    pub site: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(code: Code, site: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            site: site.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Severity, from the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Layer, from the code.
+    pub fn layer(&self) -> Layer {
+        self.code.layer()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity(),
+            self.code,
+            self.site,
+            self.message
+        )
+    }
+}
+
+/// All diagnostics for one lint subject (a dialect, a feature selection, a
+/// fixture pair, or the diagram catalog).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// What was linted, e.g. a dialect name.
+    pub subject: String,
+    /// Findings, sorted by code then site.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// New empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        LintReport {
+            subject: subject.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Append diagnostics and restore sorted order.
+    pub fn extend(&mut self, diags: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(diags);
+        self.diagnostics
+            .sort_by(|a, b| (a.code, &a.site).cmp(&(b.code, &b.site)));
+    }
+
+    /// Number of diagnostics at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == severity)
+            .count()
+    }
+
+    /// `true` if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Diagnostics with a given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Human-readable rendering: one line per diagnostic plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("lint: {}\n", self.subject));
+        for d in &self.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out.push_str(&format!(
+            "  {} error(s), {} warning(s), {} note(s)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_ids_are_unique_and_parse_back() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.id()), "duplicate id {}", c.id());
+            assert_eq!(Code::from_id(c.id()), Some(c));
+        }
+        assert_eq!(Code::from_id("SW999"), None);
+    }
+
+    #[test]
+    fn code_ranges_match_layers() {
+        for c in Code::ALL {
+            let hundreds = c.id()[2..].parse::<u32>().unwrap() / 100;
+            let expect = match hundreds {
+                0 => Layer::Grammar,
+                1 => Layer::Lexer,
+                2 => Layer::FeatureModel,
+                3 => Layer::Cross,
+                _ => panic!("unexpected code range {}", c.id()),
+            };
+            assert_eq!(c.layer(), expect, "{}", c.id());
+        }
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut r = LintReport::new("demo");
+        r.extend([
+            Diagnostic::new(Code::DirectLeftRecursion, "production `e`", "e -> e"),
+            Diagnostic::new(Code::Ll1Conflict, "production `s`", "conflict"),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        // sorted by code: SW001 before SW002
+        assert_eq!(r.diagnostics[0].code, Code::Ll1Conflict);
+        let text = r.render_text();
+        assert!(text.contains("error[SW002] production `e`: e -> e"), "{text}");
+        assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"), "{text}");
+    }
+}

@@ -1,0 +1,121 @@
+//! `sqlweave-lint` — cross-layer static analysis for the SQL parser
+//! product line.
+//!
+//! A dialect in this product line is assembled from three layers — a
+//! feature diagram, per-feature sub-grammars, and per-feature token files —
+//! and each layer can be individually well-formed while the *composition*
+//! is defective: a production only a removed feature referenced, a token
+//! shadowed by another feature's rules, a constraint that quietly kills a
+//! feature. The linter runs every layer's analysis over a composed artifact
+//! (or the whole diagram catalog) and reports findings as [`Diagnostic`]s
+//! with stable codes (`SW001`…), severities, and named sites, rendered as
+//! human-readable text or JSON (see [`json`]).
+//!
+//! Severity policy: a well-formed dialect lints with **zero errors**.
+//! Conditions the runtime tolerates by design — LL(1) conflicts handled by
+//! the backtracking engine, keyword/identifier overlap resolved by scanner
+//! priority — are warnings or notes; conditions that make part of the
+//! artifact unusable are errors.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlweave_lint::{lint_dialect, Severity};
+//! use sqlweave_dialects::Dialect;
+//!
+//! let report = lint_dialect(Dialect::Pico).unwrap();
+//! assert_eq!(report.count(Severity::Error), 0, "{report}");
+//! ```
+
+pub mod checks;
+pub mod diag;
+pub mod json;
+
+pub use diag::{Code, Diagnostic, Layer, LintReport, Severity};
+
+use sqlweave_core::error::PipelineError;
+use sqlweave_core::pipeline::Composed;
+use sqlweave_dialects::Dialect;
+use sqlweave_feature_model::model::FeatureModel;
+use sqlweave_grammar::ir::Grammar;
+use sqlweave_lexgen::tokenset::TokenSet;
+
+/// Lint a grammar/token-set pair under `subject`: grammar checks, lexer
+/// checks, and the cross-layer consistency checks.
+pub fn lint_pair(subject: &str, grammar: &Grammar, tokens: &TokenSet) -> LintReport {
+    let mut report = LintReport::new(subject);
+    report.extend(checks::grammar::check(grammar));
+    report.extend(checks::lexer::check(tokens));
+    report.extend(checks::cross::check(grammar, tokens));
+    report
+}
+
+/// Lint a grammar alone (no token set available — cross-layer and lexer
+/// checks are skipped).
+pub fn lint_grammar(subject: &str, grammar: &Grammar) -> LintReport {
+    let mut report = LintReport::new(subject);
+    report.extend(checks::grammar::check(grammar));
+    report
+}
+
+/// Lint the output of a composition run.
+pub fn lint_composed(composed: &Composed) -> LintReport {
+    lint_pair(&composed.name, &composed.grammar, &composed.tokens)
+}
+
+/// Lint one feature diagram.
+pub fn lint_model(model: &FeatureModel) -> LintReport {
+    let mut report = LintReport::new(format!("diagram `{}`", model.name()));
+    report.extend(checks::model::check(model));
+    report
+}
+
+/// Lint every diagram in the SQL feature catalog as one report.
+pub fn lint_catalog() -> LintReport {
+    let mut report = LintReport::new("feature-model catalog");
+    for model in sqlweave_sql_features::catalog().diagrams() {
+        report.extend(checks::model::check(&model));
+    }
+    report
+}
+
+/// Compose and lint one preset dialect.
+pub fn lint_dialect(dialect: Dialect) -> Result<LintReport, PipelineError> {
+    Ok(lint_composed(&dialect.composed()?))
+}
+
+/// The full matrix sweep: the feature-model catalog plus every preset
+/// dialect, one report each.
+pub fn lint_all_dialects() -> Result<Vec<LintReport>, PipelineError> {
+    let mut reports = vec![lint_catalog()];
+    for d in Dialect::ALL {
+        reports.push(lint_dialect(d)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+
+    #[test]
+    fn lint_pair_aggregates_all_layers() {
+        // One defect per layer: left recursion (grammar), shadowed rule
+        // (lexer), unknown token reference (cross).
+        let g = parse_grammar("grammar g; s : s ANY | ABC MISSING ;").unwrap();
+        let t = parse_tokens("tokens g; ANY = /[a-z]+/; ABC = /abc/;").unwrap();
+        let r = lint_pair("demo", &g, &t);
+        assert!(r.with_code(Code::DirectLeftRecursion).len() == 1, "{r}");
+        assert!(r.with_code(Code::ShadowedTokenRule).len() == 1, "{r}");
+        assert!(r.with_code(Code::UnknownTokenReference).len() == 1, "{r}");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn lint_grammar_alone_skips_other_layers() {
+        let g = parse_grammar("grammar g; s : A ;").unwrap();
+        let r = lint_grammar("demo", &g);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+}

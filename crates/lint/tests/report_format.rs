@@ -1,0 +1,106 @@
+//! Golden tests for the report formats: the JSON schema every consumer can
+//! rely on, round-tripping through the bundled parser, and the text format.
+
+use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+use sqlweave_lint::json::{self, Value};
+use sqlweave_lint::{lint_pair, Code, Severity};
+
+fn sample_report() -> sqlweave_lint::LintReport {
+    let g = parse_grammar("grammar g; s : s ANY | ABC MISSING ;").unwrap();
+    let t = parse_tokens("tokens g; ANY = /[a-z]+/; ABC = /abc/;").unwrap();
+    lint_pair("fixture", &g, &t)
+}
+
+/// Every diagnostic object carries exactly the five documented keys with
+/// string values, `code` parses back into the catalog, and `severity` /
+/// `layer` agree with the code's metadata.
+#[test]
+fn json_schema_is_stable() {
+    let report = sample_report();
+    let v = json::parse(&json::report(&report)).expect("emitted JSON parses");
+
+    let Value::Obj(top) = &v else { panic!("top level must be an object") };
+    assert_eq!(
+        top.keys().collect::<Vec<_>>(),
+        ["diagnostics", "subject", "summary"],
+        "top-level keys changed"
+    );
+    assert_eq!(v.get("subject").unwrap().as_str(), Some("fixture"));
+
+    let summary = v.get("summary").unwrap();
+    for key in ["errors", "warnings", "notes"] {
+        assert!(
+            summary.get(key).unwrap().as_num().is_some(),
+            "summary.{key} must be a number"
+        );
+    }
+
+    let diags = v.get("diagnostics").unwrap().as_arr().unwrap();
+    assert_eq!(diags.len(), report.diagnostics.len());
+    for d in diags {
+        let Value::Obj(m) = d else { panic!("diagnostic must be an object") };
+        assert_eq!(
+            m.keys().collect::<Vec<_>>(),
+            ["code", "layer", "message", "severity", "site"],
+            "diagnostic keys changed"
+        );
+        let code = Code::from_id(d.get("code").unwrap().as_str().unwrap())
+            .expect("code is in the catalog");
+        assert_eq!(
+            d.get("severity").unwrap().as_str(),
+            Some(code.severity().as_str())
+        );
+        assert_eq!(d.get("layer").unwrap().as_str(), Some(code.layer().as_str()));
+        assert!(!d.get("site").unwrap().as_str().unwrap().is_empty());
+        assert!(!d.get("message").unwrap().as_str().unwrap().is_empty());
+    }
+}
+
+/// The summary counts in JSON match the report's own counters.
+#[test]
+fn json_summary_matches_counts() {
+    let report = sample_report();
+    let v = json::parse(&json::report(&report)).unwrap();
+    let summary = v.get("summary").unwrap();
+    assert_eq!(
+        summary.get("errors").unwrap().as_num(),
+        Some(report.count(Severity::Error) as f64)
+    );
+    assert_eq!(
+        summary.get("warnings").unwrap().as_num(),
+        Some(report.count(Severity::Warning) as f64)
+    );
+    assert_eq!(
+        summary.get("notes").unwrap().as_num(),
+        Some(report.count(Severity::Note) as f64)
+    );
+}
+
+/// Text format: one line per diagnostic in `severity[CODE] site: message`
+/// shape, plus the trailing summary line.
+#[test]
+fn text_format_is_line_oriented() {
+    let report = sample_report();
+    let text = report.render_text();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines[0], "lint: fixture");
+    assert_eq!(lines.len(), report.diagnostics.len() + 2);
+    for (line, d) in lines[1..].iter().zip(&report.diagnostics) {
+        assert!(
+            line.trim_start()
+                .starts_with(&format!("{}[{}]", d.severity(), d.code)),
+            "line {line:?} does not match {d:?}"
+        );
+    }
+    assert!(lines.last().unwrap().contains("error(s)"));
+}
+
+/// The multi-report wrapper used by `--all-dialects`.
+#[test]
+fn json_multi_report_schema() {
+    let reports = vec![sample_report(), sample_report()];
+    let v = json::parse(&json::reports(&reports)).unwrap();
+    assert_eq!(v.get("reports").unwrap().as_arr().unwrap().len(), 2);
+    let errors = v.get("summary").unwrap().get("errors").unwrap().as_num();
+    assert_eq!(errors, Some((reports[0].count(Severity::Error) * 2) as f64));
+}

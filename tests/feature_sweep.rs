@@ -146,7 +146,7 @@ fn removing_any_optional_feature_from_full_still_composes() {
         analyze(&composed.grammar)
             .unwrap_or_else(|e| panic!("full minus `{name}` left an open grammar: {e}"));
         // full parser build on a sample
-        if tested % 10 == 0 {
+        if tested.is_multiple_of(10) {
             composed
                 .into_parser()
                 .unwrap_or_else(|e| panic!("full minus `{name}` broke the parser build: {e}"));

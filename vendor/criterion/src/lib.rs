@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides the
+//! API surface the `sqlweave-bench` bench targets use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — with plain wall-clock
+//! timing (median of a few timed batches) instead of statistical analysis.
+//! Output is one line per benchmark: id, per-iteration time, and, when a
+//! throughput was declared, bytes/second.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` naming, as upstream.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Declared throughput for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level driver (subset of upstream `Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run a benchmark identified by `id`.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Run a benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Finish the group (upstream writes reports here; we've already printed).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up, and calibrate the per-sample iteration count.
+        let warm_deadline = Instant::now() + self.criterion.warm_up_time;
+        let mut per_iter = Duration::from_micros(1);
+        while Instant::now() < warm_deadline {
+            bencher.iters = 1;
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        }
+        let budget = self.criterion.measurement_time.as_secs_f64() / samples as f64;
+        let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters;
+            f(&mut bencher);
+            times.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:>12}{}",
+            format!("{}/{}", self.name, id),
+            format_time(median),
+            rate
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export for benches
+/// importing `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a bench group: either `criterion_group!(name, fn...)` or the
+/// config form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+            ran += 1;
+        });
+        group.finish();
+        assert!(ran >= 3, "closure ran {ran} times");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.002), "2.000 ms");
+        assert!(format_time(2e-6).contains("µs"));
+        assert!(format_time(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,707 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! [`BoxedStrategy`], range / tuple / `&str`-pattern strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `prop::bool::ANY`,
+//! `prop::num::usize::ANY`, and the `proptest!` / `prop_oneof!` /
+//! `prop_assert*!` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways: cases are drawn
+//! from a deterministic per-test RNG (same inputs every run, so failures
+//! are reproducible without a persistence file), and there is **no
+//! shrinking** — a failing case reports its case number and message only.
+
+use std::rc::Rc;
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Runtime pieces the `proptest!` macro expansion references.
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+
+    /// Stable 64-bit FNV-1a hash of the test name, used as the RNG seed so
+    /// every test gets a distinct but reproducible stream.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+use __rt::{Rng, StdRng};
+
+/// Test-runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values (upstream `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive values: `f` receives the strategy for the next level
+    /// down and returns the strategy for the level above. `self` is the
+    /// leaf level. Depth is bounded by construction (no probabilistic
+    /// stopping), so generation always terminates; `_desired_size` and
+    /// `_expected_branch` are accepted for signature compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = f(level).boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a clonable, heap-allocated strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.gen_value(rng)))
+    }
+}
+
+/// A type-erased strategy; clones share the underlying generator.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over same-valued strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one nonzero weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0u64..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `&str` regex-subset patterns are strategies producing matching strings.
+///
+/// Supported syntax: literal characters, escapes (`\n`, `\r`, `\t`, `\\`),
+/// character classes `[...]` with ranges and `^` negation (complement drawn
+/// from printable ASCII plus newline), and quantifiers `{m,n}`, `{m}`, `*`,
+/// `+`, `?`. Anything else panics — extend the shim if a test needs more.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut StdRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+mod pattern {
+    use super::{Rng, StdRng};
+
+    enum Atom {
+        /// Candidate characters, pre-expanded.
+        Class(Vec<char>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn sample(pattern: &str, rng: &mut StdRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = if p.min == p.max {
+                p.min
+            } else {
+                rng.gen_range(p.min..p.max + 1)
+            };
+            let Atom::Class(chars) = &p.atom;
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    let c = escape(chars.get(i + 1).copied(), pattern);
+                    i += 2;
+                    Atom::Class(vec![c])
+                }
+                '(' | ')' | '|' | '.' | '*' | '+' | '?' | '{' => panic!(
+                    "vendored proptest shim: unsupported pattern syntax at \
+                     char {i} in {pattern:?}"
+                ),
+                c => {
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                let c = escape(chars.get(i + 1).copied(), pattern);
+                i += 2;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                let hi = if chars[i + 1] == '\\' {
+                    let c = escape(chars.get(i + 2).copied(), pattern);
+                    i += 3;
+                    c
+                } else {
+                    let c = chars[i + 1];
+                    i += 2;
+                    c
+                };
+                assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                set.extend(lo..=hi);
+            } else {
+                set.push(lo);
+            }
+        }
+        assert!(chars.get(i) == Some(&']'), "unterminated class in {pattern:?}");
+        if negated {
+            let full: Vec<char> = (' '..='~').chain(['\n', '\t', '\r']).collect();
+            let set: Vec<char> = full.into_iter().filter(|c| !set.contains(c)).collect();
+            assert!(!set.is_empty(), "negated class matches nothing: {pattern:?}");
+            (set, i + 1)
+        } else {
+            assert!(!set.is_empty(), "empty class in {pattern:?}");
+            (set, i + 1)
+        }
+    }
+
+    /// Quantifier following position `i`: `{m,n}`, `{m}`, `*`, `+`, `?`, or
+    /// none (exactly one). Unbounded quantifiers cap at 8 repetitions.
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{}} in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let m: usize = body.trim().parse().expect("bad {m}");
+                        (m, m)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+
+    fn escape(c: Option<char>, pattern: &str) -> char {
+        match c {
+            Some('n') => '\n',
+            Some('t') => '\t',
+            Some('r') => '\r',
+            Some(c @ ('\\' | ']' | '[' | '-' | '^' | '.' | '*' | '+' | '?' | '(' | ')' | '{' | '}' | '|' | '$')) => c,
+            other => panic!("unsupported escape {other:?} in {pattern:?}"),
+        }
+    }
+}
+
+pub mod strategy {
+    //! Names the `prop_oneof!` macro expansion references.
+    pub use super::{BoxedStrategy, Map, Strategy, Union};
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `sample`, `bool`, `num`).
+
+    pub mod collection {
+        use crate::{Rng, StdRng, Strategy};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s of `elem` with length drawn from `len`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(elem, m..n)` — upstream's `prop::collection::vec`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.elem.gen_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Rng, StdRng, Strategy};
+
+        /// Uniform choice from a fixed list.
+        #[derive(Clone)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// `select(items)` — upstream's `prop::sample::select`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select over empty list");
+            Select(items)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn gen_value(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::{Rng, StdRng, Strategy};
+
+        /// Fair coin.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Upstream's `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn gen_value(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    pub mod num {
+        pub mod usize {
+            use crate::{StdRng, Strategy};
+            use rand::RngCore;
+
+            /// Uniform over all of `usize`.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Upstream's `prop::num::usize::ANY`.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = usize;
+                fn gen_value(&self, rng: &mut StdRng) -> usize {
+                    rng.next_u64() as usize
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude` for the used surface.
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Run named property functions over random cases.
+///
+/// Supports the upstream form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// doc comments allowed
+///     #[test]
+///     fn prop(x in strategy_a(), y in strategy_b()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            use $crate::__rt::SeedableRng as _;
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::__rt::StdRng::seed_from_u64(
+                $crate::__rt::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = ($strat).gen_value(&mut __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__message) = __outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fail the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::__rt::{SeedableRng, StdRng};
+    use crate::Strategy;
+
+    #[test]
+    fn select_and_map_compose() {
+        let s = prop::sample::select(vec!["a", "b"]).prop_map(str::to_string);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let v = s.gen_value(&mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let s = prop::collection::vec(0usize..5, 2..6);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_zero_excluded_arm() {
+        let s = prop_oneof![1 => Just(1u32), 0 => Just(2u32)];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn string_pattern_strategy_matches_class() {
+        let s: &'static str = "[a-c]{2,4}";
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let v = Strategy::gen_value(&s, &mut rng);
+            assert!((2..=4).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class_and_escapes() {
+        let s: &'static str = "[^a]{1,3}\\n";
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let v = Strategy::gen_value(&s, &mut rng);
+            assert!(v.ends_with('\n'));
+            assert!(!v[..v.len() - 1].contains('a'), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        let leaf = Just(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..3).prop_map(Tree::Node),
+                inner.prop_map(|t| t),
+            ]
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let _ = s.gen_value(&mut rng); // must not hang or overflow
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, config, and prop_assert plumbing.
+        #[test]
+        fn macro_smoke(x in 0usize..10, v in prop::collection::vec(0u32..3, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 4, "vec too long: {v:?}");
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
