@@ -13,6 +13,8 @@
 //! composition takes tens of milliseconds and benches/tests request them
 //! repeatedly.
 
+pub mod runner;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqlweave_core::pipeline::Composed;
@@ -38,11 +40,14 @@ pub fn composed(dialect: Dialect) -> &'static Composed {
 
 /// Cached parser per dialect and engine mode.
 pub fn parser(dialect: Dialect, mode: EngineMode) -> &'static Parser {
-    static CACHE: OnceLock<Mutex<HashMap<(&'static str, bool), &'static Parser>>> =
+    // Keyed on `EngineMode` itself (it derives `Hash`): a projection like
+    // `matches!(mode, EngineMode::Ll1Table)` would silently collide two
+    // modes into one cache slot the day a third engine is added.
+    static CACHE: OnceLock<Mutex<HashMap<(&'static str, EngineMode), &'static Parser>>> =
         OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap();
-    let key = (dialect.name(), matches!(mode, EngineMode::Ll1Table));
+    let key = (dialect.name(), mode);
     map.entry(key).or_insert_with(|| {
         Box::leak(Box::new(
             dialect

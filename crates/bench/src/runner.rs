@@ -1,0 +1,298 @@
+//! JSON benchmark runner behind `sqlweave bench`.
+//!
+//! Measures corpus throughput (statements/sec and tokens/sec) for every
+//! requested dialect × engine mode across the four parse APIs, so the
+//! allocation ablation of Experiment B4 is reproducible from one command:
+//!
+//! * `seed_cst` — [`Parser::parse_reference`], the pre-event engines that
+//!   build a [`sqlweave_parser_rt::CstNode`] per grammar symbol (baseline,
+//!   `speedup_vs_seed` = 1.0 by construction).
+//! * `event_cst` — [`Parser::parse`]: event stream → arena tree → owned
+//!   CST conversion. What drop-in callers of the seed API get today.
+//! * `event_tree` — a recycled [`sqlweave_parser_rt::ParseSession`]
+//!   borrowing the arena-backed tree; the intended hot-path API.
+//! * `batch` — [`Parser::parse_many`] over the whole corpus per iteration.
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v1`), built
+//! with the same hand-rolled emitter conventions as `sqlweave-lint` and
+//! round-tripped through [`sqlweave_lint::json::parse`] before being
+//! returned, so a malformed report fails loudly instead of landing in CI
+//! artifacts.
+
+use crate::{corpus, parser};
+use sqlweave_dialects::Dialect;
+use sqlweave_lexgen::Token;
+use sqlweave_lint::json::{self, Value};
+use sqlweave_parser_rt::engine::{EngineMode, Parser};
+use std::time::Instant;
+
+/// Stable name for an engine mode in reports.
+pub fn engine_name(mode: EngineMode) -> &'static str {
+    match mode {
+        EngineMode::Backtracking => "backtracking",
+        EngineMode::Ll1Table => "ll1_table",
+    }
+}
+
+/// Throughput of one parse API on one dialect × engine corpus.
+#[derive(Debug, Clone)]
+pub struct ApiMeasurement {
+    /// API identifier: `seed_cst`, `event_cst`, `event_tree`, or `batch`.
+    pub api: &'static str,
+    /// Whole parsed statements per second.
+    pub statements_per_sec: f64,
+    /// Tokens per second (same runs, token-weighted).
+    pub tokens_per_sec: f64,
+    /// Ratio of this API's statements/sec to `seed_cst`'s.
+    pub speedup_vs_seed: f64,
+}
+
+/// All measurements for one dialect × engine pair.
+#[derive(Debug, Clone)]
+pub struct PairReport {
+    /// Dialect name (e.g. `core`).
+    pub dialect: &'static str,
+    /// Engine name (e.g. `backtracking`).
+    pub engine: &'static str,
+    /// Corpus statements measured (those this engine accepts).
+    pub statements: usize,
+    /// Total tokens across those statements.
+    pub tokens: usize,
+    /// Per-API throughput, `seed_cst` first.
+    pub apis: Vec<ApiMeasurement>,
+}
+
+fn time<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    // One untimed warmup pass populates lazily initialized state (parser
+    // caches, allocator arenas) so the first timed iteration is not an
+    // outlier at small `iters`.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn measure(
+    api: &'static str,
+    iters: usize,
+    statements: usize,
+    tokens: usize,
+    secs: f64,
+    seed_sps: Option<f64>,
+) -> ApiMeasurement {
+    let secs = secs.max(1e-9);
+    let sps = (iters * statements) as f64 / secs;
+    ApiMeasurement {
+        api,
+        statements_per_sec: sps,
+        tokens_per_sec: (iters * tokens) as f64 / secs,
+        speedup_vs_seed: seed_sps.map_or(1.0, |s| sps / s.max(1e-9)),
+    }
+}
+
+/// Benchmark one dialect × engine pair over its accepted corpus.
+///
+/// Statements the engine rejects (the LL(1) engine cannot parse every
+/// corpus entry of the larger dialects) are excluded up front so every API
+/// measures identical successful work.
+pub fn bench_pair(dialect: Dialect, mode: EngineMode, iters: usize) -> PairReport {
+    let p: &'static Parser = parser(dialect, mode);
+    let stmts: Vec<&'static str> = corpus(dialect)
+        .into_iter()
+        .filter(|s| p.parse_reference(s).is_ok())
+        .collect();
+    let tokens: usize = stmts
+        .iter()
+        .map(|s| {
+            let mut v: Vec<Token> = Vec::new();
+            p.scanner().scan_into(s, &mut v).expect("accepted statement lexes");
+            v.len()
+        })
+        .sum();
+
+    let seed_secs = time(iters, || {
+        for s in &stmts {
+            let _ = std::hint::black_box(p.parse_reference(s));
+        }
+    });
+    let event_cst_secs = time(iters, || {
+        for s in &stmts {
+            let _ = std::hint::black_box(p.parse(s));
+        }
+    });
+    let mut session = p.session();
+    let event_tree_secs = time(iters, || {
+        for s in &stmts {
+            let tree = session.parse_tree(s).expect("accepted statement parses");
+            std::hint::black_box(tree.node_count());
+        }
+    });
+    let batch_secs = time(iters, || {
+        let _ = std::hint::black_box(p.parse_many(&stmts));
+    });
+
+    let seed = measure("seed_cst", iters, stmts.len(), tokens, seed_secs, None);
+    let seed_sps = seed.statements_per_sec;
+    let apis = vec![
+        seed,
+        measure("event_cst", iters, stmts.len(), tokens, event_cst_secs, Some(seed_sps)),
+        measure("event_tree", iters, stmts.len(), tokens, event_tree_secs, Some(seed_sps)),
+        measure("batch", iters, stmts.len(), tokens, batch_secs, Some(seed_sps)),
+    ];
+    PairReport {
+        dialect: dialect.name(),
+        engine: engine_name(mode),
+        statements: stmts.len(),
+        tokens,
+        apis,
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Two decimals is plenty for throughput ratios; full float printing
+    // would make the checked-in report churn on every rerun.
+    format!("{x:.2}")
+}
+
+/// Serialize reports as the `sqlweave-bench-parser/v1` JSON document.
+pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
+    let results: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let apis: Vec<String> = r
+                .apis
+                .iter()
+                .map(|a| {
+                    format!(
+                        "{{\"api\":\"{}\",\"statements_per_sec\":{},\"tokens_per_sec\":{},\"speedup_vs_seed\":{}}}",
+                        json::escape(a.api),
+                        fmt_f64(a.statements_per_sec),
+                        fmt_f64(a.tokens_per_sec),
+                        fmt_f64(a.speedup_vs_seed)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\"apis\":[{}]}}",
+                json::escape(r.dialect),
+                json::escape(r.engine),
+                r.statements,
+                r.tokens,
+                apis.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":{},\"results\":[{}]}}",
+        iters,
+        results.join(",")
+    )
+}
+
+/// Run the full sweep and return validated JSON.
+///
+/// Panics if the emitted document fails to round-trip through the JSON
+/// parser or violates the schema — a bench artifact that cannot be read
+/// back is worse than no artifact.
+pub fn run(dialects: &[Dialect], iters: usize) -> String {
+    let mut reports = Vec::new();
+    for &d in dialects {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            reports.push(bench_pair(d, mode, iters));
+        }
+    }
+    let doc = to_json(iters, &reports);
+    validate(&doc).unwrap_or_else(|e| panic!("bench runner emitted invalid JSON: {e}"));
+    doc
+}
+
+/// Check a bench document against schema `sqlweave-bench-parser/v1`.
+///
+/// Used both by [`run`] before returning and by the CI smoke step to gate
+/// on the artifact it just produced.
+pub fn validate(doc: &str) -> Result<(), String> {
+    let v: Value = json::parse(doc).map_err(|e| e.to_string())?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != "sqlweave-bench-parser/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
+    let results = v
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"results\"")?;
+    if results.is_empty() {
+        return Err("empty \"results\"".to_string());
+    }
+    for r in results {
+        for key in ["dialect", "engine"] {
+            r.get(key).and_then(Value::as_str).ok_or(format!("result missing {key:?}"))?;
+        }
+        for key in ["statements", "tokens"] {
+            r.get(key).and_then(Value::as_num).ok_or(format!("result missing {key:?}"))?;
+        }
+        let apis = r
+            .get("apis")
+            .and_then(Value::as_arr)
+            .ok_or("result missing \"apis\"")?;
+        if apis.iter().all(|a| a.get("api").and_then(Value::as_str) != Some("seed_cst")) {
+            return Err("result lacks the seed_cst baseline".to_string());
+        }
+        for a in apis {
+            a.get("api").and_then(Value::as_str).ok_or("api entry missing \"api\"")?;
+            for key in ["statements_per_sec", "tokens_per_sec", "speedup_vs_seed"] {
+                let n = a
+                    .get(key)
+                    .and_then(Value::as_num)
+                    .ok_or(format!("api entry missing {key:?}"))?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!("api entry has non-finite {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pico_sweep_emits_valid_schema() {
+        let doc = run(&[Dialect::Pico], 2);
+        assert!(validate(&doc).is_ok());
+        let v = json::parse(&doc).unwrap();
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2, "both engines reported");
+        for r in results {
+            assert_eq!(r.get("dialect").unwrap().as_str(), Some("pico"));
+            assert!(r.get("statements").unwrap().as_num().unwrap() > 0.0);
+            assert_eq!(r.get("apis").unwrap().as_arr().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("{").is_err());
+        assert!(validate("{\"schema\":\"other/v9\"}").is_err());
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
+        // Schema-valid wrapper but an api entry missing its baseline.
+        assert!(validate(
+            "{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn seed_baseline_reports_unit_speedup() {
+        let r = bench_pair(Dialect::Pico, EngineMode::Backtracking, 1);
+        assert_eq!(r.apis[0].api, "seed_cst");
+        assert!((r.apis[0].speedup_vs_seed - 1.0).abs() < 1e-9);
+    }
+}

@@ -16,6 +16,7 @@
 //! sqlweave generate FEATURE...         emit standalone Rust parser source
 //! sqlweave dialects                    list preset dialects with sizes
 //! sqlweave lint [TARGET...]            static analysis with diagnostic codes
+//! sqlweave bench [--json]              corpus throughput per dialect × engine
 //! ```
 
 use sqlweave_dialects::Dialect;
@@ -39,7 +40,8 @@ fn usage() -> ExitCode {
          sqlweave lint [--format text|json] --dialect NAME\n  \
          sqlweave lint [--format text|json] --grammar FILE [--tokens FILE]\n  \
          sqlweave lint [--format text|json] FEATURE...\n  \
-         sqlweave lint --codes"
+         sqlweave lint --codes\n  \
+         sqlweave bench [--json] [--dialect NAME] [--iters N] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
         "format" => cmd_format(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         _ => usage(),
     }
 }
@@ -381,12 +384,13 @@ fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match parser.parse(&sql) {
-        Ok(cst) => {
+    let mut session = parser.session();
+    match session.parse_tree(&sql) {
+        Ok(tree) => {
             if verbose {
                 println!("-- concrete syntax tree --");
-                print!("{}", cst.pretty());
-                match sqlweave_sql_ast::lower::lower_script(&cst) {
+                print!("{}", tree.pretty());
+                match sqlweave_sql_ast::lower::lower_tree(&tree) {
                     Ok(stmts) => {
                         println!("-- printed from the AST --");
                         for s in &stmts {
@@ -420,14 +424,15 @@ fn cmd_format(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cst = match parser.parse(&sql) {
-        Ok(c) => c,
+    let mut session = parser.session();
+    let tree = match session.parse_tree(&sql) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("rejected by `{}`: {e}", dialect.name());
             return ExitCode::FAILURE;
         }
     };
-    match sqlweave_sql_ast::lower::lower_script(&cst) {
+    match sqlweave_sql_ast::lower::lower_tree(&tree) {
         Ok(stmts) => {
             for s in &stmts {
                 println!("{};", sqlweave_sql_ast::print::statement(s));
@@ -439,6 +444,88 @@ fn cmd_format(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Corpus throughput sweep over dialect × engine × parse API. `--json`
+/// emits the `sqlweave-bench-parser/v1` document (already validated by the
+/// runner); the default is a human-readable table.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut iters = 200usize;
+    let mut dialects: Vec<Dialect> = Dialect::ALL.to_vec();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--iters" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                iters = n;
+                i += 2;
+            }
+            "--dialect" => {
+                let Some(name) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Some(&d) = Dialect::ALL.iter().find(|d| d.name() == *name) else {
+                    eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+                    return ExitCode::FAILURE;
+                };
+                dialects = vec![d];
+                i += 2;
+            }
+            "--out" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                out = Some(path.clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    if iters == 0 {
+        eprintln!("--iters must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        let doc = sqlweave_bench::runner::run(&dialects, iters);
+        match &out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                    eprintln!("cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            None => println!("{doc}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<10} {:<13} {:<11} {:>11} {:>13} {:>8}",
+        "dialect", "engine", "api", "stmts/sec", "tokens/sec", "vs seed"
+    );
+    for &d in &dialects {
+        for mode in [
+            sqlweave_parser_rt::EngineMode::Backtracking,
+            sqlweave_parser_rt::EngineMode::Ll1Table,
+        ] {
+            let r = sqlweave_bench::runner::bench_pair(d, mode, iters);
+            for a in &r.apis {
+                println!(
+                    "{:<10} {:<13} {:<11} {:>11.0} {:>13.0} {:>7.2}x",
+                    r.dialect, r.engine, a.api, a.statements_per_sec, a.tokens_per_sec, a.speedup_vs_seed
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_generate(features: &[String]) -> ExitCode {

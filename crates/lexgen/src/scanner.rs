@@ -118,6 +118,14 @@ impl Scanner {
     /// Scan the whole input, dropping skip-rule matches.
     pub fn scan(&self, input: &str) -> Result<Vec<Token>, LexError> {
         let mut out = Vec::new();
+        self.scan_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scan the whole input, appending tokens to a caller-owned vector so
+    /// batch drivers can recycle the allocation across statements. The
+    /// vector is *not* cleared first.
+    pub fn scan_into(&self, input: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
         let mut pos = 0usize;
         while pos < input.len() {
             let rest = &input[pos..];
@@ -144,7 +152,7 @@ impl Scanner {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Reference implementation scanning with per-rule NFA simulation; used

@@ -7,9 +7,23 @@
 //! vector indices, and the LL(1) prediction table becomes a dense
 //! per-production row. The hot path performs no string comparisons and no
 //! hashing.
+//!
+//! Since the green-tree rework the engines do not construct tree nodes at
+//! all: they append [`Event`]s to a flat buffer (see [`crate::events`]),
+//! and abandoning a speculative alternative is a single buffer truncation.
+//! The backtracking engine additionally memoizes *failed* `(production,
+//! position)` probes in a [`FailureMemo`] bitmap, so the Group/Opt/Star
+//! re-entry pattern — where an enclosing alternative re-probes the same
+//! nonterminal at the same position — fails in O(1) instead of re-deriving
+//! (and re-discarding) the whole subtree. Successful parses are
+//! materialized into a [`crate::tree::SyntaxTree`] by
+//! [`crate::session::ParseSession`]; [`Parser::parse`] keeps the seed
+//! [`CstNode`] API as a thin conversion on top.
 
 use crate::cst::CstNode;
 use crate::errors::ParseError;
+use crate::events::Event;
+use crate::session::ParseSession;
 use sqlweave_grammar::analysis::{analyze, AnalysisError, GrammarAnalysis, EOF};
 use sqlweave_grammar::ir::{Grammar, Term};
 use sqlweave_grammar::lower::is_synthetic;
@@ -20,7 +34,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Which algorithm [`Parser::parse`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EngineMode {
     /// Recursive-descent interpretation of the EBNF grammar with FIRST-set
     /// pruning and ordered backtracking across alternatives. Handles any
@@ -93,24 +107,24 @@ pub struct ParserStats {
 
 /// Dense bitset over interned token ids.
 #[derive(Debug, Clone, Default)]
-struct TokBits {
+pub(crate) struct TokBits {
     words: Box<[u64]>,
 }
 
 impl TokBits {
-    fn new(n_tokens: usize) -> TokBits {
+    pub(crate) fn new(n_tokens: usize) -> TokBits {
         TokBits {
             words: vec![0u64; n_tokens.div_ceil(64)].into_boxed_slice(),
         }
     }
 
     #[inline]
-    fn insert(&mut self, id: u32) {
+    pub(crate) fn insert(&mut self, id: u32) {
         self.words[(id / 64) as usize] |= 1 << (id % 64);
     }
 
     #[inline]
-    fn contains(&self, id: u32) -> bool {
+    pub(crate) fn contains(&self, id: u32) -> bool {
         (self.words[(id / 64) as usize] >> (id % 64)) & 1 == 1
     }
 
@@ -140,7 +154,7 @@ impl TokBits {
 // ------------------------------------------------------- compiled grammars
 
 /// Compiled EBNF term for the backtracking engine.
-enum CTerm {
+pub(crate) enum CTerm {
     Tok(u32),
     Nt(u32),
     Opt { body: Vec<CTerm>, first: TokBits },
@@ -149,59 +163,59 @@ enum CTerm {
     Group(Vec<CGroupAlt>),
 }
 
-struct CGroupAlt {
-    seq: Vec<CTerm>,
-    first: TokBits,
-    nullable: bool,
+pub(crate) struct CGroupAlt {
+    pub(crate) seq: Vec<CTerm>,
+    pub(crate) first: TokBits,
+    pub(crate) nullable: bool,
 }
 
-struct CAlt {
-    seq: Vec<CTerm>,
-    first: TokBits,
-    nullable: bool,
-    label: Option<String>,
+pub(crate) struct CAlt {
+    pub(crate) seq: Vec<CTerm>,
+    pub(crate) first: TokBits,
+    pub(crate) nullable: bool,
+    pub(crate) label: Option<String>,
 }
 
-struct CProd {
-    name: String,
-    alts: Vec<CAlt>,
+pub(crate) struct CProd {
+    pub(crate) name: String,
+    pub(crate) alts: Vec<CAlt>,
 }
 
 /// Compiled flat term for the LL(1) engine.
-enum FTerm {
+pub(crate) enum FTerm {
     Tok(u32),
     Nt { idx: u32, synthetic: bool },
 }
 
-struct FAlt {
-    seq: Vec<FTerm>,
-    label: Option<String>,
+pub(crate) struct FAlt {
+    pub(crate) seq: Vec<FTerm>,
+    pub(crate) label: Option<String>,
 }
 
-const NO_ALT: u16 = u16::MAX;
+pub(crate) const NO_ALT: u16 = u16::MAX;
 
-struct FProd {
-    name: String,
-    alts: Vec<FAlt>,
+pub(crate) struct FProd {
+    pub(crate) name: String,
+    pub(crate) alts: Vec<FAlt>,
     /// Dense prediction row: token id → alternative index (or [`NO_ALT`]).
-    row: Box<[u16]>,
+    pub(crate) row: Box<[u16]>,
     /// Alternative predicted at end of input.
-    eof_alt: u16,
+    pub(crate) eof_alt: u16,
     /// Tokens with a prediction (for error messages).
-    expected: TokBits,
+    pub(crate) expected: TokBits,
 }
 
 /// A ready-to-use parser for one composed grammar.
 pub struct Parser {
     grammar: Grammar,
     analysis: GrammarAnalysis,
-    scanner: Scanner,
+    pub(crate) scanner: Scanner,
     mode: EngineMode,
-    n_tokens: usize,
-    cprods: Vec<CProd>,
-    cstart: u32,
-    fprods: Vec<FProd>,
-    fstart: u32,
+    pub(crate) n_tokens: usize,
+    pub(crate) cprods: Vec<CProd>,
+    pub(crate) cstart: u32,
+    pub(crate) fprods: Vec<FProd>,
+    pub(crate) fstart: u32,
 }
 
 impl fmt::Debug for Parser {
@@ -293,52 +307,64 @@ impl Parser {
     }
 
     /// Parse `input` to a CST, or produce the farthest-failure error.
+    ///
+    /// This is the seed API, kept as a thin conversion: the parse runs on
+    /// the event core (one throwaway [`ParseSession`]) and the resulting
+    /// [`crate::tree::SyntaxTree`] is materialized into owning [`CstNode`]s.
+    /// Allocation-sensitive callers should hold a [`Parser::session`] and
+    /// use [`ParseSession::parse_tree`] directly.
     pub fn parse(&self, input: &str) -> Result<CstNode, ParseError> {
-        let toks = self.scanner.scan(input).map_err(|e| ParseError {
-            at: e.at,
-            line: e.line,
-            column: e.column,
-            expected: BTreeSet::new(),
-            found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
-            lexical: Some(e.to_string()),
-        })?;
-        let kind_ids: Vec<u32> = toks.iter().map(|t| t.kind.0).collect();
-        let mut ctx = Ctx {
-            toks: &toks,
-            kind_ids,
-            input,
-            scanner: &self.scanner,
-            farthest: 0,
-            expected: TokBits::new(self.n_tokens),
-            expected_eof: false,
-        };
-        let result = match self.mode {
-            EngineMode::Backtracking => self.bt_nt(&mut ctx, self.cstart, 0),
-            EngineMode::Ll1Table => self.ll1_nt(&mut ctx, self.fstart, 0),
-        };
-        match result {
-            Ok((node, next)) if next == toks.len() => Ok(node),
-            Ok((_, next)) => {
-                ctx.note_eof(next);
-                Err(self.error_from(&ctx))
-            }
-            Err(()) => Err(self.error_from(&ctx)),
+        let mut session = self.session();
+        let tree = session.parse_tree(input)?;
+        Ok(tree.to_cst())
+    }
+
+    /// A reusable parse session holding the event buffer, token vector,
+    /// memo bitmap, and tree arena, recycled across parses.
+    pub fn session(&self) -> ParseSession<'_> {
+        ParseSession::new(self)
+    }
+
+    /// Resolve a compiled production id (as found in [`Event::Open`]) to
+    /// its production name, per emitting engine.
+    pub(crate) fn prod_name(&self, mode: EngineMode, prod: u32) -> &str {
+        match mode {
+            EngineMode::Backtracking => &self.cprods[prod as usize].name,
+            EngineMode::Ll1Table => &self.fprods[prod as usize].name,
         }
     }
 
-    fn error_from(&self, ctx: &Ctx<'_>) -> ParseError {
-        let (at, found) = match ctx.toks.get(ctx.farthest) {
+    /// Resolve a compiled `(production, alternative)` pair to the
+    /// alternative's label, per emitting engine.
+    pub(crate) fn alt_label(&self, mode: EngineMode, prod: u32, alt: u32) -> Option<&str> {
+        match mode {
+            EngineMode::Backtracking => {
+                self.cprods[prod as usize].alts[alt as usize].label.as_deref()
+            }
+            EngineMode::Ll1Table => {
+                self.fprods[prod as usize].alts[alt as usize].label.as_deref()
+            }
+        }
+    }
+
+    pub(crate) fn error_from(
+        &self,
+        input: &str,
+        toks: &[Token],
+        notes: &Notes,
+    ) -> ParseError {
+        let (at, found) = match toks.get(notes.farthest) {
             Some(t) => (
                 t.start,
                 Some((
                     self.scanner.name(t.kind).to_string(),
-                    t.text(ctx.input).to_string(),
+                    t.text(input).to_string(),
                 )),
             ),
-            None => (ctx.input.len(), None),
+            None => (input.len(), None),
         };
-        let (line, column) = line_col(ctx.input, at);
-        let mut expected: BTreeSet<String> = ctx
+        let (line, column) = line_col(input, at);
+        let mut expected: BTreeSet<String> = notes
             .expected
             .iter_ids()
             .map(|id| {
@@ -347,7 +373,7 @@ impl Parser {
                     .to_string()
             })
             .collect();
-        if ctx.expected_eof {
+        if notes.expected_eof {
             expected.insert(EOF.to_string());
         }
         ParseError {
@@ -360,68 +386,80 @@ impl Parser {
         }
     }
 
-    // ---------- backtracking engine ----------
+    // ---------- event-emitting engines ----------
 
-    fn bt_nt(&self, ctx: &mut Ctx<'_>, prod: u32, pos: usize) -> Result<(CstNode, usize), ()> {
-        let prod = &self.cprods[prod as usize];
+    /// Run the configured engine over an already-scanned token stream,
+    /// appending the parse to `ctx.events`. Returns the position after the
+    /// start production on success (the caller checks it consumed all
+    /// input).
+    pub(crate) fn run_events(&self, ctx: &mut EvCtx<'_>) -> Result<usize, ()> {
+        match self.mode {
+            EngineMode::Backtracking => self.ev_bt_nt(ctx, self.cstart, 0),
+            EngineMode::Ll1Table => self.ev_ll1(ctx, self.fstart, 0, true),
+        }
+    }
+
+    fn ev_bt_nt(&self, ctx: &mut EvCtx<'_>, prod: u32, pos: usize) -> Result<usize, ()> {
+        // The engine is a deterministic function of (production, position),
+        // so a failed probe can never succeed on re-entry — fail in O(1).
+        if ctx.memo.failed(prod, pos) {
+            return Err(());
+        }
+        let cprod = &self.cprods[prod as usize];
         let la = ctx.kind_ids.get(pos).copied();
-        for alt in &prod.alts {
+        for (ai, alt) in cprod.alts.iter().enumerate() {
             if !alt.nullable {
                 match la {
                     Some(k) if alt.first.contains(k) => {}
                     _ => {
-                        ctx.note_set(pos, &alt.first);
+                        ctx.notes.note_set(pos, &alt.first);
                         continue;
                     }
                 }
             }
-            let mut children = Vec::new();
-            if let Ok(next) = self.bt_seq(ctx, &alt.seq, pos, &mut children) {
-                return Ok((
-                    CstNode::rule(&prod.name, alt.label.clone(), children),
-                    next,
-                ));
+            let mark = ctx.events.len();
+            ctx.events.push(Event::Open { prod, alt: ai as u32 });
+            match self.ev_bt_seq(ctx, &alt.seq, pos) {
+                Ok(next) => {
+                    ctx.events.push(Event::Close);
+                    return Ok(next);
+                }
+                Err(()) => ctx.events.truncate(mark),
             }
         }
+        ctx.memo.record(prod, pos);
         Err(())
     }
 
-    fn bt_seq(
-        &self,
-        ctx: &mut Ctx<'_>,
-        seq: &[CTerm],
-        mut pos: usize,
-        children: &mut Vec<CstNode>,
-    ) -> Result<usize, ()> {
+    fn ev_bt_seq(&self, ctx: &mut EvCtx<'_>, seq: &[CTerm], mut pos: usize) -> Result<usize, ()> {
         for term in seq {
-            pos = self.bt_term(ctx, term, pos, children)?;
+            pos = self.ev_bt_term(ctx, term, pos)?;
         }
         Ok(pos)
     }
 
     /// Greedy repetition shared by `Star` and the tail of `Plus`.
-    fn bt_repeat(
+    fn ev_bt_repeat(
         &self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut EvCtx<'_>,
         body: &[CTerm],
         first: &TokBits,
         mut pos: usize,
-        children: &mut Vec<CstNode>,
     ) -> usize {
         loop {
             match ctx.kind_ids.get(pos) {
                 Some(&k) if first.contains(k) => {
-                    let mark = children.len();
-                    match self.bt_seq(ctx, body, pos, children) {
+                    let mark = ctx.events.len();
+                    match self.ev_bt_seq(ctx, body, pos) {
                         Ok(next) if next > pos => pos = next,
                         _ => {
-                            children.truncate(mark);
+                            ctx.events.truncate(mark);
                             break;
                         }
                     }
                 }
                 _ => {
-                    ctx.note_set(pos, first);
+                    ctx.notes.note_set(pos, first);
                     break;
                 }
             }
@@ -429,46 +467,36 @@ impl Parser {
         pos
     }
 
-    fn bt_term(
-        &self,
-        ctx: &mut Ctx<'_>,
-        term: &CTerm,
-        pos: usize,
-        children: &mut Vec<CstNode>,
-    ) -> Result<usize, ()> {
+    fn ev_bt_term(&self, ctx: &mut EvCtx<'_>, term: &CTerm, pos: usize) -> Result<usize, ()> {
         match term {
             CTerm::Tok(kind) => match ctx.kind_ids.get(pos) {
                 Some(k) if k == kind => {
-                    children.push(ctx.token_node(pos));
+                    ctx.events.push(Event::Token { index: pos as u32 });
                     Ok(pos + 1)
                 }
                 _ => {
-                    ctx.note_id(pos, *kind);
+                    ctx.notes.note_id(pos, *kind);
                     Err(())
                 }
             },
-            CTerm::Nt(n) => {
-                let (node, next) = self.bt_nt(ctx, *n, pos)?;
-                children.push(node);
-                Ok(next)
-            }
+            CTerm::Nt(n) => self.ev_bt_nt(ctx, *n, pos),
             CTerm::Opt { body, first } => {
                 if matches!(ctx.kind_ids.get(pos), Some(&k) if first.contains(k)) {
-                    let mark = children.len();
-                    match self.bt_seq(ctx, body, pos, children) {
+                    let mark = ctx.events.len();
+                    match self.ev_bt_seq(ctx, body, pos) {
                         Ok(next) => return Ok(next),
-                        Err(()) => children.truncate(mark),
+                        Err(()) => ctx.events.truncate(mark),
                     }
                 } else {
                     // Not taken: still informative for error messages.
-                    ctx.note_set(pos, first);
+                    ctx.notes.note_set(pos, first);
                 }
                 Ok(pos)
             }
-            CTerm::Star { body, first } => Ok(self.bt_repeat(ctx, body, first, pos, children)),
+            CTerm::Star { body, first } => Ok(self.ev_bt_repeat(ctx, body, first, pos)),
             CTerm::Plus { body, first } => {
-                let next = self.bt_seq(ctx, body, pos, children)?;
-                Ok(self.bt_repeat(ctx, body, first, next, children))
+                let next = self.ev_bt_seq(ctx, body, pos)?;
+                Ok(self.ev_bt_repeat(ctx, body, first, next))
             }
             CTerm::Group(alts) => {
                 let la = ctx.kind_ids.get(pos).copied();
@@ -477,15 +505,15 @@ impl Parser {
                         match la {
                             Some(k) if alt.first.contains(k) => {}
                             _ => {
-                                ctx.note_set(pos, &alt.first);
+                                ctx.notes.note_set(pos, &alt.first);
                                 continue;
                             }
                         }
                     }
-                    let mark = children.len();
-                    match self.bt_seq(ctx, &alt.seq, pos, children) {
+                    let mark = ctx.events.len();
+                    match self.ev_bt_seq(ctx, &alt.seq, pos) {
                         Ok(next) => return Ok(next),
-                        Err(()) => children.truncate(mark),
+                        Err(()) => ctx.events.truncate(mark),
                     }
                 }
                 Err(())
@@ -493,59 +521,51 @@ impl Parser {
         }
     }
 
-    // ---------- LL(1) table engine ----------
-
-    fn ll1_nt(&self, ctx: &mut Ctx<'_>, prod: u32, pos: usize) -> Result<(CstNode, usize), ()> {
-        let name = self.fprods[prod as usize].name.clone();
-        let (children, next, label) = self.ll1_expand(ctx, prod, pos)?;
-        Ok((CstNode::rule(&name, label, children), next))
-    }
-
-    /// Expand one flat nonterminal, returning its children (used both for
-    /// real rules and for splicing synthetic ones).
-    fn ll1_expand(
+    /// Expand one flat nonterminal. Real rules (`open`) wrap their children
+    /// in `Open`/`Close`; synthetic rules introduced by flattening splice
+    /// their children into the enclosing expansion, exactly like the seed
+    /// engine did.
+    fn ev_ll1(
         &self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut EvCtx<'_>,
         prod: u32,
         mut pos: usize,
-    ) -> Result<(Vec<CstNode>, usize, Option<String>), ()> {
+        open: bool,
+    ) -> Result<usize, ()> {
         let fprod = &self.fprods[prod as usize];
         let alt_index = match ctx.kind_ids.get(pos) {
             Some(&k) => fprod.row[k as usize],
             None => fprod.eof_alt,
         };
         if alt_index == NO_ALT {
-            ctx.note_set(pos, &fprod.expected);
+            ctx.notes.note_set(pos, &fprod.expected);
             return Err(());
         }
+        if open {
+            ctx.events.push(Event::Open { prod, alt: alt_index as u32 });
+        }
         let alt = &fprod.alts[alt_index as usize];
-        let mut children = Vec::new();
         for term in &alt.seq {
             match term {
                 FTerm::Tok(kind) => match ctx.kind_ids.get(pos) {
                     Some(k) if k == kind => {
-                        children.push(ctx.token_node(pos));
+                        ctx.events.push(Event::Token { index: pos as u32 });
                         pos += 1;
                     }
                     _ => {
-                        ctx.note_id(pos, *kind);
+                        ctx.notes.note_id(pos, *kind);
                         return Err(());
                     }
                 },
                 FTerm::Nt { idx, synthetic } => {
-                    if *synthetic {
-                        let (spliced, next, _) = self.ll1_expand(ctx, *idx, pos)?;
-                        children.extend(spliced);
-                        pos = next;
-                    } else {
-                        let (node, next) = self.ll1_nt(ctx, *idx, pos)?;
-                        children.push(node);
-                        pos = next;
-                    }
+                    pos = self.ev_ll1(ctx, *idx, pos, !*synthetic)?;
                 }
             }
         }
-        Ok((children, pos, alt.label.clone()))
+        if open {
+            ctx.events.push(Event::Close);
+        }
+        Ok(pos)
     }
 }
 
@@ -694,61 +714,127 @@ impl Compiler<'_> {
     }
 }
 
-/// Shared parse context: token stream plus farthest-failure tracking.
-struct Ctx<'a> {
-    toks: &'a [Token],
-    kind_ids: Vec<u32>,
-    input: &'a str,
-    scanner: &'a Scanner,
-    farthest: usize,
+// --------------------------------------------------- failure-frontier notes
+
+/// Farthest-failure tracking shared by every engine (event-emitting and
+/// reference): the error message reports the deepest position reached and
+/// the union of token sets that would have allowed progress there.
+pub(crate) struct Notes {
+    pub(crate) farthest: usize,
     expected: TokBits,
     expected_eof: bool,
 }
 
-impl Ctx<'_> {
-    /// `true` if `pos` becomes (or ties) the farthest failure point.
-    #[inline]
-    fn advance_farthest(&mut self, pos: usize) -> bool {
-        use std::cmp::Ordering;
-        match pos.cmp(&self.farthest) {
-            Ordering::Greater => {
-                self.farthest = pos;
-                self.expected.clear();
-                self.expected_eof = false;
-                true
-            }
-            Ordering::Equal => true,
-            Ordering::Less => false,
+impl Notes {
+    pub(crate) fn new(n_tokens: usize) -> Notes {
+        Notes {
+            farthest: 0,
+            expected: TokBits::new(n_tokens),
+            expected_eof: false,
         }
     }
 
-    fn note_id(&mut self, pos: usize, expected: u32) {
-        if self.advance_farthest(pos) {
+    pub(crate) fn reset(&mut self) {
+        self.farthest = 0;
+        self.expected.clear();
+        self.expected_eof = false;
+    }
+
+    /// Advance the frontier to `pos`, clearing stale expectations. Returns
+    /// `false` when `pos` is strictly behind the frontier — such notes can
+    /// never appear in the reported error, so callers skip all recording
+    /// work (the error-path cost fix: untaken `Opt`/`Star` arms and pruned
+    /// alternatives behind the frontier no longer touch the bitset).
+    #[inline]
+    fn advance(&mut self, pos: usize) -> bool {
+        if pos < self.farthest {
+            return false;
+        }
+        if pos > self.farthest {
+            self.farthest = pos;
+            self.expected.clear();
+            self.expected_eof = false;
+        }
+        true
+    }
+
+    #[inline]
+    pub(crate) fn note_id(&mut self, pos: usize, expected: u32) {
+        if self.advance(pos) {
             self.expected.insert(expected);
         }
     }
 
-    fn note_set(&mut self, pos: usize, expected: &TokBits) {
-        if self.advance_farthest(pos) {
+    #[inline]
+    pub(crate) fn note_set(&mut self, pos: usize, expected: &TokBits) {
+        if self.advance(pos) {
             self.expected.union_with(expected);
         }
     }
 
-    fn note_eof(&mut self, pos: usize) {
-        if self.advance_farthest(pos) {
+    pub(crate) fn note_eof(&mut self, pos: usize) {
+        if self.advance(pos) {
             self.expected_eof = true;
         }
     }
+}
 
-    fn token_node(&self, pos: usize) -> CstNode {
-        let t = &self.toks[pos];
-        CstNode::Token {
-            kind: self.scanner.name(t.kind).to_string(),
-            text: t.text(self.input).to_string(),
-            start: t.start,
-            end: t.end,
-        }
+// --------------------------------------------------------- failure memoing
+
+/// Bitmap over `(production, position)` recording *failed* backtracking
+/// probes. Sound because `ev_bt_nt` is a deterministic function of its
+/// `(production, position)` arguments: once a probe fails, every re-probe
+/// (the Group/Opt/Star re-entry pattern) fails identically.
+#[derive(Default)]
+pub(crate) struct FailureMemo {
+    words: Vec<u64>,
+    positions: usize,
+    hits: u64,
+}
+
+impl FailureMemo {
+    /// Size (and zero) the bitmap for a parse over `positions` token
+    /// positions and `prods` productions, recycling the allocation.
+    pub(crate) fn reset(&mut self, prods: usize, positions: usize) {
+        self.positions = positions;
+        let need = (prods * positions).div_ceil(64);
+        self.words.clear();
+        self.words.resize(need, 0);
     }
+
+    #[inline]
+    fn bit(&self, prod: u32, pos: usize) -> usize {
+        prod as usize * self.positions + pos
+    }
+
+    #[inline]
+    pub(crate) fn failed(&mut self, prod: u32, pos: usize) -> bool {
+        let b = self.bit(prod, pos);
+        let hit = (self.words[b / 64] >> (b % 64)) & 1 == 1;
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, prod: u32, pos: usize) {
+        let b = self.bit(prod, pos);
+        self.words[b / 64] |= 1 << (b % 64);
+    }
+
+    /// Cumulative memo hits (probes answered without re-derivation).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// Borrowed engine context: token kinds in, events + failure notes out.
+pub(crate) struct EvCtx<'a> {
+    pub(crate) kind_ids: &'a [u32],
+    pub(crate) events: &'a mut Vec<Event>,
+    pub(crate) memo: &'a mut FailureMemo,
+    pub(crate) notes: &'a mut Notes,
 }
 
 #[cfg(test)]
@@ -968,5 +1054,71 @@ mod tests {
         assert!(c.contains(5) && c.contains(129));
         c.clear();
         assert_eq!(c.iter_ids().count(), 0);
+    }
+
+    #[test]
+    fn engine_mode_hashes_distinctly() {
+        // The bench parser cache keys on EngineMode directly; a collision
+        // between modes would silently serve the wrong engine.
+        use std::collections::HashSet;
+        let set: HashSet<(&str, EngineMode)> = [
+            ("pico", EngineMode::Backtracking),
+            ("pico", EngineMode::Ll1Table),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn notes_skip_positions_behind_the_frontier() {
+        let mut notes = Notes::new(130);
+        let mut set = TokBits::new(130);
+        set.insert(7);
+        notes.note_id(3, 1);
+        assert_eq!(notes.farthest, 3);
+        // Behind the frontier: recorded nothing, frontier unchanged.
+        notes.note_set(1, &set);
+        notes.note_id(0, 9);
+        notes.note_eof(2);
+        assert_eq!(notes.farthest, 3);
+        assert_eq!(notes.expected.iter_ids().collect::<Vec<_>>(), [1]);
+        assert!(!notes.expected_eof);
+        // Ties union; advances clear.
+        notes.note_set(3, &set);
+        assert_eq!(notes.expected.iter_ids().collect::<Vec<_>>(), [1, 7]);
+        notes.note_id(5, 2);
+        assert_eq!(notes.expected.iter_ids().collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn failure_memo_records_and_replays() {
+        let mut memo = FailureMemo::default();
+        memo.reset(4, 10);
+        assert!(!memo.failed(2, 3));
+        memo.record(2, 3);
+        assert!(memo.failed(2, 3));
+        assert!(!memo.failed(2, 4));
+        assert!(!memo.failed(3, 3));
+        assert_eq!(memo.hits(), 1);
+        // reset clears the map but keeps the hit counter cumulative
+        memo.reset(4, 10);
+        assert!(!memo.failed(2, 3));
+        assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn memoized_probes_hit_on_group_reentry() {
+        // `a : b X | b Y ;` — the second alternative re-probes `b` at the
+        // same position after the first fails on the trailing token.
+        let g = parse_grammar("grammar g; a : b X | b Y ; b : Z Z ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; Z = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        assert!(p.parse("Z Z Y").is_ok());
+        // and a failing probe is memoized: `b` fails at position 0 once,
+        // the second alternative's probe must answer from the memo.
+        let mut s = p.session();
+        assert!(s.parse_tree("Z X").is_err());
+        assert!(s.memo_hits() >= 1, "expected memo hits, got {}", s.memo_hits());
     }
 }

@@ -1,0 +1,70 @@
+//! Flat parse-event streams — the wire format of the green-tree core.
+//!
+//! Instead of constructing tree nodes while parsing, both engines append
+//! [`Event`]s to one contiguous buffer. The stream is a pre-order encoding
+//! of the concrete syntax tree:
+//!
+//! * [`Event::Open`] — a nonterminal expansion begins (which production,
+//!   which alternative matched);
+//! * [`Event::Token`] — the next token of the scan was consumed (by index
+//!   into the token stream, so the lexeme stays a span into the input);
+//! * [`Event::Close`] — the most recently opened expansion ends.
+//!
+//! The payoff is in the backtracking engine: abandoning a speculative
+//! alternative is a single `Vec::truncate` of the event buffer instead of
+//! dropping a speculatively built subtree node by node. A well-formed
+//! stream (every `Open` closed, produced only for successful parses) is
+//! materialized into a [`crate::tree::SyntaxTree`] by a separate builder.
+//!
+//! Production and alternative ids are indices into the *compiled* grammar
+//! tables of the engine that emitted the stream ([`crate::engine::Parser`]
+//! resolves them back to names), so events are `Copy` and carry no heap
+//! data at all.
+
+/// One event of a flat pre-order parse stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A nonterminal expansion begins: compiled production `prod` matched
+    /// via alternative `alt`.
+    Open {
+        /// Compiled production id (engine-mode specific table index).
+        prod: u32,
+        /// Index of the matched alternative within the production.
+        alt: u32,
+    },
+    /// The token at `index` in the scanned token stream was consumed.
+    Token {
+        /// Index into the token stream of this parse.
+        index: u32,
+    },
+    /// The most recently opened expansion ends.
+    Close,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The whole point: an event is a tagged pair of u32s, not a node.
+        assert!(std::mem::size_of::<Event>() <= 12);
+        let e = Event::Open { prod: 3, alt: 1 };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn truncation_drops_a_speculative_suffix() {
+        let mut buf = vec![Event::Open { prod: 0, alt: 0 }, Event::Token { index: 0 }];
+        let mark = buf.len();
+        buf.push(Event::Open { prod: 1, alt: 0 });
+        buf.push(Event::Token { index: 1 });
+        // the speculative alternative failed:
+        buf.truncate(mark);
+        assert_eq!(
+            buf,
+            vec![Event::Open { prod: 0, alt: 0 }, Event::Token { index: 0 }]
+        );
+    }
+}

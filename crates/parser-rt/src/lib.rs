@@ -5,15 +5,22 @@
 //! run in two engine modes (the ablation of Experiment B4):
 //!
 //! * [`EngineMode::Backtracking`] — a recursive-descent interpreter over the
-//!   EBNF IR with FIRST-set pruning and ordered-alternative backtracking
+//!   EBNF IR with FIRST-set pruning, ordered-alternative backtracking
 //!   (PEG-style resolution of non-LL(1) spots, like ANTLR's decision
-//!   engine).
+//!   engine), and O(1) failure memoization of re-probed nonterminals.
 //! * [`EngineMode::Ll1Table`] — a table-driven predictive parser over the
 //!   flattened BNF; requires the grammar to be LL(1) at every decision the
 //!   input exercises (declaration order breaks reported conflicts).
 //!
-//! Both engines produce identical [`cst::CstNode`] parse trees (synthetic
-//! nonterminals introduced by flattening are spliced away).
+//! Both engines emit flat [`events::Event`] streams instead of building
+//! nodes (backtracking is a buffer truncation), which a separate builder
+//! materializes into an arena-backed [`tree::SyntaxTree`] with zero-copy
+//! token text. The seed [`cst::CstNode`] API survives as a conversion
+//! ([`tree::SyntaxTree::to_cst`]), and both engines still produce
+//! identical parse trees (synthetic nonterminals introduced by flattening
+//! are spliced away). [`session::ParseSession`] recycles every buffer
+//! across statements; [`Parser::parse_many`] and
+//! [`Parser::parse_many_parallel`] batch over it.
 //!
 //! [`codegen`] additionally *generates Rust source* for a standalone
 //! recursive-descent parser, which is the closest analogue of the paper's
@@ -23,7 +30,14 @@ pub mod codegen;
 pub mod cst;
 pub mod engine;
 pub mod errors;
+pub mod events;
+pub mod reference;
+pub mod session;
+pub mod tree;
 
 pub use cst::CstNode;
 pub use engine::{EngineMode, Parser, ParserStats};
 pub use errors::ParseError;
+pub use events::Event;
+pub use session::{ParseSession, ParsedStats};
+pub use tree::{SyntaxElement, SyntaxNode, SyntaxToken, SyntaxTree};

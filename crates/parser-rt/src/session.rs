@@ -1,0 +1,245 @@
+//! Reusable parse sessions and the batched parse API.
+//!
+//! [`ParseSession`] owns every buffer a parse needs — the token vector,
+//! interned kind ids, the event buffer, the failure-memo bitmap, and the
+//! tree arena — and recycles all of them across parses. After the first
+//! few statements of a workload the buffers reach their high-water mark
+//! and parsing allocates nothing, which is the property the grammar-
+//! coverage/fuzzing workloads (millions of small statements) need.
+//!
+//! [`Parser::parse_many`] drives one session over a batch;
+//! [`Parser::parse_many_parallel`] shards a batch over `std::thread`
+//! scoped workers, one session per worker (a [`Parser`] is shareable by
+//! reference across threads).
+
+use crate::engine::{EngineMode, EvCtx, FailureMemo, Notes, Parser};
+use crate::errors::ParseError;
+use crate::events::Event;
+use crate::tree::{SyntaxTree, TreeBuffers};
+use sqlweave_lexgen::Token;
+use std::collections::BTreeSet;
+
+/// A reusable parsing workspace bound to one [`Parser`].
+pub struct ParseSession<'p> {
+    parser: &'p Parser,
+    toks: Vec<Token>,
+    kind_ids: Vec<u32>,
+    events: Vec<Event>,
+    memo: FailureMemo,
+    notes: Notes,
+    tree: TreeBuffers,
+}
+
+impl<'p> ParseSession<'p> {
+    /// Create an empty session (buffers grow on first use).
+    pub fn new(parser: &'p Parser) -> ParseSession<'p> {
+        ParseSession {
+            parser,
+            toks: Vec::new(),
+            kind_ids: Vec::new(),
+            events: Vec::new(),
+            memo: FailureMemo::default(),
+            notes: Notes::new(parser.n_tokens),
+            tree: TreeBuffers::default(),
+        }
+    }
+
+    /// The parser this session drives.
+    pub fn parser(&self) -> &'p Parser {
+        self.parser
+    }
+
+    /// Cumulative failure-memo hits across all parses of this session
+    /// (backtracking engine only; each hit is a whole nonterminal
+    /// re-derivation skipped).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits()
+    }
+
+    /// Parse one statement into a [`SyntaxTree`] view borrowing this
+    /// session's buffers (so the next `parse_tree` call recycles them —
+    /// convert with [`SyntaxTree::to_cst`] to keep a tree).
+    pub fn parse_tree<'s>(&'s mut self, input: &'s str) -> Result<SyntaxTree<'s>, ParseError> {
+        let parser = self.parser;
+        self.toks.clear();
+        self.kind_ids.clear();
+        self.events.clear();
+        self.notes.reset();
+        parser
+            .scanner
+            .scan_into(input, &mut self.toks)
+            .map_err(|e| ParseError {
+                at: e.at,
+                line: e.line,
+                column: e.column,
+                expected: BTreeSet::new(),
+                found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
+                lexical: Some(e.to_string()),
+            })?;
+        self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
+        if parser.mode() == EngineMode::Backtracking {
+            self.memo.reset(parser.cprods.len(), self.toks.len() + 1);
+        }
+        let result = parser.run_events(&mut EvCtx {
+            kind_ids: &self.kind_ids,
+            events: &mut self.events,
+            memo: &mut self.memo,
+            notes: &mut self.notes,
+        });
+        match result {
+            Ok(next) if next == self.toks.len() => {
+                let root = self.tree.build(&self.events);
+                Ok(SyntaxTree {
+                    parser,
+                    mode: parser.mode(),
+                    input,
+                    toks: &self.toks,
+                    nodes: &self.tree.nodes,
+                    elems: &self.tree.elems,
+                    root,
+                })
+            }
+            Ok(next) => {
+                self.notes.note_eof(next);
+                Err(parser.error_from(input, &self.toks, &self.notes))
+            }
+            Err(()) => Err(parser.error_from(input, &self.toks, &self.notes)),
+        }
+    }
+}
+
+/// Size measurements of one accepted statement in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedStats {
+    /// Scanned (non-skip) tokens.
+    pub tokens: usize,
+    /// Tree nodes in the seed counting convention (rules + token leaves).
+    pub nodes: usize,
+}
+
+impl Parser {
+    /// Parse a batch of statements with one recycled session, returning
+    /// per-statement outcomes in input order.
+    pub fn parse_many(&self, inputs: &[&str]) -> Vec<Result<ParsedStats, ParseError>> {
+        let mut session = self.session();
+        inputs
+            .iter()
+            .map(|input| {
+                session.parse_tree(input).map(|tree| ParsedStats {
+                    tokens: tree.tokens().len(),
+                    nodes: tree.node_count(),
+                })
+            })
+            .collect()
+    }
+
+    /// Parse a batch across `threads` scoped worker threads (each with its
+    /// own recycled session), returning outcomes in input order. Falls
+    /// back to the sequential driver for trivial thread counts or batches.
+    pub fn parse_many_parallel(
+        &self,
+        inputs: &[&str],
+        threads: usize,
+    ) -> Vec<Result<ParsedStats, ParseError>> {
+        let threads = threads.min(inputs.len());
+        if threads <= 1 {
+            return self.parse_many(inputs);
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let mut results: Vec<Vec<Result<ParsedStats, ParseError>>> =
+            Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|shard| scope.spawn(move || self.parse_many(shard)))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("batch worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlweave_grammar::dsl::{parse_grammar, parse_tokens};
+
+    fn parser(mode: EngineMode) -> Parser {
+        let g = parse_grammar(
+            r#"
+            grammar q;
+            start query;
+            query : SELECT select_list FROM IDENT where_clause? #select ;
+            select_list : IDENT (COMMA IDENT)* #columns | STAR #star ;
+            where_clause : WHERE IDENT EQ IDENT ;
+            "#,
+        )
+        .unwrap();
+        let t = parse_tokens(
+            r#"
+            tokens q;
+            SELECT = kw; FROM = kw; WHERE = kw;
+            COMMA = ","; STAR = "*"; EQ = "=";
+            IDENT = /[a-z][a-z0-9_]*/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        Parser::new(g, &t).unwrap().with_mode(mode)
+    }
+
+    #[test]
+    fn session_recycles_across_statements() {
+        let p = parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        for input in ["SELECT a FROM t", "SELECT * FROM u", "SELECT a, b FROM t WHERE a = b"] {
+            let tree = s.parse_tree(input).unwrap();
+            assert_eq!(tree.root().name(), "query");
+            assert_eq!(tree.to_cst(), p.parse_reference(input).unwrap());
+        }
+        // errors don't poison the session
+        assert!(s.parse_tree("SELECT FROM t").is_err());
+        assert!(s.parse_tree("SELECT a FROM t").is_ok());
+    }
+
+    #[test]
+    fn parse_many_reports_per_statement_outcomes() {
+        let p = parser(EngineMode::Backtracking);
+        let out = p.parse_many(&["SELECT a FROM t", "SELECT FROM", "SELECT * FROM u"]);
+        assert_eq!(out.len(), 3);
+        let first = out[0].as_ref().unwrap();
+        assert_eq!(first.tokens, 4);
+        assert_eq!(first.nodes, p.parse("SELECT a FROM t").unwrap().node_count());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let p = parser(EngineMode::Ll1Table);
+        let inputs: Vec<String> = (0..97)
+            .map(|i| {
+                if i % 7 == 0 {
+                    "SELECT FROM t".to_string() // rejected
+                } else {
+                    format!("SELECT a{i}, b FROM t{i}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let seq = p.parse_many(&refs);
+        for threads in [1, 2, 3, 8, 200] {
+            let par = p.parse_many_parallel(&refs, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let p = parser(EngineMode::Backtracking);
+        assert!(p.parse_many(&[]).is_empty());
+        assert!(p.parse_many_parallel(&[], 4).is_empty());
+    }
+}

@@ -132,6 +132,15 @@ pub fn lower_script(node: &CstNode) -> Result<Vec<Statement>, LowerError> {
         .collect()
 }
 
+/// Lower an event-built [`sqlweave_parser_rt::SyntaxTree`] (e.g. from a
+/// recycled [`sqlweave_parser_rt::ParseSession`]) to statements. The
+/// lowering rules are written against [`CstNode`], so this converts at the
+/// root; batch drivers that only need the AST still skip the per-statement
+/// session/tree allocations the parser no longer makes.
+pub fn lower_tree(tree: &sqlweave_parser_rt::SyntaxTree<'_>) -> Result<Vec<Statement>, LowerError> {
+    lower_script(&tree.to_cst())
+}
+
 /// Lower a `sql_statement` (or a bare inner statement node).
 pub fn lower_statement(node: &CstNode) -> Result<Statement, LowerError> {
     let inner = if node.name() == "sql_statement" {
