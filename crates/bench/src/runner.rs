@@ -13,11 +13,17 @@
 //!   borrowing the arena-backed tree; the intended hot-path API.
 //! * `batch` — [`Parser::parse_many`] over the whole corpus per iteration.
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v1`), built
-//! with the same hand-rolled emitter conventions as `sqlweave-lint` and
-//! round-tripped through [`sqlweave_lint::json::parse`] before being
-//! returned, so a malformed report fails loudly instead of landing in CI
-//! artifacts.
+//! Each pair additionally reports the backtracking engine's dynamic
+//! counters from one instrumented session pass — LL(k) decision-table
+//! hits, speculative-probe truncations, failure-memo hits — and the
+//! derived backtrack rate (truncations per alternative attempt), which is
+//! the headline number of the lookahead ablation (Experiment B5).
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v2`; v1
+//! lacked the dynamic counters), built with the same hand-rolled emitter
+//! conventions as `sqlweave-lint` and round-tripped through
+//! [`sqlweave_lint::json::parse`] before being returned, so a malformed
+//! report fails loudly instead of landing in CI artifacts.
 
 use crate::{corpus, parser};
 use sqlweave_dialects::Dialect;
@@ -58,6 +64,16 @@ pub struct PairReport {
     pub statements: usize,
     /// Total tokens across those statements.
     pub tokens: usize,
+    /// LL(k) dispatch-table hits over one session pass of the corpus
+    /// (backtracking engine only; 0 for the LL(1) table engine).
+    pub decision_table_hits: u64,
+    /// Speculative probes undone (event-buffer truncations) in that pass.
+    pub backtracks: u64,
+    /// Failure-memo hits in that pass.
+    pub failure_memo_hits: u64,
+    /// `backtracks / alternative attempts` — the fraction of speculative
+    /// probes that were undone. 0.0 when the engine never speculates.
+    pub backtrack_rate: f64,
     /// Per-API throughput, `seed_cst` first.
     pub apis: Vec<ApiMeasurement>,
 }
@@ -98,7 +114,27 @@ fn measure(
 /// corpus entry of the larger dialects) are excluded up front so every API
 /// measures identical successful work.
 pub fn bench_pair(dialect: Dialect, mode: EngineMode, iters: usize) -> PairReport {
-    let p: &'static Parser = parser(dialect, mode);
+    bench_parser(parser(dialect, mode), dialect, mode, iters)
+}
+
+/// [`bench_pair`] with an explicit runtime lookahead limit (Experiment
+/// B5's k-ablation knob). Builds an unshared parser so the cached one
+/// keeps its default configuration; `k < 2` disables dispatch tables
+/// entirely, reproducing the seed backtracking behavior.
+pub fn bench_pair_with_lookahead(
+    dialect: Dialect,
+    mode: EngineMode,
+    iters: usize,
+    lookahead: usize,
+) -> PairReport {
+    let p = dialect
+        .parser_with_mode(mode)
+        .unwrap_or_else(|e| panic!("parser {}: {e}", dialect.name()))
+        .with_lookahead_k(lookahead);
+    bench_parser(&p, dialect, mode, iters)
+}
+
+fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) -> PairReport {
     let stmts: Vec<&'static str> = corpus(dialect)
         .into_iter()
         .filter(|s| p.parse_reference(s).is_ok())
@@ -133,6 +169,19 @@ pub fn bench_pair(dialect: Dialect, mode: EngineMode, iters: usize) -> PairRepor
         let _ = std::hint::black_box(p.parse_many(&stmts));
     });
 
+    // One untimed instrumented pass for the dynamic engine counters; the
+    // rate is a ratio, so it does not depend on `iters`.
+    let mut counted = p.session();
+    for s in &stmts {
+        counted.parse_tree(s).expect("accepted statement parses");
+    }
+    let cstats = counted.stats();
+    let backtrack_rate = if cstats.alt_attempts > 0 {
+        cstats.backtracks as f64 / cstats.alt_attempts as f64
+    } else {
+        0.0
+    };
+
     let seed = measure("seed_cst", iters, stmts.len(), tokens, seed_secs, None);
     let seed_sps = seed.statements_per_sec;
     let apis = vec![
@@ -146,6 +195,10 @@ pub fn bench_pair(dialect: Dialect, mode: EngineMode, iters: usize) -> PairRepor
         engine: engine_name(mode),
         statements: stmts.len(),
         tokens,
+        decision_table_hits: cstats.decision_table_hits,
+        backtracks: cstats.backtracks,
+        failure_memo_hits: cstats.failure_memo_hits,
+        backtrack_rate,
         apis,
     }
 }
@@ -156,7 +209,7 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v1` JSON document.
+/// Serialize reports as the `sqlweave-bench-parser/v2` JSON document.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
     let results: Vec<String> = reports
         .iter()
@@ -175,17 +228,23 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                 })
                 .collect();
             format!(
-                "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\"apis\":[{}]}}",
+                "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\
+                 \"decision_table_hits\":{},\"backtracks\":{},\"failure_memo_hits\":{},\
+                 \"backtrack_rate\":{:.4},\"apis\":[{}]}}",
                 json::escape(r.dialect),
                 json::escape(r.engine),
                 r.statements,
                 r.tokens,
+                r.decision_table_hits,
+                r.backtracks,
+                r.failure_memo_hits,
+                r.backtrack_rate,
                 apis.join(",")
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":{},\"results\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":{},\"results\":[{}]}}",
         iters,
         results.join(",")
     )
@@ -197,10 +256,23 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
 /// parser or violates the schema — a bench artifact that cannot be read
 /// back is worse than no artifact.
 pub fn run(dialects: &[Dialect], iters: usize) -> String {
+    run_with_lookahead(dialects, iters, None)
+}
+
+/// [`run`] with an optional runtime lookahead cap applied to every pair
+/// (the LL(1) table engine ignores it; see [`bench_pair_with_lookahead`]).
+pub fn run_with_lookahead(
+    dialects: &[Dialect],
+    iters: usize,
+    lookahead: Option<usize>,
+) -> String {
     let mut reports = Vec::new();
     for &d in dialects {
         for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
-            reports.push(bench_pair(d, mode, iters));
+            reports.push(match lookahead {
+                Some(k) => bench_pair_with_lookahead(d, mode, iters, k),
+                None => bench_pair(d, mode, iters),
+            });
         }
     }
     let doc = to_json(iters, &reports);
@@ -208,7 +280,7 @@ pub fn run(dialects: &[Dialect], iters: usize) -> String {
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v1`.
+/// Check a bench document against schema `sqlweave-bench-parser/v2`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -218,7 +290,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v1" {
+    if schema != "sqlweave-bench-parser/v2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -233,8 +305,21 @@ pub fn validate(doc: &str) -> Result<(), String> {
         for key in ["dialect", "engine"] {
             r.get(key).and_then(Value::as_str).ok_or(format!("result missing {key:?}"))?;
         }
-        for key in ["statements", "tokens"] {
+        for key in [
+            "statements",
+            "tokens",
+            "decision_table_hits",
+            "backtracks",
+            "failure_memo_hits",
+        ] {
             r.get(key).and_then(Value::as_num).ok_or(format!("result missing {key:?}"))?;
+        }
+        let rate = r
+            .get("backtrack_rate")
+            .and_then(Value::as_num)
+            .ok_or("result missing \"backtrack_rate\"")?;
+        if !rate.is_finite() || rate < 0.0 {
+            return Err("result has non-finite \"backtrack_rate\"".to_string());
         }
         let apis = r
             .get("apis")
@@ -281,10 +366,17 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
+        // v1 documents (no dynamic counters) are rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+        )
+        .is_err());
+        // Counters present but the rate missing.
+        assert!(validate(
+            "{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
         )
         .is_err());
     }
@@ -294,5 +386,34 @@ mod tests {
         let r = bench_pair(Dialect::Pico, EngineMode::Backtracking, 1);
         assert_eq!(r.apis[0].api, "seed_cst");
         assert!((r.apis[0].speedup_vs_seed - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backtracking_counters_populated() {
+        // Tiny has two conflicted decisions (COUNT / SEMI), both resolved
+        // by dispatch tables, so the default configuration hits the
+        // tables and the LL(1) engine reports no speculation at all.
+        let bt = bench_pair(Dialect::Tiny, EngineMode::Backtracking, 1);
+        assert!(bt.decision_table_hits > 0, "{bt:?}");
+        assert!(bt.backtrack_rate.is_finite() && bt.backtrack_rate >= 0.0);
+        let ll1 = bench_pair(Dialect::Tiny, EngineMode::Ll1Table, 1);
+        assert_eq!(ll1.decision_table_hits, 0);
+        assert_eq!(ll1.backtracks, 0);
+        assert_eq!(ll1.backtrack_rate, 0.0);
+    }
+
+    #[test]
+    fn lookahead_ablation_changes_backtrack_rate() {
+        // k=1 disables dispatch (the seed engine): every conflicted
+        // decision speculates — core's corpus exercises the predicate
+        // and NOT-tail conflicts on every WHERE clause. The default k=3
+        // must hit tables instead and backtrack strictly less.
+        let k1 = bench_pair_with_lookahead(Dialect::Core, EngineMode::Backtracking, 1, 1);
+        assert_eq!(k1.decision_table_hits, 0);
+        assert!(k1.backtracks > 0, "{k1:?}");
+        let k3 = bench_pair_with_lookahead(Dialect::Core, EngineMode::Backtracking, 1, 3);
+        assert!(k3.decision_table_hits > 0, "{k3:?}");
+        assert!(k3.backtracks < k1.backtracks, "{k3:?} vs {k1:?}");
+        assert!(k3.backtrack_rate < k1.backtrack_rate);
     }
 }

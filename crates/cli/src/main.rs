@@ -16,10 +16,12 @@
 //! sqlweave generate FEATURE...         emit standalone Rust parser source
 //! sqlweave dialects                    list preset dialects with sizes
 //! sqlweave lint [TARGET...]            static analysis with diagnostic codes
+//! sqlweave analyze [--all-dialects]    LL(k) conflict classification report
 //! sqlweave bench [--json]              corpus throughput per dialect × engine
 //! ```
 
 use sqlweave_dialects::Dialect;
+use sqlweave_grammar::lookahead::{analyze_lookahead, LookaheadAnalysis, Outcome, K_MAX};
 use sqlweave_feature_model::analysis::census;
 use sqlweave_feature_model::render;
 use sqlweave_sql_features::{catalog, DIAGRAMS};
@@ -41,7 +43,9 @@ fn usage() -> ExitCode {
          sqlweave lint [--format text|json] --grammar FILE [--tokens FILE]\n  \
          sqlweave lint [--format text|json] FEATURE...\n  \
          sqlweave lint --codes\n  \
-         sqlweave bench [--json] [--dialect NAME] [--iters N] [--out FILE]"
+         sqlweave analyze [--dialect NAME | --all-dialects] [--lookahead K]\n  \
+         sqlweave analyze ... [--format text|json] [--check FILE] [--write FILE]\n  \
+         sqlweave bench [--json] [--dialect NAME] [--iters N] [--lookahead K] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +65,7 @@ fn main() -> ExitCode {
         "format" => cmd_format(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         _ => usage(),
     }
@@ -251,6 +256,229 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
     };
     emit_lint_reports(&[sqlweave_lint::lint_composed(&composed)], parsed.format_json)
+}
+
+/// Parsed `analyze` arguments.
+struct AnalyzeArgs {
+    format_json: bool,
+    all_dialects: bool,
+    dialect: Option<String>,
+    lookahead: usize,
+    check: Option<String>,
+    write: Option<String>,
+}
+
+fn parse_analyze_args(args: &[String]) -> Option<AnalyzeArgs> {
+    let mut parsed = AnalyzeArgs {
+        format_json: false,
+        all_dialects: false,
+        dialect: None,
+        lookahead: K_MAX,
+        check: None,
+        write: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => parsed.format_json = true,
+                    Some("text") => parsed.format_json = false,
+                    _ => return None,
+                }
+                i += 2;
+            }
+            "--all-dialects" => {
+                parsed.all_dialects = true;
+                i += 1;
+            }
+            "--dialect" => {
+                parsed.dialect = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--lookahead" => {
+                let k: usize = args.get(i + 1).and_then(|s| s.parse().ok())?;
+                if k == 0 {
+                    return None;
+                }
+                parsed.lookahead = k;
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--write" => {
+                parsed.write = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(parsed)
+}
+
+/// Run the static LL(k) lookahead pass on one dialect's composed grammar.
+fn analyze_one(dialect: Dialect, k: usize) -> Result<LookaheadAnalysis, String> {
+    let composed = dialect
+        .composed()
+        .map_err(|e| format!("composition failed: {e}"))?;
+    let analysis = sqlweave_grammar::analysis::analyze(&composed.grammar)
+        .map_err(|e| format!("grammar analysis failed: {e:?}"))?;
+    Ok(analyze_lookahead(&analysis, k))
+}
+
+/// The `sqlweave-lookahead/v1` document: the per-dialect conflict
+/// inventory that CI pins as a golden file (`--check`).
+fn lookahead_json(k: usize, dialects: &[(String, LookaheadAnalysis)]) -> String {
+    use sqlweave_lint::json::escape;
+    let mut s = String::new();
+    s.push_str("{\"schema\":\"sqlweave-lookahead/v1\",");
+    s.push_str(&format!("\"k\":{k},\"dialects\":["));
+    for (di, (name, la)) in dialects.iter().enumerate() {
+        if di > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"dialect\":\"{}\",\"resolved\":{},\"residual\":{},\"saturated\":{},\"decisions\":[",
+            escape(name),
+            la.resolved(),
+            la.residual(),
+            la.saturated()
+        ));
+        for (i, d) in la.decisions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let toks: Vec<String> = d
+                .conflict_tokens
+                .iter()
+                .map(|t| format!("\"{}\"", escape(t)))
+                .collect();
+            s.push_str(&format!(
+                "{{\"production\":\"{}\",\"synthetic\":{},\"conflict_tokens\":[{}],",
+                escape(&d.production),
+                d.synthetic,
+                toks.join(",")
+            ));
+            match &d.outcome {
+                Outcome::Resolved { k, entries } => {
+                    s.push_str(&format!(
+                        "\"status\":\"resolved\",\"k\":{k},\"entries\":{}}}",
+                        entries.len()
+                    ));
+                }
+                Outcome::Residual {
+                    alternatives: (a, b),
+                    witness,
+                    witness_eof,
+                } => {
+                    s.push_str(&format!(
+                        "\"status\":\"residual\",\"alternatives\":[{a},{b}],\"witness\":\"{}\"}}",
+                        escape(&sqlweave_grammar::lookahead::witness_display(
+                            witness,
+                            *witness_eof
+                        ))
+                    ));
+                }
+                Outcome::Saturated => s.push_str("\"status\":\"saturated\"}"),
+            }
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
+}
+
+fn lookahead_text(k: usize, dialects: &[(String, LookaheadAnalysis)]) -> String {
+    let mut s = format!("lookahead analysis (k={k})\n");
+    let (mut resolved, mut residual, mut saturated) = (0, 0, 0);
+    for (name, la) in dialects {
+        resolved += la.resolved();
+        residual += la.residual();
+        saturated += la.saturated();
+        if la.decisions.is_empty() {
+            s.push_str(&format!("dialect `{name}`: no LL(1) conflicts\n"));
+            continue;
+        }
+        s.push_str(&format!(
+            "dialect `{name}`: {} decision(s): {} resolved, {} residual, {} saturated\n",
+            la.decisions.len(),
+            la.resolved(),
+            la.residual(),
+            la.saturated()
+        ));
+        for d in &la.decisions {
+            s.push_str(&format!("  `{}`: {}\n", d.production, d.summary()));
+        }
+    }
+    s.push_str(&format!(
+        "TOTAL: {resolved} resolved, {residual} residual, {saturated} saturated\n"
+    ));
+    s
+}
+
+/// Static LL(k) conflict classification over dialect grammars: a human
+/// report, the `sqlweave-lookahead/v1` JSON document, and the golden-file
+/// workflow (`--write` refreshes the inventory, `--check` gates CI on it).
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let Some(parsed) = parse_analyze_args(args) else {
+        return usage();
+    };
+    if parsed.all_dialects && parsed.dialect.is_some() {
+        return usage();
+    }
+    let targets: Vec<Dialect> = match &parsed.dialect {
+        Some(name) => {
+            let Some(&d) = Dialect::ALL.iter().find(|d| d.name() == *name) else {
+                eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+                return ExitCode::FAILURE;
+            };
+            vec![d]
+        }
+        None => Dialect::ALL.to_vec(),
+    };
+    let mut results: Vec<(String, LookaheadAnalysis)> = Vec::new();
+    for d in targets {
+        match analyze_one(d, parsed.lookahead) {
+            Ok(la) => results.push((d.name().to_string(), la)),
+            Err(e) => {
+                eprintln!("{}: {e}", d.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let doc = lookahead_json(parsed.lookahead.min(K_MAX), &results);
+    if let Some(path) = &parsed.write {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if parsed.format_json {
+        println!("{doc}");
+    } else {
+        print!("{}", lookahead_text(parsed.lookahead.min(K_MAX), &results));
+    }
+    if let Some(path) = &parsed.check {
+        let golden = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden.trim_end() != doc {
+            eprintln!(
+                "conflict inventory drifted from `{path}`; \
+                 rerun with `--write {path}` and review the diff"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("inventory matches {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_features(diagram: Option<&str>) -> ExitCode {
@@ -447,19 +675,29 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v1` document (already validated by the
-/// runner); the default is a human-readable table.
+/// emits the `sqlweave-bench-parser/v2` document (already validated by the
+/// runner); the default is a human-readable table with the backtrack-rate
+/// column. `--lookahead K` caps the runtime dispatch depth (the B5
+/// ablation knob; `1` reproduces the seed backtracking engine).
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut iters = 200usize;
     let mut dialects: Vec<Dialect> = Dialect::ALL.to_vec();
     let mut out: Option<String> = None;
+    let mut lookahead: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => {
                 json = true;
                 i += 1;
+            }
+            "--lookahead" => {
+                let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                lookahead = Some(k);
+                i += 2;
             }
             "--iters" => {
                 let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
@@ -494,7 +732,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     if json {
-        let doc = sqlweave_bench::runner::run(&dialects, iters);
+        let doc = sqlweave_bench::runner::run_with_lookahead(&dialects, iters, lookahead);
         match &out {
             Some(path) => {
                 if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
@@ -508,19 +746,28 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     println!(
-        "{:<10} {:<13} {:<11} {:>11} {:>13} {:>8}",
-        "dialect", "engine", "api", "stmts/sec", "tokens/sec", "vs seed"
+        "{:<10} {:<13} {:<11} {:>11} {:>13} {:>8} {:>8}",
+        "dialect", "engine", "api", "stmts/sec", "tokens/sec", "vs seed", "bt-rate"
     );
     for &d in &dialects {
         for mode in [
             sqlweave_parser_rt::EngineMode::Backtracking,
             sqlweave_parser_rt::EngineMode::Ll1Table,
         ] {
-            let r = sqlweave_bench::runner::bench_pair(d, mode, iters);
+            let r = match lookahead {
+                Some(k) => sqlweave_bench::runner::bench_pair_with_lookahead(d, mode, iters, k),
+                None => sqlweave_bench::runner::bench_pair(d, mode, iters),
+            };
             for a in &r.apis {
                 println!(
-                    "{:<10} {:<13} {:<11} {:>11.0} {:>13.0} {:>7.2}x",
-                    r.dialect, r.engine, a.api, a.statements_per_sec, a.tokens_per_sec, a.speedup_vs_seed
+                    "{:<10} {:<13} {:<11} {:>11.0} {:>13.0} {:>7.2}x {:>8.4}",
+                    r.dialect,
+                    r.engine,
+                    a.api,
+                    a.statements_per_sec,
+                    a.tokens_per_sec,
+                    a.speedup_vs_seed,
+                    r.backtrack_rate
                 );
             }
         }

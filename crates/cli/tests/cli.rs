@@ -229,3 +229,77 @@ fn lint_without_target_prints_usage() {
     let o = run(&["lint"]);
     assert_eq!(o.status.code(), Some(2));
 }
+
+fn golden(name: &str) -> String {
+    format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_classifies_all_dialect_conflicts() {
+    let o = run(&["analyze", "--all-dialects"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("lookahead analysis (k=3)"), "{out}");
+    for d in ["pico", "tiny", "scql", "core", "warehouse", "full"] {
+        assert!(out.contains(&format!("dialect `{d}`")), "{out}");
+    }
+    assert!(out.contains("resolvable with k=2 lookahead"), "{out}");
+    assert!(out.contains("residual ambiguity"), "{out}");
+    // every decision is classified: nothing saturates at the default depth
+    assert!(out.contains(", 0 saturated\n"), "{out}");
+    assert!(out.lines().last().unwrap().starts_with("TOTAL:"), "{out}");
+}
+
+#[test]
+fn analyze_single_dialect_report() {
+    let o = run(&["analyze", "--dialect", "tiny"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("dialect `tiny`"), "{out}");
+    assert!(out.contains("`aggregate_function`"), "{out}");
+    assert!(!out.contains("dialect `full`"), "{out}");
+}
+
+#[test]
+fn analyze_json_document_has_schema() {
+    let o = run(&["analyze", "--dialect", "pico", "--format", "json"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("{\"schema\":\"sqlweave-lookahead/v1\""), "{out}");
+    assert!(out.contains("\"production\":\"sql_script__star1\""), "{out}");
+    assert!(out.contains("\"status\":\"resolved\""), "{out}");
+}
+
+#[test]
+fn analyze_matches_checked_in_inventory() {
+    let o = run(&["analyze", "--all-dialects", "--check", &golden("lookahead_conflicts.json")]);
+    assert!(o.status.success(), "{}\n{}", stdout(&o), stderr(&o));
+    assert!(stderr(&o).contains("inventory matches"), "{}", stderr(&o));
+}
+
+#[test]
+fn analyze_check_detects_drift() {
+    // A depth-1 analysis classifies every conflict as residual, so the
+    // inventory cannot match the checked-in k=3 document.
+    let o = run(&[
+        "analyze",
+        "--all-dialects",
+        "--lookahead",
+        "1",
+        "--check",
+        &golden("lookahead_conflicts.json"),
+    ]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    assert!(stderr(&o).contains("drifted"), "{}", stderr(&o));
+    assert!(stdout(&o).contains("0 resolved"), "{}", stdout(&o));
+}
+
+#[test]
+fn analyze_rejects_bad_flags() {
+    assert_eq!(run(&["analyze", "--lookahead", "zero"]).status.code(), Some(2));
+    assert_eq!(run(&["analyze", "--bogus"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["analyze", "--dialect", "pico", "--all-dialects"]).status.code(),
+        Some(2)
+    );
+}

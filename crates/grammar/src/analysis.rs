@@ -659,6 +659,78 @@ mod tests {
     }
 
     #[test]
+    fn first_of_seq_nullable_tail_unions_and_stays_nullable() {
+        // Every element nullable ⇒ the whole sequence is nullable (FIRST
+        // contains ε), which is what lets FOLLOW — and ultimately EOF —
+        // propagate through it.
+        let a = analyze_src("grammar g; a : bq cq X ; bq : B? ; cq : C? ;");
+        use crate::ir::Term;
+        let (set, nullable) =
+            a.first_of_seq(&[Term::nt("bq"), Term::nt("cq")]);
+        assert_eq!(
+            set.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["B", "C"]
+        );
+        assert!(nullable, "all-nullable tail must keep the sequence nullable");
+        // A non-nullable tail element cuts the scan and the ε.
+        let (set, nullable) =
+            a.first_of_seq(&[Term::nt("bq"), Term::tok("X"), Term::nt("cq")]);
+        assert!(set.contains("B") && set.contains("X") && !set.contains("C"));
+        assert!(!nullable);
+    }
+
+    #[test]
+    fn first_of_seq_follow_through_repetition() {
+        let a = analyze_src("grammar g; a : X ;");
+        use crate::ir::Term;
+        // `X* Y`: the star can match zero times, so Y's FIRST shines
+        // through; the trailing token makes the whole sequence definite.
+        let (set, nullable) =
+            a.first_of_seq(&[Term::Star(vec![Term::tok("X")]), Term::tok("Y")]);
+        assert!(set.contains("X") && set.contains("Y"));
+        assert!(!nullable);
+        // `X+ Y`: one X is mandatory, Y never reaches FIRST.
+        let (set, nullable) =
+            a.first_of_seq(&[Term::Plus(vec![Term::tok("X")]), Term::tok("Y")]);
+        assert!(set.contains("X") && !set.contains("Y"));
+        assert!(!nullable);
+        // `(X?)+ Y`: a nullable Plus body keeps the scan going.
+        let (set, nullable) = a.first_of_seq(&[
+            Term::Plus(vec![Term::Optional(vec![Term::tok("X")])]),
+            Term::tok("Y"),
+        ]);
+        assert!(set.contains("X") && set.contains("Y"));
+        assert!(!nullable);
+    }
+
+    #[test]
+    fn first_of_seq_eof_propagation_through_fully_nullable_sequences() {
+        let a = analyze_src("grammar g; a : X ;");
+        use crate::ir::Term;
+        // The empty sequence derives ε outright: at end of input, EOF is
+        // the only lookahead, so nullable=true is the ε/EOF signal.
+        let (set, nullable) = a.first_of_seq(&[]);
+        assert!(set.is_empty() && nullable);
+        // Optionals, stars, and nullable groups all preserve it.
+        let (set, nullable) = a.first_of_seq(&[
+            Term::Optional(vec![Term::tok("P")]),
+            Term::Star(vec![Term::tok("Q")]),
+            Term::Group(vec![vec![Term::tok("R")], vec![]]),
+        ]);
+        assert_eq!(
+            set.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["P", "Q", "R"]
+        );
+        assert!(nullable);
+        // A group with no nullable alternative blocks the propagation.
+        let (_, nullable) = a.first_of_seq(&[Term::Group(vec![
+            vec![Term::tok("R")],
+            vec![Term::tok("S")],
+        ])]);
+        assert!(!nullable);
+    }
+
+    #[test]
     fn table_cells_metric() {
         let a = analyze_src("grammar g; a : X | Y ;");
         assert_eq!(a.table_cells(), 2);

@@ -12,6 +12,8 @@
 //! * [`analysis`] — nullable/FIRST/FOLLOW computation, LL(1) conflict
 //!   reporting, left-recursion detection, and reachability/usefulness
 //!   diagnostics.
+//! * [`lookahead`] — static LL(k) analysis: FIRST_k/FOLLOW_k sequence
+//!   sets, per-conflict dispatch tables, and shortest ambiguity witnesses.
 //! * [`lower`] — flattening of EBNF operators into plain BNF with synthetic
 //!   nonterminals (what table-driven LL(1) parsing consumes).
 //! * [`mod@print`] — pretty-printing back to DSL text (round-trip stable).
@@ -36,6 +38,7 @@
 pub mod analysis;
 pub mod dsl;
 pub mod ir;
+pub mod lookahead;
 pub mod lower;
 pub mod print;
 pub mod sentence;

@@ -1,0 +1,940 @@
+//! Static LL(k) lookahead analysis over the flattened grammar.
+//!
+//! The seed pipeline computes FIRST/FOLLOW at k=1 ([`crate::analysis`]) and
+//! leaves every LL(1) prediction conflict to the backtracking engine. This
+//! module closes the gap with the paper's LL(k) parser-generation model:
+//! for each conflicted decision point it computes capped FIRST_k/FOLLOW_k
+//! *sequence* sets (k ≤ [`K_MAX`]) and classifies the conflict as
+//!
+//! * [`Outcome::Resolved`] — some k' ≤ k makes the alternatives' lookahead
+//!   sets pairwise disjoint; a k'-token dispatch table is emitted (filtered
+//!   so a table hit can never diverge from the engine's ordered-PEG
+//!   semantics, see below);
+//! * [`Outcome::Residual`] — the alternatives still intersect at k; the
+//!   shortest shared token sequence is emitted as a concrete witness;
+//! * [`Outcome::Saturated`] — a set overflowed its cap and no witness was
+//!   found among the retained words, so neither claim can be certified.
+//!
+//! # Words
+//!
+//! A *word* is a sequence of ≤ k token ids packed into a `u64`
+//! (`len << 48 | t0 << 32 | t1 << 16 | t2`). Words shorter than the set's
+//! depth mean the input *ends* there (EOF inside the window), so no
+//! explicit end marker is needed, and the natural `u64` order is exactly
+//! (length, lexicographic) — the minimum of an intersection is the
+//! shortest witness. Sets under-approximate when capped (`complete`
+//! false): word *presence* is always a real derivation, word *absence* is
+//! only trustworthy when the set is complete.
+//!
+//! # PEG safety
+//!
+//! The backtracking engine commits to the first alternative that locally
+//! succeeds; a dispatch hit on alternative `i` may only skip the probes of
+//! `j < i` if none of them could have succeeded. Full-window matches are
+//! excluded by lookahead-set disjointness; the remaining hazard is a `j`
+//! that succeeds consuming *fewer* than k' tokens. [`analyze_lookahead`]
+//! therefore drops any entry `(w → i)` for which some earlier alternative
+//! has a complete FIRST word shorter than k' that prefixes `w`.
+
+use crate::analysis::{GrammarAnalysis, EOF};
+use crate::ir::Term;
+use crate::lower::is_synthetic;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Deepest lookahead the packed word representation supports.
+pub const K_MAX: usize = 3;
+
+/// Per-set word cap. When a set reaches the cap the largest word is
+/// dropped and the set is marked incomplete; keeping the smallest words
+/// preserves the shortest-witness property under saturation.
+const CAP: usize = 20_000;
+
+type Word = u64;
+const EPSILON: Word = 0;
+
+fn w_len(w: Word) -> usize {
+    (w >> 48) as usize
+}
+
+fn w_tok(w: Word, i: usize) -> u16 {
+    (w >> (32 - 16 * i)) as u16
+}
+
+fn w_push(w: Word, t: u16) -> Word {
+    let l = w_len(w);
+    debug_assert!(l < K_MAX);
+    (((l + 1) as u64) << 48) | (w & 0x0000_FFFF_FFFF_FFFF) | ((t as u64) << (32 - 16 * l))
+}
+
+/// Append `v`'s tokens to `u`, truncating at length `j`.
+fn w_concat(j: usize, u: Word, v: Word) -> Word {
+    let mut out = u;
+    for i in 0..w_len(v) {
+        if w_len(out) == j {
+            break;
+        }
+        out = w_push(out, w_tok(v, i));
+    }
+    out
+}
+
+fn w_trunc(j: usize, w: Word) -> Word {
+    if w_len(w) <= j {
+        return w;
+    }
+    let mut out = EPSILON;
+    for i in 0..j {
+        out = w_push(out, w_tok(w, i));
+    }
+    out
+}
+
+fn w_prefix(v: Word, w: Word) -> bool {
+    w_len(v) <= w_len(w) && (0..w_len(v)).all(|i| w_tok(v, i) == w_tok(w, i))
+}
+
+/// A capped set of packed words plus a completeness flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SeqSet {
+    words: BTreeSet<Word>,
+    complete: bool,
+}
+
+impl SeqSet {
+    fn new() -> Self {
+        SeqSet {
+            words: BTreeSet::new(),
+            complete: true,
+        }
+    }
+
+    fn insert(&mut self, w: Word) {
+        if self.words.contains(&w) {
+            return;
+        }
+        if self.words.len() >= CAP {
+            self.complete = false;
+            let &max = self.words.iter().next_back().unwrap();
+            if w < max {
+                self.words.remove(&max);
+                self.words.insert(w);
+            }
+        } else {
+            self.words.insert(w);
+        }
+    }
+}
+
+/// One compiled dispatch-table entry: observing `word` as the next tokens
+/// selects alternative `alt` directly. A word shorter than the decision's
+/// k means the input must end right after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchEntry {
+    /// Token names, in input order; length ≤ the decision's k.
+    pub word: Vec<String>,
+    /// The alternative index (into the flat production) the word selects.
+    pub alt: usize,
+}
+
+/// Classification of one conflicted decision point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Disjoint at `k` tokens of lookahead; `entries` is the (PEG-safety
+    /// filtered) dispatch table.
+    Resolved {
+        /// Minimal lookahead depth that separates the alternatives.
+        k: usize,
+        /// Dispatch entries, sorted shortest-word-first.
+        entries: Vec<DispatchEntry>,
+    },
+    /// Still ambiguous at the analysis depth: `alternatives` share the
+    /// lookahead sequence `witness`.
+    Residual {
+        /// The first alternative pair (by index) sharing the witness.
+        alternatives: (usize, usize),
+        /// Shortest shared token sequence.
+        witness: Vec<String>,
+        /// `true` if the witness requires the input to end after it.
+        witness_eof: bool,
+    },
+    /// A lookahead set overflowed its cap and no witness survived among
+    /// the retained words — neither resolution nor ambiguity is provable.
+    Saturated,
+}
+
+/// One conflicted decision point and its classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Flat production name (may be a synthetic `owner__optN` etc.).
+    pub production: String,
+    /// `true` if the production was introduced by EBNF lowering.
+    pub synthetic: bool,
+    /// The LL(1) conflict tokens at this production, sorted (may include
+    /// [`EOF`] when a nullable alternative conflicts at end of input).
+    pub conflict_tokens: Vec<String>,
+    /// How the conflict classifies at the analysis depth.
+    pub outcome: Outcome,
+}
+
+impl Decision {
+    /// One-line human rendering used by the linter and the CLI report.
+    pub fn summary(&self) -> String {
+        let toks = self.conflict_tokens.join(", ");
+        match &self.outcome {
+            Outcome::Resolved { k, entries } => format!(
+                "LL(1) conflict on {toks} is resolvable with k={k} lookahead ({} dispatch entries)",
+                entries.len()
+            ),
+            Outcome::Residual {
+                alternatives: (i, j),
+                witness,
+                witness_eof,
+            } => format!(
+                "residual ambiguity on {toks}: alternatives {i} and {j} share lookahead `{}`",
+                witness_display(witness, *witness_eof)
+            ),
+            Outcome::Saturated => format!(
+                "lookahead analysis saturated on {toks} (set cap reached); treated as ambiguous"
+            ),
+        }
+    }
+}
+
+/// Render a witness with a trailing `$` when it requires end of input.
+pub fn witness_display(witness: &[String], eof: bool) -> String {
+    let mut s = witness.join(" ");
+    if eof {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push('$');
+    }
+    s
+}
+
+/// Result of [`analyze_lookahead`]: one [`Decision`] per conflicted flat
+/// production, in first-conflict order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookaheadAnalysis {
+    /// The depth the analysis ran at (clamped to 1..=[`K_MAX`]).
+    pub k: usize,
+    /// Per-production classifications.
+    pub decisions: Vec<Decision>,
+}
+
+impl LookaheadAnalysis {
+    /// Number of decisions resolved at some k' ≤ k.
+    pub fn resolved(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Resolved { .. }))
+            .count()
+    }
+
+    /// Number of residual (witnessed) ambiguities.
+    pub fn residual(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Residual { .. }))
+            .count()
+    }
+
+    /// Number of saturated decisions.
+    pub fn saturated(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.outcome, Outcome::Saturated))
+            .count()
+    }
+}
+
+struct La<'a> {
+    a: &'a GrammarAnalysis,
+    k: usize,
+    tok_ids: HashMap<&'a str, u16>,
+    tok_names: Vec<&'a str>,
+    /// `first[j]` / `follow[j]` are valid for j in 1..=k; index 0 unused.
+    /// Level 1 is populated for every nonterminal (derived from the k=1
+    /// analysis); deeper levels only for demanded symbols.
+    first: Vec<BTreeMap<&'a str, SeqSet>>,
+    follow: Vec<BTreeMap<&'a str, SeqSet>>,
+    /// Nonterminal occurrences: name → (production idx, alt idx, position).
+    occ: HashMap<&'a str, Vec<(usize, usize, usize)>>,
+}
+
+impl<'a> La<'a> {
+    fn new(a: &'a GrammarAnalysis, k: usize) -> Self {
+        let mut tok_ids: HashMap<&'a str, u16> = HashMap::new();
+        let mut tok_names: Vec<&'a str> = Vec::new();
+        let mut occ: HashMap<&'a str, Vec<(usize, usize, usize)>> = HashMap::new();
+        for (pi, p) in a.flat.productions().iter().enumerate() {
+            for (ai, alt) in p.alternatives.iter().enumerate() {
+                for (pos, term) in alt.seq.iter().enumerate() {
+                    match term {
+                        Term::Token(t) => {
+                            if !tok_ids.contains_key(t.as_str()) {
+                                let id = tok_names.len() as u16;
+                                tok_ids.insert(t.as_str(), id);
+                                tok_names.push(t.as_str());
+                            }
+                        }
+                        Term::NonTerminal(n) => {
+                            occ.entry(n.as_str()).or_default().push((pi, ai, pos));
+                        }
+                        _ => unreachable!("lookahead runs on flattened grammars"),
+                    }
+                }
+            }
+        }
+
+        let mut first: Vec<BTreeMap<&'a str, SeqSet>> = vec![BTreeMap::new(); k + 1];
+        let mut follow: Vec<BTreeMap<&'a str, SeqSet>> = vec![BTreeMap::new(); k + 1];
+        for p in a.flat.productions() {
+            let name = p.name.as_str();
+            let mut f = SeqSet::new();
+            if a.nullable.contains(name) {
+                f.insert(EPSILON);
+            }
+            for t in &a.first[name] {
+                f.insert(w_push(EPSILON, tok_ids[t.as_str()]));
+            }
+            first[1].insert(name, f);
+            let mut fo = SeqSet::new();
+            for t in &a.follow[name] {
+                if t == EOF {
+                    fo.insert(EPSILON);
+                } else {
+                    fo.insert(w_push(EPSILON, tok_ids[t.as_str()]));
+                }
+            }
+            follow[1].insert(name, fo);
+        }
+
+        La {
+            a,
+            k,
+            tok_ids,
+            tok_names,
+            first,
+            follow,
+            occ,
+        }
+    }
+
+    fn min_len(&self, n: &str) -> usize {
+        usize::from(!self.a.nullable.contains(n))
+    }
+
+    /// FIRST_j ⊕-fold of a flat sequence, starting from {ε}.
+    fn fold_seq(&self, j: usize, seq: &[Term]) -> SeqSet {
+        let mut acc = SeqSet::new();
+        acc.insert(EPSILON);
+        for term in seq {
+            // Minimum element is the shortest word; if even it is full,
+            // nothing can be extended any further.
+            if acc.words.iter().next().is_none_or(|&w| w_len(w) == j) {
+                break;
+            }
+            let mut next = SeqSet::new();
+            next.complete = acc.complete;
+            match term {
+                Term::Token(t) => {
+                    let id = self.tok_ids[t.as_str()];
+                    for &u in &acc.words {
+                        if w_len(u) == j {
+                            next.insert(u);
+                        } else {
+                            next.insert(w_push(u, id));
+                        }
+                    }
+                }
+                Term::NonTerminal(n) => {
+                    for &u in &acc.words {
+                        let l = w_len(u);
+                        if l == j {
+                            next.insert(u);
+                            continue;
+                        }
+                        match self.first[j - l].get(n.as_str()) {
+                            Some(src) => {
+                                next.complete &= src.complete;
+                                for &v in &src.words {
+                                    next.insert(w_concat(j, u, v));
+                                }
+                            }
+                            // Not demanded — should not happen; treat as
+                            // unknown (sound: empty + incomplete).
+                            None => next.complete = false,
+                        }
+                    }
+                }
+                _ => unreachable!("lookahead runs on flattened grammars"),
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// Register FIRST demands for every symbol contributing to the first
+    /// `budget` tokens of `seq`.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_demand(
+        &self,
+        seq: &[Term],
+        budget: usize,
+        fseen: &mut BTreeSet<(&'a str, usize)>,
+        fwork: &mut Vec<(&'a str, usize)>,
+    ) {
+        let mut budget = budget;
+        for term in seq {
+            if budget == 0 {
+                break;
+            }
+            match term {
+                Term::Token(_) => budget -= 1,
+                Term::NonTerminal(n) => {
+                    let n: &'a str = self
+                        .a
+                        .flat
+                        .production(n)
+                        .map(|p| p.name.as_str())
+                        .unwrap_or_default();
+                    for jj in 2..=budget {
+                        if fseen.insert((n, jj)) {
+                            fwork.push((n, jj));
+                        }
+                    }
+                    budget = budget.saturating_sub(self.min_len(n));
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Demand closure + fixpoint computation of the deep FIRST/FOLLOW
+    /// tables needed to classify `conflicted` at depth `self.k`.
+    fn compute(&mut self, conflicted: &[&'a str]) {
+        let k = self.k;
+        let mut fseen: BTreeSet<(&'a str, usize)> = BTreeSet::new();
+        let mut fwork: Vec<(&'a str, usize)> = Vec::new();
+        let mut wseen: BTreeSet<(&'a str, usize)> = BTreeSet::new();
+        let mut wwork: Vec<(&'a str, usize)> = Vec::new();
+
+        for &name in conflicted {
+            if let Some(p) = self.a.flat.production(name) {
+                for alt in &p.alternatives {
+                    self.walk_demand(&alt.seq, k, &mut fseen, &mut fwork);
+                }
+            }
+            for jj in 2..=k {
+                if wseen.insert((name, jj)) {
+                    wwork.push((name, jj));
+                }
+            }
+        }
+
+        loop {
+            if let Some((n, j)) = fwork.pop() {
+                if let Some(p) = self.a.flat.production(n) {
+                    for alt in &p.alternatives {
+                        self.walk_demand(&alt.seq, j, &mut fseen, &mut fwork);
+                    }
+                }
+                continue;
+            }
+            if let Some((n, j)) = wwork.pop() {
+                if let Some(occs) = self.occ.get(n) {
+                    let occs = occs.clone();
+                    for (pi, ai, pos) in occs {
+                        let p = &self.a.flat.productions()[pi];
+                        let rest = &p.alternatives[ai].seq[pos + 1..];
+                        self.walk_demand(rest, j, &mut fseen, &mut fwork);
+                        let restmin: usize = rest
+                            .iter()
+                            .map(|t| match t {
+                                Term::Token(_) => 1,
+                                Term::NonTerminal(m) => self.min_len(m),
+                                _ => unreachable!(),
+                            })
+                            .sum();
+                        let up = j.saturating_sub(restmin);
+                        for jj in 2..=up {
+                            if wseen.insert((p.name.as_str(), jj)) {
+                                wwork.push((p.name.as_str(), jj));
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+
+        // Pre-seed every demanded entry as empty-but-complete so that
+        // self-referential lookups during the first fixpoint iteration do
+        // not permanently poison completeness flags (the `None` branches
+        // below then only fire for genuinely un-demanded symbols). The
+        // optimistic seed is sound: flags are recomputed from scratch every
+        // iteration and only flip false when a cap is actually hit.
+        for &(n, j) in &fseen {
+            self.first[j].entry(n).or_insert_with(SeqSet::new);
+        }
+        for &(n, j) in &wseen {
+            self.follow[j].entry(n).or_insert_with(SeqSet::new);
+        }
+
+        // FIRST fixpoints, level by level (level j uses levels < j, fixed).
+        for j in 2..=k {
+            let names: Vec<&'a str> = fseen
+                .iter()
+                .filter(|(_, jj)| *jj == j)
+                .map(|(n, _)| *n)
+                .collect();
+            loop {
+                let mut changed = false;
+                for &name in &names {
+                    let Some(p) = self.a.flat.production(name) else { continue };
+                    let mut acc = SeqSet::new();
+                    for alt in &p.alternatives {
+                        let s = self.fold_seq(j, &alt.seq);
+                        acc.complete &= s.complete;
+                        for &w in &s.words {
+                            acc.insert(w);
+                        }
+                    }
+                    if self.first[j].get(name) != Some(&acc) {
+                        self.first[j].insert(name, acc);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // FOLLOW fixpoints, level by level.
+        let start = self.a.flat.start().to_string();
+        for j in 2..=k {
+            let names: Vec<&'a str> = wseen
+                .iter()
+                .filter(|(_, jj)| *jj == j)
+                .map(|(n, _)| *n)
+                .collect();
+            loop {
+                let mut changed = false;
+                for &name in &names {
+                    let mut acc = SeqSet::new();
+                    if name == start {
+                        acc.insert(EPSILON);
+                    }
+                    if let Some(occs) = self.occ.get(name) {
+                        for &(pi, ai, pos) in occs {
+                            let p = &self.a.flat.productions()[pi];
+                            let rest = &p.alternatives[ai].seq[pos + 1..];
+                            let folded = self.fold_seq(j, rest);
+                            acc.complete &= folded.complete;
+                            for &w in &folded.words {
+                                let l = w_len(w);
+                                if l == j {
+                                    acc.insert(w);
+                                } else {
+                                    match self.follow[j - l].get(p.name.as_str()) {
+                                        Some(fs) => {
+                                            acc.complete &= fs.complete;
+                                            for &v in &fs.words {
+                                                acc.insert(w_concat(j, w, v));
+                                            }
+                                        }
+                                        None => acc.complete = false,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if self.follow[j].get(name) != Some(&acc) {
+                        self.follow[j].insert(name, acc);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn names_of(&self, w: Word) -> Vec<String> {
+        (0..w_len(w))
+            .map(|i| self.tok_names[w_tok(w, i) as usize].to_string())
+            .collect()
+    }
+
+    fn classify(&self, name: &'a str, conflict: &BTreeSet<&str>) -> Decision {
+        let conflict_eof = conflict.contains(EOF);
+        let cids: BTreeSet<u16> = conflict
+            .iter()
+            .filter(|t| **t != EOF)
+            .map(|t| self.tok_ids[*t])
+            .collect();
+        let in_conflict = |w: Word| -> bool {
+            if w_len(w) == 0 {
+                conflict_eof
+            } else {
+                cids.contains(&w_tok(w, 0))
+            }
+        };
+
+        let p = self.a.flat.production(name).expect("conflicted production exists");
+        // Per alternative: (full FIRST_k fold, conflict-restricted la set).
+        let per_alt: Vec<(SeqSet, SeqSet)> = p
+            .alternatives
+            .iter()
+            .map(|alt| {
+                let f = self.fold_seq(self.k, &alt.seq);
+                let mut lac = SeqSet::new();
+                lac.complete = f.complete;
+                for &w in &f.words {
+                    let l = w_len(w);
+                    if l == self.k {
+                        if in_conflict(w) {
+                            lac.insert(w);
+                        }
+                    } else {
+                        match self.follow[self.k - l].get(name) {
+                            Some(fs) => {
+                                lac.complete &= fs.complete;
+                                for &v in &fs.words {
+                                    let w2 = w_concat(self.k, w, v);
+                                    if in_conflict(w2) {
+                                        lac.insert(w2);
+                                    }
+                                }
+                            }
+                            None => lac.complete = false,
+                        }
+                    }
+                }
+                (f, lac)
+            })
+            .collect();
+
+        let decision = |outcome| Decision {
+            production: name.to_string(),
+            synthetic: is_synthetic(name),
+            conflict_tokens: conflict.iter().map(|t| t.to_string()).collect(),
+            outcome,
+        };
+
+        for k2 in 2..=self.k {
+            let tr: Vec<SeqSet> = per_alt
+                .iter()
+                .map(|(_, lac)| {
+                    let mut s = SeqSet::new();
+                    s.complete = lac.complete;
+                    for &w in &lac.words {
+                        s.insert(w_trunc(k2, w));
+                    }
+                    s
+                })
+                .collect();
+            if tr.iter().any(|s| !s.complete) {
+                continue;
+            }
+            let disjoint = (0..tr.len()).all(|i| {
+                (i + 1..tr.len()).all(|j| tr[i].words.intersection(&tr[j].words).next().is_none())
+            });
+            if !disjoint {
+                continue;
+            }
+            // PEG-safety filter: drop entries an earlier alternative could
+            // pre-empt by locally succeeding on fewer than k2 tokens.
+            let mut entries = Vec::new();
+            for (i, s) in tr.iter().enumerate() {
+                'word: for &w in &s.words {
+                    for (fj, _) in per_alt.iter().take(i) {
+                        for &v in &fj.words {
+                            if w_len(v) >= k2 {
+                                break;
+                            }
+                            if w_prefix(v, w) {
+                                continue 'word;
+                            }
+                        }
+                    }
+                    entries.push((w, i));
+                }
+            }
+            entries.sort_by_key(|&(w, _)| w);
+            let entries = entries
+                .into_iter()
+                .map(|(w, alt)| DispatchEntry {
+                    word: self.names_of(w),
+                    alt,
+                })
+                .collect();
+            return decision(Outcome::Resolved { k: k2, entries });
+        }
+
+        // Residual: shortest word shared by any pair, first pair wins ties.
+        let mut best: Option<(Word, (usize, usize))> = None;
+        for i in 0..per_alt.len() {
+            for j in i + 1..per_alt.len() {
+                if let Some(&w) = per_alt[i].1.words.intersection(&per_alt[j].1.words).next() {
+                    if best.is_none_or(|(bw, _)| w < bw) {
+                        best = Some((w, (i, j)));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((w, pair)) => decision(Outcome::Residual {
+                alternatives: pair,
+                witness: self.names_of(w),
+                witness_eof: w_len(w) < self.k,
+            }),
+            None => decision(Outcome::Saturated),
+        }
+    }
+}
+
+/// Run the LL(k) analysis at depth `k` (clamped to 1..=[`K_MAX`]) over a
+/// completed k=1 analysis. Returns one [`Decision`] per conflicted flat
+/// production, in first-conflict order; an LL(1) grammar yields no
+/// decisions. Left-recursive grammars are handled (the k-bounded
+/// fixpoints terminate) but their classifications are not meaningful for
+/// parsing — callers gate on `analysis.left_recursion` being empty.
+pub fn analyze_lookahead(a: &GrammarAnalysis, k: usize) -> LookaheadAnalysis {
+    let k = k.clamp(1, K_MAX);
+    if a.conflicts.is_empty() {
+        return LookaheadAnalysis {
+            k,
+            decisions: Vec::new(),
+        };
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut tokens_by: HashMap<&str, BTreeSet<&str>> = HashMap::new();
+    for c in &a.conflicts {
+        if !tokens_by.contains_key(c.nonterminal.as_str()) {
+            order.push(&c.nonterminal);
+        }
+        tokens_by
+            .entry(&c.nonterminal)
+            .or_default()
+            .insert(&c.token);
+    }
+    let mut la = La::new(a, k);
+    la.compute(&order);
+    let decisions = order
+        .iter()
+        .map(|&name| la.classify(name, &tokens_by[name]))
+        .collect();
+    LookaheadAnalysis { k, decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::dsl::parse_grammar;
+
+    fn run(src: &str, k: usize) -> LookaheadAnalysis {
+        analyze_lookahead(&analyze(&parse_grammar(src).unwrap()).unwrap(), k)
+    }
+
+    fn entry(word: &[&str], alt: usize) -> DispatchEntry {
+        DispatchEntry {
+            word: word.iter().map(|s| s.to_string()).collect(),
+            alt,
+        }
+    }
+
+    #[test]
+    fn packed_word_roundtrip_and_order() {
+        let w = w_push(w_push(EPSILON, 7), 3);
+        assert_eq!(w_len(w), 2);
+        assert_eq!(w_tok(w, 0), 7);
+        assert_eq!(w_tok(w, 1), 3);
+        // (length, lex) order: shorter sorts first, then position 0 major.
+        assert!(w_push(EPSILON, 9) < w);
+        assert!(w < w_push(w_push(EPSILON, 8), 0));
+        assert!(w_prefix(w_push(EPSILON, 7), w));
+        assert!(!w_prefix(w_push(EPSILON, 3), w));
+        assert_eq!(w_trunc(1, w), w_push(EPSILON, 7));
+        assert_eq!(w_concat(3, w, w_push(EPSILON, 5)), w_push(w, 5));
+        assert_eq!(w_concat(2, w, w_push(EPSILON, 5)), w);
+    }
+
+    #[test]
+    fn seqset_cap_keeps_smallest_and_flags_incomplete() {
+        let mut s = SeqSet::new();
+        for t in 0..CAP as u64 + 5 {
+            s.insert((1 << 48) | ((t % 60_000) << 32));
+        }
+        assert!(!s.complete);
+        assert_eq!(s.words.len(), CAP);
+        // Smallest word survives.
+        assert!(s.words.contains(&(1 << 48)));
+    }
+
+    #[test]
+    fn no_conflicts_no_decisions() {
+        let la = run("grammar g; s : A b ; b : B | C ;", 3);
+        assert!(la.decisions.is_empty());
+        assert_eq!(la.k, 3);
+    }
+
+    #[test]
+    fn common_prefix_resolved_at_k2() {
+        let la = run("grammar g; s : A B | A C ;", 3);
+        assert_eq!(la.decisions.len(), 1);
+        let d = &la.decisions[0];
+        assert_eq!(d.production, "s");
+        assert!(!d.synthetic);
+        assert_eq!(d.conflict_tokens, ["A"]);
+        match &d.outcome {
+            Outcome::Resolved { k, entries } => {
+                assert_eq!(*k, 2);
+                assert_eq!(entries, &[entry(&["A", "B"], 0), entry(&["A", "C"], 1)]);
+            }
+            o => panic!("expected Resolved, got {o:?}"),
+        }
+        assert_eq!(la.resolved(), 1);
+        assert_eq!(la.residual() + la.saturated(), 0);
+    }
+
+    #[test]
+    fn deeper_prefix_needs_k3() {
+        let la = run("grammar g; s : A A B | A A C ;", 3);
+        match &la.decisions[0].outcome {
+            Outcome::Resolved { k, entries } => {
+                assert_eq!(*k, 3);
+                assert_eq!(entries, &[entry(&["A", "A", "B"], 0), entry(&["A", "A", "C"], 1)]);
+            }
+            o => panic!("expected Resolved at 3, got {o:?}"),
+        }
+        // At k=2 the same grammar is residual with the shared prefix.
+        let la = run("grammar g; s : A A B | A A C ;", 2);
+        match &la.decisions[0].outcome {
+            Outcome::Residual { witness, witness_eof, alternatives } => {
+                assert_eq!(witness, &["A", "A"]);
+                assert!(!witness_eof);
+                assert_eq!(*alternatives, (0, 1));
+            }
+            o => panic!("expected Residual at 2, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn star_exit_resolved_through_follow() {
+        // Pico-style script: trailing SEMI conflicts the star's continue
+        // (SEMI stmt …) with its exit (SEMI? then EOF).
+        let la = run(
+            "grammar g; start script; script : stmt (SEMI stmt)* SEMI? ; stmt : A ;",
+            3,
+        );
+        let d = la
+            .decisions
+            .iter()
+            .find(|d| d.production.contains("__star"))
+            .expect("star decision");
+        assert!(d.synthetic);
+        assert_eq!(d.conflict_tokens, ["SEMI"]);
+        match &d.outcome {
+            Outcome::Resolved { k, entries } => {
+                assert_eq!(*k, 2);
+                // Exit entry: SEMI then end of input (word shorter than k).
+                assert!(entries.contains(&entry(&["SEMI"], 1)), "{entries:?}");
+                // Continue entry: SEMI then another statement.
+                assert!(entries.contains(&entry(&["SEMI", "A"], 0)), "{entries:?}");
+            }
+            o => panic!("expected Resolved, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_common_prefix_is_residual_with_witness() {
+        let la = run("grammar g; s : a B | a C ; a : A | A a ;", 3);
+        match &la.decisions[0].outcome {
+            Outcome::Residual { witness, witness_eof, .. } => {
+                assert_eq!(witness, &["A", "A", "A"]);
+                assert!(!witness_eof);
+            }
+            o => panic!("expected Residual, got {o:?}"),
+        }
+        assert_eq!(la.residual(), 1);
+    }
+
+    #[test]
+    fn k1_reports_conflicts_as_residual_single_token() {
+        let la = run("grammar g; s : A B | A C ;", 1);
+        assert_eq!(la.k, 1);
+        match &la.decisions[0].outcome {
+            Outcome::Residual { witness, .. } => assert_eq!(witness, &["A"]),
+            o => panic!("expected Residual at k=1, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn peg_safety_filter_drops_preemptable_entries() {
+        // `p : A | A B` — the first alternative locally succeeds on `A`
+        // alone, so the engine commits to it and never parses `A B` via
+        // alternative 1 ("A B" as a whole statement is rejected by PEG
+        // semantics even though the CFG accepts it). The dispatch table
+        // must not "fix" that, or trees would diverge from the oracle.
+        let la = run("grammar g; start s; s : p X ; p : A | A B ;", 3);
+        match &la.decisions[0].outcome {
+            Outcome::Resolved { k, entries } => {
+                assert_eq!(*k, 2);
+                assert_eq!(entries, &[entry(&["A", "X"], 0)], "A B entry must be filtered");
+            }
+            o => panic!("expected Resolved, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn nullable_alternative_resolved_against_eof() {
+        // `a : X | ε` inside `s : a X` — the ε-alternative is predicted on
+        // FOLLOW; at k=2 "X then EOF" would pick ε, but the PEG filter
+        // drops it because alternative 0 completes on a bare `X`.
+        let la = run("grammar g; start s; s : a X ; a : X | ;", 2);
+        let d = &la.decisions[0];
+        assert_eq!(d.production, "a");
+        match &d.outcome {
+            Outcome::Resolved { k, entries } => {
+                assert_eq!(*k, 2);
+                assert_eq!(entries, &[entry(&["X", "X"], 0)], "short EOF entry must be filtered");
+            }
+            o => panic!("expected Resolved, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_token_list_aggregates_and_sorts() {
+        let la = run("grammar g; s : A B | A C | D | D E ;", 3);
+        assert_eq!(la.decisions.len(), 1);
+        assert_eq!(la.decisions[0].conflict_tokens, ["A", "D"]);
+        match &la.decisions[0].outcome {
+            Outcome::Resolved { entries, .. } => {
+                // Entry for the D/D-E conflict: bare `D` (EOF) → alt 2 is
+                // kept (no earlier alternative can pre-empt it), `D E` → 3
+                // is dropped by the PEG filter (alt 2 completes on `D`).
+                assert!(entries.contains(&entry(&["D"], 2)), "{entries:?}");
+                assert!(!entries.iter().any(|e| e.alt == 3), "{entries:?}");
+            }
+            o => panic!("expected Resolved, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_lines_render() {
+        let la = run("grammar g; s : A B | A C ;", 3);
+        let s = la.decisions[0].summary();
+        assert!(s.contains("k=2"), "{s}");
+        let la = run("grammar g; s : a B | a C ; a : A | A a ;", 3);
+        let s = la.decisions[0].summary();
+        assert!(s.contains("`A A A`"), "{s}");
+        assert_eq!(witness_display(&["A".into()], true), "A $");
+        assert_eq!(witness_display(&[], true), "$");
+    }
+}

@@ -1,10 +1,12 @@
 //! Grammar-layer checks: LL(1) conflicts, left recursion, reachability,
-//! productivity, and undefined references — all driven by the existing
-//! [`sqlweave_grammar::analysis`] pass.
+//! productivity, undefined references — all driven by the existing
+//! [`sqlweave_grammar::analysis`] pass — plus the static LL(k) lookahead
+//! classification of each conflict ([`sqlweave_grammar::lookahead`]).
 
 use crate::diag::{Code, Diagnostic};
 use sqlweave_grammar::analysis::{analyze, AnalysisError};
 use sqlweave_grammar::ir::Grammar;
+use sqlweave_grammar::lookahead::{analyze_lookahead, Outcome, K_MAX};
 
 fn prod_site(name: &str) -> String {
     format!("production `{name}`")
@@ -42,6 +44,25 @@ pub fn check(grammar: &Grammar) -> Vec<Diagnostic> {
             prod_site(&conflict.nonterminal),
             conflict.describe(&analysis.flat),
         ));
+    }
+    // Classify each conflicted decision point with static LL(k) lookahead
+    // (skipped on left-recursive grammars, where the sequence-set
+    // fixpoints are not meaningful and the build fails anyway).
+    if !analysis.conflicts.is_empty() && analysis.left_recursion.is_empty() {
+        let la = analyze_lookahead(&analysis, K_MAX);
+        for decision in &la.decisions {
+            let code = match decision.outcome {
+                Outcome::Resolved { .. } => Code::ConflictResolvableAtK,
+                Outcome::Residual { .. } | Outcome::Saturated => {
+                    Code::ResidualLookaheadAmbiguity
+                }
+            };
+            out.push(Diagnostic::new(
+                code,
+                prod_site(&decision.production),
+                decision.summary(),
+            ));
+        }
     }
     for cycle in analysis.left_recursion_cycles() {
         let code = if cycle.is_direct() {
@@ -96,8 +117,44 @@ mod tests {
     fn ll1_conflict_reported() {
         let g = parse_grammar("grammar g; s : A B | A C ;").unwrap();
         let d = check(&g);
-        assert_eq!(codes(&d), [Code::Ll1Conflict]);
+        assert_eq!(codes(&d), [Code::Ll1Conflict, Code::ConflictResolvableAtK]);
         assert!(d[0].message.contains('A'), "{}", d[0].message);
+    }
+
+    #[test]
+    fn resolvable_conflict_classified_at_k() {
+        let g = parse_grammar("grammar g; s : A B | A C ;").unwrap();
+        let d = check(&g);
+        let note = d
+            .iter()
+            .find(|d| d.code == Code::ConflictResolvableAtK)
+            .unwrap();
+        assert!(note.message.contains("k=2"), "{}", note.message);
+    }
+
+    #[test]
+    fn residual_ambiguity_carries_witness() {
+        // `a` derives arbitrarily many A's, so both alternatives share
+        // unbounded lookahead; the witness must be concrete tokens.
+        let g = parse_grammar("grammar g; s : a B | a C ; a : A | A a ;").unwrap();
+        let d = check(&g);
+        let warn = d
+            .iter()
+            .find(|d| d.code == Code::ResidualLookaheadAmbiguity)
+            .unwrap();
+        assert!(warn.message.contains("A A A"), "{}", warn.message);
+    }
+
+    #[test]
+    fn left_recursive_grammars_skip_lookahead_classification() {
+        // Conflict + left recursion: SW001/SW002 fire, SW015/SW016 don't.
+        let g = parse_grammar("grammar g; e : e PLUS T | T ; s : e X | e Y ;").unwrap();
+        let d = check(&g);
+        assert!(
+            !codes(&d).contains(&Code::ConflictResolvableAtK)
+                && !codes(&d).contains(&Code::ResidualLookaheadAmbiguity),
+            "{d:?}"
+        );
     }
 
     #[test]

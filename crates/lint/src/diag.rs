@@ -86,6 +86,12 @@ pub enum Code {
     /// SW006 — a referenced nonterminal (or the start symbol) has no
     /// production.
     UndefinedNonterminal,
+    /// SW015 — an LL(1) conflict is statically resolvable with k ≤ 3
+    /// tokens of lookahead (a dispatch table was compiled).
+    ConflictResolvableAtK,
+    /// SW016 — an LL(1) conflict is residually ambiguous at k = 3; the
+    /// message carries a shortest witness token sequence.
+    ResidualLookaheadAmbiguity,
     /// SW101 — a token rule can never be emitted: higher-priority rules
     /// win every string it matches.
     ShadowedTokenRule,
@@ -119,13 +125,15 @@ pub enum Code {
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 18] = [
+    pub const ALL: [Code; 20] = [
         Code::Ll1Conflict,
         Code::DirectLeftRecursion,
         Code::LeftRecursionCycle,
         Code::UnreachableNonterminal,
         Code::UnproductiveNonterminal,
         Code::UndefinedNonterminal,
+        Code::ConflictResolvableAtK,
+        Code::ResidualLookaheadAmbiguity,
         Code::ShadowedTokenRule,
         Code::TokenOverlap,
         Code::SkipRuleConflict,
@@ -149,6 +157,8 @@ impl Code {
             Code::UnreachableNonterminal => "SW004",
             Code::UnproductiveNonterminal => "SW005",
             Code::UndefinedNonterminal => "SW006",
+            Code::ConflictResolvableAtK => "SW015",
+            Code::ResidualLookaheadAmbiguity => "SW016",
             Code::ShadowedTokenRule => "SW101",
             Code::TokenOverlap => "SW102",
             Code::SkipRuleConflict => "SW103",
@@ -182,6 +192,8 @@ impl Code {
             Code::UnreachableNonterminal => Severity::Warning,
             Code::UnproductiveNonterminal => Severity::Error,
             Code::UndefinedNonterminal => Severity::Error,
+            Code::ConflictResolvableAtK => Severity::Note,
+            Code::ResidualLookaheadAmbiguity => Severity::Warning,
             Code::ShadowedTokenRule => Severity::Error,
             Code::TokenOverlap => Severity::Note,
             Code::SkipRuleConflict => Severity::Warning,
@@ -205,7 +217,9 @@ impl Code {
             | Code::LeftRecursionCycle
             | Code::UnreachableNonterminal
             | Code::UnproductiveNonterminal
-            | Code::UndefinedNonterminal => Layer::Grammar,
+            | Code::UndefinedNonterminal
+            | Code::ConflictResolvableAtK
+            | Code::ResidualLookaheadAmbiguity => Layer::Grammar,
             Code::ShadowedTokenRule
             | Code::TokenOverlap
             | Code::SkipRuleConflict
@@ -229,6 +243,8 @@ impl Code {
             Code::UnreachableNonterminal => "unreachable nonterminal",
             Code::UnproductiveNonterminal => "unproductive nonterminal",
             Code::UndefinedNonterminal => "undefined nonterminal reference",
+            Code::ConflictResolvableAtK => "conflict resolvable with bounded lookahead",
+            Code::ResidualLookaheadAmbiguity => "residual lookahead ambiguity with witness",
             Code::ShadowedTokenRule => "token rule fully shadowed",
             Code::TokenOverlap => "token rules overlap",
             Code::SkipRuleConflict => "skip rule collides with another rule",

@@ -17,9 +17,11 @@ fn grammar_codes(src: &str) -> BTreeSet<Code> {
 
 #[test]
 fn sw001_ll1_conflict() {
+    // A conflict the lookahead analysis can resolve also reports SW015;
+    // SW001 remains the primary finding.
     assert_eq!(
         grammar_codes("grammar g; s : A B | A C ;"),
-        BTreeSet::from([Code::Ll1Conflict])
+        BTreeSet::from([Code::Ll1Conflict, Code::ConflictResolvableAtK])
     );
 }
 
@@ -60,6 +62,31 @@ fn sw006_undefined_nonterminal() {
         grammar_codes("grammar g; s : missing A ;"),
         BTreeSet::from([Code::UndefinedNonterminal])
     );
+}
+
+#[test]
+fn sw015_conflict_resolvable_at_k() {
+    let d = checks::grammar::check(&parse_grammar("grammar g; s : A B | A C ;").unwrap());
+    let note = d
+        .iter()
+        .find(|d| d.code == Code::ConflictResolvableAtK)
+        .expect("SW015 emitted");
+    assert!(note.message.contains("k=2"), "{}", note.message);
+}
+
+#[test]
+fn sw016_residual_lookahead_ambiguity() {
+    // Unbounded common prefix: no finite k separates the alternatives, so
+    // the conflict stays residual and carries a witness token sequence.
+    let src = "grammar g; s : a B | a C ; a : A | A a ;";
+    let c = grammar_codes(src);
+    assert!(c.contains(&Code::ResidualLookaheadAmbiguity), "{c:?}");
+    let d = checks::grammar::check(&parse_grammar(src).unwrap());
+    let warn = d
+        .iter()
+        .find(|d| d.code == Code::ResidualLookaheadAmbiguity)
+        .unwrap();
+    assert!(warn.message.contains("A A A"), "{}", warn.message);
 }
 
 #[test]
@@ -223,5 +250,5 @@ fn catalog_is_covered() {
             "code {c} lacks a fixture function"
         );
     }
-    assert_eq!(Code::ALL.len(), 18);
+    assert_eq!(Code::ALL.len(), 20);
 }

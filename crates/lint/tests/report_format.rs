@@ -95,6 +95,42 @@ fn text_format_is_line_oriented() {
     assert!(lines.last().unwrap().contains("error(s)"));
 }
 
+/// The lookahead codes SW015/SW016 flow through the JSON schema like every
+/// other catalog code: five keys, severity/layer from the code, and a
+/// witness embedded in the SW016 message.
+#[test]
+fn json_covers_lookahead_codes() {
+    let g = parse_grammar("grammar g; s : p q ; p : A B | A C ; q : a D | a E ; a : A | A a ;")
+        .unwrap();
+    let t = parse_tokens(
+        "tokens g; A = kw; B = kw; C = kw; D = kw; E = kw; WS = skip / +/;",
+    )
+    .unwrap();
+    let report = lint_pair("lookahead-fixture", &g, &t);
+    let v = json::parse(&json::report(&report)).unwrap();
+    let diags = v.get("diagnostics").unwrap().as_arr().unwrap();
+    let by_code = |id: &str| {
+        diags
+            .iter()
+            .find(|d| d.get("code").unwrap().as_str() == Some(id))
+            .unwrap_or_else(|| panic!("no {id} diagnostic"))
+    };
+    let sw015 = by_code("SW015");
+    assert_eq!(sw015.get("severity").unwrap().as_str(), Some("note"));
+    assert_eq!(sw015.get("layer").unwrap().as_str(), Some("grammar"));
+    let sw016 = by_code("SW016");
+    assert_eq!(sw016.get("severity").unwrap().as_str(), Some("warning"));
+    assert!(
+        sw016
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("share lookahead"),
+        "{sw016:?}"
+    );
+}
+
 /// The multi-report wrapper used by `--all-dialects`.
 #[test]
 fn json_multi_report_schema() {

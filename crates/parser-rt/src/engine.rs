@@ -26,6 +26,7 @@ use crate::events::Event;
 use crate::session::ParseSession;
 use sqlweave_grammar::analysis::{analyze, AnalysisError, GrammarAnalysis, EOF};
 use sqlweave_grammar::ir::{Grammar, Term};
+use sqlweave_grammar::lookahead::{analyze_lookahead, Outcome, K_MAX};
 use sqlweave_grammar::lower::is_synthetic;
 use sqlweave_lexgen::scanner::line_col;
 use sqlweave_lexgen::tokenset::{TokenSet, TokenSetError};
@@ -101,6 +102,28 @@ pub struct ParserStats {
     pub token_rules: usize,
     /// States in the minimized lexer DFA.
     pub dfa_states: usize,
+    /// LL(k) dispatch-table hits (dynamic; zero on a freshly built parser,
+    /// populated by [`crate::session::ParseSession::stats`]).
+    pub decision_table_hits: u64,
+    /// Speculative alternative/body probes attempted (dynamic).
+    pub alt_attempts: u64,
+    /// Probes abandoned by event-buffer truncation (dynamic).
+    pub backtracks: u64,
+    /// Failure-memo hits (dynamic).
+    pub failure_memo_hits: u64,
+}
+
+/// Dynamic counters accumulated by the backtracking engine across one
+/// session's parses (Experiment B5: backtrack rate with and without the
+/// compiled LL(k) dispatch tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Dispatch-table consultations that selected an alternative directly.
+    pub decision_hits: u64,
+    /// Speculative alternative/body probes attempted.
+    pub alt_attempts: u64,
+    /// Probes abandoned by event-buffer truncation.
+    pub backtracks: u64,
 }
 
 // ---------------------------------------------------------------- bitsets
@@ -153,14 +176,20 @@ impl TokBits {
 
 // ------------------------------------------------------- compiled grammars
 
-/// Compiled EBNF term for the backtracking engine.
+/// "No compiled decision at this point" sentinel for the `decision`
+/// indices below.
+pub(crate) const NO_DECISION: u32 = u32::MAX;
+
+/// Compiled EBNF term for the backtracking engine. Decision indices point
+/// into [`Parser::decisions`] when static lookahead analysis resolved the
+/// LL(1) conflict at the corresponding flattened decision point.
 pub(crate) enum CTerm {
     Tok(u32),
     Nt(u32),
-    Opt { body: Vec<CTerm>, first: TokBits },
-    Star { body: Vec<CTerm>, first: TokBits },
-    Plus { body: Vec<CTerm>, first: TokBits },
-    Group(Vec<CGroupAlt>),
+    Opt { body: Vec<CTerm>, first: TokBits, decision: u32 },
+    Star { body: Vec<CTerm>, first: TokBits, decision: u32 },
+    Plus { body: Vec<CTerm>, first: TokBits, decision: u32 },
+    Group { alts: Vec<CGroupAlt>, decision: u32 },
 }
 
 pub(crate) struct CGroupAlt {
@@ -179,6 +208,34 @@ pub(crate) struct CAlt {
 pub(crate) struct CProd {
     pub(crate) name: String,
     pub(crate) alts: Vec<CAlt>,
+    pub(crate) decision: u32,
+}
+
+/// One compiled LL(k) dispatch table (a resolved [`Outcome::Resolved`]
+/// decision re-keyed to scanner token ids). `entries` holds packed
+/// lookahead words (same `len << 48 | t0 << 32 | t1 << 16 | t2` layout as
+/// `grammar::lookahead`, ids remapped) sorted for binary search; a word
+/// shorter than `k` matches only when the input ends right after it, which
+/// the packing encodes for free because the runtime packs exactly
+/// `min(k, remaining)` tokens.
+pub(crate) struct RtDecision {
+    k: u8,
+    /// The LL(1) conflict tokens — dispatch is consulted only when the
+    /// current lookahead is one of these (elsewhere FIRST pruning already
+    /// decides deterministically).
+    conflict_first: TokBits,
+    /// `true` if end-of-input itself is a conflicted lookahead.
+    conflict_eof: bool,
+    entries: Box<[(u64, u16)]>,
+}
+
+/// Append token id `t` to packed runtime word `w` (mirrors
+/// `grammar::lookahead`'s layout; lengths stay ≤ [`K_MAX`]).
+#[inline]
+fn rt_w_push(w: u64, t: u16) -> u64 {
+    let l = (w >> 48) as usize;
+    debug_assert!(l < K_MAX);
+    (((l + 1) as u64) << 48) | (w & 0x0000_FFFF_FFFF_FFFF) | ((t as u64) << (32 - 16 * l))
 }
 
 /// Compiled flat term for the LL(1) engine.
@@ -216,6 +273,8 @@ pub struct Parser {
     pub(crate) cstart: u32,
     pub(crate) fprods: Vec<FProd>,
     pub(crate) fstart: u32,
+    decisions: Vec<RtDecision>,
+    lookahead_k: u8,
 }
 
 impl fmt::Debug for Parser {
@@ -246,10 +305,52 @@ impl Parser {
         let scanner = tokens.build().map_err(BuildError::Tokens)?;
         let n_tokens = scanner.rule_count();
 
+        // Static LL(k) lookahead analysis: every conflict the analysis
+        // resolves becomes a compiled dispatch table the backtracking
+        // engine consults before speculating.
+        let mut decisions: Vec<RtDecision> = Vec::new();
+        let mut decision_of: HashMap<String, u32> = HashMap::new();
+        if !analysis.conflicts.is_empty() {
+            let la = analyze_lookahead(&analysis, K_MAX);
+            for d in &la.decisions {
+                let Outcome::Resolved { k, entries } = &d.outcome else {
+                    continue;
+                };
+                let mut conflict_first = TokBits::new(n_tokens);
+                let mut conflict_eof = false;
+                for t in &d.conflict_tokens {
+                    if t == EOF {
+                        conflict_eof = true;
+                    } else {
+                        conflict_first.insert(scanner.kind_of(t).expect("token checked").0);
+                    }
+                }
+                let mut packed: Vec<(u64, u16)> = entries
+                    .iter()
+                    .map(|e| {
+                        let mut w = 0u64;
+                        for t in &e.word {
+                            w = rt_w_push(w, scanner.kind_of(t).expect("token checked").0 as u16);
+                        }
+                        (w, e.alt as u16)
+                    })
+                    .collect();
+                packed.sort_unstable();
+                decision_of.insert(d.production.clone(), decisions.len() as u32);
+                decisions.push(RtDecision {
+                    k: *k as u8,
+                    conflict_first,
+                    conflict_eof,
+                    entries: packed.into_boxed_slice(),
+                });
+            }
+        }
+
         let compiler = Compiler {
             analysis: &analysis,
             scanner: &scanner,
             n_tokens,
+            decision_of: &decision_of,
         };
         let (cprods, cstart) = compiler.compile_ebnf(&grammar);
         let (fprods, fstart) = compiler.compile_flat();
@@ -264,6 +365,8 @@ impl Parser {
             cstart,
             fprods,
             fstart,
+            decisions,
+            lookahead_k: K_MAX as u8,
         })
     }
 
@@ -276,6 +379,31 @@ impl Parser {
     /// Current engine mode.
     pub fn mode(&self) -> EngineMode {
         self.mode
+    }
+
+    /// Limit runtime lookahead dispatch to decisions resolved at `k` or
+    /// fewer tokens (builder style). Dispatch tables are always compiled
+    /// at build time for k ≤ 3; this only gates which are consulted, so
+    /// `k < 2` disables dispatch entirely (pure seed backtracking).
+    pub fn with_lookahead_k(mut self, k: usize) -> Parser {
+        self.lookahead_k = k.min(K_MAX) as u8;
+        self
+    }
+
+    /// The runtime lookahead dispatch limit (see [`Parser::with_lookahead_k`]).
+    pub fn lookahead_k(&self) -> usize {
+        self.lookahead_k as usize
+    }
+
+    /// Number of LL(1) conflicts the static lookahead analysis resolved
+    /// into compiled dispatch tables.
+    pub fn decision_tables(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// `true` when the backtracking engine will consult dispatch tables.
+    pub(crate) fn tables_active(&self) -> bool {
+        self.lookahead_k >= 2 && !self.decisions.is_empty()
     }
 
     /// The (EBNF) grammar this parser accepts.
@@ -303,6 +431,10 @@ impl Parser {
             conflicts: self.analysis.conflicts.len(),
             token_rules: self.scanner.rule_count(),
             dfa_states: self.scanner.dfa_states(),
+            decision_table_hits: 0,
+            alt_attempts: 0,
+            backtracks: 0,
+            failure_memo_hits: 0,
         }
     }
 
@@ -399,6 +531,35 @@ impl Parser {
         }
     }
 
+    /// Consult the compiled dispatch table `di` at `pos`. Returns the
+    /// selected alternative on a hit. Entries are keyed on exactly
+    /// `min(k, remaining)` packed tokens, so short (end-of-input) words
+    /// match only when the input really ends there.
+    #[inline]
+    fn try_dispatch(&self, ctx: &mut EvCtx<'_>, di: u32, pos: usize) -> Option<usize> {
+        let d = &self.decisions[di as usize];
+        if d.k > self.lookahead_k {
+            return None;
+        }
+        match ctx.kind_ids.get(pos) {
+            Some(&k0) if d.conflict_first.contains(k0) => {}
+            None if d.conflict_eof => {}
+            _ => return None,
+        }
+        let depth = (d.k as usize).min(ctx.kind_ids.len() - pos);
+        let mut w = 0u64;
+        for &t in &ctx.kind_ids[pos..pos + depth] {
+            w = rt_w_push(w, t as u16);
+        }
+        match d.entries.binary_search_by_key(&w, |e| e.0) {
+            Ok(i) => {
+                ctx.counters.decision_hits += 1;
+                Some(d.entries[i].1 as usize)
+            }
+            Err(_) => None,
+        }
+    }
+
     fn ev_bt_nt(&self, ctx: &mut EvCtx<'_>, prod: u32, pos: usize) -> Result<usize, ()> {
         // The engine is a deterministic function of (production, position),
         // so a failed probe can never succeed on re-entry — fail in O(1).
@@ -406,6 +567,27 @@ impl Parser {
             return Err(());
         }
         let cprod = &self.cprods[prod as usize];
+        if ctx.use_tables && cprod.decision != NO_DECISION {
+            if let Some(ai) = self.try_dispatch(ctx, cprod.decision, pos) {
+                let alt = &cprod.alts[ai];
+                let mark = ctx.events.len();
+                ctx.events.push(Event::Open { prod, alt: ai as u32 });
+                ctx.counters.alt_attempts += 1;
+                match self.ev_bt_seq(ctx, &alt.seq, pos) {
+                    Ok(next) => {
+                        ctx.events.push(Event::Close);
+                        return Ok(next);
+                    }
+                    Err(()) => {
+                        ctx.counters.backtracks += 1;
+                        ctx.events.truncate(mark);
+                        // The dispatched alternative failed on deeper
+                        // context; fall back to the full ordered loop
+                        // (outcome-identical to the seed engine).
+                    }
+                }
+            }
+        }
         let la = ctx.kind_ids.get(pos).copied();
         for (ai, alt) in cprod.alts.iter().enumerate() {
             if !alt.nullable {
@@ -419,12 +601,16 @@ impl Parser {
             }
             let mark = ctx.events.len();
             ctx.events.push(Event::Open { prod, alt: ai as u32 });
+            ctx.counters.alt_attempts += 1;
             match self.ev_bt_seq(ctx, &alt.seq, pos) {
                 Ok(next) => {
                     ctx.events.push(Event::Close);
                     return Ok(next);
                 }
-                Err(()) => ctx.events.truncate(mark),
+                Err(()) => {
+                    ctx.counters.backtracks += 1;
+                    ctx.events.truncate(mark);
+                }
             }
         }
         ctx.memo.record(prod, pos);
@@ -444,15 +630,26 @@ impl Parser {
         ctx: &mut EvCtx<'_>,
         body: &[CTerm],
         first: &TokBits,
+        decision: u32,
         mut pos: usize,
     ) -> usize {
         loop {
             match ctx.kind_ids.get(pos) {
                 Some(&k) if first.contains(k) => {
+                    // Alternative 1 of the lowered `body star | ε` is the
+                    // exit: a dispatch hit proves the body probe is doomed.
+                    if ctx.use_tables
+                        && decision != NO_DECISION
+                        && self.try_dispatch(ctx, decision, pos) == Some(1)
+                    {
+                        break;
+                    }
                     let mark = ctx.events.len();
+                    ctx.counters.alt_attempts += 1;
                     match self.ev_bt_seq(ctx, body, pos) {
                         Ok(next) if next > pos => pos = next,
                         _ => {
+                            ctx.counters.backtracks += 1;
                             ctx.events.truncate(mark);
                             break;
                         }
@@ -480,12 +677,24 @@ impl Parser {
                 }
             },
             CTerm::Nt(n) => self.ev_bt_nt(ctx, *n, pos),
-            CTerm::Opt { body, first } => {
+            CTerm::Opt { body, first, decision } => {
                 if matches!(ctx.kind_ids.get(pos), Some(&k) if first.contains(k)) {
+                    // Alternative 1 of the lowered `body | ε` is the skip:
+                    // a dispatch hit proves the body probe is doomed.
+                    if ctx.use_tables
+                        && *decision != NO_DECISION
+                        && self.try_dispatch(ctx, *decision, pos) == Some(1)
+                    {
+                        return Ok(pos);
+                    }
                     let mark = ctx.events.len();
+                    ctx.counters.alt_attempts += 1;
                     match self.ev_bt_seq(ctx, body, pos) {
                         Ok(next) => return Ok(next),
-                        Err(()) => ctx.events.truncate(mark),
+                        Err(()) => {
+                            ctx.counters.backtracks += 1;
+                            ctx.events.truncate(mark);
+                        }
                     }
                 } else {
                     // Not taken: still informative for error messages.
@@ -493,12 +702,28 @@ impl Parser {
                 }
                 Ok(pos)
             }
-            CTerm::Star { body, first } => Ok(self.ev_bt_repeat(ctx, body, first, pos)),
-            CTerm::Plus { body, first } => {
-                let next = self.ev_bt_seq(ctx, body, pos)?;
-                Ok(self.ev_bt_repeat(ctx, body, first, next))
+            CTerm::Star { body, first, decision } => {
+                Ok(self.ev_bt_repeat(ctx, body, first, *decision, pos))
             }
-            CTerm::Group(alts) => {
+            CTerm::Plus { body, first, decision } => {
+                let next = self.ev_bt_seq(ctx, body, pos)?;
+                Ok(self.ev_bt_repeat(ctx, body, first, *decision, next))
+            }
+            CTerm::Group { alts, decision } => {
+                if ctx.use_tables && *decision != NO_DECISION {
+                    if let Some(ai) = self.try_dispatch(ctx, *decision, pos) {
+                        let alt = &alts[ai];
+                        let mark = ctx.events.len();
+                        ctx.counters.alt_attempts += 1;
+                        match self.ev_bt_seq(ctx, &alt.seq, pos) {
+                            Ok(next) => return Ok(next),
+                            Err(()) => {
+                                ctx.counters.backtracks += 1;
+                                ctx.events.truncate(mark);
+                            }
+                        }
+                    }
+                }
                 let la = ctx.kind_ids.get(pos).copied();
                 for alt in alts {
                     if !alt.nullable {
@@ -511,9 +736,13 @@ impl Parser {
                         }
                     }
                     let mark = ctx.events.len();
+                    ctx.counters.alt_attempts += 1;
                     match self.ev_bt_seq(ctx, &alt.seq, pos) {
                         Ok(next) => return Ok(next),
-                        Err(()) => ctx.events.truncate(mark),
+                        Err(()) => {
+                            ctx.counters.backtracks += 1;
+                            ctx.events.truncate(mark);
+                        }
                     }
                 }
                 Err(())
@@ -575,6 +804,8 @@ struct Compiler<'a> {
     analysis: &'a GrammarAnalysis,
     scanner: &'a Scanner,
     n_tokens: usize,
+    /// Flat-production name → index into [`Parser::decisions`].
+    decision_of: &'a HashMap<String, u32>,
 }
 
 impl Compiler<'_> {
@@ -600,6 +831,16 @@ impl Compiler<'_> {
         (self.bits_of(&names), nullable)
     }
 
+    /// Decision index for the synthetic production the Lowerer named
+    /// `{owner}__{kind}{n}` (see `grammar::lower`); the compiler walks
+    /// terms in the same order and replays the same counter.
+    fn decision_at(&self, owner: &str, kind: &str, n: usize) -> u32 {
+        self.decision_of
+            .get(&format!("{owner}__{kind}{n}"))
+            .copied()
+            .unwrap_or(NO_DECISION)
+    }
+
     fn compile_ebnf(&self, grammar: &Grammar) -> (Vec<CProd>, u32) {
         let index: HashMap<&str, u32> = grammar
             .productions()
@@ -607,58 +848,99 @@ impl Compiler<'_> {
             .enumerate()
             .map(|(i, p)| (p.name.as_str(), i as u32))
             .collect();
-        let prods = grammar
-            .productions()
-            .iter()
-            .map(|p| CProd {
+        // Mirrors the Lowerer's synthetic-name counter: global across the
+        // grammar, bumped after a term's body has been processed.
+        let mut counter = 0usize;
+        let mut prods = Vec::with_capacity(grammar.productions().len());
+        for p in grammar.productions() {
+            let mut alts = Vec::with_capacity(p.alternatives.len());
+            for alt in &p.alternatives {
+                let (first, nullable) = self.first_bits(&alt.seq);
+                alts.push(CAlt {
+                    seq: self.compile_seq(&p.name, &alt.seq, &index, &mut counter),
+                    first,
+                    nullable,
+                    label: alt.label.clone(),
+                });
+            }
+            prods.push(CProd {
                 name: p.name.clone(),
-                alts: p
-                    .alternatives
-                    .iter()
-                    .map(|alt| {
-                        let (first, nullable) = self.first_bits(&alt.seq);
-                        CAlt {
-                            seq: self.compile_seq(&alt.seq, &index),
-                            first,
-                            nullable,
-                            label: alt.label.clone(),
-                        }
-                    })
-                    .collect(),
-            })
-            .collect();
+                alts,
+                decision: self
+                    .decision_of
+                    .get(p.name.as_str())
+                    .copied()
+                    .unwrap_or(NO_DECISION),
+            });
+        }
         (prods, index[grammar.start()])
     }
 
-    fn compile_seq(&self, seq: &[Term], index: &HashMap<&str, u32>) -> Vec<CTerm> {
+    fn compile_seq(
+        &self,
+        owner: &str,
+        seq: &[Term],
+        index: &HashMap<&str, u32>,
+        counter: &mut usize,
+    ) -> Vec<CTerm> {
         seq.iter()
             .map(|term| match term {
                 Term::Token(t) => CTerm::Tok(self.tok_id(t)),
                 Term::NonTerminal(n) => CTerm::Nt(index[n.as_str()]),
-                Term::Optional(body) => CTerm::Opt {
-                    first: self.first_bits(body).0,
-                    body: self.compile_seq(body, index),
-                },
-                Term::Star(body) => CTerm::Star {
-                    first: self.first_bits(body).0,
-                    body: self.compile_seq(body, index),
-                },
-                Term::Plus(body) => CTerm::Plus {
-                    first: self.first_bits(body).0,
-                    body: self.compile_seq(body, index),
-                },
-                Term::Group(alts) => CTerm::Group(
-                    alts.iter()
+                Term::Optional(body) => {
+                    let first = self.first_bits(body).0;
+                    let body = self.compile_seq(owner, body, index, counter);
+                    *counter += 1;
+                    CTerm::Opt {
+                        first,
+                        body,
+                        decision: self.decision_at(owner, "opt", *counter),
+                    }
+                }
+                Term::Star(body) => {
+                    let first = self.first_bits(body).0;
+                    let body = self.compile_seq(owner, body, index, counter);
+                    *counter += 1;
+                    CTerm::Star {
+                        first,
+                        body,
+                        decision: self.decision_at(owner, "star", *counter),
+                    }
+                }
+                Term::Plus(body) => {
+                    let first = self.first_bits(body).0;
+                    let body = self.compile_seq(owner, body, index, counter);
+                    *counter += 1;
+                    // `x+` lowers to `x x*`, so the Plus tail shares the
+                    // star-kind synthetic.
+                    CTerm::Plus {
+                        first,
+                        body,
+                        decision: self.decision_at(owner, "star", *counter),
+                    }
+                }
+                Term::Group(alts) => {
+                    let calts: Vec<CGroupAlt> = alts
+                        .iter()
                         .map(|a| {
                             let (first, nullable) = self.first_bits(a);
                             CGroupAlt {
-                                seq: self.compile_seq(a, index),
+                                seq: self.compile_seq(owner, a, index, counter),
                                 first,
                                 nullable,
                             }
                         })
-                        .collect(),
-                ),
+                        .collect();
+                    // Single-alternative groups are spliced by the
+                    // Lowerer: no synthetic production, no counter bump.
+                    let decision = if calts.len() > 1 {
+                        *counter += 1;
+                        self.decision_at(owner, "grp", *counter)
+                    } else {
+                        NO_DECISION
+                    };
+                    CTerm::Group { alts: calts, decision }
+                }
             })
             .collect()
     }
@@ -829,12 +1111,18 @@ impl FailureMemo {
     }
 }
 
-/// Borrowed engine context: token kinds in, events + failure notes out.
+/// Borrowed engine context: token kinds in, events + failure notes +
+/// dynamic counters out.
 pub(crate) struct EvCtx<'a> {
     pub(crate) kind_ids: &'a [u32],
     pub(crate) events: &'a mut Vec<Event>,
     pub(crate) memo: &'a mut FailureMemo,
     pub(crate) notes: &'a mut Notes,
+    pub(crate) counters: &'a mut RunCounters,
+    /// Consult compiled LL(k) dispatch tables before speculating. The
+    /// session disables this on its diagnostics rerun so error messages
+    /// stay byte-identical to the seed engine.
+    pub(crate) use_tables: bool,
 }
 
 #[cfg(test)]
@@ -1105,6 +1393,78 @@ mod tests {
         memo.reset(4, 10);
         assert!(!memo.failed(2, 3));
         assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn dispatch_resolves_common_prefix_without_backtracking() {
+        // `a : X Y | X Z` conflicts on X at k=1 but is LL(2); the compiled
+        // dispatch table must select the right alternative directly.
+        let g = parse_grammar("grammar g; a : X Y #xy | X Z #xz ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; Z = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        assert_eq!(p.decision_tables(), 1);
+        let mut s = p.session();
+        assert_eq!(s.parse_tree("X Z").unwrap().to_cst().label(), Some("xz"));
+        let stats = s.stats();
+        assert!(stats.decision_table_hits >= 1, "stats: {stats:?}");
+        assert_eq!(stats.backtracks, 0, "stats: {stats:?}");
+        assert_eq!(s.parse_tree("X Y").unwrap().to_cst().label(), Some("xy"));
+        assert_eq!(s.stats().backtracks, 0);
+    }
+
+    #[test]
+    fn lookahead_limit_disables_dispatch() {
+        let g = parse_grammar("grammar g; a : X Y #xy | X Z #xz ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; Z = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap().with_lookahead_k(1);
+        assert_eq!(p.lookahead_k(), 1);
+        let mut s = p.session();
+        assert_eq!(s.parse_tree("X Z").unwrap().to_cst().label(), Some("xz"));
+        let stats = s.stats();
+        assert_eq!(stats.decision_table_hits, 0, "stats: {stats:?}");
+        assert!(stats.backtracks >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn dispatch_skips_doomed_star_probe() {
+        // `stmt (SEMI stmt)* SEMI?` — at the trailing SEMI the star's
+        // continue-probe is doomed; the k=2 table proves the exit arm.
+        let g = parse_grammar(
+            "grammar g; start script; script : stmt (SEMI stmt)* SEMI? ; stmt : A ;",
+        )
+        .unwrap();
+        let t = parse_tokens("tokens t; A = kw; SEMI = \";\"; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        assert!(p.decision_tables() >= 1);
+        let mut s = p.session();
+        assert!(s.parse_tree("A ; A ;").is_ok());
+        let stats = s.stats();
+        assert_eq!(stats.backtracks, 0, "stats: {stats:?}");
+        assert!(stats.decision_table_hits >= 1, "stats: {stats:?}");
+        // Seed behavior without tables: the same input costs a backtrack.
+        let p1 = {
+            let g = parse_grammar(
+                "grammar g; start script; script : stmt (SEMI stmt)* SEMI? ; stmt : A ;",
+            )
+            .unwrap();
+            let t = parse_tokens("tokens t; A = kw; SEMI = \";\"; WS = skip / +/;").unwrap();
+            Parser::new(g, &t).unwrap().with_lookahead_k(1)
+        };
+        let mut s1 = p1.session();
+        assert!(s1.parse_tree("A ; A ;").is_ok());
+        assert!(s1.stats().backtracks >= 1, "stats: {:?}", s1.stats());
+    }
+
+    #[test]
+    fn dispatch_errors_match_seed_errors() {
+        let g = parse_grammar("grammar g; a : X Y #xy | X Z #xz ;").unwrap();
+        let t = parse_tokens("tokens t; X = kw; Y = kw; Z = kw; WS = skip / +/;").unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        for bad in ["X", "X X", "Y", "X Y Z", ""] {
+            let with = p.parse(bad).unwrap_err();
+            let without = p.parse_reference(bad).unwrap_err();
+            assert_eq!(with, without, "diverged on {bad:?}");
+        }
     }
 
     #[test]

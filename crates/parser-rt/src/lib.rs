@@ -36,7 +36,7 @@ pub mod session;
 pub mod tree;
 
 pub use cst::CstNode;
-pub use engine::{EngineMode, Parser, ParserStats};
+pub use engine::{EngineMode, Parser, ParserStats, RunCounters};
 pub use errors::ParseError;
 pub use events::Event;
 pub use session::{ParseSession, ParsedStats};

@@ -173,7 +173,7 @@ impl Parser {
                 children.push(node);
                 Ok(next)
             }
-            CTerm::Opt { body, first } => {
+            CTerm::Opt { body, first, .. } => {
                 if matches!(ctx.kind_ids.get(pos), Some(&k) if first.contains(k)) {
                     let mark = children.len();
                     match self.ref_bt_seq(ctx, body, pos, children) {
@@ -186,14 +186,14 @@ impl Parser {
                 }
                 Ok(pos)
             }
-            CTerm::Star { body, first } => {
+            CTerm::Star { body, first, .. } => {
                 Ok(self.ref_bt_repeat(ctx, body, first, pos, children))
             }
-            CTerm::Plus { body, first } => {
+            CTerm::Plus { body, first, .. } => {
                 let next = self.ref_bt_seq(ctx, body, pos, children)?;
                 Ok(self.ref_bt_repeat(ctx, body, first, next, children))
             }
-            CTerm::Group(alts) => {
+            CTerm::Group { alts, .. } => {
                 let la = ctx.kind_ids.get(pos).copied();
                 for alt in alts {
                     if !alt.nullable {

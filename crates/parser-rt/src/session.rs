@@ -12,7 +12,7 @@
 //! scoped workers, one session per worker (a [`Parser`] is shareable by
 //! reference across threads).
 
-use crate::engine::{EngineMode, EvCtx, FailureMemo, Notes, Parser};
+use crate::engine::{EngineMode, EvCtx, FailureMemo, Notes, Parser, ParserStats, RunCounters};
 use crate::errors::ParseError;
 use crate::events::Event;
 use crate::tree::{SyntaxTree, TreeBuffers};
@@ -27,6 +27,7 @@ pub struct ParseSession<'p> {
     events: Vec<Event>,
     memo: FailureMemo,
     notes: Notes,
+    counters: RunCounters,
     tree: TreeBuffers,
 }
 
@@ -40,6 +41,7 @@ impl<'p> ParseSession<'p> {
             events: Vec::new(),
             memo: FailureMemo::default(),
             notes: Notes::new(parser.n_tokens),
+            counters: RunCounters::default(),
             tree: TreeBuffers::default(),
         }
     }
@@ -54,6 +56,22 @@ impl<'p> ParseSession<'p> {
     /// re-derivation skipped).
     pub fn memo_hits(&self) -> u64 {
         self.memo.hits()
+    }
+
+    /// Cumulative backtracking-engine counters (dispatch hits, speculative
+    /// probes, truncations) across all parses of this session.
+    pub fn counters(&self) -> RunCounters {
+        self.counters
+    }
+
+    /// Static parser metrics with this session's dynamic counters filled in.
+    pub fn stats(&self) -> ParserStats {
+        let mut s = self.parser.stats();
+        s.decision_table_hits = self.counters.decision_hits;
+        s.alt_attempts = self.counters.alt_attempts;
+        s.backtracks = self.counters.backtracks;
+        s.failure_memo_hits = self.memo.hits();
+        s
     }
 
     /// Parse one statement into a [`SyntaxTree`] view borrowing this
@@ -80,12 +98,33 @@ impl<'p> ParseSession<'p> {
         if parser.mode() == EngineMode::Backtracking {
             self.memo.reset(parser.cprods.len(), self.toks.len() + 1);
         }
-        let result = parser.run_events(&mut EvCtx {
+        let use_tables = parser.mode() == EngineMode::Backtracking && parser.tables_active();
+        let mut result = parser.run_events(&mut EvCtx {
             kind_ids: &self.kind_ids,
             events: &mut self.events,
             memo: &mut self.memo,
             notes: &mut self.notes,
+            counters: &mut self.counters,
+            use_tables,
         });
+        if use_tables && !matches!(result, Ok(next) if next == self.toks.len()) {
+            // A dispatch hit skips probes whose failure notes feed the
+            // error message, so any failing outcome (hard error or
+            // trailing input) is re-derived with tables disabled: the
+            // accept/reject outcome is provably identical, and the
+            // diagnostics become byte-identical to the seed engine.
+            self.events.clear();
+            self.notes.reset();
+            self.memo.reset(parser.cprods.len(), self.toks.len() + 1);
+            result = parser.run_events(&mut EvCtx {
+                kind_ids: &self.kind_ids,
+                events: &mut self.events,
+                memo: &mut self.memo,
+                notes: &mut self.notes,
+                counters: &mut self.counters,
+                use_tables: false,
+            });
+        }
         match result {
             Ok(next) if next == self.toks.len() => {
                 let root = self.tree.build(&self.events);
