@@ -1,0 +1,104 @@
+//! Experiment B6 — scanner compilation ablation: the compiled byte-class
+//! dispatch scanner (`scan_into`, the production path) vs the preserved
+//! per-character interval walker (`scan_reference_into`) vs naive per-rule
+//! NFA simulation (`scan_naive`), over each dialect's own corpus.
+//!
+//! This is the criterion twin of the lex-stage section in
+//! `sqlweave bench --json` (schema v3): same three substrates, same
+//! corpora, but with criterion's warmup/sampling instead of the runner's
+//! single timed loop. A fourth group measures table compilation cost so
+//! the one-time price of the dense tables is visible next to the win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sqlweave_bench::{composed, corpus};
+use sqlweave_dialects::Dialect;
+use sqlweave_lexgen::Token;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lex_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_scanner_substrates");
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let tokens = &composed(d).tokens;
+        let scanner = tokens.build().unwrap();
+        let own: String = corpus(d).join(" \n");
+        group.throughput(Throughput::Bytes(own.len() as u64));
+        // Recycled output buffer: both table-driven paths are measured in
+        // the allocation profile of the session/batch APIs.
+        let mut buf: Vec<Token> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("compiled", d.name()), &own, |b, own| {
+            b.iter(|| {
+                buf.clear();
+                scanner.scan_into(black_box(own), &mut buf).unwrap();
+                black_box(buf.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interval", d.name()), &own, |b, own| {
+            b.iter(|| {
+                buf.clear();
+                scanner.scan_reference_into(black_box(own), &mut buf).unwrap();
+                black_box(buf.len())
+            })
+        });
+        let nfas = tokens.build_rule_nfas().unwrap();
+        group.bench_with_input(BenchmarkId::new("naive_nfa", d.name()), &own, |b, own| {
+            b.iter(|| black_box(scanner.scan_naive(black_box(own), &nfas).unwrap().len()))
+        });
+    }
+    group.finish();
+
+    // UTF-8-heavy workload: string literals full of multi-byte scalars
+    // force the compiled scanner through its interval fallback, bounding
+    // how much of the headline win survives the worst case.
+    let mut group = c.benchmark_group("B6_utf8_fallback");
+    let scanner = composed(Dialect::Full).tokens.build().unwrap();
+    let utf8: String = corpus(Dialect::Full)
+        .iter()
+        .map(|s| format!("{s} \n SELECT 'héllo wörld — 中文文本 🦀🦀' FROM t \n"))
+        .collect();
+    group.throughput(Throughput::Bytes(utf8.len() as u64));
+    let mut buf: Vec<Token> = Vec::new();
+    group.bench_with_input(BenchmarkId::new("compiled", "full"), &utf8, |b, utf8| {
+        b.iter(|| {
+            buf.clear();
+            scanner.scan_into(black_box(utf8), &mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("interval", "full"), &utf8, |b, utf8| {
+        b.iter(|| {
+            buf.clear();
+            scanner.scan_reference_into(black_box(utf8), &mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+
+    // One-time cost of lowering the minimized DFA into dense tables,
+    // isolated from the rest of `TokenSet::build`.
+    let mut group = c.benchmark_group("B6_table_compilation");
+    group.sample_size(20);
+    for d in [Dialect::Pico, Dialect::Core, Dialect::Full] {
+        let scanner = composed(d).tokens.build().unwrap();
+        group.bench_function(BenchmarkId::new("compile", d.name()), |b| {
+            b.iter(|| {
+                let skip: sqlweave_lexgen::compiled::BitSet =
+                    (0..scanner.rule_count()).map(|i| scanner.is_skip(sqlweave_lexgen::TokenKind(i as u32))).collect();
+                black_box(
+                    sqlweave_lexgen::CompiledDfa::compile(scanner.dfa(), &skip).byte_classes(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    targets = bench_lex_ablation
+}
+criterion_main!(benches);

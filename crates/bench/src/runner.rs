@@ -19,13 +19,21 @@
 //! derived backtrack rate (truncations per alternative attempt), which is
 //! the headline number of the lookahead ablation (Experiment B5).
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v2`; v1
-//! lacked the dynamic counters), built with the same hand-rolled emitter
-//! conventions as `sqlweave-lint` and round-tripped through
-//! [`sqlweave_lint::json::parse`] before being returned, so a malformed
-//! report fails loudly instead of landing in CI artifacts.
+//! The backtracking row of each dialect also carries a **lex-stage
+//! section** (Experiment B6): tokens/sec and MB/sec of the three scanner
+//! substrates — `compiled` (byte-class dispatch tables, the production
+//! path), `interval` (the preserved per-character interval walker), and
+//! `naive` (per-rule NFA simulation) — plus the dialect's byte-class
+//! count. The scanner is engine-independent, so the LL(1) row leaves the
+//! section empty rather than duplicating it.
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v3`; v2
+//! lacked the lex stage, v1 the dynamic counters), built with the same
+//! hand-rolled emitter conventions as `sqlweave-lint` and round-tripped
+//! through [`sqlweave_lint::json::parse`] before being returned, so a
+//! malformed report fails loudly instead of landing in CI artifacts.
 
-use crate::{corpus, parser};
+use crate::{composed, corpus, parser};
 use sqlweave_dialects::Dialect;
 use sqlweave_lexgen::Token;
 use sqlweave_lint::json::{self, Value};
@@ -53,6 +61,21 @@ pub struct ApiMeasurement {
     pub speedup_vs_seed: f64,
 }
 
+/// Throughput of one scanner substrate on one dialect's corpus.
+#[derive(Debug, Clone)]
+pub struct LexMeasurement {
+    /// Scanner identifier: `compiled`, `interval`, or `naive`.
+    pub scanner: &'static str,
+    /// Emitted + skipped lexing throughput in tokens per second
+    /// (token-weighted over the whole corpus).
+    pub tokens_per_sec: f64,
+    /// Input bytes consumed per second, in MB (1e6 bytes).
+    pub mbytes_per_sec: f64,
+    /// Ratio of this scanner's tokens/sec to `interval`'s (the
+    /// pre-compilation hot path; 1.0 for `interval` by construction).
+    pub speedup_vs_interval: f64,
+}
+
 /// All measurements for one dialect × engine pair.
 #[derive(Debug, Clone)]
 pub struct PairReport {
@@ -64,6 +87,12 @@ pub struct PairReport {
     pub statements: usize,
     /// Total tokens across those statements.
     pub tokens: usize,
+    /// Total bytes across the dialect's *whole* corpus (the lex-stage
+    /// workload; lexing is engine-independent so it is not filtered by
+    /// engine acceptance).
+    pub bytes: usize,
+    /// Byte equivalence classes in the compiled scanner tables.
+    pub byte_classes: usize,
     /// LL(k) dispatch-table hits over one session pass of the corpus
     /// (backtracking engine only; 0 for the LL(1) table engine).
     pub decision_table_hits: u64,
@@ -76,6 +105,84 @@ pub struct PairReport {
     pub backtrack_rate: f64,
     /// Per-API throughput, `seed_cst` first.
     pub apis: Vec<ApiMeasurement>,
+    /// Lex-stage scanner ablation (`interval` first). Populated on each
+    /// dialect's backtracking row only — the scanner does not vary by
+    /// engine — and empty everywhere else.
+    pub lex: Vec<LexMeasurement>,
+}
+
+/// Benchmark the lex stage of one dialect: scan the whole corpus with each
+/// scanner substrate. Returns `(corpus_bytes, measurements)` with
+/// `interval` first so its rate anchors the speedup column.
+///
+/// The compiled and interval scanners lex into one recycled buffer (the
+/// allocation profile of the session/batch paths); the naive scanner has
+/// no buffered entry point and allocates per scan, which is part of what
+/// makes it the naive baseline. Naive NFA simulation is orders of
+/// magnitude slower, so it runs `iters / 8` passes (at least one) — rates
+/// are normalized per pass, so the column stays comparable.
+pub fn bench_lex_stage(dialect: Dialect, iters: usize) -> (usize, Vec<LexMeasurement>) {
+    let p = parser(dialect, EngineMode::Backtracking);
+    let stmts = corpus(dialect);
+    let bytes: usize = stmts.iter().map(|s| s.len()).sum();
+    let mut buf: Vec<Token> = Vec::new();
+    let tokens: usize = stmts
+        .iter()
+        .map(|s| {
+            buf.clear();
+            p.scanner().scan_into(s, &mut buf).expect("corpus statement lexes");
+            buf.len()
+        })
+        .sum();
+
+    // Lexing is ~10× faster than parsing; scale iterations up so the
+    // timed region stays well above timer resolution at small `iters`.
+    let lex_iters = iters.saturating_mul(8);
+    let naive_iters = (iters / 8).max(1);
+
+    let interval_secs = time(lex_iters, || {
+        for s in &stmts {
+            buf.clear();
+            p.scanner().scan_reference_into(s, &mut buf).expect("corpus statement lexes");
+            std::hint::black_box(buf.len());
+        }
+    });
+    let compiled_secs = time(lex_iters, || {
+        for s in &stmts {
+            buf.clear();
+            p.scanner().scan_into(s, &mut buf).expect("corpus statement lexes");
+            std::hint::black_box(buf.len());
+        }
+    });
+    let nfas = composed(dialect)
+        .tokens
+        .build_rule_nfas()
+        .unwrap_or_else(|e| panic!("rule NFAs {}: {e}", dialect.name()));
+    let naive_secs = time(naive_iters, || {
+        for s in &stmts {
+            let toks = p.scanner().scan_naive(s, &nfas).expect("corpus statement lexes");
+            std::hint::black_box(toks.len());
+        }
+    });
+
+    let rate = |scanner: &'static str, its: usize, secs: f64, base_tps: Option<f64>| {
+        let secs = secs.max(1e-9);
+        let tps = (its * tokens) as f64 / secs;
+        LexMeasurement {
+            scanner,
+            tokens_per_sec: tps,
+            mbytes_per_sec: (its * bytes) as f64 / secs / 1e6,
+            speedup_vs_interval: base_tps.map_or(1.0, |b| tps / b.max(1e-9)),
+        }
+    };
+    let interval = rate("interval", lex_iters, interval_secs, None);
+    let base = interval.tokens_per_sec;
+    let measurements = vec![
+        interval,
+        rate("compiled", lex_iters, compiled_secs, Some(base)),
+        rate("naive", naive_iters, naive_secs, Some(base)),
+    ];
+    (bytes, measurements)
 }
 
 fn time<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -190,16 +297,27 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
         measure("event_tree", iters, stmts.len(), tokens, event_tree_secs, Some(seed_sps)),
         measure("batch", iters, stmts.len(), tokens, batch_secs, Some(seed_sps)),
     ];
+    // Lex-stage ablation on the backtracking row only (the scanner does
+    // not vary by engine, so duplicating it would double bench time for
+    // identical numbers).
+    let (bytes, lex) = if mode == EngineMode::Backtracking {
+        bench_lex_stage(dialect, iters)
+    } else {
+        (corpus(dialect).iter().map(|s| s.len()).sum(), Vec::new())
+    };
     PairReport {
         dialect: dialect.name(),
         engine: engine_name(mode),
         statements: stmts.len(),
         tokens,
+        bytes,
+        byte_classes: p.scanner().byte_classes(),
         decision_table_hits: cstats.decision_table_hits,
         backtracks: cstats.backtracks,
         failure_memo_hits: cstats.failure_memo_hits,
         backtrack_rate,
         apis,
+        lex,
     }
 }
 
@@ -209,7 +327,7 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v2` JSON document.
+/// Serialize reports as the `sqlweave-bench-parser/v3` JSON document.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
     let results: Vec<String> = reports
         .iter()
@@ -227,24 +345,44 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                     )
                 })
                 .collect();
+            let lex: Vec<String> = r
+                .lex
+                .iter()
+                .map(|l| {
+                    // Four decimals on the ratio: the naive scanner runs
+                    // at ~1/500 of the interval walker, which two decimals
+                    // would round to a meaningless 0.00.
+                    format!(
+                        "{{\"scanner\":\"{}\",\"tokens_per_sec\":{},\"mbytes_per_sec\":{},\"speedup_vs_interval\":{:.4}}}",
+                        json::escape(l.scanner),
+                        fmt_f64(l.tokens_per_sec),
+                        fmt_f64(l.mbytes_per_sec),
+                        l.speedup_vs_interval
+                    )
+                })
+                .collect();
             format!(
                 "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\
+                 \"bytes\":{},\"byte_classes\":{},\
                  \"decision_table_hits\":{},\"backtracks\":{},\"failure_memo_hits\":{},\
-                 \"backtrack_rate\":{:.4},\"apis\":[{}]}}",
+                 \"backtrack_rate\":{:.4},\"apis\":[{}],\"lex\":[{}]}}",
                 json::escape(r.dialect),
                 json::escape(r.engine),
                 r.statements,
                 r.tokens,
+                r.bytes,
+                r.byte_classes,
                 r.decision_table_hits,
                 r.backtracks,
                 r.failure_memo_hits,
                 r.backtrack_rate,
-                apis.join(",")
+                apis.join(","),
+                lex.join(",")
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":{},\"results\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":{},\"results\":[{}]}}",
         iters,
         results.join(",")
     )
@@ -280,7 +418,7 @@ pub fn run_with_lookahead(
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v2`.
+/// Check a bench document against schema `sqlweave-bench-parser/v3`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -290,7 +428,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v2" {
+    if schema != "sqlweave-bench-parser/v3" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -308,6 +446,8 @@ pub fn validate(doc: &str) -> Result<(), String> {
         for key in [
             "statements",
             "tokens",
+            "bytes",
+            "byte_classes",
             "decision_table_hits",
             "backtracks",
             "failure_memo_hits",
@@ -340,6 +480,32 @@ pub fn validate(doc: &str) -> Result<(), String> {
                 }
             }
         }
+        // The lex section is empty on engine rows that don't carry it,
+        // but when present it must include the production scanner and its
+        // speedup anchor.
+        let lex = r
+            .get("lex")
+            .and_then(Value::as_arr)
+            .ok_or("result missing \"lex\"")?;
+        if !lex.is_empty() {
+            for name in ["compiled", "interval"] {
+                if lex.iter().all(|l| l.get("scanner").and_then(Value::as_str) != Some(name)) {
+                    return Err(format!("lex section lacks the {name:?} scanner"));
+                }
+            }
+        }
+        for l in lex {
+            l.get("scanner").and_then(Value::as_str).ok_or("lex entry missing \"scanner\"")?;
+            for key in ["tokens_per_sec", "mbytes_per_sec", "speedup_vs_interval"] {
+                let n = l
+                    .get(key)
+                    .and_then(Value::as_num)
+                    .ok_or(format!("lex entry missing {key:?}"))?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!("lex entry has non-finite {key:?}"));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -358,7 +524,14 @@ mod tests {
         for r in results {
             assert_eq!(r.get("dialect").unwrap().as_str(), Some("pico"));
             assert!(r.get("statements").unwrap().as_num().unwrap() > 0.0);
+            assert!(r.get("bytes").unwrap().as_num().unwrap() > 0.0);
+            assert!(r.get("byte_classes").unwrap().as_num().unwrap() > 1.0);
             assert_eq!(r.get("apis").unwrap().as_arr().unwrap().len(), 4);
+            let lex = r.get("lex").unwrap().as_arr().unwrap();
+            match r.get("engine").unwrap().as_str() {
+                Some("backtracking") => assert_eq!(lex.len(), 3, "interval/compiled/naive"),
+                _ => assert!(lex.is_empty(), "lex section only on backtracking rows"),
+            }
         }
     }
 
@@ -366,19 +539,45 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1 documents (no dynamic counters) are rejected by name.
+        // v1/v2 documents (no dynamic counters / no lex stage) are
+        // rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
         )
         .is_err());
+        // A non-empty lex section must anchor on the interval walker.
+        assert!(validate(
+            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}]}]}"
+        )
+        .is_err());
+        // v2 rows (no bytes/byte_classes/lex) fail even under a v3 header.
+        assert!(validate(
+            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lex_stage_reports_all_three_scanners() {
+        let (bytes, lex) = bench_lex_stage(Dialect::Pico, 1);
+        assert!(bytes > 0);
+        let names: Vec<&str> = lex.iter().map(|l| l.scanner).collect();
+        assert_eq!(names, ["interval", "compiled", "naive"]);
+        assert!((lex[0].speedup_vs_interval - 1.0).abs() < 1e-9);
+        for l in &lex {
+            assert!(l.tokens_per_sec.is_finite() && l.tokens_per_sec > 0.0, "{l:?}");
+            assert!(l.mbytes_per_sec.is_finite() && l.mbytes_per_sec > 0.0, "{l:?}");
+            assert!(l.speedup_vs_interval.is_finite() && l.speedup_vs_interval > 0.0, "{l:?}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! sqlweave compose FEATURE...          compose features, print the grammar
 //! sqlweave parse --dialect NAME SQL    parse a statement (CST + AST)
 //! sqlweave check --dialect NAME SQL    accept/reject only (exit code)
+//! sqlweave lex --dialect NAME SQL      dump the token stream (kind, span, text)
 //! sqlweave format --dialect NAME SQL   reformat a script via the AST
 //! sqlweave generate FEATURE...         emit standalone Rust parser source
 //! sqlweave dialects                    list preset dialects with sizes
@@ -36,6 +37,7 @@ fn usage() -> ExitCode {
          sqlweave compose FEATURE...\n  \
          sqlweave parse --dialect NAME 'SQL'\n  \
          sqlweave check --dialect NAME 'SQL'\n  \
+         sqlweave lex [--format text|json] --dialect NAME 'SQL'\n  \
          sqlweave format --dialect NAME 'SQL'\n  \
          sqlweave generate FEATURE...\n  \
          sqlweave lint [--format text|json] --all-dialects\n  \
@@ -62,6 +64,7 @@ fn main() -> ExitCode {
         "compose" => cmd_compose(&args[1..]),
         "parse" => cmd_parse(&args[1..], true),
         "check" => cmd_parse(&args[1..], false),
+        "lex" => cmd_lex(&args[1..]),
         "format" => cmd_format(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -529,20 +532,21 @@ fn cmd_census() -> ExitCode {
 
 fn cmd_dialects() -> ExitCode {
     println!(
-        "{:<10} {:>9} {:>12} {:>8} {:>11}",
-        "dialect", "features", "productions", "tokens", "DFA states"
+        "{:<10} {:>9} {:>12} {:>8} {:>11} {:>13}",
+        "dialect", "features", "productions", "tokens", "DFA states", "byte classes"
     );
     for d in Dialect::ALL {
         match d.parser() {
             Ok(p) => {
                 let s = p.stats();
                 println!(
-                    "{:<10} {:>9} {:>12} {:>8} {:>11}",
+                    "{:<10} {:>9} {:>12} {:>8} {:>11} {:>13}",
                     d.name(),
                     d.configuration().len(),
                     s.productions,
                     s.token_rules,
-                    s.dfa_states
+                    s.dfa_states,
+                    s.byte_classes
                 );
             }
             Err(e) => {
@@ -639,6 +643,86 @@ fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
     }
 }
 
+/// Dump a statement's token stream exactly as the dialect's compiled
+/// scanner produces it — the lexical ground truth the differential suites
+/// assert against, exposed for debugging token-rule composition. Skip
+/// tokens (whitespace, comments) are consumed, not shown, matching what
+/// the parser sees. `--format json` emits the `sqlweave-lex/v1` document.
+fn cmd_lex(args: &[String]) -> ExitCode {
+    let mut format_json = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--format" {
+            match args.get(i + 1).map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => return usage(),
+            }
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let Some((dialect, sql)) = dialect_and_sql(&rest) else {
+        return usage();
+    };
+    let parser = match dialect.parser() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scanner = parser.scanner();
+    let toks = match scanner.scan(&sql) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rejected by `{}`: {e}", dialect.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    if format_json {
+        use sqlweave_lint::json::escape;
+        let entries: Vec<String> = toks
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"kind\":\"{}\",\"start\":{},\"end\":{},\"text\":\"{}\"}}",
+                    escape(scanner.name(t.kind)),
+                    t.start,
+                    t.end,
+                    escape(t.text(&sql))
+                )
+            })
+            .collect();
+        println!(
+            "{{\"schema\":\"sqlweave-lex/v1\",\"dialect\":\"{}\",\"tokens\":[{}]}}",
+            escape(dialect.name()),
+            entries.join(",")
+        );
+    } else {
+        println!("{:<16} {:>5} {:>5}  text", "kind", "start", "end");
+        for t in &toks {
+            println!(
+                "{:<16} {:>5} {:>5}  {}",
+                scanner.name(t.kind),
+                t.start,
+                t.end,
+                t.text(&sql)
+            );
+        }
+        println!(
+            "{} token(s) via {} byte classes ({} DFA states)",
+            toks.len(),
+            scanner.byte_classes(),
+            scanner.dfa_states()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// The "SQL:2003 preprocessor" use of the product line: parse a script with
 /// a dialect and print it back normalized from the AST.
 fn cmd_format(args: &[String]) -> ExitCode {
@@ -675,10 +759,11 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v2` document (already validated by the
+/// emits the `sqlweave-bench-parser/v3` document (already validated by the
 /// runner); the default is a human-readable table with the backtrack-rate
-/// column. `--lookahead K` caps the runtime dispatch depth (the B5
-/// ablation knob; `1` reproduces the seed backtracking engine).
+/// column plus one lex-stage block per dialect (the B6 scanner ablation).
+/// `--lookahead K` caps the runtime dispatch depth (the B5 ablation knob;
+/// `1` reproduces the seed backtracking engine).
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut iters = 200usize;
@@ -768,6 +853,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     a.tokens_per_sec,
                     a.speedup_vs_seed,
                     r.backtrack_rate
+                );
+            }
+            for l in &r.lex {
+                println!(
+                    "{:<10} {:<13} {:<11} {:>11} {:>13.0} {:>7.2}x {:>8}",
+                    r.dialect,
+                    "lex",
+                    l.scanner,
+                    format!("{:.1} MB/s", l.mbytes_per_sec),
+                    l.tokens_per_sec,
+                    l.speedup_vs_interval,
+                    format!("bc={}", r.byte_classes)
                 );
             }
         }

@@ -230,6 +230,46 @@ fn lint_without_target_prints_usage() {
     assert_eq!(o.status.code(), Some(2));
 }
 
+#[test]
+fn lex_dumps_token_stream() {
+    let o = run(&["lex", "--dialect", "core", "SELECT a FROM t"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("SELECT               0     6  SELECT"), "{out}");
+    assert!(out.contains("IDENT               14    15  t"), "{out}");
+    // skip tokens are consumed, not listed
+    assert!(!out.contains("WS"), "{out}");
+    assert!(out.contains("4 token(s) via"), "{out}");
+    assert!(out.contains("byte classes"), "{out}");
+}
+
+#[test]
+fn lex_json_matches_fixture() {
+    // The fixture pins kinds, byte spans, and UTF-8 slicing (the literal
+    // holds a two-byte scalar, so `end` jumps by 8 over 7 chars).
+    let o = run(&[
+        "lex",
+        "--format",
+        "json",
+        "--dialect",
+        "core",
+        "SELECT a, b FROM t WHERE a = 'héllo'",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let expected = std::fs::read_to_string(fixture("lex_core.json")).unwrap();
+    assert_eq!(stdout(&o).trim_end(), expected.trim_end());
+}
+
+#[test]
+fn lex_rejects_bad_input_and_flags() {
+    let o = run(&["lex", "--dialect", "pico", "SELECT ?"]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    assert!(stderr(&o).contains("rejected by `pico`"), "{}", stderr(&o));
+    assert!(stderr(&o).contains("line 1, column 8"), "{}", stderr(&o));
+    assert_eq!(run(&["lex", "--dialect", "core"]).status.code(), Some(2));
+    assert_eq!(run(&["lex", "--format", "yaml", "--dialect", "core", "SELECT 1"]).status.code(), Some(2));
+}
+
 fn golden(name: &str) -> String {
     format!("{}/../../tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
 }

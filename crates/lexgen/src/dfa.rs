@@ -138,42 +138,55 @@ fn accept_of(nfa: &Nfa, set: &[usize]) -> Option<usize> {
 }
 
 /// Compute the disjoint alphabet intervals induced by all class boundaries.
+///
+/// A single sorted sweep over range-boundary events decides coverage: each
+/// class range contributes `+1` at its start and `-1` one past its end, so
+/// an interval is kept iff the running depth at its low end is positive.
+/// (The earlier implementation re-scanned every NFA transition per
+/// candidate interval — quadratic in the number of class boundaries, which
+/// the `full` token set has hundreds of.)
 pub(crate) fn alphabet_intervals(nfa: &Nfa) -> Vec<(char, char)> {
-    // Cut points in u32 space: start of each range, and one past its end.
-    let mut cuts: Vec<u32> = Vec::new();
+    // Coverage events in u32 space: range start opens (+1), one past the
+    // range end closes (-1). Event positions double as the cut points.
+    let mut events: Vec<(u32, i32)> = Vec::new();
     for state in &nfa.states {
         for (class, _) in &state.trans {
             for &(lo, hi) in class.ranges() {
-                cuts.push(lo as u32);
-                cuts.push(hi as u32 + 1);
+                events.push((lo as u32, 1));
+                events.push((hi as u32 + 1, -1));
             }
         }
     }
+    let mut cuts: Vec<u32> = events.iter().map(|&(at, _)| at).collect();
     // Always cut at the surrogate gap so no interval straddles it; gap
     // intervals are dropped below because their low end is not a `char`.
     cuts.push(0xD800);
     cuts.push(0xE000);
     cuts.sort_unstable();
     cuts.dedup();
+    events.sort_unstable();
 
     let mut intervals = Vec::new();
+    let mut depth = 0i32;
+    let mut next_event = 0usize;
     for w in cuts.windows(2) {
         let (lo, hi) = (w[0], w[1] - 1);
-        // Skip the surrogate gap and keep the interval only if some class
-        // covers it (checking one representative char suffices: cut points
-        // include every class boundary, so an interval is fully inside or
-        // fully outside each class).
+        // Accumulate every event at or before this interval's start; cut
+        // points include every class boundary, so an interval is fully
+        // inside or fully outside each class and the depth at `lo` is the
+        // depth everywhere in the interval.
+        while next_event < events.len() && events[next_event].0 <= lo {
+            depth += events[next_event].1;
+            next_event += 1;
+        }
+        if depth <= 0 {
+            continue;
+        }
+        // Skip the surrogate gap (its low end is not a `char`).
         let lo_c = match char::from_u32(lo) {
             Some(c) => c,
             None => continue,
         };
-        let covered = nfa
-            .states
-            .iter()
-            .any(|s| s.trans.iter().any(|(class, _)| class.contains(lo_c)));
-        if !covered {
-            continue;
-        }
         let hi_c = char::from_u32(hi).expect("interval ends never fall inside the surrogate gap");
         intervals.push((lo_c, hi_c));
     }

@@ -7,8 +7,10 @@
 //!
 //! Pipeline: [`regex`] (pattern AST + parser) → [`nfa`] (Thompson
 //! construction) → [`dfa`] (subset construction over a partitioned
-//! alphabet) → [`minimize`] (partition refinement) → [`scanner`]
-//! (maximal-munch scanning). [`tokenset`] is the user-facing rule
+//! alphabet) → [`minimize`] (partition refinement) → [`compiled`] (dense
+//! byte-class dispatch tables) → [`scanner`] (maximal-munch scanning over
+//! the compiled tables, with the interval walker preserved as a
+//! differential oracle). [`tokenset`] is the user-facing rule
 //! collection, used by the grammar/composition layers for the paper's
 //! per-feature *token files*.
 //!
@@ -31,6 +33,7 @@
 //! ```
 
 pub mod analysis;
+pub mod compiled;
 pub mod dfa;
 pub mod minimize;
 pub mod nfa;
@@ -38,5 +41,6 @@ pub mod regex;
 pub mod scanner;
 pub mod tokenset;
 
+pub use compiled::CompiledDfa;
 pub use scanner::{LexError, Scanner, Token, TokenKind};
 pub use tokenset::{TokenRule, TokenSet};

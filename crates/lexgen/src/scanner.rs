@@ -1,5 +1,16 @@
 //! Maximal-munch scanning with a compiled DFA.
+//!
+//! Two equivalent scanning substrates share one state numbering:
+//!
+//! * [`Scanner::scan`] / [`Scanner::scan_into`] — the hot path, driving the
+//!   dense byte-class tables of [`crate::compiled`]: one bounds-checked
+//!   table index per ASCII byte, with multi-byte UTF-8 scalars decoded and
+//!   stepped through the interval DFA so Unicode content stays exact.
+//! * [`Scanner::scan_reference`] — the original per-character interval
+//!   walker (binary search per `char`), preserved as a differential oracle
+//!   alongside the even slower [`Scanner::scan_naive`].
 
+use crate::compiled::{self, BitSet, CompiledDfa};
 use crate::dfa::Dfa;
 use std::fmt;
 
@@ -83,12 +94,14 @@ pub fn line_col(input: &str, at: usize) -> (usize, usize) {
     (line, col)
 }
 
-/// A compiled scanner: minimized DFA + rule metadata.
+/// A compiled scanner: minimized DFA, its dense byte-class lowering, and
+/// rule metadata (interned names, packed skip bitset).
 #[derive(Debug, Clone)]
 pub struct Scanner {
     pub(crate) dfa: Dfa,
-    pub(crate) names: Vec<String>,
-    pub(crate) skip: Vec<bool>,
+    pub(crate) compiled: CompiledDfa,
+    pub(crate) names: Box<[Box<str>]>,
+    pub(crate) skip: BitSet,
 }
 
 impl Scanner {
@@ -101,8 +114,13 @@ impl Scanner {
     pub fn kind_of(&self, name: &str) -> Option<TokenKind> {
         self.names
             .iter()
-            .position(|n| n == name)
+            .position(|n| &**n == name)
             .map(|i| TokenKind(i as u32))
+    }
+
+    /// `true` if `kind` is a skip rule (its matches are dropped).
+    pub fn is_skip(&self, kind: TokenKind) -> bool {
+        self.skip.contains(kind.index())
     }
 
     /// Number of rules (including skip rules).
@@ -115,6 +133,24 @@ impl Scanner {
         self.dfa.len()
     }
 
+    /// Number of byte equivalence classes in the compiled dispatch tables
+    /// (size metric for Experiment B6 / bench schema v3).
+    pub fn byte_classes(&self) -> usize {
+        self.compiled.byte_classes()
+    }
+
+    /// The compiled byte-class tables (for ablation benches and tooling).
+    pub fn compiled(&self) -> &CompiledDfa {
+        &self.compiled
+    }
+
+    /// The minimized interval DFA the compiled tables were lowered from
+    /// (the UTF-8 fallback substrate; exposed so ablation benches can
+    /// re-run the lowering in isolation).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
     /// Scan the whole input, dropping skip-rule matches.
     pub fn scan(&self, input: &str) -> Result<Vec<Token>, LexError> {
         let mut out = Vec::new();
@@ -125,14 +161,96 @@ impl Scanner {
     /// Scan the whole input, appending tokens to a caller-owned vector so
     /// batch drivers can recycle the allocation across statements. The
     /// vector is *not* cleared first.
+    ///
+    /// This is the hot path: maximal munch over the dense byte-class
+    /// tables, one table index per ASCII byte. Bytes ≥ 0x80 decode the full
+    /// UTF-8 scalar and step the interval DFA for that character (both
+    /// automata share state numbering), so multi-byte content — Unicode
+    /// string literals, exotic whitespace — behaves exactly like the
+    /// reference walker.
     pub fn scan_into(&self, input: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
+        let bytes = input.as_bytes();
+        let compiled = &self.compiled;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let mut state = 0u32;
+            let mut i = pos;
+            // (end, packed accept metadata) of the longest match so far
+            let mut best: Option<(usize, u32)> = None;
+            while i < bytes.len() {
+                let b = bytes[i];
+                let next = if b < 0x80 {
+                    i += 1;
+                    compiled.step_ascii(state, b)
+                } else {
+                    // Multi-byte scalar: `i` is a char boundary because the
+                    // scan advances by whole characters.
+                    let c = input[i..].chars().next().expect("non-empty suffix");
+                    i += c.len_utf8();
+                    match self.dfa.step(state, c) {
+                        Some(next) => next,
+                        None => compiled::DEAD,
+                    }
+                };
+                if next == compiled::DEAD {
+                    break;
+                }
+                state = next;
+                let meta = compiled.accept_meta(state);
+                if meta != compiled::NO_ACCEPT {
+                    best = Some((i, meta));
+                }
+            }
+            match best {
+                Some((end, meta)) => {
+                    debug_assert!(end > pos, "zero-length token match would not progress");
+                    if meta & compiled::SKIP_FLAG == 0 {
+                        out.push(Token {
+                            kind: TokenKind(meta & compiled::TAG_MASK),
+                            start: pos,
+                            end,
+                        });
+                    }
+                    pos = end;
+                }
+                None => {
+                    let (line, column) = line_col(input, pos);
+                    return Err(LexError {
+                        at: pos,
+                        line,
+                        column,
+                        found: input[pos..].chars().next(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan with the per-character interval walker — the pre-compilation
+    /// hot path, preserved as a differential oracle (and as the `interval`
+    /// leg of the scanner-compilation ablation, Experiment B6). Produces
+    /// identical output to [`Scanner::scan`].
+    pub fn scan_reference(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        self.scan_reference_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Scanner::scan_reference`] into a caller-owned vector (not cleared
+    /// first), so ablation benches compare equal-allocation paths.
+    pub fn scan_reference_into(
+        &self,
+        input: &str,
+        out: &mut Vec<Token>,
+    ) -> Result<(), LexError> {
         let mut pos = 0usize;
         while pos < input.len() {
             let rest = &input[pos..];
             match self.dfa.simulate(rest) {
                 Some((len, tag)) => {
                     debug_assert!(len > 0, "zero-length token match would not progress");
-                    if !self.skip[tag] {
+                    if !self.skip.contains(tag) {
                         out.push(Token {
                             kind: TokenKind(tag as u32),
                             start: pos,
@@ -179,7 +297,7 @@ impl Scanner {
             }
             match best {
                 Some((len, tag)) => {
-                    if !self.skip[tag] {
+                    if !self.skip.contains(tag) {
                         out.push(Token {
                             kind: TokenKind(tag as u32),
                             start: pos,
@@ -318,5 +436,56 @@ mod tests {
         let k = s.kind_of("IDENT").unwrap();
         assert_eq!(s.name(k), "IDENT");
         assert!(s.kind_of("NOPE").is_none());
+        assert!(s.is_skip(s.kind_of("WS").unwrap()));
+        assert!(!s.is_skip(k));
+    }
+
+    #[test]
+    fn compiled_tables_report_sizes() {
+        let s = sql_scanner();
+        assert!(s.byte_classes() > 2, "SQL token set has several byte classes");
+        assert!(s.byte_classes() <= 129);
+        assert_eq!(s.compiled().states(), s.dfa_states());
+    }
+
+    #[test]
+    fn compiled_agrees_with_reference_walker() {
+        let s = sql_scanner();
+        for input in [
+            "SELECT a, b FROM t WHERE a = 1",
+            "select From WHERE",
+            "3.14 42 'str' -- c\nx",
+            "",
+            "   \t\n",
+            "ident_42='x'",
+        ] {
+            assert_eq!(s.scan(input), s.scan_reference(input), "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn utf8_string_contents_take_the_fallback_path() {
+        // `'([^'])*'` covers every non-quote scalar, so multi-byte content
+        // exercises the interval fallback mid-token.
+        let s = sql_scanner();
+        let input = "WHERE name = 'héllo wörld — 中文 🦀'";
+        let toks = s.scan(input).unwrap();
+        assert_eq!(s.name(toks[3].kind), "STRING");
+        assert_eq!(toks[3].text(input), "'héllo wörld — 中文 🦀'");
+        assert_eq!(s.scan(input), s.scan_reference(input));
+    }
+
+    #[test]
+    fn utf8_lex_errors_identical_to_reference() {
+        let s = sql_scanner();
+        for input in ["SELECT é FROM t", "λx", "a\n€", "'unterminated ü"] {
+            let fast = s.scan(input).unwrap_err();
+            let reference = s.scan_reference(input).unwrap_err();
+            assert_eq!(fast, reference, "on {input:?}");
+            assert_eq!(fast.to_string(), reference.to_string());
+        }
+        let err = s.scan("SELECT é FROM t").unwrap_err();
+        assert_eq!(err.found, Some('é'));
+        assert_eq!(err.column, 8);
     }
 }

@@ -6,6 +6,7 @@
 //! declared before patterns by convention (the composition layer in
 //! `sqlweave-core` enforces this ordering when merging token files).
 
+use crate::compiled::{BitSet, CompiledDfa};
 use crate::dfa::Dfa;
 use crate::minimize::minimize;
 use crate::nfa::Nfa;
@@ -199,10 +200,16 @@ impl TokenSet {
         }
         nfa.finish();
         let dfa = minimize(&Dfa::from_nfa(&nfa));
+        let skip: BitSet = ordered.iter().map(TokenRule::is_skip).collect();
+        let compiled = CompiledDfa::compile(&dfa, &skip);
         Ok(Scanner {
             dfa,
-            names: ordered.iter().map(|r| r.name.clone()).collect(),
-            skip: ordered.iter().map(|r| r.is_skip()).collect(),
+            compiled,
+            names: ordered
+                .iter()
+                .map(|r| r.name.clone().into_boxed_str())
+                .collect(),
+            skip,
         })
     }
 

@@ -93,6 +93,41 @@ proptest! {
     }
 }
 
+/// Inputs mixing ASCII with multi-byte scalars, so scans cross the
+/// byte-class fast path and the UTF-8 interval fallback repeatedly.
+fn arb_utf8_input() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec!['a', 'b', 'c', 'x', ' ', 'é', 'λ', '中', '🦀']),
+        0..12,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn compiled_scanner_agrees_with_oracles(
+        patterns in prop::collection::vec(arb_regex(), 1..4),
+        input in arb_utf8_input(),
+    ) {
+        let mut ts = sqlweave_lexgen::TokenSet::new();
+        for (i, p) in patterns.iter().enumerate() {
+            ts.pattern(&format!("P{i}"), p).unwrap();
+        }
+        let scanner = ts.build().unwrap();
+        let nfas = ts.build_rule_nfas().unwrap();
+        let fast = scanner.scan(&input);
+        let interval = scanner.scan_reference(&input);
+        prop_assert_eq!(&fast, &interval, "compiled vs interval on {:?} / {:?}", patterns, input);
+        let naive = scanner.scan_naive(&input, &nfas);
+        prop_assert_eq!(&fast, &naive, "compiled vs naive on {:?} / {:?}", patterns, input);
+        if let (Err(f), Err(i)) = (&fast, &interval) {
+            prop_assert_eq!(f.to_string(), i.to_string());
+        }
+    }
+}
+
 #[test]
 fn regex_ast_roundtrip_samples() {
     // literal helpers produce ASTs equal to their parsed spelling

@@ -102,6 +102,8 @@ pub struct ParserStats {
     pub token_rules: usize,
     /// States in the minimized lexer DFA.
     pub dfa_states: usize,
+    /// Byte equivalence classes in the compiled scanner dispatch tables.
+    pub byte_classes: usize,
     /// LL(k) dispatch-table hits (dynamic; zero on a freshly built parser,
     /// populated by [`crate::session::ParseSession::stats`]).
     pub decision_table_hits: u64,
@@ -431,6 +433,7 @@ impl Parser {
             conflicts: self.analysis.conflicts.len(),
             token_rules: self.scanner.rule_count(),
             dfa_states: self.scanner.dfa_states(),
+            byte_classes: self.scanner.byte_classes(),
             decision_table_hits: 0,
             alt_attempts: 0,
             backtracks: 0,

@@ -6,6 +6,10 @@
 //! few statements of a workload the buffers reach their high-water mark
 //! and parsing allocates nothing, which is the property the grammar-
 //! coverage/fuzzing workloads (millions of small statements) need.
+//! Lexing runs on the scanner's compiled byte-class tables
+//! (`sqlweave_lexgen::compiled`) — the session, [`Parser::parse_many`],
+//! and [`Parser::parse_many_parallel`] all inherit that fast path through
+//! [`sqlweave_lexgen::Scanner::scan_into`].
 //!
 //! [`Parser::parse_many`] drives one session over a batch;
 //! [`Parser::parse_many_parallel`] shards a batch over `std::thread`
@@ -273,6 +277,32 @@ mod tests {
             let par = p.parse_many_parallel(&refs, threads);
             assert_eq!(seq, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn utf8_literals_parse_identically_to_reference() {
+        // String contents route multi-byte scalars through the scanner's
+        // interval fallback; the CST must match the seed engine exactly.
+        let g = parse_grammar("grammar s; start q; q : SELECT STRING FROM IDENT ;").unwrap();
+        let t = parse_tokens(
+            r#"
+            tokens s;
+            SELECT = kw; FROM = kw;
+            IDENT = /[a-z][a-z0-9_]*/;
+            STRING = /'([^'])*'/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        let p = Parser::new(g, &t).unwrap();
+        let mut s = p.session();
+        let input = "SELECT 'héllo — 中文 🦀' FROM t";
+        let tree = s.parse_tree(input).unwrap();
+        assert_eq!(tree.to_cst(), p.parse_reference(input).unwrap());
+        // lexical errors stay byte-identical too
+        let fast = s.parse_tree("SELECT é FROM t").unwrap_err();
+        let seed = p.parse_reference("SELECT é FROM t").unwrap_err();
+        assert_eq!(fast.to_string(), seed.to_string());
     }
 
     #[test]
