@@ -149,6 +149,38 @@ pub fn corpus(dialect: Dialect) -> Vec<&'static str> {
     }
 }
 
+/// Deterministically corrupted multi-statement scripts — the error-density
+/// workload behind the recovery bench column (Experiment B7) and the
+/// recovery differential suite.
+///
+/// Corpus statements are grouped three to a script (`; `-joined) and one
+/// statement per script is corrupted by duplicating its leading keyword
+/// (`SELECT SELECT …`), which no dialect accepts; the corrupted slot
+/// rotates with the script index so errors land at the start, middle, and
+/// end of scripts. Pure index arithmetic, no RNG: the same dialect always
+/// yields byte-identical scripts.
+pub fn faulty_corpus(dialect: Dialect) -> Vec<String> {
+    fn corrupt(stmt: &str) -> String {
+        match stmt.split_once(' ') {
+            Some((head, rest)) => format!("{head} {head} {rest}"),
+            None => format!("{stmt} {stmt}"),
+        }
+    }
+    corpus(dialect)
+        .chunks(3)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let bad = i % chunk.len();
+            let stmts: Vec<String> = chunk
+                .iter()
+                .enumerate()
+                .map(|(j, s)| if j == bad { corrupt(s) } else { (*s).to_string() })
+                .collect();
+            stmts.join("; ")
+        })
+        .collect()
+}
+
 /// A statement each *other* dialect accepts but this one must reject
 /// (feature-boundary witnesses for the dialect matrix).
 pub fn rejection_witness(dialect: Dialect) -> Option<&'static str> {
@@ -205,6 +237,21 @@ mod tests {
                 if let Err(e) = p.parse(&s) {
                     panic!("{} rejected its own sentence {s:?}: {e}", d.name());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_corpus_is_deterministic_and_every_script_errors() {
+        for d in Dialect::ALL {
+            let scripts = faulty_corpus(d);
+            assert!(!scripts.is_empty(), "{}", d.name());
+            assert_eq!(scripts, faulty_corpus(d), "{}", d.name());
+            let p = parser(d, EngineMode::Backtracking);
+            let mut s = p.session();
+            for script in &scripts {
+                let outcome = s.parse_resilient(script);
+                assert!(!outcome.errors.is_empty(), "{}: {script:?}", d.name());
             }
         }
     }

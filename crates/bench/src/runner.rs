@@ -27,13 +27,21 @@
 //! count. The scanner is engine-independent, so the LL(1) row leaves the
 //! section empty rather than duplicating it.
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v3`; v2
-//! lacked the lex stage, v1 the dynamic counters), built with the same
-//! hand-rolled emitter conventions as `sqlweave-lint` and round-tripped
-//! through [`sqlweave_lint::json::parse`] before being returned, so a
-//! malformed report fails loudly instead of landing in CI artifacts.
+//! Each pair also carries a **recovery section** (Experiment B7): the
+//! resilient parser ([`sqlweave_parser_rt::ParseSession::parse_resilient`])
+//! over the error-density corpus ([`crate::faulty_corpus`]) — scripts/sec,
+//! total diagnostics reported — plus `clean_overhead`, the resilient/strict
+//! time ratio on the *clean* accepted corpus (what recovery bookkeeping
+//! costs when nothing goes wrong).
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v4`; v3
+//! lacked the recovery section, v2 the lex stage, v1 the dynamic
+//! counters), built with the same hand-rolled emitter conventions as
+//! `sqlweave-lint` and round-tripped through
+//! [`sqlweave_lint::json::parse`] before being returned, so a malformed
+//! report fails loudly instead of landing in CI artifacts.
 
-use crate::{composed, corpus, parser};
+use crate::{composed, corpus, faulty_corpus, parser};
 use sqlweave_dialects::Dialect;
 use sqlweave_lexgen::Token;
 use sqlweave_lint::json::{self, Value};
@@ -76,6 +84,23 @@ pub struct LexMeasurement {
     pub speedup_vs_interval: f64,
 }
 
+/// Error-recovery measurements for one dialect × engine pair (B7).
+#[derive(Debug, Clone)]
+pub struct RecoveryMeasurement {
+    /// Scripts in the error-density corpus ([`crate::faulty_corpus`]).
+    pub scripts: usize,
+    /// Total diagnostics reported across those scripts. Deterministic for
+    /// a given dialect × engine (the corpus and the recovery algorithm
+    /// are both deterministic).
+    pub errors: usize,
+    /// Faulty scripts resiliently parsed per second.
+    pub scripts_per_sec: f64,
+    /// Resilient/strict time ratio on the clean accepted corpus — what
+    /// the recovery bookkeeping costs when the input has no errors
+    /// (1.0 = free; measured against the `event_tree` API).
+    pub clean_overhead: f64,
+}
+
 /// All measurements for one dialect × engine pair.
 #[derive(Debug, Clone)]
 pub struct PairReport {
@@ -109,6 +134,8 @@ pub struct PairReport {
     /// dialect's backtracking row only — the scanner does not vary by
     /// engine — and empty everywhere else.
     pub lex: Vec<LexMeasurement>,
+    /// Error-recovery measurements over the faulty corpus (B7).
+    pub recovery: RecoveryMeasurement,
 }
 
 /// Benchmark the lex stage of one dialect: scan the whole corpus with each
@@ -276,6 +303,31 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
         let _ = std::hint::black_box(p.parse_many(&stmts));
     });
 
+    // Recovery (B7): resilient parsing over the clean corpus (overhead
+    // baseline against `event_tree` above, which did identical successful
+    // work strictly) and over the error-density corpus.
+    let faulty = faulty_corpus(dialect);
+    let mut rsession = p.session();
+    let resilient_clean_secs = time(iters, || {
+        for s in &stmts {
+            let outcome = rsession.parse_resilient(s);
+            std::hint::black_box(outcome.errors.len());
+        }
+    });
+    let faulty_secs = time(iters, || {
+        for s in &faulty {
+            let outcome = rsession.parse_resilient(s);
+            std::hint::black_box(outcome.errors.len());
+        }
+    });
+    let recovery_errors: usize = faulty.iter().map(|s| rsession.parse_resilient(s).errors.len()).sum();
+    let recovery = RecoveryMeasurement {
+        scripts: faulty.len(),
+        errors: recovery_errors,
+        scripts_per_sec: (iters * faulty.len()) as f64 / faulty_secs.max(1e-9),
+        clean_overhead: resilient_clean_secs.max(1e-9) / event_tree_secs.max(1e-9),
+    };
+
     // One untimed instrumented pass for the dynamic engine counters; the
     // rate is a ratio, so it does not depend on `iters`.
     let mut counted = p.session();
@@ -318,6 +370,7 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
         backtrack_rate,
         apis,
         lex,
+        recovery,
     }
 }
 
@@ -327,7 +380,7 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v3` JSON document.
+/// Serialize reports as the `sqlweave-bench-parser/v4` JSON document.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
     let results: Vec<String> = reports
         .iter()
@@ -361,11 +414,18 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                     )
                 })
                 .collect();
+            let recovery = format!(
+                "{{\"scripts\":{},\"errors\":{},\"scripts_per_sec\":{},\"clean_overhead\":{:.4}}}",
+                r.recovery.scripts,
+                r.recovery.errors,
+                fmt_f64(r.recovery.scripts_per_sec),
+                r.recovery.clean_overhead
+            );
             format!(
                 "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\
                  \"bytes\":{},\"byte_classes\":{},\
                  \"decision_table_hits\":{},\"backtracks\":{},\"failure_memo_hits\":{},\
-                 \"backtrack_rate\":{:.4},\"apis\":[{}],\"lex\":[{}]}}",
+                 \"backtrack_rate\":{:.4},\"apis\":[{}],\"lex\":[{}],\"recovery\":{}}}",
                 json::escape(r.dialect),
                 json::escape(r.engine),
                 r.statements,
@@ -377,12 +437,13 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                 r.failure_memo_hits,
                 r.backtrack_rate,
                 apis.join(","),
-                lex.join(",")
+                lex.join(","),
+                recovery
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":{},\"results\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":{},\"results\":[{}]}}",
         iters,
         results.join(",")
     )
@@ -418,7 +479,7 @@ pub fn run_with_lookahead(
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v3`.
+/// Check a bench document against schema `sqlweave-bench-parser/v4`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -428,7 +489,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v3" {
+    if schema != "sqlweave-bench-parser/v4" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -506,6 +567,17 @@ pub fn validate(doc: &str) -> Result<(), String> {
                 }
             }
         }
+        // v4: every row carries the recovery section.
+        let recovery = r.get("recovery").ok_or("result missing \"recovery\"")?;
+        for key in ["scripts", "errors", "scripts_per_sec", "clean_overhead"] {
+            let n = recovery
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or(format!("recovery section missing {key:?}"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("recovery section has non-finite {key:?}"));
+            }
+        }
     }
     Ok(())
 }
@@ -532,6 +604,10 @@ mod tests {
                 Some("backtracking") => assert_eq!(lex.len(), 3, "interval/compiled/naive"),
                 _ => assert!(lex.is_empty(), "lex section only on backtracking rows"),
             }
+            let recovery = r.get("recovery").unwrap();
+            assert!(recovery.get("scripts").unwrap().as_num().unwrap() > 0.0);
+            assert!(recovery.get("errors").unwrap().as_num().unwrap() > 0.0);
+            assert!(recovery.get("clean_overhead").unwrap().as_num().unwrap() > 0.0);
         }
     }
 
@@ -539,29 +615,35 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1/v2 documents (no dynamic counters / no lex stage) are
-        // rejected by name.
+        // v1/v2/v3 documents (no dynamic counters / no lex stage / no
+        // recovery section) are rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
         // A non-empty lex section must anchor on the interval walker.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
-        // v2 rows (no bytes/byte_classes/lex) fail even under a v3 header.
+        // v3 rows (no recovery section) fail even under a v4 header.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
+        )
+        .is_err());
+        // A recovery section with a missing field fails too.
+        assert!(validate(
+            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}]}"
         )
         .is_err());
     }

@@ -11,6 +11,7 @@
 //! sqlweave census                      per-diagram feature census
 //! sqlweave compose FEATURE...          compose features, print the grammar
 //! sqlweave parse --dialect NAME SQL    parse a statement (CST + AST)
+//! sqlweave parse --recover ... SQL     parse with error recovery (multi-error)
 //! sqlweave check --dialect NAME SQL    accept/reject only (exit code)
 //! sqlweave lex --dialect NAME SQL      dump the token stream (kind, span, text)
 //! sqlweave format --dialect NAME SQL   reformat a script via the AST
@@ -35,7 +36,7 @@ fn usage() -> ExitCode {
          sqlweave census\n  \
          sqlweave dialects\n  \
          sqlweave compose FEATURE...\n  \
-         sqlweave parse --dialect NAME 'SQL'\n  \
+         sqlweave parse [--recover] [--format text|json] --dialect NAME 'SQL'\n  \
          sqlweave check --dialect NAME 'SQL'\n  \
          sqlweave lex [--format text|json] --dialect NAME 'SQL'\n  \
          sqlweave format --dialect NAME 'SQL'\n  \
@@ -47,7 +48,7 @@ fn usage() -> ExitCode {
          sqlweave lint --codes\n  \
          sqlweave analyze [--dialect NAME | --all-dialects] [--lookahead K]\n  \
          sqlweave analyze ... [--format text|json] [--check FILE] [--write FILE]\n  \
-         sqlweave bench [--json] [--dialect NAME] [--iters N] [--lookahead K] [--out FILE]"
+         sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -484,17 +485,38 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Build the diagram listing, or report the first name in `names` that
+/// the catalog cannot resolve. `DIAGRAMS` and the catalog are maintained
+/// separately, so a missing entry is a registration bug — the caller
+/// turns it into a diagnostic instead of a mid-listing panic.
+fn features_listing(
+    cat: &sqlweave_sql_features::Catalog,
+    names: &[&str],
+) -> Result<String, String> {
+    let mut out = format!("{} feature diagrams:\n", names.len());
+    for d in names {
+        let model = cat.diagram(d).ok_or_else(|| (*d).to_string())?;
+        out.push_str(&format!("  {:<28} {:>4} features\n", d, model.len()));
+    }
+    Ok(out)
+}
+
 fn cmd_features(diagram: Option<&str>) -> ExitCode {
     let cat = catalog();
     match diagram {
-        None => {
-            println!("{} feature diagrams:", DIAGRAMS.len());
-            for d in DIAGRAMS {
-                let model = cat.diagram(d).expect("diagram exists");
-                println!("  {:<28} {:>4} features", d, model.len());
+        None => match features_listing(cat, DIAGRAMS) {
+            Ok(listing) => {
+                print!("{listing}");
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
+            Err(missing) => {
+                eprintln!(
+                    "internal error: diagram `{missing}` is registered in DIAGRAMS \
+                     but missing from the catalog"
+                );
+                ExitCode::from(2)
+            }
+        },
         Some(name) => match cat.diagram(name) {
             Some(model) => {
                 print!("{}", render::ascii(&model));
@@ -605,10 +627,118 @@ fn dialect_and_sql(args: &[String]) -> Option<(Dialect, String)> {
     Some((dialect, sql?))
 }
 
+/// The `sqlweave-diagnostics/v1` document: every diagnostic from a
+/// resilient parse, in source order, with enough structure for editors
+/// and CI annotators (byte offset, line/column, kind, expected set).
+fn diagnostics_json(
+    dialect: &str,
+    errors: &[sqlweave_parser_rt::ParseError],
+) -> String {
+    use sqlweave_lint::json::escape;
+    let entries: Vec<String> = errors
+        .iter()
+        .map(|e| {
+            let expected: Vec<String> =
+                e.expected.iter().map(|t| format!("\"{}\"", escape(t))).collect();
+            let found = match &e.found {
+                Some((kind, text)) => {
+                    format!("{{\"kind\":\"{}\",\"text\":\"{}\"}}", escape(kind), escape(text))
+                }
+                None => "null".to_string(),
+            };
+            let kind = if e.lexical.is_some() { "lexical" } else { "syntax" };
+            format!(
+                "{{\"message\":\"{}\",\"kind\":\"{kind}\",\"at\":{},\"line\":{},\"column\":{},\
+                 \"expected\":[{}],\"found\":{found}}}",
+                escape(&e.to_string()),
+                e.at,
+                e.line,
+                e.column,
+                expected.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"sqlweave-diagnostics/v1\",\"dialect\":\"{}\",\"count\":{},\
+         \"diagnostics\":[{}]}}",
+        escape(dialect),
+        errors.len(),
+        entries.join(",")
+    )
+}
+
+/// `parse --recover`: panic-mode recovery over the whole script. Text
+/// mode prints the full-coverage tree then one rustc-style block per
+/// diagnostic; `--format json` emits the `sqlweave-diagnostics/v1`
+/// document. Exit 0 when clean, 1 when any diagnostic was reported.
+fn cmd_parse_recover(dialect: Dialect, sql: &str, format_json: bool) -> ExitCode {
+    let parser = match dialect.parser() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut session = parser.session();
+    let outcome = session.parse_resilient(sql);
+    if format_json {
+        println!("{}", diagnostics_json(dialect.name(), &outcome.errors));
+    } else {
+        println!("-- concrete syntax tree --");
+        print!("{}", outcome.tree.pretty());
+        if !outcome.errors.is_empty() {
+            println!("-- {} diagnostic(s) --", outcome.errors.len());
+            for e in &outcome.errors {
+                print!("{}", e.render(sql));
+            }
+        }
+    }
+    if outcome.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
-    let Some((dialect, sql)) = dialect_and_sql(args) else {
+    let mut recover = false;
+    let mut format_json = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--recover" => {
+                recover = true;
+                i += 1;
+            }
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("text") => format_json = false,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    // `--recover` (and its `--format`) belong to `parse`; `check` keeps
+    // its strict accept/reject contract.
+    if (recover || format_json) && !verbose {
+        return usage();
+    }
+    let Some((dialect, sql)) = dialect_and_sql(&rest) else {
         return usage();
     };
+    if recover {
+        return cmd_parse_recover(dialect, &sql, format_json);
+    }
+    if format_json {
+        return usage();
+    }
     let parser = match dialect.parser() {
         Ok(p) => p,
         Err(e) => {
@@ -759,13 +889,16 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v3` document (already validated by the
+/// emits the `sqlweave-bench-parser/v4` document (already validated by the
 /// runner); the default is a human-readable table with the backtrack-rate
 /// column plus one lex-stage block per dialect (the B6 scanner ablation).
 /// `--lookahead K` caps the runtime dispatch depth (the B5 ablation knob;
-/// `1` reproduces the seed backtracking engine).
+/// `1` reproduces the seed backtracking engine). `--recover` adds the B7
+/// recovery rows (faulty-script throughput, diagnostic counts, clean-input
+/// overhead) to the text table; the JSON document always carries them.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut recover = false;
     let mut iters = 200usize;
     let mut dialects: Vec<Dialect> = Dialect::ALL.to_vec();
     let mut out: Option<String> = None;
@@ -775,6 +908,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--json" => {
                 json = true;
+                i += 1;
+            }
+            "--recover" => {
+                recover = true;
                 i += 1;
             }
             "--lookahead" => {
@@ -867,6 +1004,21 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     format!("bc={}", r.byte_classes)
                 );
             }
+            if recover {
+                // The B7 row: faulty-script throughput, total diagnostics
+                // over the error-density corpus, and the clean-input
+                // overhead of the resilient driver vs `event_tree`.
+                println!(
+                    "{:<10} {:<13} {:<11} {:>11.0} {:>13} {:>7.2}x {:>8}",
+                    r.dialect,
+                    r.engine,
+                    "recover",
+                    r.recovery.scripts_per_sec,
+                    format!("{} errors", r.recovery.errors),
+                    r.recovery.clean_overhead,
+                    format!("n={}", r.recovery.scripts)
+                );
+            }
         }
     }
     ExitCode::SUCCESS
@@ -900,5 +1052,59 @@ fn cmd_generate(features: &[String]) -> ExitCode {
             eprintln!("codegen failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_listing_covers_every_registered_diagram() {
+        let listing = features_listing(catalog(), DIAGRAMS).unwrap();
+        assert!(listing.starts_with(&format!("{} feature diagrams:", DIAGRAMS.len())));
+        for d in DIAGRAMS {
+            assert!(listing.contains(d), "{d} missing from listing");
+        }
+    }
+
+    #[test]
+    fn features_listing_reports_unregistered_diagram_instead_of_panicking() {
+        let err = features_listing(catalog(), &["query_specification", "not_a_diagram"])
+            .unwrap_err();
+        assert_eq!(err, "not_a_diagram");
+    }
+
+    #[test]
+    fn diagnostics_json_is_well_formed_and_typed() {
+        let p = Dialect::Pico.parser().unwrap();
+        let mut s = p.session();
+        // `~` is unlexable in pico (skipping it leaves statement 1
+        // well-formed); statement 2 is a pure syntax error.
+        let outcome = s.parse_resilient("SELECT a ~ FROM t; SELECT FROM u");
+        let doc = diagnostics_json("pico", &outcome.errors);
+        let v = sqlweave_lint::json::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(sqlweave_lint::json::Value::as_str),
+            Some("sqlweave-diagnostics/v1")
+        );
+        let diags = v.get("diagnostics").and_then(sqlweave_lint::json::Value::as_arr).unwrap();
+        assert_eq!(diags.len() as f64, v.get("count").unwrap().as_num().unwrap());
+        let kinds: Vec<&str> = diags
+            .iter()
+            .map(|d| d.get("kind").and_then(sqlweave_lint::json::Value::as_str).unwrap())
+            .collect();
+        assert_eq!(kinds, ["lexical", "syntax"], "{doc}");
+        for d in diags {
+            assert!(d.get("message").is_some() && d.get("line").is_some());
+            assert!(d.get("at").unwrap().as_num().is_some());
+        }
+    }
+
+    #[test]
+    fn diagnostics_json_empty_on_clean_input() {
+        let doc = diagnostics_json("core", &[]);
+        assert!(doc.contains("\"count\":0"), "{doc}");
+        assert!(doc.contains("\"diagnostics\":[]"), "{doc}");
     }
 }

@@ -104,6 +104,82 @@ fn parse_prints_cst_and_ast() {
 }
 
 #[test]
+fn parse_recover_reports_every_error_with_carets() {
+    let o = run(&[
+        "parse",
+        "--recover",
+        "--dialect",
+        "core",
+        "SELECT a FROM t; SELECT FROM u; DELETE FROM v",
+    ]);
+    // Diagnostics were reported, so the exit code is 1 — but the tree and
+    // every error still print.
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("concrete syntax tree"), "{out}");
+    assert!(out.contains("error"), "{out}");
+    assert!(out.contains("1 diagnostic(s)"), "{out}");
+    assert!(out.contains("--> line 1, column"), "{out}");
+    assert!(out.contains("^"), "{out}");
+    // The good statements still parsed around the bad one.
+    assert!(out.contains("query_specification"), "{out}");
+    assert!(out.contains("delete_statement"), "{out}");
+}
+
+#[test]
+fn parse_recover_clean_input_exits_zero() {
+    let o = run(&["parse", "--recover", "--dialect", "core", "SELECT a FROM t"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("concrete syntax tree"), "{out}");
+    assert!(!out.contains("diagnostic"), "{out}");
+}
+
+#[test]
+fn parse_recover_json_emits_diagnostics_document() {
+    let o = run(&[
+        "parse",
+        "--recover",
+        "--format",
+        "json",
+        "--dialect",
+        "core",
+        "SELECT FROM t; SELECT FROM u",
+    ]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("{\"schema\":\"sqlweave-diagnostics/v1\""), "{out}");
+    assert!(out.contains("\"dialect\":\"core\""), "{out}");
+    assert!(out.contains("\"count\":2"), "{out}");
+    assert!(out.contains("\"kind\":\"syntax\""), "{out}");
+    assert!(out.contains("\"expected\":["), "{out}");
+}
+
+#[test]
+fn parse_recover_flags_rejected_elsewhere() {
+    // `check` keeps its strict contract; `--format` without `--recover`
+    // has nothing to format.
+    assert_eq!(run(&["check", "--recover", "--dialect", "core", "SELECT a FROM t"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["parse", "--format", "json", "--dialect", "core", "SELECT a FROM t"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        run(&["parse", "--recover", "--format", "yaml", "--dialect", "core", "x"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn bench_recover_prints_recovery_rows() {
+    let o = run(&["bench", "--recover", "--dialect", "pico", "--iters", "1"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("recover"), "{out}");
+    assert!(out.contains("errors"), "{out}");
+}
+
+#[test]
 fn format_normalizes_scripts() {
     let o = run(&[
         "format",

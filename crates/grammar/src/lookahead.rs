@@ -732,6 +732,56 @@ pub fn analyze_lookahead(a: &GrammarAnalysis, k: usize) -> LookaheadAnalysis {
     LookaheadAnalysis { k, decisions }
 }
 
+/// Derive the top-level synchronization set for panic-mode error
+/// recovery: the union of FOLLOW over every nonterminal referenced from
+/// the start production's (flat) alternatives, plus [`EOF`].
+///
+/// The intuition mirrors the classic panic-mode rule-of-thumb
+/// ("synchronize on tokens that can follow the construct being parsed"),
+/// specialized to the script skeleton this generator composes: for
+/// `sql_script : sql_statement (SEMI sql_statement)* SEMI?` the flat
+/// start alternatives reference the statement nonterminals, whose FOLLOW
+/// is exactly `{SEMI, $}` — so a failed statement skips to the next
+/// statement boundary. The derivation is fully generic: any grammar's
+/// recovery points fall out of its own FOLLOW sets, with no SQL-specific
+/// token names wired in.
+pub fn recovery_sync_set(a: &GrammarAnalysis) -> BTreeSet<String> {
+    let mut sync = BTreeSet::new();
+    sync.insert(EOF.to_string());
+    let mut pending: Vec<&str> = vec![a.flat.start()];
+    let mut seen: BTreeSet<&str> = pending.iter().copied().collect();
+    while let Some(name) = pending.pop() {
+        let Some(prod) = a.flat.production(name) else {
+            continue;
+        };
+        for alt in &prod.alternatives {
+            for term in &alt.seq {
+                match term {
+                    Term::Token(t) => {
+                        sync.insert(t.clone());
+                    }
+                    Term::NonTerminal(n) => {
+                        if let Some(follow) = a.follow.get(n) {
+                            sync.extend(follow.iter().cloned());
+                        }
+                        // Synthetic helpers introduced by EBNF lowering
+                        // (the `(SEMI sql_statement)*` loop body) are part
+                        // of the start skeleton, not user constructs —
+                        // recurse through them so the tokens they mention
+                        // still count as statement boundaries.
+                        if is_synthetic(n) && seen.insert(n) {
+                            pending.push(n);
+                        }
+                    }
+                    // Flat grammars carry only tokens and nonterminals.
+                    _ => {}
+                }
+            }
+        }
+    }
+    sync
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -936,5 +986,38 @@ mod tests {
         assert!(s.contains("`A A A`"), "{s}");
         assert_eq!(witness_display(&["A".into()], true), "A $");
         assert_eq!(witness_display(&[], true), "$");
+    }
+
+    #[test]
+    fn recovery_sync_set_of_script_skeleton_is_semi_and_eof() {
+        // The composed sql_script skeleton every dialect shares.
+        let a = analyze(
+            &parse_grammar(
+                "grammar g; start script; script : stmt (SEMI stmt)* SEMI? ; stmt : SELECT IDENT ;",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sync = recovery_sync_set(&a);
+        let sync: Vec<&str> = sync.iter().map(|s| s.as_str()).collect();
+        assert_eq!(sync, [EOF, "SEMI"]);
+    }
+
+    #[test]
+    fn recovery_sync_set_uses_follow_of_start_level_nonterminals() {
+        let a = analyze(
+            &parse_grammar("grammar g; start s; s : a END ; a : X | Y a ;").unwrap(),
+        )
+        .unwrap();
+        let sync = recovery_sync_set(&a);
+        let sync: Vec<&str> = sync.iter().map(|s| s.as_str()).collect();
+        // FOLLOW(a) = {END}, plus the literal END token and EOF itself.
+        assert_eq!(sync, [EOF, "END"]);
+    }
+
+    #[test]
+    fn recovery_sync_set_always_contains_eof() {
+        let a = analyze(&parse_grammar("grammar g; start s; s : X ;").unwrap()).unwrap();
+        assert!(recovery_sync_set(&a).contains(EOF));
     }
 }

@@ -35,6 +35,7 @@
 pub mod analysis;
 pub mod compiled;
 pub mod dfa;
+pub mod line_index;
 pub mod minimize;
 pub mod nfa;
 pub mod regex;
@@ -42,5 +43,6 @@ pub mod scanner;
 pub mod tokenset;
 
 pub use compiled::CompiledDfa;
+pub use line_index::LineIndex;
 pub use scanner::{LexError, Scanner, Token, TokenKind};
 pub use tokenset::{TokenRule, TokenSet};

@@ -1,0 +1,124 @@
+//! Precomputed line-start table for O(log n) line/column lookups.
+//!
+//! [`crate::scanner::line_col`] rescans the input from byte 0 on every
+//! call, which is fine for the strict single-error path but becomes
+//! O(n·errors) once multi-error recovery reports many diagnostics against
+//! the same source. [`LineIndex`] precomputes the byte offset of every
+//! line start in one pass; each lookup is then a binary search plus a
+//! column count bounded by the length of one line. Both the lexer and the
+//! parser error paths share this type.
+
+/// Byte offsets of every line start in a source string, in ascending
+/// order. `starts[0]` is always `0`; each `\n` at byte `i` contributes a
+/// start at `i + 1`.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Build the index in one pass over the input.
+    pub fn new(input: &str) -> Self {
+        let mut starts = Vec::with_capacity(16);
+        starts.push(0);
+        for (i, b) in input.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// Number of lines (a trailing `\n` opens a final empty line).
+    pub fn line_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Byte offset where 1-based `line` starts, if in range.
+    pub fn line_start(&self, line: usize) -> Option<usize> {
+        self.starts.get(line.checked_sub(1)?).copied()
+    }
+
+    /// Compute the 1-based line/column of byte offset `at`, identical to
+    /// the naive [`crate::scanner::line_col`] scan: the line is found by
+    /// binary search over the line starts, the column counts *characters*
+    /// from the line start up to (not including) `at`. Offsets at or past
+    /// the end of input resolve to the last line.
+    pub fn line_col(&self, input: &str, at: usize) -> (usize, usize) {
+        // Number of line starts ≤ `at`; starts[0] == 0 keeps this ≥ 1.
+        let line = self.starts.partition_point(|&s| s <= at);
+        let start = self.starts[line - 1];
+        let column = input[start..]
+            .char_indices()
+            .take_while(|&(i, _)| start + i < at)
+            .count()
+            + 1;
+        (line, column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The original byte-0 rescan, kept as the differential oracle.
+    fn naive(input: &str, at: usize) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, c) in input.char_indices() {
+            if i >= at {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    #[test]
+    fn agrees_with_naive_scan_at_every_offset() {
+        for input in [
+            "",
+            "a",
+            "\n",
+            "abc\ndef\nghi",
+            "trailing newline\n",
+            "\n\n\n",
+            "SELECT é FROM t\nWHERE 中文 = '🦀'\n",
+            "one\r\ntwo\r\nthree",
+        ] {
+            let index = LineIndex::new(input);
+            // Every byte offset, plus a few past the end.
+            for at in 0..=input.len() + 3 {
+                assert_eq!(
+                    index.line_col(input, at),
+                    naive(input, at),
+                    "input {input:?} at {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_starts_and_counts() {
+        let index = LineIndex::new("ab\ncd\n");
+        assert_eq!(index.line_count(), 3);
+        assert_eq!(index.line_start(1), Some(0));
+        assert_eq!(index.line_start(2), Some(3));
+        assert_eq!(index.line_start(3), Some(6));
+        assert_eq!(index.line_start(4), None);
+        assert_eq!(index.line_start(0), None);
+    }
+
+    #[test]
+    fn multibyte_columns_count_characters_not_bytes() {
+        let input = "SELECT é FROM t";
+        let index = LineIndex::new(input);
+        // `é` starts at byte 7 but is the 8th character.
+        assert_eq!(index.line_col(input, 7), (1, 8));
+    }
+}

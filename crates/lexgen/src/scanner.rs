@@ -12,6 +12,7 @@
 
 use crate::compiled::{self, BitSet, CompiledDfa};
 use crate::dfa::Dfa;
+use crate::line_index::LineIndex;
 use std::fmt;
 
 /// Index of a token rule inside the [`crate::TokenSet`] that built the
@@ -77,21 +78,12 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 /// Compute 1-based line/column of a byte offset.
+///
+/// Convenience wrapper that builds a throwaway [`LineIndex`]; callers
+/// reporting many positions against the same source should build one
+/// index and call [`LineIndex::line_col`] directly.
 pub fn line_col(input: &str, at: usize) -> (usize, usize) {
-    let mut line = 1;
-    let mut col = 1;
-    for (i, c) in input.char_indices() {
-        if i >= at {
-            break;
-        }
-        if c == '\n' {
-            line += 1;
-            col = 1;
-        } else {
-            col += 1;
-        }
-    }
-    (line, col)
+    LineIndex::new(input).line_col(input, at)
 }
 
 /// A compiled scanner: minimized DFA, its dense byte-class lowering, and
@@ -169,9 +161,58 @@ impl Scanner {
     /// string literals, exotic whitespace — behaves exactly like the
     /// reference walker.
     pub fn scan_into(&self, input: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
+        match self.scan_core(input, 0, out) {
+            Ok(()) => Ok(()),
+            Err(pos) => {
+                let (line, column) = line_col(input, pos);
+                Err(LexError {
+                    at: pos,
+                    line,
+                    column,
+                    found: input[pos..].chars().next(),
+                })
+            }
+        }
+    }
+
+    /// Scan the whole input, collecting *every* lexical error instead of
+    /// stopping at the first: on a stuck position the offending character
+    /// is recorded and skipped, and scanning resumes at the next
+    /// character. Tokens for the recognizable stretches are appended to
+    /// `out` in source order; the returned errors are likewise ordered by
+    /// byte offset. Error fields are built exactly as in
+    /// [`Scanner::scan_into`], so the first error of a resilient scan is
+    /// byte-identical to the strict error.
+    pub fn scan_resilient_into(&self, input: &str, out: &mut Vec<Token>) -> Vec<LexError> {
+        let mut errors = Vec::new();
+        let mut index: Option<LineIndex> = None;
+        let mut pos = 0usize;
+        loop {
+            match self.scan_core(input, pos, out) {
+                Ok(()) => break,
+                Err(at) => {
+                    let index = index.get_or_insert_with(|| LineIndex::new(input));
+                    let (line, column) = index.line_col(input, at);
+                    let found = input[at..].chars().next();
+                    errors.push(LexError { at, line, column, found });
+                    match found {
+                        Some(c) => pos = at + c.len_utf8(),
+                        None => break,
+                    }
+                }
+            }
+        }
+        errors
+    }
+
+    /// The table-driven maximal-munch loop shared by the strict and
+    /// resilient entry points: scan from byte `start` to the end of input,
+    /// appending non-skip tokens, returning `Err(pos)` with the byte
+    /// offset of the first position where no rule matches.
+    fn scan_core(&self, input: &str, start: usize, out: &mut Vec<Token>) -> Result<(), usize> {
         let bytes = input.as_bytes();
         let compiled = &self.compiled;
-        let mut pos = 0usize;
+        let mut pos = start;
         while pos < bytes.len() {
             let mut state = 0u32;
             let mut i = pos;
@@ -213,15 +254,7 @@ impl Scanner {
                     }
                     pos = end;
                 }
-                None => {
-                    let (line, column) = line_col(input, pos);
-                    return Err(LexError {
-                        at: pos,
-                        line,
-                        column,
-                        found: input[pos..].chars().next(),
-                    });
-                }
+                None => return Err(pos),
             }
         }
         Ok(())
@@ -473,6 +506,47 @@ mod tests {
         assert_eq!(s.name(toks[3].kind), "STRING");
         assert_eq!(toks[3].text(input), "'héllo wörld — 中文 🦀'");
         assert_eq!(s.scan(input), s.scan_reference(input));
+    }
+
+    #[test]
+    fn resilient_scan_collects_every_error_and_all_tokens() {
+        let s = sql_scanner();
+        let input = "SELECT # a\nFROM ~ t ?";
+        let mut toks = Vec::new();
+        let errors = s.scan_resilient_into(input, &mut toks);
+        let kinds: Vec<&str> = toks.iter().map(|t| s.name(t.kind)).collect();
+        assert_eq!(kinds, ["SELECT", "IDENT", "FROM", "IDENT"]);
+        assert_eq!(errors.len(), 3);
+        assert_eq!(
+            errors.iter().map(|e| e.found).collect::<Vec<_>>(),
+            [Some('#'), Some('~'), Some('?')]
+        );
+        assert_eq!((errors[1].line, errors[1].column), (2, 6));
+        // First error is byte-identical to the strict scan's error.
+        assert_eq!(errors[0], s.scan(input).unwrap_err());
+    }
+
+    #[test]
+    fn resilient_scan_matches_strict_scan_on_clean_input() {
+        let s = sql_scanner();
+        for input in ["SELECT a, b FROM t WHERE a = 1", "", "  \n"] {
+            let mut toks = Vec::new();
+            assert!(s.scan_resilient_into(input, &mut toks).is_empty());
+            assert_eq!(toks, s.scan(input).unwrap(), "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn resilient_scan_skips_multibyte_garbage_without_splitting_chars() {
+        let s = sql_scanner();
+        let mut toks = Vec::new();
+        let errors = s.scan_resilient_into("a é b 中 c", &mut toks);
+        let kinds: Vec<&str> = toks.iter().map(|t| s.name(t.kind)).collect();
+        assert_eq!(kinds, ["IDENT", "IDENT", "IDENT"]);
+        assert_eq!(
+            errors.iter().map(|e| e.found).collect::<Vec<_>>(),
+            [Some('é'), Some('中')]
+        );
     }
 
     #[test]

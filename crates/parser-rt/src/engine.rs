@@ -22,15 +22,14 @@
 
 use crate::cst::CstNode;
 use crate::errors::ParseError;
-use crate::events::Event;
+use crate::events::{Event, ERROR_NODE};
 use crate::session::ParseSession;
 use sqlweave_grammar::analysis::{analyze, AnalysisError, GrammarAnalysis, EOF};
 use sqlweave_grammar::ir::{Grammar, Term};
-use sqlweave_grammar::lookahead::{analyze_lookahead, Outcome, K_MAX};
+use sqlweave_grammar::lookahead::{analyze_lookahead, recovery_sync_set, Outcome, K_MAX};
 use sqlweave_grammar::lower::is_synthetic;
-use sqlweave_lexgen::scanner::line_col;
 use sqlweave_lexgen::tokenset::{TokenSet, TokenSetError};
-use sqlweave_lexgen::{Scanner, Token};
+use sqlweave_lexgen::{LineIndex, Scanner, Token};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -113,6 +112,10 @@ pub struct ParserStats {
     pub backtracks: u64,
     /// Failure-memo hits (dynamic).
     pub failure_memo_hits: u64,
+    /// Panic-mode recoveries performed by resilient parses (dynamic).
+    pub error_recoveries: u64,
+    /// Tokens skipped into error nodes by resilient parses (dynamic).
+    pub recovery_skipped_tokens: u64,
 }
 
 /// Dynamic counters accumulated by the backtracking engine across one
@@ -126,6 +129,10 @@ pub struct RunCounters {
     pub alt_attempts: u64,
     /// Probes abandoned by event-buffer truncation.
     pub backtracks: u64,
+    /// Panic-mode recoveries performed (one per reported syntax error).
+    pub recoveries: u64,
+    /// Tokens skipped into error nodes during panic-mode recovery.
+    pub skipped_tokens: u64,
 }
 
 // ---------------------------------------------------------------- bitsets
@@ -277,6 +284,13 @@ pub struct Parser {
     pub(crate) fstart: u32,
     decisions: Vec<RtDecision>,
     lookahead_k: u8,
+    /// Statement-level synchronization tokens for panic-mode recovery
+    /// (derived from FOLLOW of the start skeleton; EOF is implicit).
+    sync_bits: TokBits,
+    /// FOLLOW bitset per compiled EBNF production (recovery stop set).
+    cfollow: Vec<TokBits>,
+    /// FOLLOW bitset per flat production (recovery stop set, LL(1) mode).
+    ffollow: Vec<TokBits>,
 }
 
 impl fmt::Debug for Parser {
@@ -357,6 +371,17 @@ impl Parser {
         let (cprods, cstart) = compiler.compile_ebnf(&grammar);
         let (fprods, fstart) = compiler.compile_flat();
 
+        // Panic-mode recovery sets: the statement-level sync tokens from
+        // the start skeleton's FOLLOW machinery, plus a FOLLOW bitset per
+        // production of each compiled form (per-production stop points).
+        let sync_bits = compiler.bits_of(&recovery_sync_set(&analysis));
+        let empty = BTreeSet::new();
+        let follow_bits = |name: &str| -> TokBits {
+            compiler.bits_of(analysis.follow.get(name).unwrap_or(&empty))
+        };
+        let cfollow = cprods.iter().map(|p| follow_bits(&p.name)).collect();
+        let ffollow = fprods.iter().map(|p| follow_bits(&p.name)).collect();
+
         Ok(Parser {
             grammar,
             analysis,
@@ -369,7 +394,25 @@ impl Parser {
             fstart,
             decisions,
             lookahead_k: K_MAX as u8,
+            sync_bits,
+            cfollow,
+            ffollow,
         })
+    }
+
+    /// `true` if token kind `kind` is a statement-level synchronization
+    /// point for panic-mode recovery (e.g. `SEMI` in the script skeleton).
+    pub(crate) fn is_sync_token(&self, kind: u32) -> bool {
+        self.sync_bits.contains(kind)
+    }
+
+    /// FOLLOW bitset of a compiled production (per emitting engine), used
+    /// as the per-production stop set during panic-mode token skipping.
+    pub(crate) fn follow_bits(&self, mode: EngineMode, prod: u32) -> Option<&TokBits> {
+        match mode {
+            EngineMode::Backtracking => self.cfollow.get(prod as usize),
+            EngineMode::Ll1Table => self.ffollow.get(prod as usize),
+        }
     }
 
     /// Select the engine mode (builder style).
@@ -438,6 +481,8 @@ impl Parser {
             alt_attempts: 0,
             backtracks: 0,
             failure_memo_hits: 0,
+            error_recoveries: 0,
+            recovery_skipped_tokens: 0,
         }
     }
 
@@ -454,6 +499,23 @@ impl Parser {
         Ok(tree.to_cst())
     }
 
+    /// Parse `input` with panic-mode error recovery: instead of stopping
+    /// at the first error, every committed failure is recorded as a
+    /// diagnostic, the offending tokens are folded into an `error` node,
+    /// and parsing resumes at the next synchronization point. Always
+    /// produces a tree covering every scanned token, plus the diagnostics
+    /// in source order (empty for well-formed input, where the tree is
+    /// identical to [`Parser::parse`]).
+    ///
+    /// Like [`Parser::parse`] this is a thin convenience over a throwaway
+    /// session; batch callers should hold a [`Parser::session`] and use
+    /// [`ParseSession::parse_resilient`] directly.
+    pub fn parse_resilient(&self, input: &str) -> (CstNode, Vec<ParseError>) {
+        let mut session = self.session();
+        let outcome = session.parse_resilient(input);
+        (outcome.tree.to_cst(), outcome.errors)
+    }
+
     /// A reusable parse session holding the event buffer, token vector,
     /// memo bitmap, and tree arena, recycled across parses.
     pub fn session(&self) -> ParseSession<'_> {
@@ -463,6 +525,9 @@ impl Parser {
     /// Resolve a compiled production id (as found in [`Event::Open`]) to
     /// its production name, per emitting engine.
     pub(crate) fn prod_name(&self, mode: EngineMode, prod: u32) -> &str {
+        if prod == ERROR_NODE {
+            return "error";
+        }
         match mode {
             EngineMode::Backtracking => &self.cprods[prod as usize].name,
             EngineMode::Ll1Table => &self.fprods[prod as usize].name,
@@ -472,6 +537,9 @@ impl Parser {
     /// Resolve a compiled `(production, alternative)` pair to the
     /// alternative's label, per emitting engine.
     pub(crate) fn alt_label(&self, mode: EngineMode, prod: u32, alt: u32) -> Option<&str> {
+        if prod == ERROR_NODE {
+            return None;
+        }
         match mode {
             EngineMode::Backtracking => {
                 self.cprods[prod as usize].alts[alt as usize].label.as_deref()
@@ -488,6 +556,19 @@ impl Parser {
         toks: &[Token],
         notes: &Notes,
     ) -> ParseError {
+        self.error_from_with(input, toks, notes, &LineIndex::new(input))
+    }
+
+    /// [`Parser::error_from`] against a caller-held [`LineIndex`], so
+    /// multi-error resilient parses pay for the line table once instead of
+    /// rescanning the input per diagnostic.
+    pub(crate) fn error_from_with(
+        &self,
+        input: &str,
+        toks: &[Token],
+        notes: &Notes,
+        index: &LineIndex,
+    ) -> ParseError {
         let (at, found) = match toks.get(notes.farthest) {
             Some(t) => (
                 t.start,
@@ -498,7 +579,7 @@ impl Parser {
             ),
             None => (input.len(), None),
         };
-        let (line, column) = line_col(input, at);
+        let (line, column) = index.line_col(input, at);
         let mut expected: BTreeSet<String> = notes
             .expected
             .iter_ids()
@@ -564,6 +645,17 @@ impl Parser {
     }
 
     fn ev_bt_nt(&self, ctx: &mut EvCtx<'_>, prod: u32, pos: usize) -> Result<usize, ()> {
+        // Track which production owns the failure frontier (`Notes`
+        // snapshots the innermost production on every frontier advance) so
+        // panic-mode recovery can skip to that production's FOLLOW set.
+        let saved = ctx.notes.cur_prod;
+        ctx.notes.cur_prod = prod;
+        let result = self.ev_bt_nt_inner(ctx, prod, pos);
+        ctx.notes.cur_prod = saved;
+        result
+    }
+
+    fn ev_bt_nt_inner(&self, ctx: &mut EvCtx<'_>, prod: u32, pos: usize) -> Result<usize, ()> {
         // The engine is a deterministic function of (production, position),
         // so a failed probe can never succeed on re-entry — fail in O(1).
         if ctx.memo.failed(prod, pos) {
@@ -758,6 +850,21 @@ impl Parser {
     /// their children into the enclosing expansion, exactly like the seed
     /// engine did.
     fn ev_ll1(
+        &self,
+        ctx: &mut EvCtx<'_>,
+        prod: u32,
+        pos: usize,
+        open: bool,
+    ) -> Result<usize, ()> {
+        // Same frontier-owner tracking as the backtracking engine.
+        let saved = ctx.notes.cur_prod;
+        ctx.notes.cur_prod = prod;
+        let result = self.ev_ll1_inner(ctx, prod, pos, open);
+        ctx.notes.cur_prod = saved;
+        result
+    }
+
+    fn ev_ll1_inner(
         &self,
         ctx: &mut EvCtx<'_>,
         prod: u32,
@@ -1008,7 +1115,16 @@ pub(crate) struct Notes {
     pub(crate) farthest: usize,
     expected: TokBits,
     expected_eof: bool,
+    /// The production currently being expanded (engine-maintained;
+    /// [`NO_PROD`] outside any expansion).
+    pub(crate) cur_prod: u32,
+    /// The production that owned the frontier when it last advanced —
+    /// panic-mode recovery skips to this production's FOLLOW set.
+    pub(crate) at_prod: u32,
 }
+
+/// "No production" sentinel for [`Notes::cur_prod`]/[`Notes::at_prod`].
+pub(crate) const NO_PROD: u32 = u32::MAX;
 
 impl Notes {
     pub(crate) fn new(n_tokens: usize) -> Notes {
@@ -1016,6 +1132,8 @@ impl Notes {
             farthest: 0,
             expected: TokBits::new(n_tokens),
             expected_eof: false,
+            cur_prod: NO_PROD,
+            at_prod: NO_PROD,
         }
     }
 
@@ -1023,6 +1141,8 @@ impl Notes {
         self.farthest = 0;
         self.expected.clear();
         self.expected_eof = false;
+        self.cur_prod = NO_PROD;
+        self.at_prod = NO_PROD;
     }
 
     /// Advance the frontier to `pos`, clearing stale expectations. Returns
@@ -1040,6 +1160,7 @@ impl Notes {
             self.expected.clear();
             self.expected_eof = false;
         }
+        self.at_prod = self.cur_prod;
         true
     }
 

@@ -30,6 +30,31 @@ impl ParseError {
         }
         s
     }
+
+    /// Render a rustc-style multi-line diagnostic against the source:
+    /// the one-line message, a `-->` location line, and the offending
+    /// source line with a caret under the error column.
+    ///
+    /// ```text
+    /// error: syntax error at line 2, column 8: unexpected FROM "FROM"; …
+    ///   --> line 2, column 8
+    ///    |
+    ///  2 | SELECT FROM t2;
+    ///    |        ^
+    /// ```
+    pub fn render(&self, input: &str) -> String {
+        let mut out = format!("error: {self}\n  --> line {}, column {}\n", self.line, self.column);
+        // The source line the error points into (1-based). `lines()`
+        // yields nothing for "" and no final entry after a trailing
+        // newline; the caret then points at an empty line.
+        let src_line = input.lines().nth(self.line - 1).unwrap_or("");
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!("{pad} |\n{gutter} | {src_line}\n"));
+        let caret_pad = " ".repeat(self.column.saturating_sub(1));
+        out.push_str(&format!("{pad} | {caret_pad}^\n"));
+        out
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -82,6 +107,39 @@ mod tests {
             lexical: None,
         };
         assert!(e.to_string().contains("unexpected end of input"));
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_column() {
+        let input = "SELECT a FROM t1;\nSELECT FROM t2;";
+        let e = ParseError {
+            at: 25,
+            line: 2,
+            column: 8,
+            expected: BTreeSet::from(["IDENT".to_string(), "STAR".to_string()]),
+            found: Some(("FROM".to_string(), "FROM".to_string())),
+            lexical: None,
+        };
+        let r = e.render(input);
+        assert!(r.starts_with("error: syntax error at line 2, column 8"), "{r}");
+        assert!(r.contains("  --> line 2, column 8\n"), "{r}");
+        assert!(r.contains("2 | SELECT FROM t2;\n"), "{r}");
+        assert!(r.contains("  |        ^\n"), "{r}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_lines() {
+        let e = ParseError {
+            at: 0,
+            line: 9,
+            column: 1,
+            expected: BTreeSet::new(),
+            found: None,
+            lexical: None,
+        };
+        let r = e.render("short");
+        assert!(r.contains("9 | \n"), "{r}");
+        assert!(r.contains("  | ^\n"), "{r}");
     }
 
     #[test]

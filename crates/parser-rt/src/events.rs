@@ -21,6 +21,15 @@
 //! resolves them back to names), so events are `Copy` and carry no heap
 //! data at all.
 
+/// Sentinel `prod` id marking an *error node* in a resilient event
+/// stream: a node holding the tokens panic-mode recovery skipped, so the
+/// tree still covers every scanned token. Error nodes are ordinary
+/// `Open { prod: ERROR_NODE, alt: 0 } … Token … Close` triples — the tree
+/// builder needs no special handling, and name resolution maps the
+/// sentinel to `"error"` with no alternative label. Strict parses never
+/// emit it.
+pub const ERROR_NODE: u32 = u32::MAX;
+
 /// One event of a flat pre-order parse stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {

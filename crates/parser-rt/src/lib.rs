@@ -22,6 +22,13 @@
 //! across statements; [`Parser::parse_many`] and
 //! [`Parser::parse_many_parallel`] batch over it.
 //!
+//! Beyond the strict single-error contract, [`Parser::parse_resilient`]
+//! and [`session::ParseSession::parse_resilient`] run panic-mode error
+//! recovery: every committed failure becomes a diagnostic, skipped tokens
+//! fold into `error` nodes ([`events::ERROR_NODE`]), and the returned
+//! [`session::ParseOutcome`] carries a tree covering every scanned token
+//! plus all diagnostics in source order.
+//!
 //! [`codegen`] additionally *generates Rust source* for a standalone
 //! recursive-descent parser, which is the closest analogue of the paper's
 //! "use ANTLR to generate parser code" step.
@@ -38,6 +45,6 @@ pub mod tree;
 pub use cst::CstNode;
 pub use engine::{EngineMode, Parser, ParserStats, RunCounters};
 pub use errors::ParseError;
-pub use events::Event;
-pub use session::{ParseSession, ParsedStats};
+pub use events::{Event, ERROR_NODE};
+pub use session::{ParseOutcome, ParseSession, ParsedStats, ResilientStats};
 pub use tree::{SyntaxElement, SyntaxNode, SyntaxToken, SyntaxTree};

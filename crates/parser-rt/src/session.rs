@@ -16,11 +16,13 @@
 //! scoped workers, one session per worker (a [`Parser`] is shareable by
 //! reference across threads).
 
-use crate::engine::{EngineMode, EvCtx, FailureMemo, Notes, Parser, ParserStats, RunCounters};
+use crate::engine::{
+    EngineMode, EvCtx, FailureMemo, Notes, Parser, ParserStats, RunCounters, NO_PROD,
+};
 use crate::errors::ParseError;
-use crate::events::Event;
+use crate::events::{Event, ERROR_NODE};
 use crate::tree::{SyntaxTree, TreeBuffers};
-use sqlweave_lexgen::Token;
+use sqlweave_lexgen::{LexError, LineIndex, Token};
 use std::collections::BTreeSet;
 
 /// A reusable parsing workspace bound to one [`Parser`].
@@ -29,10 +31,65 @@ pub struct ParseSession<'p> {
     toks: Vec<Token>,
     kind_ids: Vec<u32>,
     events: Vec<Event>,
+    /// Accumulated output stream of a resilient parse: spliced chunks of
+    /// successful strict attempts plus error nodes, wrapped in one root.
+    revents: Vec<Event>,
     memo: FailureMemo,
     notes: Notes,
     counters: RunCounters,
     tree: TreeBuffers,
+}
+
+/// The result of a resilient parse: a tree covering every scanned token
+/// (skipped stretches folded into `error` nodes) plus every diagnostic in
+/// source order. Well-formed input yields an empty `errors` and a tree
+/// identical to the strict parse.
+pub struct ParseOutcome<'s> {
+    /// Full-coverage syntax tree (borrowing the session's buffers).
+    pub tree: SyntaxTree<'s>,
+    /// Lexical and syntax diagnostics, sorted by byte offset.
+    pub errors: Vec<ParseError>,
+}
+
+/// Convert a lexical error into the [`ParseError`] shape the strict path
+/// produces (shared by `parse_tree` and `parse_resilient` so messages
+/// stay byte-identical between the two).
+fn lex_to_parse(e: &LexError) -> ParseError {
+    ParseError {
+        at: e.at,
+        line: e.line,
+        column: e.column,
+        expected: BTreeSet::new(),
+        found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
+        lexical: Some(e.to_string()),
+    }
+}
+
+/// Splice one successful strict chunk (a single balanced `Open … Close`
+/// tree over a token *slice*) into the resilient output stream: the
+/// chunk's root wrapper is stripped (the final assembly re-wraps
+/// everything in one root) and token indices are rebased from
+/// slice-relative to absolute.
+fn splice_chunk(
+    revents: &mut Vec<Event>,
+    chunk: &[Event],
+    offset: usize,
+    root: &mut Option<(u32, u32)>,
+) {
+    debug_assert!(chunk.len() >= 2, "a successful parse opens and closes a root");
+    if root.is_none() {
+        if let Event::Open { prod, alt } = chunk[0] {
+            *root = Some((prod, alt));
+        }
+    }
+    for ev in &chunk[1..chunk.len() - 1] {
+        revents.push(match *ev {
+            Event::Token { index } => Event::Token {
+                index: index + offset as u32,
+            },
+            other => other,
+        });
+    }
 }
 
 impl<'p> ParseSession<'p> {
@@ -43,6 +100,7 @@ impl<'p> ParseSession<'p> {
             toks: Vec::new(),
             kind_ids: Vec::new(),
             events: Vec::new(),
+            revents: Vec::new(),
             memo: FailureMemo::default(),
             notes: Notes::new(parser.n_tokens),
             counters: RunCounters::default(),
@@ -75,6 +133,8 @@ impl<'p> ParseSession<'p> {
         s.alt_attempts = self.counters.alt_attempts;
         s.backtracks = self.counters.backtracks;
         s.failure_memo_hits = self.memo.hits();
+        s.error_recoveries = self.counters.recoveries;
+        s.recovery_skipped_tokens = self.counters.skipped_tokens;
         s
     }
 
@@ -85,52 +145,14 @@ impl<'p> ParseSession<'p> {
         let parser = self.parser;
         self.toks.clear();
         self.kind_ids.clear();
-        self.events.clear();
-        self.notes.reset();
         parser
             .scanner
             .scan_into(input, &mut self.toks)
-            .map_err(|e| ParseError {
-                at: e.at,
-                line: e.line,
-                column: e.column,
-                expected: BTreeSet::new(),
-                found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
-                lexical: Some(e.to_string()),
-            })?;
+            .map_err(|e| lex_to_parse(&e))?;
         self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
-        if parser.mode() == EngineMode::Backtracking {
-            self.memo.reset(parser.cprods.len(), self.toks.len() + 1);
-        }
-        let use_tables = parser.mode() == EngineMode::Backtracking && parser.tables_active();
-        let mut result = parser.run_events(&mut EvCtx {
-            kind_ids: &self.kind_ids,
-            events: &mut self.events,
-            memo: &mut self.memo,
-            notes: &mut self.notes,
-            counters: &mut self.counters,
-            use_tables,
-        });
-        if use_tables && !matches!(result, Ok(next) if next == self.toks.len()) {
-            // A dispatch hit skips probes whose failure notes feed the
-            // error message, so any failing outcome (hard error or
-            // trailing input) is re-derived with tables disabled: the
-            // accept/reject outcome is provably identical, and the
-            // diagnostics become byte-identical to the seed engine.
-            self.events.clear();
-            self.notes.reset();
-            self.memo.reset(parser.cprods.len(), self.toks.len() + 1);
-            result = parser.run_events(&mut EvCtx {
-                kind_ids: &self.kind_ids,
-                events: &mut self.events,
-                memo: &mut self.memo,
-                notes: &mut self.notes,
-                counters: &mut self.counters,
-                use_tables: false,
-            });
-        }
-        match result {
-            Ok(next) if next == self.toks.len() => {
+        let n = self.toks.len();
+        match self.run_strict(0, n) {
+            Ok(next) if next == n => {
                 let root = self.tree.build(&self.events);
                 Ok(SyntaxTree {
                     parser,
@@ -149,6 +171,248 @@ impl<'p> ParseSession<'p> {
             Err(()) => Err(parser.error_from(input, &self.toks, &self.notes)),
         }
     }
+
+    /// One strict engine attempt over the token slice `lo..hi`, into this
+    /// session's `events` buffer (cleared first). Notes, memo, and the
+    /// diagnostics rerun all behave exactly as the strict path always has;
+    /// positions inside `notes` are relative to `lo`.
+    fn run_strict(&mut self, lo: usize, hi: usize) -> Result<usize, ()> {
+        let parser = self.parser;
+        let n = hi - lo;
+        self.events.clear();
+        self.notes.reset();
+        if parser.mode() == EngineMode::Backtracking {
+            self.memo.reset(parser.cprods.len(), n + 1);
+        }
+        let use_tables = parser.mode() == EngineMode::Backtracking && parser.tables_active();
+        let mut result = parser.run_events(&mut EvCtx {
+            kind_ids: &self.kind_ids[lo..hi],
+            events: &mut self.events,
+            memo: &mut self.memo,
+            notes: &mut self.notes,
+            counters: &mut self.counters,
+            use_tables,
+        });
+        if use_tables && !matches!(result, Ok(next) if next == n) {
+            // A dispatch hit skips probes whose failure notes feed the
+            // error message, so any failing outcome (hard error or
+            // trailing input) is re-derived with tables disabled: the
+            // accept/reject outcome is provably identical, and the
+            // diagnostics become byte-identical to the seed engine.
+            self.events.clear();
+            self.notes.reset();
+            self.memo.reset(parser.cprods.len(), n + 1);
+            result = parser.run_events(&mut EvCtx {
+                kind_ids: &self.kind_ids[lo..hi],
+                events: &mut self.events,
+                memo: &mut self.memo,
+                notes: &mut self.notes,
+                counters: &mut self.counters,
+                use_tables: false,
+            });
+        }
+        result
+    }
+
+    /// Parse with panic-mode error recovery (see
+    /// [`Parser::parse_resilient`] for the contract). The driver:
+    ///
+    /// 1. lexes resiliently (bad characters become lexical diagnostics,
+    ///    scanning continues);
+    /// 2. repeatedly runs the strict engine on the remaining tokens;
+    ///    a full parse splices in and finishes, a partial/failed parse
+    ///    records one diagnostic, splices whatever prefix committed, and
+    ///    *panics*: tokens are skipped until a synchronization token
+    ///    (statement level, consumed into the error node) or a token in
+    ///    FOLLOW of the failing production (left for the resumed parse);
+    /// 3. skipped stretches become `error` nodes, so every scanned token
+    ///    appears in the final tree exactly once.
+    ///
+    /// A fuel bound (each iteration strictly advances, and fuel is
+    /// 2·tokens + 4) guarantees termination on any input.
+    pub fn parse_resilient<'s>(&'s mut self, input: &'s str) -> ParseOutcome<'s> {
+        let parser = self.parser;
+        let mode = parser.mode();
+        self.toks.clear();
+        self.kind_ids.clear();
+        self.revents.clear();
+        let index = LineIndex::new(input);
+        let mut errors: Vec<ParseError> = parser
+            .scanner
+            .scan_resilient_into(input, &mut self.toks)
+            .iter()
+            .map(lex_to_parse)
+            .collect();
+        self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
+        let n = self.toks.len();
+
+        // Root production observed on the first spliced chunk; error-only
+        // parses fall back to an `error` root in the final assembly.
+        let mut root: Option<(u32, u32)> = None;
+        let mut pos = 0usize;
+        // Where the previous panic skip resumed, and whether it resumed by
+        // consuming a statement-level sync token. A resumed attempt that
+        // fails with zero progress after a *non-statement* resume is a
+        // cascade of the same underlying error: its diagnostic is merged
+        // (suppressed) and the error node extended instead.
+        let mut prev_resume: Option<usize> = None;
+        let mut prev_was_sync = false;
+        let mut last_is_error = false;
+        let mut fuel = 2 * n + 4;
+
+        if n == 0 {
+            match self.run_strict(0, 0) {
+                Ok(_) => splice_chunk(&mut self.revents, &self.events, 0, &mut root),
+                Err(()) => {
+                    errors.push(parser.error_from_with(input, &[], &self.notes, &index));
+                    self.counters.recoveries += 1;
+                }
+            }
+        }
+        while pos < n {
+            if fuel == 0 {
+                // Unreachable in practice (every iteration advances), but
+                // the hard bound makes termination unconditional: dump the
+                // remainder into one error node and stop.
+                self.emit_error_node(pos, n, &mut last_is_error);
+                break;
+            }
+            fuel -= 1;
+            let remaining = n - pos;
+            let result = self.run_strict(pos, n);
+            if let Ok(next) = result {
+                if next == remaining {
+                    splice_chunk(&mut self.revents, &self.events, pos, &mut root);
+                    break;
+                }
+                self.notes.note_eof(next);
+            }
+            // Committed failure: capture the diagnostic (and the failure
+            // frontier) before any retry clobbers the notes.
+            let diag = parser.error_from_with(input, &self.toks[pos..], &self.notes, &index);
+            let fail_abs = pos + self.notes.farthest.min(remaining);
+            let fail_prod = self.notes.at_prod;
+
+            // How far did this attempt commit? The backtracking skeleton
+            // accepts a statement prefix directly (`Ok(next)` short of the
+            // input); the predictive engine fails hard instead, so retry
+            // the parse cut at the last statement boundary before the
+            // failure — both engines then agree on the segmentation.
+            let mut good = pos;
+            match result {
+                Ok(next) if next > 0 => {
+                    splice_chunk(&mut self.revents, &self.events, pos, &mut root);
+                    good = pos + next;
+                    last_is_error = false;
+                }
+                _ => {
+                    let boundary = (pos + 1..=fail_abs)
+                        .rev()
+                        .find(|&b| parser.is_sync_token(self.kind_ids[b - 1]));
+                    if let Some(b) = boundary {
+                        // Retry with the separator included, then without:
+                        // the predictive engine's LL(1) table commits the
+                        // trailing `SEMI` to the repetition (expecting
+                        // another statement), so `stmt SEMI` only parses
+                        // with the separator cut off.
+                        for cut in [b, b - 1] {
+                            if cut > pos && self.run_strict(pos, cut) == Ok(cut - pos) {
+                                splice_chunk(&mut self.revents, &self.events, pos, &mut root);
+                                good = cut;
+                                last_is_error = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+
+            let is_merge = good == pos && prev_resume == Some(pos) && !prev_was_sync;
+            if !is_merge {
+                errors.push(diag);
+                self.counters.recoveries += 1;
+            }
+
+            // Panic: skip tokens until a statement-level sync token (taken
+            // into the error node — the separator belongs to the broken
+            // statement) or a token in FOLLOW of the production that owned
+            // the failure (left in place for the resumed parse).
+            let follow = (fail_prod != NO_PROD)
+                .then(|| parser.follow_bits(mode, fail_prod))
+                .flatten();
+            let mut resume = n;
+            let mut was_sync = false;
+            for i in good.max(fail_abs)..n {
+                let k = self.kind_ids[i];
+                if parser.is_sync_token(k) {
+                    resume = i + 1;
+                    was_sync = true;
+                    break;
+                }
+                if follow.is_some_and(|f| f.contains(k)) {
+                    resume = i;
+                    break;
+                }
+            }
+            if resume == pos {
+                // A FOLLOW stop at the failure position itself would spin;
+                // force progress by sacrificing one token.
+                resume = pos + 1;
+            }
+            if resume > good {
+                self.emit_error_node(good, resume, &mut last_is_error);
+            }
+            prev_resume = Some(resume);
+            prev_was_sync = was_sync;
+            pos = resume;
+        }
+
+        // Final assembly: wrap the accumulated children in a single root —
+        // the first successfully spliced chunk's production, or an `error`
+        // root when nothing ever parsed.
+        let (rp, ra) = root.unwrap_or((ERROR_NODE, 0));
+        self.events.clear();
+        self.events.push(Event::Open { prod: rp, alt: ra });
+        self.events.extend_from_slice(&self.revents);
+        self.events.push(Event::Close);
+        errors.sort_by_key(|e| e.at);
+        let tree_root = self.tree.build(&self.events);
+        ParseOutcome {
+            tree: SyntaxTree {
+                parser,
+                mode,
+                input,
+                toks: &self.toks,
+                nodes: &self.tree.nodes,
+                elems: &self.tree.elems,
+                root: tree_root,
+            },
+            errors,
+        }
+    }
+
+    /// Fold the tokens `lo..hi` into an `error` node at the end of the
+    /// resilient stream. Adjacent error nodes coalesce: if the stream
+    /// already ends with one, its `Close` is popped and the new tokens
+    /// extend it, keeping one node (and one contiguous span) per skipped
+    /// stretch.
+    fn emit_error_node(&mut self, lo: usize, hi: usize, last_is_error: &mut bool) {
+        if *last_is_error {
+            debug_assert_eq!(self.revents.last(), Some(&Event::Close));
+            self.revents.pop();
+        } else {
+            self.revents.push(Event::Open {
+                prod: ERROR_NODE,
+                alt: 0,
+            });
+        }
+        for i in lo..hi {
+            self.revents.push(Event::Token { index: i as u32 });
+        }
+        self.revents.push(Event::Close);
+        self.counters.skipped_tokens += (hi - lo) as u64;
+        *last_is_error = true;
+    }
 }
 
 /// Size measurements of one accepted statement in a batch.
@@ -158,6 +422,77 @@ pub struct ParsedStats {
     pub tokens: usize,
     /// Tree nodes in the seed counting convention (rules + token leaves).
     pub nodes: usize,
+}
+
+/// Size measurements and diagnostics of one resiliently parsed statement
+/// in a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientStats {
+    /// Scanned (non-skip) tokens covered by the tree.
+    pub tokens: usize,
+    /// Tree nodes in the seed counting convention (rules + token leaves).
+    pub nodes: usize,
+    /// Diagnostics recovered past, in source order.
+    pub errors: Vec<ParseError>,
+}
+
+/// Render a panic payload for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// The lexical-style [`ParseError`] a crashed batch worker's inputs
+/// report instead of aborting the whole batch.
+fn worker_panic_error(msg: &str) -> ParseError {
+    ParseError {
+        at: 0,
+        line: 1,
+        column: 1,
+        expected: BTreeSet::new(),
+        found: None,
+        lexical: Some(format!("internal error: batch worker panicked: {msg}")),
+    }
+}
+
+/// Shard `inputs` over `threads` scoped workers, each running `work` on
+/// its chunk. A panicking worker is caught (instead of poisoning the
+/// whole batch via `join().expect(..)`) and its shard's results are
+/// synthesized by `on_panic`; every other shard's results survive.
+/// Results are returned flattened in input order.
+pub(crate) fn run_sharded<T: Send>(
+    inputs: &[&str],
+    threads: usize,
+    work: impl Fn(&[&str]) -> Vec<T> + Sync,
+    on_panic: impl Fn(&[&str], &str) -> Vec<T>,
+) -> Vec<T> {
+    let chunk = inputs.len().div_ceil(threads);
+    let work = &work;
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(shard)))
+                })
+            })
+            .collect();
+        for (h, shard) in handles.into_iter().zip(inputs.chunks(chunk)) {
+            let out = match h.join() {
+                Ok(Ok(v)) => v,
+                Ok(Err(payload)) => on_panic(shard, &panic_message(payload.as_ref())),
+                Err(payload) => on_panic(shard, &panic_message(payload.as_ref())),
+            };
+            results.push(out);
+        }
+    });
+    results.into_iter().flatten().collect()
 }
 
 impl Parser {
@@ -176,9 +511,30 @@ impl Parser {
             .collect()
     }
 
+    /// Resiliently parse a batch of statements with one recycled session
+    /// (see [`ParseSession::parse_resilient`]), returning per-statement
+    /// measurements and diagnostics in input order.
+    pub fn parse_many_resilient(&self, inputs: &[&str]) -> Vec<ResilientStats> {
+        let mut session = self.session();
+        inputs
+            .iter()
+            .map(|input| {
+                let outcome = session.parse_resilient(input);
+                ResilientStats {
+                    tokens: outcome.tree.tokens().len(),
+                    nodes: outcome.tree.node_count(),
+                    errors: outcome.errors,
+                }
+            })
+            .collect()
+    }
+
     /// Parse a batch across `threads` scoped worker threads (each with its
     /// own recycled session), returning outcomes in input order. Falls
     /// back to the sequential driver for trivial thread counts or batches.
+    /// A worker that panics no longer aborts the whole batch: its shard's
+    /// statements report a lexical-style internal error and every other
+    /// shard's results are returned normally.
     pub fn parse_many_parallel(
         &self,
         inputs: &[&str],
@@ -188,19 +544,44 @@ impl Parser {
         if threads <= 1 {
             return self.parse_many(inputs);
         }
-        let chunk = inputs.len().div_ceil(threads);
-        let mut results: Vec<Vec<Result<ParsedStats, ParseError>>> =
-            Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .chunks(chunk)
-                .map(|shard| scope.spawn(move || self.parse_many(shard)))
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("batch worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+        run_sharded(
+            inputs,
+            threads,
+            |shard| self.parse_many(shard),
+            |shard, msg| {
+                let err = worker_panic_error(msg);
+                shard.iter().map(|_| Err(err.clone())).collect()
+            },
+        )
+    }
+
+    /// [`Parser::parse_many_resilient`] sharded across `threads` scoped
+    /// workers, with the same panic containment as
+    /// [`Parser::parse_many_parallel`].
+    pub fn parse_many_parallel_resilient(
+        &self,
+        inputs: &[&str],
+        threads: usize,
+    ) -> Vec<ResilientStats> {
+        let threads = threads.min(inputs.len());
+        if threads <= 1 {
+            return self.parse_many_resilient(inputs);
+        }
+        run_sharded(
+            inputs,
+            threads,
+            |shard| self.parse_many_resilient(shard),
+            |shard, msg| {
+                shard
+                    .iter()
+                    .map(|_| ResilientStats {
+                        tokens: 0,
+                        nodes: 0,
+                        errors: vec![worker_panic_error(msg)],
+                    })
+                    .collect()
+            },
+        )
     }
 }
 
@@ -310,5 +691,231 @@ mod tests {
         let p = parser(EngineMode::Backtracking);
         assert!(p.parse_many(&[]).is_empty());
         assert!(p.parse_many_parallel(&[], 4).is_empty());
+    }
+
+    /// A statement-script grammar (the shape every composed dialect
+    /// shares), for recovery tests: sync set = {SEMI, $}.
+    fn script_parser(mode: EngineMode) -> Parser {
+        let g = parse_grammar(
+            r#"
+            grammar s;
+            start script;
+            script : query (SEMI query)* SEMI? ;
+            query : SELECT select_list FROM IDENT where_clause? #select ;
+            select_list : IDENT (COMMA IDENT)* #columns | STAR #star ;
+            where_clause : WHERE IDENT EQ IDENT ;
+            "#,
+        )
+        .unwrap();
+        let t = parse_tokens(
+            r#"
+            tokens s;
+            SELECT = kw; FROM = kw; WHERE = kw;
+            COMMA = ","; STAR = "*"; EQ = "="; SEMI = ";";
+            IDENT = /[a-z][a-z0-9_]*/;
+            WS = skip /[ \t\r\n]+/;
+            "#,
+        )
+        .unwrap();
+        Parser::new(g, &t).unwrap().with_mode(mode)
+    }
+
+    /// Count how many times each token index appears in the tree.
+    fn token_coverage(tree: &SyntaxTree<'_>) -> Vec<usize> {
+        fn walk(node: crate::tree::SyntaxNode<'_, '_>, seen: &mut Vec<usize>) {
+            for el in node.children() {
+                match el {
+                    crate::tree::SyntaxElement::Token(t) => seen[t.index()] += 1,
+                    crate::tree::SyntaxElement::Node(n) => walk(n, seen),
+                }
+            }
+        }
+        let mut seen = vec![0usize; tree.tokens().len()];
+        walk(tree.root(), &mut seen);
+        seen
+    }
+
+    #[test]
+    fn resilient_parse_matches_strict_on_clean_input() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut inputs = vec![
+                "SELECT a FROM t",
+                "SELECT a FROM t; SELECT * FROM u",
+                "SELECT a, b FROM t WHERE a = b; SELECT c FROM v",
+            ];
+            if mode == EngineMode::Backtracking {
+                // The LL(1) table resolves the trailing-SEMI conflict in
+                // favor of the repetition, so only the backtracking engine
+                // accepts a trailing semicolon strictly.
+                inputs.push("SELECT a FROM t; SELECT c FROM v;");
+            }
+            for input in inputs {
+                let strict = p.parse(input).unwrap();
+                let outcome = s.parse_resilient(input);
+                assert!(outcome.errors.is_empty(), "{mode:?} on {input:?}");
+                assert_eq!(outcome.tree.to_cst(), strict, "{mode:?} on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_parse_recovers_one_error_per_bad_statement() {
+        let input = "SELECT a FROM t; SELECT FROM u; SELECT b FROM v; WHERE; SELECT c FROM w";
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let outcome = s.parse_resilient(input);
+            assert_eq!(outcome.errors.len(), 2, "{mode:?}: {:?}", outcome.errors);
+            // Errors are ordered and point into the bad statements.
+            assert!(outcome.errors[0].at < outcome.errors[1].at);
+            // Every scanned token appears exactly once in the tree.
+            assert!(token_coverage(&outcome.tree).iter().all(|&c| c == 1), "{mode:?}");
+            // The good statements really parsed (error nodes are named
+            // "error"; the rest keep their productions).
+            let names: Vec<&str> =
+                outcome.tree.root().children().filter_map(|e| e.as_node().map(|n| n.name())).collect();
+            assert_eq!(names.iter().filter(|n| **n == "error").count(), 2, "{names:?}");
+            assert_eq!(names.iter().filter(|n| **n == "query").count(), 3, "{names:?}");
+        }
+    }
+
+    #[test]
+    fn resilient_first_error_matches_strict_error() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            for input in [
+                "SELECT FROM t",
+                "SELECT a FROM t; SELECT FROM u",
+                "SELECT a FROM t WHERE",
+                "",
+            ] {
+                let strict = p.parse(input).unwrap_err();
+                let outcome = s.parse_resilient(input);
+                assert!(!outcome.errors.is_empty(), "{mode:?} on {input:?}");
+                assert_eq!(
+                    outcome.errors[0].to_string(),
+                    strict.to_string(),
+                    "{mode:?} on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_parse_collects_lexical_and_syntax_errors() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        // The `?` is a lexical error; skipping it leaves statement 1
+        // well-formed, so statement 2 contributes the only syntax error.
+        let input = "SELECT a ? FROM t; SELECT FROM u";
+        let outcome = s.parse_resilient(input);
+        assert_eq!(outcome.errors.len(), 2, "{:?}", outcome.errors);
+        assert!(outcome.errors[0].lexical.is_some());
+        assert!(outcome.errors[1].lexical.is_none());
+        // The lexical error is byte-identical to the strict path's.
+        assert_eq!(
+            outcome.errors[0].to_string(),
+            p.parse(input).unwrap_err().to_string()
+        );
+    }
+
+    #[test]
+    fn resilient_parse_survives_garbage_and_covers_all_tokens() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            for input in [
+                "; ; ;",
+                "FROM FROM FROM",
+                "SELECT",
+                "= = ; = =",
+                "SELECT a FROM", // truncated
+            ] {
+                let outcome = s.parse_resilient(input);
+                assert!(!outcome.errors.is_empty(), "{mode:?} on {input:?}");
+                assert!(
+                    token_coverage(&outcome.tree).iter().all(|&c| c == 1),
+                    "{mode:?} on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_counters_surface_through_stats() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let outcome = s.parse_resilient("SELECT a FROM t; SELECT FROM u; SELECT b FROM v");
+        assert_eq!(outcome.errors.len(), 1);
+        let stats = s.stats();
+        assert_eq!(stats.error_recoveries, 1);
+        assert!(stats.recovery_skipped_tokens >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn parse_many_resilient_matches_single_statement_outcomes() {
+        let p = script_parser(EngineMode::Backtracking);
+        let out = p.parse_many_resilient(&[
+            "SELECT a FROM t",
+            "SELECT FROM u",
+            "SELECT b, c FROM v",
+        ]);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].errors.is_empty());
+        assert_eq!(out[1].errors.len(), 1);
+        assert!(out[2].errors.is_empty());
+        assert_eq!(out[0].tokens, 4);
+        let par = p.parse_many_parallel_resilient(
+            &["SELECT a FROM t", "SELECT FROM u", "SELECT b, c FROM v"],
+            2,
+        );
+        assert_eq!(out, par);
+    }
+
+    #[test]
+    fn sharded_batches_survive_a_panicking_worker() {
+        // A hostile input guard that panics on a marker input, simulating
+        // a worker crash mid-shard.
+        let inputs: Vec<String> = (0..16)
+            .map(|i| if i == 5 { "PANIC".to_string() } else { format!("in{i}") })
+            .collect();
+        let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+        let out = run_sharded(
+            &refs,
+            4,
+            |shard| {
+                shard
+                    .iter()
+                    .map(|s| {
+                        assert!(*s != "PANIC", "hostile input rejected by guard");
+                        Ok::<String, String>(s.to_uppercase())
+                    })
+                    .collect()
+            },
+            |shard, msg| shard.iter().map(|_| Err(msg.to_string())).collect(),
+        );
+        assert_eq!(out.len(), 16);
+        // The panicking shard (inputs 4..8) reports the panic message;
+        // every other shard's results survive.
+        for (i, r) in out.iter().enumerate() {
+            if (4..8).contains(&i) {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("hostile input rejected"), "{msg}");
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &format!("IN{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_error_is_lexical_style() {
+        let e = worker_panic_error("boom");
+        assert_eq!(
+            e.to_string(),
+            "internal error: batch worker panicked: boom"
+        );
     }
 }

@@ -228,6 +228,22 @@ impl<'a, 't> SyntaxElement<'a, 't> {
             SyntaxElement::Token(t) => t.kind_name(),
         }
     }
+
+    /// The nested node, if this element is one.
+    pub fn as_node(&self) -> Option<SyntaxNode<'a, 't>> {
+        match self {
+            SyntaxElement::Node(n) => Some(*n),
+            SyntaxElement::Token(_) => None,
+        }
+    }
+
+    /// The token leaf, if this element is one.
+    pub fn as_token(&self) -> Option<SyntaxToken<'a, 't>> {
+        match self {
+            SyntaxElement::Token(t) => Some(*t),
+            SyntaxElement::Node(_) => None,
+        }
+    }
 }
 
 impl<'a, 't> SyntaxNode<'a, 't> {
@@ -304,6 +320,11 @@ impl<'a, 't> SyntaxToken<'a, 't> {
     /// Token rule name (e.g. `SELECT`, `IDENT`).
     pub fn kind_name(&self) -> &'a str {
         self.tree.parser.scanner().name(self.tree.toks[self.index as usize].kind)
+    }
+
+    /// Index of this token in the scanned token stream.
+    pub fn index(&self) -> usize {
+        self.index as usize
     }
 
     /// The lexeme, borrowed from the input.
