@@ -34,9 +34,19 @@
 //! time ratio on the *clean* accepted corpus (what recovery bookkeeping
 //! costs when nothing goes wrong).
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v4`; v3
-//! lacked the recovery section, v2 the lex stage, v1 the dynamic
-//! counters), built with the same hand-rolled emitter conventions as
+//! Each pair finally carries a **sema section** (Experiment B8): the
+//! statements/sec of the full parse → CST → name-resolution pipeline
+//! ([`sqlweave_sema::analyze_script`] with the dialect's
+//! [`sqlweave_sema::ResolverCaps`]) over the same accepted corpus, plus
+//! `overhead_vs_parse` — the sema-path/`event_tree` time ratio, i.e. what
+//! semantic analysis (including the owned-CST conversion it needs) costs
+//! on top of parsing alone — and the deterministic count of column-lineage
+//! edges the corpus produces.
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v5`; v4
+//! lacked the sema section, v3 the recovery section, v2 the lex stage,
+//! v1 the dynamic counters), built with the same hand-rolled emitter
+//! conventions as
 //! `sqlweave-lint` and round-tripped through
 //! [`sqlweave_lint::json::parse`] before being returned, so a malformed
 //! report fails loudly instead of landing in CI artifacts.
@@ -101,6 +111,21 @@ pub struct RecoveryMeasurement {
     pub clean_overhead: f64,
 }
 
+/// Semantic-analysis measurements for one dialect × engine pair (B8).
+#[derive(Debug, Clone)]
+pub struct SemaMeasurement {
+    /// Corpus statements per second through the full parse + resolve
+    /// pipeline (session parse → owned CST → name resolution + lineage).
+    pub statements_per_sec: f64,
+    /// Sema-path/`event_tree` time ratio on identical successful work —
+    /// what resolution (and the CST conversion it requires) costs on top
+    /// of parsing alone (1.0 = free).
+    pub overhead_vs_parse: f64,
+    /// Column-lineage edges the corpus produces. Deterministic for a
+    /// given dialect (the corpus and the resolver are both deterministic).
+    pub column_edges: usize,
+}
+
 /// All measurements for one dialect × engine pair.
 #[derive(Debug, Clone)]
 pub struct PairReport {
@@ -136,6 +161,8 @@ pub struct PairReport {
     pub lex: Vec<LexMeasurement>,
     /// Error-recovery measurements over the faulty corpus (B7).
     pub recovery: RecoveryMeasurement,
+    /// Semantic-analysis throughput over the accepted corpus (B8).
+    pub sema: SemaMeasurement,
 }
 
 /// Benchmark the lex stage of one dialect: scan the whole corpus with each
@@ -328,6 +355,32 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
         clean_overhead: resilient_clean_secs.max(1e-9) / event_tree_secs.max(1e-9),
     };
 
+    // Sema (B8): the full parse → CST → resolve pipeline over the same
+    // accepted statements, so `overhead_vs_parse` against `event_tree`
+    // compares identical successful parses.
+    let caps = sqlweave_sema::ResolverCaps::for_dialect(dialect);
+    let mut sema_session = p.session();
+    let sema_secs = time(iters, || {
+        for s in &stmts {
+            let tree = sema_session.parse_tree(s).expect("accepted statement parses");
+            let a = sqlweave_sema::analyze_script(s, &tree.to_cst(), &caps, None);
+            std::hint::black_box(a.statements.len());
+        }
+    });
+    let column_edges: usize = stmts
+        .iter()
+        .map(|s| {
+            let tree = sema_session.parse_tree(s).expect("accepted statement parses");
+            let a = sqlweave_sema::analyze_script(s, &tree.to_cst(), &caps, None);
+            a.statements.iter().map(|st| st.columns.len()).sum::<usize>()
+        })
+        .sum();
+    let sema = SemaMeasurement {
+        statements_per_sec: (iters * stmts.len()) as f64 / sema_secs.max(1e-9),
+        overhead_vs_parse: sema_secs.max(1e-9) / event_tree_secs.max(1e-9),
+        column_edges,
+    };
+
     // One untimed instrumented pass for the dynamic engine counters; the
     // rate is a ratio, so it does not depend on `iters`.
     let mut counted = p.session();
@@ -371,6 +424,7 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
         apis,
         lex,
         recovery,
+        sema,
     }
 }
 
@@ -380,7 +434,7 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v4` JSON document.
+/// Serialize reports as the `sqlweave-bench-parser/v5` JSON document.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
     let results: Vec<String> = reports
         .iter()
@@ -421,11 +475,17 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                 fmt_f64(r.recovery.scripts_per_sec),
                 r.recovery.clean_overhead
             );
+            let sema = format!(
+                "{{\"statements_per_sec\":{},\"overhead_vs_parse\":{:.4},\"column_edges\":{}}}",
+                fmt_f64(r.sema.statements_per_sec),
+                r.sema.overhead_vs_parse,
+                r.sema.column_edges
+            );
             format!(
                 "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\
                  \"bytes\":{},\"byte_classes\":{},\
                  \"decision_table_hits\":{},\"backtracks\":{},\"failure_memo_hits\":{},\
-                 \"backtrack_rate\":{:.4},\"apis\":[{}],\"lex\":[{}],\"recovery\":{}}}",
+                 \"backtrack_rate\":{:.4},\"apis\":[{}],\"lex\":[{}],\"recovery\":{},\"sema\":{}}}",
                 json::escape(r.dialect),
                 json::escape(r.engine),
                 r.statements,
@@ -438,12 +498,13 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                 r.backtrack_rate,
                 apis.join(","),
                 lex.join(","),
-                recovery
+                recovery,
+                sema
             )
         })
         .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":{},\"results\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":{},\"results\":[{}]}}",
         iters,
         results.join(",")
     )
@@ -479,7 +540,7 @@ pub fn run_with_lookahead(
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v4`.
+/// Check a bench document against schema `sqlweave-bench-parser/v5`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -489,7 +550,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v4" {
+    if schema != "sqlweave-bench-parser/v5" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -578,6 +639,17 @@ pub fn validate(doc: &str) -> Result<(), String> {
                 return Err(format!("recovery section has non-finite {key:?}"));
             }
         }
+        // v5: every row carries the sema section.
+        let sema = r.get("sema").ok_or("result missing \"sema\"")?;
+        for key in ["statements_per_sec", "overhead_vs_parse", "column_edges"] {
+            let n = sema
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or(format!("sema section missing {key:?}"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("sema section has non-finite {key:?}"));
+            }
+        }
     }
     Ok(())
 }
@@ -608,6 +680,9 @@ mod tests {
             assert!(recovery.get("scripts").unwrap().as_num().unwrap() > 0.0);
             assert!(recovery.get("errors").unwrap().as_num().unwrap() > 0.0);
             assert!(recovery.get("clean_overhead").unwrap().as_num().unwrap() > 0.0);
+            let sema = r.get("sema").unwrap();
+            assert!(sema.get("statements_per_sec").unwrap().as_num().unwrap() > 0.0);
+            assert!(sema.get("overhead_vs_parse").unwrap().as_num().unwrap() > 0.0);
         }
     }
 
@@ -615,35 +690,36 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1/v2/v3 documents (no dynamic counters / no lex stage / no
-        // recovery section) are rejected by name.
+        // v1/v2/v3/v4 documents (no dynamic counters / no lex stage / no
+        // recovery section / no sema section) are rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[]}").is_err());
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
         // A non-empty lex section must anchor on the interval walker.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
         )
         .is_err());
         // v3 rows (no recovery section) fail even under a v4 header.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
         )
         .is_err());
         // A recovery section with a missing field fails too.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}]}"
         )
         .is_err());
     }

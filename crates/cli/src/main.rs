@@ -18,6 +18,8 @@
 //! sqlweave generate FEATURE...         emit standalone Rust parser source
 //! sqlweave dialects                    list preset dialects with sizes
 //! sqlweave lint [TARGET...]            static analysis with diagnostic codes
+//! sqlweave lint --sql 'SQL'            semantic lint (name resolution rules)
+//! sqlweave lineage --dialect NAME SQL  table/column lineage for a script
 //! sqlweave analyze [--all-dialects]    LL(k) conflict classification report
 //! sqlweave bench [--json]              corpus throughput per dialect × engine
 //! ```
@@ -45,7 +47,10 @@ fn usage() -> ExitCode {
          sqlweave lint [--format text|json] --dialect NAME\n  \
          sqlweave lint [--format text|json] --grammar FILE [--tokens FILE]\n  \
          sqlweave lint [--format text|json] FEATURE...\n  \
-         sqlweave lint --codes\n  \
+         sqlweave lint [--dialect NAME] [--schema FILE] --sql 'SQL'\n  \
+         sqlweave lint --codes [CODE,...]\n  \
+         sqlweave lineage [--dialect NAME] [--schema FILE] [--format text|json] 'SQL'\n  \
+         sqlweave lineage [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave analyze [--dialect NAME | --all-dialects] [--lookahead K]\n  \
          sqlweave analyze ... [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K] [--out FILE]"
@@ -69,6 +74,7 @@ fn main() -> ExitCode {
         "format" => cmd_format(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "lineage" => cmd_lineage(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         _ => usage(),
@@ -79,10 +85,15 @@ fn main() -> ExitCode {
 struct LintArgs {
     format_json: bool,
     all_dialects: bool,
+    /// `--codes` with no value: print the catalog.
     codes: bool,
+    /// `--codes SW001,SW4xx`: restrict output to these codes.
+    code_filter: Option<String>,
     dialect: Option<String>,
     grammar_file: Option<String>,
     tokens_file: Option<String>,
+    schema_file: Option<String>,
+    sql: Option<String>,
     features: Vec<String>,
 }
 
@@ -91,9 +102,12 @@ fn parse_lint_args(args: &[String]) -> Option<LintArgs> {
         format_json: false,
         all_dialects: false,
         codes: false,
+        code_filter: None,
         dialect: None,
         grammar_file: None,
         tokens_file: None,
+        schema_file: None,
+        sql: None,
         features: Vec::new(),
     };
     let mut i = 0;
@@ -112,8 +126,18 @@ fn parse_lint_args(args: &[String]) -> Option<LintArgs> {
                 i += 1;
             }
             "--codes" => {
-                parsed.codes = true;
-                i += 1;
+                // Value form filters; bare form prints the catalog. A
+                // following flag (or nothing) means the bare form.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        parsed.code_filter = Some(v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        parsed.codes = true;
+                        i += 1;
+                    }
+                }
             }
             "--dialect" => {
                 parsed.dialect = Some(args.get(i + 1)?.clone());
@@ -127,6 +151,14 @@ fn parse_lint_args(args: &[String]) -> Option<LintArgs> {
                 parsed.tokens_file = Some(args.get(i + 1)?.clone());
                 i += 2;
             }
+            "--schema" => {
+                parsed.schema_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--sql" => {
+                parsed.sql = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
             flag if flag.starts_with("--") => return None,
             _ => {
                 parsed.features.push(args[i].clone());
@@ -135,6 +167,52 @@ fn parse_lint_args(args: &[String]) -> Option<LintArgs> {
         }
     }
     Some(parsed)
+}
+
+/// Resolve a `--codes` filter list against the catalog. Unknown or
+/// misspelled codes are a usage error (exit 2) with the valid codes
+/// listed — silently filtering everything away hides typos.
+fn parse_code_filter(list: &str) -> Result<Vec<sqlweave_lint::Code>, String> {
+    let mut out = Vec::new();
+    for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match sqlweave_lint::Code::ALL
+            .iter()
+            .find(|c| c.id().eq_ignore_ascii_case(item))
+        {
+            Some(&c) => out.push(c),
+            None => {
+                let valid: Vec<&str> =
+                    sqlweave_lint::Code::ALL.iter().map(|c| c.id()).collect();
+                return Err(format!(
+                    "unknown diagnostic code `{item}`; valid codes: {}",
+                    valid.join(", ")
+                ));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("`--codes` filter selects no codes".to_string());
+    }
+    Ok(out)
+}
+
+/// Apply a `--codes` filter to each report, keeping only the named codes.
+fn filter_reports(
+    reports: Vec<sqlweave_lint::LintReport>,
+    keep: &[sqlweave_lint::Code],
+) -> Vec<sqlweave_lint::LintReport> {
+    reports
+        .into_iter()
+        .map(|r| {
+            let mut out = sqlweave_lint::LintReport::new(&r.subject);
+            out.extend(
+                r.diagnostics
+                    .into_iter()
+                    .filter(|d| keep.contains(&d.code)),
+            );
+            out
+        })
+        .collect()
 }
 
 /// Render reports in the selected format and turn findings into an exit
@@ -161,6 +239,29 @@ fn emit_lint_reports(reports: &[sqlweave_lint::LintReport], json: bool) -> ExitC
     }
 }
 
+/// Load a `sqlweave-schema/v1` catalog file for the semantic passes.
+fn load_schema(path: &str) -> Result<sqlweave_sema::SchemaCatalog, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    sqlweave_sema::SchemaCatalog::from_json(&src)
+        .map_err(|e| format!("cannot parse schema `{path}`: {e}"))
+}
+
+/// Semantic lint over a SQL script: parse with the dialect's composed
+/// parser, run the resolver, and report the SW4xx findings.
+fn lint_sql(
+    dialect: Dialect,
+    sql: &str,
+    schema: Option<&sqlweave_sema::SchemaCatalog>,
+) -> Result<sqlweave_lint::LintReport, String> {
+    let caps = sqlweave_sema::ResolverCaps::for_dialect(dialect);
+    let analysis = sqlweave_sema::analyze(sql, dialect, &caps, schema)
+        .map_err(|e| format!("rejected by `{}`: {e}", dialect.name()))?;
+    let mut report = sqlweave_lint::LintReport::new(format!("{}:script", dialect.name()));
+    report.extend(analysis.diagnostics);
+    Ok(report)
+}
+
 fn cmd_lint(args: &[String]) -> ExitCode {
     let Some(parsed) = parse_lint_args(args) else {
         return usage();
@@ -180,9 +281,57 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let filter = match &parsed.code_filter {
+        Some(list) => match parse_code_filter(list) {
+            Ok(codes) => Some(codes),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let emit = |reports: Vec<sqlweave_lint::LintReport>| {
+        let reports = match &filter {
+            Some(keep) => filter_reports(reports, keep),
+            None => reports,
+        };
+        emit_lint_reports(&reports, parsed.format_json)
+    };
+
+    if let Some(sql) = &parsed.sql {
+        let dialect = match &parsed.dialect {
+            Some(name) => match Dialect::ALL.iter().find(|d| d.name() == *name) {
+                Some(&d) => d,
+                None => {
+                    eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Dialect::Full,
+        };
+        let schema = match &parsed.schema_file {
+            Some(path) => match load_schema(path) {
+                Ok(cat) => Some(cat),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        return match lint_sql(dialect, sql, schema.as_ref()) {
+            Ok(report) => emit(vec![report]),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if parsed.all_dialects {
         return match sqlweave_lint::lint_all_dialects() {
-            Ok(reports) => emit_lint_reports(&reports, parsed.format_json),
+            Ok(reports) => emit(reports),
             Err(e) => {
                 eprintln!("composition failed: {e}");
                 ExitCode::FAILURE
@@ -224,7 +373,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             }
             None => sqlweave_lint::lint_grammar(gfile, &grammar),
         };
-        return emit_lint_reports(&[report], parsed.format_json);
+        return emit(vec![report]);
     }
 
     if let Some(name) = &parsed.dialect {
@@ -233,7 +382,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         };
         return match sqlweave_lint::lint_dialect(dialect) {
-            Ok(report) => emit_lint_reports(&[report], parsed.format_json),
+            Ok(report) => emit(vec![report]),
             Err(e) => {
                 eprintln!("composition failed: {e}");
                 ExitCode::FAILURE
@@ -259,7 +408,169 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    emit_lint_reports(&[sqlweave_lint::lint_composed(&composed)], parsed.format_json)
+    emit(vec![sqlweave_lint::lint_composed(&composed)])
+}
+
+/// Parsed `lineage` arguments.
+struct LineageArgs {
+    format_json: bool,
+    dialect: Option<String>,
+    schema_file: Option<String>,
+    check: Option<String>,
+    write: Option<String>,
+    sql: Option<String>,
+}
+
+fn parse_lineage_args(args: &[String]) -> Option<LineageArgs> {
+    let mut parsed = LineageArgs {
+        format_json: false,
+        dialect: None,
+        schema_file: None,
+        check: None,
+        write: None,
+        sql: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => parsed.format_json = true,
+                    Some("text") => parsed.format_json = false,
+                    _ => return None,
+                }
+                i += 2;
+            }
+            "--dialect" => {
+                parsed.dialect = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--schema" => {
+                parsed.schema_file = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--write" => {
+                parsed.write = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return None,
+            _ => {
+                if parsed.sql.is_some() {
+                    return None;
+                }
+                parsed.sql = Some(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Some(parsed)
+}
+
+/// Name resolution + lineage over a script (`sqlweave lineage`). With a
+/// SQL argument: analyze it under one dialect and print the
+/// `sqlweave-lineage/v1` document (or the text rendering). Without one:
+/// sweep the per-dialect fixture scripts into the golden inventory that
+/// `--write` refreshes and `--check` gates CI on — the same workflow as
+/// `analyze --check`.
+fn cmd_lineage(args: &[String]) -> ExitCode {
+    let Some(parsed) = parse_lineage_args(args) else {
+        return usage();
+    };
+    if let Some(sql) = &parsed.sql {
+        if parsed.check.is_some() || parsed.write.is_some() {
+            return usage();
+        }
+        let dialect = match &parsed.dialect {
+            Some(name) => match Dialect::ALL.iter().find(|d| d.name() == *name) {
+                Some(&d) => d,
+                None => {
+                    eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Dialect::Full,
+        };
+        let schema = match &parsed.schema_file {
+            Some(path) => match load_schema(path) {
+                Ok(cat) => Some(cat),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let caps = sqlweave_sema::ResolverCaps::for_dialect(dialect);
+        let analysis = match sqlweave_sema::analyze(sql, dialect, &caps, schema.as_ref()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("rejected by `{}`: {e}", dialect.name());
+                return ExitCode::FAILURE;
+            }
+        };
+        if parsed.format_json {
+            println!("{}", sqlweave_sema::lineage_json(dialect.name(), &analysis));
+        } else {
+            print!("{}", sqlweave_sema::lineage_text(dialect.name(), &analysis));
+            for d in &analysis.diagnostics {
+                println!("  {d}");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if parsed.check.is_none() && parsed.write.is_none() {
+        return usage();
+    }
+    if parsed.dialect.is_some() || parsed.schema_file.is_some() {
+        return usage();
+    }
+    // Inventory mode: every dialect's fixture script, resolved under that
+    // dialect's own capabilities, no external catalog (the fixtures carry
+    // their DDL).
+    let mut entries: Vec<(String, sqlweave_sema::Analysis)> = Vec::new();
+    for (dialect, script) in sqlweave_sema::fixtures::all() {
+        let caps = sqlweave_sema::ResolverCaps::for_dialect(dialect);
+        match sqlweave_sema::analyze(script, dialect, &caps, None) {
+            Ok(a) => entries.push((dialect.name().to_string(), a)),
+            Err(e) => {
+                eprintln!("{}: fixture rejected: {e}", dialect.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let doc = sqlweave_sema::inventory_json(&entries);
+    if let Some(path) = &parsed.write {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if parsed.format_json {
+        println!("{doc}");
+    }
+    if let Some(path) = &parsed.check {
+        let golden = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden.trim_end() != doc {
+            eprintln!(
+                "lineage inventory drifted from `{path}`; \
+                 rerun with `--write {path}` and review the diff"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("inventory matches {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parsed `analyze` arguments.
@@ -889,9 +1200,10 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v4` document (already validated by the
+/// emits the `sqlweave-bench-parser/v5` document (already validated by the
 /// runner); the default is a human-readable table with the backtrack-rate
-/// column plus one lex-stage block per dialect (the B6 scanner ablation).
+/// column plus one lex-stage block per dialect (the B6 scanner ablation)
+/// and one `sema` row per pair (the B8 parse + name-resolution pipeline).
 /// `--lookahead K` caps the runtime dispatch depth (the B5 ablation knob;
 /// `1` reproduces the seed backtracking engine). `--recover` adds the B7
 /// recovery rows (faulty-script throughput, diagnostic counts, clean-input
@@ -1004,6 +1316,18 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     format!("bc={}", r.byte_classes)
                 );
             }
+            // The B8 row: parse + name-resolution throughput and its cost
+            // relative to the bare `event_tree` parse.
+            println!(
+                "{:<10} {:<13} {:<11} {:>11.0} {:>13} {:>7.2}x {:>8}",
+                r.dialect,
+                r.engine,
+                "sema",
+                r.sema.statements_per_sec,
+                format!("{} edges", r.sema.column_edges),
+                r.sema.overhead_vs_parse,
+                "resolve"
+            );
             if recover {
                 // The B7 row: faulty-script throughput, total diagnostics
                 // over the error-density corpus, and the clean-input

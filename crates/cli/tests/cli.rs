@@ -254,10 +254,13 @@ fn lint_json_output_is_structured() {
     let o = run(&["lint", "--format", "json", "--dialect", "pico"]);
     assert!(o.status.success(), "{}", stderr(&o));
     let out = stdout(&o);
-    assert!(out.starts_with("{\"summary\":"), "{out}");
+    assert!(out.starts_with("{\"schema\":\"sqlweave-lint/v2\""), "{out}");
     assert!(out.contains("\"subject\":\"pico\""), "{out}");
     assert!(out.contains("\"code\":\"SW001\""), "{out}");
     assert!(out.contains("\"errors\":0"), "{out}");
+    // v2 carries a span member on every diagnostic (null for structural
+    // diagnostics, which have no source text to anchor to).
+    assert!(out.contains("\"span\":null"), "{out}");
 }
 
 #[test]
@@ -304,6 +307,56 @@ fn lint_codes_prints_catalog() {
 fn lint_without_target_prints_usage() {
     let o = run(&["lint"]);
     assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn lint_codes_filter_keeps_only_requested() {
+    // Pico's report carries SW001 plus notes; filtering to SW001 drops
+    // everything else but keeps the report wrapper.
+    let o = run(&["lint", "--codes", "SW001", "--format", "json", "--dialect", "pico"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("\"code\":\"SW001\""), "{out}");
+    assert!(!out.contains("\"severity\":\"note\""), "{out}");
+}
+
+#[test]
+fn lint_codes_unknown_code_is_rejected() {
+    let o = run(&["lint", "--codes", "SW999", "--dialect", "pico"]);
+    assert_eq!(o.status.code(), Some(2), "{}", stderr(&o));
+    let err = stderr(&o);
+    assert!(err.contains("unknown diagnostic code `SW999`"), "{err}");
+    // The diagnostic lists the valid catalog, semantic codes included.
+    assert!(err.contains("SW001") && err.contains("SW405"), "{err}");
+}
+
+#[test]
+fn lint_sql_fires_semantic_rules() {
+    // SW404 (unused CTE) is a warning: reported, but exit stays 0.
+    let o = run(&["lint", "--sql", "WITH w AS (SELECT a FROM t) SELECT b FROM t"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("warning[SW404]"), "{out}");
+    assert!(out.contains("cte `w`"), "{out}");
+}
+
+#[test]
+fn lint_sql_with_schema_reports_unknown_column() {
+    let o = run(&[
+        "lint",
+        "--format",
+        "json",
+        "--schema",
+        &fixture("schema.json"),
+        "--sql",
+        "SELECT nope FROM t",
+    ]);
+    // SW402 is an error, so the exit code flips.
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("\"code\":\"SW402\""), "{out}");
+    // Semantic diagnostics carry byte spans into the script.
+    assert!(out.contains("\"span\":{\"start\":7,\"end\":11}"), "{out}");
 }
 
 #[test]
@@ -418,4 +471,69 @@ fn analyze_rejects_bad_flags() {
         run(&["analyze", "--dialect", "pico", "--all-dialects"]).status.code(),
         Some(2)
     );
+}
+
+#[test]
+fn lineage_json_traces_insert_select() {
+    // The acceptance-criteria shape: CTE + correlated subquery +
+    // INSERT ... SELECT in one script, column lineage back to base tables.
+    let o = run(&[
+        "lineage",
+        "--dialect",
+        "full",
+        "--format",
+        "json",
+        "CREATE TABLE orders (id INT, region VARCHAR(10), total INT); \
+         WITH regional AS (SELECT region, SUM(total) AS total FROM orders GROUP BY region) \
+         SELECT r.region FROM regional AS r \
+         WHERE EXISTS (SELECT o.id FROM orders AS o WHERE o.region = r.region); \
+         INSERT INTO orders (id) SELECT id FROM orders",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.starts_with("{\"schema\":\"sqlweave-lineage/v1\""), "{out}");
+    assert!(out.contains("\"dialect\":\"full\""), "{out}");
+    // The CTE's aggregate column traces to the base table.
+    assert!(out.contains("\"to\":\"regional.total\""), "{out}");
+    assert!(out.contains("\"from\":[\"orders.total\"]"), "{out}");
+    // The INSERT target receives lineage edges too.
+    assert!(out.contains("\"kind\":\"insert\""), "{out}");
+    assert!(out.contains("\"to\":\"orders.id\""), "{out}");
+    // Every edge carries a span object.
+    assert!(out.contains("\"span\":{\"start\":"), "{out}");
+}
+
+#[test]
+fn lineage_text_mode_summarizes_statements() {
+    let o = run(&["lineage", "--dialect", "core", "SELECT a, b FROM t"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("lineage: dialect core"), "{out}");
+    assert!(out.contains("1 statement(s)"), "{out}");
+    assert!(out.contains("reads t"), "{out}");
+}
+
+#[test]
+fn lineage_matches_checked_in_inventory() {
+    let o = run(&["lineage", "--check", &golden("lineage_inventory.json")]);
+    assert!(o.status.success(), "{}\n{}", stdout(&o), stderr(&o));
+    assert!(stderr(&o).contains("inventory matches"), "{}", stderr(&o));
+}
+
+#[test]
+fn lineage_check_detects_drift() {
+    // Any well-formed JSON file that is not the lineage inventory drifts.
+    let o = run(&["lineage", "--check", &golden("lookahead_conflicts.json")]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    assert!(stderr(&o).contains("drifted"), "{}", stderr(&o));
+}
+
+#[test]
+fn lineage_rejects_bad_flags() {
+    // Inventory mode needs --check or --write; SQL mode forbids them.
+    assert_eq!(run(&["lineage"]).status.code(), Some(2));
+    assert_eq!(run(&["lineage", "--check", "x.json", "SELECT a FROM t"]).status.code(), Some(2));
+    // Per-dialect knobs only make sense with an explicit script.
+    assert_eq!(run(&["lineage", "--dialect", "core", "--check", "x.json"]).status.code(), Some(2));
+    assert_eq!(run(&["lineage", "--format", "yaml", "SELECT a FROM t"]).status.code(), Some(2));
 }

@@ -256,6 +256,15 @@ impl Dialect {
         config
     }
 
+    /// Whether this preset's completed configuration selects `feature`.
+    /// This is the anchor for feature→capability mappings outside the
+    /// grammar pipeline (e.g. the semantic resolver keys its subsystems
+    /// off the same names). Completes the configuration on each call —
+    /// hold a [`Dialect::configuration`] when querying many features.
+    pub fn has_feature(self, feature: &str) -> bool {
+        self.configuration().contains(feature)
+    }
+
     /// Compose this dialect's grammar and tokens.
     pub fn composed(self) -> Result<Composed, PipelineError> {
         catalog()
@@ -404,5 +413,19 @@ mod tests {
                 panic!("full rejected {stmt:?}: {e}");
             }
         }
+    }
+
+    /// The feature names semantic capabilities key off stay present (or
+    /// absent) exactly where each preset's grammar says they are.
+    #[test]
+    fn capability_features_track_presets() {
+        assert!(Dialect::Pico.has_feature("select_asterisk"));
+        assert!(!Dialect::Pico.has_feature("subquery"));
+        assert!(Dialect::Core.has_feature("derived_table"));
+        assert!(!Dialect::Core.has_feature("with_clause"));
+        assert!(Dialect::Warehouse.has_feature("with_clause"));
+        assert!(Dialect::Warehouse.has_feature("qualified_asterisk"));
+        assert!(Dialect::Full.has_feature("view_definition"));
+        assert!(!Dialect::Full.has_feature("no_such_feature"));
     }
 }

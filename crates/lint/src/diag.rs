@@ -46,6 +46,9 @@ pub enum Layer {
     FeatureModel,
     /// Consistency between the grammar and the token set.
     Cross,
+    /// Name resolution and lineage over parsed statements (the `sema`
+    /// crate's rules).
+    Semantic,
 }
 
 impl Layer {
@@ -56,6 +59,7 @@ impl Layer {
             Layer::Lexer => "lexer",
             Layer::FeatureModel => "feature-model",
             Layer::Cross => "cross-layer",
+            Layer::Semantic => "semantic",
         }
     }
 }
@@ -67,7 +71,8 @@ impl fmt::Display for Layer {
 }
 
 /// Stable diagnostic codes. The numeric ranges encode the layer: `SW0xx`
-/// grammar, `SW1xx` lexer, `SW2xx` feature model, `SW3xx` cross-layer.
+/// grammar, `SW1xx` lexer, `SW2xx` feature model, `SW3xx` cross-layer,
+/// `SW4xx` semantic (name resolution over parsed statements).
 /// Codes are append-only: new checks get new numbers, retired checks leave
 /// gaps, so scripts keying on codes never change meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -121,11 +126,25 @@ pub enum Code {
     /// SW302 — a production references a token absent from the composed
     /// token set.
     UnknownTokenReference,
+    /// SW401 — a table reference resolves to nothing: not a CTE, not an
+    /// alias, and absent from the supplied schema catalog.
+    UnknownTable,
+    /// SW402 — a column reference's qualifier or name resolves to no
+    /// visible relation/column in scope.
+    UnknownColumn,
+    /// SW403 — an unqualified column name is exported by more than one
+    /// relation in scope.
+    AmbiguousColumn,
+    /// SW404 — a WITH-clause element is never referenced by the statement
+    /// that declares it.
+    UnusedCte,
+    /// SW405 — two relations in the same FROM scope share an exposed name.
+    DuplicateAlias,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 25] = [
         Code::Ll1Conflict,
         Code::DirectLeftRecursion,
         Code::LeftRecursionCycle,
@@ -146,6 +165,11 @@ impl Code {
         Code::VoidModel,
         Code::UnreferencedToken,
         Code::UnknownTokenReference,
+        Code::UnknownTable,
+        Code::UnknownColumn,
+        Code::AmbiguousColumn,
+        Code::UnusedCte,
+        Code::DuplicateAlias,
     ];
 
     /// The stable identifier, e.g. `"SW001"`.
@@ -171,6 +195,11 @@ impl Code {
             Code::VoidModel => "SW205",
             Code::UnreferencedToken => "SW301",
             Code::UnknownTokenReference => "SW302",
+            Code::UnknownTable => "SW401",
+            Code::UnknownColumn => "SW402",
+            Code::AmbiguousColumn => "SW403",
+            Code::UnusedCte => "SW404",
+            Code::DuplicateAlias => "SW405",
         }
     }
 
@@ -206,6 +235,11 @@ impl Code {
             Code::VoidModel => Severity::Error,
             Code::UnreferencedToken => Severity::Warning,
             Code::UnknownTokenReference => Severity::Error,
+            Code::UnknownTable => Severity::Error,
+            Code::UnknownColumn => Severity::Error,
+            Code::AmbiguousColumn => Severity::Error,
+            Code::UnusedCte => Severity::Warning,
+            Code::DuplicateAlias => Severity::Error,
         }
     }
 
@@ -231,6 +265,11 @@ impl Code {
             | Code::RedundantConstraint
             | Code::VoidModel => Layer::FeatureModel,
             Code::UnreferencedToken | Code::UnknownTokenReference => Layer::Cross,
+            Code::UnknownTable
+            | Code::UnknownColumn
+            | Code::AmbiguousColumn
+            | Code::UnusedCte
+            | Code::DuplicateAlias => Layer::Semantic,
         }
     }
 
@@ -257,6 +296,11 @@ impl Code {
             Code::VoidModel => "void feature model",
             Code::UnreferencedToken => "token never referenced by the grammar",
             Code::UnknownTokenReference => "reference to a token absent from the set",
+            Code::UnknownTable => "unknown table reference",
+            Code::UnknownColumn => "unknown column reference",
+            Code::AmbiguousColumn => "ambiguous column reference",
+            Code::UnusedCte => "unused common table expression",
+            Code::DuplicateAlias => "duplicate relation alias in scope",
         }
     }
 }
@@ -282,16 +326,27 @@ pub struct Diagnostic {
     pub site: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Byte span `(start, end)` into the linted source, when the diagnostic
+    /// anchors to concrete text (semantic rules do; structural lints over
+    /// composed artifacts have no source and leave this `None`).
+    pub span: Option<(usize, usize)>,
 }
 
 impl Diagnostic {
-    /// Construct a diagnostic.
+    /// Construct a diagnostic with no source span.
     pub fn new(code: Code, site: impl Into<String>, message: impl Into<String>) -> Self {
         Diagnostic {
             code,
             site: site.into(),
             message: message.into(),
+            span: None,
         }
+    }
+
+    /// Attach a byte span into the linted source.
+    pub fn with_span(mut self, start: usize, end: usize) -> Self {
+        self.span = Some((start, end));
+        self
     }
 
     /// Severity, from the code.
@@ -408,6 +463,7 @@ mod tests {
                 1 => Layer::Lexer,
                 2 => Layer::FeatureModel,
                 3 => Layer::Cross,
+                4 => Layer::Semantic,
                 _ => panic!("unexpected code range {}", c.id()),
             };
             assert_eq!(c.layer(), expect, "{}", c.id());

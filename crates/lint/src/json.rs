@@ -34,10 +34,16 @@ fn string(s: &str) -> String {
     format!("\"{}\"", escape(s))
 }
 
-/// Serialize one diagnostic as a JSON object.
+/// Serialize one diagnostic as a JSON object. The `span` member is an
+/// object with byte offsets when the diagnostic anchors to source text,
+/// `null` for structural diagnostics over composed artifacts.
 pub fn diagnostic(d: &Diagnostic) -> String {
+    let span = match d.span {
+        Some((start, end)) => format!("{{\"start\":{start},\"end\":{end}}}"),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"code\":{},\"severity\":{},\"layer\":{},\"site\":{},\"message\":{}}}",
+        "{{\"code\":{},\"severity\":{},\"layer\":{},\"site\":{},\"message\":{},\"span\":{span}}}",
         string(d.code.id()),
         string(d.severity().as_str()),
         string(d.layer().as_str()),
@@ -59,6 +65,10 @@ pub fn report(r: &LintReport) -> String {
     )
 }
 
+/// Schema identifier carried by the combined lint document. `v2` added the
+/// per-diagnostic `span` member (byte offsets or `null`).
+pub const LINT_SCHEMA: &str = "sqlweave-lint/v2";
+
 /// Serialize several reports (the `--all-dialects` sweep) with a combined
 /// summary.
 pub fn reports(rs: &[LintReport]) -> String {
@@ -67,7 +77,7 @@ pub fn reports(rs: &[LintReport]) -> String {
     let warnings: usize = rs.iter().map(|r| r.count(Severity::Warning)).sum();
     let notes: usize = rs.iter().map(|r| r.count(Severity::Note)).sum();
     format!(
-        "{{\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}},\"reports\":[{}]}}",
+        "{{\"schema\":\"{LINT_SCHEMA}\",\"summary\":{{\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}},\"reports\":[{}]}}",
         items.join(",")
     )
 }

@@ -243,6 +243,12 @@ fn catalog_is_covered() {
         if untriggerable.contains(&c) {
             continue;
         }
+        // Semantic (SW4xx) rules need a parsed statement to fire; their
+        // fixtures live in `crates/sema/tests/rule_fixtures.rs`, pinned by
+        // the same bookkeeping test there.
+        if c.layer() == sqlweave_lint::Layer::Semantic {
+            continue;
+        }
         let fixture = format!("fn sw{}_", &c.id()[2..].trim_start_matches('0'));
         let padded = format!("fn sw{}_", &c.id()[2..]);
         assert!(
@@ -250,5 +256,5 @@ fn catalog_is_covered() {
             "code {c} lacks a fixture function"
         );
     }
-    assert_eq!(Code::ALL.len(), 20);
+    assert_eq!(Code::ALL.len(), 25);
 }

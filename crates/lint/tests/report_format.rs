@@ -11,9 +11,9 @@ fn sample_report() -> sqlweave_lint::LintReport {
     lint_pair("fixture", &g, &t)
 }
 
-/// Every diagnostic object carries exactly the five documented keys with
-/// string values, `code` parses back into the catalog, and `severity` /
-/// `layer` agree with the code's metadata.
+/// Every diagnostic object carries exactly the six documented keys,
+/// `code` parses back into the catalog, `severity` / `layer` agree with
+/// the code's metadata, and `span` is `null` or `{start, end}`.
 #[test]
 fn json_schema_is_stable() {
     let report = sample_report();
@@ -41,7 +41,7 @@ fn json_schema_is_stable() {
         let Value::Obj(m) = d else { panic!("diagnostic must be an object") };
         assert_eq!(
             m.keys().collect::<Vec<_>>(),
-            ["code", "layer", "message", "severity", "site"],
+            ["code", "layer", "message", "severity", "site", "span"],
             "diagnostic keys changed"
         );
         let code = Code::from_id(d.get("code").unwrap().as_str().unwrap())
@@ -53,7 +53,26 @@ fn json_schema_is_stable() {
         assert_eq!(d.get("layer").unwrap().as_str(), Some(code.layer().as_str()));
         assert!(!d.get("site").unwrap().as_str().unwrap().is_empty());
         assert!(!d.get("message").unwrap().as_str().unwrap().is_empty());
+        // Structural lints carry no source span.
+        assert_eq!(m["span"], Value::Null);
     }
+}
+
+/// A diagnostic with an attached byte span serializes it as an object with
+/// numeric `start`/`end`.
+#[test]
+fn json_span_object_round_trips() {
+    let d = sqlweave_lint::Diagnostic::new(
+        Code::UnknownColumn,
+        "column `x`",
+        "no visible relation exports `x`",
+    )
+    .with_span(7, 8);
+    let v = json::parse(&json::diagnostic(&d)).unwrap();
+    let span = v.get("span").unwrap();
+    assert_eq!(span.get("start").unwrap().as_num(), Some(7.0));
+    assert_eq!(span.get("end").unwrap().as_num(), Some(8.0));
+    assert_eq!(v.get("layer").unwrap().as_str(), Some("semantic"));
 }
 
 /// The summary counts in JSON match the report's own counters.
@@ -131,11 +150,16 @@ fn json_covers_lookahead_codes() {
     );
 }
 
-/// The multi-report wrapper used by `--all-dialects`.
+/// The multi-report wrapper used by `--all-dialects` carries the schema
+/// identifier.
 #[test]
 fn json_multi_report_schema() {
     let reports = vec![sample_report(), sample_report()];
     let v = json::parse(&json::reports(&reports)).unwrap();
+    assert_eq!(
+        v.get("schema").unwrap().as_str(),
+        Some(json::LINT_SCHEMA)
+    );
     assert_eq!(v.get("reports").unwrap().as_arr().unwrap().len(), 2);
     let errors = v.get("summary").unwrap().get("errors").unwrap().as_num();
     assert_eq!(errors, Some((reports[0].count(Severity::Error) * 2) as f64));

@@ -96,13 +96,30 @@ impl CstNode {
     }
 
     /// Byte span covered by this node, if it contains any tokens.
+    ///
+    /// Each endpoint descends one side of the tree independently; asking a
+    /// child for its full span here would recompute both endpoints at every
+    /// level, which is exponential on deep single-child expression spines.
     pub fn span(&self) -> Option<(usize, usize)> {
+        Some((self.first_token_start()?, self.last_token_end()?))
+    }
+
+    /// Start offset of the first token leaf, descending leftward only.
+    fn first_token_start(&self) -> Option<usize> {
         match self {
-            CstNode::Token { start, end, .. } => Some((*start, *end)),
+            CstNode::Token { start, .. } => Some(*start),
             CstNode::Rule { children, .. } => {
-                let first = children.iter().find_map(|c| c.span())?;
-                let last = children.iter().rev().find_map(|c| c.span())?;
-                Some((first.0, last.1))
+                children.iter().find_map(|c| c.first_token_start())
+            }
+        }
+    }
+
+    /// End offset of the last token leaf, descending rightward only.
+    fn last_token_end(&self) -> Option<usize> {
+        match self {
+            CstNode::Token { end, .. } => Some(*end),
+            CstNode::Rule { children, .. } => {
+                children.iter().rev().find_map(|c| c.last_token_end())
             }
         }
     }

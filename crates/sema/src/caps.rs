@@ -1,0 +1,141 @@
+//! Feature-keyed resolver capabilities.
+//!
+//! The grammar composition pipeline decides which productions a dialect's
+//! parser can emit; this module projects the same feature selection onto
+//! the *resolver*, so each composed dialect gets exactly the semantic
+//! machinery its syntax can exercise. A `pico` resolver carries no CTE
+//! table, no derived-table scoping, and no qualified-star expansion — the
+//! per-variant "smaller resolver" the feature model already implies.
+
+use sqlweave_dialects::Dialect;
+use sqlweave_feature_model::Configuration;
+
+/// Which resolver subsystems a composed dialect activates. Every flag is
+/// keyed to the feature name that guards the corresponding grammar
+/// production, so capabilities and syntax can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverCaps {
+    /// `with_clause`: WITH-clause scoping and the SW404 unused-CTE rule.
+    pub ctes: bool,
+    /// `recursive_with`: a recursive CTE sees itself while resolving.
+    pub recursive_ctes: bool,
+    /// `derived_table`: subqueries in FROM get their own scope.
+    pub derived_tables: bool,
+    /// `subquery`: expression-level subqueries resolve with the enclosing
+    /// scope as parent (correlated references).
+    pub subqueries: bool,
+    /// `correlation_name`: relations can be re-exposed under aliases.
+    pub aliases: bool,
+    /// `select_asterisk`: `SELECT *` expands against the FROM scope.
+    pub star: bool,
+    /// `qualified_asterisk`: `t.*` expands against one relation.
+    pub qualified_star: bool,
+    /// `table_definition`: `CREATE TABLE` registers script-level relations.
+    pub ddl_tables: bool,
+    /// `view_definition`: `CREATE VIEW` registers script-level relations.
+    pub views: bool,
+    /// `insert_statement` (and friends): DML statements produce write
+    /// lineage.
+    pub dml: bool,
+}
+
+impl ResolverCaps {
+    /// Derive capabilities from a completed feature configuration — the
+    /// same object that drives grammar composition.
+    pub fn from_configuration(config: &Configuration) -> Self {
+        ResolverCaps {
+            ctes: config.contains("with_clause"),
+            recursive_ctes: config.contains("recursive_with"),
+            derived_tables: config.contains("derived_table"),
+            subqueries: config.contains("subquery"),
+            aliases: config.contains("correlation_name"),
+            star: config.contains("select_asterisk"),
+            qualified_star: config.contains("qualified_asterisk"),
+            ddl_tables: config.contains("table_definition"),
+            views: config.contains("view_definition"),
+            dml: config.contains("insert_statement")
+                || config.contains("update_statement")
+                || config.contains("delete_statement"),
+        }
+    }
+
+    /// Capabilities for a preset dialect.
+    pub fn for_dialect(dialect: Dialect) -> Self {
+        ResolverCaps::from_configuration(&dialect.configuration())
+    }
+
+    /// Everything enabled — the `full` dialect's resolver, also the right
+    /// default when analyzing CSTs of unknown provenance (inactive
+    /// subsystems simply never see their node kinds).
+    pub fn full() -> Self {
+        ResolverCaps {
+            ctes: true,
+            recursive_ctes: true,
+            derived_tables: true,
+            subqueries: true,
+            aliases: true,
+            star: true,
+            qualified_star: true,
+            ddl_tables: true,
+            views: true,
+            dml: true,
+        }
+    }
+
+    /// Short human-readable summary of the active subsystems, for the
+    /// `lineage` text output.
+    pub fn summary(&self) -> String {
+        let flags: [(&str, bool); 10] = [
+            ("ctes", self.ctes),
+            ("recursive-ctes", self.recursive_ctes),
+            ("derived-tables", self.derived_tables),
+            ("subqueries", self.subqueries),
+            ("aliases", self.aliases),
+            ("star", self.star),
+            ("qualified-star", self.qualified_star),
+            ("ddl", self.ddl_tables),
+            ("views", self.views),
+            ("dml", self.dml),
+        ];
+        let on: Vec<&str> = flags.iter().filter(|(_, v)| *v).map(|(n, _)| *n).collect();
+        if on.is_empty() {
+            "none".to_string()
+        } else {
+            on.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pico_resolver_is_minimal() {
+        let caps = ResolverCaps::for_dialect(Dialect::Pico);
+        assert!(caps.star, "pico selects select_asterisk");
+        assert!(!caps.ctes && !caps.derived_tables && !caps.subqueries);
+        assert!(!caps.aliases && !caps.qualified_star);
+        assert!(!caps.ddl_tables && !caps.views && !caps.dml);
+    }
+
+    #[test]
+    fn caps_grow_monotonically_toward_full() {
+        let core = ResolverCaps::for_dialect(Dialect::Core);
+        assert!(core.subqueries && core.derived_tables && core.aliases);
+        assert!(core.ddl_tables && core.dml);
+        assert!(!core.ctes && !core.qualified_star && !core.views);
+
+        let wh = ResolverCaps::for_dialect(Dialect::Warehouse);
+        assert!(wh.ctes && wh.recursive_ctes && wh.qualified_star && wh.views);
+
+        assert_eq!(ResolverCaps::for_dialect(Dialect::Full), ResolverCaps::full());
+    }
+
+    #[test]
+    fn summary_lists_active_subsystems() {
+        let s = ResolverCaps::for_dialect(Dialect::Pico).summary();
+        assert_eq!(s, "star");
+        assert!(ResolverCaps::full().summary().contains("ctes"));
+    }
+}

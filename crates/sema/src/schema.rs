@@ -1,0 +1,136 @@
+//! Optional user-supplied schema metadata for name resolution.
+//!
+//! Without a catalog the resolver treats base tables as opaque (columns
+//! unknown) and stays quiet about names it cannot decide; with one it can
+//! expand `*`, verify every column reference, and flag unknown tables.
+
+use sqlweave_lint::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Identifier used by the schema JSON document this catalog parses.
+pub const SCHEMA_SCHEMA: &str = "sqlweave-schema/v1";
+
+/// Table → column-list metadata. Names are matched case-insensitively
+/// (stored lowercased), following the folding the SQL corpus uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaCatalog {
+    tables: BTreeMap<String, Vec<String>>,
+}
+
+impl SchemaCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        SchemaCatalog::default()
+    }
+
+    /// Builder-style table registration.
+    pub fn with_table(mut self, name: &str, columns: &[&str]) -> Self {
+        self.insert(name, columns.iter().map(|c| c.to_string()));
+        self
+    }
+
+    /// Register (or replace) a table.
+    pub fn insert(&mut self, name: &str, columns: impl IntoIterator<Item = String>) {
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            columns.into_iter().map(|c| c.to_ascii_lowercase()).collect(),
+        );
+    }
+
+    /// The table's columns, if registered.
+    pub fn table(&self, name: &str) -> Option<&[String]> {
+        self.tables.get(&name.to_ascii_lowercase()).map(Vec::as_slice)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Parse the `sqlweave-schema/v1` document:
+    ///
+    /// ```json
+    /// {"schema":"sqlweave-schema/v1",
+    ///  "tables":[{"name":"orders","columns":["id","region"]}]}
+    /// ```
+    ///
+    /// The `schema` member is optional on input (but emitted by tooling);
+    /// `tables` is required.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let v = json::parse(src).map_err(|e| e.to_string())?;
+        if let Some(s) = v.get("schema").and_then(Value::as_str) {
+            if s != SCHEMA_SCHEMA {
+                return Err(format!("unsupported schema document `{s}`, expected `{SCHEMA_SCHEMA}`"));
+            }
+        }
+        let tables = v
+            .get("tables")
+            .and_then(Value::as_arr)
+            .ok_or("schema document lacks a `tables` array")?;
+        let mut cat = SchemaCatalog::new();
+        for (i, t) in tables.iter().enumerate() {
+            let name = t
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("tables[{i}] lacks a string `name`"))?;
+            let cols = t
+                .get("columns")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("tables[{i}] lacks a `columns` array"))?;
+            let mut columns = Vec::with_capacity(cols.len());
+            for (j, c) in cols.iter().enumerate() {
+                columns.push(
+                    c.as_str()
+                        .ok_or_else(|| format!("tables[{i}].columns[{j}] is not a string"))?
+                        .to_string(),
+                );
+            }
+            cat.insert(name, columns);
+        }
+        Ok(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let cat = SchemaCatalog::new().with_table("Orders", &["Id", "Region"]);
+        assert_eq!(cat.table("orders"), Some(&["id".to_string(), "region".to_string()][..]));
+        assert_eq!(cat.table("ORDERS"), cat.table("orders"));
+        assert_eq!(cat.table("missing"), None);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cat = SchemaCatalog::from_json(
+            r#"{"schema":"sqlweave-schema/v1",
+                "tables":[{"name":"t","columns":["a","b"]},
+                          {"name":"u","columns":[]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table("t").unwrap().len(), 2);
+        assert!(cat.table("u").unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_errors_are_specific() {
+        assert!(SchemaCatalog::from_json("{").unwrap_err().contains("JSON parse error"));
+        assert!(SchemaCatalog::from_json("{}").unwrap_err().contains("tables"));
+        assert!(SchemaCatalog::from_json(r#"{"tables":[{"columns":[]}]}"#)
+            .unwrap_err()
+            .contains("name"));
+        assert!(SchemaCatalog::from_json(r#"{"schema":"other/v9","tables":[]}"#)
+            .unwrap_err()
+            .contains("unsupported"));
+    }
+}

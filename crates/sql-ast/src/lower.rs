@@ -1077,32 +1077,29 @@ fn lower_column_reference(node: &CstNode) -> QualifiedName {
         .unwrap_or_default()
 }
 
-fn lower_identifier_chain(node: &CstNode) -> QualifiedName {
+/// The `IDENT` token leaves of an identifier-bearing node (an
+/// `identifier_chain`, `table_name`, or `column_name_list`), each with its
+/// byte span into the original input. This is the span-carrying variant of
+/// the lowering below — semantic passes (name resolution, lineage) use it
+/// to anchor diagnostics and edges to concrete source text.
+pub fn identifier_parts(node: &CstNode) -> Vec<(String, (usize, usize))> {
     node.tokens()
         .iter()
         .filter(|t| t.name() == "IDENT")
-        .filter_map(|t| t.token_text())
-        .map(str::to_string)
+        .filter_map(|t| Some((t.token_text()?.to_string(), t.span()?)))
         .collect()
+}
+
+fn lower_identifier_chain(node: &CstNode) -> QualifiedName {
+    identifier_parts(node).into_iter().map(|(name, _)| name).collect()
 }
 
 fn lower_table_name(node: &CstNode) -> QualifiedName {
-    node.tokens()
-        .iter()
-        .filter(|t| t.name() == "IDENT")
-        .filter_map(|t| t.token_text())
-        .map(str::to_string)
-        .collect()
+    identifier_parts(node).into_iter().map(|(name, _)| name).collect()
 }
 
 fn lower_column_name_list(node: &CstNode) -> Result<Vec<String>, LowerError> {
-    Ok(node
-        .tokens()
-        .iter()
-        .filter(|t| t.name() == "IDENT")
-        .filter_map(|t| t.token_text())
-        .map(str::to_string)
-        .collect())
+    Ok(identifier_parts(node).into_iter().map(|(name, _)| name).collect())
 }
 
 // ---------------------------------------------------------------- data types
