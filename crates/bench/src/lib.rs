@@ -13,6 +13,7 @@
 //! composition takes tens of milliseconds and benches/tests request them
 //! repeatedly.
 
+pub mod corpus;
 pub mod runner;
 
 use rand::rngs::StdRng;

@@ -20,12 +20,21 @@
 //! the headline number of the lookahead ablation (Experiment B5).
 //!
 //! The backtracking row of each dialect also carries a **lex-stage
-//! section** (Experiment B6): tokens/sec and MB/sec of the three scanner
-//! substrates — `compiled` (byte-class dispatch tables, the production
-//! path), `interval` (the preserved per-character interval walker), and
-//! `naive` (per-rule NFA simulation) — plus the dialect's byte-class
-//! count. The scanner is engine-independent, so the LL(1) row leaves the
-//! section empty rather than duplicating it.
+//! section** (Experiments B6/B9): tokens/sec and MB/sec of the four
+//! scanner substrates — `vector` (chunked run-skipping classification +
+//! keyword perfect-hash, the production path), `compiled` (per-byte
+//! byte-class dispatch tables), `interval` (the preserved per-character
+//! interval walker), and `naive` (per-rule NFA simulation) — plus the
+//! dialect's byte-class count. The scanner is engine-independent, so the
+//! LL(1) row leaves the section empty rather than duplicating it.
+//!
+//! The curated corpus is a *coverage* workload (a few hundred bytes per
+//! dialect), so the document can additionally carry a top-level
+//! **`corpus_lex` section**: the same scanner ablation over a
+//! multi-mebibyte script manufactured by [`crate::corpus::generate_script_mb`]
+//! from the dialect's own grammar weights. This is the steady-state
+//! throughput number (`sqlweave bench --corpus-mb N`); the array is empty
+//! when the knob is not given.
 //!
 //! Each pair also carries a **recovery section** (Experiment B7): the
 //! resilient parser ([`sqlweave_parser_rt::ParseSession::parse_resilient`])
@@ -43,8 +52,9 @@
 //! on top of parsing alone — and the deterministic count of column-lineage
 //! edges the corpus produces.
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v5`; v4
-//! lacked the sema section, v3 the recovery section, v2 the lex stage,
+//! Output is a JSON document (schema `sqlweave-bench-parser/v6`; v5
+//! lacked the `vector` scanner row and the `corpus_lex` section, v4 the
+//! sema section, v3 the recovery section, v2 the lex stage,
 //! v1 the dynamic counters), built with the same hand-rolled emitter
 //! conventions as
 //! `sqlweave-lint` and round-tripped through
@@ -82,7 +92,7 @@ pub struct ApiMeasurement {
 /// Throughput of one scanner substrate on one dialect's corpus.
 #[derive(Debug, Clone)]
 pub struct LexMeasurement {
-    /// Scanner identifier: `compiled`, `interval`, or `naive`.
+    /// Scanner identifier: `vector`, `compiled`, `interval`, or `naive`.
     pub scanner: &'static str,
     /// Emitted + skipped lexing throughput in tokens per second
     /// (token-weighted over the whole corpus).
@@ -169,12 +179,12 @@ pub struct PairReport {
 /// scanner substrate. Returns `(corpus_bytes, measurements)` with
 /// `interval` first so its rate anchors the speedup column.
 ///
-/// The compiled and interval scanners lex into one recycled buffer (the
-/// allocation profile of the session/batch paths); the naive scanner has
-/// no buffered entry point and allocates per scan, which is part of what
-/// makes it the naive baseline. Naive NFA simulation is orders of
-/// magnitude slower, so it runs `iters / 8` passes (at least one) — rates
-/// are normalized per pass, so the column stays comparable.
+/// The vector, compiled, and interval scanners lex into one recycled
+/// buffer (the allocation profile of the session/batch paths); the naive
+/// scanner has no buffered entry point and allocates per scan, which is
+/// part of what makes it the naive baseline. Naive NFA simulation is
+/// orders of magnitude slower, so it runs `iters / 8` passes (at least
+/// one) — rates are normalized per pass, so the column stays comparable.
 pub fn bench_lex_stage(dialect: Dialect, iters: usize) -> (usize, Vec<LexMeasurement>) {
     let p = parser(dialect, EngineMode::Backtracking);
     let stmts = corpus(dialect);
@@ -202,6 +212,13 @@ pub fn bench_lex_stage(dialect: Dialect, iters: usize) -> (usize, Vec<LexMeasure
         }
     });
     let compiled_secs = time(lex_iters, || {
+        for s in &stmts {
+            buf.clear();
+            p.scanner().scan_compiled_into(s, &mut buf).expect("corpus statement lexes");
+            std::hint::black_box(buf.len());
+        }
+    });
+    let vector_secs = time(lex_iters, || {
         for s in &stmts {
             buf.clear();
             p.scanner().scan_into(s, &mut buf).expect("corpus statement lexes");
@@ -234,9 +251,91 @@ pub fn bench_lex_stage(dialect: Dialect, iters: usize) -> (usize, Vec<LexMeasure
     let measurements = vec![
         interval,
         rate("compiled", lex_iters, compiled_secs, Some(base)),
+        rate("vector", lex_iters, vector_secs, Some(base)),
         rate("naive", naive_iters, naive_secs, Some(base)),
     ];
     (bytes, measurements)
+}
+
+/// Lex-stage ablation of one dialect over a generated multi-mebibyte
+/// corpus — schema v6's top-level `corpus_lex` section.
+#[derive(Debug, Clone)]
+pub struct CorpusLexReport {
+    /// Dialect name (e.g. `full`).
+    pub dialect: &'static str,
+    /// Requested corpus size in MiB (`--corpus-mb`).
+    pub mebibytes: usize,
+    /// Actual generated script size in bytes (≥ `mebibytes * 2^20`).
+    pub bytes: usize,
+    /// Tokens the scanner emits over the script.
+    pub tokens: usize,
+    /// SIMD classification level the vector scanner selected at runtime
+    /// (`swar`, `ssse3`, or `neon`).
+    pub simd_level: &'static str,
+    /// Per-substrate throughput, `interval` first (the speedup anchor),
+    /// then `compiled` and `vector`. The naive NFA scanner is omitted: at
+    /// ~1/500 of interval speed it would turn a one-second sweep into a
+    /// ten-minute one without adding information B6 doesn't already carry.
+    pub scanners: Vec<LexMeasurement>,
+}
+
+/// Scan a [`crate::corpus::generate_script_mb`] script of `mebibytes` MiB
+/// with the vector, compiled, and interval substrates, best-of-`reps`
+/// passes each (best-of suppresses scheduler noise, which dominates
+/// multi-megabyte single-pass timings far more than warmup does).
+pub fn bench_lex_corpus(dialect: Dialect, mebibytes: usize, reps: usize) -> CorpusLexReport {
+    let p = parser(dialect, EngineMode::Backtracking);
+    let script = crate::corpus::generate_script_mb(dialect, mebibytes);
+    let bytes = script.len();
+    let mut buf: Vec<Token> = Vec::new();
+    p.scanner().scan_into(&script, &mut buf).expect("generated corpus lexes");
+    let tokens = buf.len();
+
+    let mut best = |f: &dyn Fn(&mut Vec<Token>)| {
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            buf.clear();
+            let start = Instant::now();
+            f(&mut buf);
+            secs = secs.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(buf.len());
+        }
+        secs
+    };
+    let interval_secs = best(&|out| {
+        p.scanner().scan_reference_into(&script, out).expect("generated corpus lexes")
+    });
+    let compiled_secs = best(&|out| {
+        p.scanner().scan_compiled_into(&script, out).expect("generated corpus lexes")
+    });
+    let vector_secs = best(&|out| {
+        p.scanner().scan_into(&script, out).expect("generated corpus lexes")
+    });
+
+    let rate = |scanner: &'static str, secs: f64, base_tps: Option<f64>| {
+        let secs = secs.max(1e-9);
+        let tps = tokens as f64 / secs;
+        LexMeasurement {
+            scanner,
+            tokens_per_sec: tps,
+            mbytes_per_sec: bytes as f64 / secs / 1e6,
+            speedup_vs_interval: base_tps.map_or(1.0, |b| tps / b.max(1e-9)),
+        }
+    };
+    let interval = rate("interval", interval_secs, None);
+    let base = interval.tokens_per_sec;
+    CorpusLexReport {
+        dialect: dialect.name(),
+        mebibytes,
+        bytes,
+        tokens,
+        simd_level: p.scanner().simd_level().name(),
+        scanners: vec![
+            interval,
+            rate("compiled", compiled_secs, Some(base)),
+            rate("vector", vector_secs, Some(base)),
+        ],
+    }
 }
 
 fn time<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -434,8 +533,35 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v5` JSON document.
+/// Serialize reports as the `sqlweave-bench-parser/v6` JSON document with
+/// an empty `corpus_lex` section.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
+    to_json_full(iters, reports, &[])
+}
+
+/// Serialize lexer measurements shared by the per-pair `lex` arrays and
+/// the top-level `corpus_lex` section.
+fn lex_json(l: &LexMeasurement) -> String {
+    // Four decimals on the ratio: the naive scanner runs at ~1/500 of
+    // the interval walker, which two decimals would round to a
+    // meaningless 0.00.
+    format!(
+        "{{\"scanner\":\"{}\",\"tokens_per_sec\":{},\"mbytes_per_sec\":{},\"speedup_vs_interval\":{:.4}}}",
+        json::escape(l.scanner),
+        fmt_f64(l.tokens_per_sec),
+        fmt_f64(l.mbytes_per_sec),
+        l.speedup_vs_interval
+    )
+}
+
+/// [`to_json`] with the generated-corpus lex sweep (`corpus_lex` is
+/// emitted as an empty array when `corpus` is empty — the shape is stable
+/// whether or not `--corpus-mb` was given).
+pub fn to_json_full(
+    iters: usize,
+    reports: &[PairReport],
+    corpus: &[CorpusLexReport],
+) -> String {
     let results: Vec<String> = reports
         .iter()
         .map(|r| {
@@ -452,22 +578,7 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
                     )
                 })
                 .collect();
-            let lex: Vec<String> = r
-                .lex
-                .iter()
-                .map(|l| {
-                    // Four decimals on the ratio: the naive scanner runs
-                    // at ~1/500 of the interval walker, which two decimals
-                    // would round to a meaningless 0.00.
-                    format!(
-                        "{{\"scanner\":\"{}\",\"tokens_per_sec\":{},\"mbytes_per_sec\":{},\"speedup_vs_interval\":{:.4}}}",
-                        json::escape(l.scanner),
-                        fmt_f64(l.tokens_per_sec),
-                        fmt_f64(l.mbytes_per_sec),
-                        l.speedup_vs_interval
-                    )
-                })
-                .collect();
+            let lex: Vec<String> = r.lex.iter().map(lex_json).collect();
             let recovery = format!(
                 "{{\"scripts\":{},\"errors\":{},\"scripts_per_sec\":{},\"clean_overhead\":{:.4}}}",
                 r.recovery.scripts,
@@ -503,10 +614,27 @@ pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
             )
         })
         .collect();
+    let corpus_lex: Vec<String> = corpus
+        .iter()
+        .map(|c| {
+            let scanners: Vec<String> = c.scanners.iter().map(lex_json).collect();
+            format!(
+                "{{\"dialect\":\"{}\",\"mebibytes\":{},\"bytes\":{},\"tokens\":{},\
+                 \"simd_level\":\"{}\",\"scanners\":[{}]}}",
+                json::escape(c.dialect),
+                c.mebibytes,
+                c.bytes,
+                c.tokens,
+                json::escape(c.simd_level),
+                scanners.join(",")
+            )
+        })
+        .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":{},\"results\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":{},\"results\":[{}],\"corpus_lex\":[{}]}}",
         iters,
-        results.join(",")
+        results.join(","),
+        corpus_lex.join(",")
     )
 }
 
@@ -526,6 +654,22 @@ pub fn run_with_lookahead(
     iters: usize,
     lookahead: Option<usize>,
 ) -> String {
+    run_full(dialects, iters, lookahead, 0)
+}
+
+/// Best-of passes per substrate in the generated-corpus sweep.
+const CORPUS_REPS: usize = 5;
+
+/// [`run_with_lookahead`] plus the generated-corpus lex sweep: when
+/// `corpus_mb > 0`, every requested dialect is additionally scanned over a
+/// `corpus_mb`-MiB generated script (`corpus_lex` section, best of
+/// [`CORPUS_REPS`] passes per substrate).
+pub fn run_full(
+    dialects: &[Dialect],
+    iters: usize,
+    lookahead: Option<usize>,
+    corpus_mb: usize,
+) -> String {
     let mut reports = Vec::new();
     for &d in dialects {
         for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
@@ -535,12 +679,17 @@ pub fn run_with_lookahead(
             });
         }
     }
-    let doc = to_json(iters, &reports);
+    let corpus: Vec<CorpusLexReport> = if corpus_mb > 0 {
+        dialects.iter().map(|&d| bench_lex_corpus(d, corpus_mb, CORPUS_REPS)).collect()
+    } else {
+        Vec::new()
+    };
+    let doc = to_json_full(iters, &reports, &corpus);
     validate(&doc).unwrap_or_else(|e| panic!("bench runner emitted invalid JSON: {e}"));
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v5`.
+/// Check a bench document against schema `sqlweave-bench-parser/v6`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -550,7 +699,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v5" {
+    if schema != "sqlweave-bench-parser/v6" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -610,7 +759,9 @@ pub fn validate(doc: &str) -> Result<(), String> {
             .and_then(Value::as_arr)
             .ok_or("result missing \"lex\"")?;
         if !lex.is_empty() {
-            for name in ["compiled", "interval"] {
+            // v6: the production `vector` scanner must be present
+            // alongside its compiled fallback and the interval anchor.
+            for name in ["vector", "compiled", "interval"] {
                 if lex.iter().all(|l| l.get("scanner").and_then(Value::as_str) != Some(name)) {
                     return Err(format!("lex section lacks the {name:?} scanner"));
                 }
@@ -651,7 +802,125 @@ pub fn validate(doc: &str) -> Result<(), String> {
             }
         }
     }
+    // v6: the top-level corpus_lex section is always present (empty when
+    // `--corpus-mb` was not given); non-empty entries carry the full
+    // vector/compiled/interval ablation.
+    let corpus_lex = v
+        .get("corpus_lex")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"corpus_lex\"")?;
+    for c in corpus_lex {
+        c.get("dialect").and_then(Value::as_str).ok_or("corpus_lex entry missing \"dialect\"")?;
+        c.get("simd_level").and_then(Value::as_str).ok_or("corpus_lex entry missing \"simd_level\"")?;
+        for key in ["mebibytes", "bytes", "tokens"] {
+            c.get(key).and_then(Value::as_num).ok_or(format!("corpus_lex entry missing {key:?}"))?;
+        }
+        let scanners = c
+            .get("scanners")
+            .and_then(Value::as_arr)
+            .ok_or("corpus_lex entry missing \"scanners\"")?;
+        for name in ["vector", "compiled", "interval"] {
+            if scanners.iter().all(|l| l.get("scanner").and_then(Value::as_str) != Some(name)) {
+                return Err(format!("corpus_lex entry lacks the {name:?} scanner"));
+            }
+        }
+        for l in scanners {
+            for key in ["tokens_per_sec", "mbytes_per_sec", "speedup_vs_interval"] {
+                let n = l
+                    .get(key)
+                    .and_then(Value::as_num)
+                    .ok_or(format!("corpus_lex scanner missing {key:?}"))?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!("corpus_lex scanner has non-finite {key:?}"));
+                }
+            }
+        }
+    }
     Ok(())
+}
+
+/// Gate a fresh bench document against a checked-in baseline: the CI
+/// regression tripwire behind `sqlweave bench --baseline FILE`.
+///
+/// For every dialect that appears in the `corpus_lex` section of **both**
+/// documents, the `compiled` and `vector` scanners' `mbytes_per_sec` must
+/// be at least `(1 - tolerance_pct/100)` of the baseline's, and the
+/// vector-over-compiled speedup ratio must hold to the same tolerance.
+/// The ratio check is the machine-portable signal (a vector path that
+/// silently falls back to the table walk flattens it to ~1× on any
+/// hardware); the absolute checks catch whole-scanner regressions when
+/// baseline and CI hardware are comparable — the generous default
+/// tolerance (25 %) exists to absorb runner-generation variance, not
+/// run-to-run noise (use best-of reps for that).
+///
+/// Returns the list of human-readable regressions (empty = pass), or an
+/// `Err` when either document is malformed or there is no overlapping
+/// dialect to compare — a gate that silently compares nothing is worse
+/// than no gate.
+pub fn compare_with_baseline(
+    current: &str,
+    baseline: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    fn corpus_rates(doc: &str, label: &str) -> Result<Vec<(String, f64, f64)>, String> {
+        let v: Value = json::parse(doc).map_err(|e| format!("{label}: {e}"))?;
+        let entries = v
+            .get("corpus_lex")
+            .and_then(Value::as_arr)
+            .ok_or(format!("{label}: missing \"corpus_lex\""))?;
+        let mut out = Vec::new();
+        for c in entries {
+            let dialect = c
+                .get("dialect")
+                .and_then(Value::as_str)
+                .ok_or(format!("{label}: corpus_lex entry missing \"dialect\""))?;
+            let rate = |name: &str| -> Result<f64, String> {
+                c.get("scanners")
+                    .and_then(Value::as_arr)
+                    .into_iter()
+                    .flatten()
+                    .find(|s| s.get("scanner").and_then(Value::as_str) == Some(name))
+                    .and_then(|s| s.get("mbytes_per_sec"))
+                    .and_then(Value::as_num)
+                    .filter(|n| n.is_finite() && *n > 0.0)
+                    .ok_or(format!("{label}: {dialect} lacks a positive {name:?} rate"))
+            };
+            out.push((dialect.to_string(), rate("compiled")?, rate("vector")?));
+        }
+        Ok(out)
+    }
+
+    let floor = 1.0 - tolerance_pct / 100.0;
+    let base = corpus_rates(baseline, "baseline")?;
+    let cur = corpus_rates(current, "current")?;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (dialect, base_compiled, base_vector) in &base {
+        let Some((_, cur_compiled, cur_vector)) = cur.iter().find(|(d, _, _)| d == dialect)
+        else {
+            continue;
+        };
+        compared += 1;
+        let mut check = |what: &str, current: f64, baseline: f64| {
+            if current < baseline * floor {
+                regressions.push(format!(
+                    "{dialect}: {what} regressed {:.1}% (baseline {baseline:.1}, current {current:.1}, tolerance {tolerance_pct:.0}%)",
+                    (1.0 - current / baseline) * 100.0,
+                ));
+            }
+        };
+        check("compiled scanner MiB/s", *cur_compiled, *base_compiled);
+        check("vector scanner MiB/s", *cur_vector, *base_vector);
+        check(
+            "vector/compiled speedup",
+            cur_vector / cur_compiled,
+            base_vector / base_compiled,
+        );
+    }
+    if compared == 0 {
+        return Err("no overlapping corpus_lex dialect between current and baseline".to_string());
+    }
+    Ok(regressions)
 }
 
 #[cfg(test)]
@@ -673,7 +942,9 @@ mod tests {
             assert_eq!(r.get("apis").unwrap().as_arr().unwrap().len(), 4);
             let lex = r.get("lex").unwrap().as_arr().unwrap();
             match r.get("engine").unwrap().as_str() {
-                Some("backtracking") => assert_eq!(lex.len(), 3, "interval/compiled/naive"),
+                Some("backtracking") => {
+                    assert_eq!(lex.len(), 4, "interval/compiled/vector/naive")
+                }
                 _ => assert!(lex.is_empty(), "lex section only on backtracking rows"),
             }
             let recovery = r.get("recovery").unwrap();
@@ -690,52 +961,162 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1/v2/v3/v4 documents (no dynamic counters / no lex stage / no
-        // recovery section / no sema section) are rejected by name.
+        // v1..v5 documents (no dynamic counters / no lex stage / no
+        // recovery section / no sema section / no vector row + corpus_lex
+        // section) are rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[]}").is_err());
+        // A v6 header with empty results is still rejected.
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A non-empty lex section must anchor on the interval walker.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // v3 rows (no recovery section) fail even under a v4 header.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A recovery section with a missing field fails too.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}]}"
+            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}],\"corpus_lex\":[]}"
         )
         .is_err());
     }
 
     #[test]
-    fn lex_stage_reports_all_three_scanners() {
+    fn validate_checks_corpus_lex_shape() {
+        // A shape-valid v6 document minus corpus_lex entirely is rejected…
+        let valid_results = "{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0},\"sema\":{\"statements_per_sec\":1,\"overhead_vs_parse\":1.0,\"column_edges\":0}}";
+        let wrap = |corpus: &str| {
+            format!(
+                "{{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{valid_results}]{corpus}}}"
+            )
+        };
+        assert!(validate(&wrap("")).is_err(), "corpus_lex key is mandatory");
+        assert!(validate(&wrap(",\"corpus_lex\":[]")).is_ok(), "empty section is fine");
+        // …and a non-empty entry must carry the vector scanner.
+        let no_vector = ",\"corpus_lex\":[{\"dialect\":\"pico\",\"mebibytes\":1,\"bytes\":1048576,\"tokens\":9,\"simd_level\":\"swar\",\"scanners\":[{\"scanner\":\"interval\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0},{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0}]}]";
+        assert!(validate(&wrap(no_vector)).is_err());
+        let full = ",\"corpus_lex\":[{\"dialect\":\"pico\",\"mebibytes\":1,\"bytes\":1048576,\"tokens\":9,\"simd_level\":\"swar\",\"scanners\":[{\"scanner\":\"interval\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0},{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0},{\"scanner\":\"vector\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0}]}]";
+        assert!(validate(&wrap(full)).is_ok());
+    }
+
+    #[test]
+    fn corpus_lex_sweep_reports_three_scanners() {
+        let c = bench_lex_corpus(Dialect::Pico, 1, 1);
+        assert_eq!(c.dialect, "pico");
+        assert!(c.bytes >= 1024 * 1024, "{c:?}");
+        assert!(c.tokens > 0);
+        let names: Vec<&str> = c.scanners.iter().map(|l| l.scanner).collect();
+        assert_eq!(names, ["interval", "compiled", "vector"]);
+        assert!((c.scanners[0].speedup_vs_interval - 1.0).abs() < 1e-9);
+        for l in &c.scanners {
+            assert!(l.mbytes_per_sec.is_finite() && l.mbytes_per_sec > 0.0, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn lex_stage_reports_all_four_scanners() {
         let (bytes, lex) = bench_lex_stage(Dialect::Pico, 1);
         assert!(bytes > 0);
         let names: Vec<&str> = lex.iter().map(|l| l.scanner).collect();
-        assert_eq!(names, ["interval", "compiled", "naive"]);
+        assert_eq!(names, ["interval", "compiled", "vector", "naive"]);
         assert!((lex[0].speedup_vs_interval - 1.0).abs() < 1e-9);
         for l in &lex {
             assert!(l.tokens_per_sec.is_finite() && l.tokens_per_sec > 0.0, "{l:?}");
             assert!(l.mbytes_per_sec.is_finite() && l.mbytes_per_sec > 0.0, "{l:?}");
             assert!(l.speedup_vs_interval.is_finite() && l.speedup_vs_interval > 0.0, "{l:?}");
         }
+    }
+
+    /// Minimal document for [`compare_with_baseline`] — it only reads the
+    /// `corpus_lex` section, so the rest of the schema can be absent.
+    fn corpus_doc(entries: &[(&str, f64, f64, f64)]) -> String {
+        let entries: Vec<String> = entries
+            .iter()
+            .map(|(d, interval, compiled, vector)| {
+                format!(
+                    "{{\"dialect\":\"{d}\",\"mebibytes\":4,\"bytes\":4194304,\"tokens\":9,\"simd_level\":\"swar\",\"scanners\":[{{\"scanner\":\"interval\",\"tokens_per_sec\":1,\"mbytes_per_sec\":{interval},\"speedup_vs_interval\":1.0}},{{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":{compiled},\"speedup_vs_interval\":1.0}},{{\"scanner\":\"vector\",\"tokens_per_sec\":1,\"mbytes_per_sec\":{vector},\"speedup_vs_interval\":1.0}}]}}"
+                )
+            })
+            .collect();
+        format!("{{\"corpus_lex\":[{}]}}", entries.join(","))
+    }
+
+    #[test]
+    fn baseline_compare_passes_within_tolerance() {
+        let base = corpus_doc(&[("full", 70.0, 150.0, 340.0)]);
+        // 20% slower across the board with a flat ratio: within 25%.
+        let cur = corpus_doc(&[("full", 56.0, 120.0, 272.0)]);
+        assert_eq!(compare_with_baseline(&cur, &base, 25.0).unwrap(), Vec::<String>::new());
+        // Identical documents trivially pass.
+        assert_eq!(compare_with_baseline(&base, &base, 25.0).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn baseline_compare_flags_compiled_regression() {
+        let base = corpus_doc(&[("full", 70.0, 150.0, 340.0)]);
+        let cur = corpus_doc(&[("full", 70.0, 100.0, 340.0)]); // compiled -33%
+        let regressions = compare_with_baseline(&cur, &base, 25.0).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("compiled scanner")),
+            "{regressions:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_compare_flags_flattened_speedup() {
+        // Vector path silently degraded to compiled speed: both absolute
+        // vector MiB/s and the machine-portable ratio check fire.
+        let base = corpus_doc(&[("full", 70.0, 150.0, 340.0)]);
+        let cur = corpus_doc(&[("full", 70.0, 150.0, 155.0)]);
+        let regressions = compare_with_baseline(&cur, &base, 25.0).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("vector/compiled speedup")),
+            "{regressions:?}"
+        );
+        assert!(regressions.iter().any(|r| r.contains("vector scanner")), "{regressions:?}");
+    }
+
+    #[test]
+    fn baseline_compare_requires_overlap_and_section() {
+        let base = corpus_doc(&[("full", 70.0, 150.0, 340.0)]);
+        let cur = corpus_doc(&[("pico", 85.0, 178.0, 590.0)]);
+        assert!(compare_with_baseline(&cur, &base, 25.0).is_err(), "no shared dialect");
+        assert!(compare_with_baseline("{}", &base, 25.0).is_err(), "missing corpus_lex");
+        assert!(compare_with_baseline("nonsense", &base, 25.0).is_err(), "malformed JSON");
+        // Extra baseline dialects are fine as long as one overlaps.
+        let multi =
+            corpus_doc(&[("pico", 85.0, 178.0, 590.0), ("full", 70.0, 150.0, 340.0)]);
+        assert!(compare_with_baseline(&base, &multi, 25.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checked_in_baseline_is_comparable() {
+        // The repo's own artifact must stay a usable baseline: comparing
+        // it against itself parses, overlaps, and reports no regression.
+        let doc = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_parser.json"
+        ))
+        .expect("checked-in BENCH_parser.json");
+        validate(&doc).expect("checked-in artifact validates against v6");
+        assert!(compare_with_baseline(&doc, &doc, 25.0).unwrap().is_empty());
     }
 
     #[test]

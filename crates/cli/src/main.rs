@@ -53,7 +53,9 @@ fn usage() -> ExitCode {
          sqlweave lineage [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave analyze [--dialect NAME | --all-dialects] [--lookahead K]\n  \
          sqlweave analyze ... [--format text|json] [--check FILE] [--write FILE]\n  \
-         sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K] [--out FILE]"
+         sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K]\n  \
+         sqlweave bench ... [--corpus-mb N] [--out FILE]\n  \
+         sqlweave bench ... [--baseline FILE] [--tolerance-pct N]"
     );
     ExitCode::from(2)
 }
@@ -1200,14 +1202,23 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v5` document (already validated by the
+/// emits the `sqlweave-bench-parser/v6` document (already validated by the
 /// runner); the default is a human-readable table with the backtrack-rate
-/// column plus one lex-stage block per dialect (the B6 scanner ablation)
-/// and one `sema` row per pair (the B8 parse + name-resolution pipeline).
-/// `--lookahead K` caps the runtime dispatch depth (the B5 ablation knob;
-/// `1` reproduces the seed backtracking engine). `--recover` adds the B7
-/// recovery rows (faulty-script throughput, diagnostic counts, clean-input
-/// overhead) to the text table; the JSON document always carries them.
+/// column plus one lex-stage block per dialect (the B6/B9 scanner
+/// ablation) and one `sema` row per pair (the B8 parse + name-resolution
+/// pipeline). `--lookahead K` caps the runtime dispatch depth (the B5
+/// ablation knob; `1` reproduces the seed backtracking engine).
+/// `--recover` adds the B7 recovery rows (faulty-script throughput,
+/// diagnostic counts, clean-input overhead) to the text table; the JSON
+/// document always carries them. `--corpus-mb N` additionally lexes an
+/// N-MiB script generated from each dialect's own grammar weights with
+/// the vector/compiled/interval substrates — the steady-state throughput
+/// sweep of Experiment B9 (`corpus_lex` in the JSON document).
+/// `--baseline FILE` (JSON mode, needs `--corpus-mb`) gates the fresh
+/// document against a checked-in one: the CI tripwire fails the run when
+/// the compiled or vector scanner loses more than `--tolerance-pct`
+/// (default 25) of the baseline's corpus throughput, or when the
+/// vector-over-compiled speedup flattens by the same margin.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut recover = false;
@@ -1215,6 +1226,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut dialects: Vec<Dialect> = Dialect::ALL.to_vec();
     let mut out: Option<String> = None;
     let mut lookahead: Option<usize> = None;
+    let mut corpus_mb = 0usize;
+    let mut baseline: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1240,6 +1254,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 iters = n;
                 i += 2;
             }
+            "--corpus-mb" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                corpus_mb = n;
+                i += 2;
+            }
             "--dialect" => {
                 let Some(name) = args.get(i + 1) else {
                     return usage();
@@ -1258,6 +1279,20 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 out = Some(path.clone());
                 i += 2;
             }
+            "--baseline" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                baseline = Some(path.clone());
+                i += 2;
+            }
+            "--tolerance-pct" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                tolerance_pct = n;
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -1265,8 +1300,12 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         eprintln!("--iters must be at least 1");
         return ExitCode::FAILURE;
     }
+    if baseline.is_some() && (!json || corpus_mb == 0) {
+        eprintln!("--baseline requires --json and --corpus-mb N (it compares corpus_lex rates)");
+        return ExitCode::FAILURE;
+    }
     if json {
-        let doc = sqlweave_bench::runner::run_with_lookahead(&dialects, iters, lookahead);
+        let doc = sqlweave_bench::runner::run_full(&dialects, iters, lookahead, corpus_mb);
         match &out {
             Some(path) => {
                 if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
@@ -1276,6 +1315,30 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 eprintln!("wrote {path}");
             }
             None => println!("{doc}"),
+        }
+        if let Some(path) = &baseline {
+            let base = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match sqlweave_bench::runner::compare_with_baseline(&doc, &base, tolerance_pct) {
+                Ok(regressions) if regressions.is_empty() => {
+                    eprintln!("baseline check passed (tolerance {tolerance_pct:.0}%)");
+                }
+                Ok(regressions) => {
+                    for r in &regressions {
+                        eprintln!("regression: {r}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("baseline check failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -1341,6 +1404,26 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     format!("{} errors", r.recovery.errors),
                     r.recovery.clean_overhead,
                     format!("n={}", r.recovery.scripts)
+                );
+            }
+        }
+    }
+    // The B9 steady-state rows: scanner throughput over a generated
+    // multi-MiB script, per dialect (no engine column — lexing is
+    // engine-independent).
+    if corpus_mb > 0 {
+        for &d in &dialects {
+            let c = sqlweave_bench::runner::bench_lex_corpus(d, corpus_mb, 5);
+            for l in &c.scanners {
+                println!(
+                    "{:<10} {:<13} {:<11} {:>11} {:>13.0} {:>7.2}x {:>8}",
+                    c.dialect,
+                    format!("corpus-{}mb", c.mebibytes),
+                    l.scanner,
+                    format!("{:.1} MB/s", l.mbytes_per_sec),
+                    l.tokens_per_sec,
+                    l.speedup_vs_interval,
+                    c.simd_level
                 );
             }
         }

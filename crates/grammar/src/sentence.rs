@@ -55,6 +55,13 @@ pub struct SentenceGenerator<'a> {
     /// Optional scanner used to validate sampled pattern lexemes (so a
     /// random identifier never collides with a keyword).
     validator: Option<Scanner>,
+    /// `[min, max]` repetition range for `*`/`+` inside sampled pattern
+    /// lexemes — controls how long generated identifiers, numbers, and
+    /// string literals get.
+    lexeme_reps: (usize, usize),
+    /// Probability of trying the deterministic minimal lexeme first (keeps
+    /// fuzz inputs small; zeroed for benchmark corpora).
+    minimal_bias: f64,
 }
 
 impl<'a> SentenceGenerator<'a> {
@@ -88,7 +95,21 @@ impl<'a> SentenceGenerator<'a> {
             tokens,
             min_depth,
             validator,
+            lexeme_reps: (0, 4),
+            minimal_bias: 0.3,
         })
+    }
+
+    /// Set the `*`/`+` repetition range used when sampling pattern lexemes.
+    /// The default `(0, 4)` yields short fuzz-style lexemes; benchmark
+    /// corpora use a wider range so identifiers and literals have the
+    /// lengths of real-world SQL. Also disables the minimal-lexeme bias —
+    /// a corpus asking for realistic lengths does not want one-char
+    /// identifiers 30% of the time.
+    pub fn with_lexeme_reps(mut self, min: usize, max: usize) -> Self {
+        self.lexeme_reps = (min, max.max(min));
+        self.minimal_bias = 0.0;
+        self
     }
 
     /// Generate one sentence from the start symbol.
@@ -101,6 +122,36 @@ impl<'a> SentenceGenerator<'a> {
         let mut lexemes: Vec<String> = Vec::new();
         self.gen_nt(nt, rng, max_depth, &mut lexemes);
         lexemes.join(" ")
+    }
+
+    /// Generate one sentence wrapped to roughly `width` columns, with
+    /// continuation lines indented four spaces. Line breaks are inserted
+    /// only *between* lexemes (never inside a string literal or other
+    /// multi-char lexeme), so the result tokenizes identically to the
+    /// single-line form whenever whitespace is a skip rule.
+    pub fn generate_wrapped(&self, rng: &mut impl Rng, max_depth: usize, width: usize) -> String {
+        let mut lexemes: Vec<String> = Vec::new();
+        self.gen_nt(self.grammar.start(), rng, max_depth, &mut lexemes);
+        let mut out = String::new();
+        let mut col = 0usize;
+        for lexeme in &lexemes {
+            if lexeme.is_empty() {
+                continue;
+            }
+            if col == 0 {
+                out.push_str(lexeme);
+                col = lexeme.len();
+            } else if col + 1 + lexeme.len() > width {
+                out.push_str("\n    ");
+                out.push_str(lexeme);
+                col = 4 + lexeme.len();
+            } else {
+                out.push(' ');
+                out.push_str(lexeme);
+                col += 1 + lexeme.len();
+            }
+        }
+        out
     }
 
     fn depth_of(&self, nt: &str) -> usize {
@@ -211,11 +262,12 @@ impl<'a> SentenceGenerator<'a> {
                 let re = sqlweave_lexgen::regex::parse(p).expect("validated at TokenSet::add");
                 // Sample until the lexeme scans back as this very token (a
                 // random identifier could otherwise spell a keyword).
+                let (lo, hi) = self.lexeme_reps;
                 for attempt in 0..8 {
-                    let s = if attempt == 0 && rng.gen_bool(0.3) {
+                    let s = if attempt == 0 && self.minimal_bias > 0.0 && rng.gen_bool(self.minimal_bias) {
                         sample_regex_minimal(&re)
                     } else {
-                        sample_regex(&re, rng)
+                        sample_regex_reps(&re, rng, lo, hi)
                     };
                     if s.is_empty() {
                         continue;
@@ -264,22 +316,31 @@ fn sample_class(class: &CharClass, rng: &mut impl Rng) -> char {
     char::from_u32(lo as u32 + rng.gen_range(0..span)).unwrap_or(lo)
 }
 
-/// Random string in the language of `re`.
+/// Random string in the language of `re` (fuzz-sized repetitions).
 pub fn sample_regex(re: &Regex, rng: &mut impl Rng) -> String {
+    sample_regex_reps(re, rng, 0, 4)
+}
+
+/// Random string in the language of `re` with `*`/`+` repetition counts
+/// drawn uniformly from `[min, max]` (`+` never below 1).
+pub fn sample_regex_reps(re: &Regex, rng: &mut impl Rng, min: usize, max: usize) -> String {
     match re {
         Regex::Empty => String::new(),
         Regex::Class(c) => sample_class(c, rng).to_string(),
-        Regex::Concat(items) => items.iter().map(|i| sample_regex(i, rng)).collect(),
-        Regex::Alt(alts) => sample_regex(&alts[rng.gen_range(0..alts.len())], rng),
-        Regex::Star(inner) => (0..geometric(rng, 0, 4))
-            .map(|_| sample_regex(inner, rng))
+        Regex::Concat(items) => items
+            .iter()
+            .map(|i| sample_regex_reps(i, rng, min, max))
             .collect(),
-        Regex::Plus(inner) => (0..geometric(rng, 1, 4))
-            .map(|_| sample_regex(inner, rng))
+        Regex::Alt(alts) => sample_regex_reps(&alts[rng.gen_range(0..alts.len())], rng, min, max),
+        Regex::Star(inner) => (0..rng.gen_range(min..max + 1))
+            .map(|_| sample_regex_reps(inner, rng, min, max))
+            .collect(),
+        Regex::Plus(inner) => (0..rng.gen_range(min.max(1)..max.max(1) + 1))
+            .map(|_| sample_regex_reps(inner, rng, min, max))
             .collect(),
         Regex::Opt(inner) => {
             if rng.gen_bool(0.5) {
-                sample_regex(inner, rng)
+                sample_regex_reps(inner, rng, min, max)
             } else {
                 String::new()
             }

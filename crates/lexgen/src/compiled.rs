@@ -169,10 +169,45 @@ impl CompiledDfa {
         self.table[state as usize * self.n_classes + class]
     }
 
+    /// [`CompiledDfa::step_ascii`] without bounds checks, for the
+    /// vectorized core's inner loop.
+    ///
+    /// # Safety
+    /// `state` must be a live state of this automaton (every non-[`DEAD`]
+    /// table entry is, and the scan loop never steps from [`DEAD`]);
+    /// `byte` must be < 0x80.
+    #[inline]
+    pub(crate) unsafe fn step_ascii_unchecked(&self, state: u32, byte: u8) -> u32 {
+        debug_assert!(byte < 0x80);
+        debug_assert!((state as usize) < self.accept.len());
+        let class = *self.class_of.get_unchecked(byte as usize) as usize;
+        *self.table.get_unchecked(state as usize * self.n_classes + class)
+    }
+
+    /// [`CompiledDfa::accept_meta`] without bounds checks.
+    ///
+    /// # Safety
+    /// `state` must be a live state of this automaton.
+    #[inline]
+    pub(crate) unsafe fn accept_meta_unchecked(&self, state: u32) -> u32 {
+        debug_assert!((state as usize) < self.accept.len());
+        *self.accept.get_unchecked(state as usize)
+    }
+
     /// Packed accept metadata of `state` ([`NO_ACCEPT`] when rejecting).
     #[inline]
     pub fn accept_meta(&self, state: u32) -> u32 {
         self.accept[state as usize]
+    }
+
+    /// Byte-equivalence class of `byte`. Two bytes share a class iff every
+    /// state moves them to the same successor, so class equality is a
+    /// machine-checkable proof that two bytes are interchangeable
+    /// everywhere — the property the vectorized path's keyword soundness
+    /// gate relies on for case-insensitivity.
+    #[inline]
+    pub fn byte_class(&self, byte: u8) -> u8 {
+        self.class_of[byte as usize]
     }
 
     /// Number of byte equivalence classes, reject class included — the

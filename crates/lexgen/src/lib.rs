@@ -8,9 +8,11 @@
 //! Pipeline: [`regex`] (pattern AST + parser) → [`nfa`] (Thompson
 //! construction) → [`dfa`] (subset construction over a partitioned
 //! alphabet) → [`minimize`] (partition refinement) → [`compiled`] (dense
-//! byte-class dispatch tables) → [`scanner`] (maximal-munch scanning over
-//! the compiled tables, with the interval walker preserved as a
-//! differential oracle). [`tokenset`] is the user-facing rule
+//! byte-class dispatch tables) → [`vector`] (chunked SWAR/SIMD
+//! run-skipping plus the generated keyword hash) → [`scanner`]
+//! (maximal-munch scanning over the vectorized tables, with the per-byte
+//! compiled walk and the interval walker preserved as differential
+//! oracles). [`tokenset`] is the user-facing rule
 //! collection, used by the grammar/composition layers for the paper's
 //! per-feature *token files*.
 //!
@@ -41,8 +43,10 @@ pub mod nfa;
 pub mod regex;
 pub mod scanner;
 pub mod tokenset;
+pub mod vector;
 
 pub use compiled::CompiledDfa;
 pub use line_index::LineIndex;
 pub use scanner::{LexError, Scanner, Token, TokenKind};
 pub use tokenset::{TokenRule, TokenSet};
+pub use vector::SimdLevel;

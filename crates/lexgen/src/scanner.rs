@@ -1,11 +1,15 @@
 //! Maximal-munch scanning with a compiled DFA.
 //!
-//! Two equivalent scanning substrates share one state numbering:
+//! Four equivalent scanning substrates share one token contract:
 //!
-//! * [`Scanner::scan`] / [`Scanner::scan_into`] — the hot path, driving the
-//!   dense byte-class tables of [`crate::compiled`]: one bounds-checked
-//!   table index per ASCII byte, with multi-byte UTF-8 scalars decoded and
-//!   stepped through the interval DFA so Unicode content stays exact.
+//! * [`Scanner::scan`] / [`Scanner::scan_into`] — the hot path: the
+//!   vectorized run-skipper of [`crate::vector`] (chunked SWAR/SIMD
+//!   classification of self-loop runs plus the generated keyword hash),
+//!   falling back to the compiled tables at run boundaries and to the
+//!   interval DFA for multi-byte UTF-8 scalars.
+//! * [`Scanner::scan_compiled`] — the per-byte compiled byte-class walk
+//!   (the previous hot path), preserved both as a differential oracle and
+//!   as the scalar leg of the vectorization ablation.
 //! * [`Scanner::scan_reference`] — the original per-character interval
 //!   walker (binary search per `char`), preserved as a differential oracle
 //!   alongside the even slower [`Scanner::scan_naive`].
@@ -13,6 +17,7 @@
 use crate::compiled::{self, BitSet, CompiledDfa};
 use crate::dfa::Dfa;
 use crate::line_index::LineIndex;
+use crate::vector::{SimdLevel, VectorTables};
 use std::fmt;
 
 /// Index of a token rule inside the [`crate::TokenSet`] that built the
@@ -92,6 +97,7 @@ pub fn line_col(input: &str, at: usize) -> (usize, usize) {
 pub struct Scanner {
     pub(crate) dfa: Dfa,
     pub(crate) compiled: CompiledDfa,
+    pub(crate) vector: VectorTables,
     pub(crate) names: Box<[Box<str>]>,
     pub(crate) skip: BitSet,
 }
@@ -143,6 +149,25 @@ impl Scanner {
         &self.dfa
     }
 
+    /// The chunked-classification level the vectorized path selected at
+    /// build time (runtime-detected; pinned to SWAR under `no-simd`).
+    pub fn simd_level(&self) -> SimdLevel {
+        self.vector.level
+    }
+
+    /// Which vectorized strategy the build-time soundness gate chose:
+    /// `"keyword-hash"` (keyword-free automaton + generated hash) or
+    /// `"run-only"` (run-skipping over the full compiled DFA).
+    pub fn vector_strategy(&self) -> &'static str {
+        self.vector.strategy()
+    }
+
+    /// Number of keywords in the generated perfect-hash (0 when the
+    /// soundness gate fell back to run-only mode).
+    pub fn keywords_hashed(&self) -> usize {
+        self.vector.keywords_hashed()
+    }
+
     /// Scan the whole input, dropping skip-rule matches.
     pub fn scan(&self, input: &str) -> Result<Vec<Token>, LexError> {
         let mut out = Vec::new();
@@ -154,10 +179,12 @@ impl Scanner {
     /// batch drivers can recycle the allocation across statements. The
     /// vector is *not* cleared first.
     ///
-    /// This is the hot path: maximal munch over the dense byte-class
-    /// tables, one table index per ASCII byte. Bytes ≥ 0x80 decode the full
-    /// UTF-8 scalar and step the interval DFA for that character (both
-    /// automata share state numbering), so multi-byte content — Unicode
+    /// This is the hot path: the vectorized run-skipper of
+    /// [`crate::vector`] — chunked SWAR/SIMD classification of DFA
+    /// self-loop runs, per-byte table stepping only at run boundaries, and
+    /// keyword recognition through the generated per-dialect hash. Bytes
+    /// ≥ 0x80 stop every run, decode the full UTF-8 scalar, and step the
+    /// interval DFA for that character, so multi-byte content — Unicode
     /// string literals, exotic whitespace — behaves exactly like the
     /// reference walker.
     pub fn scan_into(&self, input: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
@@ -173,6 +200,34 @@ impl Scanner {
                 })
             }
         }
+    }
+
+    /// [`Scanner::scan`] with the chunked classifier pinned to `level`
+    /// (for the vectorization ablation and the differential suites).
+    /// Returns `None` if `level` is not available on this machine.
+    pub fn scan_with_simd(
+        &self,
+        level: SimdLevel,
+        input: &str,
+    ) -> Option<Result<Vec<Token>, LexError>> {
+        if !level.available() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let res = match self.vector.scan_core(&self.dfa, &self.compiled, input, 0, &mut out, level)
+        {
+            Ok(()) => Ok(out),
+            Err(pos) => {
+                let (line, column) = line_col(input, pos);
+                Err(LexError {
+                    at: pos,
+                    line,
+                    column,
+                    found: input[pos..].chars().next(),
+                })
+            }
+        };
+        Some(res)
     }
 
     /// Scan the whole input, collecting *every* lexical error instead of
@@ -205,11 +260,51 @@ impl Scanner {
         errors
     }
 
-    /// The table-driven maximal-munch loop shared by the strict and
-    /// resilient entry points: scan from byte `start` to the end of input,
-    /// appending non-skip tokens, returning `Err(pos)` with the byte
-    /// offset of the first position where no rule matches.
+    /// The maximal-munch core shared by the strict and resilient entry
+    /// points: the vectorized run-skipping loop, scanning from byte
+    /// `start` to the end of input, appending non-skip tokens, returning
+    /// `Err(pos)` with the byte offset of the first position where no rule
+    /// matches.
     fn scan_core(&self, input: &str, start: usize, out: &mut Vec<Token>) -> Result<(), usize> {
+        self.vector
+            .scan_core(&self.dfa, &self.compiled, input, start, out, self.vector.level)
+    }
+
+    /// Scan with the per-byte compiled byte-class walk — the pre-vector
+    /// hot path, preserved as a differential oracle and as the scalar leg
+    /// of the vectorization ablation (Experiment B9). Produces identical
+    /// output to [`Scanner::scan`].
+    pub fn scan_compiled(&self, input: &str) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        self.scan_compiled_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Scanner::scan_compiled`] into a caller-owned vector (not cleared
+    /// first), so ablation benches compare equal-allocation paths.
+    pub fn scan_compiled_into(&self, input: &str, out: &mut Vec<Token>) -> Result<(), LexError> {
+        match self.scan_core_compiled(input, 0, out) {
+            Ok(()) => Ok(()),
+            Err(pos) => {
+                let (line, column) = line_col(input, pos);
+                Err(LexError {
+                    at: pos,
+                    line,
+                    column,
+                    found: input[pos..].chars().next(),
+                })
+            }
+        }
+    }
+
+    /// The per-byte table-driven maximal-munch loop (the PR-4 hot path):
+    /// one bounds-checked table index per ASCII byte.
+    fn scan_core_compiled(
+        &self,
+        input: &str,
+        start: usize,
+        out: &mut Vec<Token>,
+    ) -> Result<(), usize> {
         let bytes = input.as_bytes();
         let compiled = &self.compiled;
         let mut pos = start;

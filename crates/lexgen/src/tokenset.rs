@@ -12,6 +12,7 @@ use crate::minimize::minimize;
 use crate::nfa::Nfa;
 use crate::regex::{self, Regex, RegexError};
 use crate::scanner::Scanner;
+use crate::vector::VectorTables;
 use std::fmt;
 
 /// The definition of one token rule.
@@ -202,9 +203,11 @@ impl TokenSet {
         let dfa = minimize(&Dfa::from_nfa(&nfa));
         let skip: BitSet = ordered.iter().map(TokenRule::is_skip).collect();
         let compiled = CompiledDfa::compile(&dfa, &skip);
+        let vector = VectorTables::build(&ordered, &dfa, &compiled, &skip);
         Ok(Scanner {
             dfa,
             compiled,
+            vector,
             names: ordered
                 .iter()
                 .map(|r| r.name.clone().into_boxed_str())

@@ -23,7 +23,7 @@
 use crate::cst::CstNode;
 use crate::errors::ParseError;
 use crate::events::{Event, ERROR_NODE};
-use crate::session::ParseSession;
+use crate::session::{ParseSession, SessionBuffers};
 use sqlweave_grammar::analysis::{analyze, AnalysisError, GrammarAnalysis, EOF};
 use sqlweave_grammar::ir::{Grammar, Term};
 use sqlweave_grammar::lookahead::{analyze_lookahead, recovery_sync_set, Outcome, K_MAX};
@@ -32,6 +32,7 @@ use sqlweave_lexgen::tokenset::{TokenSet, TokenSetError};
 use sqlweave_lexgen::{LineIndex, Scanner, Token};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Which algorithm [`Parser::parse`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -291,6 +292,11 @@ pub struct Parser {
     cfollow: Vec<TokBits>,
     /// FOLLOW bitset per flat production (recovery stop set, LL(1) mode).
     ffollow: Vec<TokBits>,
+    /// Recycled [`SessionBuffers`] backing the [`Parser::parse`] and
+    /// [`Parser::parse_resilient`] conveniences, so repeated one-shot
+    /// calls reach the session path's zero-allocation steady state
+    /// instead of rebuilding every buffer per statement.
+    session_pool: Mutex<Vec<SessionBuffers>>,
 }
 
 impl fmt::Debug for Parser {
@@ -397,6 +403,7 @@ impl Parser {
             sync_bits,
             cfollow,
             ffollow,
+            session_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -489,14 +496,20 @@ impl Parser {
     /// Parse `input` to a CST, or produce the farthest-failure error.
     ///
     /// This is the seed API, kept as a thin conversion: the parse runs on
-    /// the event core (one throwaway [`ParseSession`]) and the resulting
-    /// [`crate::tree::SyntaxTree`] is materialized into owning [`CstNode`]s.
-    /// Allocation-sensitive callers should hold a [`Parser::session`] and
-    /// use [`ParseSession::parse_tree`] directly.
+    /// the event core (a [`ParseSession`] drawn from the parser's internal
+    /// buffer pool, so repeated calls allocate like a recycled session)
+    /// and the resulting [`crate::tree::SyntaxTree`] is materialized into
+    /// owning [`CstNode`]s. Callers that can hold the borrow should still
+    /// prefer [`Parser::session`] + [`ParseSession::parse_tree`] — it
+    /// skips the owning conversion entirely.
     pub fn parse(&self, input: &str) -> Result<CstNode, ParseError> {
-        let mut session = self.session();
-        let tree = session.parse_tree(input)?;
-        Ok(tree.to_cst())
+        let mut session = self.pooled_session();
+        let result = match session.parse_tree(input) {
+            Ok(tree) => Ok(tree.to_cst()),
+            Err(e) => Err(e),
+        };
+        self.recycle_session(session);
+        result
     }
 
     /// Parse `input` with panic-mode error recovery: instead of stopping
@@ -507,13 +520,45 @@ impl Parser {
     /// in source order (empty for well-formed input, where the tree is
     /// identical to [`Parser::parse`]).
     ///
-    /// Like [`Parser::parse`] this is a thin convenience over a throwaway
+    /// Like [`Parser::parse`] this is a thin convenience over a pooled
     /// session; batch callers should hold a [`Parser::session`] and use
     /// [`ParseSession::parse_resilient`] directly.
     pub fn parse_resilient(&self, input: &str) -> (CstNode, Vec<ParseError>) {
-        let mut session = self.session();
-        let outcome = session.parse_resilient(input);
-        (outcome.tree.to_cst(), outcome.errors)
+        let mut session = self.pooled_session();
+        let result = {
+            let outcome = session.parse_resilient(input);
+            (outcome.tree.to_cst(), outcome.errors)
+        };
+        self.recycle_session(session);
+        result
+    }
+
+    /// Take a session backed by pooled buffers (or fresh ones when the
+    /// pool is empty). Pair with [`Parser::recycle_session`].
+    fn pooled_session(&self) -> ParseSession<'_> {
+        let pooled = self
+            .session_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
+        match pooled {
+            Some(b) => ParseSession::from_buffers(self, b),
+            None => self.session(),
+        }
+    }
+
+    /// Return a pooled session's buffers. The pool is capped at the
+    /// number of threads that can plausibly call [`Parser::parse`]
+    /// concurrently on one shared parser; beyond that, dropping the
+    /// buffers is cheaper than growing an unbounded free list.
+    fn recycle_session(&self, session: ParseSession<'_>) {
+        let mut pool = self
+            .session_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pool.len() < 16 {
+            pool.push(session.into_buffers());
+        }
     }
 
     /// A reusable parse session holding the event buffer, token vector,
@@ -621,7 +666,12 @@ impl Parser {
     /// match only when the input really ends there.
     #[inline]
     fn try_dispatch(&self, ctx: &mut EvCtx<'_>, di: u32, pos: usize) -> Option<usize> {
-        let d = &self.decisions[di as usize];
+        // SAFETY: `di` is a compiled decision index — every caller guards
+        // `di != NO_DECISION`, and the compiler only stores indices it
+        // just pushed into `decisions`. Skipping the bounds check removes
+        // one indirection from every conflicted-decision consult.
+        debug_assert!((di as usize) < self.decisions.len());
+        let d = unsafe { self.decisions.get_unchecked(di as usize) };
         if d.k > self.lookahead_k {
             return None;
         }
@@ -871,9 +921,20 @@ impl Parser {
         mut pos: usize,
         open: bool,
     ) -> Result<usize, ()> {
-        let fprod = &self.fprods[prod as usize];
+        // SAFETY: `prod` comes from compiled `FTerm::Nt` indices (or
+        // `fstart`), all produced by the compiler as indices into
+        // `fprods`; `row` is built dense over `n_tokens` entries and every
+        // scanned kind id is an index into the scanner's rule list, which
+        // is exactly `n_tokens` long. Hoisting both bounds checks out of
+        // the dispatch (one per expansion, executed for every nonterminal
+        // of every statement) is the LL(1) driver's hottest win.
+        debug_assert!((prod as usize) < self.fprods.len());
+        let fprod = unsafe { self.fprods.get_unchecked(prod as usize) };
         let alt_index = match ctx.kind_ids.get(pos) {
-            Some(&k) => fprod.row[k as usize],
+            Some(&k) => {
+                debug_assert!((k as usize) < fprod.row.len());
+                unsafe { *fprod.row.get_unchecked(k as usize) }
+            }
             None => fprod.eof_alt,
         };
         if alt_index == NO_ALT {

@@ -92,6 +92,23 @@ fn splice_chunk(
     }
 }
 
+/// The parser-independent buffers of a [`ParseSession`], detached from the
+/// parser borrow so [`Parser::parse`]-style conveniences can recycle them
+/// through the parser's internal pool instead of reallocating every call.
+/// Only meaningful for the parser that produced them (the failure-memo and
+/// expectation bitsets are sized to its token universe), which the
+/// per-parser pool guarantees.
+pub(crate) struct SessionBuffers {
+    toks: Vec<Token>,
+    kind_ids: Vec<u32>,
+    events: Vec<Event>,
+    revents: Vec<Event>,
+    memo: FailureMemo,
+    notes: Notes,
+    counters: RunCounters,
+    tree: TreeBuffers,
+}
+
 impl<'p> ParseSession<'p> {
     /// Create an empty session (buffers grow on first use).
     pub fn new(parser: &'p Parser) -> ParseSession<'p> {
@@ -105,6 +122,35 @@ impl<'p> ParseSession<'p> {
             notes: Notes::new(parser.n_tokens),
             counters: RunCounters::default(),
             tree: TreeBuffers::default(),
+        }
+    }
+
+    /// Rehydrate a session from pooled buffers (capacity preserved).
+    pub(crate) fn from_buffers(parser: &'p Parser, b: SessionBuffers) -> ParseSession<'p> {
+        ParseSession {
+            parser,
+            toks: b.toks,
+            kind_ids: b.kind_ids,
+            events: b.events,
+            revents: b.revents,
+            memo: b.memo,
+            notes: b.notes,
+            counters: b.counters,
+            tree: b.tree,
+        }
+    }
+
+    /// Detach the buffers for pooling (capacity preserved).
+    pub(crate) fn into_buffers(self) -> SessionBuffers {
+        SessionBuffers {
+            toks: self.toks,
+            kind_ids: self.kind_ids,
+            events: self.events,
+            revents: self.revents,
+            memo: self.memo,
+            notes: self.notes,
+            counters: self.counters,
+            tree: self.tree,
         }
     }
 

@@ -1,8 +1,11 @@
-//! Lex-stage differential suite: the compiled byte-class scanner (the
-//! production `scan`/`scan_into` path), the preserved interval walker
-//! (`scan_reference`), and per-rule NFA simulation (`scan_naive`) must
-//! agree on every dialect and input shape — token kinds, byte spans, skip
-//! behavior, and `LexError` messages alike. This is the whole-pipeline
+//! Lex-stage differential suite: the vectorized run-skipping scanner (the
+//! production `scan`/`scan_into` path), the compiled byte-class walker
+//! (`scan_compiled`), the preserved interval walker (`scan_reference`),
+//! and per-rule NFA simulation (`scan_naive`) must agree on every dialect
+//! and input shape — token kinds, byte spans, skip behavior, and
+//! `LexError` messages alike. The vector path is additionally pinned
+//! against its own portable SWAR level so the SIMD and scalar chunk
+//! classifiers cannot drift apart. This is the whole-pipeline
 //! counterpart of the unit-level differentials inside `sqlweave-lexgen`:
 //! here the token sets are the real composed dialects, so the compiled
 //! tables face hundreds of DFA states and the full byte-class spread.
@@ -12,7 +15,8 @@ use sqlweave::dialects::Dialect;
 use sqlweave::parser_rt::engine::EngineMode;
 use sqlweave_bench::{composed, corpus, generated, parser};
 
-/// Assert all three scanners agree on one input, including error text.
+/// Assert all four scanners (and the pinned-SWAR vector path) agree on
+/// one input, including error text.
 fn assert_scanners_agree(
     d: Dialect,
     scanner: &sqlweave::lexgen::Scanner,
@@ -20,15 +24,26 @@ fn assert_scanners_agree(
     input: &str,
 ) {
     let fast = scanner.scan(input);
+    let compiled = scanner.scan_compiled(input);
+    assert_eq!(
+        fast,
+        compiled,
+        "vector vs compiled ({}) on {input:?}",
+        d.name()
+    );
     let interval = scanner.scan_reference(input);
     assert_eq!(
         fast,
         interval,
-        "compiled vs interval ({}) on {input:?}",
+        "vector vs interval ({}) on {input:?}",
         d.name()
     );
+    let swar = scanner
+        .scan_with_simd(sqlweave::lexgen::SimdLevel::Swar, input)
+        .expect("SWAR is always available");
+    assert_eq!(fast, swar, "detected level vs SWAR ({}) on {input:?}", d.name());
     let naive = scanner.scan_naive(input, nfas);
-    assert_eq!(fast, naive, "compiled vs naive ({}) on {input:?}", d.name());
+    assert_eq!(fast, naive, "vector vs naive ({}) on {input:?}", d.name());
     if let (Err(f), Err(i)) = (&fast, &interval) {
         assert_eq!(
             f.to_string(),
@@ -148,10 +163,16 @@ proptest! {
             composed(Dialect::Full).tokens.build_rule_nfas().expect("full rule NFAs")
         });
         let fast = scanner.scan(&input);
+        let compiled = scanner.scan_compiled(&input);
+        prop_assert_eq!(&fast, &compiled, "vector vs compiled on {:?}", &input);
         let interval = scanner.scan_reference(&input);
-        prop_assert_eq!(&fast, &interval, "compiled vs interval on {:?}", &input);
+        prop_assert_eq!(&fast, &interval, "vector vs interval on {:?}", &input);
+        let swar = scanner
+            .scan_with_simd(sqlweave::lexgen::SimdLevel::Swar, &input)
+            .expect("SWAR is always available");
+        prop_assert_eq!(&fast, &swar, "detected vs SWAR on {:?}", &input);
         let naive = scanner.scan_naive(&input, nfas);
-        prop_assert_eq!(&fast, &naive, "compiled vs naive on {:?}", &input);
+        prop_assert_eq!(&fast, &naive, "vector vs naive on {:?}", &input);
         if let (Err(f), Err(i)) = (&fast, &interval) {
             prop_assert_eq!(f.to_string(), i.to_string());
         }
