@@ -21,6 +21,7 @@
 //! sqlweave lint --sql 'SQL'            semantic lint (name resolution rules)
 //! sqlweave lineage --dialect NAME SQL  table/column lineage for a script
 //! sqlweave analyze [--all-dialects]    LL(k) conflict classification report
+//! sqlweave certify [--dialect-model N] family-based product-line certification
 //! sqlweave bench [--json]              corpus throughput per dialect × engine
 //! ```
 
@@ -34,9 +35,9 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         sqlweave features [DIAGRAM]\n  \
+         sqlweave features [DIAGRAM] [--format text|json]\n  \
          sqlweave census\n  \
-         sqlweave dialects\n  \
+         sqlweave dialects [--format text|json]\n  \
          sqlweave compose FEATURE...\n  \
          sqlweave parse [--recover] [--format text|json] --dialect NAME 'SQL'\n  \
          sqlweave check --dialect NAME 'SQL'\n  \
@@ -53,6 +54,8 @@ fn usage() -> ExitCode {
          sqlweave lineage [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave analyze [--dialect NAME | --all-dialects] [--lookahead K]\n  \
          sqlweave analyze ... [--format text|json] [--check FILE] [--write FILE]\n  \
+         sqlweave certify [--dialect-model NAME] [--limit N] [--sample pairwise]\n  \
+         sqlweave certify ... [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K]\n  \
          sqlweave bench ... [--corpus-mb N] [--out FILE]\n  \
          sqlweave bench ... [--baseline FILE] [--tolerance-pct N]"
@@ -66,9 +69,9 @@ fn main() -> ExitCode {
         return usage();
     };
     match cmd {
-        "features" => cmd_features(args.get(1).map(String::as_str)),
+        "features" => cmd_features(&args[1..]),
         "census" => cmd_census(),
-        "dialects" => cmd_dialects(),
+        "dialects" => cmd_dialects(&args[1..]),
         "compose" => cmd_compose(&args[1..]),
         "parse" => cmd_parse(&args[1..], true),
         "check" => cmd_parse(&args[1..], false),
@@ -78,6 +81,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&args[1..]),
         "lineage" => cmd_lineage(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "certify" => cmd_certify(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         _ => usage(),
     }
@@ -814,9 +818,242 @@ fn features_listing(
     Ok(out)
 }
 
-fn cmd_features(diagram: Option<&str>) -> ExitCode {
+/// Parsed `certify` arguments.
+struct CertifyArgs {
+    format_json: bool,
+    models: Vec<String>,
+    limit: usize,
+    force_sample: bool,
+    check: Option<String>,
+    write: Option<String>,
+}
+
+fn parse_certify_args(args: &[String]) -> Option<CertifyArgs> {
+    let mut parsed = CertifyArgs {
+        format_json: false,
+        models: Vec::new(),
+        limit: sqlweave_lint::certify::DEFAULT_LIMIT,
+        force_sample: false,
+        check: None,
+        write: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => parsed.format_json = true,
+                    Some("text") => parsed.format_json = false,
+                    _ => return None,
+                }
+                i += 2;
+            }
+            "--dialect-model" => {
+                parsed.models.push(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--limit" => {
+                parsed.limit = args.get(i + 1)?.parse().ok().filter(|n| *n > 0)?;
+                i += 2;
+            }
+            "--sample" => {
+                if args.get(i + 1).map(String::as_str) != Some("pairwise") {
+                    return None;
+                }
+                parsed.force_sample = true;
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            "--write" => {
+                parsed.write = Some(args.get(i + 1)?.clone());
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    Some(parsed)
+}
+
+fn cmd_certify(args: &[String]) -> ExitCode {
+    use sqlweave_lint::certify;
+
+    let Some(parsed) = parse_certify_args(args) else {
+        return usage();
+    };
+    let opts = certify::CertifyOptions {
+        limit: parsed.limit,
+        force_sample: parsed.force_sample,
+    };
+    let certs = if parsed.models.is_empty() {
+        certify::certify_default(&opts)
+    } else {
+        let mut certs = Vec::new();
+        for name in &parsed.models {
+            match certify::certify_catalog_model(name, &opts) {
+                Some(c) => certs.push(c),
+                None => {
+                    eprintln!(
+                        "unknown diagram `{name}`; run `sqlweave features` for the list"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        certs
+    };
+
+    let doc = certify::certification_json(&certs, parsed.limit);
+    if parsed.format_json {
+        println!("{doc}");
+    } else {
+        for c in &certs {
+            print!("{}", c.render_text());
+        }
+    }
+    if let Some(path) = &parsed.write {
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &parsed.check {
+        let golden = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden.trim_end() != doc {
+            eprintln!(
+                "certification inventory drifted from `{path}`; \
+                 rerun with `--write {path}` and review the diff"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("inventory matches {path}");
+        return ExitCode::SUCCESS;
+    }
+    // Outside golden-gating, error-severity findings fail the run — that is
+    // the certification verdict.
+    if parsed.write.is_none() && certs.iter().any(|c| c.has_errors()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Schema identifier for `sqlweave features --format json`.
+const FEATURES_SCHEMA: &str = "sqlweave-features/v1";
+/// Schema identifier for `sqlweave dialects --format json`.
+const DIALECTS_SCHEMA: &str = "sqlweave-dialects/v1";
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", sqlweave_lint::json::escape(s))
+}
+
+/// Parse a trailing `[NAME] [--format text|json]` argument list shared by
+/// `features` and `dialects`. Returns `(positional, json)`.
+fn parse_listing_args(args: &[String]) -> Option<(Option<String>, bool)> {
+    let mut positional = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    _ => return None,
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return None,
+            name => {
+                if positional.replace(name.to_string()).is_some() {
+                    return None;
+                }
+                i += 1;
+            }
+        }
+    }
+    Some((positional, json))
+}
+
+/// The diagram census as a `sqlweave-features/v1` document. Exact
+/// configuration counts are serialized as decimal strings (they are u128);
+/// uncountable spaces are null.
+fn features_json(cat: &sqlweave_sql_features::Catalog, names: &[&str]) -> String {
+    let diagrams: Vec<String> = names
+        .iter()
+        .map(|d| {
+            let model = cat.diagram(d).expect("diagram roots verified at build");
+            let c = census(&model);
+            let configurations = c
+                .configurations
+                .map(|n| json_str(&n.to_string()))
+                .unwrap_or_else(|| "null".into());
+            format!(
+                "{{\"name\":{},\"features\":{},\"depth\":{},\"constraints\":{},\"configurations\":{}}}",
+                json_str(&c.diagram),
+                c.features,
+                c.depth,
+                c.constraints,
+                configurations
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":{},\"diagrams\":[{}]}}",
+        json_str(FEATURES_SCHEMA),
+        diagrams.join(",")
+    )
+}
+
+/// One diagram's tree as a `sqlweave-features/v1` document.
+fn diagram_json(model: &sqlweave_feature_model::FeatureModel) -> String {
+    let features: Vec<String> = model
+        .iter()
+        .map(|(_, f)| {
+            let parent = f
+                .parent
+                .map(|p| json_str(&model.feature(p).name))
+                .unwrap_or_else(|| "null".into());
+            let optionality = if f.optionality.is_mandatory() {
+                "mandatory"
+            } else {
+                "optional"
+            };
+            format!(
+                "{{\"name\":{},\"parent\":{},\"optionality\":{},\"grouped\":{}}}",
+                json_str(&f.name),
+                parent,
+                json_str(optionality),
+                f.is_grouped()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":{},\"diagram\":{},\"features\":[{}]}}",
+        json_str(FEATURES_SCHEMA),
+        json_str(model.name()),
+        features.join(",")
+    )
+}
+
+fn cmd_features(args: &[String]) -> ExitCode {
+    let Some((diagram, json)) = parse_listing_args(args) else {
+        return usage();
+    };
     let cat = catalog();
-    match diagram {
+    match diagram.as_deref() {
+        None if json => {
+            println!("{}", features_json(cat, DIAGRAMS));
+            ExitCode::SUCCESS
+        }
         None => match features_listing(cat, DIAGRAMS) {
             Ok(listing) => {
                 print!("{listing}");
@@ -832,7 +1069,11 @@ fn cmd_features(diagram: Option<&str>) -> ExitCode {
         },
         Some(name) => match cat.diagram(name) {
             Some(model) => {
-                print!("{}", render::ascii(&model));
+                if json {
+                    println!("{}", diagram_json(&model));
+                } else {
+                    print!("{}", render::ascii(&model));
+                }
                 ExitCode::SUCCESS
             }
             None => {
@@ -865,7 +1106,48 @@ fn cmd_census() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_dialects() -> ExitCode {
+/// Preset dialect statistics as a `sqlweave-dialects/v1` document.
+fn dialects_json() -> Result<String, String> {
+    let mut rows = Vec::new();
+    for d in Dialect::ALL {
+        let p = d.parser().map_err(|e| format!("{}: {e}", d.name()))?;
+        let s = p.stats();
+        rows.push(format!(
+            "{{\"dialect\":{},\"features\":{},\"productions\":{},\"tokens\":{},\"dfa_states\":{},\"byte_classes\":{}}}",
+            json_str(d.name()),
+            d.configuration().len(),
+            s.productions,
+            s.token_rules,
+            s.dfa_states,
+            s.byte_classes
+        ));
+    }
+    Ok(format!(
+        "{{\"schema\":{},\"dialects\":[{}]}}",
+        json_str(DIALECTS_SCHEMA),
+        rows.join(",")
+    ))
+}
+
+fn cmd_dialects(args: &[String]) -> ExitCode {
+    let Some((positional, json)) = parse_listing_args(args) else {
+        return usage();
+    };
+    if positional.is_some() {
+        return usage();
+    }
+    if json {
+        return match dialects_json() {
+            Ok(doc) => {
+                println!("{doc}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     println!(
         "{:<10} {:>9} {:>12} {:>8} {:>11} {:>13}",
         "dialect", "features", "productions", "tokens", "DFA states", "byte classes"
@@ -1465,6 +1747,96 @@ fn cmd_generate(features: &[String]) -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn features_json_round_trips_with_schema_and_counts() {
+        let doc = features_json(catalog(), DIAGRAMS);
+        let v = sqlweave_lint::json::parse(&doc).expect("valid json");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(FEATURES_SCHEMA)
+        );
+        let diagrams = v.get("diagrams").and_then(|d| d.as_arr()).unwrap();
+        assert_eq!(diagrams.len(), DIAGRAMS.len());
+        let first = &diagrams[0];
+        assert_eq!(first.get("name").and_then(|s| s.as_str()), Some("sql_2003"));
+        // The full model's space is uncountable under the split cap: null,
+        // while countable diagrams carry the exact count as a string.
+        assert!(first.get("configurations").is_some());
+        let countable = diagrams.iter().find(|d| {
+            d.get("name").and_then(|s| s.as_str()) == Some("order_by")
+        });
+        assert_eq!(
+            countable
+                .and_then(|d| d.get("configurations"))
+                .and_then(|c| c.as_str()),
+            Some("4")
+        );
+    }
+
+    #[test]
+    fn diagram_json_lists_the_tree_with_parents() {
+        let model = catalog().diagram("order_by").unwrap();
+        let doc = diagram_json(&model);
+        let v = sqlweave_lint::json::parse(&doc).expect("valid json");
+        assert_eq!(
+            v.get("diagram").and_then(|s| s.as_str()),
+            Some("order_by")
+        );
+        let features = v.get("features").and_then(|f| f.as_arr()).unwrap();
+        assert_eq!(features.len(), model.len());
+        let root = &features[0];
+        assert!(root.get("parent").and_then(|p| p.as_str()).is_none());
+    }
+
+    #[test]
+    fn dialects_json_covers_every_preset() {
+        let doc = dialects_json().expect("presets build");
+        let v = sqlweave_lint::json::parse(&doc).expect("valid json");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(DIALECTS_SCHEMA)
+        );
+        let dialects = v.get("dialects").and_then(|d| d.as_arr()).unwrap();
+        assert_eq!(dialects.len(), Dialect::ALL.len());
+        for (row, d) in dialects.iter().zip(Dialect::ALL) {
+            assert_eq!(
+                row.get("dialect").and_then(|s| s.as_str()),
+                Some(d.name())
+            );
+            assert!(row.get("productions").and_then(|n| n.as_num()).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn listing_and_certify_args_parse_and_reject() {
+        let ok = |v: &[&str]| parse_listing_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        assert_eq!(ok(&[]), Some((None, false)));
+        assert_eq!(
+            ok(&["order_by", "--format", "json"]),
+            Some((Some("order_by".into()), true))
+        );
+        assert_eq!(ok(&["--format", "yaml"]), None);
+        assert_eq!(ok(&["a", "b"]), None);
+
+        let cargs = |v: &[&str]| parse_certify_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let parsed = cargs(&[
+            "--dialect-model",
+            "group_by",
+            "--limit",
+            "16",
+            "--sample",
+            "pairwise",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert_eq!(parsed.models, vec!["group_by"]);
+        assert_eq!(parsed.limit, 16);
+        assert!(parsed.force_sample && parsed.format_json);
+        assert!(cargs(&["--limit", "0"]).is_none());
+        assert!(cargs(&["--sample", "random"]).is_none());
+    }
 
     #[test]
     fn features_listing_covers_every_registered_diagram() {

@@ -129,6 +129,40 @@ pub fn count_configurations(model: &FeatureModel) -> u128 {
 /// `max_split` distinct features appear in constraints (2^n assignments
 /// would be required).
 pub fn try_count_configurations(model: &FeatureModel, max_split: usize) -> Option<u128> {
+    let base: Forced = vec![None; model.len()];
+    count_with_splitting(model, &base, max_split)
+}
+
+/// Exact counting with extra forced feature assignments (e.g. "feature `a`
+/// selected, feature `b` deselected"), splitting over constraint-involved
+/// features as [`try_count_configurations`] does.
+///
+/// `Some(0)` is a *proof* that no valid configuration satisfies the
+/// assignment; `Some(n > 0)` proves `n` do. Returns `None` when counting
+/// would need more than `max_split` splits.
+pub fn try_count_with_forced(
+    model: &FeatureModel,
+    assignments: &[(FeatureId, bool)],
+    max_split: usize,
+) -> Option<u128> {
+    let mut base: Forced = vec![None; model.len()];
+    for &(f, v) in assignments {
+        match base[f.index()] {
+            Some(old) if old != v => return Some(0),
+            _ => base[f.index()] = Some(v),
+        }
+    }
+    count_with_splitting(model, &base, max_split)
+}
+
+/// Shared core of the counting entry points: close the base assignment
+/// upward, then split over constraint-involved features.
+fn count_with_splitting(model: &FeatureModel, base: &Forced, max_split: usize) -> Option<u128> {
+    let mut base = base.clone();
+    if !propagate_selected_up(model, &mut base) {
+        return Some(0);
+    }
+
     let involved: BTreeSet<FeatureId> = model
         .constraints()
         .iter()
@@ -137,21 +171,29 @@ pub fn try_count_configurations(model: &FeatureModel, max_split: usize) -> Optio
             [a, b]
         })
         .collect();
+    let involved: Vec<FeatureId> = involved
+        .into_iter()
+        .filter(|f| base[f.index()].is_none())
+        .collect();
     if involved.len() > max_split.min(MAX_SPLIT_FEATURES) {
         return None;
     }
-    let involved: Vec<FeatureId> = involved.into_iter().collect();
 
     if involved.is_empty() {
-        let forced: Forced = vec![None; model.len()];
-        return Some(count_subtree(model, FeatureId::ROOT, &forced));
+        if !assignment_consistent(model, &base) {
+            return Some(0);
+        }
+        return Some(count_subtree(model, FeatureId::ROOT, &base));
     }
 
     let mut total: u128 = 0;
     for mask in 0u64..(1u64 << involved.len()) {
-        let mut forced: Forced = vec![None; model.len()];
+        let mut forced: Forced = base.clone();
         for (bit, &fid) in involved.iter().enumerate() {
             forced[fid.index()] = Some(mask & (1 << bit) != 0);
+        }
+        if !propagate_selected_up(model, &mut forced) {
+            continue;
         }
         if !assignment_consistent(model, &forced) {
             continue;
@@ -161,44 +203,85 @@ pub fn try_count_configurations(model: &FeatureModel, max_split: usize) -> Optio
     Some(total)
 }
 
-/// Enumerate valid configurations, stopping after `limit` results.
+/// Force the ancestors of every forced-true feature to true (a selected
+/// feature implies its whole ancestor chain). Returns `false` on
+/// contradiction (an ancestor already forced false).
 ///
-/// Works by expanding the tree's choice points (optional solitary features
-/// and group member subsets) recursively, then filtering by full validation
-/// (which applies cross-tree constraints). Exponential in model size;
-/// intended for tests and small diagrams.
-pub fn enumerate_configurations(model: &FeatureModel, limit: usize) -> Vec<Configuration> {
-    let mut out = Vec::new();
-    let mut selected = vec![false; model.len()];
-    selected[FeatureId::ROOT.index()] = true;
-    let mut completions: Vec<Vec<bool>> = Vec::new();
-    subtree_completions(model, FeatureId::ROOT, &mut selected, &mut completions);
-    for comp in completions {
-        if out.len() >= limit {
-            break;
+/// Without this closure the tree DP would count the "parent absent" branch
+/// of an optional ancestor as compatible with a forced-true descendant,
+/// double-counting those configurations across split assignments.
+fn propagate_selected_up(model: &FeatureModel, forced: &mut Forced) -> bool {
+    for (id, _) in model.iter() {
+        if forced[id.index()] != Some(true) {
+            continue;
         }
-        let config = Configuration::of(
-            model
-                .iter()
-                .filter(|(id, _)| comp[id.index()])
-                .map(|(_, feat)| feat.name.clone()),
-        );
-        if validate(model, &config).is_ok() {
-            out.push(config);
+        let mut cur = id;
+        while let Some(parent) = model.feature(cur).parent {
+            match forced[parent.index()] {
+                Some(false) => return false,
+                Some(true) => break,
+                None => forced[parent.index()] = Some(true),
+            }
+            cur = parent;
         }
     }
+    true
+}
+
+/// Enumerate valid configurations, stopping after `limit` results.
+///
+/// # Limit semantics
+///
+/// The tree's choice points (optional solitary features and group member
+/// subsets) are explored in a fixed depth-first order — children in
+/// declaration order, "taken" before "skipped", group subsets in ascending
+/// bitmask order — and every structurally complete selection is filtered by
+/// full validation (which applies cross-tree constraints). Exploration
+/// stops as soon as `limit` valid configurations have been found, so cost
+/// is proportional to the part of the space actually visited rather than
+/// its total size: a model with 2^200 configurations and `limit = 3`
+/// returns promptly.
+///
+/// # Guarantees
+///
+/// The result is deterministic, free of duplicates, and **sorted** by each
+/// configuration's canonical rendering. Whenever
+/// `count_configurations(model) <= limit` the result is exactly the whole
+/// configuration space (the enumeration's length equals the count), making
+/// this a complete family enumeration for small models.
+pub fn enumerate_configurations(model: &FeatureModel, limit: usize) -> Vec<Configuration> {
+    let mut out: Vec<Configuration> = Vec::new();
+    if limit > 0 {
+        let mut selected = vec![false; model.len()];
+        selected[FeatureId::ROOT.index()] = true;
+        let mut emit = |model: &FeatureModel, sel: &mut Vec<bool>| {
+            let config = Configuration::of(
+                model
+                    .iter()
+                    .filter(|(id, _)| sel[id.index()])
+                    .map(|(_, feat)| feat.name.clone()),
+            );
+            if validate(model, &config).is_ok() {
+                out.push(config);
+            }
+            out.len() < limit
+        };
+        expand_feature_children(model, FeatureId::ROOT, &mut selected, &mut emit);
+    }
+    out.sort_by_key(|c| c.to_string());
     out
 }
 
-/// Collect every tree-structurally-complete `selected` vector for the
-/// subtree of `f`, which must already be marked selected. Cross-tree
-/// constraints are *not* applied here; the caller filters.
-fn subtree_completions(
+/// Explore every completion of `f`'s children (`f` itself must already be
+/// marked selected), invoking `k` at each structurally complete point.
+/// `k` returns `false` to stop the whole exploration; the stop propagates
+/// through the return value.
+fn expand_feature_children(
     model: &FeatureModel,
     f: FeatureId,
     selected: &mut Vec<bool>,
-    out: &mut Vec<Vec<bool>>,
-) {
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>) -> bool,
+) -> bool {
     let feat = model.feature(f);
     let solitary: Vec<FeatureId> = feat
         .children
@@ -213,12 +296,12 @@ fn subtree_completions(
         .filter(|(_, g)| g.parent == f)
         .map(|(i, _)| i)
         .collect();
-    expand_children(model, &solitary, &groups, 0, 0, selected, out);
+    expand_children(model, &solitary, &groups, 0, 0, selected, k)
 }
 
 /// Expand choice points of one feature: first solitary children (index
 /// `si`), then groups (index `gi`). When both are exhausted, the current
-/// `selected` is one completion.
+/// `selected` is one completion and `k` is invoked on it.
 fn expand_children(
     model: &FeatureModel,
     solitary: &[FeatureId],
@@ -226,60 +309,63 @@ fn expand_children(
     si: usize,
     gi: usize,
     selected: &mut Vec<bool>,
-    out: &mut Vec<Vec<bool>>,
-) {
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>) -> bool,
+) -> bool {
     if si < solitary.len() {
         let child = solitary[si];
         let mandatory = model.feature(child).optionality.is_mandatory();
-        // Take the child: expand its own subtree, and for each completion,
-        // continue with remaining siblings.
-        with_child_taken(model, child, selected, &mut |model, selected| {
-            expand_children(model, solitary, groups, si + 1, gi, selected, out);
-        });
+        // Take the child: expand its own subtree, and at each of its
+        // completion points, continue with the remaining siblings.
+        {
+            let kk = &mut *k;
+            let mut cont = |model: &FeatureModel, selected: &mut Vec<bool>| {
+                expand_children(model, solitary, groups, si + 1, gi, selected, kk)
+            };
+            if !with_child_taken(model, child, selected, &mut cont) {
+                return false;
+            }
+        }
         // Skip the child if optional.
         if !mandatory {
-            expand_children(model, solitary, groups, si + 1, gi, selected, out);
+            return expand_children(model, solitary, groups, si + 1, gi, selected, k);
         }
-        return;
+        return true;
     }
     if gi < groups.len() {
         let g = &model.groups()[groups[gi]];
         let members = g.members.clone();
         let (min, max) = g.kind.bounds(members.len());
         for mask in 0u64..(1u64 << members.len()) {
-            let k = mask.count_ones();
-            if k < min || k > max {
+            let count = mask.count_ones();
+            if count < min || count > max {
                 continue;
             }
-            take_masked_members(model, &members, mask, 0, selected, &mut |model, selected| {
-                expand_children(model, solitary, groups, si, gi + 1, selected, out);
-            });
+            let kk = &mut *k;
+            let mut cont = |model: &FeatureModel, selected: &mut Vec<bool>| {
+                expand_children(model, solitary, groups, si, gi + 1, selected, kk)
+            };
+            if !take_masked_members(model, &members, mask, 0, selected, &mut cont) {
+                return false;
+            }
         }
-        return;
+        return true;
     }
-    out.push(selected.clone());
+    k(model, selected)
 }
 
-/// Mark `child` selected, enumerate its subtree completions, invoke `k` for
-/// each, then restore `selected` (clearing the whole subtree).
+/// Mark `child` selected, expand its subtree (invoking `k` at each
+/// completion point), then clear its mark again. Descendant marks are
+/// cleared by their own expansion frames on unwind.
 fn with_child_taken(
     model: &FeatureModel,
     child: FeatureId,
     selected: &mut Vec<bool>,
-    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>),
-) {
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>) -> bool,
+) -> bool {
     selected[child.index()] = true;
-    let mut subs = Vec::new();
-    subtree_completions(model, child, selected, &mut subs);
-    for comp in subs {
-        let saved = std::mem::replace(selected, comp);
-        k(model, selected);
-        *selected = saved;
-    }
+    let go = expand_feature_children(model, child, selected, k);
     selected[child.index()] = false;
-    for d in model.descendants(child) {
-        selected[d.index()] = false;
-    }
+    go
 }
 
 /// Take exactly the members of `members` whose bit is set in `mask`
@@ -290,18 +376,19 @@ fn take_masked_members(
     mask: u64,
     i: usize,
     selected: &mut Vec<bool>,
-    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>),
-) {
+    k: &mut dyn FnMut(&FeatureModel, &mut Vec<bool>) -> bool,
+) -> bool {
     if i == members.len() {
-        k(model, selected);
-        return;
+        return k(model, selected);
     }
     if mask & (1 << i) != 0 {
-        with_child_taken(model, members[i], selected, &mut |model, selected| {
-            take_masked_members(model, members, mask, i + 1, selected, k);
-        });
+        let kk = &mut *k;
+        let mut cont = |model: &FeatureModel, selected: &mut Vec<bool>| {
+            take_masked_members(model, members, mask, i + 1, selected, kk)
+        };
+        with_child_taken(model, members[i], selected, &mut cont)
     } else {
-        take_masked_members(model, members, mask, i + 1, selected, k);
+        take_masked_members(model, members, mask, i + 1, selected, k)
     }
 }
 
@@ -437,6 +524,79 @@ mod tests {
         // q: 1+2=3; sl: 3 (or of 2); w: 2 => 18
         assert_eq!(count_configurations(&m), 18);
         assert_eq!(enumerate_configurations(&m, 10_000).len(), 18);
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_deterministic() {
+        let m = table_expression();
+        let configs = enumerate_configurations(&m, 1000);
+        let mut rendered: Vec<String> = configs.iter().map(|c| c.to_string()).collect();
+        let mut sorted = rendered.clone();
+        sorted.sort();
+        assert_eq!(rendered, sorted, "enumeration must come back sorted");
+        rendered.dedup();
+        assert_eq!(rendered.len(), configs.len());
+        assert_eq!(configs, enumerate_configurations(&m, 1000));
+    }
+
+    /// 160 independent optionals: 2^160 configurations. The count saturates
+    /// instead of overflowing, and enumeration with a small limit must
+    /// early-terminate rather than materialize the space.
+    #[test]
+    fn count_saturates_and_enumeration_early_terminates_on_huge_models() {
+        let mut b = ModelBuilder::new("huge");
+        let r = b.root();
+        for i in 0..160 {
+            b.optional(r, &format!("f{i:03}"));
+        }
+        let m = b.build().unwrap();
+        assert_eq!(count_configurations(&m), u128::MAX, "count must saturate");
+        let configs = enumerate_configurations(&m, 3);
+        assert_eq!(configs.len(), 3);
+        for c in &configs {
+            assert!(m.validate(c).is_ok());
+        }
+    }
+
+    /// Regression: constraint features under an *optional* parent. The
+    /// split over constraint assignments must force the ancestor chain of
+    /// each forced-true feature, or the "parent absent" DP branch is
+    /// counted once per assignment (6 instead of 4 here).
+    #[test]
+    fn split_counting_forces_ancestors_of_constraint_features() {
+        let mut b = ModelBuilder::new("c");
+        let r = b.root();
+        let p = b.optional(r, "p");
+        b.optional(p, "a");
+        b.optional(p, "b");
+        b.requires("a", "b");
+        let m = b.build().unwrap();
+        // Valid: {}, {p}, {p,b}, {p,a,b}.
+        assert_eq!(count_configurations(&m), 4);
+        assert_eq!(enumerate_configurations(&m, 100).len(), 4);
+    }
+
+    #[test]
+    fn forced_counting_proves_pair_validity() {
+        let m = table_expression();
+        let id = |n: &str| m.id_of(n).unwrap();
+        // having without group_by is impossible...
+        assert_eq!(
+            try_count_with_forced(&m, &[(id("having"), true), (id("group_by"), false)], 24),
+            Some(0)
+        );
+        // ...but co-selecting them leaves where/window free: 4 configs.
+        assert_eq!(
+            try_count_with_forced(&m, &[(id("having"), true), (id("group_by"), true)], 24),
+            Some(4)
+        );
+        // Contradictory assignment is proven empty outright.
+        assert_eq!(
+            try_count_with_forced(&m, &[(id("where"), true), (id("where"), false)], 24),
+            Some(0)
+        );
+        // Unconstrained call agrees with the plain count.
+        assert_eq!(try_count_with_forced(&m, &[], 24), Some(12));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod count;
 pub mod error;
 pub mod model;
 pub mod render;
+pub mod solve;
 pub mod validate;
 
 pub use builder::ModelBuilder;

@@ -49,6 +49,10 @@ pub enum Layer {
     /// Name resolution and lineage over parsed statements (the `sema`
     /// crate's rules).
     Semantic,
+    /// Family-based certification over the whole configuration space
+    /// (`sqlweave certify`): defects that only manifest in specific
+    /// feature combinations, plus coverage accounting.
+    ProductLine,
 }
 
 impl Layer {
@@ -60,6 +64,7 @@ impl Layer {
             Layer::FeatureModel => "feature-model",
             Layer::Cross => "cross-layer",
             Layer::Semantic => "semantic",
+            Layer::ProductLine => "product-line",
         }
     }
 }
@@ -72,7 +77,9 @@ impl fmt::Display for Layer {
 
 /// Stable diagnostic codes. The numeric ranges encode the layer: `SW0xx`
 /// grammar, `SW1xx` lexer, `SW2xx` feature model, `SW3xx` cross-layer,
-/// `SW4xx` semantic (name resolution over parsed statements).
+/// `SW4xx` semantic (name resolution over parsed statements), `SW5xx`
+/// product-line certification (family-based analysis over the whole
+/// configuration space).
 /// Codes are append-only: new checks get new numbers, retired checks leave
 /// gaps, so scripts keying on codes never change meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -140,11 +147,33 @@ pub enum Code {
     UnusedCte,
     /// SW405 — two relations in the same FROM scope share an exposed name.
     DuplicateAlias,
+    /// SW501 — a valid configuration fails to compose (or the certify
+    /// pass could not even build it); the family promise that *any* valid
+    /// selection yields a parser is broken.
+    FamilyCompositionFailure,
+    /// SW502 — a token-level defect (shadowing, skip-rule collision, bad
+    /// pattern) that only manifests under a specific feature interaction,
+    /// absent from every preset baseline.
+    InteractionTokenCollision,
+    /// SW503 — an LL(1) prediction conflict (or residual lookahead
+    /// ambiguity) introduced by a feature interaction beyond the presets.
+    InteractionLl1Conflict,
+    /// SW504 — a nonterminal or token that becomes dead (unreachable /
+    /// unreferenced) only under a specific configuration.
+    ConfigDependentDeadSurface,
+    /// SW505 — the certification pass sampled the configuration space and
+    /// could not exercise every required pairwise feature combination;
+    /// the message reports the honest shortfall.
+    SampledCoverageShortfall,
+    /// SW506 — a grammar-level defect (left recursion, undefined or
+    /// unproductive nonterminal, unknown token reference) introduced by a
+    /// feature interaction beyond the presets.
+    InteractionGrammarDefect,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 25] = [
+    pub const ALL: [Code; 31] = [
         Code::Ll1Conflict,
         Code::DirectLeftRecursion,
         Code::LeftRecursionCycle,
@@ -170,6 +199,12 @@ impl Code {
         Code::AmbiguousColumn,
         Code::UnusedCte,
         Code::DuplicateAlias,
+        Code::FamilyCompositionFailure,
+        Code::InteractionTokenCollision,
+        Code::InteractionLl1Conflict,
+        Code::ConfigDependentDeadSurface,
+        Code::SampledCoverageShortfall,
+        Code::InteractionGrammarDefect,
     ];
 
     /// The stable identifier, e.g. `"SW001"`.
@@ -200,6 +235,12 @@ impl Code {
             Code::AmbiguousColumn => "SW403",
             Code::UnusedCte => "SW404",
             Code::DuplicateAlias => "SW405",
+            Code::FamilyCompositionFailure => "SW501",
+            Code::InteractionTokenCollision => "SW502",
+            Code::InteractionLl1Conflict => "SW503",
+            Code::ConfigDependentDeadSurface => "SW504",
+            Code::SampledCoverageShortfall => "SW505",
+            Code::InteractionGrammarDefect => "SW506",
         }
     }
 
@@ -240,6 +281,12 @@ impl Code {
             Code::AmbiguousColumn => Severity::Error,
             Code::UnusedCte => Severity::Warning,
             Code::DuplicateAlias => Severity::Error,
+            Code::FamilyCompositionFailure => Severity::Error,
+            Code::InteractionTokenCollision => Severity::Error,
+            Code::InteractionLl1Conflict => Severity::Warning,
+            Code::ConfigDependentDeadSurface => Severity::Warning,
+            Code::SampledCoverageShortfall => Severity::Warning,
+            Code::InteractionGrammarDefect => Severity::Error,
         }
     }
 
@@ -270,6 +317,12 @@ impl Code {
             | Code::AmbiguousColumn
             | Code::UnusedCte
             | Code::DuplicateAlias => Layer::Semantic,
+            Code::FamilyCompositionFailure
+            | Code::InteractionTokenCollision
+            | Code::InteractionLl1Conflict
+            | Code::ConfigDependentDeadSurface
+            | Code::SampledCoverageShortfall
+            | Code::InteractionGrammarDefect => Layer::ProductLine,
         }
     }
 
@@ -301,6 +354,12 @@ impl Code {
             Code::AmbiguousColumn => "ambiguous column reference",
             Code::UnusedCte => "unused common table expression",
             Code::DuplicateAlias => "duplicate relation alias in scope",
+            Code::FamilyCompositionFailure => "valid configuration fails to compose",
+            Code::InteractionTokenCollision => "interaction-induced token collision",
+            Code::InteractionLl1Conflict => "interaction-induced LL(1) conflict",
+            Code::ConfigDependentDeadSurface => "config-dependent dead grammar surface",
+            Code::SampledCoverageShortfall => "sampled certification coverage shortfall",
+            Code::InteractionGrammarDefect => "interaction-induced grammar defect",
         }
     }
 }
@@ -464,6 +523,7 @@ mod tests {
                 2 => Layer::FeatureModel,
                 3 => Layer::Cross,
                 4 => Layer::Semantic,
+                5 => Layer::ProductLine,
                 _ => panic!("unexpected code range {}", c.id()),
             };
             assert_eq!(c.layer(), expect, "{}", c.id());

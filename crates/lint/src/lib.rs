@@ -27,6 +27,7 @@
 //! assert_eq!(report.count(Severity::Error), 0, "{report}");
 //! ```
 
+pub mod certify;
 pub mod checks;
 pub mod diag;
 pub mod json;

@@ -249,6 +249,12 @@ fn catalog_is_covered() {
         if c.layer() == sqlweave_lint::Layer::Semantic {
             continue;
         }
+        // Product-line (SW5xx) rules fire from the family certification
+        // pass over many configurations; their fixtures live in
+        // `crates/lint/src/certify.rs` and `tests/certify.rs`.
+        if c.layer() == sqlweave_lint::Layer::ProductLine {
+            continue;
+        }
         let fixture = format!("fn sw{}_", &c.id()[2..].trim_start_matches('0'));
         let padded = format!("fn sw{}_", &c.id()[2..]);
         assert!(
@@ -256,5 +262,5 @@ fn catalog_is_covered() {
             "code {c} lacks a fixture function"
         );
     }
-    assert_eq!(Code::ALL.len(), 25);
+    assert_eq!(Code::ALL.len(), 31);
 }

@@ -34,6 +34,7 @@ pub use sqlweave_dialects as dialects;
 pub use sqlweave_feature_model as feature_model;
 pub use sqlweave_grammar as grammar;
 pub use sqlweave_lexgen as lexgen;
+pub use sqlweave_lint as lint;
 pub use sqlweave_parser_rt as parser_rt;
 pub use sqlweave_sema as sema;
 pub use sqlweave_sql_ast as sql_ast;

@@ -1,0 +1,166 @@
+//! Family-based certification, end to end: the seeded interaction defect
+//! that per-dialect linting *provably* cannot see, plus cross-checks between
+//! exact counting, enumeration, and the certify pass on the real catalog.
+
+use sqlweave::compose::pipeline::Pipeline;
+use sqlweave::compose::registry::FeatureRegistry;
+use sqlweave::feature_model::complete::complete;
+use sqlweave::feature_model::count::{
+    enumerate_configurations, try_count_configurations, MAX_SPLIT_FEATURES,
+};
+use sqlweave::feature_model::{Configuration, FeatureId, FeatureModel, ModelBuilder};
+use sqlweave::lint::certify::{certify_scope, CertifyOptions, FamilyScope};
+use sqlweave::lint::{lint_all_dialects, lint_composed, Code, Severity};
+use sqlweave::sql::catalog;
+
+/// The seeded product line: `alpha` and `beta` are both optional, both
+/// preset dialects pick exactly one of them, and their token definitions
+/// shadow each other — a defect that exists only in the (valid, never
+/// shipped) configurations selecting both.
+fn seeded_family() -> (FeatureModel, FeatureRegistry) {
+    let mut b = ModelBuilder::new("mini");
+    let r = b.root();
+    b.mandatory(r, "base");
+    b.optional(r, "alpha");
+    b.optional(r, "beta");
+    b.optional(r, "gamma");
+    let model = b.build().unwrap();
+
+    let mut reg = FeatureRegistry::new();
+    reg.register("base", "grammar base; s : CORE ;", "tokens base; CORE = kw;")
+        .unwrap();
+    reg.register(
+        "alpha",
+        "grammar alpha; s : ALPHA ;",
+        "tokens alpha; ALPHA = /ab/;",
+    )
+    .unwrap();
+    reg.register(
+        "beta",
+        "grammar beta; s : BETA CORE ;",
+        "tokens beta; BETA = /ab/;",
+    )
+    .unwrap();
+    reg.register("gamma", "", "").unwrap();
+    (model, reg)
+}
+
+fn preset(model: &FeatureModel, extra: &str) -> Configuration {
+    complete(model, &Configuration::of(["mini", extra])).unwrap()
+}
+
+#[test]
+fn per_dialect_lint_misses_the_interaction_defect() {
+    // Both presets compose and lint clean on the exact codes certify
+    // aggregates — the sweep over shipped dialects has no way to see the
+    // alpha+beta collision.
+    let (model, reg) = seeded_family();
+    for extra in ["alpha", "beta"] {
+        let composed = Pipeline::new(&model, &reg)
+            .with_start("s")
+            .with_name(extra)
+            .compose(&preset(&model, extra))
+            .unwrap();
+        let report = lint_composed(&composed);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::ShadowedTokenRule),
+            "preset `{extra}` must not show the collision: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn certify_reports_the_defect_with_its_presence_condition() {
+    let (model, reg) = seeded_family();
+    let scope = FamilyScope {
+        subject: "mini".to_string(),
+        model: &model,
+        registry: &reg,
+        start: "s".to_string(),
+        scope_model: model.subtree(FeatureId::ROOT),
+        base: Configuration::new(),
+    };
+    let baselines = [preset(&model, "alpha"), preset(&model, "beta")];
+    let cert = certify_scope(&scope, &baselines, &CertifyOptions::default());
+
+    // The whole 8-configuration space is covered exactly.
+    assert!(cert.exact);
+    assert_eq!(cert.total, Some(8));
+    assert_eq!(cert.analyzed, 8);
+
+    let f = cert
+        .findings
+        .iter()
+        .find(|f| f.code == Code::InteractionTokenCollision)
+        .expect("certify must surface the seeded defect");
+    assert_eq!(f.underlying, Some(Code::ShadowedTokenRule));
+    // The presence condition is minimized to exactly the interacting pair:
+    // gamma appears in the sorted witness but cannot survive minimization.
+    assert_eq!(f.presence, vec!["alpha", "beta"]);
+    assert!(f.witness.contains("alpha") && f.witness.contains("beta"));
+}
+
+#[test]
+fn real_catalog_preset_sweep_stays_green() {
+    // The shipped dialects remain certifiable the ordinary way: the lint
+    // sweep reports no error-severity diagnostics and nothing from the
+    // SW5xx family (those codes only ever come from `certify`).
+    let reports = lint_all_dialects().expect("all presets compose");
+    for r in &reports {
+        for d in &r.diagnostics {
+            assert_ne!(d.severity(), Severity::Error, "{}: {d:?}", r.subject);
+            assert!(
+                d.code.id() < "SW500",
+                "{}: SW5xx outside certify: {d:?}",
+                r.subject
+            );
+        }
+    }
+}
+
+#[test]
+fn enumeration_agrees_with_exact_count_across_the_catalog() {
+    // Satellite cross-check: wherever a catalog diagram's space is exactly
+    // countable and small, enumeration must produce precisely that many
+    // distinct valid configurations.
+    let cat = catalog();
+    let mut checked = 0;
+    for model in cat.diagrams() {
+        let Some(n) = try_count_configurations(&model, MAX_SPLIT_FEATURES) else {
+            continue;
+        };
+        if n > 256 {
+            continue;
+        }
+        let configs = enumerate_configurations(&model, 512);
+        assert_eq!(
+            configs.len() as u128,
+            n,
+            "diagram `{}`: enumeration disagrees with count",
+            model.name()
+        );
+        for c in &configs {
+            assert!(model.validate(c).is_ok(), "`{}`: invalid {c}", model.name());
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} diagrams cross-checked");
+}
+
+#[test]
+fn certify_exact_mode_covers_a_real_catalog_diagram() {
+    use sqlweave::lint::certify::certify_catalog_model;
+    let cert = certify_catalog_model("set_quantifier", &CertifyOptions::default())
+        .expect("set_quantifier is a catalog diagram");
+    assert!(cert.exact, "3 configurations fit the default limit");
+    assert_eq!(cert.total, Some(3));
+    assert_eq!(cert.analyzed + cert.unliftable, cert.enumerated);
+    assert!(
+        cert.findings.is_empty(),
+        "set_quantifier certifies clean: {:?}",
+        cert.findings
+    );
+}

@@ -7,9 +7,20 @@
 //! minimization) is exercised on a deterministic sample; the dialect and
 //! property suites cover full builds of the realistic configurations.
 
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use sqlweave::dialects::Dialect;
+use sqlweave::feature_model::complete::complete;
+use sqlweave::feature_model::solve::{enumerate_or_sample, resolve_open_choices};
 use sqlweave::feature_model::Configuration;
 use sqlweave::grammar::analysis::analyze;
+use sqlweave::grammar::ir::Grammar;
+use sqlweave::grammar::sentence::SentenceGenerator;
+use sqlweave::lexgen::tokenset::TokenSet;
+use sqlweave::parser_rt::engine::{EngineMode, Parser};
 use sqlweave::sql::catalog;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 #[test]
 fn every_feature_composes_on_top_of_the_minimal_query_dialect() {
@@ -155,4 +166,97 @@ fn removing_any_optional_feature_from_full_still_composes() {
     }
     println!("tested full-minus-one for {tested} leaves");
     assert!(tested >= 60, "only {tested} leaves were removable");
+}
+
+/// One certify-sampled non-preset configuration, composed and built once.
+struct SampledDialect {
+    config: String,
+    grammar: Grammar,
+    tokens: TokenSet,
+    backtracking: Parser,
+    ll1: Parser,
+}
+
+/// Non-preset configurations drawn by the same pairwise sampler `sqlweave
+/// certify` uses, built once for the whole property suite. Configurations
+/// whose parser cannot be built (certify reports those as findings) are
+/// skipped here — this suite is about the ones that *do* build.
+fn certify_sampled_dialects() -> &'static [SampledDialect] {
+    static SAMPLED: OnceLock<Vec<SampledDialect>> = OnceLock::new();
+    SAMPLED.get_or_init(|| {
+        let cat = catalog();
+        let seeds: Vec<Configuration> = Dialect::ALL.iter().map(|d| d.configuration()).collect();
+        let presets: BTreeSet<String> = seeds.iter().map(|c| c.to_string()).collect();
+        let sample = enumerate_or_sample(cat.model(), &seeds, 10, true);
+        // Sampled configurations are minimal realizations of pairwise
+        // combos; most select no statement class and (correctly) fail the
+        // parser build — `sqlweave certify` reports exactly that. Lift each
+        // onto the minimal query dialect, the way certify's diagram scopes
+        // do, to obtain buildable non-preset dialects.
+        let base = Configuration::of(["query_statement", "select_sublist"]);
+        let mut out: Vec<SampledDialect> = Vec::new();
+        for config in &sample.configs {
+            let Ok(closed) = complete(cat.model(), &config.union(&base)) else {
+                continue;
+            };
+            let Some(lifted) = resolve_open_choices(cat.model(), &closed, &Configuration::new())
+            else {
+                continue;
+            };
+            let key = lifted.to_string();
+            if presets.contains(&key) || out.iter().any(|d| d.config == key) {
+                continue;
+            }
+            let Ok(composed) = cat.pipeline().compose(&lifted) else {
+                continue;
+            };
+            let Ok(backtracking) = Parser::new(composed.grammar.clone(), &composed.tokens) else {
+                continue;
+            };
+            let ll1 = Parser::new(composed.grammar.clone(), &composed.tokens)
+                .expect("same grammar built once already")
+                .with_mode(EngineMode::Ll1Table);
+            out.push(SampledDialect {
+                config: key,
+                grammar: composed.grammar,
+                tokens: composed.tokens,
+                backtracking,
+                ll1,
+            });
+        }
+        assert!(
+            out.len() >= 2,
+            "pairwise sampling produced only {} buildable non-preset configurations",
+            out.len()
+        );
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Certify-sampled configurations behave like shipped dialects: their
+    /// own generated sentences parse without panicking on either engine,
+    /// and wherever the LL(1) table engine succeeds it agrees with the
+    /// backtracking oracle.
+    #[test]
+    fn sampled_configurations_parse_their_generated_sentences(
+        pick in 0usize..64,
+        seed in prop::num::usize::ANY,
+        depth in 4usize..9,
+    ) {
+        let dialects = certify_sampled_dialects();
+        let d = &dialects[pick % dialects.len()];
+        let gen = SentenceGenerator::new(&d.grammar, &d.tokens)
+            .unwrap_or_else(|e| panic!("{}: sentence generator: {e}", d.config));
+        let mut rng = StdRng::seed_from_u64(seed as u64);
+        let sentence = gen.generate(&mut rng, depth);
+        let bt = d.backtracking.parse(&sentence).unwrap_or_else(|e| {
+            panic!("{}: rejected its own sentence {sentence:?}: {e}", d.config)
+        });
+        if let Ok(ll) = d.ll1.parse(&sentence) {
+            prop_assert_eq!(&bt, &ll, "engines disagree on {:?}", &sentence);
+        }
+    }
 }
