@@ -52,9 +52,19 @@
 //! on top of parsing alone — and the deterministic count of column-lineage
 //! edges the corpus produces.
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v6`; v5
-//! lacked the `vector` scanner row and the `corpus_lex` section, v4 the
-//! sema section, v3 the recovery section, v2 the lex stage,
+//! Finally, the document can carry a top-level **`incremental` section**
+//! (Experiment B11, `sqlweave bench --edits N`): keystroke latency of
+//! [`sqlweave_parser_rt::ParseSession::apply_edit`] — single-token edits
+//! at random positions of a multi-mebibyte generated script through one
+//! incremental session — reporting p50/p99 apply latency, the median
+//! from-scratch reparse time of the same document, their ratio (the
+//! headline incremental speedup), and relex-resync / reparse-window size
+//! statistics.
+//!
+//! Output is a JSON document (schema `sqlweave-bench-parser/v7`; v6
+//! lacked the `incremental` section and the sema row's token-interning
+//! columns, v5 the `vector` scanner row and the `corpus_lex` section, v4
+//! the sema section, v3 the recovery section, v2 the lex stage,
 //! v1 the dynamic counters), built with the same hand-rolled emitter
 //! conventions as
 //! `sqlweave-lint` and round-tripped through
@@ -134,6 +144,15 @@ pub struct SemaMeasurement {
     /// Column-lineage edges the corpus produces. Deterministic for a
     /// given dialect (the corpus and the resolver are both deterministic).
     pub column_edges: usize,
+    /// Total bytes of token text across the corpus trees (what an owning
+    /// per-token representation would copy).
+    pub lexeme_bytes: usize,
+    /// Bytes after interning through one shared
+    /// [`sqlweave_parser_rt::TokenInterner`] — distinct lexemes only.
+    pub interned_bytes: usize,
+    /// `lexeme_bytes / interned_bytes`: the dedupe factor token-text
+    /// interning buys on this corpus (≥ 1.0).
+    pub intern_ratio: f64,
 }
 
 /// All measurements for one dialect × engine pair.
@@ -338,6 +357,153 @@ pub fn bench_lex_corpus(dialect: Dialect, mebibytes: usize, reps: usize) -> Corp
     }
 }
 
+/// Keystroke-latency measurements of one dialect's incremental session —
+/// schema v7's top-level `incremental` section (Experiment B11).
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Dialect name (e.g. `full`).
+    pub dialect: &'static str,
+    /// Generated script size in bytes.
+    pub bytes: usize,
+    /// Tokens in the opened document.
+    pub tokens: usize,
+    /// Single-token edits applied.
+    pub edits: usize,
+    /// Median `apply_edit` latency in microseconds.
+    pub apply_edit_us_p50: f64,
+    /// 99th-percentile `apply_edit` latency in microseconds.
+    pub apply_edit_us_p99: f64,
+    /// Median from-scratch `parse_resilient` latency on the same document,
+    /// in microseconds.
+    pub full_reparse_us_p50: f64,
+    /// `full_reparse_us_p50 / apply_edit_us_p50` — the headline incremental
+    /// speedup.
+    pub speedup_p50: f64,
+    /// Median relex resynchronization distance in bytes (how far past the
+    /// edit the scanner had to look before the old token stream resumed).
+    pub resync_bytes_p50: usize,
+    /// Largest resynchronization distance observed.
+    pub resync_bytes_max: usize,
+    /// Median tokens re-driven through the parser per edit (the reparse
+    /// window, vs `tokens` for a full reparse).
+    pub reparsed_tokens_p50: usize,
+    /// Edits that fell back to a whole-document reparse.
+    pub full_reparse_fallbacks: usize,
+}
+
+/// Deterministic xorshift64* for reproducible edit positions.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn percentile_usize(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Measure keystroke latency: open a `mebibytes`-MiB generated script as
+/// an incremental document and apply `edits` single-character identifier
+/// edits at deterministic random positions, timing each
+/// [`sqlweave_parser_rt::ParseSession::apply_edit`] against the median
+/// from-scratch `parse_resilient` of the same document.
+pub fn bench_incremental(dialect: Dialect, mebibytes: usize, edits: usize) -> IncrementalReport {
+    bench_incremental_bytes(dialect, mebibytes * 1024 * 1024, edits)
+}
+
+/// [`bench_incremental`] with a byte-precise corpus size (used by the unit
+/// tests, which cannot afford a multi-MiB debug-mode parse).
+pub fn bench_incremental_bytes(
+    dialect: Dialect,
+    target_bytes: usize,
+    edits: usize,
+) -> IncrementalReport {
+    let p = parser(dialect, EngineMode::Backtracking);
+    let script = crate::corpus::generate_script(dialect, 0xED17, target_bytes);
+    let mut session = p.session();
+    session.open_document(&script);
+    let tokens = session.edit_stats().total_tokens;
+
+    // Full-reparse baseline: best 2-of-3 median on a separate session so
+    // the incremental document is untouched.
+    let mut full = p.session();
+    let mut full_us: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let outcome = full.parse_resilient(&script);
+            std::hint::black_box(outcome.errors.len());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    full_us.sort_by(f64::total_cmp);
+    let full_reparse_us_p50 = percentile_f64(&full_us, 0.5);
+
+    // Single-token edits: replace one lowercase identifier character with
+    // another, keeping the document clean and its length stable.
+    let mut rng = XorShift(0x1c00_0000_0000_0001_u64 ^ script.len() as u64);
+    let mut apply_us: Vec<f64> = Vec::with_capacity(edits);
+    let mut resyncs: Vec<usize> = Vec::with_capacity(edits);
+    let mut windows: Vec<usize> = Vec::with_capacity(edits);
+    let mut full_reparse_fallbacks = 0usize;
+    for _ in 0..edits {
+        let text = session.document();
+        let bytes = text.as_bytes();
+        let pos = (0..10_000)
+            .map(|_| rng.below(bytes.len()))
+            .find(|&q| bytes[q].is_ascii_lowercase())
+            .expect("generated script contains identifier characters");
+        let rep = if bytes[pos] == b'x' { "y" } else { "x" };
+        let start = Instant::now();
+        let outcome = session.apply_edit(pos..pos + 1, rep);
+        std::hint::black_box(outcome.errors.len());
+        apply_us.push(start.elapsed().as_secs_f64() * 1e6);
+        let st = session.edit_stats();
+        resyncs.push(st.resync_bytes);
+        windows.push(st.reparsed_tokens);
+        full_reparse_fallbacks += st.full_reparse as usize;
+    }
+    apply_us.sort_by(f64::total_cmp);
+    resyncs.sort_unstable();
+    windows.sort_unstable();
+
+    let apply_edit_us_p50 = percentile_f64(&apply_us, 0.5);
+    IncrementalReport {
+        dialect: dialect.name(),
+        bytes: script.len(),
+        tokens,
+        edits,
+        apply_edit_us_p50,
+        apply_edit_us_p99: percentile_f64(&apply_us, 0.99),
+        full_reparse_us_p50,
+        speedup_p50: full_reparse_us_p50 / apply_edit_us_p50.max(1e-9),
+        resync_bytes_p50: percentile_usize(&resyncs, 0.5),
+        resync_bytes_max: resyncs.last().copied().unwrap_or(0),
+        reparsed_tokens_p50: percentile_usize(&windows, 0.5),
+        full_reparse_fallbacks,
+    }
+}
+
 fn time<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     // One untimed warmup pass populates lazily initialized state (parser
     // caches, allocator arenas) so the first timed iteration is not an
@@ -474,10 +640,22 @@ fn bench_parser(p: &Parser, dialect: Dialect, mode: EngineMode, iters: usize) ->
             a.statements.iter().map(|st| st.columns.len()).sum::<usize>()
         })
         .sum();
+    // Token-text interning over the same trees: how much lexeme storage a
+    // shared per-corpus interner deduplicates away.
+    let mut interner = sqlweave_parser_rt::TokenInterner::new();
+    let mut lexeme_bytes = 0usize;
+    for s in &stmts {
+        let tree = sema_session.parse_tree(s).expect("accepted statement parses");
+        let syms = tree.intern_tokens(&mut interner);
+        lexeme_bytes += syms.iter().map(|&y| interner.resolve(y).len()).sum::<usize>();
+    }
     let sema = SemaMeasurement {
         statements_per_sec: (iters * stmts.len()) as f64 / sema_secs.max(1e-9),
         overhead_vs_parse: sema_secs.max(1e-9) / event_tree_secs.max(1e-9),
         column_edges,
+        lexeme_bytes,
+        interned_bytes: interner.bytes(),
+        intern_ratio: lexeme_bytes as f64 / interner.bytes().max(1) as f64,
     };
 
     // One untimed instrumented pass for the dynamic engine counters; the
@@ -533,10 +711,10 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v6` JSON document with
-/// an empty `corpus_lex` section.
+/// Serialize reports as the `sqlweave-bench-parser/v7` JSON document with
+/// empty `corpus_lex` and `incremental` sections.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
-    to_json_full(iters, reports, &[])
+    to_json_full(iters, reports, &[], &[])
 }
 
 /// Serialize lexer measurements shared by the per-pair `lex` arrays and
@@ -554,13 +732,14 @@ fn lex_json(l: &LexMeasurement) -> String {
     )
 }
 
-/// [`to_json`] with the generated-corpus lex sweep (`corpus_lex` is
-/// emitted as an empty array when `corpus` is empty — the shape is stable
-/// whether or not `--corpus-mb` was given).
+/// [`to_json`] with the generated-corpus lex sweep and the incremental
+/// keystroke-latency sweep (both sections are emitted as empty arrays when
+/// their knobs were not given — the shape is stable either way).
 pub fn to_json_full(
     iters: usize,
     reports: &[PairReport],
     corpus: &[CorpusLexReport],
+    incremental: &[IncrementalReport],
 ) -> String {
     let results: Vec<String> = reports
         .iter()
@@ -587,10 +766,14 @@ pub fn to_json_full(
                 r.recovery.clean_overhead
             );
             let sema = format!(
-                "{{\"statements_per_sec\":{},\"overhead_vs_parse\":{:.4},\"column_edges\":{}}}",
+                "{{\"statements_per_sec\":{},\"overhead_vs_parse\":{:.4},\"column_edges\":{},\
+                 \"lexeme_bytes\":{},\"interned_bytes\":{},\"intern_ratio\":{:.4}}}",
                 fmt_f64(r.sema.statements_per_sec),
                 r.sema.overhead_vs_parse,
-                r.sema.column_edges
+                r.sema.column_edges,
+                r.sema.lexeme_bytes,
+                r.sema.interned_bytes,
+                r.sema.intern_ratio
             );
             format!(
                 "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"statements\":{},\"tokens\":{},\
@@ -630,11 +813,35 @@ pub fn to_json_full(
             )
         })
         .collect();
+    let incremental: Vec<String> = incremental
+        .iter()
+        .map(|i| {
+            format!(
+                "{{\"dialect\":\"{}\",\"bytes\":{},\"tokens\":{},\"edits\":{},\
+                 \"apply_edit_us_p50\":{},\"apply_edit_us_p99\":{},\"full_reparse_us_p50\":{},\
+                 \"speedup_p50\":{},\"resync_bytes_p50\":{},\"resync_bytes_max\":{},\
+                 \"reparsed_tokens_p50\":{},\"full_reparse_fallbacks\":{}}}",
+                json::escape(i.dialect),
+                i.bytes,
+                i.tokens,
+                i.edits,
+                fmt_f64(i.apply_edit_us_p50),
+                fmt_f64(i.apply_edit_us_p99),
+                fmt_f64(i.full_reparse_us_p50),
+                fmt_f64(i.speedup_p50),
+                i.resync_bytes_p50,
+                i.resync_bytes_max,
+                i.reparsed_tokens_p50,
+                i.full_reparse_fallbacks
+            )
+        })
+        .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":{},\"results\":[{}],\"corpus_lex\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":{},\"results\":[{}],\"corpus_lex\":[{}],\"incremental\":[{}]}}",
         iters,
         results.join(","),
-        corpus_lex.join(",")
+        corpus_lex.join(","),
+        incremental.join(",")
     )
 }
 
@@ -654,21 +861,29 @@ pub fn run_with_lookahead(
     iters: usize,
     lookahead: Option<usize>,
 ) -> String {
-    run_full(dialects, iters, lookahead, 0)
+    run_full(dialects, iters, lookahead, 0, 0)
 }
 
 /// Best-of passes per substrate in the generated-corpus sweep.
 const CORPUS_REPS: usize = 5;
 
-/// [`run_with_lookahead`] plus the generated-corpus lex sweep: when
-/// `corpus_mb > 0`, every requested dialect is additionally scanned over a
-/// `corpus_mb`-MiB generated script (`corpus_lex` section, best of
-/// [`CORPUS_REPS`] passes per substrate).
+/// Corpus size of the incremental keystroke sweep when `--corpus-mb` was
+/// not given: the acceptance workload is the 4 MiB generated script.
+const INCREMENTAL_DEFAULT_MB: usize = 4;
+
+/// [`run_with_lookahead`] plus the generated-corpus lex sweep and the
+/// incremental keystroke sweep: when `corpus_mb > 0`, every requested
+/// dialect is additionally scanned over a `corpus_mb`-MiB generated script
+/// (`corpus_lex` section, best of [`CORPUS_REPS`] passes per substrate);
+/// when `edits > 0`, every requested dialect gets `edits` single-token
+/// edits applied through a recycled incremental session over the same-size
+/// script ([`INCREMENTAL_DEFAULT_MB`] MiB when `corpus_mb` is 0).
 pub fn run_full(
     dialects: &[Dialect],
     iters: usize,
     lookahead: Option<usize>,
     corpus_mb: usize,
+    edits: usize,
 ) -> String {
     let mut reports = Vec::new();
     for &d in dialects {
@@ -684,12 +899,18 @@ pub fn run_full(
     } else {
         Vec::new()
     };
-    let doc = to_json_full(iters, &reports, &corpus);
+    let incremental: Vec<IncrementalReport> = if edits > 0 {
+        let mb = if corpus_mb > 0 { corpus_mb } else { INCREMENTAL_DEFAULT_MB };
+        dialects.iter().map(|&d| bench_incremental(d, mb, edits)).collect()
+    } else {
+        Vec::new()
+    };
+    let doc = to_json_full(iters, &reports, &corpus, &incremental);
     validate(&doc).unwrap_or_else(|e| panic!("bench runner emitted invalid JSON: {e}"));
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v6`.
+/// Check a bench document against schema `sqlweave-bench-parser/v7`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -699,7 +920,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v6" {
+    if schema != "sqlweave-bench-parser/v7" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -790,9 +1011,17 @@ pub fn validate(doc: &str) -> Result<(), String> {
                 return Err(format!("recovery section has non-finite {key:?}"));
             }
         }
-        // v5: every row carries the sema section.
+        // v5: every row carries the sema section (v7 adds the token-text
+        // interning columns).
         let sema = r.get("sema").ok_or("result missing \"sema\"")?;
-        for key in ["statements_per_sec", "overhead_vs_parse", "column_edges"] {
+        for key in [
+            "statements_per_sec",
+            "overhead_vs_parse",
+            "column_edges",
+            "lexeme_bytes",
+            "interned_bytes",
+            "intern_ratio",
+        ] {
             let n = sema
                 .get(key)
                 .and_then(Value::as_num)
@@ -836,6 +1065,36 @@ pub fn validate(doc: &str) -> Result<(), String> {
             }
         }
     }
+    // v7: the top-level incremental section is always present (empty when
+    // `--edits` was not given); entries carry the keystroke-latency rows.
+    let incremental = v
+        .get("incremental")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"incremental\"")?;
+    for i in incremental {
+        i.get("dialect").and_then(Value::as_str).ok_or("incremental entry missing \"dialect\"")?;
+        for key in [
+            "bytes",
+            "tokens",
+            "edits",
+            "apply_edit_us_p50",
+            "apply_edit_us_p99",
+            "full_reparse_us_p50",
+            "speedup_p50",
+            "resync_bytes_p50",
+            "resync_bytes_max",
+            "reparsed_tokens_p50",
+            "full_reparse_fallbacks",
+        ] {
+            let n = i
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or(format!("incremental entry missing {key:?}"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("incremental entry has non-finite {key:?}"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -852,6 +1111,12 @@ pub fn validate(doc: &str) -> Result<(), String> {
 /// baseline and CI hardware are comparable — the generous default
 /// tolerance (25 %) exists to absorb runner-generation variance, not
 /// run-to-run noise (use best-of reps for that).
+///
+/// When both documents carry a non-empty `incremental` section, the
+/// incremental `speedup_p50` of every overlapping dialect is gated the
+/// same way — it is a ratio of two times on the same machine, so it is
+/// the portable signal that localized reparse silently degraded into
+/// full-document work.
 ///
 /// Returns the list of human-readable regressions (empty = pass), or an
 /// `Err` when either document is malformed or there is no overlapping
@@ -890,9 +1155,33 @@ pub fn compare_with_baseline(
         Ok(out)
     }
 
+    fn incremental_speedups(doc: &str, label: &str) -> Result<Vec<(String, f64)>, String> {
+        let v: Value = json::parse(doc).map_err(|e| format!("{label}: {e}"))?;
+        // Absent section (pre-v7 baselines) compares nothing, not an error.
+        let Some(entries) = v.get("incremental").and_then(Value::as_arr) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for i in entries {
+            let dialect = i
+                .get("dialect")
+                .and_then(Value::as_str)
+                .ok_or(format!("{label}: incremental entry missing \"dialect\""))?;
+            let speedup = i
+                .get("speedup_p50")
+                .and_then(Value::as_num)
+                .filter(|n| n.is_finite() && *n > 0.0)
+                .ok_or(format!("{label}: {dialect} lacks a positive \"speedup_p50\""))?;
+            out.push((dialect.to_string(), speedup));
+        }
+        Ok(out)
+    }
+
     let floor = 1.0 - tolerance_pct / 100.0;
     let base = corpus_rates(baseline, "baseline")?;
     let cur = corpus_rates(current, "current")?;
+    let base_inc = incremental_speedups(baseline, "baseline")?;
+    let cur_inc = incremental_speedups(current, "current")?;
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     for (dialect, base_compiled, base_vector) in &base {
@@ -917,8 +1206,23 @@ pub fn compare_with_baseline(
             base_vector / base_compiled,
         );
     }
+    for (dialect, base_speedup) in &base_inc {
+        let Some((_, cur_speedup)) = cur_inc.iter().find(|(d, _)| d == dialect) else {
+            continue;
+        };
+        compared += 1;
+        if *cur_speedup < base_speedup * floor {
+            regressions.push(format!(
+                "{dialect}: incremental speedup_p50 regressed {:.1}% (baseline {base_speedup:.1}, current {cur_speedup:.1}, tolerance {tolerance_pct:.0}%)",
+                (1.0 - cur_speedup / base_speedup) * 100.0,
+            ));
+        }
+    }
     if compared == 0 {
-        return Err("no overlapping corpus_lex dialect between current and baseline".to_string());
+        return Err(
+            "no overlapping corpus_lex or incremental dialect between current and baseline"
+                .to_string(),
+        );
     }
     Ok(regressions)
 }
@@ -954,57 +1258,68 @@ mod tests {
             let sema = r.get("sema").unwrap();
             assert!(sema.get("statements_per_sec").unwrap().as_num().unwrap() > 0.0);
             assert!(sema.get("overhead_vs_parse").unwrap().as_num().unwrap() > 0.0);
+            // v7: token-text interning columns — interning can only shrink.
+            let lexeme = sema.get("lexeme_bytes").unwrap().as_num().unwrap();
+            let interned = sema.get("interned_bytes").unwrap().as_num().unwrap();
+            assert!(lexeme > 0.0 && interned > 0.0 && interned <= lexeme);
+            assert!(sema.get("intern_ratio").unwrap().as_num().unwrap() >= 1.0);
         }
+        // No --edits requested: the v7 section is present but empty.
+        assert!(v.get("incremental").unwrap().as_arr().unwrap().is_empty());
     }
 
     #[test]
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1..v5 documents (no dynamic counters / no lex stage / no
+        // v1..v6 documents (no dynamic counters / no lex stage / no
         // recovery section / no sema section / no vector row + corpus_lex
-        // section) are rejected by name.
+        // section / no incremental section + interning columns) are
+        // rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[]}").is_err());
-        // A v6 header with empty results is still rejected.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[]}").is_err());
+        // A v7 header with empty results is still rejected.
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A non-empty lex section must anchor on the interval walker.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // v3 rows (no recovery section) fail even under a v4 header.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A recovery section with a missing field fails too.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}],\"corpus_lex\":[]}"
         )
         .is_err());
     }
 
+    /// One shape-valid v7 engine row, shared by the section-shape tests.
+    const VALID_RESULTS: &str = "{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0},\"sema\":{\"statements_per_sec\":1,\"overhead_vs_parse\":1.0,\"column_edges\":0,\"lexeme_bytes\":10,\"interned_bytes\":5,\"intern_ratio\":2.0}}";
+
     #[test]
     fn validate_checks_corpus_lex_shape() {
-        // A shape-valid v6 document minus corpus_lex entirely is rejected…
-        let valid_results = "{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0},\"sema\":{\"statements_per_sec\":1,\"overhead_vs_parse\":1.0,\"column_edges\":0}}";
+        // A shape-valid v7 document minus corpus_lex entirely is rejected…
         let wrap = |corpus: &str| {
             format!(
-                "{{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[{valid_results}]{corpus}}}"
+                "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{VALID_RESULTS}]{corpus},\"incremental\":[]}}"
             )
         };
         assert!(validate(&wrap("")).is_err(), "corpus_lex key is mandatory");
@@ -1014,6 +1329,25 @@ mod tests {
         assert!(validate(&wrap(no_vector)).is_err());
         let full = ",\"corpus_lex\":[{\"dialect\":\"pico\",\"mebibytes\":1,\"bytes\":1048576,\"tokens\":9,\"simd_level\":\"swar\",\"scanners\":[{\"scanner\":\"interval\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0},{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0},{\"scanner\":\"vector\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":1.0}]}]";
         assert!(validate(&wrap(full)).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_incremental_shape() {
+        let wrap = |incremental: &str| {
+            format!(
+                "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{VALID_RESULTS}],\"corpus_lex\":[]{incremental}}}"
+            )
+        };
+        assert!(validate(&wrap("")).is_err(), "incremental key is mandatory");
+        assert!(validate(&wrap(",\"incremental\":[]")).is_ok(), "empty section is fine");
+        let full = ",\"incremental\":[{\"dialect\":\"pico\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        assert!(validate(&wrap(full)).is_ok());
+        // An entry missing its headline ratio is rejected…
+        let no_speedup = ",\"incremental\":[{\"dialect\":\"pico\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        assert!(validate(&wrap(no_speedup)).is_err());
+        // …as is one missing the dialect name.
+        let no_dialect = ",\"incremental\":[{\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        assert!(validate(&wrap(no_dialect)).is_err());
     }
 
     #[test]
@@ -1106,6 +1440,59 @@ mod tests {
         assert!(compare_with_baseline(&base, &multi, 25.0).unwrap().is_empty());
     }
 
+    /// Minimal document carrying only the incremental section (plus the
+    /// empty corpus_lex the comparator requires).
+    fn incremental_doc(entries: &[(&str, f64)]) -> String {
+        let entries: Vec<String> = entries
+            .iter()
+            .map(|(d, speedup)| {
+                format!(
+                    "{{\"dialect\":\"{d}\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10,\"apply_edit_us_p99\":50,\"full_reparse_us_p50\":9000,\"speedup_p50\":{speedup},\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}}"
+                )
+            })
+            .collect();
+        format!("{{\"corpus_lex\":[],\"incremental\":[{}]}}", entries.join(","))
+    }
+
+    #[test]
+    fn baseline_compare_gates_incremental_speedup() {
+        let base = incremental_doc(&[("core", 400.0)]);
+        // Within tolerance: 20% below a 25% floor passes.
+        let ok = incremental_doc(&[("core", 320.0)]);
+        assert!(compare_with_baseline(&ok, &base, 25.0).unwrap().is_empty());
+        // Localized reparse silently degraded toward full-document work.
+        let bad = incremental_doc(&[("core", 120.0)]);
+        let regressions = compare_with_baseline(&bad, &base, 25.0).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("incremental speedup_p50")),
+            "{regressions:?}"
+        );
+        // Non-overlapping incremental dialects with no corpus rows either:
+        // the gate refuses to compare nothing.
+        let other = incremental_doc(&[("pico", 500.0)]);
+        assert!(compare_with_baseline(&other, &base, 25.0).is_err());
+        // A pre-v7 baseline without the section skips the incremental gate
+        // but still needs a corpus overlap to compare at all.
+        let pre_v7 = corpus_doc(&[("full", 70.0, 150.0, 340.0)]);
+        assert!(compare_with_baseline(&base, &pre_v7, 25.0).is_err());
+    }
+
+    #[test]
+    fn incremental_bench_reports_positive_speedup() {
+        // Tiny corpus (64 KiB, 8 edits) so the unit test stays fast; the
+        // real ablation runs 4 MiB via `sqlweave bench --edits`.
+        let r = bench_incremental_bytes(Dialect::Core, 64 * 1024, 8);
+        assert_eq!(r.dialect, "core");
+        assert!(r.bytes >= 64 * 1024, "{r:?}");
+        assert!(r.tokens > 0 && r.edits == 8, "{r:?}");
+        assert!(r.apply_edit_us_p50.is_finite() && r.apply_edit_us_p50 > 0.0, "{r:?}");
+        assert!(r.apply_edit_us_p99 >= r.apply_edit_us_p50, "{r:?}");
+        assert!(r.full_reparse_us_p50 > 0.0, "{r:?}");
+        assert!(r.speedup_p50.is_finite() && r.speedup_p50 > 0.0, "{r:?}");
+        assert_eq!(r.full_reparse_fallbacks, 0, "single-token edits stay local: {r:?}");
+        assert!(r.resync_bytes_max >= r.resync_bytes_p50, "{r:?}");
+    }
+
     #[test]
     fn checked_in_baseline_is_comparable() {
         // The repo's own artifact must stay a usable baseline: comparing
@@ -1115,7 +1502,7 @@ mod tests {
             "/../../BENCH_parser.json"
         ))
         .expect("checked-in BENCH_parser.json");
-        validate(&doc).expect("checked-in artifact validates against v6");
+        validate(&doc).expect("checked-in artifact validates against v7");
         assert!(compare_with_baseline(&doc, &doc, 25.0).unwrap().is_empty());
     }
 

@@ -40,6 +40,7 @@ fn usage() -> ExitCode {
          sqlweave dialects [--format text|json]\n  \
          sqlweave compose FEATURE...\n  \
          sqlweave parse [--recover] [--format text|json] --dialect NAME 'SQL'\n  \
+         sqlweave parse --stdin [--recover] [--format text|json] [--dialect NAME]\n  \
          sqlweave check --dialect NAME 'SQL'\n  \
          sqlweave lex [--format text|json] --dialect NAME 'SQL'\n  \
          sqlweave format --dialect NAME 'SQL'\n  \
@@ -57,7 +58,7 @@ fn usage() -> ExitCode {
          sqlweave certify [--dialect-model NAME] [--limit N] [--sample pairwise]\n  \
          sqlweave certify ... [--format text|json] [--check FILE] [--write FILE]\n  \
          sqlweave bench [--json] [--recover] [--dialect NAME] [--iters N] [--lookahead K]\n  \
-         sqlweave bench ... [--corpus-mb N] [--out FILE]\n  \
+         sqlweave bench ... [--corpus-mb N] [--edits N] [--out FILE]\n  \
          sqlweave bench ... [--baseline FILE] [--tolerance-pct N]"
     );
     ExitCode::from(2)
@@ -1295,15 +1296,85 @@ fn cmd_parse_recover(dialect: Dialect, sql: &str, format_json: bool) -> ExitCode
     }
 }
 
+/// Batch mode for `parse --stdin`: every non-empty line of stdin is one
+/// statement, and all of them run through ONE recycled [`ParseSession`] —
+/// the buffer-reuse path the library documents, exercised end-to-end by
+/// the CLI instead of paying a fresh process (and parser build) per
+/// statement. `--recover` switches each line to the resilient driver
+/// (`--format json` then emits one `sqlweave-diagnostics/v1` document per
+/// line); the default is the strict accept/reject contract.
+fn cmd_parse_stdin(dialect: Dialect, recover: bool, format_json: bool) -> ExitCode {
+    use std::io::Read as _;
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("cannot read stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let parser = match dialect.parser() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut session = parser.session();
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        total += 1;
+        if recover {
+            let outcome = session.parse_resilient(sql);
+            if !outcome.errors.is_empty() {
+                rejected += 1;
+            }
+            if format_json {
+                println!("{}", diagnostics_json(dialect.name(), &outcome.errors));
+            } else if outcome.errors.is_empty() {
+                println!("line {}: ok", lineno + 1);
+            } else {
+                println!("line {}: {} diagnostic(s)", lineno + 1, outcome.errors.len());
+                for e in &outcome.errors {
+                    print!("{}", e.render(sql));
+                }
+            }
+        } else {
+            match session.parse_tree(sql) {
+                Ok(tree) => {
+                    println!("line {}: ok ({} tokens)", lineno + 1, tree.tokens().len())
+                }
+                Err(e) => {
+                    rejected += 1;
+                    println!("line {}: rejected: {e}", lineno + 1);
+                }
+            }
+        }
+    }
+    eprintln!("{total} statement(s) through one session, {rejected} rejected");
+    if rejected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
     let mut recover = false;
     let mut format_json = false;
+    let mut stdin_batch = false;
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--recover" => {
                 recover = true;
+                i += 1;
+            }
+            "--stdin" => {
+                stdin_batch = true;
                 i += 1;
             }
             "--format" => {
@@ -1320,10 +1391,35 @@ fn cmd_parse(args: &[String], verbose: bool) -> ExitCode {
             }
         }
     }
-    // `--recover` (and its `--format`) belong to `parse`; `check` keeps
-    // its strict accept/reject contract.
-    if (recover || format_json) && !verbose {
+    // `--recover`, `--format`, and `--stdin` belong to `parse`; `check`
+    // keeps its strict accept/reject contract.
+    if (recover || format_json || stdin_batch) && !verbose {
         return usage();
+    }
+    if stdin_batch {
+        // Batch mode reads statements from stdin; the only positional
+        // argument that still makes sense is the dialect selector.
+        let mut dialect = Dialect::Full;
+        let mut i = 0;
+        while i < rest.len() {
+            if rest[i] == "--dialect" {
+                let Some(name) = rest.get(i + 1) else {
+                    return usage();
+                };
+                let Some(&d) = Dialect::ALL.iter().find(|d| d.name() == *name) else {
+                    eprintln!("unknown dialect `{name}`; run `sqlweave dialects` for the list");
+                    return ExitCode::FAILURE;
+                };
+                dialect = d;
+                i += 2;
+            } else {
+                return usage();
+            }
+        }
+        if format_json && !recover {
+            return usage();
+        }
+        return cmd_parse_stdin(dialect, recover, format_json);
     }
     let Some((dialect, sql)) = dialect_and_sql(&rest) else {
         return usage();
@@ -1484,7 +1580,7 @@ fn cmd_format(args: &[String]) -> ExitCode {
 }
 
 /// Corpus throughput sweep over dialect × engine × parse API. `--json`
-/// emits the `sqlweave-bench-parser/v6` document (already validated by the
+/// emits the `sqlweave-bench-parser/v7` document (already validated by the
 /// runner); the default is a human-readable table with the backtrack-rate
 /// column plus one lex-stage block per dialect (the B6/B9 scanner
 /// ablation) and one `sema` row per pair (the B8 parse + name-resolution
@@ -1496,11 +1592,17 @@ fn cmd_format(args: &[String]) -> ExitCode {
 /// N-MiB script generated from each dialect's own grammar weights with
 /// the vector/compiled/interval substrates — the steady-state throughput
 /// sweep of Experiment B9 (`corpus_lex` in the JSON document).
-/// `--baseline FILE` (JSON mode, needs `--corpus-mb`) gates the fresh
-/// document against a checked-in one: the CI tripwire fails the run when
-/// the compiled or vector scanner loses more than `--tolerance-pct`
-/// (default 25) of the baseline's corpus throughput, or when the
-/// vector-over-compiled speedup flattens by the same margin.
+/// `--edits N` runs the B11 keystroke-latency ablation: N single-token
+/// edits applied through one incremental `ParseSession` on a generated
+/// script (`--corpus-mb` sizes it, default 4 MiB), reporting p50/p99
+/// apply latency against the from-scratch reparse of the same document
+/// (`incremental` in the JSON document).
+/// `--baseline FILE` (JSON mode, needs `--corpus-mb` or `--edits`) gates
+/// the fresh document against a checked-in one: the CI tripwire fails the
+/// run when the compiled or vector scanner loses more than
+/// `--tolerance-pct` (default 25) of the baseline's corpus throughput,
+/// when the vector-over-compiled speedup flattens by the same margin, or
+/// when the incremental `speedup_p50` collapses toward full-reparse cost.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut recover = false;
@@ -1509,6 +1611,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let mut out: Option<String> = None;
     let mut lookahead: Option<usize> = None;
     let mut corpus_mb = 0usize;
+    let mut edits = 0usize;
     let mut baseline: Option<String> = None;
     let mut tolerance_pct = 25.0f64;
     let mut i = 0;
@@ -1541,6 +1644,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 corpus_mb = n;
+                i += 2;
+            }
+            "--edits" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                edits = n;
                 i += 2;
             }
             "--dialect" => {
@@ -1582,12 +1692,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         eprintln!("--iters must be at least 1");
         return ExitCode::FAILURE;
     }
-    if baseline.is_some() && (!json || corpus_mb == 0) {
-        eprintln!("--baseline requires --json and --corpus-mb N (it compares corpus_lex rates)");
+    if baseline.is_some() && (!json || (corpus_mb == 0 && edits == 0)) {
+        eprintln!(
+            "--baseline requires --json and --corpus-mb N or --edits N (it compares corpus_lex rates and incremental speedups)"
+        );
         return ExitCode::FAILURE;
     }
     if json {
-        let doc = sqlweave_bench::runner::run_full(&dialects, iters, lookahead, corpus_mb);
+        let doc =
+            sqlweave_bench::runner::run_full(&dialects, iters, lookahead, corpus_mb, edits);
         match &out {
             Some(path) => {
                 if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
@@ -1708,6 +1821,24 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     c.simd_level
                 );
             }
+        }
+    }
+    // The B11 keystroke-latency rows: single-token edits through one
+    // incremental session vs a from-scratch reparse of the same script.
+    if edits > 0 {
+        let mb = if corpus_mb > 0 { corpus_mb } else { 4 };
+        for &d in &dialects {
+            let r = sqlweave_bench::runner::bench_incremental(d, mb, edits);
+            println!(
+                "{:<10} {:<13} {:<11} {:>11} {:>13} {:>7.0}x {:>8}",
+                r.dialect,
+                format!("edit-{mb}mb"),
+                "apply_edit",
+                format!("{:.0} us p50", r.apply_edit_us_p50),
+                format!("{:.0} us p99", r.apply_edit_us_p99),
+                r.speedup_p50,
+                format!("n={}", r.edits)
+            );
         }
     }
     ExitCode::SUCCESS

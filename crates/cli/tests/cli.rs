@@ -180,6 +180,103 @@ fn bench_recover_prints_recovery_rows() {
 }
 
 #[test]
+fn bench_edits_prints_apply_edit_row() {
+    let o = run(&[
+        "bench", "--dialect", "pico", "--iters", "1", "--corpus-mb", "1", "--edits", "4",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("apply_edit"), "{out}");
+    assert!(out.contains("edit-1mb"), "{out}");
+}
+
+#[test]
+fn bench_baseline_requires_gated_sections() {
+    // `--baseline` gates corpus-lex and incremental rows; without
+    // `--json` plus at least one of `--corpus-mb`/`--edits` there is
+    // nothing to compare, and the runner must say so instead of silently
+    // skipping the gate.
+    let o = run(&["bench", "--dialect", "pico", "--iters", "1", "--baseline", "BENCH_parser.json"]);
+    assert_eq!(o.status.code(), Some(1), "{}", stderr(&o));
+    assert!(stderr(&o).contains("--baseline"), "{}", stderr(&o));
+}
+
+fn run_with_stdin(args: &[&str], input: &str) -> Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqlweave"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("binary exits")
+}
+
+#[test]
+fn parse_stdin_batches_through_one_session() {
+    let o = run_with_stdin(
+        &["parse", "--stdin", "--dialect", "core"],
+        "SELECT a FROM t\n\nSELECT b FROM u WHERE b = 1\n",
+    );
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("line 1: ok"), "{out}");
+    assert!(out.contains("line 3: ok"), "{out}");
+    assert!(stderr(&o).contains("2 statement(s) through one session, 0 rejected"));
+}
+
+#[test]
+fn parse_stdin_strict_rejects_and_fails() {
+    let o = run_with_stdin(
+        &["parse", "--stdin", "--dialect", "core"],
+        "SELECT a FROM t\nSELECT FROM\n",
+    );
+    assert_eq!(o.status.code(), Some(1));
+    let out = stdout(&o);
+    assert!(out.contains("line 1: ok"), "{out}");
+    assert!(out.contains("line 2: rejected:"), "{out}");
+    assert!(stderr(&o).contains("2 statement(s) through one session, 1 rejected"));
+}
+
+#[test]
+fn parse_stdin_recover_renders_diagnostics() {
+    let o = run_with_stdin(
+        &["parse", "--stdin", "--recover", "--dialect", "core"],
+        "SELECT FROM t\n",
+    );
+    assert_eq!(o.status.code(), Some(1));
+    let out = stdout(&o);
+    assert!(out.contains("line 1: 1 diagnostic(s)"), "{out}");
+    assert!(out.contains('^'), "{out}");
+}
+
+#[test]
+fn parse_stdin_recover_json_emits_document_per_line() {
+    let o = run_with_stdin(
+        &["parse", "--stdin", "--recover", "--format", "json", "--dialect", "core"],
+        "SELECT a FROM t\nSELECT FROM\n",
+    );
+    assert_eq!(o.status.code(), Some(1));
+    let out = stdout(&o);
+    assert_eq!(out.matches("sqlweave-diagnostics/v1").count(), 2, "{out}");
+}
+
+#[test]
+fn parse_stdin_rejects_json_without_recover() {
+    let o = run_with_stdin(&["parse", "--stdin", "--format", "json"], "SELECT 1\n");
+    assert_eq!(o.status.code(), Some(2));
+    assert!(stderr(&o).contains("usage"));
+}
+
+#[test]
 fn format_normalizes_scripts() {
     let o = run(&[
         "format",

@@ -126,6 +126,100 @@ impl Dfa {
         self.states.len()
     }
 
+    /// Upper bound, in *characters*, on how far a maximal-munch scan can
+    /// examine input past the end of the match it finally emits — the
+    /// automaton keeps stepping after the last accepting state until it
+    /// dies, and every state on that tail is non-accepting (an accept
+    /// would have extended the match). The bound is therefore one char
+    /// for the killing character plus the longest path through
+    /// non-accepting states reachable from any accepting state. `None`
+    /// means such a path can cycle (the lookahead is unbounded, e.g. a
+    /// token that is a prefix of an arbitrarily long non-accepting
+    /// pattern); incremental relexing then restarts from byte 0.
+    pub fn probe_overhang(&self) -> Option<usize> {
+        let tags = self
+            .states
+            .iter()
+            .filter_map(|s| s.accept)
+            .max()
+            .map_or(0, |t| t + 1);
+        self.probe_overhang_by_tag(tags)
+            .into_iter()
+            .try_fold(1usize, |acc, oh| oh.map(|oh| acc.max(oh)))
+    }
+
+    /// Per-rule refinement of [`Dfa::probe_overhang`]: entry `t` bounds
+    /// the lookahead of any munch that *ends in an accepting state of
+    /// rule `t`* — the rule that longest-match resolution actually
+    /// reports for the match. A single unbounded rule (say, a quoted
+    /// string whose body can run on forever unaccepted) then poisons
+    /// only its own entry instead of the whole automaton: matches of
+    /// every other rule keep a finite bound, and callers fall back to
+    /// exact recorded probe frontiers for the unbounded rules alone.
+    /// Entries for tags the automaton never accepts stay `Some(1)`.
+    pub fn probe_overhang_by_tag(&self, tags: usize) -> Vec<Option<usize>> {
+        // Longest non-accepting chain from each non-accepting state,
+        // counting the state itself. Recursion depth is bounded by the
+        // chain length, which this function proves finite before
+        // returning it; `None` propagation marks every state on the DFS
+        // stack above a cycle, which is exactly the set of states from
+        // which that cycle is reachable.
+        let n = self.states.len();
+        let mut longest = vec![0usize; n];
+        let mut done = vec![false; n];
+        fn chain(
+            dfa: &Dfa,
+            s: usize,
+            longest: &mut [usize],
+            done: &mut [bool],
+            on_stack: &mut [bool],
+        ) -> Option<usize> {
+            if done[s] {
+                return Some(longest[s]);
+            }
+            if on_stack[s] {
+                return None; // cycle through non-accepting states
+            }
+            on_stack[s] = true;
+            let mut best = 1usize;
+            for t in dfa.states[s].trans.iter().flatten() {
+                let t = *t as usize;
+                if dfa.states[t].accept.is_some() {
+                    continue; // re-accepting paths extend the match instead
+                }
+                best = best.max(1 + chain(dfa, t, longest, done, on_stack)?);
+            }
+            on_stack[s] = false;
+            done[s] = true;
+            longest[s] = best;
+            Some(best)
+        }
+        let mut on_stack = vec![false; n];
+        let mut out = vec![Some(1usize); tags]; // the killing character itself
+        for s in 0..n {
+            let Some(tag) = self.states[s].accept else {
+                continue;
+            };
+            if tag >= tags {
+                continue;
+            }
+            for t in self.states[s].trans.iter().flatten() {
+                let t = *t as usize;
+                if self.states[t].accept.is_some() {
+                    continue;
+                }
+                out[tag] = match (
+                    out[tag],
+                    chain(self, t, &mut longest, &mut done, &mut on_stack),
+                ) {
+                    (Some(a), Some(c)) => Some(a.max(1 + c)),
+                    _ => None,
+                };
+            }
+        }
+        out
+    }
+
     /// `true` if the automaton has no states (never after construction).
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
@@ -258,6 +352,26 @@ mod tests {
         for input in ["123", "12.5", "hello", "'str'", "12.x", "x12", "''", "9"] {
             assert_eq!(dfa.simulate(input), nfa.simulate(input), "on {input:?}");
         }
+    }
+
+    #[test]
+    fn probe_overhang_bounds_lookahead() {
+        // `12.x`: after accepting `12`, the munch examines `.` (live,
+        // hoping for a fraction) and `x` (dead) — overhang 2.
+        let d = dfa_of(&["[0-9]+(\\.[0-9]+)?", "[a-z]+"]);
+        let oh = d.probe_overhang().unwrap();
+        assert!(oh >= 2, "number lookahead needs 2, got {oh}");
+        // Exponent forms look one further (`1e+` then the dead byte).
+        let d = dfa_of(&["[0-9]+(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?"]);
+        assert!(d.probe_overhang().unwrap() >= 3);
+        // Pure keyword/ident sets die immediately after their match.
+        let d = dfa_of(&["[a-z]+", "[0-9]+"]);
+        assert_eq!(d.probe_overhang(), Some(1));
+        // A standalone `/` that is also the prefix of a block comment can
+        // stay live through an unbounded non-accepting comment body:
+        // overhang is unbounded.
+        let d = dfa_of(&["/", "/\\*([^*])*\\*/"]);
+        assert_eq!(d.probe_overhang(), None);
     }
 
     #[test]

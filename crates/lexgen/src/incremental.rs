@@ -1,0 +1,582 @@
+//! Damage-region relexing for incremental editing.
+//!
+//! An edit replaces one byte range of a document. Because maximal-munch
+//! scanning is suffix-pure — the scan from any byte position depends only
+//! on the text from that position on — the token stream after an edit can
+//! be repaired locally: restart the scanner at a boundary provably
+//! unaffected by the edit, scan forward over the changed region, and stop
+//! as soon as the scan lands on an old token boundary past the edit (from
+//! there the old suffix text is byte-identical, so the old tokens are
+//! exactly what a full rescan would produce, modulo a span shift).
+//!
+//! The delicate part is the *restart* position. A munch can examine bytes
+//! past the end of the token it emits (scanning `12.x` accepts `12` but
+//! examines `.` and `x` while hoping for a fraction), so a token wholly
+//! before the edit may still have *observed* edited bytes and would match
+//! differently on the new text.
+//! [`crate::dfa::Dfa::probe_overhang_by_tag`] bounds that lookahead per
+//! rule: a token whose end is at least its rule's bound before the edit
+//! cannot have observed it. Rules whose bound is `None` — typically
+//! quoted strings with doubled-quote escapes, where the closing quote's
+//! accept state re-enters the unbounded string body — get no static
+//! bound at all; their tokens instead carry *exact* probe frontiers,
+//! recorded at scan time and maintained across edits, and so do failed
+//! munches (lexical errors), which have no accepting state to anchor any
+//! bound. Both exact-frontier sets are supplied by the caller from
+//! previous scans.
+
+use crate::compiled;
+use crate::line_index::LineIndex;
+use crate::scanner::{LexError, Scanner, Token, TokenKind};
+
+/// One maximal-munch step taken in isolation: the match (if any), and the
+/// exclusive *probe frontier* — one past the furthest byte the automaton
+/// examined while looking for a longer match. `usize::MAX` means the
+/// munch ran into end of input, i.e. it observed "no more bytes", which an
+/// append would invalidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawStep {
+    /// End byte of the longest match; `None` if no rule matched here.
+    pub end: Option<usize>,
+    /// Kind of the match; `None` for skip-rule matches (and failures).
+    pub kind: Option<TokenKind>,
+    /// Exclusive probe frontier (`usize::MAX` = observed end of input).
+    pub probe: usize,
+}
+
+/// The result of [`Scanner::relex`]: a splice of the old token stream.
+///
+/// Old tokens `old_lo..old_hi` are replaced by `tokens` (spans already in
+/// new-text coordinates); old tokens before `old_lo` are untouched, old
+/// tokens from `old_hi` on are reproduced by shifting their spans by the
+/// edit's length delta. Lexical errors in `start_byte..resync_new` are
+/// likewise replaced by `errors`.
+#[derive(Debug, Clone)]
+pub struct Relex {
+    /// First old token index replaced.
+    pub old_lo: usize,
+    /// One past the last old token index replaced.
+    pub old_hi: usize,
+    /// Replacement tokens, spans in the edited text.
+    pub tokens: Vec<Token>,
+    /// Lexical errors inside the relexed window, in order, with line and
+    /// column already resolved against the edited text.
+    pub errors: Vec<LexError>,
+    /// Probe frontier of each entry of `errors` (same order), for future
+    /// restart decisions.
+    pub err_probes: Vec<usize>,
+    /// `(token_start, frontier)` of every token the relexed window
+    /// produced whose kind is probe-unbounded, ascending, in new-text
+    /// coordinates — collected *before* the common-prefix trim, so the
+    /// pairs cover the whole rescanned window `start_byte..resync_new`
+    /// even when the leading tokens were dropped from `tokens`. Callers
+    /// maintaining a probe cache splice these over their old entries in
+    /// that range.
+    pub tok_probes: Vec<(usize, usize)>,
+    /// Byte where relexing began (old and new text agree before this).
+    pub start_byte: usize,
+    /// Old-text byte where the scan rejoined the old stream; `None` if it
+    /// scanned to end of input instead (then `old_hi == old token count`).
+    pub resync_old: Option<usize>,
+    /// New-text byte of the same boundary (`resync_old` + length delta).
+    pub resync_new: Option<usize>,
+}
+
+impl Scanner {
+    /// Take one maximal-munch step at `pos`, reporting the probe frontier
+    /// alongside the match. Mirrors the compiled per-byte walk of
+    /// [`Scanner::scan_compiled`] exactly (same tables, same UTF-8
+    /// fallback), so a sequence of `step_raw` calls reproduces a full scan
+    /// step for step.
+    pub fn step_raw(&self, input: &str, pos: usize) -> RawStep {
+        let bytes = input.as_bytes();
+        let compiled = &self.compiled;
+        let mut state = 0u32;
+        let mut i = pos;
+        let mut best: Option<(usize, u32)> = None;
+        let mut probe = usize::MAX; // overwritten unless we run off the end
+        while i < bytes.len() {
+            let b = bytes[i];
+            let next = if b < 0x80 {
+                i += 1;
+                compiled.step_ascii(state, b)
+            } else {
+                let c = input[i..].chars().next().expect("non-empty suffix");
+                i += c.len_utf8();
+                match self.dfa.step(state, c) {
+                    Some(next) => next,
+                    None => compiled::DEAD,
+                }
+            };
+            if next == compiled::DEAD {
+                probe = i;
+                break;
+            }
+            state = next;
+            let meta = compiled.accept_meta(state);
+            if meta != compiled::NO_ACCEPT {
+                best = Some((i, meta));
+            }
+        }
+        match best {
+            Some((end, meta)) => RawStep {
+                end: Some(end),
+                kind: (meta & compiled::SKIP_FLAG == 0)
+                    .then_some(TokenKind(meta & compiled::TAG_MASK)),
+                probe,
+            },
+            None => RawStep { end: None, kind: None, probe },
+        }
+    }
+
+    /// Upper bound, in bytes, of [`crate::dfa::Dfa::probe_overhang`]
+    /// (characters are at most 4 bytes).
+    pub fn probe_overhang_bytes(&self) -> Option<usize> {
+        self.dfa.probe_overhang().map(|chars| chars * 4)
+    }
+
+    /// Upper bound, in bytes, on the probe overhang of every *bounded*
+    /// rule ([`crate::dfa::Dfa::probe_overhang_by_tag`]; characters are
+    /// at most 4 bytes). Unbounded non-skip rules are excluded — their
+    /// matches carry exact recorded frontiers instead — but an unbounded
+    /// *skip* rule returns `None`: skip matches leave no token behind to
+    /// carry a frontier, so no finite restart bound exists and relexing
+    /// falls back to byte 0.
+    pub fn bounded_overhang_bytes(&self) -> Option<usize> {
+        let mut max = 1usize;
+        for (tag, oh) in self.overhang_by_tag.iter().enumerate() {
+            match oh {
+                Some(chars) => max = max.max(chars * 4),
+                None if self.skip.contains(tag) => return None,
+                None => {}
+            }
+        }
+        Some(max)
+    }
+
+    /// `true` if a match of `kind` can examine input unboundedly far past
+    /// its own end (e.g. an unterminated-string prefix re-entering the
+    /// string body), so its restart safety needs an exact recorded probe
+    /// frontier rather than the static per-rule bound.
+    pub fn kind_probe_unbounded(&self, kind: TokenKind) -> bool {
+        self.overhang_by_tag
+            .get(kind.index())
+            .is_some_and(|oh| oh.is_none())
+    }
+
+    /// Exact probe frontiers, via [`Scanner::step_raw`], of every token
+    /// in `toks` whose kind is probe-unbounded, as ascending
+    /// `(token_start, frontier)` pairs — the per-document cache an
+    /// incremental caller feeds back to [`Scanner::relex`] as
+    /// `old_tok_probes` on later edits.
+    pub fn token_probes(&self, text: &str, toks: &[Token]) -> Vec<(usize, usize)> {
+        toks.iter()
+            .filter(|t| self.kind_probe_unbounded(t.kind))
+            .map(|t| (t.start, self.step_raw(text, t.start).probe))
+            .collect()
+    }
+
+    /// Relex the damage region of an edit that replaced old-text bytes
+    /// `edit_start..edit_old_end` (the replacement now occupies new-text
+    /// bytes `edit_start..edit_new_end`).
+    ///
+    /// `old_toks` is the previous full token stream (spans in `old_text`),
+    /// `old_errors` the previous lexical errors as `(position, probe)`
+    /// pairs in ascending position order, and `old_tok_probes` the
+    /// recorded frontiers of the previous probe-unbounded tokens
+    /// (ascending `(token_start, frontier)` pairs, as produced by
+    /// [`Scanner::token_probes`] and maintained across edits from
+    /// [`Relex::tok_probes`]). `new_lines` must already be the line index
+    /// of `new_text`. The scan restarts at the latest boundary where
+    /// every earlier match and failure provably never examined an edited
+    /// byte, and stops at the first old scan boundary at or past the edit
+    /// (token start, error position, or end of input).
+    #[allow(clippy::too_many_arguments)]
+    pub fn relex(
+        &self,
+        old_text: &str,
+        new_text: &str,
+        new_lines: &LineIndex,
+        old_toks: &[Token],
+        old_errors: &[(usize, usize)],
+        old_tok_probes: &[(usize, usize)],
+        edit_start: usize,
+        edit_old_end: usize,
+        edit_new_end: usize,
+    ) -> Relex {
+        debug_assert!(edit_start <= edit_old_end && edit_old_end <= old_text.len());
+        debug_assert!(edit_start <= edit_new_end && edit_new_end <= new_text.len());
+        // A bounded-rule match ending more than `bm` bytes before the
+        // edit died before reaching it; token ends are ascending, so the
+        // candidate prefix is a partition. Restart at the end of the last
+        // such token: the gap after it (skip runs, error skips) gets
+        // rescanned, every earlier skip munch ends no later and is
+        // covered by the same bound (skip rules are all bounded whenever
+        // `bm` is `Some`), and the two exact-frontier passes below handle
+        // the munches the static bound cannot: unbounded-rule matches
+        // and failed munches.
+        let mut start_byte = match self.bounded_overhang_bytes() {
+            Some(bm) => {
+                let safe = old_toks.partition_point(|t| t.end.saturating_add(bm) <= edit_start);
+                if safe == 0 { 0 } else { old_toks[safe - 1].end }
+            }
+            None => 0,
+        };
+        // Matches of probe-unbounded rules carry exact recorded
+        // frontiers; the first (leftmost) one that observed an edited
+        // byte caps the restart, and rescanning every later one keeps
+        // the cache splice sound. Ascending order makes the first
+        // violator below the current restart the only one that matters.
+        for &(at, probe) in old_tok_probes {
+            if at >= start_byte {
+                break;
+            }
+            if probe > edit_start {
+                start_byte = at;
+                break;
+            }
+        }
+        // Failed munches have no accept to anchor the overhang bound; use
+        // their recorded probe frontiers exactly.
+        for &(at, probe) in old_errors {
+            if at < start_byte && probe > edit_start {
+                start_byte = at;
+            }
+        }
+        let old_lo = old_toks.partition_point(|t| t.start < start_byte);
+
+        let delta = edit_new_end as isize - edit_old_end as isize;
+        let mut tokens = Vec::new();
+        let mut errors = Vec::new();
+        let mut err_probes = Vec::new();
+        let mut tok_probes = Vec::new();
+        let mut pos = start_byte;
+        let mut resync_old = None;
+        while pos < new_text.len() {
+            if pos >= edit_new_end {
+                // Fresh scan boundary past the edit: if the corresponding
+                // old byte was also a scan boundary, the identical suffix
+                // text reproduces the old stream from here on.
+                let old_pos = (pos as isize - delta) as usize;
+                let at_token = old_toks
+                    .binary_search_by_key(&old_pos, |t| t.start)
+                    .is_ok();
+                let at_error =
+                    old_errors.binary_search_by_key(&old_pos, |&(at, _)| at).is_ok();
+                if at_token || at_error {
+                    resync_old = Some(old_pos);
+                    break;
+                }
+            }
+            let step = self.step_raw(new_text, pos);
+            match step.end {
+                Some(end) => {
+                    if let Some(kind) = step.kind {
+                        tokens.push(Token { kind, start: pos, end });
+                        if self.kind_probe_unbounded(kind) {
+                            tok_probes.push((pos, step.probe));
+                        }
+                    }
+                    pos = end;
+                }
+                None => {
+                    let found = new_text[pos..].chars().next();
+                    let (line, column) = new_lines.line_col(new_text, pos);
+                    errors.push(LexError { at: pos, line, column, found });
+                    err_probes.push(step.probe);
+                    match found {
+                        Some(c) => pos += c.len_utf8(),
+                        None => break,
+                    }
+                }
+            }
+        }
+        let old_hi = match resync_old {
+            Some(q) => old_toks.partition_point(|t| t.start < q),
+            None => old_toks.len(),
+        };
+
+        // Trim the re-produced common prefix (tokens strictly before the
+        // edit match the old stream byte for byte) so callers see the
+        // minimal damaged token range. Only spans ending at or before the
+        // edit are comparable — an equal-span token overlapping the edit
+        // may have different text.
+        let mut keep = 0usize;
+        let mut lo = old_lo;
+        while keep < tokens.len()
+            && lo < old_hi
+            && tokens[keep] == old_toks[lo]
+            && tokens[keep].end <= edit_start
+        {
+            keep += 1;
+            lo += 1;
+        }
+        tokens.drain(..keep);
+
+        Relex {
+            old_lo: lo,
+            old_hi,
+            tokens,
+            errors,
+            err_probes,
+            tok_probes,
+            start_byte,
+            resync_old,
+            resync_new: resync_old.map(|q| (q as isize + delta) as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenset::TokenSet;
+
+    fn sql_scanner() -> Scanner {
+        let mut ts = TokenSet::new();
+        ts.keyword("SELECT").unwrap();
+        ts.keyword("FROM").unwrap();
+        ts.punct("SEMI", ";").unwrap();
+        ts.punct("COMMA", ",").unwrap();
+        ts.pattern("IDENT", "[A-Za-z_][A-Za-z0-9_]*").unwrap();
+        ts.pattern("NUMBER", "[0-9]+(\\.[0-9]+)?([eE][+\\-]?[0-9]+)?").unwrap();
+        ts.pattern("STRING", "'([^']|'')*'").unwrap();
+        ts.skip("WS", "[ \\t\\r\\n]+").unwrap();
+        ts.skip("LINE_COMMENT", "--[^\\n]*").unwrap();
+        ts.build().unwrap()
+    }
+
+    /// Apply `relex` and reassemble the full token stream + errors, for
+    /// comparison against a from-scratch resilient scan.
+    fn incremental_scan(
+        s: &Scanner,
+        old_text: &str,
+        edit: (usize, usize, &str),
+    ) -> (Vec<Token>, Vec<usize>) {
+        let (start, old_end, rep) = edit;
+        let mut new_text = String::new();
+        new_text.push_str(&old_text[..start]);
+        new_text.push_str(rep);
+        new_text.push_str(&old_text[old_end..]);
+
+        let mut old_toks = Vec::new();
+        let old_errs = s.scan_resilient_into(old_text, &mut old_toks);
+        let old_err_probes: Vec<(usize, usize)> = old_errs
+            .iter()
+            .map(|e| (e.at, s.step_raw(old_text, e.at).probe))
+            .collect();
+        let old_tok_probes = s.token_probes(old_text, &old_toks);
+
+        let new_lines = LineIndex::new(&new_text);
+        let delta = (start + rep.len()) as isize - old_end as isize;
+        let r = s.relex(
+            old_text,
+            &new_text,
+            &new_lines,
+            &old_toks,
+            &old_err_probes,
+            &old_tok_probes,
+            start,
+            old_end,
+            start + rep.len(),
+        );
+
+        let mut toks: Vec<Token> = old_toks[..r.old_lo].to_vec();
+        toks.extend_from_slice(&r.tokens);
+        for t in &old_toks[r.old_hi..] {
+            toks.push(Token {
+                kind: t.kind,
+                start: (t.start as isize + delta) as usize,
+                end: (t.end as isize + delta) as usize,
+            });
+        }
+        let mut errs: Vec<usize> = old_err_probes
+            .iter()
+            .filter(|&&(at, _)| at < r.start_byte)
+            .map(|&(at, _)| at)
+            .collect();
+        errs.extend(r.errors.iter().map(|e| e.at));
+        if let Some(q) = r.resync_old {
+            errs.extend(
+                old_err_probes
+                    .iter()
+                    .filter(|&&(at, _)| at >= q)
+                    .map(|&(at, _)| (at as isize + delta) as usize),
+            );
+        }
+        (toks, errs)
+    }
+
+    fn assert_edit_matches_full(s: &Scanner, old_text: &str, edit: (usize, usize, &str)) {
+        let (start, old_end, rep) = edit;
+        let mut new_text = String::new();
+        new_text.push_str(&old_text[..start]);
+        new_text.push_str(rep);
+        new_text.push_str(&old_text[old_end..]);
+        let mut full = Vec::new();
+        let full_errs = s.scan_resilient_into(&new_text, &mut full);
+        let (inc, inc_errs) = incremental_scan(s, old_text, edit);
+        assert_eq!(inc, full, "edit {edit:?} on {old_text:?}");
+        assert_eq!(
+            inc_errs,
+            full_errs.iter().map(|e| e.at).collect::<Vec<_>>(),
+            "errors after edit {edit:?} on {old_text:?}"
+        );
+    }
+
+    #[test]
+    fn single_token_edits_resync_quickly() {
+        let s = sql_scanner();
+        let text = "SELECT alpha, beta FROM t1; SELECT gamma FROM t2";
+        for (start, old_end, rep) in [
+            (7, 12, "omega"),      // replace an identifier
+            (7, 7, "x"),           // grow an identifier at its start
+            (12, 12, "_tail"),     // grow an identifier at its end
+            (26, 27, ""),          // delete the semicolon
+            (26, 26, ";;"),        // insert more separators
+            (0, 6, "FROM"),        // replace the leading keyword
+            (48, 48, " WHERE"),    // append at EOF (lexical error: none)
+            (0, 48, ""),           // delete everything
+            (20, 24, ""),          // delete `FROM` (merges surrounding ws)
+        ] {
+            assert_edit_matches_full(&s, text, (start, old_end, rep));
+        }
+    }
+
+    #[test]
+    fn edits_that_merge_or_split_tokens() {
+        let s = sql_scanner();
+        // Deleting the space merges `alpha beta` into one identifier.
+        assert_edit_matches_full(&s, "alpha beta", (5, 6, ""));
+        // Inserting a space splits one identifier.
+        assert_edit_matches_full(&s, "alphabeta", (5, 5, " "));
+        // Editing `12.5` into `12x5`: the number's lookahead probed the
+        // dot, the restart must back over it.
+        assert_edit_matches_full(&s, "12.5 rest", (3, 4, "x"));
+        assert_edit_matches_full(&s, "12.5 rest", (2, 3, ""));
+        // `1e` exponent lookahead: `12e+` probes two past the mantissa.
+        assert_edit_matches_full(&s, "12 e5", (2, 3, ""));
+    }
+
+    #[test]
+    fn edits_inside_strings_and_comments() {
+        let s = sql_scanner();
+        let text = "SELECT 'a string' FROM t -- trailing\nSELECT b FROM u";
+        for edit in [
+            (9, 15, "редактор"), // replace string contents (multi-byte)
+            (8, 8, "''"),        // escaped quote inside the string
+            (16, 17, ""),        // delete the closing quote (unterminated)
+            (30, 30, "mid"),     // edit inside the line comment
+            (36, 37, " "),       // delete the newline ending the comment
+        ] {
+            assert_edit_matches_full(&s, text, edit);
+        }
+        // Closing a previously unterminated string rewrites the suffix.
+        assert_edit_matches_full(&s, "SELECT 'open FROM t", (13, 13, "' "));
+    }
+
+    #[test]
+    fn edits_around_lexical_errors() {
+        let s = sql_scanner();
+        let text = "SELECT # a FROM ? t";
+        for edit in [
+            (7, 8, "#?"),   // grow the garbage
+            (7, 8, "x"),    // fix the first error
+            (16, 17, ""),   // delete the second error
+            (0, 0, "? "),   // new leading error
+            (19, 19, " ~"), // new trailing error
+        ] {
+            assert_edit_matches_full(&s, text, edit);
+        }
+    }
+
+    #[test]
+    fn randomized_edits_match_full_rescan() {
+        let s = sql_scanner();
+        // Deterministic xorshift so failures reproduce.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound.max(1) as u64) as usize
+        };
+        let base = "SELECT a1, b2 FROM t; SELECT 'x''y' FROM u -- c\nSELECT 12.5e3 FROM v;";
+        let pieces = ["", "x", ";", "'", " ", "SELECT", "12.", "--", "\n", "#", "''", "e5"];
+        let mut text = base.to_string();
+        for round in 0..300 {
+            let mut start = next(text.len() + 1);
+            while !text.is_char_boundary(start) {
+                start -= 1;
+            }
+            let mut end = (start + next(8)).min(text.len());
+            while !text.is_char_boundary(end) {
+                end -= 1;
+            }
+            let end = end.max(start);
+            let rep = pieces[next(pieces.len())];
+            assert_edit_matches_full(&s, &text, (start, end, rep));
+            let mut edited = String::new();
+            edited.push_str(&text[..start]);
+            edited.push_str(rep);
+            edited.push_str(&text[end..]);
+            text = edited;
+            if text.len() > 400 || text.is_empty() {
+                text = base.to_string();
+            }
+            let _ = round;
+        }
+    }
+
+    #[test]
+    fn unbounded_string_rule_keeps_restart_local() {
+        let s = sql_scanner();
+        // The doubled-quote escape makes STRING probe-unbounded (the
+        // closing quote's accept state re-enters the string body on a
+        // further `'`), poisoning the whole-automaton bound — but the
+        // per-rule analysis keeps every other rule bounded, so the
+        // scanner still has a finite restart bound plus exact frontiers
+        // for the string tokens alone.
+        let string = s.kind_of("STRING").unwrap();
+        assert!(s.kind_probe_unbounded(string));
+        assert!(!s.kind_probe_unbounded(s.kind_of("IDENT").unwrap()));
+        assert_eq!(s.probe_overhang_bytes(), None);
+        let bm = s.bounded_overhang_bytes().expect("every skip rule is bounded");
+
+        let old = "SELECT 'a''b' FROM t; SELECT gamma FROM u";
+        let mut old_toks = Vec::new();
+        assert!(s.scan_resilient_into(old, &mut old_toks).is_empty());
+        let probes = s.token_probes(old, &old_toks);
+        assert_eq!(probes.len(), 1, "one string literal, one exact frontier");
+
+        // Replace the trailing identifier: the string's recorded
+        // frontier (the space killing its munch) never reached the
+        // edit, so the restart stays within the static bound of the
+        // edit instead of backing up to byte 0.
+        let edit = old.len() - 1;
+        let mut new = old.to_string();
+        new.replace_range(edit.., "v");
+        let new_lines = LineIndex::new(&new);
+        let r = s.relex(
+            old, &new, &new_lines, &old_toks, &[], &probes, edit, old.len(), old.len(),
+        );
+        assert!(
+            r.start_byte + bm >= edit,
+            "restart {} not local to edit at {edit}",
+            r.start_byte
+        );
+        assert!(r.start_byte > 13, "restart {} backed over the string", r.start_byte);
+        assert!(r.tok_probes.is_empty(), "no string inside the rescanned window");
+    }
+
+    #[test]
+    fn step_raw_probe_marks_eof_observation() {
+        let s = sql_scanner();
+        // An identifier running to end of input observed EOF.
+        assert_eq!(s.step_raw("abc", 0).probe, usize::MAX);
+        // One followed by a dead byte did not.
+        let step = s.step_raw("abc;x", 0);
+        assert_eq!(step.end, Some(3));
+        assert_eq!(step.probe, 4);
+    }
+}

@@ -37,6 +37,7 @@
 pub mod analysis;
 pub mod compiled;
 pub mod dfa;
+pub mod incremental;
 pub mod line_index;
 pub mod minimize;
 pub mod nfa;
@@ -46,6 +47,7 @@ pub mod tokenset;
 pub mod vector;
 
 pub use compiled::CompiledDfa;
+pub use incremental::{RawStep, Relex};
 pub use line_index::LineIndex;
 pub use scanner::{LexError, Scanner, Token, TokenKind};
 pub use tokenset::{TokenRule, TokenSet};

@@ -39,6 +39,29 @@ impl LineIndex {
         self.starts.get(line.checked_sub(1)?).copied()
     }
 
+    /// Incrementally update the index for an edit replacing the byte range
+    /// `start..old_end` with `replacement`: line starts at or before
+    /// `start` are kept, starts inside the replaced window are dropped in
+    /// favor of the replacement's own newlines, and starts after the
+    /// window shift by the length delta. Equivalent to rebuilding with
+    /// [`LineIndex::new`] on the edited text, but O(lines in the window +
+    /// lines after it) with no rescans of the unedited prefix text.
+    pub fn apply_edit(&mut self, start: usize, old_end: usize, replacement: &str) {
+        debug_assert!(start <= old_end);
+        let lo = self.starts.partition_point(|&s| s <= start);
+        let hi = self.starts.partition_point(|&s| s <= old_end);
+        let delta = replacement.len() as isize - (old_end - start) as isize;
+        for s in &mut self.starts[hi..] {
+            *s = (*s as isize + delta) as usize;
+        }
+        let mid = replacement
+            .bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| start + i + 1);
+        self.starts.splice(lo..hi, mid);
+    }
+
     /// Compute the 1-based line/column of byte offset `at`, identical to
     /// the naive [`crate::scanner::line_col`] scan: the line is found by
     /// binary search over the line starts, the column counts *characters*
@@ -112,6 +135,38 @@ mod tests {
         assert_eq!(index.line_start(3), Some(6));
         assert_eq!(index.line_start(4), None);
         assert_eq!(index.line_start(0), None);
+    }
+
+    #[test]
+    fn apply_edit_matches_rebuild() {
+        let bases = [
+            "",
+            "a",
+            "abc\ndef\nghi",
+            "one\ntwo\nthree\nfour\n",
+            "\n\n\n",
+            "no newlines at all",
+        ];
+        let replacements = ["", "x", "\n", "a\nb", "\n\n", "tail\n"];
+        for base in bases {
+            for rep in replacements {
+                for start in 0..=base.len() {
+                    for end in start..=base.len() {
+                        let mut edited = String::new();
+                        edited.push_str(&base[..start]);
+                        edited.push_str(rep);
+                        edited.push_str(&base[end..]);
+                        let mut index = LineIndex::new(base);
+                        index.apply_edit(start, end, rep);
+                        assert_eq!(
+                            index.starts,
+                            LineIndex::new(&edited).starts,
+                            "base {base:?} edit {start}..{end} -> {rep:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

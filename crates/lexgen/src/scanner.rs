@@ -100,6 +100,11 @@ pub struct Scanner {
     pub(crate) vector: VectorTables,
     pub(crate) names: Box<[Box<str>]>,
     pub(crate) skip: BitSet,
+    /// Per-rule probe-overhang bound in characters
+    /// ([`crate::dfa::Dfa::probe_overhang_by_tag`], computed once at
+    /// build); `None` entries mark rules whose matches can look ahead
+    /// unboundedly and need exact recorded probe frontiers instead.
+    pub(crate) overhang_by_tag: Box<[Option<usize>]>,
 }
 
 impl Scanner {

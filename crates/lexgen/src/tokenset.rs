@@ -204,8 +204,10 @@ impl TokenSet {
         let skip: BitSet = ordered.iter().map(TokenRule::is_skip).collect();
         let compiled = CompiledDfa::compile(&dfa, &skip);
         let vector = VectorTables::build(&ordered, &dfa, &compiled, &skip);
+        let overhang_by_tag = dfa.probe_overhang_by_tag(ordered.len()).into_boxed_slice();
         Ok(Scanner {
             dfa,
+            overhang_by_tag,
             compiled,
             vector,
             names: ordered

@@ -20,10 +20,11 @@ use crate::engine::{
     EngineMode, EvCtx, FailureMemo, Notes, Parser, ParserStats, RunCounters, NO_PROD,
 };
 use crate::errors::ParseError;
-use crate::events::{Event, ERROR_NODE};
+use crate::events::{top_level_elements, ElemKind, Event, TopElem, ERROR_NODE};
 use crate::tree::{SyntaxTree, TreeBuffers};
 use sqlweave_lexgen::{LexError, LineIndex, Token};
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 /// A reusable parsing workspace bound to one [`Parser`].
 pub struct ParseSession<'p> {
@@ -38,6 +39,100 @@ pub struct ParseSession<'p> {
     notes: Notes,
     counters: RunCounters,
     tree: TreeBuffers,
+    /// Incrementally maintained document, when one is open
+    /// ([`ParseSession::open_document`] / [`ParseSession::apply_edit`]).
+    inc: Option<Box<IncDoc>>,
+}
+
+/// How local the last [`ParseSession::apply_edit`] repair was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditStats {
+    /// Tokens produced by the damage-region relex.
+    pub relexed_tokens: usize,
+    /// Tokens covered by the reparsed window (`0` for a token-preserving
+    /// edit — whitespace/comment-internal — which skips the parser
+    /// entirely).
+    pub reparsed_tokens: usize,
+    /// Total tokens in the document after the edit.
+    pub total_tokens: usize,
+    /// Bytes between the relex restart point and the point where the new
+    /// token stream resynchronized with the old one (the resync distance).
+    pub resync_bytes: usize,
+    /// The repair gave up and reparsed the whole document (pathological
+    /// stream shape, or the damage window grew to cover everything).
+    pub full_reparse: bool,
+}
+
+/// Persistent state of an incrementally maintained document: the text and
+/// every derived artifact [`ParseSession::apply_edit`] repairs in place
+/// instead of recomputing — line index, token stream, lexical diagnostics
+/// (with the probe frontier of each failed munch, needed to place future
+/// relex restarts), syntax diagnostics, and the assembled root-wrapped
+/// event stream of the whole document.
+struct IncDoc {
+    text: String,
+    /// Ping-pong buffer: holds the pre-edit text during a relex, so
+    /// steady-state editing allocates nothing.
+    text_scratch: String,
+    lines: LineIndex,
+    /// Document token stream + interned kind ids. Swapped into the
+    /// session's `toks`/`kind_ids` slots while incremental work runs, so
+    /// the strict engine and the recovery driver read them unchanged.
+    toks: Vec<Token>,
+    kind_ids: Vec<u32>,
+    lex: Vec<LexError>,
+    lex_probes: Vec<usize>,
+    /// Exact probe frontiers of the document's probe-unbounded tokens
+    /// (ascending `(token_start, frontier)` pairs): the only tokens whose
+    /// maximal munch can look past the static per-rule overhang bound, so
+    /// the relex restart consults these recorded frontiers instead of
+    /// backing up to byte 0 whenever such a rule (typically a quoted
+    /// string with doubled-quote escapes) exists in the dialect.
+    tok_probes: Vec<(usize, usize)>,
+    syn: Vec<ParseError>,
+    events: Vec<Event>,
+    events_scratch: Vec<Event>,
+    /// Root wrapper (`prod`, `alt`) of `events`.
+    root: (u32, u32),
+    last_edit: EditStats,
+}
+
+impl IncDoc {
+    fn empty() -> IncDoc {
+        IncDoc {
+            text: String::new(),
+            text_scratch: String::new(),
+            lines: LineIndex::new(""),
+            toks: Vec::new(),
+            kind_ids: Vec::new(),
+            lex: Vec::new(),
+            lex_probes: Vec::new(),
+            tok_probes: Vec::new(),
+            syn: Vec::new(),
+            events: Vec::new(),
+            events_scratch: Vec::new(),
+            root: (ERROR_NODE, 0),
+            last_edit: EditStats {
+                relexed_tokens: 0,
+                reparsed_tokens: 0,
+                total_tokens: 0,
+                resync_bytes: 0,
+                full_reparse: true,
+            },
+        }
+    }
+}
+
+/// What a window-bounded resilient drive reported back.
+struct DriveResult {
+    /// Root production observed on the first spliced chunk (`None` if the
+    /// window produced only error nodes).
+    root: Option<(u32, u32)>,
+    /// The drive needed tokens past the window end: a strict attempt's
+    /// failure frontier reached it, or recovery was still inside an error
+    /// node when it ran out of window. Only possible when the window end
+    /// is short of the document end; the caller must widen and re-run.
+    needs_widening: bool,
 }
 
 /// The result of a resilient parse: a tree covering every scanned token
@@ -63,6 +158,122 @@ fn lex_to_parse(e: &LexError) -> ParseError {
         found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
         lexical: Some(e.to_string()),
     }
+}
+
+/// Replace the lexical diagnostics covered by a relex: errors before the
+/// restart point survive unchanged (the restart rule guarantees their
+/// probe frontiers never reached the edit), the relexed window's are
+/// fresh, and errors past the resync boundary shift — position and probe
+/// frontier both — by the edit's byte delta (line/column recomputed
+/// against the repaired line index).
+fn splice_lex_diags(doc: &mut IncDoc, relex: &sqlweave_lexgen::Relex, delta: isize) {
+    let mut lex = Vec::with_capacity(relex.errors.len());
+    let mut probes = Vec::with_capacity(relex.err_probes.len());
+    for (e, &p) in doc.lex.iter().zip(&doc.lex_probes) {
+        if e.at < relex.start_byte {
+            lex.push(e.clone());
+            probes.push(p);
+        }
+    }
+    lex.extend(relex.errors.iter().cloned());
+    probes.extend_from_slice(&relex.err_probes);
+    if let Some(q) = relex.resync_old {
+        for (e, &p) in doc.lex.iter().zip(&doc.lex_probes) {
+            if e.at >= q {
+                let at = (e.at as isize + delta) as usize;
+                let (line, column) = doc.lines.line_col(&doc.text, at);
+                lex.push(LexError { at, line, column, found: e.found });
+                probes.push(if p == usize::MAX { p } else { (p as isize + delta) as usize });
+            }
+        }
+    }
+    doc.lex = lex;
+    doc.lex_probes = probes;
+}
+
+/// Replace the unbounded-token probe cache covered by a relex, mirroring
+/// [`splice_lex_diags`]: entries before the restart survive verbatim (the
+/// restart rule guarantees their frontiers never reached the edit), the
+/// rescanned window's come fresh from the relex (already in new-text
+/// coordinates), and entries past the resync boundary shift — token start
+/// and frontier both — by the edit's byte delta, with the `usize::MAX`
+/// EOF-observation sentinel preserved.
+fn splice_tok_probes(doc: &mut IncDoc, relex: &sqlweave_lexgen::Relex, delta: isize) {
+    if doc.tok_probes.is_empty() && relex.tok_probes.is_empty() {
+        return;
+    }
+    let mut probes = Vec::with_capacity(doc.tok_probes.len() + relex.tok_probes.len());
+    probes.extend(
+        doc.tok_probes
+            .iter()
+            .copied()
+            .take_while(|&(at, _)| at < relex.start_byte),
+    );
+    probes.extend_from_slice(&relex.tok_probes);
+    if let Some(q) = relex.resync_old {
+        probes.extend(
+            doc.tok_probes
+                .iter()
+                .filter(|&&(at, _)| at >= q)
+                .map(|&(at, p)| {
+                    let p = if p == usize::MAX { p } else { (p as isize + delta) as usize };
+                    ((at as isize + delta) as usize, p)
+                }),
+        );
+    }
+    doc.tok_probes = probes;
+}
+
+/// Pick the window's first element: walk left to a `Clean` element (error
+/// nodes couple to the statement they arose in; a bare separator is not a
+/// valid parse start), make sure the element *before* the window is not an
+/// error node (the drive could need to coalesce into it), and take one
+/// clean statement of margin so the drive's statement-boundary retries
+/// resolve inside the window exactly as a full drive would.
+fn widen_left(elems: &[TopElem], mut e: usize) -> usize {
+    let mut margin = 1;
+    loop {
+        while e > 0 && elems[e].kind != ElemKind::Clean {
+            e -= 1;
+        }
+        if e > 0 && elems[e - 1].kind == ElemKind::Err {
+            e -= 1;
+            continue;
+        }
+        if margin > 0 && e > 0 {
+            margin -= 1;
+            e -= 1;
+            continue;
+        }
+        break;
+    }
+    e
+}
+
+/// Pick the window's end (exclusive element index), starting from the
+/// first candidate: absorb error nodes unconditionally (error clusters
+/// coalesce and merge diagnostics across element boundaries) plus one
+/// clean statement of margin, and stop *before* the next clean statement
+/// or bare separator — the window then ends on a boundary both engines
+/// treat as end-of-input (a trailing separator would spuriously fail the
+/// predictive engine's strict window parse).
+fn widen_right(elems: &[TopElem], mut e: usize) -> usize {
+    let mut margin = 1;
+    while e < elems.len() {
+        match elems[e].kind {
+            ElemKind::Err => e += 1,
+            ElemKind::Tok | ElemKind::Clean => {
+                if margin == 0 {
+                    break;
+                }
+                if elems[e].kind == ElemKind::Clean {
+                    margin -= 1;
+                }
+                e += 1;
+            }
+        }
+    }
+    e
 }
 
 /// Splice one successful strict chunk (a single balanced `Open … Close`
@@ -122,6 +333,7 @@ impl<'p> ParseSession<'p> {
             notes: Notes::new(parser.n_tokens),
             counters: RunCounters::default(),
             tree: TreeBuffers::default(),
+            inc: None,
         }
     }
 
@@ -137,6 +349,7 @@ impl<'p> ParseSession<'p> {
             notes: b.notes,
             counters: b.counters,
             tree: b.tree,
+            inc: None,
         }
     }
 
@@ -260,42 +473,35 @@ impl<'p> ParseSession<'p> {
         result
     }
 
-    /// Parse with panic-mode error recovery (see
-    /// [`Parser::parse_resilient`] for the contract). The driver:
-    ///
-    /// 1. lexes resiliently (bad characters become lexical diagnostics,
-    ///    scanning continues);
-    /// 2. repeatedly runs the strict engine on the remaining tokens;
-    ///    a full parse splices in and finishes, a partial/failed parse
-    ///    records one diagnostic, splices whatever prefix committed, and
-    ///    *panics*: tokens are skipped until a synchronization token
-    ///    (statement level, consumed into the error node) or a token in
-    ///    FOLLOW of the failing production (left for the resumed parse);
-    /// 3. skipped stretches become `error` nodes, so every scanned token
-    ///    appears in the final tree exactly once.
-    ///
-    /// A fuel bound (each iteration strictly advances, and fuel is
-    /// 2·tokens + 4) guarantees termination on any input.
-    pub fn parse_resilient<'s>(&'s mut self, input: &'s str) -> ParseOutcome<'s> {
+    /// The panic-mode recovery driver over the token window `lo..hi` of a
+    /// `doc_end`-token stream, appending spliced chunks and error nodes to
+    /// `self.revents` and diagnostics to `errors`. A full parse passes
+    /// `lo = 0, hi = doc_end`; the incremental reparser passes a damage
+    /// window, for which the drive additionally watches for evidence that
+    /// the window is too small to parse in isolation (a failure frontier
+    /// or an unfinished error node at the window end while more of the
+    /// document follows) and reports `needs_widening` with `errors` and
+    /// the recovery counters rolled back — the caller re-drives a wider
+    /// window (`self.revents` is the caller's to clear).
+    fn drive_resilient(
+        &mut self,
+        input: &str,
+        index: &LineIndex,
+        lo: usize,
+        hi: usize,
+        doc_end: usize,
+        errors: &mut Vec<ParseError>,
+    ) -> DriveResult {
         let parser = self.parser;
         let mode = parser.mode();
-        self.toks.clear();
-        self.kind_ids.clear();
-        self.revents.clear();
-        let index = LineIndex::new(input);
-        let mut errors: Vec<ParseError> = parser
-            .scanner
-            .scan_resilient_into(input, &mut self.toks)
-            .iter()
-            .map(lex_to_parse)
-            .collect();
-        self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
-        let n = self.toks.len();
+        let counters_mark = self.counters;
+        let errors_mark = errors.len();
 
         // Root production observed on the first spliced chunk; error-only
-        // parses fall back to an `error` root in the final assembly.
+        // drives report `None` and the caller falls back to an `error`
+        // root.
         let mut root: Option<(u32, u32)> = None;
-        let mut pos = 0usize;
+        let mut pos = lo;
         // Where the previous panic skip resumed, and whether it resumed by
         // consuming a statement-level sync token. A resumed attempt that
         // fails with zero progress after a *non-statement* resume is a
@@ -304,39 +510,48 @@ impl<'p> ParseSession<'p> {
         let mut prev_resume: Option<usize> = None;
         let mut prev_was_sync = false;
         let mut last_is_error = false;
-        let mut fuel = 2 * n + 4;
+        let mut fuel = 2 * (hi - lo) + 4;
 
-        if n == 0 {
-            match self.run_strict(0, 0) {
-                Ok(_) => splice_chunk(&mut self.revents, &self.events, 0, &mut root),
+        if lo == hi {
+            match self.run_strict(lo, hi) {
+                Ok(_) => splice_chunk(&mut self.revents, &self.events, lo, &mut root),
                 Err(()) => {
-                    errors.push(parser.error_from_with(input, &[], &self.notes, &index));
+                    errors.push(parser.error_from_with(input, &[], &self.notes, index));
                     self.counters.recoveries += 1;
                 }
             }
         }
-        while pos < n {
+        while pos < hi {
             if fuel == 0 {
                 // Unreachable in practice (every iteration advances), but
                 // the hard bound makes termination unconditional: dump the
                 // remainder into one error node and stop.
-                self.emit_error_node(pos, n, &mut last_is_error);
+                self.emit_error_node(pos, hi, &mut last_is_error);
                 break;
             }
             fuel -= 1;
-            let remaining = n - pos;
-            let result = self.run_strict(pos, n);
+            let remaining = hi - pos;
+            let result = self.run_strict(pos, hi);
             if let Ok(next) = result {
                 if next == remaining {
                     splice_chunk(&mut self.revents, &self.events, pos, &mut root);
+                    last_is_error = false;
                     break;
                 }
                 self.notes.note_eof(next);
             }
+            let fail_abs = pos + self.notes.farthest.min(remaining);
+            if fail_abs == hi && hi < doc_end {
+                // The failure frontier reached the window end: where this
+                // attempt really fails (and where recovery should resume)
+                // depends on tokens past `hi`.
+                self.counters = counters_mark;
+                errors.truncate(errors_mark);
+                return DriveResult { root, needs_widening: true };
+            }
             // Committed failure: capture the diagnostic (and the failure
             // frontier) before any retry clobbers the notes.
-            let diag = parser.error_from_with(input, &self.toks[pos..], &self.notes, &index);
-            let fail_abs = pos + self.notes.farthest.min(remaining);
+            let diag = parser.error_from_with(input, &self.toks[pos..], &self.notes, index);
             let fail_prod = self.notes.at_prod;
 
             // How far did this attempt commit? The backtracking skeleton
@@ -386,9 +601,9 @@ impl<'p> ParseSession<'p> {
             let follow = (fail_prod != NO_PROD)
                 .then(|| parser.follow_bits(mode, fail_prod))
                 .flatten();
-            let mut resume = n;
+            let mut resume = hi;
             let mut was_sync = false;
-            for i in good.max(fail_abs)..n {
+            for i in good.max(fail_abs)..hi {
                 let k = self.kind_ids[i];
                 if parser.is_sync_token(k) {
                     resume = i + 1;
@@ -413,10 +628,56 @@ impl<'p> ParseSession<'p> {
             pos = resume;
         }
 
+        if last_is_error && hi < doc_end {
+            // The drive ended inside an error node touching the window
+            // end; a full parse might extend the node (or resume
+            // differently) using tokens past `hi`.
+            self.counters = counters_mark;
+            errors.truncate(errors_mark);
+            return DriveResult { root, needs_widening: true };
+        }
+        DriveResult { root, needs_widening: false }
+    }
+
+    /// Parse with panic-mode error recovery (see
+    /// [`Parser::parse_resilient`] for the contract). The driver:
+    ///
+    /// 1. lexes resiliently (bad characters become lexical diagnostics,
+    ///    scanning continues);
+    /// 2. repeatedly runs the strict engine on the remaining tokens;
+    ///    a full parse splices in and finishes, a partial/failed parse
+    ///    records one diagnostic, splices whatever prefix committed, and
+    ///    *panics*: tokens are skipped until a synchronization token
+    ///    (statement level, consumed into the error node) or a token in
+    ///    FOLLOW of the failing production (left for the resumed parse);
+    /// 3. skipped stretches become `error` nodes, so every scanned token
+    ///    appears in the final tree exactly once.
+    ///
+    /// A fuel bound (each iteration strictly advances, and fuel is
+    /// 2·tokens + 4) guarantees termination on any input.
+    pub fn parse_resilient<'s>(&'s mut self, input: &'s str) -> ParseOutcome<'s> {
+        let parser = self.parser;
+        let mode = parser.mode();
+        self.toks.clear();
+        self.kind_ids.clear();
+        self.revents.clear();
+        let index = LineIndex::new(input);
+        let mut errors: Vec<ParseError> = parser
+            .scanner
+            .scan_resilient_into(input, &mut self.toks)
+            .iter()
+            .map(lex_to_parse)
+            .collect();
+        self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
+        let n = self.toks.len();
+
+        let drive = self.drive_resilient(input, &index, 0, n, n, &mut errors);
+        debug_assert!(!drive.needs_widening, "a full-document drive never widens");
+
         // Final assembly: wrap the accumulated children in a single root —
         // the first successfully spliced chunk's production, or an `error`
         // root when nothing ever parsed.
-        let (rp, ra) = root.unwrap_or((ERROR_NODE, 0));
+        let (rp, ra) = drive.root.unwrap_or((ERROR_NODE, 0));
         self.events.clear();
         self.events.push(Event::Open { prod: rp, alt: ra });
         self.events.extend_from_slice(&self.revents);
@@ -435,6 +696,374 @@ impl<'p> ParseSession<'p> {
             },
             errors,
         }
+    }
+
+    // ---------- incremental editing ----------
+
+    /// Open `text` as an incrementally maintained document: parse it
+    /// resiliently, keep every derived artifact (tokens, line index,
+    /// diagnostics, event stream), and return the outcome. Subsequent
+    /// [`ParseSession::apply_edit`] calls repair those artifacts in place.
+    /// Reopening replaces the previous document (buffers are recycled).
+    pub fn open_document(&mut self, text: &str) -> ParseOutcome<'_> {
+        let mut doc = self.inc.take().unwrap_or_else(|| Box::new(IncDoc::empty()));
+        doc.text.clear();
+        doc.text.push_str(text);
+        self.swap_doc_buffers(&mut doc);
+        self.reparse_document(&mut doc);
+        self.swap_doc_buffers(&mut doc);
+        self.inc = Some(doc);
+        self.document_outcome()
+    }
+
+    /// The text of the open document.
+    ///
+    /// # Panics
+    /// If no document is open.
+    pub fn document(&self) -> &str {
+        &self.inc.as_ref().expect("no document open").text
+    }
+
+    /// Measurements of the last edit ([`ParseSession::open_document`]
+    /// counts as a full reparse).
+    ///
+    /// # Panics
+    /// If no document is open.
+    pub fn edit_stats(&self) -> EditStats {
+        self.inc.as_ref().expect("no document open").last_edit
+    }
+
+    /// Replace byte range `range` of the open document with `replacement`
+    /// and return the outcome for the edited text — byte-identical (tree
+    /// and diagnostics) to a from-scratch [`ParseSession::parse_resilient`]
+    /// of the edited text, but repaired locally:
+    ///
+    /// 1. **damage relex** — [`sqlweave_lexgen::Scanner::relex`] restarts
+    ///    the scanner at the last token boundary that provably never
+    ///    observed an edited byte and stops at the first old scan boundary
+    ///    past the edit, splicing the token buffer (the line index shifts
+    ///    incrementally too);
+    /// 2. **localized reparse** — the damaged token range is mapped to the
+    ///    smallest enclosing run of top-level statements (plus one clean
+    ///    statement of margin on each side, with adjacent error nodes
+    ///    absorbed), only that window is re-driven through panic-mode
+    ///    recovery, and the untouched prefix/suffix event chunks are
+    ///    spliced back with token indices rebased — widening and retrying
+    ///    if the drive proves the window too small;
+    /// 3. **diagnostic rebase** — diagnostics outside the window shift
+    ///    position; only the window's are recomputed.
+    ///
+    /// Token-preserving edits (inside whitespace or a comment) skip the
+    /// parser entirely and only rebase spans.
+    ///
+    /// # Panics
+    /// If no document is open, or `range` is out of bounds or not on
+    /// `char` boundaries.
+    pub fn apply_edit(&mut self, range: Range<usize>, replacement: &str) -> ParseOutcome<'_> {
+        let mut doc = self
+            .inc
+            .take()
+            .expect("apply_edit requires an open document (call open_document first)");
+        assert!(
+            range.start <= range.end && range.end <= doc.text.len(),
+            "edit range {range:?} out of bounds for a document of {} bytes",
+            doc.text.len()
+        );
+        assert!(
+            doc.text.is_char_boundary(range.start) && doc.text.is_char_boundary(range.end),
+            "edit range {range:?} must fall on char boundaries"
+        );
+        self.swap_doc_buffers(&mut doc);
+        self.apply_edit_inner(&mut doc, range.start, range.end, replacement);
+        self.swap_doc_buffers(&mut doc);
+        self.inc = Some(doc);
+        self.document_outcome()
+    }
+
+    /// Trade the session's token buffers with the document's: incremental
+    /// work keeps the document stream in the session slots the strict
+    /// engine and the recovery driver read, without copying.
+    fn swap_doc_buffers(&mut self, doc: &mut IncDoc) {
+        std::mem::swap(&mut self.toks, &mut doc.toks);
+        std::mem::swap(&mut self.kind_ids, &mut doc.kind_ids);
+    }
+
+    /// Parse the document text from scratch into `doc` (the full-reparse
+    /// path of `open_document`, and the fallback for edits the local
+    /// repair cannot handle). Expects the document buffers swapped in.
+    fn reparse_document(&mut self, doc: &mut IncDoc) {
+        let parser = self.parser;
+        self.toks.clear();
+        self.kind_ids.clear();
+        self.revents.clear();
+        doc.lines = LineIndex::new(&doc.text);
+        doc.lex = parser.scanner.scan_resilient_into(&doc.text, &mut self.toks);
+        doc.lex_probes = doc
+            .lex
+            .iter()
+            .map(|e| parser.scanner.step_raw(&doc.text, e.at).probe)
+            .collect();
+        doc.tok_probes = parser.scanner.token_probes(&doc.text, &self.toks);
+        self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
+        let n = self.toks.len();
+        doc.syn.clear();
+        let drive = self.drive_resilient(&doc.text, &doc.lines, 0, n, n, &mut doc.syn);
+        doc.root = drive.root.unwrap_or((ERROR_NODE, 0));
+        doc.events.clear();
+        doc.events.push(Event::Open { prod: doc.root.0, alt: doc.root.1 });
+        doc.events.extend_from_slice(&self.revents);
+        doc.events.push(Event::Close);
+        doc.last_edit = EditStats {
+            relexed_tokens: n,
+            reparsed_tokens: n,
+            total_tokens: n,
+            resync_bytes: doc.text.len(),
+            full_reparse: true,
+        };
+    }
+
+    /// Build the outcome for the current document state: tree from the
+    /// maintained event stream, diagnostics merged in the same
+    /// lexical-first source order `parse_resilient` produces.
+    fn document_outcome(&mut self) -> ParseOutcome<'_> {
+        let ParseSession { parser, tree, inc, .. } = self;
+        let doc = inc.as_ref().expect("no document open");
+        let root = tree.build(&doc.events);
+        let mut errors: Vec<ParseError> = doc.lex.iter().map(lex_to_parse).collect();
+        errors.extend(doc.syn.iter().cloned());
+        errors.sort_by_key(|e| e.at);
+        ParseOutcome {
+            tree: SyntaxTree {
+                parser,
+                mode: parser.mode(),
+                input: &doc.text,
+                toks: &doc.toks,
+                nodes: &tree.nodes,
+                elems: &tree.elems,
+                root,
+            },
+            errors,
+        }
+    }
+
+    /// The edit pipeline (document buffers swapped in): text splice, line
+    /// index repair, damage relex, token/diagnostic splice, and — when the
+    /// token stream actually changed — the windowed reparse.
+    fn apply_edit_inner(&mut self, doc: &mut IncDoc, start: usize, old_end: usize, rep: &str) {
+        let parser = self.parser;
+        let new_end = start + rep.len();
+        let delta = new_end as isize - old_end as isize;
+
+        // Text splice via the ping-pong buffer; the pre-edit text stays in
+        // `text_scratch` for the relex to diff against.
+        doc.text_scratch.clear();
+        doc.text_scratch.push_str(&doc.text[..start]);
+        doc.text_scratch.push_str(rep);
+        doc.text_scratch.push_str(&doc.text[old_end..]);
+        std::mem::swap(&mut doc.text, &mut doc.text_scratch);
+
+        doc.lines.apply_edit(start, old_end, rep);
+        let old_err_pairs: Vec<(usize, usize)> = doc
+            .lex
+            .iter()
+            .zip(&doc.lex_probes)
+            .map(|(e, &p)| (e.at, p))
+            .collect();
+        let relex = parser.scanner.relex(
+            &doc.text_scratch,
+            &doc.text,
+            &doc.lines,
+            &self.toks,
+            &old_err_pairs,
+            &doc.tok_probes,
+            start,
+            old_end,
+            new_end,
+        );
+        let n_old = self.toks.len();
+        let tok_delta = (relex.old_lo + relex.tokens.len()) as isize - relex.old_hi as isize;
+        let n_new = (n_old as isize + tok_delta) as usize;
+        let resync_bytes = match relex.resync_new {
+            Some(q) => q - relex.start_byte,
+            None => doc.text.len() - relex.start_byte,
+        };
+        let stats = EditStats {
+            relexed_tokens: relex.tokens.len(),
+            reparsed_tokens: 0,
+            total_tokens: n_new,
+            resync_bytes,
+            full_reparse: false,
+        };
+
+        if relex.old_lo == relex.old_hi && relex.tokens.is_empty() {
+            // Token-preserving edit (whitespace / comment interior / a
+            // lexical-error-only change): shift spans and rebase
+            // diagnostics, keep the event stream and tree shape.
+            self.splice_tokens(&relex, delta);
+            splice_lex_diags(doc, &relex, delta);
+            splice_tok_probes(doc, &relex, delta);
+            if delta != 0 {
+                for e in &mut doc.syn {
+                    if e.at >= old_end {
+                        e.at = (e.at as isize + delta) as usize;
+                        let (line, column) = doc.lines.line_col(&doc.text, e.at);
+                        e.line = line;
+                        e.column = column;
+                    }
+                }
+            }
+            doc.last_edit = stats;
+            return;
+        }
+
+        // Window planning works in *old* token indices against the old
+        // element structure, so it runs before the token splice.
+        let Some(elems) = top_level_elements(&doc.events) else {
+            return self.edit_fallback(doc);
+        };
+        if n_old == 0 || elems.is_empty() || elems.iter().any(|e| e.tok_lo == e.tok_hi) {
+            // No previous structure to splice around (or token-less
+            // top-level nodes, which break the window arithmetic).
+            return self.edit_fallback(doc);
+        }
+        // Damaged old-token range, padded by one token on the left (an
+        // inserted token can re-shape the statement it lands after).
+        let (a, b) = (relex.old_lo, relex.old_hi);
+        let cover_lo = a.saturating_sub(1).min(n_old - 1);
+        let cover_hi = (b.max(a + 1)).min(n_old) - 1; // last covered token
+        let elem_of = |t: usize| -> usize {
+            elems.partition_point(|e| e.tok_hi <= t).min(elems.len() - 1)
+        };
+        let e_lo = widen_left(&elems, elem_of(cover_lo));
+        let mut e_hi = widen_right(&elems, elem_of(cover_hi) + 1);
+        debug_assert_eq!(elems.last().map(|e| e.ev_hi), Some(doc.events.len() - 1));
+
+        // Old-text byte positions of every element boundary, for splitting
+        // the diagnostic list (window end = `usize::MAX` sentinel when the
+        // window runs to EOF, so nothing is rebased past it).
+        let boundary_byte = |e: usize| -> usize {
+            if e == elems.len() { usize::MAX } else { self.toks[elems[e].tok_lo].start }
+        };
+        let win_start_byte = boundary_byte(e_lo);
+        let old_syn = std::mem::take(&mut doc.syn);
+
+        self.splice_tokens(&relex, delta);
+        splice_lex_diags(doc, &relex, delta);
+        splice_tok_probes(doc, &relex, delta);
+
+        // Drive the window, widening while the drive proves it too small
+        // (worst case the window reaches EOF, where widening is
+        // impossible and the drive must settle).
+        let wlo = elems[e_lo].tok_lo;
+        let mut win_syn: Vec<ParseError> = Vec::new();
+        let drive = loop {
+            let whi_old = if e_hi == elems.len() { n_old } else { elems[e_hi].tok_lo };
+            let whi = (whi_old as isize + tok_delta) as usize;
+            if whi <= wlo && !(wlo == 0 && whi == n_new) {
+                // An empty window mid-document (mass deletion) must not
+                // run an empty-input parse; only the whole-document-empty
+                // case legitimately does.
+                e_hi = widen_right(&elems, e_hi + 1);
+                continue;
+            }
+            self.revents.clear();
+            win_syn.clear();
+            let drive = self.drive_resilient(&doc.text, &doc.lines, wlo, whi, n_new, &mut win_syn);
+            if drive.needs_widening {
+                e_hi = widen_right(&elems, e_hi + 1);
+                continue;
+            }
+            break drive;
+        };
+        let win_end_byte_old = {
+            let e = e_hi;
+            if e == elems.len() {
+                usize::MAX
+            } else {
+                // suffix spans are already shifted; undo for old coords
+                (self.toks[(elems[e].tok_lo as isize + tok_delta) as usize].start as isize
+                    - delta) as usize
+            }
+        };
+
+        // Root wrapper: the first chunk's production. Unchanged while any
+        // prefix element came from a chunk; otherwise the window's first
+        // chunk. A window that parsed nothing while chunks survive in the
+        // suffix would need the suffix chunk's (stripped) root — punt to a
+        // full reparse rather than guess.
+        let prefix_has_chunk = elems[..e_lo].iter().any(|e| e.kind != ElemKind::Err);
+        let root = if prefix_has_chunk {
+            doc.root
+        } else if let Some(r) = drive.root {
+            r
+        } else if elems[e_hi..].iter().any(|e| e.kind != ElemKind::Err) {
+            return self.edit_fallback(doc);
+        } else {
+            (ERROR_NODE, 0)
+        };
+
+        // Event splice: prefix verbatim, window fresh, suffix with token
+        // indices rebased.
+        doc.events_scratch.clear();
+        doc.events_scratch.push(Event::Open { prod: root.0, alt: root.1 });
+        doc.events_scratch.extend_from_slice(&doc.events[1..elems[e_lo].ev_lo]);
+        doc.events_scratch.extend_from_slice(&self.revents);
+        if e_hi < elems.len() {
+            for ev in &doc.events[elems[e_hi].ev_lo..doc.events.len() - 1] {
+                doc.events_scratch.push(match *ev {
+                    Event::Token { index } => Event::Token {
+                        index: (index as i64 + tok_delta as i64) as u32,
+                    },
+                    other => other,
+                });
+            }
+        }
+        doc.events_scratch.push(Event::Close);
+        std::mem::swap(&mut doc.events, &mut doc.events_scratch);
+        doc.root = root;
+
+        // Diagnostic splice, same three-way split in byte coordinates.
+        doc.syn.clear();
+        doc.syn
+            .extend(old_syn.iter().filter(|e| e.at < win_start_byte).cloned());
+        doc.syn.append(&mut win_syn);
+        for e in &old_syn {
+            if e.at >= win_end_byte_old && win_end_byte_old != usize::MAX {
+                let mut e = e.clone();
+                e.at = (e.at as isize + delta) as usize;
+                let (line, column) = doc.lines.line_col(&doc.text, e.at);
+                e.line = line;
+                e.column = column;
+                doc.syn.push(e);
+            }
+        }
+
+        let whi_old = if e_hi == elems.len() { n_old } else { elems[e_hi].tok_lo };
+        doc.last_edit = EditStats {
+            reparsed_tokens: ((whi_old as isize + tok_delta) as usize) - wlo,
+            ..stats
+        };
+    }
+
+    /// Splice the relex result into the live token/kind buffers, shifting
+    /// suffix spans by the edit's byte delta.
+    fn splice_tokens(&mut self, relex: &sqlweave_lexgen::Relex, delta: isize) {
+        self.toks
+            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().copied());
+        self.kind_ids
+            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().map(|t| t.kind.0));
+        if delta != 0 {
+            for t in &mut self.toks[relex.old_lo + relex.tokens.len()..] {
+                t.start = (t.start as isize + delta) as usize;
+                t.end = (t.end as isize + delta) as usize;
+            }
+        }
+    }
+
+    /// Local repair was not possible: reparse the (already edited)
+    /// document text from scratch.
+    fn edit_fallback(&mut self, doc: &mut IncDoc) {
+        self.reparse_document(doc);
     }
 
     /// Fold the tokens `lo..hi` into an `error` node at the end of the
@@ -963,5 +1592,225 @@ mod tests {
             e.to_string(),
             "internal error: batch worker panicked: boom"
         );
+    }
+
+    // ---------- incremental editing ----------
+
+    /// Snapshot an outcome into owned data so two sessions can be compared.
+    fn snapshot(outcome: &ParseOutcome<'_>) -> (crate::cst::CstNode, Vec<String>) {
+        (
+            outcome.tree.to_cst(),
+            outcome.errors.iter().map(|e| e.to_string()).collect(),
+        )
+    }
+
+    /// Assert the incrementally maintained document equals a from-scratch
+    /// resilient parse of the same text: identical CST, identical rendered
+    /// diagnostics, and full token coverage.
+    fn assert_incremental_identity(s: &mut ParseSession<'_>, oracle: &mut ParseSession<'_>, ctx: &str) {
+        let text = s.document().to_string();
+        let inc = {
+            let o = s.document_outcome();
+            assert!(
+                token_coverage(&o.tree).iter().all(|&c| c == 1),
+                "token coverage broken {ctx}"
+            );
+            snapshot(&o)
+        };
+        let full = snapshot(&oracle.parse_resilient(&text));
+        assert_eq!(inc.1, full.1, "diagnostics diverged {ctx}\ntext: {text:?}");
+        assert_eq!(inc.0, full.0, "tree diverged {ctx}\ntext: {text:?}");
+    }
+
+    #[test]
+    fn open_document_matches_parse_resilient() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            for text in [
+                "SELECT a FROM t; SELECT * FROM u",
+                "SELECT FROM t; SELECT b FROM v",
+                "",
+                "; ; ;",
+            ] {
+                let inc = snapshot(&s.open_document(text));
+                assert!(s.edit_stats().full_reparse);
+                let full = snapshot(&oracle.parse_resilient(text));
+                assert_eq!(inc, full, "{mode:?} on {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_edit_skips_the_parser() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        s.open_document("SELECT a FROM t;  SELECT b FROM u");
+        // widen the gap between the statements: tokens are preserved
+        s.apply_edit(16..18, "    \n");
+        let st = s.edit_stats();
+        assert!(!st.full_reparse);
+        assert_eq!(st.reparsed_tokens, 0, "{st:?}");
+        assert_eq!(st.relexed_tokens, 0, "{st:?}");
+        assert_incremental_identity(&mut s, &mut oracle, "whitespace edit");
+    }
+
+    #[test]
+    fn single_token_edit_reparses_a_window_not_the_document() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        let stmts: Vec<String> = (0..40).map(|i| format!("SELECT c{i} FROM t{i}")).collect();
+        let text = stmts.join("; ");
+        s.open_document(&text);
+        let total = s.edit_stats().total_tokens;
+        // rename a column in the middle statement
+        let at = text.find("c20").unwrap();
+        s.apply_edit(at..at + 3, "zz");
+        let st = s.edit_stats();
+        assert!(!st.full_reparse, "{st:?}");
+        assert!(st.reparsed_tokens < total / 4, "{st:?}");
+        assert!(st.relexed_tokens <= 2, "{st:?}");
+        assert_incremental_identity(&mut s, &mut oracle, "mid-document rename");
+    }
+
+    #[test]
+    fn edits_in_and_around_error_regions_stay_identical() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            s.open_document("SELECT a FROM t; SELECT FROM u; SELECT b FROM v");
+            // repair the broken middle statement
+            let at = s.document().find("FROM u").unwrap();
+            s.apply_edit(at..at, "x ");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} repair"));
+            // break it again, differently
+            let at = s.document().find("x FROM u").unwrap();
+            s.apply_edit(at..at + 1, "WHERE");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} re-break"));
+        }
+    }
+
+    #[test]
+    fn structural_edits_at_statement_boundaries_stay_identical() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            s.open_document("SELECT a FROM t; SELECT b FROM u; SELECT c FROM v");
+            // delete a separator: two statements merge (and break)
+            let semi = s.document().find(';').unwrap();
+            s.apply_edit(semi..semi + 1, "");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} merge"));
+            // re-split
+            let at = s.document().find(" SELECT b").unwrap();
+            s.apply_edit(at..at, ";");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} split"));
+            // delete a span crossing a statement boundary
+            let lo = s.document().find("FROM u").unwrap();
+            let hi = s.document().find("c FROM v").unwrap();
+            s.apply_edit(lo..hi, "");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} cross-cut"));
+            // edits at the very ends
+            let end = s.document().len();
+            s.apply_edit(end..end, "; SELECT z FROM w");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} append"));
+            s.apply_edit(0..0, "SELECT q FROM r; ");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} prepend"));
+            // delete everything
+            let end = s.document().len();
+            s.apply_edit(0..end, "");
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} clear"));
+        }
+    }
+
+    #[test]
+    fn lexical_errors_rebase_across_edits() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        s.open_document("SELECT a ? FROM t; SELECT b FROM u");
+        // edit after the lexical error: its diagnostic must not move
+        let at = s.document().find('b').unwrap();
+        s.apply_edit(at..at + 1, "bbb");
+        assert_incremental_identity(&mut s, &mut oracle, "edit after lex error");
+        // edit before it: the diagnostic must shift
+        s.apply_edit(0..0, "  ");
+        assert_incremental_identity(&mut s, &mut oracle, "edit before lex error");
+        // introduce a second lexical error, then remove the first
+        let end = s.document().len();
+        s.apply_edit(end..end, " ?");
+        assert_incremental_identity(&mut s, &mut oracle, "append lex error");
+        let at = s.document().find('?').unwrap();
+        s.apply_edit(at..at + 1, "");
+        assert_incremental_identity(&mut s, &mut oracle, "remove first lex error");
+    }
+
+    /// Deterministic xorshift64* generator for the edit-script fuzz below.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+
+    #[test]
+    fn random_edit_scripts_match_full_reparse() {
+        const SNIPPETS: &[&str] = &[
+            "",
+            " ",
+            ";",
+            "; ",
+            "SELECT",
+            "FROM",
+            "x",
+            "zz9",
+            ", y",
+            " WHERE a = b",
+            "SELECT a FROM t",
+            "?",
+            "*",
+            "é",
+        ];
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let mut rng = XorShift(0x5eed_0000 + mode as u64 + 1);
+            s.open_document("SELECT a FROM t; SELECT b, c FROM u WHERE b = c; SELECT * FROM v");
+            for step in 0..120 {
+                let text = s.document();
+                let len = text.len();
+                let mut lo = rng.below(len + 1);
+                let mut hi = (lo + rng.below(9).pow(2)).min(len);
+                while !text.is_char_boundary(lo) {
+                    lo -= 1;
+                }
+                while !text.is_char_boundary(hi) {
+                    hi -= 1;
+                }
+                if hi < lo {
+                    std::mem::swap(&mut lo, &mut hi);
+                }
+                let rep = SNIPPETS[rng.below(SNIPPETS.len())];
+                s.apply_edit(lo..hi, rep);
+                assert_incremental_identity(
+                    &mut s,
+                    &mut oracle,
+                    &format!("{mode:?} step {step}: {lo}..{hi} := {rep:?}"),
+                );
+            }
+        }
     }
 }

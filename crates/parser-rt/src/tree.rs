@@ -188,6 +188,105 @@ impl<'a> SyntaxTree<'a> {
     }
 }
 
+/// Handle to a string in a [`TokenInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw interner index (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A small per-tree string interner for token text. SQL scripts repeat
+/// lexemes heavily — keywords by design, identifiers because schemas are
+/// finite — so deduplicating lexemes turns the O(source bytes) cost of an
+/// owning token representation into O(distinct lexeme bytes). Unique
+/// strings live concatenated in one arena buffer (one allocation
+/// amortized over the tree, not one per token); lookup is a hash map from
+/// a deterministic FNV-1a hash to candidate symbols, verified by
+/// comparison so collisions stay correct.
+#[derive(Default, Debug, Clone)]
+pub struct TokenInterner {
+    /// Concatenated unique lexemes.
+    buf: String,
+    /// Symbol → byte span in `buf`.
+    spans: Vec<(u32, u32)>,
+    /// FNV-1a hash → symbols with that hash (almost always one).
+    map: std::collections::HashMap<u64, Vec<Sym>>,
+}
+
+impl TokenInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Intern `s`, returning the existing symbol if it was seen before.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        let h = Self::fnv1a(s);
+        let candidates = self.map.entry(h).or_default();
+        for &sym in candidates.iter() {
+            let (lo, hi) = self.spans[sym.index()];
+            if &self.buf[lo as usize..hi as usize] == s {
+                return sym;
+            }
+        }
+        let lo = self.buf.len() as u32;
+        self.buf.push_str(s);
+        let sym = Sym(self.spans.len() as u32);
+        self.spans.push((lo, self.buf.len() as u32));
+        candidates.push(sym);
+        sym
+    }
+
+    /// The string a symbol stands for.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        let (lo, hi) = self.spans[sym.index()];
+        &self.buf[lo as usize..hi as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes of deduplicated string storage.
+    pub fn bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<'a> SyntaxTree<'a> {
+    /// Intern every token's lexeme, returning one symbol per token (in
+    /// token-stream order). The interner can be shared across trees to
+    /// deduplicate lexemes corpus-wide; comparing the returned symbols is
+    /// `u32` equality instead of string comparison, and
+    /// `symbols.len() / interner.len()` is the dedupe factor the bench
+    /// reports.
+    pub fn intern_tokens(&self, interner: &mut TokenInterner) -> Vec<Sym> {
+        self.toks
+            .iter()
+            .map(|t| interner.intern(t.text(self.input)))
+            .collect()
+    }
+}
+
 impl fmt::Debug for SyntaxTree<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SyntaxTree")
@@ -414,6 +513,43 @@ mod tests {
         let tree = s.parse_tree("SELECT a, b FROM t").unwrap();
         assert_eq!(tree.node_count(), tree.to_cst().node_count());
         assert_eq!(tree.rule_count(), 2);
+    }
+
+    #[test]
+    fn interner_dedupes_and_resolves() {
+        let mut i = TokenInterner::new();
+        let a = i.intern("select");
+        let b = i.intern("t1");
+        let a2 = i.intern("select");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "select");
+        assert_eq!(i.resolve(b), "t1");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.bytes(), "select".len() + "t1".len());
+        assert!(!i.is_empty());
+        assert!(TokenInterner::new().is_empty());
+    }
+
+    #[test]
+    fn intern_tokens_is_parallel_to_the_token_stream() {
+        let p = parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let tree = s.parse_tree("SELECT a, b, a FROM a").unwrap();
+        let mut interner = TokenInterner::new();
+        let syms = tree.intern_tokens(&mut interner);
+        assert_eq!(syms.len(), tree.tokens().len());
+        for (sym, tok) in syms.iter().zip(tree.tokens()) {
+            assert_eq!(interner.resolve(*sym), tok.text(tree.input()));
+        }
+        // `a` appears three times but is stored once
+        assert_eq!(syms.iter().filter(|&&s| interner.resolve(s) == "a").count(), 3);
+        assert!(interner.len() < syms.len());
+        // sharing the interner across trees keeps deduplicating
+        let before = interner.len();
+        let tree2 = s.parse_tree("SELECT b FROM a").unwrap();
+        tree2.intern_tokens(&mut interner);
+        assert_eq!(interner.len(), before);
     }
 
     #[test]

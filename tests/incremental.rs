@@ -1,0 +1,238 @@
+//! Incremental relex + reparse differential: `ParseSession::apply_edit`
+//! must be observationally identical to a from-scratch `parse_resilient`
+//! of the edited text — same CST, same rendered diagnostics, full token
+//! coverage — across all dialects × both engines, over golden single
+//! edits (mid-keyword, token-merging, comment-interior, statement-
+//! boundary-spanning) and random edit scripts.
+
+use proptest::prelude::*;
+use sqlweave::dialects::Dialect;
+use sqlweave::parser_rt::engine::EngineMode;
+use sqlweave::parser_rt::{CstNode, ParseSession, SyntaxElement, SyntaxNode, SyntaxTree};
+use sqlweave_bench::{corpus, parser};
+
+const MODES: [EngineMode; 2] = [EngineMode::Backtracking, EngineMode::Ll1Table];
+
+/// How many times each scanned token index appears in the tree.
+fn token_coverage(tree: &SyntaxTree<'_>) -> Vec<usize> {
+    fn walk(node: SyntaxNode<'_, '_>, seen: &mut Vec<usize>) {
+        for el in node.children() {
+            match el {
+                SyntaxElement::Token(t) => seen[t.index()] += 1,
+                SyntaxElement::Node(n) => walk(n, seen),
+            }
+        }
+    }
+    let mut seen = vec![0usize; tree.tokens().len()];
+    walk(tree.root(), &mut seen);
+    seen
+}
+
+/// A small multi-statement script from the dialect's own corpus.
+fn base_script(dialect: Dialect) -> String {
+    corpus(dialect)[..5.min(corpus(dialect).len())].join("; ")
+}
+
+/// Apply one edit incrementally and assert identity with a from-scratch
+/// resilient parse of the same edited text.
+fn check_edit(
+    s: &mut ParseSession<'_>,
+    oracle: &mut ParseSession<'_>,
+    lo: usize,
+    hi: usize,
+    rep: &str,
+    ctx: &str,
+) {
+    let (inc_cst, inc_errs): (CstNode, Vec<String>) = {
+        let o = s.apply_edit(lo..hi, rep);
+        assert!(
+            token_coverage(&o.tree).iter().all(|&c| c == 1),
+            "token coverage broken: {ctx}"
+        );
+        (o.tree.to_cst(), o.errors.iter().map(|e| e.to_string()).collect())
+    };
+    let text = s.document().to_string();
+    let (full_cst, full_errs) = {
+        let o = oracle.parse_resilient(&text);
+        (o.tree.to_cst(), o.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>())
+    };
+    assert_eq!(inc_errs, full_errs, "diagnostics diverged: {ctx}\ntext: {text:?}");
+    assert_eq!(inc_cst, full_cst, "tree diverged: {ctx}\ntext: {text:?}");
+    let st = s.edit_stats();
+    assert_eq!(st.total_tokens, full_cst.tokens().len(), "{ctx}");
+}
+
+/// Golden single-edit cases on every dialect × engine.
+#[test]
+fn golden_single_edits_match_full_reparse() {
+    for d in Dialect::ALL {
+        for mode in MODES {
+            let p = parser(d, mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let ctx = |what: &str| format!("{} {mode:?} {what}", d.name());
+
+            // mid-keyword edit: split FROM in two
+            let text = base_script(d);
+            s.open_document(&text);
+            let at = text.find("FROM").expect("corpus has FROM") + 2;
+            check_edit(&mut s, &mut oracle, at, at, " ", &ctx("mid-keyword split"));
+
+            // token-merge edit: delete the whitespace before FROM so the
+            // preceding token and `FROM` fuse into one identifier
+            let text = base_script(d);
+            s.open_document(&text);
+            let at = text.find(" FROM").expect("corpus has FROM");
+            check_edit(&mut s, &mut oracle, at, at + 1, "", &ctx("token merge"));
+
+            // edit inside a block comment: token-preserving
+            let text = format!("/* a comment */ {}", base_script(d));
+            s.open_document(&text);
+            check_edit(&mut s, &mut oracle, 5, 6, "X Y Z", &ctx("comment interior"));
+        }
+    }
+}
+
+/// Comment-interior edits must take the token-preserving fast path.
+#[test]
+fn comment_edit_is_token_preserving() {
+    for d in Dialect::ALL {
+        let p = parser(d, EngineMode::Backtracking);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        let text = format!("/* a comment */ {}", base_script(d));
+        s.open_document(&text);
+        check_edit(&mut s, &mut oracle, 3, 4, "XYZ", &format!("{} comment edit", d.name()));
+        let st = s.edit_stats();
+        assert!(!st.full_reparse, "{}: {st:?}", d.name());
+        assert_eq!(st.reparsed_tokens, 0, "{}: {st:?}", d.name());
+        assert_eq!(st.relexed_tokens, 0, "{}: {st:?}", d.name());
+    }
+}
+
+/// An edit spanning a statement boundary (deleting the separator and both
+/// its neighbours' edges) reparses locally and still matches.
+#[test]
+fn statement_boundary_spanning_edit_matches() {
+    for d in Dialect::ALL {
+        for mode in MODES {
+            let p = parser(d, mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let text = base_script(d);
+            s.open_document(&text);
+            let semi = text.find(';').expect("multi-statement script");
+            let lo = semi.saturating_sub(3);
+            let hi = (semi + 4).min(text.len());
+            check_edit(&mut s, &mut oracle, lo, hi, " ", &format!("{} {mode:?} cross-boundary", d.name()));
+        }
+    }
+}
+
+/// Single-token edits on a larger script stay local: the reparse window
+/// is a small fraction of the document.
+#[test]
+fn single_token_edit_reparses_locally() {
+    let d = Dialect::Core;
+    let p = parser(d, EngineMode::Backtracking);
+    let mut s = p.session();
+    let mut oracle = p.session();
+    let stmts = corpus(d);
+    let text: Vec<String> = (0..30).map(|i| stmts[i % stmts.len()].to_string()).collect();
+    let text = text.join(";\n");
+    s.open_document(&text);
+    let total = s.edit_stats().total_tokens;
+    let at = text.len() / 2;
+    let at = (at..text.len()).find(|&i| text.is_char_boundary(i)).unwrap();
+    check_edit(&mut s, &mut oracle, at, at, " x ", "mid-document insert");
+    let st = s.edit_stats();
+    assert!(!st.full_reparse, "{st:?}");
+    assert!(st.reparsed_tokens < total / 3, "window too large: {st:?} of {total}");
+}
+
+/// Deterministic xorshift64* so edit scripts are reproducible from a seed.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+const SNIPPETS: &[&str] = &[
+    "",
+    " ",
+    ";",
+    "; ",
+    "SELECT",
+    "FROM t",
+    "WHERE",
+    "x",
+    "zz9",
+    ", y",
+    "(",
+    ")",
+    "'s'",
+    "1",
+    "*",
+    "-- line\n",
+    "/* block */",
+    "/*",
+    "é",
+    "\n",
+];
+
+/// One random edit derived from the rng, clamped to char boundaries.
+fn random_edit(rng: &mut XorShift, text: &str) -> (usize, usize, &'static str) {
+    let len = text.len();
+    let mut lo = rng.below(len + 1);
+    let mut hi = (lo + rng.below(9).pow(2)).min(len);
+    while !text.is_char_boundary(lo) {
+        lo -= 1;
+    }
+    while !text.is_char_boundary(hi) {
+        hi -= 1;
+    }
+    if hi < lo {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    (lo, hi, SNIPPETS[rng.below(SNIPPETS.len())])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random edit scripts across every dialect × engine: after each of
+    /// 8 edits the incremental outcome matches a from-scratch resilient
+    /// parse byte for byte.
+    #[test]
+    fn random_edit_scripts_match_full_reparse(seed in 0u64..u64::MAX) {
+        for d in Dialect::ALL {
+            for mode in MODES {
+                let p = parser(d, mode);
+                let mut s = p.session();
+                let mut oracle = p.session();
+                let mut rng = XorShift(seed ^ 0x9e37_79b9_7f4a_7c15);
+                s.open_document(&base_script(d));
+                for step in 0..8 {
+                    let (lo, hi, rep) = random_edit(&mut rng, s.document());
+                    check_edit(
+                        &mut s,
+                        &mut oracle,
+                        lo,
+                        hi,
+                        rep,
+                        &format!("{} {mode:?} seed {seed} step {step}: {lo}..{hi} := {rep:?}", d.name()),
+                    );
+                }
+            }
+        }
+    }
+}
