@@ -67,7 +67,11 @@ pub fn generate_script(dialect: Dialect, seed: u64, target_bytes: usize) -> Stri
         }
         let stmt = generator.generate_wrapped(&mut rng, MAX_DEPTH, WRAP_WIDTH);
         out.push_str(&stmt);
-        if has_semi {
+        // The generator samples whole script sentences, which may already
+        // carry their own trailing separator — appending another would
+        // manufacture an empty statement (`;;`) the parsers diagnose,
+        // poisoning every "clean document" workload built on this corpus.
+        if has_semi && !stmt.trim_end().ends_with(';') {
             out.push(';');
         }
         out.push('\n');
@@ -235,5 +239,30 @@ mod stats {
         println!("idents:   {id_n} toks {id_bytes} bytes avg {:.1}", id_bytes as f64 / id_n.max(1) as f64);
         println!("punct1:   {p1_n} toks {p1_bytes} bytes", );
         println!("other:    {other_n} toks {other_bytes} bytes avg {:.1}", other_bytes as f64 / other_n.max(1) as f64);
+    }
+}
+
+
+#[cfg(test)]
+mod probe_tmp2 {
+    use super::*;
+    use sqlweave_parser_rt::engine::EngineMode;
+    #[test]
+    #[ignore]
+    fn probe_ll1_failures() {
+        let d = sqlweave_dialects::Dialect::Core;
+        let script = generate_script(d, 0xED17, 256 * 1024);
+        let p = crate::parser(d, EngineMode::Ll1Table);
+        let mut s = p.session();
+        let o = s.parse_resilient(&script);
+        println!("core ll1: {} errors", o.errors.len());
+        for e in o.errors.iter().take(5) {
+            let lo = e.at.saturating_sub(80);
+            let hi = (e.at + 40).min(script.len());
+            let lo = (lo..=e.at).rev().find(|&i| script.is_char_boundary(i)).unwrap();
+            let hi = (hi..script.len().min(hi+4)).find(|&i| script.is_char_boundary(i)).unwrap_or(script.len());
+            println!("--- at {} ({}:{}): {}", e.at, e.line, e.column, format!("expected {:?} found {:?}", e.expected, e.found));
+            println!("    ...{}", &script[lo..hi].replace('\n', " "));
+        }
     }
 }

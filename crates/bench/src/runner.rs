@@ -56,13 +56,15 @@
 //! (Experiment B11, `sqlweave bench --edits N`): keystroke latency of
 //! [`sqlweave_parser_rt::ParseSession::apply_edit`] — single-token edits
 //! at random positions of a multi-mebibyte generated script through one
-//! incremental session — reporting p50/p99 apply latency, the median
-//! from-scratch reparse time of the same document, their ratio (the
-//! headline incremental speedup), and relex-resync / reparse-window size
-//! statistics.
+//! incremental session — reporting p50/p99 apply latency (the lazy
+//! keystroke path), the median cost of materializing the tree afterwards
+//! (`materialize_us_p50`), the median from-scratch reparse time of the
+//! same document, their ratio (the headline incremental speedup), and
+//! relex-resync / reparse-window size statistics.
 //!
-//! Output is a JSON document (schema `sqlweave-bench-parser/v7`; v6
-//! lacked the `incremental` section and the sema row's token-interning
+//! Output is a JSON document (schema `sqlweave-bench-parser/v8`; v7
+//! lacked the incremental section's `materialize_us_p50` split, v6
+//! the `incremental` section and the sema row's token-interning
 //! columns, v5 the `vector` scanner row and the `corpus_lex` section, v4
 //! the sema section, v3 the recovery section, v2 the lex stage,
 //! v1 the dynamic counters), built with the same hand-rolled emitter
@@ -358,21 +360,32 @@ pub fn bench_lex_corpus(dialect: Dialect, mebibytes: usize, reps: usize) -> Corp
 }
 
 /// Keystroke-latency measurements of one dialect's incremental session —
-/// schema v7's top-level `incremental` section (Experiment B11).
+/// schema v8's top-level `incremental` section (Experiment B11), with the
+/// lazy keystroke path and the deferred tree materialization timed
+/// separately.
 #[derive(Debug, Clone)]
 pub struct IncrementalReport {
     /// Dialect name (e.g. `full`).
     pub dialect: &'static str,
+    /// Engine the incremental session drives (`backtracking` or
+    /// `ll1_table`) — the keystroke target holds per dialect × engine
+    /// pair, so v8 reports both.
+    pub engine: &'static str,
     /// Generated script size in bytes.
     pub bytes: usize,
     /// Tokens in the opened document.
     pub tokens: usize,
     /// Single-token edits applied.
     pub edits: usize,
-    /// Median `apply_edit` latency in microseconds.
+    /// Median `apply_edit` latency in microseconds (the lazy keystroke
+    /// path: relex + windowed reparse + diagnostics, no tree build).
     pub apply_edit_us_p50: f64,
     /// 99th-percentile `apply_edit` latency in microseconds.
     pub apply_edit_us_p99: f64,
+    /// Median latency of materializing the tree after an edit
+    /// (`LazyTree::get`), in microseconds — the cost deferred off the
+    /// keystroke path.
+    pub materialize_us_p50: f64,
     /// Median from-scratch `parse_resilient` latency on the same document,
     /// in microseconds.
     pub full_reparse_us_p50: f64,
@@ -407,39 +420,74 @@ impl XorShift {
     }
 }
 
+/// Nearest-rank index for percentile `p` over `n` sorted samples:
+/// `⌈p·n⌉ − 1`, clamped to the valid range. For n=1 every percentile is
+/// the single sample; for n=2 the median is the lower sample and p99 the
+/// upper; p=1.0 is always the maximum.
+fn percentile_index(n: usize, p: f64) -> usize {
+    ((p * n as f64).ceil() as usize).clamp(1, n) - 1
+}
+
 fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    sorted[percentile_index(sorted.len(), p)]
 }
 
 fn percentile_usize(sorted: &[usize], p: f64) -> usize {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    sorted[percentile_index(sorted.len(), p)]
 }
 
 /// Measure keystroke latency: open a `mebibytes`-MiB generated script as
-/// an incremental document and apply `edits` single-character identifier
-/// edits at deterministic random positions, timing each
-/// [`sqlweave_parser_rt::ParseSession::apply_edit`] against the median
-/// from-scratch `parse_resilient` of the same document.
-pub fn bench_incremental(dialect: Dialect, mebibytes: usize, edits: usize) -> IncrementalReport {
-    bench_incremental_bytes(dialect, mebibytes * 1024 * 1024, edits)
+/// an incremental document under `mode`'s engine and apply `edits`
+/// single-character identifier edits at deterministic random positions,
+/// timing each [`sqlweave_parser_rt::ParseSession::apply_edit`] against
+/// the median from-scratch `parse_resilient` of the same document.
+pub fn bench_incremental(
+    dialect: Dialect,
+    mode: EngineMode,
+    mebibytes: usize,
+    edits: usize,
+) -> IncrementalReport {
+    bench_incremental_bytes(dialect, mode, mebibytes * 1024 * 1024, edits)
 }
 
 /// [`bench_incremental`] with a byte-precise corpus size (used by the unit
 /// tests, which cannot afford a multi-MiB debug-mode parse).
+///
+/// Runs on a dedicated 256 MiB-stack thread: the engines parse a clean
+/// multi-MiB script as one recursive descent over the whole statement
+/// list, and the predictive engine's frames overflow a default 8 MiB
+/// stack around ~25k statements. Only the two whole-document parses
+/// (opening the session, the from-scratch baseline) need the headroom —
+/// the keystroke path under measurement re-drives windows of a few dozen
+/// tokens.
 pub fn bench_incremental_bytes(
     dialect: Dialect,
+    mode: EngineMode,
     target_bytes: usize,
     edits: usize,
 ) -> IncrementalReport {
-    let p = parser(dialect, EngineMode::Backtracking);
+    std::thread::Builder::new()
+        .name(format!("bench-incremental-{}", dialect.name()))
+        .stack_size(256 << 20)
+        .spawn(move || bench_incremental_on_thread(dialect, mode, target_bytes, edits))
+        .expect("spawn incremental bench thread")
+        .join()
+        .expect("incremental bench thread panicked")
+}
+
+fn bench_incremental_on_thread(
+    dialect: Dialect,
+    mode: EngineMode,
+    target_bytes: usize,
+    edits: usize,
+) -> IncrementalReport {
+    let p = parser(dialect, mode);
     let script = crate::corpus::generate_script(dialect, 0xED17, target_bytes);
     let mut session = p.session();
     session.open_document(&script);
@@ -463,6 +511,7 @@ pub fn bench_incremental_bytes(
     // another, keeping the document clean and its length stable.
     let mut rng = XorShift(0x1c00_0000_0000_0001_u64 ^ script.len() as u64);
     let mut apply_us: Vec<f64> = Vec::with_capacity(edits);
+    let mut mat_us: Vec<f64> = Vec::with_capacity(edits);
     let mut resyncs: Vec<usize> = Vec::with_capacity(edits);
     let mut windows: Vec<usize> = Vec::with_capacity(edits);
     let mut full_reparse_fallbacks = 0usize;
@@ -474,27 +523,35 @@ pub fn bench_incremental_bytes(
             .find(|&q| bytes[q].is_ascii_lowercase())
             .expect("generated script contains identifier characters");
         let rep = if bytes[pos] == b'x' { "y" } else { "x" };
+        // The keystroke path: relex + windowed reparse + diagnostics.
         let start = Instant::now();
-        let outcome = session.apply_edit(pos..pos + 1, rep);
+        let mut outcome = session.apply_edit(pos..pos + 1, rep);
         std::hint::black_box(outcome.errors.len());
         apply_us.push(start.elapsed().as_secs_f64() * 1e6);
-        let st = session.edit_stats();
+        // The deferred half: materialize the tree through the lazy handle.
+        let start = Instant::now();
+        std::hint::black_box(outcome.tree.get().node_count());
+        mat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        let st = outcome.stats;
         resyncs.push(st.resync_bytes);
         windows.push(st.reparsed_tokens);
         full_reparse_fallbacks += st.full_reparse as usize;
     }
     apply_us.sort_by(f64::total_cmp);
+    mat_us.sort_by(f64::total_cmp);
     resyncs.sort_unstable();
     windows.sort_unstable();
 
     let apply_edit_us_p50 = percentile_f64(&apply_us, 0.5);
     IncrementalReport {
         dialect: dialect.name(),
+        engine: engine_name(mode),
         bytes: script.len(),
         tokens,
         edits,
         apply_edit_us_p50,
         apply_edit_us_p99: percentile_f64(&apply_us, 0.99),
+        materialize_us_p50: percentile_f64(&mat_us, 0.5),
         full_reparse_us_p50,
         speedup_p50: full_reparse_us_p50 / apply_edit_us_p50.max(1e-9),
         resync_bytes_p50: percentile_usize(&resyncs, 0.5),
@@ -711,7 +768,7 @@ fn fmt_f64(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Serialize reports as the `sqlweave-bench-parser/v7` JSON document with
+/// Serialize reports as the `sqlweave-bench-parser/v8` JSON document with
 /// empty `corpus_lex` and `incremental` sections.
 pub fn to_json(iters: usize, reports: &[PairReport]) -> String {
     to_json_full(iters, reports, &[], &[])
@@ -817,16 +874,19 @@ pub fn to_json_full(
         .iter()
         .map(|i| {
             format!(
-                "{{\"dialect\":\"{}\",\"bytes\":{},\"tokens\":{},\"edits\":{},\
-                 \"apply_edit_us_p50\":{},\"apply_edit_us_p99\":{},\"full_reparse_us_p50\":{},\
+                "{{\"dialect\":\"{}\",\"engine\":\"{}\",\"bytes\":{},\"tokens\":{},\"edits\":{},\
+                 \"apply_edit_us_p50\":{},\"apply_edit_us_p99\":{},\"materialize_us_p50\":{},\
+                 \"full_reparse_us_p50\":{},\
                  \"speedup_p50\":{},\"resync_bytes_p50\":{},\"resync_bytes_max\":{},\
                  \"reparsed_tokens_p50\":{},\"full_reparse_fallbacks\":{}}}",
                 json::escape(i.dialect),
+                json::escape(i.engine),
                 i.bytes,
                 i.tokens,
                 i.edits,
                 fmt_f64(i.apply_edit_us_p50),
                 fmt_f64(i.apply_edit_us_p99),
+                fmt_f64(i.materialize_us_p50),
                 fmt_f64(i.full_reparse_us_p50),
                 fmt_f64(i.speedup_p50),
                 i.resync_bytes_p50,
@@ -837,7 +897,7 @@ pub fn to_json_full(
         })
         .collect();
     format!(
-        "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":{},\"results\":[{}],\"corpus_lex\":[{}],\"incremental\":[{}]}}",
+        "{{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":{},\"results\":[{}],\"corpus_lex\":[{}],\"incremental\":[{}]}}",
         iters,
         results.join(","),
         corpus_lex.join(","),
@@ -901,7 +961,13 @@ pub fn run_full(
     };
     let incremental: Vec<IncrementalReport> = if edits > 0 {
         let mb = if corpus_mb > 0 { corpus_mb } else { INCREMENTAL_DEFAULT_MB };
-        dialects.iter().map(|&d| bench_incremental(d, mb, edits)).collect()
+        dialects
+            .iter()
+            .flat_map(|&d| {
+                [EngineMode::Backtracking, EngineMode::Ll1Table]
+                    .map(|mode| bench_incremental(d, mode, mb, edits))
+            })
+            .collect()
     } else {
         Vec::new()
     };
@@ -910,7 +976,7 @@ pub fn run_full(
     doc
 }
 
-/// Check a bench document against schema `sqlweave-bench-parser/v7`.
+/// Check a bench document against schema `sqlweave-bench-parser/v8`.
 ///
 /// Used both by [`run`] before returning and by the CI smoke step to gate
 /// on the artifact it just produced.
@@ -920,7 +986,7 @@ pub fn validate(doc: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or("missing \"schema\"")?;
-    if schema != "sqlweave-bench-parser/v7" {
+    if schema != "sqlweave-bench-parser/v8" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("iters").and_then(Value::as_num).ok_or("missing \"iters\"")?;
@@ -1067,18 +1133,22 @@ pub fn validate(doc: &str) -> Result<(), String> {
     }
     // v7: the top-level incremental section is always present (empty when
     // `--edits` was not given); entries carry the keystroke-latency rows.
+    // v8 splits the deferred tree build out as `materialize_us_p50` and
+    // reports one row per dialect × engine pair (tagged `engine`).
     let incremental = v
         .get("incremental")
         .and_then(Value::as_arr)
         .ok_or("missing \"incremental\"")?;
     for i in incremental {
         i.get("dialect").and_then(Value::as_str).ok_or("incremental entry missing \"dialect\"")?;
+        i.get("engine").and_then(Value::as_str).ok_or("incremental entry missing \"engine\"")?;
         for key in [
             "bytes",
             "tokens",
             "edits",
             "apply_edit_us_p50",
             "apply_edit_us_p99",
+            "materialize_us_p50",
             "full_reparse_us_p50",
             "speedup_p50",
             "resync_bytes_p50",
@@ -1155,7 +1225,25 @@ pub fn compare_with_baseline(
         Ok(out)
     }
 
-    fn incremental_speedups(doc: &str, label: &str) -> Result<Vec<(String, f64)>, String> {
+    /// Per-pair incremental gate inputs: the headline `speedup_p50` plus
+    /// two lower-is-better latency ratios normalized by the same
+    /// document's from-scratch reparse (so machine speed cancels out):
+    /// tail keystroke cost `apply_edit_us_p99 / full_reparse_us_p50` and
+    /// deferred tree build `materialize_us_p50 / full_reparse_us_p50`.
+    /// The ratios are `None` when the document predates the column
+    /// (pre-v8 baselines lack the materialize split) — absent data
+    /// compares nothing, it does not fail the gate. `pair` is
+    /// `dialect/engine`; rows without an `engine` tag (pre-v8 baselines
+    /// measured the backtracking session only) key as
+    /// `dialect/backtracking` so they stay comparable.
+    struct IncRow {
+        pair: String,
+        speedup: f64,
+        p99_ratio: Option<f64>,
+        mat_ratio: Option<f64>,
+    }
+
+    fn incremental_speedups(doc: &str, label: &str) -> Result<Vec<IncRow>, String> {
         let v: Value = json::parse(doc).map_err(|e| format!("{label}: {e}"))?;
         // Absent section (pre-v7 baselines) compares nothing, not an error.
         let Some(entries) = v.get("incremental").and_then(Value::as_arr) else {
@@ -1167,12 +1255,22 @@ pub fn compare_with_baseline(
                 .get("dialect")
                 .and_then(Value::as_str)
                 .ok_or(format!("{label}: incremental entry missing \"dialect\""))?;
+            let engine =
+                i.get("engine").and_then(Value::as_str).unwrap_or("backtracking");
+            let pair = format!("{dialect}/{engine}");
             let speedup = i
                 .get("speedup_p50")
                 .and_then(Value::as_num)
                 .filter(|n| n.is_finite() && *n > 0.0)
-                .ok_or(format!("{label}: {dialect} lacks a positive \"speedup_p50\""))?;
-            out.push((dialect.to_string(), speedup));
+                .ok_or(format!("{label}: {pair} lacks a positive \"speedup_p50\""))?;
+            let num = |key: &str| {
+                i.get(key)
+                    .and_then(Value::as_num)
+                    .filter(|n| n.is_finite() && *n > 0.0)
+            };
+            let full = num("full_reparse_us_p50");
+            let ratio = |key: &str| Some(num(key)? / full?);
+            out.push(IncRow { pair, speedup, p99_ratio: ratio("apply_edit_us_p99"), mat_ratio: ratio("materialize_us_p50") });
         }
         Ok(out)
     }
@@ -1206,17 +1304,42 @@ pub fn compare_with_baseline(
             base_vector / base_compiled,
         );
     }
-    for (dialect, base_speedup) in &base_inc {
-        let Some((_, cur_speedup)) = cur_inc.iter().find(|(d, _)| d == dialect) else {
+    for base_row in &base_inc {
+        let pair = &base_row.pair;
+        let Some(cur_row) = cur_inc.iter().find(|r| &r.pair == pair) else {
             continue;
         };
         compared += 1;
-        if *cur_speedup < base_speedup * floor {
+        if cur_row.speedup < base_row.speedup * floor {
             regressions.push(format!(
-                "{dialect}: incremental speedup_p50 regressed {:.1}% (baseline {base_speedup:.1}, current {cur_speedup:.1}, tolerance {tolerance_pct:.0}%)",
-                (1.0 - cur_speedup / base_speedup) * 100.0,
+                "{pair}: incremental speedup_p50 regressed {:.1}% (baseline {:.1}, current {:.1}, tolerance {tolerance_pct:.0}%)",
+                (1.0 - cur_row.speedup / base_row.speedup) * 100.0,
+                base_row.speedup,
+                cur_row.speedup,
             ));
         }
+        // Lower-is-better latency-ratio gates: a regression is the current
+        // ratio exceeding the baseline even after the tolerance discount.
+        // Skipped (not failed) when either side lacks the column.
+        let mut check_ratio = |what: &str, cur: Option<f64>, base: Option<f64>| {
+            let (Some(cur), Some(base)) = (cur, base) else { return };
+            if cur * floor > base {
+                regressions.push(format!(
+                    "{pair}: {what} regressed {:.1}% (baseline {base:.4}, current {cur:.4}, tolerance {tolerance_pct:.0}%)",
+                    (cur / base - 1.0) * 100.0,
+                ));
+            }
+        };
+        check_ratio(
+            "incremental apply_edit_us_p99 / full_reparse_us_p50",
+            cur_row.p99_ratio,
+            base_row.p99_ratio,
+        );
+        check_ratio(
+            "incremental materialize_us_p50 / full_reparse_us_p50",
+            cur_row.mat_ratio,
+            base_row.mat_ratio,
+        );
     }
     if compared == 0 {
         return Err(
@@ -1272,54 +1395,55 @@ mod tests {
     fn validate_rejects_malformed_documents() {
         assert!(validate("{").is_err());
         assert!(validate("{\"schema\":\"other/v9\"}").is_err());
-        // v1..v6 documents (no dynamic counters / no lex stage / no
+        // v1..v7 documents (no dynamic counters / no lex stage / no
         // recovery section / no sema section / no vector row + corpus_lex
-        // section / no incremental section + interning columns) are
-        // rejected by name.
+        // section / no incremental section + interning columns / no
+        // materialize_us_p50 split) are rejected by name.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v1\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v2\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v3\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v4\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v5\",\"iters\":1,\"results\":[]}").is_err());
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v6\",\"iters\":1,\"results\":[]}").is_err());
-        // A v7 header with empty results is still rejected.
         assert!(validate("{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[]}").is_err());
+        // A v8 header with empty results is still rejected.
+        assert!(validate("{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[]}").is_err());
         // Schema-valid wrapper but an api entry missing its baseline.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"batch\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // Counters present but the rate missing.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A non-empty lex section must anchor on the interval walker.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[{\"scanner\":\"compiled\",\"tokens_per_sec\":1,\"mbytes_per_sec\":1,\"speedup_vs_interval\":2}],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0}}],\"corpus_lex\":[]}"
         )
         .is_err());
         // v3 rows (no recovery section) fail even under a v4 header.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[]}],\"corpus_lex\":[]}"
         )
         .is_err());
         // A recovery section with a missing field fails too.
         assert!(validate(
-            "{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}],\"corpus_lex\":[]}"
+            "{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1}}],\"corpus_lex\":[]}"
         )
         .is_err());
     }
 
-    /// One shape-valid v7 engine row, shared by the section-shape tests.
+    /// One shape-valid v8 engine row, shared by the section-shape tests.
     const VALID_RESULTS: &str = "{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"statements\":1,\"tokens\":2,\"bytes\":3,\"byte_classes\":4,\"decision_table_hits\":0,\"backtracks\":0,\"failure_memo_hits\":0,\"backtrack_rate\":0.0,\"apis\":[{\"api\":\"seed_cst\",\"statements_per_sec\":1,\"tokens_per_sec\":1,\"speedup_vs_seed\":1}],\"lex\":[],\"recovery\":{\"scripts\":1,\"errors\":1,\"scripts_per_sec\":1,\"clean_overhead\":1.0},\"sema\":{\"statements_per_sec\":1,\"overhead_vs_parse\":1.0,\"column_edges\":0,\"lexeme_bytes\":10,\"interned_bytes\":5,\"intern_ratio\":2.0}}";
 
     #[test]
     fn validate_checks_corpus_lex_shape() {
-        // A shape-valid v7 document minus corpus_lex entirely is rejected…
+        // A shape-valid v8 document minus corpus_lex entirely is rejected…
         let wrap = |corpus: &str| {
             format!(
-                "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{VALID_RESULTS}]{corpus},\"incremental\":[]}}"
+                "{{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{VALID_RESULTS}]{corpus},\"incremental\":[]}}"
             )
         };
         assert!(validate(&wrap("")).is_err(), "corpus_lex key is mandatory");
@@ -1335,19 +1459,25 @@ mod tests {
     fn validate_checks_incremental_shape() {
         let wrap = |incremental: &str| {
             format!(
-                "{{\"schema\":\"sqlweave-bench-parser/v7\",\"iters\":1,\"results\":[{VALID_RESULTS}],\"corpus_lex\":[]{incremental}}}"
+                "{{\"schema\":\"sqlweave-bench-parser/v8\",\"iters\":1,\"results\":[{VALID_RESULTS}],\"corpus_lex\":[]{incremental}}}"
             )
         };
         assert!(validate(&wrap("")).is_err(), "incremental key is mandatory");
         assert!(validate(&wrap(",\"incremental\":[]")).is_ok(), "empty section is fine");
-        let full = ",\"incremental\":[{\"dialect\":\"pico\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        let full = ",\"incremental\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"materialize_us_p50\":200.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
         assert!(validate(&wrap(full)).is_ok());
         // An entry missing its headline ratio is rejected…
-        let no_speedup = ",\"incremental\":[{\"dialect\":\"pico\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        let no_speedup = ",\"incremental\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"materialize_us_p50\":200.0,\"full_reparse_us_p50\":9000.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
         assert!(validate(&wrap(no_speedup)).is_err());
-        // …as is one missing the dialect name.
-        let no_dialect = ",\"incremental\":[{\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        // …as is a v7-shaped row lacking the materialize split…
+        let no_materialize = ",\"incremental\":[{\"dialect\":\"pico\",\"engine\":\"backtracking\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        assert!(validate(&wrap(no_materialize)).is_err());
+        // …as is one missing the dialect name…
+        let no_dialect = ",\"incremental\":[{\"engine\":\"backtracking\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"materialize_us_p50\":200.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
         assert!(validate(&wrap(no_dialect)).is_err());
+        // …as is a v8 row without its engine tag.
+        let no_engine = ",\"incremental\":[{\"dialect\":\"pico\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10.0,\"apply_edit_us_p99\":50.0,\"materialize_us_p50\":200.0,\"full_reparse_us_p50\":9000.0,\"speedup_p50\":900.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]";
+        assert!(validate(&wrap(no_engine)).is_err());
     }
 
     #[test]
@@ -1441,13 +1571,15 @@ mod tests {
     }
 
     /// Minimal document carrying only the incremental section (plus the
-    /// empty corpus_lex the comparator requires).
-    fn incremental_doc(entries: &[(&str, f64)]) -> String {
+    /// empty corpus_lex the comparator requires). Entries are
+    /// `(dialect, speedup_p50, apply_edit_us_p99, materialize_us_p50)`
+    /// for the backtracking engine against a fixed 9000 µs full reparse.
+    fn incremental_doc(entries: &[(&str, f64, f64, f64)]) -> String {
         let entries: Vec<String> = entries
             .iter()
-            .map(|(d, speedup)| {
+            .map(|(d, speedup, p99, mat)| {
                 format!(
-                    "{{\"dialect\":\"{d}\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10,\"apply_edit_us_p99\":50,\"full_reparse_us_p50\":9000,\"speedup_p50\":{speedup},\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}}"
+                    "{{\"dialect\":\"{d}\",\"engine\":\"backtracking\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10,\"apply_edit_us_p99\":{p99},\"materialize_us_p50\":{mat},\"full_reparse_us_p50\":9000,\"speedup_p50\":{speedup},\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}}"
                 )
             })
             .collect();
@@ -1456,12 +1588,12 @@ mod tests {
 
     #[test]
     fn baseline_compare_gates_incremental_speedup() {
-        let base = incremental_doc(&[("core", 400.0)]);
+        let base = incremental_doc(&[("core", 400.0, 50.0, 200.0)]);
         // Within tolerance: 20% below a 25% floor passes.
-        let ok = incremental_doc(&[("core", 320.0)]);
+        let ok = incremental_doc(&[("core", 320.0, 50.0, 200.0)]);
         assert!(compare_with_baseline(&ok, &base, 25.0).unwrap().is_empty());
         // Localized reparse silently degraded toward full-document work.
-        let bad = incremental_doc(&[("core", 120.0)]);
+        let bad = incremental_doc(&[("core", 120.0, 50.0, 200.0)]);
         let regressions = compare_with_baseline(&bad, &base, 25.0).unwrap();
         assert!(
             regressions.iter().any(|r| r.contains("incremental speedup_p50")),
@@ -1469,7 +1601,7 @@ mod tests {
         );
         // Non-overlapping incremental dialects with no corpus rows either:
         // the gate refuses to compare nothing.
-        let other = incremental_doc(&[("pico", 500.0)]);
+        let other = incremental_doc(&[("pico", 500.0, 50.0, 200.0)]);
         assert!(compare_with_baseline(&other, &base, 25.0).is_err());
         // A pre-v7 baseline without the section skips the incremental gate
         // but still needs a corpus overlap to compare at all.
@@ -1478,19 +1610,90 @@ mod tests {
     }
 
     #[test]
+    fn baseline_compare_gates_incremental_latency_ratios() {
+        let base = incremental_doc(&[("core", 400.0, 50.0, 200.0)]);
+        // Mild drift inside the 25% tolerance on both ratios passes.
+        let ok = incremental_doc(&[("core", 400.0, 60.0, 240.0)]);
+        assert!(compare_with_baseline(&ok, &base, 25.0).unwrap().is_empty());
+        // Tail keystroke latency blowing up fires the p99 ratio gate even
+        // though the median speedup looks unchanged.
+        let slow_tail = incremental_doc(&[("core", 400.0, 500.0, 200.0)]);
+        let regressions = compare_with_baseline(&slow_tail, &base, 25.0).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("apply_edit_us_p99")),
+            "{regressions:?}"
+        );
+        // Materialization degrading toward full-reparse cost fires its gate.
+        let slow_mat = incremental_doc(&[("core", 400.0, 50.0, 8000.0)]);
+        let regressions = compare_with_baseline(&slow_mat, &base, 25.0).unwrap();
+        assert!(
+            regressions.iter().any(|r| r.contains("materialize_us_p50")),
+            "{regressions:?}"
+        );
+        // A v7 baseline row without the materialize column skips that gate
+        // (the p99 gate still runs off the shared columns).
+        let v7_row = "{\"corpus_lex\":[],\"incremental\":[{\"dialect\":\"core\",\"bytes\":4194304,\"tokens\":9,\"edits\":64,\"apply_edit_us_p50\":10,\"apply_edit_us_p99\":50,\"full_reparse_us_p50\":9000,\"speedup_p50\":400.0,\"resync_bytes_p50\":30,\"resync_bytes_max\":90,\"reparsed_tokens_p50\":12,\"full_reparse_fallbacks\":0}]}";
+        assert!(compare_with_baseline(&slow_mat, v7_row, 25.0).unwrap().is_empty());
+        assert!(compare_with_baseline(&slow_tail, v7_row, 25.0)
+            .unwrap()
+            .iter()
+            .any(|r| r.contains("apply_edit_us_p99")));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_semantics() {
+        // n=1: every percentile is the single sample.
+        assert_eq!(percentile_f64(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile_f64(&[7.0], 0.99), 7.0);
+        // n=2: ⌈0.5·2⌉−1 = 0 → the median is the LOWER sample (the old
+        // `(p·n) as usize` truncation wrongly picked index 1), while p99
+        // and p=1.0 take the upper.
+        assert_eq!(percentile_f64(&[1.0, 9.0], 0.5), 1.0);
+        assert_eq!(percentile_f64(&[1.0, 9.0], 0.99), 9.0);
+        assert_eq!(percentile_f64(&[1.0, 9.0], 1.0), 9.0);
+        // Odd length: the median is the exact middle element.
+        assert_eq!(percentile_f64(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.5), 3.0);
+        // n=64 (the default --edits count): p99 is ⌈63.36⌉−1 = 63, the
+        // maximum — not index 63.36 truncated to 63 by luck but the
+        // nearest rank above 99% of the mass.
+        let v: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        assert_eq!(percentile_f64(&v, 0.99), 63.0);
+        assert_eq!(percentile_f64(&v, 0.5), 31.0);
+        // Mirrors for the usize flavour, plus the empty-slice guards.
+        assert_eq!(percentile_usize(&[4, 8], 0.5), 4);
+        assert_eq!(percentile_usize(&[], 0.5), 0);
+        assert_eq!(percentile_f64(&[], 0.99), 0.0);
+        // p=0 clamps to the minimum rather than underflowing.
+        assert_eq!(percentile_f64(&[1.0, 9.0], 0.0), 1.0);
+        assert_eq!(percentile_index(5, 0.0), 0);
+    }
+
+    #[test]
     fn incremental_bench_reports_positive_speedup() {
         // Tiny corpus (64 KiB, 8 edits) so the unit test stays fast; the
         // real ablation runs 4 MiB via `sqlweave bench --edits`.
-        let r = bench_incremental_bytes(Dialect::Core, 64 * 1024, 8);
+        let r = bench_incremental_bytes(Dialect::Core, EngineMode::Backtracking, 64 * 1024, 8);
         assert_eq!(r.dialect, "core");
+        assert_eq!(r.engine, "backtracking");
         assert!(r.bytes >= 64 * 1024, "{r:?}");
         assert!(r.tokens > 0 && r.edits == 8, "{r:?}");
         assert!(r.apply_edit_us_p50.is_finite() && r.apply_edit_us_p50 > 0.0, "{r:?}");
         assert!(r.apply_edit_us_p99 >= r.apply_edit_us_p50, "{r:?}");
+        assert!(r.materialize_us_p50.is_finite() && r.materialize_us_p50 > 0.0, "{r:?}");
         assert!(r.full_reparse_us_p50 > 0.0, "{r:?}");
         assert!(r.speedup_p50.is_finite() && r.speedup_p50 > 0.0, "{r:?}");
         assert_eq!(r.full_reparse_fallbacks, 0, "single-token edits stay local: {r:?}");
         assert!(r.resync_bytes_max >= r.resync_bytes_p50, "{r:?}");
+    }
+
+    #[test]
+    fn incremental_bench_covers_the_predictive_engine() {
+        // The keystroke target holds per dialect × engine pair, so the
+        // LL(1)-table session gets its own row — same locality guarantees.
+        let r = bench_incremental_bytes(Dialect::Core, EngineMode::Ll1Table, 64 * 1024, 4);
+        assert_eq!(r.engine, "ll1_table");
+        assert!(r.apply_edit_us_p50 > 0.0 && r.speedup_p50 > 0.0, "{r:?}");
+        assert_eq!(r.full_reparse_fallbacks, 0, "single-token edits stay local: {r:?}");
     }
 
     #[test]
@@ -1502,7 +1705,7 @@ mod tests {
             "/../../BENCH_parser.json"
         ))
         .expect("checked-in BENCH_parser.json");
-        validate(&doc).expect("checked-in artifact validates against v7");
+        validate(&doc).expect("checked-in artifact validates against v8");
         assert!(compare_with_baseline(&doc, &doc, 25.0).unwrap().is_empty());
     }
 

@@ -986,32 +986,37 @@ fn parse_listing_args(args: &[String]) -> Option<(Option<String>, bool)> {
 
 /// The diagram census as a `sqlweave-features/v1` document. Exact
 /// configuration counts are serialized as decimal strings (they are u128);
-/// uncountable spaces are null.
-fn features_json(cat: &sqlweave_sql_features::Catalog, names: &[&str]) -> String {
-    let diagrams: Vec<String> = names
-        .iter()
-        .map(|d| {
-            let model = cat.diagram(d).expect("diagram roots verified at build");
-            let c = census(&model);
-            let configurations = c
-                .configurations
-                .map(|n| json_str(&n.to_string()))
-                .unwrap_or_else(|| "null".into());
-            format!(
-                "{{\"name\":{},\"features\":{},\"depth\":{},\"constraints\":{},\"configurations\":{}}}",
-                json_str(&c.diagram),
-                c.features,
-                c.depth,
-                c.constraints,
-                configurations
-            )
-        })
-        .collect();
-    format!(
+/// uncountable spaces are null. `Err` carries the name of a registered
+/// diagram that is missing from the catalog (a build-time invariant, but
+/// surfaced as a diagnostic rather than a panic).
+fn features_json(
+    cat: &sqlweave_sql_features::Catalog,
+    names: &[&str],
+) -> Result<String, String> {
+    let mut diagrams = Vec::new();
+    for d in names {
+        let Some(model) = cat.diagram(d) else {
+            return Err((*d).to_string());
+        };
+        let c = census(&model);
+        let configurations = c
+            .configurations
+            .map(|n| json_str(&n.to_string()))
+            .unwrap_or_else(|| "null".into());
+        diagrams.push(format!(
+            "{{\"name\":{},\"features\":{},\"depth\":{},\"constraints\":{},\"configurations\":{}}}",
+            json_str(&c.diagram),
+            c.features,
+            c.depth,
+            c.constraints,
+            configurations
+        ));
+    }
+    Ok(format!(
         "{{\"schema\":{},\"diagrams\":[{}]}}",
         json_str(FEATURES_SCHEMA),
         diagrams.join(",")
-    )
+    ))
 }
 
 /// One diagram's tree as a `sqlweave-features/v1` document.
@@ -1051,10 +1056,19 @@ fn cmd_features(args: &[String]) -> ExitCode {
     };
     let cat = catalog();
     match diagram.as_deref() {
-        None if json => {
-            println!("{}", features_json(cat, DIAGRAMS));
-            ExitCode::SUCCESS
-        }
+        None if json => match features_json(cat, DIAGRAMS) {
+            Ok(doc) => {
+                println!("{doc}");
+                ExitCode::SUCCESS
+            }
+            Err(missing) => {
+                eprintln!(
+                    "internal error: diagram `{missing}` is registered in DIAGRAMS \
+                     but missing from the catalog"
+                );
+                ExitCode::from(2)
+            }
+        },
         None => match features_listing(cat, DIAGRAMS) {
             Ok(listing) => {
                 print!("{listing}");
@@ -1300,9 +1314,15 @@ fn cmd_parse_recover(dialect: Dialect, sql: &str, format_json: bool) -> ExitCode
 /// statement, and all of them run through ONE recycled [`ParseSession`] —
 /// the buffer-reuse path the library documents, exercised end-to-end by
 /// the CLI instead of paying a fresh process (and parser build) per
-/// statement. `--recover` switches each line to the resilient driver
-/// (`--format json` then emits one `sqlweave-diagnostics/v1` document per
-/// line); the default is the strict accept/reject contract.
+/// statement. `--recover` routes each line through the *incremental*
+/// session: the document is opened once and every line replaces it via the
+/// fallible [`ParseSession::try_apply_edit`], reading diagnostics straight
+/// off the lazy [`sqlweave_parser_rt::EditOutcome`] without ever
+/// materializing a tree (`--format json` then emits one
+/// `sqlweave-diagnostics/v1` document per line). A structured
+/// [`sqlweave_parser_rt::EditError`] — a CLI bug, since the CLI computes
+/// the ranges — is reported as a diagnostic with exit code 2 instead of a
+/// panic. The default is the strict accept/reject contract.
 fn cmd_parse_stdin(dialect: Dialect, recover: bool, format_json: bool) -> ExitCode {
     use std::io::Read as _;
     let mut input = String::new();
@@ -1318,6 +1338,10 @@ fn cmd_parse_stdin(dialect: Dialect, recover: bool, format_json: bool) -> ExitCo
         }
     };
     let mut session = parser.session();
+    if recover {
+        session.open_document("");
+    }
+    let mut doc_len = 0usize;
     let mut total = 0usize;
     let mut rejected = 0usize;
     for (lineno, line) in input.lines().enumerate() {
@@ -1327,7 +1351,14 @@ fn cmd_parse_stdin(dialect: Dialect, recover: bool, format_json: bool) -> ExitCo
         }
         total += 1;
         if recover {
-            let outcome = session.parse_resilient(sql);
+            let outcome = match session.try_apply_edit(0..doc_len, sql) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("internal error applying line {} as an edit: {e}", lineno + 1);
+                    return ExitCode::from(2);
+                }
+            };
+            doc_len = sql.len();
             if !outcome.errors.is_empty() {
                 rejected += 1;
             }
@@ -1337,7 +1368,7 @@ fn cmd_parse_stdin(dialect: Dialect, recover: bool, format_json: bool) -> ExitCo
                 println!("line {}: ok", lineno + 1);
             } else {
                 println!("line {}: {} diagnostic(s)", lineno + 1, outcome.errors.len());
-                for e in &outcome.errors {
+                for e in outcome.errors.iter() {
                     print!("{}", e.render(sql));
                 }
             }
@@ -1595,14 +1626,17 @@ fn cmd_format(args: &[String]) -> ExitCode {
 /// `--edits N` runs the B11 keystroke-latency ablation: N single-token
 /// edits applied through one incremental `ParseSession` on a generated
 /// script (`--corpus-mb` sizes it, default 4 MiB), reporting p50/p99
-/// apply latency against the from-scratch reparse of the same document
+/// apply latency — plus the median cost of materializing the tree after
+/// an edit, which the lazy outcome keeps off the keystroke path —
+/// against the from-scratch reparse of the same document
 /// (`incremental` in the JSON document).
 /// `--baseline FILE` (JSON mode, needs `--corpus-mb` or `--edits`) gates
 /// the fresh document against a checked-in one: the CI tripwire fails the
 /// run when the compiled or vector scanner loses more than
 /// `--tolerance-pct` (default 25) of the baseline's corpus throughput,
 /// when the vector-over-compiled speedup flattens by the same margin, or
-/// when the incremental `speedup_p50` collapses toward full-reparse cost.
+/// when the incremental `speedup_p50`, tail apply latency, or tree
+/// materialization cost collapses toward full-reparse cost.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut recover = false;
@@ -1824,21 +1858,27 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         }
     }
     // The B11 keystroke-latency rows: single-token edits through one
-    // incremental session vs a from-scratch reparse of the same script.
+    // incremental session per dialect × engine pair vs a from-scratch
+    // reparse of the same script.
     if edits > 0 {
         let mb = if corpus_mb > 0 { corpus_mb } else { 4 };
         for &d in &dialects {
-            let r = sqlweave_bench::runner::bench_incremental(d, mb, edits);
-            println!(
-                "{:<10} {:<13} {:<11} {:>11} {:>13} {:>7.0}x {:>8}",
-                r.dialect,
-                format!("edit-{mb}mb"),
-                "apply_edit",
-                format!("{:.0} us p50", r.apply_edit_us_p50),
-                format!("{:.0} us p99", r.apply_edit_us_p99),
-                r.speedup_p50,
-                format!("n={}", r.edits)
-            );
+            for mode in
+                [sqlweave_parser_rt::EngineMode::Backtracking, sqlweave_parser_rt::EngineMode::Ll1Table]
+            {
+                let r = sqlweave_bench::runner::bench_incremental(d, mode, mb, edits);
+                println!(
+                    "{:<10} {:<13} {:<11} {:>11} {:>13} {:>13} {:>7.0}x {:>8}",
+                    r.dialect,
+                    r.engine,
+                    format!("edit-{mb}mb"),
+                    format!("{:.0} us p50", r.apply_edit_us_p50),
+                    format!("{:.0} us p99", r.apply_edit_us_p99),
+                    format!("{:.0} us mat", r.materialize_us_p50),
+                    r.speedup_p50,
+                    format!("n={}", r.edits)
+                );
+            }
         }
     }
     ExitCode::SUCCESS
@@ -1881,7 +1921,7 @@ mod tests {
 
     #[test]
     fn features_json_round_trips_with_schema_and_counts() {
-        let doc = features_json(catalog(), DIAGRAMS);
+        let doc = features_json(catalog(), DIAGRAMS).expect("all registered diagrams resolve");
         let v = sqlweave_lint::json::parse(&doc).expect("valid json");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),

@@ -186,8 +186,16 @@ fn bench_edits_prints_apply_edit_row() {
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let out = stdout(&o);
-    assert!(out.contains("apply_edit"), "{out}");
+    // One row per engine: apply p50/p99, lazy-materialize p50, speedup.
     assert!(out.contains("edit-1mb"), "{out}");
+    assert!(out.contains("us p50"), "{out}");
+    assert!(out.contains("us mat"), "{out}");
+    for engine in ["backtracking", "ll1_table"] {
+        let row = out
+            .lines()
+            .find(|l| l.contains("edit-1mb") && l.contains(engine));
+        assert!(row.is_some(), "missing edit-1mb row for {engine}: {out}");
+    }
 }
 
 #[test]
@@ -211,12 +219,13 @@ fn run_with_stdin(args: &[&str], input: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary runs");
-    child
+    // Ignore EPIPE: a child that rejects its flags exits (closing stdin)
+    // before reading it, racing this write.
+    let _ = child
         .stdin
         .take()
         .expect("piped stdin")
-        .write_all(input.as_bytes())
-        .expect("write stdin");
+        .write_all(input.as_bytes());
     child.wait_with_output().expect("binary exits")
 }
 

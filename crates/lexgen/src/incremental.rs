@@ -29,6 +29,66 @@ use crate::compiled;
 use crate::line_index::LineIndex;
 use crate::scanner::{LexError, Scanner, Token, TokenKind};
 
+/// Random access to the previous scan's token stream, spans in old-text
+/// byte coordinates.
+///
+/// [`Scanner::relex`] is generic over this so incremental callers that
+/// keep token spans in a rebased representation (true span = stored span
+/// + a per-chunk base offset, so a suffix shift after an edit is O(#chunks)
+/// instead of O(#tokens)) can answer the relex's span queries on demand:
+/// the relex only reads O(log n) tokens through binary searches plus the
+/// damaged window itself, so no caller needs to materialize absolute
+/// spans for the whole stream first.
+pub trait TokenSource {
+    /// Number of tokens in the stream.
+    fn len(&self) -> usize;
+    /// The `i`-th token with its absolute old-text span (`i < len()`).
+    fn get(&self, i: usize) -> Token;
+    /// Whether the stream has no tokens.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TokenSource for [Token] {
+    fn len(&self) -> usize {
+        <[Token]>::len(self)
+    }
+    fn get(&self, i: usize) -> Token {
+        self[i]
+    }
+}
+
+impl TokenSource for Vec<Token> {
+    fn len(&self) -> usize {
+        <[Token]>::len(self)
+    }
+    fn get(&self, i: usize) -> Token {
+        self[i]
+    }
+}
+
+/// `slice::partition_point` over a [`TokenSource`]: first index where
+/// `pred` is false, assuming `pred` is monotone over the stream.
+fn partition<S: TokenSource + ?Sized>(src: &S, mut pred: impl FnMut(Token) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, src.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(src.get(mid)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Whether some token in `src` starts exactly at `at` (binary search).
+fn starts_at<S: TokenSource + ?Sized>(src: &S, at: usize) -> bool {
+    let i = partition(src, |t| t.start < at);
+    i < src.len() && src.get(i).start == at
+}
+
 /// One maximal-munch step taken in isolation: the match (if any), and the
 /// exclusive *probe frontier* — one past the furthest byte the automaton
 /// examined while looking for a longer match. `usize::MAX` means the
@@ -180,7 +240,10 @@ impl Scanner {
     /// `edit_start..edit_old_end` (the replacement now occupies new-text
     /// bytes `edit_start..edit_new_end`).
     ///
-    /// `old_toks` is the previous full token stream (spans in `old_text`),
+    /// `old_toks` is the previous full token stream (spans in the
+    /// pre-edit text, whose byte length is `old_text_len` — the restart
+    /// and resync logic compares old *positions*, never old bytes, so a
+    /// caller may splice its text buffer in place before calling),
     /// `old_errors` the previous lexical errors as `(position, probe)`
     /// pairs in ascending position order, and `old_tok_probes` the
     /// recorded frontiers of the previous probe-unbounded tokens
@@ -192,19 +255,19 @@ impl Scanner {
     /// byte, and stops at the first old scan boundary at or past the edit
     /// (token start, error position, or end of input).
     #[allow(clippy::too_many_arguments)]
-    pub fn relex(
+    pub fn relex<S: TokenSource + ?Sized>(
         &self,
-        old_text: &str,
+        old_text_len: usize,
         new_text: &str,
         new_lines: &LineIndex,
-        old_toks: &[Token],
+        old_toks: &S,
         old_errors: &[(usize, usize)],
         old_tok_probes: &[(usize, usize)],
         edit_start: usize,
         edit_old_end: usize,
         edit_new_end: usize,
     ) -> Relex {
-        debug_assert!(edit_start <= edit_old_end && edit_old_end <= old_text.len());
+        debug_assert!(edit_start <= edit_old_end && edit_old_end <= old_text_len);
         debug_assert!(edit_start <= edit_new_end && edit_new_end <= new_text.len());
         // A bounded-rule match ending more than `bm` bytes before the
         // edit died before reaching it; token ends are ascending, so the
@@ -217,8 +280,8 @@ impl Scanner {
         // and failed munches.
         let mut start_byte = match self.bounded_overhang_bytes() {
             Some(bm) => {
-                let safe = old_toks.partition_point(|t| t.end.saturating_add(bm) <= edit_start);
-                if safe == 0 { 0 } else { old_toks[safe - 1].end }
+                let safe = partition(old_toks, |t| t.end.saturating_add(bm) <= edit_start);
+                if safe == 0 { 0 } else { old_toks.get(safe - 1).end }
             }
             None => 0,
         };
@@ -243,7 +306,7 @@ impl Scanner {
                 start_byte = at;
             }
         }
-        let old_lo = old_toks.partition_point(|t| t.start < start_byte);
+        let old_lo = partition(old_toks, |t| t.start < start_byte);
 
         let delta = edit_new_end as isize - edit_old_end as isize;
         let mut tokens = Vec::new();
@@ -258,9 +321,7 @@ impl Scanner {
                 // old byte was also a scan boundary, the identical suffix
                 // text reproduces the old stream from here on.
                 let old_pos = (pos as isize - delta) as usize;
-                let at_token = old_toks
-                    .binary_search_by_key(&old_pos, |t| t.start)
-                    .is_ok();
+                let at_token = starts_at(old_toks, old_pos);
                 let at_error =
                     old_errors.binary_search_by_key(&old_pos, |&(at, _)| at).is_ok();
                 if at_token || at_error {
@@ -292,7 +353,7 @@ impl Scanner {
             }
         }
         let old_hi = match resync_old {
-            Some(q) => old_toks.partition_point(|t| t.start < q),
+            Some(q) => partition(old_toks, |t| t.start < q),
             None => old_toks.len(),
         };
 
@@ -305,7 +366,7 @@ impl Scanner {
         let mut lo = old_lo;
         while keep < tokens.len()
             && lo < old_hi
-            && tokens[keep] == old_toks[lo]
+            && tokens[keep] == old_toks.get(lo)
             && tokens[keep].end <= edit_start
         {
             keep += 1;
@@ -370,7 +431,7 @@ mod tests {
         let new_lines = LineIndex::new(&new_text);
         let delta = (start + rep.len()) as isize - old_end as isize;
         let r = s.relex(
-            old_text,
+            old_text.len(),
             &new_text,
             &new_lines,
             &old_toks,
@@ -558,7 +619,7 @@ mod tests {
         new.replace_range(edit.., "v");
         let new_lines = LineIndex::new(&new);
         let r = s.relex(
-            old, &new, &new_lines, &old_toks, &[], &probes, edit, old.len(), old.len(),
+            old.len(), &new, &new_lines, &old_toks, &[], &probes, edit, old.len(), old.len(),
         );
         assert!(
             r.start_byte + bm >= edit,
@@ -567,6 +628,59 @@ mod tests {
         );
         assert!(r.start_byte > 13, "restart {} backed over the string", r.start_byte);
         assert!(r.tok_probes.is_empty(), "no string inside the rescanned window");
+    }
+
+    /// A token stream stored with stale spans plus one compensating base
+    /// offset — the chunked-span shape an incremental caller keeps —
+    /// exercising the generic [`TokenSource`] access path of `relex`.
+    struct Rebased {
+        toks: Vec<Token>,
+        base: isize,
+    }
+    impl TokenSource for Rebased {
+        fn len(&self) -> usize {
+            self.toks.len()
+        }
+        fn get(&self, i: usize) -> Token {
+            let t = self.toks[i];
+            Token {
+                kind: t.kind,
+                start: (t.start as isize + self.base) as usize,
+                end: (t.end as isize + self.base) as usize,
+            }
+        }
+    }
+
+    #[test]
+    fn relex_through_a_rebased_token_source_matches_flat() {
+        let s = sql_scanner();
+        let old = "SELECT alpha, beta FROM t1; SELECT gamma FROM t2";
+        let mut old_toks = Vec::new();
+        assert!(s.scan_resilient_into(old, &mut old_toks).is_empty());
+        let rebased = Rebased {
+            toks: old_toks
+                .iter()
+                .map(|t| Token { kind: t.kind, start: t.start + 7, end: t.end + 7 })
+                .collect(),
+            base: -7,
+        };
+        for (start, old_end, rep) in [(7, 12, "omega"), (26, 27, ""), (48, 48, " x")] {
+            let mut new = String::new();
+            new.push_str(&old[..start]);
+            new.push_str(rep);
+            new.push_str(&old[old_end..]);
+            let lines = LineIndex::new(&new);
+            let new_end = start + rep.len();
+            let flat =
+                s.relex(old.len(), &new, &lines, &old_toks, &[], &[], start, old_end, new_end);
+            let reb =
+                s.relex(old.len(), &new, &lines, &rebased, &[], &[], start, old_end, new_end);
+            assert_eq!(flat.old_lo, reb.old_lo, "edit {start}..{old_end}");
+            assert_eq!(flat.old_hi, reb.old_hi, "edit {start}..{old_end}");
+            assert_eq!(flat.tokens, reb.tokens, "edit {start}..{old_end}");
+            assert_eq!(flat.start_byte, reb.start_byte, "edit {start}..{old_end}");
+            assert_eq!(flat.resync_old, reb.resync_old, "edit {start}..{old_end}");
+        }
     }
 
     #[test]

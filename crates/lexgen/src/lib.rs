@@ -47,7 +47,7 @@ pub mod tokenset;
 pub mod vector;
 
 pub use compiled::CompiledDfa;
-pub use incremental::{RawStep, Relex};
+pub use incremental::{RawStep, Relex, TokenSource};
 pub use line_index::LineIndex;
 pub use scanner::{LexError, Scanner, Token, TokenKind};
 pub use tokenset::{TokenRule, TokenSet};

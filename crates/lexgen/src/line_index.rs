@@ -39,6 +39,14 @@ impl LineIndex {
         self.starts.get(line.checked_sub(1)?).copied()
     }
 
+    /// The 1-based line number containing byte offset `at` (offsets at or
+    /// past the end of input resolve to the last line). The line-number
+    /// half of [`LineIndex::line_col`] without the column count, so it
+    /// never touches the text — O(log lines).
+    pub fn line_of(&self, at: usize) -> usize {
+        self.starts.partition_point(|&s| s <= at)
+    }
+
     /// Incrementally update the index for an edit replacing the byte range
     /// `start..old_end` with `replacement`: line starts at or before
     /// `start` are kept, starts inside the replaced window are dropped in
@@ -51,8 +59,10 @@ impl LineIndex {
         let lo = self.starts.partition_point(|&s| s <= start);
         let hi = self.starts.partition_point(|&s| s <= old_end);
         let delta = replacement.len() as isize - (old_end - start) as isize;
-        for s in &mut self.starts[hi..] {
-            *s = (*s as isize + delta) as usize;
+        if delta != 0 {
+            for s in &mut self.starts[hi..] {
+                *s = (*s as isize + delta) as usize;
+            }
         }
         let mid = replacement
             .bytes()
@@ -146,12 +156,13 @@ mod tests {
             "one\ntwo\nthree\nfour\n",
             "\n\n\n",
             "no newlines at all",
+            "é\n中文\n🦀",
         ];
-        let replacements = ["", "x", "\n", "a\nb", "\n\n", "tail\n"];
+        let replacements = ["", "x", "\n", "a\nb", "\n\n", "tail\n", "é", "中\n文", "🦀\n"];
         for base in bases {
             for rep in replacements {
-                for start in 0..=base.len() {
-                    for end in start..=base.len() {
+                for start in (0..=base.len()).filter(|&i| base.is_char_boundary(i)) {
+                    for end in (start..=base.len()).filter(|&i| base.is_char_boundary(i)) {
                         let mut edited = String::new();
                         edited.push_str(&base[..start]);
                         edited.push_str(rep);
@@ -166,6 +177,15 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn line_of_matches_line_col() {
+        let input = "abc\ndef\n\nghi";
+        let index = LineIndex::new(input);
+        for at in 0..=input.len() + 2 {
+            assert_eq!(index.line_of(at), index.line_col(input, at).0, "at {at}");
         }
     }
 

@@ -63,6 +63,7 @@ pub(crate) struct TopElem {
 /// closes it) into its depth-1 elements. Returns `None` if the stream is
 /// not of that shape, or if token indices are not strictly increasing in
 /// stream order (both would invalidate window planning).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn top_level_elements(events: &[Event]) -> Option<Vec<TopElem>> {
     if events.len() < 2
         || !matches!(events[0], Event::Open { .. })
@@ -70,13 +71,27 @@ pub(crate) fn top_level_elements(events: &[Event]) -> Option<Vec<TopElem>> {
     {
         return None;
     }
+    let mut elems = split_elements(&events[1..events.len() - 1], 0)?;
+    for e in &mut elems {
+        e.ev_lo += 1;
+        e.ev_hi += 1;
+    }
+    Some(elems)
+}
+
+/// Scan an *unwrapped* stream (a sequence of balanced depth-0 subtrees and
+/// bare tokens, no surrounding root — the shape a resilient drive appends
+/// to the session's `revents` buffer) into its elements. Token indices
+/// must run exactly sequentially from `first_tok`; event ranges are
+/// indices into `events` directly. Returns `None` for unbalanced streams
+/// or out-of-sequence token indices.
+pub(crate) fn split_elements(events: &[Event], first_tok: usize) -> Option<Vec<TopElem>> {
     let mut elems = Vec::new();
     let mut depth = 0usize;
-    let mut next_tok = 0usize;
+    let mut next_tok = first_tok;
     let mut open: Option<(usize, usize)> = None; // (ev_lo, tok_lo) of the open depth-1 node
     let mut open_kind = ElemKind::Clean;
-    for (i, ev) in events[1..events.len() - 1].iter().enumerate() {
-        let i = i + 1;
+    for (i, ev) in events.iter().enumerate() {
         match *ev {
             Event::Open { prod, .. } => {
                 if depth == 0 {
@@ -187,6 +202,33 @@ mod tests {
             Event::Close,
         ];
         assert!(top_level_elements(&skipped).is_none());
+    }
+
+    #[test]
+    fn split_elements_accepts_unwrapped_streams_at_any_token_base() {
+        // node(tok5 tok6) tok7 error(tok8) — a window drive's raw output
+        let events = [
+            Event::Open { prod: 1, alt: 0 },
+            Event::Token { index: 5 },
+            Event::Token { index: 6 },
+            Event::Close,
+            Event::Token { index: 7 },
+            Event::Open { prod: ERROR_NODE, alt: 0 },
+            Event::Token { index: 8 },
+            Event::Close,
+        ];
+        let elems = split_elements(&events, 5).unwrap();
+        assert_eq!(elems.len(), 3);
+        assert_eq!(elems[0].kind, ElemKind::Clean);
+        assert_eq!((elems[0].ev_lo, elems[0].ev_hi), (0, 4));
+        assert_eq!((elems[0].tok_lo, elems[0].tok_hi), (5, 7));
+        assert_eq!(elems[1].kind, ElemKind::Tok);
+        assert_eq!(elems[2].kind, ElemKind::Err);
+        assert_eq!((elems[2].tok_lo, elems[2].tok_hi), (8, 9));
+        // wrong base → out-of-sequence token indices → rejected
+        assert!(split_elements(&events, 0).is_none());
+        // unbalanced stream → rejected
+        assert!(split_elements(&events[..3], 5).is_none());
     }
 
     #[test]

@@ -46,5 +46,8 @@ pub use cst::CstNode;
 pub use engine::{EngineMode, Parser, ParserStats, RunCounters};
 pub use errors::ParseError;
 pub use events::{Event, ERROR_NODE};
-pub use session::{EditStats, ParseOutcome, ParseSession, ParsedStats, ResilientStats};
+pub use session::{
+    EditError, EditOutcome, EditStats, LazyTree, ParseOutcome, ParseSession, ParsedStats,
+    ResilientStats,
+};
 pub use tree::{Sym, SyntaxElement, SyntaxNode, SyntaxToken, SyntaxTree, TokenInterner};

@@ -20,11 +20,13 @@ use crate::engine::{
     EngineMode, EvCtx, FailureMemo, Notes, Parser, ParserStats, RunCounters, NO_PROD,
 };
 use crate::errors::ParseError;
-use crate::events::{top_level_elements, ElemKind, Event, TopElem, ERROR_NODE};
+use crate::events::{split_elements, ElemKind, Event, TopElem, ERROR_NODE};
 use crate::tree::{SyntaxTree, TreeBuffers};
-use sqlweave_lexgen::{LexError, LineIndex, Token};
+use sqlweave_lexgen::{LexError, LineIndex, Token, TokenSource};
 use std::collections::BTreeSet;
+use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// A reusable parsing workspace bound to one [`Parser`].
 pub struct ParseSession<'p> {
@@ -63,17 +65,36 @@ pub struct EditStats {
     pub full_reparse: bool,
 }
 
+/// One top-level element of the maintained document — a parsed statement
+/// subtree, a recovery error node, or a bare separator token — stored as
+/// its own event slice with *chunk-relative* token indices plus a span
+/// base offset. Chunk-relative indices make the event suffix of an edit
+/// free to keep (no per-event token-index rebase); the base offset turns
+/// the O(total tokens) suffix span shift of an edit into an O(#chunks)
+/// base update. Absolute spans are only folded in when the tree is
+/// materialized.
+struct Chunk {
+    kind: ElemKind,
+    /// Events of this element. `Event::Token` indices are chunk-relative:
+    /// absolute index = relative + the chunk's first token index.
+    events: Vec<Event>,
+    /// Number of tokens this chunk covers.
+    n_toks: usize,
+    /// Span rebase: a covered token's true span = the span stored in the
+    /// document token buffer + `base`.
+    base: isize,
+}
+
 /// Persistent state of an incrementally maintained document: the text and
 /// every derived artifact [`ParseSession::apply_edit`] repairs in place
 /// instead of recomputing — line index, token stream, lexical diagnostics
 /// (with the probe frontier of each failed munch, needed to place future
-/// relex restarts), syntax diagnostics, and the assembled root-wrapped
-/// event stream of the whole document.
+/// relex restarts), syntax diagnostics, and the per-statement event
+/// chunks of the whole document.
 struct IncDoc {
+    /// Document text, spliced in place by each edit (the relex never
+    /// needs pre-edit bytes, only pre-edit token positions).
     text: String,
-    /// Ping-pong buffer: holds the pre-edit text during a relex, so
-    /// steady-state editing allocates nothing.
-    text_scratch: String,
     lines: LineIndex,
     /// Document token stream + interned kind ids. Swapped into the
     /// session's `toks`/`kind_ids` slots while incremental work runs, so
@@ -89,11 +110,34 @@ struct IncDoc {
     /// backing up to byte 0 whenever such a rule (typically a quoted
     /// string with doubled-quote escapes) exists in the dialect.
     tok_probes: Vec<(usize, usize)>,
-    syn: Vec<ParseError>,
-    events: Vec<Event>,
-    events_scratch: Vec<Event>,
-    /// Root wrapper (`prod`, `alt`) of `events`.
+    /// Syntax diagnostics for the whole document, ascending by byte
+    /// offset. Shared with [`EditOutcome::errors`] by reference count so a
+    /// document full of diagnostics (the predictive engine's resolved
+    /// conflicts reject some inputs the backtracking engine accepts) is
+    /// delivered per edit without cloning; each edit repairs it in place
+    /// through [`Arc::make_mut`], which is free once the previous outcome
+    /// is dropped.
+    syn: Arc<Vec<ParseError>>,
+    /// The document's top-level elements in order, partitioning the token
+    /// stream.
+    chunks: Vec<Chunk>,
+    /// First absolute token index of each chunk (prefix sums of `n_toks`;
+    /// same length as `chunks`, first entry 0). Repaired in place by each
+    /// chunk splice; rebuilt from scratch only on a full reparse.
+    chunk_tok_lo: Vec<usize>,
+    /// How many chunks cover zero tokens. Token-less top-level nodes break
+    /// the edit window arithmetic, so each edit checks this count (kept
+    /// current across splices) instead of rescanning every chunk.
+    n_empty_chunks: usize,
+    /// Root wrapper (`prod`, `alt`) the chunks assemble under.
     root: (u32, u32),
+    /// The session's tree arena currently holds this document's
+    /// materialized tree (node/element indices match the chunk events).
+    /// Invalidated by any reparse and by standalone `parse_tree` /
+    /// `parse_resilient` calls, which share the arena.
+    tree_valid: bool,
+    /// Root node id of the cached materialized tree (when `tree_valid`).
+    tree_root: u32,
     last_edit: EditStats,
 }
 
@@ -101,17 +145,19 @@ impl IncDoc {
     fn empty() -> IncDoc {
         IncDoc {
             text: String::new(),
-            text_scratch: String::new(),
             lines: LineIndex::new(""),
             toks: Vec::new(),
             kind_ids: Vec::new(),
             lex: Vec::new(),
             lex_probes: Vec::new(),
             tok_probes: Vec::new(),
-            syn: Vec::new(),
-            events: Vec::new(),
-            events_scratch: Vec::new(),
+            syn: Arc::new(Vec::new()),
+            chunks: Vec::new(),
+            chunk_tok_lo: Vec::new(),
+            n_empty_chunks: 0,
             root: (ERROR_NODE, 0),
+            tree_valid: false,
+            tree_root: 0,
             last_edit: EditStats {
                 relexed_tokens: 0,
                 reparsed_tokens: 0,
@@ -119,6 +165,95 @@ impl IncDoc {
                 resync_bytes: 0,
                 full_reparse: true,
             },
+        }
+    }
+
+    /// Recompute the per-chunk first-token prefix sums.
+    fn rebuild_chunk_tok_lo(&mut self) {
+        self.chunk_tok_lo.clear();
+        let mut lo = 0usize;
+        for c in &self.chunks {
+            self.chunk_tok_lo.push(lo);
+            lo += c.n_toks;
+        }
+    }
+}
+
+/// [`TokenSource`] view of a chunked document token stream: spans stored
+/// in the flat buffer are folded with the owning chunk's base offset on
+/// access, so the relex sees true (absolute) spans without the suffix
+/// ever being rewritten.
+struct ChunkedTokens<'a> {
+    toks: &'a [Token],
+    chunks: &'a [Chunk],
+    chunk_tok_lo: &'a [usize],
+}
+
+impl TokenSource for ChunkedTokens<'_> {
+    fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    fn get(&self, i: usize) -> Token {
+        // Last chunk whose first token index is ≤ i (zero-token chunks
+        // share their successor's `lo` and are correctly skipped).
+        let c = self.chunk_tok_lo.partition_point(|&lo| lo <= i) - 1;
+        let t = self.toks[i];
+        let b = self.chunks[c].base;
+        Token {
+            kind: t.kind,
+            start: (t.start as isize + b) as usize,
+            end: (t.end as isize + b) as usize,
+        }
+    }
+}
+
+/// Extract one [`TopElem`] of a drive's output stream into an owned
+/// [`Chunk`]: events copied with token indices rebased from absolute to
+/// chunk-relative, span base 0 (a fresh drive's spans are absolute).
+fn chunk_of_elem(revents: &[Event], e: &TopElem) -> Chunk {
+    let events = revents[e.ev_lo..e.ev_hi]
+        .iter()
+        .map(|ev| match *ev {
+            Event::Token { index } => Event::Token { index: index - e.tok_lo as u32 },
+            other => other,
+        })
+        .collect();
+    Chunk { kind: e.kind, events, n_toks: e.tok_hi - e.tok_lo, base: 0 }
+}
+
+/// Materialize absolute new-text spans for the window tokens `from..to`
+/// (post-splice indices) in place: fresh relexed tokens
+/// (`fresh_lo..fresh_hi`) already carry absolute spans; prefix tokens fold
+/// in their old chunk's base; suffix tokens fold in their old chunk's base
+/// plus the edit's byte delta (their chunks have not been rebased yet —
+/// this runs before the chunk splice).
+#[allow(clippy::too_many_arguments)]
+fn normalize_spans(
+    toks: &mut [Token],
+    chunks: &[Chunk],
+    chunk_tok_lo: &[usize],
+    from: usize,
+    to: usize,
+    fresh_lo: usize,
+    fresh_hi: usize,
+    tok_delta: isize,
+    delta: isize,
+) {
+    for i in from..to {
+        if (fresh_lo..fresh_hi).contains(&i) {
+            continue;
+        }
+        let (old_i, extra) = if i < fresh_lo {
+            (i, 0)
+        } else {
+            ((i as isize - tok_delta) as usize, delta)
+        };
+        let c = chunk_tok_lo.partition_point(|&lo| lo <= old_i) - 1;
+        let b = chunks[c].base + extra;
+        if b != 0 {
+            toks[i].start = (toks[i].start as isize + b) as usize;
+            toks[i].end = (toks[i].end as isize + b) as usize;
         }
     }
 }
@@ -146,6 +281,90 @@ pub struct ParseOutcome<'s> {
     pub errors: Vec<ParseError>,
 }
 
+/// Why an incremental-document operation could not run. Returned by the
+/// fallible `try_*` incremental API ([`ParseSession::try_apply_edit`] and
+/// friends); the panicking counterparts render the same messages. A
+/// failed call never corrupts the session: the document (if any) stays
+/// open and editable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// No document is open ([`ParseSession::open_document`] first).
+    NoDocument,
+    /// The edit range is inverted or reaches past the end of the document.
+    OutOfBounds {
+        /// The offending byte range.
+        range: Range<usize>,
+        /// Document length in bytes.
+        len: usize,
+    },
+    /// A range endpoint falls inside a multi-byte `char`.
+    NotCharBoundary {
+        /// The offending byte range.
+        range: Range<usize>,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::NoDocument => {
+                write!(f, "no document open (call open_document first)")
+            }
+            EditError::OutOfBounds { range, len } => {
+                write!(f, "edit range {range:?} out of bounds for a document of {len} bytes")
+            }
+            EditError::NotCharBoundary { range } => {
+                write!(f, "edit range {range:?} must fall on char boundaries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Deferred tree materialization handle of an [`EditOutcome`]: holds the
+/// session borrow and only builds the document tree when
+/// [`LazyTree::get`] is called. Dropping it without calling `get` keeps
+/// the edit O(damage window + #chunks) — the sub-millisecond keystroke
+/// path.
+pub struct LazyTree<'s, 'p> {
+    session: &'s mut ParseSession<'p>,
+}
+
+impl LazyTree<'_, '_> {
+    /// Materialize (or fetch the cached) document tree. The first call
+    /// after an edit is O(document): chunk span bases are folded into
+    /// absolute token spans and the node arena is rebuilt from the
+    /// chunked event streams. Calls without an intervening edit reuse the
+    /// cached arena.
+    pub fn get(&mut self) -> SyntaxTree<'_> {
+        self.session.materialize_document()
+    }
+}
+
+/// What [`ParseSession::apply_edit`] and [`ParseSession::open_document`]
+/// return: diagnostics and edit statistics immediately, with the tree
+/// behind a lazy handle that materializes on first access. Callers that
+/// only surface diagnostics per keystroke never pay for tree
+/// construction.
+pub struct EditOutcome<'s, 'p> {
+    /// Lexical and syntax diagnostics for the whole edited document,
+    /// sorted by byte offset — identical to what a from-scratch
+    /// [`ParseSession::parse_resilient`] of the document text reports.
+    ///
+    /// Shared with the session's maintained document state: when the
+    /// document has no lexical errors (the common case) this is a
+    /// reference-counted handle to the in-place-repaired diagnostic list,
+    /// so delivery is O(1) regardless of how many diagnostics the
+    /// document carries. Holding it across the next edit forces that edit
+    /// to copy-on-write; drop it first to keep edits allocation-free.
+    pub errors: Arc<Vec<ParseError>>,
+    /// Locality measurements of this edit.
+    pub stats: EditStats,
+    /// Lazy handle to the full-coverage document tree.
+    pub tree: LazyTree<'s, 'p>,
+}
+
 /// Convert a lexical error into the [`ParseError`] shape the strict path
 /// produces (shared by `parse_tree` and `parse_resilient` so messages
 /// stay byte-identical between the two).
@@ -157,6 +376,38 @@ fn lex_to_parse(e: &LexError) -> ParseError {
         expected: BTreeSet::new(),
         found: e.found.map(|c| ("CHAR".to_string(), c.to_string())),
         lexical: Some(e.to_string()),
+    }
+}
+
+/// Repair the syntax diagnostics past an edit's damage boundary in place:
+/// positions shift by the byte delta, and line/column are patched without
+/// rescanning any text. A diagnostic whose pre-edit position was at or
+/// past `old_line_end` (the first pre-edit line start after the edited
+/// range) sits on a line the edit never touched: its column survives
+/// verbatim and its line moves by exactly `line_delta`, two integer adds.
+/// Only the few diagnostics still on the edit's own last line pay a full
+/// line/column recomputation. This keeps each edit independent of how
+/// many diagnostics the document carries beyond one pass of integer
+/// arithmetic — the predictive engine can hold tens of thousands of
+/// resolved-conflict diagnostics against a large document.
+fn repair_suffix_diags(
+    syn: &mut [ParseError],
+    text: &str,
+    lines: &LineIndex,
+    delta: isize,
+    line_delta: isize,
+    old_line_end: usize,
+) {
+    for e in syn {
+        let old_at = e.at;
+        e.at = (old_at as isize + delta) as usize;
+        if old_at >= old_line_end {
+            e.line = (e.line as isize + line_delta) as usize;
+        } else {
+            let (line, column) = lines.line_col(text, e.at);
+            e.line = line;
+            e.column = column;
+        }
     }
 }
 
@@ -230,13 +481,13 @@ fn splice_tok_probes(doc: &mut IncDoc, relex: &sqlweave_lexgen::Relex, delta: is
 /// error node (the drive could need to coalesce into it), and take one
 /// clean statement of margin so the drive's statement-boundary retries
 /// resolve inside the window exactly as a full drive would.
-fn widen_left(elems: &[TopElem], mut e: usize) -> usize {
+fn widen_left(chunks: &[Chunk], mut e: usize) -> usize {
     let mut margin = 1;
     loop {
-        while e > 0 && elems[e].kind != ElemKind::Clean {
+        while e > 0 && chunks[e].kind != ElemKind::Clean {
             e -= 1;
         }
-        if e > 0 && elems[e - 1].kind == ElemKind::Err {
+        if e > 0 && chunks[e - 1].kind == ElemKind::Err {
             e -= 1;
             continue;
         }
@@ -257,16 +508,16 @@ fn widen_left(elems: &[TopElem], mut e: usize) -> usize {
 /// or bare separator — the window then ends on a boundary both engines
 /// treat as end-of-input (a trailing separator would spuriously fail the
 /// predictive engine's strict window parse).
-fn widen_right(elems: &[TopElem], mut e: usize) -> usize {
+fn widen_right(chunks: &[Chunk], mut e: usize) -> usize {
     let mut margin = 1;
-    while e < elems.len() {
-        match elems[e].kind {
+    while e < chunks.len() {
+        match chunks[e].kind {
             ElemKind::Err => e += 1,
             ElemKind::Tok | ElemKind::Clean => {
                 if margin == 0 {
                     break;
                 }
-                if elems[e].kind == ElemKind::Clean {
+                if chunks[e].kind == ElemKind::Clean {
                     margin -= 1;
                 }
                 e += 1;
@@ -402,6 +653,11 @@ impl<'p> ParseSession<'p> {
     /// convert with [`SyntaxTree::to_cst`] to keep a tree).
     pub fn parse_tree<'s>(&'s mut self, input: &'s str) -> Result<SyntaxTree<'s>, ParseError> {
         let parser = self.parser;
+        if let Some(doc) = self.inc.as_deref_mut() {
+            // The tree arena is shared; a standalone parse clobbers any
+            // cached document materialization.
+            doc.tree_valid = false;
+        }
         self.toks.clear();
         self.kind_ids.clear();
         parser
@@ -658,6 +914,11 @@ impl<'p> ParseSession<'p> {
     pub fn parse_resilient<'s>(&'s mut self, input: &'s str) -> ParseOutcome<'s> {
         let parser = self.parser;
         let mode = parser.mode();
+        if let Some(doc) = self.inc.as_deref_mut() {
+            // The tree arena is shared; a standalone parse clobbers any
+            // cached document materialization.
+            doc.tree_valid = false;
+        }
         self.toks.clear();
         self.kind_ids.clear();
         self.revents.clear();
@@ -702,10 +963,11 @@ impl<'p> ParseSession<'p> {
 
     /// Open `text` as an incrementally maintained document: parse it
     /// resiliently, keep every derived artifact (tokens, line index,
-    /// diagnostics, event stream), and return the outcome. Subsequent
+    /// diagnostics, event chunks), and return the outcome — diagnostics
+    /// eagerly, the tree behind a lazy handle. Subsequent
     /// [`ParseSession::apply_edit`] calls repair those artifacts in place.
     /// Reopening replaces the previous document (buffers are recycled).
-    pub fn open_document(&mut self, text: &str) -> ParseOutcome<'_> {
+    pub fn open_document(&mut self, text: &str) -> EditOutcome<'_, 'p> {
         let mut doc = self.inc.take().unwrap_or_else(|| Box::new(IncDoc::empty()));
         doc.text.clear();
         doc.text.push_str(text);
@@ -713,7 +975,12 @@ impl<'p> ParseSession<'p> {
         self.reparse_document(&mut doc);
         self.swap_doc_buffers(&mut doc);
         self.inc = Some(doc);
-        self.document_outcome()
+        self.lazy_outcome()
+    }
+
+    /// The text of the open document, or [`EditError::NoDocument`].
+    pub fn try_document(&self) -> Result<&str, EditError> {
+        self.inc.as_ref().map(|d| d.text.as_str()).ok_or(EditError::NoDocument)
     }
 
     /// The text of the open document.
@@ -721,7 +988,13 @@ impl<'p> ParseSession<'p> {
     /// # Panics
     /// If no document is open.
     pub fn document(&self) -> &str {
-        &self.inc.as_ref().expect("no document open").text
+        self.try_document().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Measurements of the last edit ([`ParseSession::open_document`]
+    /// counts as a full reparse), or [`EditError::NoDocument`].
+    pub fn try_edit_stats(&self) -> Result<EditStats, EditError> {
+        self.inc.as_ref().map(|d| d.last_edit).ok_or(EditError::NoDocument)
     }
 
     /// Measurements of the last edit ([`ParseSession::open_document`]
@@ -730,7 +1003,34 @@ impl<'p> ParseSession<'p> {
     /// # Panics
     /// If no document is open.
     pub fn edit_stats(&self) -> EditStats {
-        self.inc.as_ref().expect("no document open").last_edit
+        self.try_edit_stats().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ParseSession::apply_edit`]: a rejected edit returns a
+    /// structured [`EditError`] instead of panicking, and leaves the
+    /// document exactly as it was (still open, still editable).
+    pub fn try_apply_edit(
+        &mut self,
+        range: Range<usize>,
+        replacement: &str,
+    ) -> Result<EditOutcome<'_, 'p>, EditError> {
+        let Some(mut doc) = self.inc.take() else {
+            return Err(EditError::NoDocument);
+        };
+        if range.start > range.end || range.end > doc.text.len() {
+            let len = doc.text.len();
+            self.inc = Some(doc);
+            return Err(EditError::OutOfBounds { range, len });
+        }
+        if !doc.text.is_char_boundary(range.start) || !doc.text.is_char_boundary(range.end) {
+            self.inc = Some(doc);
+            return Err(EditError::NotCharBoundary { range });
+        }
+        self.swap_doc_buffers(&mut doc);
+        self.apply_edit_inner(&mut doc, range.start, range.end, replacement);
+        self.swap_doc_buffers(&mut doc);
+        self.inc = Some(doc);
+        Ok(self.lazy_outcome())
     }
 
     /// Replace byte range `range` of the open document with `replacement`
@@ -744,40 +1044,56 @@ impl<'p> ParseSession<'p> {
     ///    past the edit, splicing the token buffer (the line index shifts
     ///    incrementally too);
     /// 2. **localized reparse** — the damaged token range is mapped to the
-    ///    smallest enclosing run of top-level statements (plus one clean
-    ///    statement of margin on each side, with adjacent error nodes
-    ///    absorbed), only that window is re-driven through panic-mode
-    ///    recovery, and the untouched prefix/suffix event chunks are
-    ///    spliced back with token indices rebased — widening and retrying
-    ///    if the drive proves the window too small;
+    ///    smallest enclosing run of top-level statement chunks (plus one
+    ///    clean statement of margin on each side, with adjacent error
+    ///    nodes absorbed), only that window is re-driven through
+    ///    panic-mode recovery, and the untouched prefix/suffix chunks are
+    ///    kept verbatim (chunk-relative events; suffix span bases shift by
+    ///    the byte delta) — widening and retrying if the drive proves the
+    ///    window too small;
     /// 3. **diagnostic rebase** — diagnostics outside the window shift
     ///    position; only the window's are recomputed.
     ///
     /// Token-preserving edits (inside whitespace or a comment) skip the
     /// parser entirely and only rebase spans.
     ///
+    /// The returned [`EditOutcome`] carries diagnostics and stats
+    /// eagerly; the tree is materialized only when
+    /// [`LazyTree::get`] is called.
+    ///
     /// # Panics
     /// If no document is open, or `range` is out of bounds or not on
-    /// `char` boundaries.
-    pub fn apply_edit(&mut self, range: Range<usize>, replacement: &str) -> ParseOutcome<'_> {
-        let mut doc = self
-            .inc
-            .take()
-            .expect("apply_edit requires an open document (call open_document first)");
-        assert!(
-            range.start <= range.end && range.end <= doc.text.len(),
-            "edit range {range:?} out of bounds for a document of {} bytes",
-            doc.text.len()
+    /// `char` boundaries ([`ParseSession::try_apply_edit`] reports the
+    /// same conditions as values).
+    pub fn apply_edit(&mut self, range: Range<usize>, replacement: &str) -> EditOutcome<'_, 'p> {
+        self.try_apply_edit(range, replacement).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assemble the lazy outcome for the current document state:
+    /// diagnostics merged in the same lexical-first source order
+    /// `parse_resilient` produces, stats, and the deferred tree handle.
+    ///
+    /// With no lexical errors the syntax list — maintained sorted by every
+    /// edit — IS that merge, so the outcome shares it by reference count
+    /// instead of cloning: delivery cost is independent of how many
+    /// diagnostics the document carries. Only a document with lexical
+    /// errors pays an O(#diagnostics) merge per outcome.
+    fn lazy_outcome(&mut self) -> EditOutcome<'_, 'p> {
+        let doc = self.inc.as_ref().expect("document was just stored");
+        debug_assert!(
+            doc.syn.windows(2).all(|w| w[0].at <= w[1].at),
+            "maintained syntax diagnostics drifted out of order"
         );
-        assert!(
-            doc.text.is_char_boundary(range.start) && doc.text.is_char_boundary(range.end),
-            "edit range {range:?} must fall on char boundaries"
-        );
-        self.swap_doc_buffers(&mut doc);
-        self.apply_edit_inner(&mut doc, range.start, range.end, replacement);
-        self.swap_doc_buffers(&mut doc);
-        self.inc = Some(doc);
-        self.document_outcome()
+        let errors = if doc.lex.is_empty() {
+            Arc::clone(&doc.syn)
+        } else {
+            let mut merged: Vec<ParseError> = doc.lex.iter().map(lex_to_parse).collect();
+            merged.extend(doc.syn.iter().cloned());
+            merged.sort_by_key(|e| e.at);
+            Arc::new(merged)
+        };
+        let stats = doc.last_edit;
+        EditOutcome { errors, stats, tree: LazyTree { session: self } }
     }
 
     /// Trade the session's token buffers with the document's: incremental
@@ -806,13 +1122,30 @@ impl<'p> ParseSession<'p> {
         doc.tok_probes = parser.scanner.token_probes(&doc.text, &self.toks);
         self.kind_ids.extend(self.toks.iter().map(|t| t.kind.0));
         let n = self.toks.len();
-        doc.syn.clear();
-        let drive = self.drive_resilient(&doc.text, &doc.lines, 0, n, n, &mut doc.syn);
+        let syn = Arc::make_mut(&mut doc.syn);
+        syn.clear();
+        let drive = self.drive_resilient(&doc.text, &doc.lines, 0, n, n, syn);
         doc.root = drive.root.unwrap_or((ERROR_NODE, 0));
-        doc.events.clear();
-        doc.events.push(Event::Open { prod: doc.root.0, alt: doc.root.1 });
-        doc.events.extend_from_slice(&self.revents);
-        doc.events.push(Event::Close);
+        doc.chunks.clear();
+        match split_elements(&self.revents, 0) {
+            Some(elems) => {
+                doc.chunks.extend(elems.iter().map(|e| chunk_of_elem(&self.revents, e)));
+            }
+            None => {
+                // Unreachable for a drive's own output, but degrade to one
+                // opaque chunk instead of panicking: the tree builder and
+                // the next edit's window fallback both handle it.
+                doc.chunks.push(Chunk {
+                    kind: ElemKind::Err,
+                    events: self.revents.clone(),
+                    n_toks: n,
+                    base: 0,
+                });
+            }
+        }
+        doc.rebuild_chunk_tok_lo();
+        doc.n_empty_chunks = doc.chunks.iter().filter(|c| c.n_toks == 0).count();
+        doc.tree_valid = false;
         doc.last_edit = EditStats {
             relexed_tokens: n,
             reparsed_tokens: n,
@@ -822,28 +1155,54 @@ impl<'p> ParseSession<'p> {
         };
     }
 
-    /// Build the outcome for the current document state: tree from the
-    /// maintained event stream, diagnostics merged in the same
-    /// lexical-first source order `parse_resilient` produces.
-    fn document_outcome(&mut self) -> ParseOutcome<'_> {
-        let ParseSession { parser, tree, inc, .. } = self;
-        let doc = inc.as_ref().expect("no document open");
-        let root = tree.build(&doc.events);
+    /// Materialize the maintained document: fold every chunk's span base
+    /// into absolute token spans, then build the tree arena from the
+    /// chunked event streams (cached until the next mutating call —
+    /// repeated reads between edits are free).
+    fn materialize_document(&mut self) -> SyntaxTree<'_> {
+        let parser = self.parser;
+        let ParseSession { tree, inc, .. } = self;
+        let doc = inc.as_deref_mut().expect("no document open");
+        for (c, chunk) in doc.chunks.iter_mut().enumerate() {
+            if chunk.base != 0 {
+                let lo = doc.chunk_tok_lo[c];
+                for t in &mut doc.toks[lo..lo + chunk.n_toks] {
+                    t.start = (t.start as isize + chunk.base) as usize;
+                    t.end = (t.end as isize + chunk.base) as usize;
+                }
+                chunk.base = 0;
+            }
+        }
+        if !doc.tree_valid {
+            doc.tree_root = tree.build_chunked(
+                doc.root,
+                doc.chunks
+                    .iter()
+                    .zip(&doc.chunk_tok_lo)
+                    .map(|(c, &lo)| (&c.events[..], lo as u32)),
+            );
+            doc.tree_valid = true;
+        }
+        SyntaxTree {
+            parser,
+            mode: parser.mode(),
+            input: &doc.text,
+            toks: &doc.toks,
+            nodes: &tree.nodes,
+            elems: &tree.elems,
+            root: doc.tree_root,
+        }
+    }
+
+    /// The current document state as an eager [`ParseOutcome`] (tree
+    /// materialized immediately), or [`EditError::NoDocument`]. Handy for
+    /// oracles and tests that snapshot the document between edits.
+    pub fn try_document_outcome(&mut self) -> Result<ParseOutcome<'_>, EditError> {
+        let doc = self.inc.as_ref().ok_or(EditError::NoDocument)?;
         let mut errors: Vec<ParseError> = doc.lex.iter().map(lex_to_parse).collect();
         errors.extend(doc.syn.iter().cloned());
         errors.sort_by_key(|e| e.at);
-        ParseOutcome {
-            tree: SyntaxTree {
-                parser,
-                mode: parser.mode(),
-                input: &doc.text,
-                toks: &doc.toks,
-                nodes: &tree.nodes,
-                elems: &tree.elems,
-                root,
-            },
-            errors,
-        }
+        Ok(ParseOutcome { tree: self.materialize_document(), errors })
     }
 
     /// The edit pipeline (document buffers swapped in): text splice, line
@@ -854,13 +1213,25 @@ impl<'p> ParseSession<'p> {
         let new_end = start + rep.len();
         let delta = new_end as isize - old_end as isize;
 
-        // Text splice via the ping-pong buffer; the pre-edit text stays in
-        // `text_scratch` for the relex to diff against.
-        doc.text_scratch.clear();
-        doc.text_scratch.push_str(&doc.text[..start]);
-        doc.text_scratch.push_str(rep);
-        doc.text_scratch.push_str(&doc.text[old_end..]);
-        std::mem::swap(&mut doc.text, &mut doc.text_scratch);
+        // In-place text splice: the relex only ever consults old token
+        // *positions* (through the rebased [`ChunkedTokens`] view), never
+        // old bytes, so no pre-edit copy of the document is kept — a
+        // same-length replacement touches only the replaced bytes.
+        let old_text_len = doc.text.len();
+        doc.text.replace_range(start..old_end, rep);
+
+        // Line geometry of the edit, captured against the pre-edit index:
+        // every line start at or past `old_line_end` survives the edit
+        // (shifted by `delta`), so a diagnostic there keeps its column and
+        // moves exactly `line_delta` lines — the suffix repair below is
+        // two integer adds per diagnostic instead of a line/column
+        // recomputation that rescans its line.
+        let old_line_end = doc
+            .lines
+            .line_start(doc.lines.line_of(old_end) + 1)
+            .unwrap_or(usize::MAX);
+        let line_delta = rep.bytes().filter(|&b| b == b'\n').count() as isize
+            - (doc.lines.line_of(old_end) - doc.lines.line_of(start)) as isize;
 
         doc.lines.apply_edit(start, old_end, rep);
         let old_err_pairs: Vec<(usize, usize)> = doc
@@ -870,10 +1241,14 @@ impl<'p> ParseSession<'p> {
             .map(|(e, &p)| (e.at, p))
             .collect();
         let relex = parser.scanner.relex(
-            &doc.text_scratch,
+            old_text_len,
             &doc.text,
             &doc.lines,
-            &self.toks,
+            &ChunkedTokens {
+                toks: &self.toks,
+                chunks: &doc.chunks,
+                chunk_tok_lo: &doc.chunk_tok_lo,
+            },
             &old_err_pairs,
             &doc.tok_probes,
             start,
@@ -897,31 +1272,47 @@ impl<'p> ParseSession<'p> {
 
         if relex.old_lo == relex.old_hi && relex.tokens.is_empty() {
             // Token-preserving edit (whitespace / comment interior / a
-            // lexical-error-only change): shift spans and rebase
-            // diagnostics, keep the event stream and tree shape.
-            self.splice_tokens(&relex, delta);
+            // lexical-error-only change): no token splice at all — shift
+            // the boundary chunk's tail spans in place, rebase every later
+            // chunk by the byte delta, and keep the event streams (and any
+            // cached tree arena: node indices are untouched).
             splice_lex_diags(doc, &relex, delta);
             splice_tok_probes(doc, &relex, delta);
             if delta != 0 {
-                for e in &mut doc.syn {
-                    if e.at >= old_end {
-                        e.at = (e.at as isize + delta) as usize;
-                        let (line, column) = doc.lines.line_col(&doc.text, e.at);
-                        e.line = line;
-                        e.column = column;
+                let first = relex.old_lo; // first token whose span shifts
+                if first < n_old {
+                    let c = doc.chunk_tok_lo.partition_point(|&lo| lo <= first) - 1;
+                    let c_end = doc.chunk_tok_lo[c] + doc.chunks[c].n_toks;
+                    for t in &mut self.toks[first..c_end] {
+                        t.start = (t.start as isize + delta) as usize;
+                        t.end = (t.end as isize + delta) as usize;
+                    }
+                    for chunk in &mut doc.chunks[c + 1..] {
+                        chunk.base += delta;
                     }
                 }
             }
+            // Diagnostics at or past the edit end keep their identity but
+            // may move (and, even for a same-length splice, a changed
+            // character count or newline count shifts columns and lines —
+            // so this runs regardless of `delta`).
+            let syn = Arc::make_mut(&mut doc.syn);
+            let lo = syn.partition_point(|e| e.at < old_end);
+            repair_suffix_diags(
+                &mut syn[lo..],
+                &doc.text,
+                &doc.lines,
+                delta,
+                line_delta,
+                old_line_end,
+            );
             doc.last_edit = stats;
             return;
         }
 
         // Window planning works in *old* token indices against the old
-        // element structure, so it runs before the token splice.
-        let Some(elems) = top_level_elements(&doc.events) else {
-            return self.edit_fallback(doc);
-        };
-        if n_old == 0 || elems.is_empty() || elems.iter().any(|e| e.tok_lo == e.tok_hi) {
+        // chunk structure, so it runs before the token splice.
+        if n_old == 0 || doc.chunks.is_empty() || doc.n_empty_chunks > 0 {
             // No previous structure to splice around (or token-less
             // top-level nodes, which break the window arithmetic).
             return self.edit_fallback(doc);
@@ -931,133 +1322,175 @@ impl<'p> ParseSession<'p> {
         let (a, b) = (relex.old_lo, relex.old_hi);
         let cover_lo = a.saturating_sub(1).min(n_old - 1);
         let cover_hi = (b.max(a + 1)).min(n_old) - 1; // last covered token
-        let elem_of = |t: usize| -> usize {
-            elems.partition_point(|e| e.tok_hi <= t).min(elems.len() - 1)
-        };
-        let e_lo = widen_left(&elems, elem_of(cover_lo));
-        let mut e_hi = widen_right(&elems, elem_of(cover_hi) + 1);
-        debug_assert_eq!(elems.last().map(|e| e.ev_hi), Some(doc.events.len() - 1));
+        let elem_of =
+            |t: usize| -> usize { doc.chunk_tok_lo.partition_point(|&lo| lo <= t) - 1 };
+        let e_lo = widen_left(&doc.chunks, elem_of(cover_lo));
+        let mut e_hi = widen_right(&doc.chunks, elem_of(cover_hi) + 1);
 
-        // Old-text byte positions of every element boundary, for splitting
-        // the diagnostic list (window end = `usize::MAX` sentinel when the
-        // window runs to EOF, so nothing is rebased past it).
-        let boundary_byte = |e: usize| -> usize {
-            if e == elems.len() { usize::MAX } else { self.toks[elems[e].tok_lo].start }
+        // Old-text byte of the window start (true span = stored + base),
+        // for splitting the diagnostic list; computed before the token
+        // splice while old indices are valid.
+        let win_start_byte = {
+            let t = doc.chunk_tok_lo[e_lo];
+            (self.toks[t].start as isize + doc.chunks[e_lo].base) as usize
         };
-        let win_start_byte = boundary_byte(e_lo);
-        let old_syn = std::mem::take(&mut doc.syn);
 
-        self.splice_tokens(&relex, delta);
+        // Token splice. Suffix spans are NOT shifted here (that is the
+        // point of the chunk bases); window spans are normalized lazily
+        // below, exactly as far as the window grows.
+        self.toks
+            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().copied());
+        self.kind_ids
+            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().map(|t| t.kind.0));
         splice_lex_diags(doc, &relex, delta);
         splice_tok_probes(doc, &relex, delta);
 
         // Drive the window, widening while the drive proves it too small
         // (worst case the window reaches EOF, where widening is
-        // impossible and the drive must settle).
-        let wlo = elems[e_lo].tok_lo;
+        // impossible and the drive must settle). Before each attempt the
+        // window's tokens get absolute new-text spans (the engines and
+        // diagnostics only ever read spans inside the window).
+        let wlo = doc.chunk_tok_lo[e_lo];
+        let fresh_lo = relex.old_lo;
+        let fresh_hi = relex.old_lo + relex.tokens.len();
+        let mut norm_hi = wlo;
         let mut win_syn: Vec<ParseError> = Vec::new();
         let drive = loop {
-            let whi_old = if e_hi == elems.len() { n_old } else { elems[e_hi].tok_lo };
+            let whi_old = if e_hi == doc.chunks.len() { n_old } else { doc.chunk_tok_lo[e_hi] };
             let whi = (whi_old as isize + tok_delta) as usize;
             if whi <= wlo && !(wlo == 0 && whi == n_new) {
                 // An empty window mid-document (mass deletion) must not
                 // run an empty-input parse; only the whole-document-empty
                 // case legitimately does.
-                e_hi = widen_right(&elems, e_hi + 1);
+                e_hi = widen_right(&doc.chunks, e_hi + 1);
                 continue;
+            }
+            if whi > norm_hi {
+                normalize_spans(
+                    &mut self.toks,
+                    &doc.chunks,
+                    &doc.chunk_tok_lo,
+                    norm_hi,
+                    whi,
+                    fresh_lo,
+                    fresh_hi,
+                    tok_delta,
+                    delta,
+                );
+                norm_hi = whi;
             }
             self.revents.clear();
             win_syn.clear();
             let drive = self.drive_resilient(&doc.text, &doc.lines, wlo, whi, n_new, &mut win_syn);
             if drive.needs_widening {
-                e_hi = widen_right(&elems, e_hi + 1);
+                e_hi = widen_right(&doc.chunks, e_hi + 1);
                 continue;
             }
             break drive;
         };
-        let win_end_byte_old = {
-            let e = e_hi;
-            if e == elems.len() {
-                usize::MAX
-            } else {
-                // suffix spans are already shifted; undo for old coords
-                (self.toks[(elems[e].tok_lo as isize + tok_delta) as usize].start as isize
-                    - delta) as usize
-            }
+        let win_end_byte_old = if e_hi == doc.chunks.len() {
+            usize::MAX
+        } else {
+            // The suffix boundary token sits just past the normalized
+            // window, so its stored span is still old-text relative to its
+            // chunk: old byte = stored + the chunk's (un-rebased) base.
+            let t_new = (doc.chunk_tok_lo[e_hi] as isize + tok_delta) as usize;
+            (self.toks[t_new].start as isize + doc.chunks[e_hi].base) as usize
         };
+        let whi_old = if e_hi == doc.chunks.len() { n_old } else { doc.chunk_tok_lo[e_hi] };
+        let reparsed_tokens = ((whi_old as isize + tok_delta) as usize) - wlo;
 
         // Root wrapper: the first chunk's production. Unchanged while any
         // prefix element came from a chunk; otherwise the window's first
         // chunk. A window that parsed nothing while chunks survive in the
         // suffix would need the suffix chunk's (stripped) root — punt to a
         // full reparse rather than guess.
-        let prefix_has_chunk = elems[..e_lo].iter().any(|e| e.kind != ElemKind::Err);
+        let prefix_has_chunk = doc.chunks[..e_lo].iter().any(|c| c.kind != ElemKind::Err);
         let root = if prefix_has_chunk {
             doc.root
         } else if let Some(r) = drive.root {
             r
-        } else if elems[e_hi..].iter().any(|e| e.kind != ElemKind::Err) {
+        } else if doc.chunks[e_hi..].iter().any(|c| c.kind != ElemKind::Err) {
             return self.edit_fallback(doc);
         } else {
             (ERROR_NODE, 0)
         };
 
-        // Event splice: prefix verbatim, window fresh, suffix with token
-        // indices rebased.
-        doc.events_scratch.clear();
-        doc.events_scratch.push(Event::Open { prod: root.0, alt: root.1 });
-        doc.events_scratch.extend_from_slice(&doc.events[1..elems[e_lo].ev_lo]);
-        doc.events_scratch.extend_from_slice(&self.revents);
-        if e_hi < elems.len() {
-            for ev in &doc.events[elems[e_hi].ev_lo..doc.events.len() - 1] {
-                doc.events_scratch.push(match *ev {
-                    Event::Token { index } => Event::Token {
-                        index: (index as i64 + tok_delta as i64) as u32,
-                    },
-                    other => other,
-                });
-            }
-        }
-        doc.events_scratch.push(Event::Close);
-        std::mem::swap(&mut doc.events, &mut doc.events_scratch);
-        doc.root = root;
-
-        // Diagnostic splice, same three-way split in byte coordinates.
-        doc.syn.clear();
-        doc.syn
-            .extend(old_syn.iter().filter(|e| e.at < win_start_byte).cloned());
-        doc.syn.append(&mut win_syn);
-        for e in &old_syn {
-            if e.at >= win_end_byte_old && win_end_byte_old != usize::MAX {
-                let mut e = e.clone();
-                e.at = (e.at as isize + delta) as usize;
-                let (line, column) = doc.lines.line_col(&doc.text, e.at);
-                e.line = line;
-                e.column = column;
-                doc.syn.push(e);
-            }
-        }
-
-        let whi_old = if e_hi == elems.len() { n_old } else { elems[e_hi].tok_lo };
-        doc.last_edit = EditStats {
-            reparsed_tokens: ((whi_old as isize + tok_delta) as usize) - wlo,
-            ..stats
+        // Chunk splice: prefix and suffix chunks survive verbatim (their
+        // events are chunk-relative), the suffix absorbs the byte delta
+        // into its span bases, and the window's drive output is split into
+        // fresh chunks.
+        let Some(new_elems) = split_elements(&self.revents, wlo) else {
+            return self.edit_fallback(doc);
         };
-    }
-
-    /// Splice the relex result into the live token/kind buffers, shifting
-    /// suffix spans by the edit's byte delta.
-    fn splice_tokens(&mut self, relex: &sqlweave_lexgen::Relex, delta: isize) {
-        self.toks
-            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().copied());
-        self.kind_ids
-            .splice(relex.old_lo..relex.old_hi, relex.tokens.iter().map(|t| t.kind.0));
+        let new_chunks: Vec<Chunk> =
+            new_elems.iter().map(|e| chunk_of_elem(&self.revents, e)).collect();
         if delta != 0 {
-            for t in &mut self.toks[relex.old_lo + relex.tokens.len()..] {
-                t.start = (t.start as isize + delta) as usize;
-                t.end = (t.end as isize + delta) as usize;
+            for chunk in &mut doc.chunks[e_hi..] {
+                chunk.base += delta;
             }
         }
+        let n_new_chunks = new_chunks.len();
+        doc.n_empty_chunks += new_chunks.iter().filter(|c| c.n_toks == 0).count();
+        doc.n_empty_chunks -=
+            doc.chunks[e_lo..e_hi].iter().filter(|c| c.n_toks == 0).count();
+        doc.chunks.splice(e_lo..e_hi, new_chunks);
+        // `chunk_tok_lo` is repaired in place instead of recomputed: the
+        // window's entries are re-summed from its (unchanged) first token
+        // index, and the suffix shifts by the token delta — O(window +
+        // #chunks·[delta ≠ 0]) instead of O(#chunks) every edit.
+        let mut lo = wlo;
+        doc.chunk_tok_lo.splice(
+            e_lo..e_hi,
+            doc.chunks[e_lo..e_lo + n_new_chunks].iter().map(|c| {
+                let v = lo;
+                lo += c.n_toks;
+                v
+            }),
+        );
+        if tok_delta != 0 {
+            for v in &mut doc.chunk_tok_lo[e_lo + n_new_chunks..] {
+                *v = (*v as isize + tok_delta) as usize;
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut check = Vec::with_capacity(doc.chunks.len());
+            let mut acc = 0usize;
+            for c in &doc.chunks {
+                check.push(acc);
+                acc += c.n_toks;
+            }
+            debug_assert_eq!(check, doc.chunk_tok_lo, "incremental chunk_tok_lo repair drifted");
+            debug_assert_eq!(
+                doc.n_empty_chunks,
+                doc.chunks.iter().filter(|c| c.n_toks == 0).count(),
+                "incremental empty-chunk count drifted"
+            );
+        }
+        doc.root = root;
+        doc.tree_valid = false;
+
+        // Diagnostic splice, the same three-way split in byte coordinates
+        // but in place: prefix diagnostics are never touched, the window's
+        // old diagnostics are replaced by the drive's fresh ones, and the
+        // suffix is repaired by integer arithmetic (no clones, no line
+        // rescans) — the boundaries come from a binary search over the
+        // sorted list.
+        let syn = Arc::make_mut(&mut doc.syn);
+        let syn_lo = syn.partition_point(|e| e.at < win_start_byte);
+        let syn_hi = syn.partition_point(|e| e.at < win_end_byte_old);
+        repair_suffix_diags(
+            &mut syn[syn_hi..],
+            &doc.text,
+            &doc.lines,
+            delta,
+            line_delta,
+            old_line_end,
+        );
+        syn.splice(syn_lo..syn_hi, win_syn.drain(..));
+
+        doc.last_edit = EditStats { reparsed_tokens, ..stats };
     }
 
     /// Local repair was not possible: reparse the (already edited)
@@ -1610,7 +2043,7 @@ mod tests {
     fn assert_incremental_identity(s: &mut ParseSession<'_>, oracle: &mut ParseSession<'_>, ctx: &str) {
         let text = s.document().to_string();
         let inc = {
-            let o = s.document_outcome();
+            let o = s.try_document_outcome().expect("document open");
             assert!(
                 token_coverage(&o.tree).iter().all(|&c| c == 1),
                 "token coverage broken {ctx}"
@@ -1634,12 +2067,112 @@ mod tests {
                 "",
                 "; ; ;",
             ] {
-                let inc = snapshot(&s.open_document(text));
+                let inc = {
+                    let mut o = s.open_document(text);
+                    let errs: Vec<String> = o.errors.iter().map(|e| e.to_string()).collect();
+                    assert!(o.stats.full_reparse);
+                    (o.tree.get().to_cst(), errs)
+                };
                 assert!(s.edit_stats().full_reparse);
                 let full = snapshot(&oracle.parse_resilient(text));
                 assert_eq!(inc, full, "{mode:?} on {text:?}");
             }
         }
+    }
+
+    #[test]
+    fn try_api_reports_structured_errors_and_preserves_the_document() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        assert_eq!(s.try_document().unwrap_err(), EditError::NoDocument);
+        assert_eq!(s.try_edit_stats().unwrap_err(), EditError::NoDocument);
+        assert!(matches!(s.try_apply_edit(0..0, "x"), Err(EditError::NoDocument)));
+        assert!(matches!(s.try_document_outcome(), Err(EditError::NoDocument)));
+
+        s.open_document("SELECT a FROM t");
+        let err = s.try_apply_edit(4..99, "x").map(|_| ()).unwrap_err();
+        assert_eq!(err, EditError::OutOfBounds { range: 4..99, len: 15 });
+        assert_eq!(
+            err.to_string(),
+            "edit range 4..99 out of bounds for a document of 15 bytes"
+        );
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = s.try_apply_edit(9..4, "x").map(|_| ()).unwrap_err();
+        assert!(matches!(inverted, EditError::OutOfBounds { .. }));
+        // a failed edit leaves the document open, intact, and editable
+        assert_eq!(s.document(), "SELECT a FROM t");
+        let o = s.try_apply_edit(7..8, "zz").expect("in-bounds edit");
+        assert!(o.errors.is_empty());
+        assert_eq!(s.document(), "SELECT zz FROM t");
+    }
+
+    #[test]
+    fn non_char_boundary_edits_are_rejected_not_panicking() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        s.open_document("SELECT a FROM t; SELECT é FROM u");
+        let at = s.document().find('é').unwrap();
+        let err = s.try_apply_edit(at + 1..at + 2, "x").map(|_| ()).unwrap_err();
+        assert_eq!(err, EditError::NotCharBoundary { range: at + 1..at + 2 });
+        assert!(err.to_string().contains("char boundaries"));
+        // document still editable afterwards
+        let mut oracle = p.session();
+        s.apply_edit(at..at + 2, "ok");
+        assert_incremental_identity(&mut s, &mut oracle, "after rejected edit");
+    }
+
+    #[test]
+    fn lazy_outcome_defers_and_caches_tree_materialization() {
+        for mode in [EngineMode::Backtracking, EngineMode::Ll1Table] {
+            let p = script_parser(mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            s.open_document("SELECT a FROM t; SELECT FROM u; SELECT b FROM v");
+            // Several keystrokes reading only diagnostics — the tree is
+            // never materialized in between.
+            let at = s.document().find("FROM u").unwrap();
+            let o = s.apply_edit(at..at, "x ");
+            assert_eq!(o.errors.len(), 0);
+            let end = s.document().len();
+            let o = s.apply_edit(end..end, "; SELECT");
+            assert_eq!(o.errors.len(), 1);
+            // The next materialization still matches a full reparse, and
+            // a second read reuses the cached arena.
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} lazy catch-up"));
+            assert_incremental_identity(&mut s, &mut oracle, &format!("{mode:?} cached reread"));
+            // Per-edit diagnostics equal the from-scratch diagnostics of
+            // the edited text at every step.
+            let at = s.document().find("x FROM u").unwrap();
+            let errs: Vec<String> = s
+                .apply_edit(at..at + 1, "")
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            let text = s.document().to_string();
+            let full: Vec<String> = oracle
+                .parse_resilient(&text)
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect();
+            assert_eq!(errs, full, "{mode:?} eager diagnostics");
+        }
+    }
+
+    #[test]
+    fn standalone_parses_between_edits_invalidate_the_cached_tree() {
+        let p = script_parser(EngineMode::Backtracking);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        s.open_document("SELECT a FROM t; SELECT b FROM u");
+        assert_incremental_identity(&mut s, &mut oracle, "before standalone parse");
+        // A standalone parse clobbers the shared tree arena; the document
+        // must rematerialize instead of serving the stale cache.
+        let _ = s.parse_resilient("SELECT * FROM other");
+        assert_incremental_identity(&mut s, &mut oracle, "after parse_resilient");
+        let _ = s.parse_tree("SELECT c FROM w");
+        assert_incremental_identity(&mut s, &mut oracle, "after parse_tree");
     }
 
     #[test]

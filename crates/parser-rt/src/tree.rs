@@ -51,30 +51,71 @@ impl TreeBuffers {
     /// Build the arena from a well-formed event stream; returns the root
     /// node id.
     pub(crate) fn build(&mut self, events: &[Event]) -> u32 {
+        self.reset();
+        for ev in events {
+            match *ev {
+                Event::Open { prod, alt } => self.open_node(prod, alt),
+                Event::Token { index } => self.pending.push(Element::Token(index)),
+                Event::Close => self.close_node(),
+            }
+        }
+        self.take_root()
+    }
+
+    /// Build the arena directly from a *chunked* event representation: a
+    /// root wrapper around a sequence of per-chunk event slices whose
+    /// token indices are chunk-relative (absolute index = chunk-relative
+    /// + the chunk's `tok_base`). Equivalent to flattening the chunks
+    /// into one root-wrapped stream and calling [`TreeBuffers::build`],
+    /// without materializing that stream — this is how a lazily
+    /// maintained document's tree is built on first access.
+    pub(crate) fn build_chunked<'c>(
+        &mut self,
+        root: (u32, u32),
+        chunks: impl Iterator<Item = (&'c [Event], u32)>,
+    ) -> u32 {
+        self.reset();
+        self.open_node(root.0, root.1);
+        for (events, tok_base) in chunks {
+            for ev in events {
+                match *ev {
+                    Event::Open { prod, alt } => self.open_node(prod, alt),
+                    Event::Token { index } => {
+                        self.pending.push(Element::Token(index + tok_base))
+                    }
+                    Event::Close => self.close_node(),
+                }
+            }
+        }
+        self.close_node();
+        self.take_root()
+    }
+
+    fn reset(&mut self) {
         self.nodes.clear();
         self.elems.clear();
         self.pending.clear();
         self.open.clear();
-        for ev in events {
-            match *ev {
-                Event::Open { prod, alt } => {
-                    let id = self.nodes.len() as u32;
-                    self.nodes.push(NodeData { prod, alt, elems_start: 0, elems_end: 0 });
-                    self.open.push((id, self.pending.len()));
-                }
-                Event::Token { index } => self.pending.push(Element::Token(index)),
-                Event::Close => {
-                    let (id, mark) = self.open.pop().expect("unbalanced Close event");
-                    let start = self.elems.len() as u32;
-                    self.elems.extend_from_slice(&self.pending[mark..]);
-                    let node = &mut self.nodes[id as usize];
-                    node.elems_start = start;
-                    node.elems_end = self.elems.len() as u32;
-                    self.pending.truncate(mark);
-                    self.pending.push(Element::Node(id));
-                }
-            }
-        }
+    }
+
+    fn open_node(&mut self, prod: u32, alt: u32) {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeData { prod, alt, elems_start: 0, elems_end: 0 });
+        self.open.push((id, self.pending.len()));
+    }
+
+    fn close_node(&mut self) {
+        let (id, mark) = self.open.pop().expect("unbalanced Close event");
+        let start = self.elems.len() as u32;
+        self.elems.extend_from_slice(&self.pending[mark..]);
+        let node = &mut self.nodes[id as usize];
+        node.elems_start = start;
+        node.elems_end = self.elems.len() as u32;
+        self.pending.truncate(mark);
+        self.pending.push(Element::Node(id));
+    }
+
+    fn take_root(&mut self) -> u32 {
         debug_assert!(self.open.is_empty(), "unclosed Open event");
         debug_assert_eq!(self.pending.len(), 1, "event stream must have one root");
         match self.pending[0] {
@@ -550,6 +591,56 @@ mod tests {
         let tree2 = s.parse_tree("SELECT b FROM a").unwrap();
         tree2.intern_tokens(&mut interner);
         assert_eq!(interner.len(), before);
+    }
+
+    #[test]
+    fn build_chunked_matches_flattened_build() {
+        use crate::events::ERROR_NODE;
+        // chunk A: node(tok0 tok1), chunk B: bare tok2, chunk C: error(tok3 tok4)
+        let a = [
+            Event::Open { prod: 1, alt: 2 },
+            Event::Token { index: 0 },
+            Event::Token { index: 1 },
+            Event::Close,
+        ];
+        let b = [Event::Token { index: 0 }];
+        let c = [
+            Event::Open { prod: ERROR_NODE, alt: 0 },
+            Event::Token { index: 0 },
+            Event::Token { index: 1 },
+            Event::Close,
+        ];
+        let chunks: [(&[Event], u32); 3] = [(&a, 0), (&b, 2), (&c, 3)];
+        let mut chunked = TreeBuffers::default();
+        let croot = chunked.build_chunked((7, 0), chunks.into_iter());
+
+        let mut flat_events = vec![Event::Open { prod: 7, alt: 0 }];
+        for (events, base) in chunks {
+            for ev in events {
+                flat_events.push(match *ev {
+                    Event::Token { index } => Event::Token { index: index + base },
+                    other => other,
+                });
+            }
+        }
+        flat_events.push(Event::Close);
+        let mut flat = TreeBuffers::default();
+        let froot = flat.build(&flat_events);
+
+        assert_eq!(croot, froot);
+        assert_eq!(chunked.nodes.len(), flat.nodes.len());
+        assert_eq!(chunked.elems.len(), flat.elems.len());
+        for (cn, fn_) in chunked.nodes.iter().zip(&flat.nodes) {
+            assert_eq!((cn.prod, cn.alt), (fn_.prod, fn_.alt));
+            assert_eq!((cn.elems_start, cn.elems_end), (fn_.elems_start, fn_.elems_end));
+        }
+        for (ce, fe) in chunked.elems.iter().zip(&flat.elems) {
+            match (ce, fe) {
+                (Element::Node(x), Element::Node(y)) => assert_eq!(x, y),
+                (Element::Token(x), Element::Token(y)) => assert_eq!(x, y),
+                _ => panic!("element kind diverged"),
+            }
+        }
     }
 
     #[test]

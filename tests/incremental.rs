@@ -34,7 +34,9 @@ fn base_script(dialect: Dialect) -> String {
 }
 
 /// Apply one edit incrementally and assert identity with a from-scratch
-/// resilient parse of the same edited text.
+/// resilient parse of the same edited text. The eager half of the
+/// [`sqlweave::parser_rt::EditOutcome`] (diagnostics, stats) is checked
+/// first, then the tree is materialized through the lazy handle.
 fn check_edit(
     s: &mut ParseSession<'_>,
     oracle: &mut ParseSession<'_>,
@@ -44,12 +46,14 @@ fn check_edit(
     ctx: &str,
 ) {
     let (inc_cst, inc_errs): (CstNode, Vec<String>) = {
-        let o = s.apply_edit(lo..hi, rep);
+        let mut o = s.apply_edit(lo..hi, rep);
+        let errs = o.errors.iter().map(|e| e.to_string()).collect();
+        let tree = o.tree.get();
         assert!(
-            token_coverage(&o.tree).iter().all(|&c| c == 1),
+            token_coverage(&tree).iter().all(|&c| c == 1),
             "token coverage broken: {ctx}"
         );
-        (o.tree.to_cst(), o.errors.iter().map(|e| e.to_string()).collect())
+        (tree.to_cst(), errs)
     };
     let text = s.document().to_string();
     let (full_cst, full_errs) = {
@@ -148,6 +152,192 @@ fn single_token_edit_reparses_locally() {
     let st = s.edit_stats();
     assert!(!st.full_reparse, "{st:?}");
     assert!(st.reparsed_tokens < total / 3, "window too large: {st:?} of {total}");
+}
+
+/// Boundary edits: empty documents, edits at byte 0 and at `len`,
+/// zero-length inserts/deletes, and whole-document replacement all stay
+/// identical to a from-scratch parse.
+#[test]
+fn boundary_edits_match_full_reparse() {
+    for d in Dialect::ALL {
+        for mode in MODES {
+            let p = parser(d, mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let ctx = |what: &str| format!("{} {mode:?} {what}", d.name());
+
+            // empty document: zero-length edit, then grow from nothing
+            s.open_document("");
+            check_edit(&mut s, &mut oracle, 0, 0, "", &ctx("empty no-op"));
+            let stmt = corpus(d)[0];
+            check_edit(&mut s, &mut oracle, 0, 0, stmt, &ctx("insert into empty"));
+
+            // edit at byte 0 and at len
+            let text = base_script(d);
+            s.open_document(&text);
+            check_edit(&mut s, &mut oracle, 0, 0, "X", &ctx("insert at 0"));
+            let end = s.document().len();
+            check_edit(&mut s, &mut oracle, end, end, " Y", &ctx("insert at len"));
+            check_edit(&mut s, &mut oracle, 0, 1, "", &ctx("delete at 0"));
+            let end = s.document().len();
+            check_edit(&mut s, &mut oracle, end - 1, end, "", &ctx("delete at len"));
+
+            // zero-length delete mid-document (a no-op edit)
+            let mid = s.document().len() / 2;
+            let mid = (0..=mid).rev().find(|&i| s.document().is_char_boundary(i)).unwrap();
+            check_edit(&mut s, &mut oracle, mid, mid, "", &ctx("zero-length mid"));
+
+            // whole-document replacement, then delete everything
+            let end = s.document().len();
+            let next = base_script(d);
+            check_edit(&mut s, &mut oracle, 0, end, &next, &ctx("replace all"));
+            let end = s.document().len();
+            check_edit(&mut s, &mut oracle, 0, end, "", &ctx("delete all"));
+        }
+    }
+}
+
+/// Multi-byte UTF-8 straddling the damage region: edits adjacent to and
+/// replacing multi-byte chars keep spans, diagnostics, and trees exact.
+#[test]
+fn multibyte_edits_around_damage_region_match() {
+    for mode in MODES {
+        let d = Dialect::Core;
+        let p = parser(d, mode);
+        let mut s = p.session();
+        let mut oracle = p.session();
+        let ctx = |what: &str| format!("{mode:?} {what}");
+
+        // é (2 bytes), 中文 (3+3), 🦀 (4) — inside string literals where
+        // the dialect lexes them, plus a bare lexical-error scalar.
+        let text = "SELECT '🦀 中文' FROM t; SELECT é FROM u; SELECT 'x' FROM v";
+        s.open_document(text);
+        // replace the 4-byte scalar inside the literal
+        let crab = s.document().find('🦀').unwrap();
+        check_edit(&mut s, &mut oracle, crab, crab + 4, "zz", &ctx("replace 4-byte"));
+        // insert a multi-byte scalar right at a token boundary
+        let quote = s.document().find('\'').unwrap();
+        check_edit(&mut s, &mut oracle, quote, quote, "中", &ctx("insert 3-byte at token edge"));
+        // delete a span that straddles the lexical-error scalar
+        let e_acc = s.document().find('é').unwrap();
+        let hi = (e_acc + 2).min(s.document().len());
+        check_edit(&mut s, &mut oracle, e_acc, hi, "🦀", &ctx("swap 2-byte error for 4-byte"));
+        // and shrink it back to a single ascii byte
+        let crab = s.document().find('🦀').unwrap();
+        check_edit(&mut s, &mut oracle, crab, crab + 4, "w", &ctx("shrink 4-byte to ascii"));
+    }
+}
+
+/// A same-length token-preserving splice that adds a newline (replacing a
+/// comment character with `\n`) moves every later diagnostic down one line
+/// without touching the token stream. The in-place diagnostic repair must
+/// reposition them — a byte-delta-only check would leave the lines stale.
+#[test]
+fn token_preserving_newline_edit_repositions_later_diagnostics() {
+    for d in Dialect::ALL {
+        for mode in MODES {
+            let p = parser(d, mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let text = format!("/* a */\nFROM FROM;\n{}", base_script(d));
+            s.open_document(&text);
+            let at = text.find('a').unwrap();
+            check_edit(
+                &mut s,
+                &mut oracle,
+                at,
+                at + 1,
+                "\n",
+                &format!("{} {mode:?} newline-in-comment", d.name()),
+            );
+            let st = s.edit_stats();
+            assert_eq!(st.relexed_tokens, 0, "{} {mode:?}: {st:?}", d.name());
+            let o = s.try_document_outcome().expect("document open");
+            assert!(!o.errors.is_empty(), "{} {mode:?}: scenario needs diagnostics", d.name());
+        }
+    }
+}
+
+/// A same-length splice that changes the *character* count (two-byte `é`
+/// to two one-byte chars) shifts the column of every later diagnostic on
+/// that line even though no byte position moves.
+#[test]
+fn same_length_multibyte_edit_shifts_same_line_columns() {
+    for d in Dialect::ALL {
+        for mode in MODES {
+            let p = parser(d, mode);
+            let mut s = p.session();
+            let mut oracle = p.session();
+            let text = format!("/* é */ FROM FROM;\n{}", base_script(d));
+            s.open_document(&text);
+            let at = text.find('é').unwrap();
+            check_edit(
+                &mut s,
+                &mut oracle,
+                at,
+                at + 'é'.len_utf8(),
+                "xy",
+                &format!("{} {mode:?} multibyte same-length", d.name()),
+            );
+            let o = s.try_document_outcome().expect("document open");
+            assert!(!o.errors.is_empty(), "{} {mode:?}: scenario needs diagnostics", d.name());
+        }
+    }
+}
+
+/// Outcomes on a lexically clean document share the session's maintained
+/// diagnostic list by reference count instead of cloning it: delivery is
+/// O(1) no matter how many diagnostics the document carries (the
+/// predictive engine can hold thousands against a large script).
+#[test]
+fn outcomes_share_the_maintained_diagnostic_list() {
+    let d = Dialect::Core;
+    let p = parser(d, EngineMode::Ll1Table);
+    let mut s = p.session();
+    let text = format!("FROM FROM;\n{}", base_script(d));
+    s.open_document(&text);
+    let first = {
+        let o = s.apply_edit(0..0, " ");
+        assert!(!o.errors.is_empty(), "scenario needs diagnostics");
+        std::sync::Arc::as_ptr(&o.errors)
+    };
+    let second = {
+        let o = s.apply_edit(0..0, " ");
+        std::sync::Arc::as_ptr(&o.errors)
+    };
+    assert_eq!(first, second, "per-edit delivery must not clone the diagnostic list");
+}
+
+/// The lazy outcome's eager diagnostics match a full reparse even when the
+/// tree is never materialized between edits; a later materialization
+/// catches up and still matches.
+#[test]
+fn diagnostics_stay_exact_without_materializing_trees() {
+    let d = Dialect::Core;
+    let p = parser(d, EngineMode::Backtracking);
+    let mut s = p.session();
+    let mut oracle = p.session();
+    s.open_document(&base_script(d));
+    let mut rng = XorShift(0xfeed_beef);
+    for step in 0..24 {
+        let (lo, hi, rep) = random_edit(&mut rng, s.document());
+        let errs: Vec<String> = s
+            .apply_edit(lo..hi, rep)
+            .errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        let text = s.document().to_string();
+        let full: Vec<String> = oracle
+            .parse_resilient(&text)
+            .errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        assert_eq!(errs, full, "step {step}: {lo}..{hi} := {rep:?}\ntext: {text:?}");
+    }
+    // one final materialization after the whole un-materialized script
+    check_edit(&mut s, &mut oracle, 0, 0, "", "final catch-up");
 }
 
 /// Deterministic xorshift64* so edit scripts are reproducible from a seed.
